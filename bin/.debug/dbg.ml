@@ -1,0 +1,30 @@
+(* debug non-blocking TLB timeout *)
+open Cmd
+open Isa
+let base = Addr_map.dram_base
+let () =
+  let open Reg_name in
+  let p = Asm.create () in
+  Asm.li p a0 7L;
+  Asm.li p a7 93L;
+  Asm.ecall p;
+  let clk = Clock.create () in
+  let pmem = Phys_mem.create () in
+  let mmio = Mmio.create () in
+  let stats = Stats.create () in
+  Array.iteri (fun i w -> Phys_mem.store pmem ~bytes:4 (Int64.add base (Int64.of_int (i*4))) (Int64.of_int w)) (Asm.words p ~base);
+  let mem_cfg = { Mem.Mem_sys.l1d_bytes=4096; l1d_ways=2; l1d_mshrs=4; l1i_bytes=4096; l1i_ways=2; l2_bytes=16384; l2_ways=4; l2_mshrs=4; mem_latency=20; mem_inflight=8 } in
+  let ms = Mem.Mem_sys.create clk pmem mem_cfg ~ncores:1 ~fetch_width:2 ~stats in
+  let tlb = Tlb.Tlb_sys.create clk Tlb.Tlb_sys.nonblocking_config ~stats () in
+  let core = Inorder.Inorder_core.create clk ~hart_id:0 ~icache:(Mem.Mem_sys.icache ms 0) ~dcache:(Mem.Mem_sys.dcache ms 0) ~tlb ~mmio ~stats () in
+  let pt = Page_table.create pmem ~alloc_base:0x90000000L in
+  Page_table.map_range pt ~va:base ~pa:base ~len:0x1000000L;
+  Tlb.Tlb_sys.set_satp tlb (Page_table.root pt);
+  let rules = Inorder.Inorder_core.rules core @ Tlb.Tlb_sys.rules tlb @ Tlb.Walk_xbar.rules [| tlb |] ~l2:(Mem.Mem_sys.l2 ms) @ Mem.Mem_sys.rules ms in
+  let sim = Sim.create clk rules in
+  (match Sim.run_until sim ~max_cycles:5000 (fun () -> Inorder.Inorder_core.halted core) with
+  | `Done n -> Printf.printf "done in %d cycles\n" n
+  | `Timeout ->
+    Printf.printf "TIMEOUT\n";
+    Format.printf "%a@." Sim.pp_stats sim;
+    Format.printf "%a@." Stats.pp stats)
