@@ -1,0 +1,129 @@
+(* The riscyoo command-line driver: run a workload kernel on a chosen
+   processor model and print the performance counters.
+
+   Examples:
+     dune exec bin/riscyoo.exe -- run mcf --config tplus
+     dune exec bin/riscyoo.exe -- run blackscholes --parsec --cores 4 --config quad-wmm
+     dune exec bin/riscyoo.exe -- list *)
+
+module Cmd_stats = Cmd.Stats
+open Cmdliner
+open Workloads
+
+let configs =
+  [
+    ("b", Ooo.Config.riscyoo_b);
+    ("cminus", Ooo.Config.riscyoo_cminus);
+    ("tplus", Ooo.Config.riscyoo_tplus);
+    ("tplus-rplus", Ooo.Config.riscyoo_tplus_rplus);
+    ("a57-proxy", Ooo.Config.a57_proxy);
+    ("denver-proxy", Ooo.Config.denver_proxy);
+    ("quad-tso", Ooo.Config.multicore Ooo.Config.TSO);
+    ("quad-wmm", Ooo.Config.multicore Ooo.Config.WMM);
+  ]
+
+let list_cmd =
+  let doc = "List available kernels and configurations" in
+  let run () =
+    print_endline "SPEC-shaped kernels (single-core):";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Spec_kernels.names;
+    print_endline "PARSEC-shaped kernels (use --parsec, multi-core):";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Parsec_kernels.names;
+    print_endline "Configurations (--config):";
+    List.iter (fun (n, c) -> Format.printf "  %-14s %a@." n Ooo.Config.pp c) configs;
+    print_endline "  inorder-10 / inorder-120   (the Rocket-like in-order baseline)"
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run a kernel on a processor model" in
+  let kernel = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
+  let config =
+    Arg.(value & opt string "tplus" & info [ "config" ] ~docv:"CONFIG" ~doc:"processor configuration")
+  in
+  let cores = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"number of cores") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"workload scale factor") in
+  let parsec = Arg.(value & flag & info [ "parsec" ] ~doc:"kernel is a PARSEC-shaped parallel kernel") in
+  let cosim = Arg.(value & flag & info [ "cosim" ] ~doc:"lockstep golden-model checking") in
+  let paging = Arg.(value & opt bool true & info [ "paging" ] ~doc:"enable Sv39 translation") in
+  let megapages = Arg.(value & flag & info [ "megapages" ] ~doc:"map memory with 2MB superpages") in
+  let mesi = Arg.(value & flag & info [ "mesi" ] ~doc:"MESI coherence instead of MSI") in
+  let prefetch = Arg.(value & flag & info [ "st-prefetch" ] ~doc:"store prefetching") in
+  let predictor =
+    Arg.(value & opt string "tournament" & info [ "predictor" ] ~doc:"tournament|gshare|bimodal")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"print every committed instruction") in
+  let rules = Arg.(value & flag & info [ "rules" ] ~doc:"print per-rule firing statistics") in
+  let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace rules =
+    let prog =
+      if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
+      else Spec_kernels.find kernel ~scale
+    in
+    let kind =
+      match config with
+      | "inorder-10" ->
+        Machine.In_order
+          { mem = { Mem.Mem_sys.default_config with mem_latency = 10 }; tlb = Tlb.Tlb_sys.blocking_config }
+      | "inorder-120" ->
+        Machine.In_order { mem = Mem.Mem_sys.default_config; tlb = Tlb.Tlb_sys.blocking_config }
+      | "golden" -> Machine.Golden_only
+      | name -> (
+        match List.assoc_opt name configs with
+        | Some cfg ->
+          let pk =
+            match predictor with
+            | "tournament" -> Branch.Dir_pred.Tournament
+            | "gshare" -> Branch.Dir_pred.Gshare
+            | "bimodal" -> Branch.Dir_pred.Bimodal
+            | p -> failwith ("unknown predictor " ^ p)
+          in
+          Machine.Out_of_order
+            {
+              cfg with
+              Ooo.Config.st_prefetch = prefetch;
+              predictor = pk;
+              mem = { cfg.Ooo.Config.mem with Mem.Mem_sys.mesi };
+            }
+        | None -> failwith ("unknown config " ^ name))
+    in
+    let m = Machine.create ~ncores:cores ~paging ~megapages ~cosim kind prog in
+    if trace then Machine.trace_commits m Format.std_formatter;
+    let t0 = Unix.gettimeofday () in
+    let o = Machine.run m in
+    let dt = Unix.gettimeofday () -. t0 in
+    if o.Machine.timed_out then print_endline "TIMED OUT"
+    else begin
+      Printf.printf "exit codes : %s\n"
+        (String.concat " " (Array.to_list (Array.map Int64.to_string o.Machine.exits)));
+      Printf.printf "cycles     : %d\n" o.Machine.cycles;
+      Printf.printf "instrs     : %d\n" (Machine.instrs m);
+      Printf.printf "IPC        : %.3f\n"
+        (float_of_int (Machine.instrs m) /. float_of_int (max 1 o.Machine.cycles));
+      Printf.printf "host       : %.1fs (%.0f sim-cycles/s)\n" dt (float_of_int o.Machine.cycles /. dt);
+      print_endline "counters:";
+      List.iter
+        (fun (n, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" n v)
+        (Cmd_stats.to_list (Machine.stats m));
+      if rules then Format.printf "%a@." Machine.pp_rule_stats m
+    end
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
+    Term.(
+      const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
+      $ prefetch $ predictor $ trace $ rules)
+
+let synth_cmd =
+  let doc = "Print the synthesis model's area/frequency estimates" in
+  let run () =
+    List.iter
+      (fun (n, cfg) ->
+        Printf.printf "%-14s %5.2f GHz  %6.2f M NAND2\n" n
+          (Synth.Timing.max_freq_ghz cfg)
+          (Synth.Gates.total cfg /. 1e6))
+      configs
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "synth" ~doc) Term.(const run $ const ())
+
+let () =
+  let info = Cmdliner.Cmd.info "riscyoo" ~doc:"RiscyOO processor models and workloads" in
+  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd ]))

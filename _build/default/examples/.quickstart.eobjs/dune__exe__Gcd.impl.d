@@ -1,0 +1,1 @@
+examples/gcd.ml: Clock Cmd Int64 Kernel List Printf Reg Rule Sim

@@ -1,0 +1,1 @@
+examples/issue_queue_demo.ml: Array Clock Cmd Ehr Kernel List Printf Rule Sim

@@ -1,0 +1,1 @@
+examples/issue_queue_demo.mli:

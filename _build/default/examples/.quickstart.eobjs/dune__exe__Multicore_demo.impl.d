@@ -1,0 +1,1 @@
+examples/multicore_demo.ml: Array List Machine Ooo Parsec_kernels Printf Workloads

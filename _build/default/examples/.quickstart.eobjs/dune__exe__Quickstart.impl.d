@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Isa Machine Ooo Printf Reg_name Workloads

@@ -1,0 +1,1 @@
+examples/tlb_exploration.ml: List Machine Ooo Printf Spec_kernels Tlb Workloads

@@ -1,0 +1,1 @@
+examples/tlb_exploration.mli:

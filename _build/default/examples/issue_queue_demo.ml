@@ -1,0 +1,104 @@
+(* The paper's Section IV example: the instruction-issue-queue / register
+   ready-bit concurrency problem, and how the conflict matrix decides both
+   correctness and performance.
+
+   Three rules share the IQ and the ready-bit file RDYB:
+     doRegWrite: wakes up the IQ and sets the RDYB presence bit
+     doIssue:    pulls a ready instruction out of the IQ
+     doRename:   reads RDYB, enters an instruction into the IQ
+
+   With rules as atomic transactions, BOTH conflict-matrix choices are
+   correct; they differ only in how many cycles a dependency chain takes
+   (Sec. IV-D):
+     issue < wakeup  (issue reads the IQ ready bits at EHR port 0, i.e.
+                     before the wakeup write): a woken instruction issues
+                     the NEXT cycle;
+     wakeup < issue  (issue reads at port 1, after the wakeup write):
+                     wakeup and issue of the dependent happen in the SAME
+                     cycle — one cycle saved per dependency link.
+
+   Run: dune exec examples/issue_queue_demo.exe *)
+
+open Cmd
+
+type instr = { dst : int; src1 : int; src2 : int }
+
+let n_regs = 8
+
+let run order_name ~issue_port =
+  let clk = Clock.create () in
+  (* RDYB presence bits and a 4-entry IQ as EHRs: the wakeup rule writes
+     port 0; the issue rule reads port [issue_port]; rename uses the
+     highest ports so it is last either way *)
+  let rdyb = Array.init n_regs (fun _ -> Ehr.create true) in
+  let iq = Array.init 4 (fun _ -> Ehr.create None) in
+  let in_flight = Ehr.create None in
+  let program = ref (List.init 6 (fun i -> { dst = i + 1; src1 = i; src2 = 0 })) in
+  let completed = ref 0 in
+  let do_regwrite =
+    Rule.make "doRegWrite" (fun ctx ->
+        match Ehr.read ctx in_flight 0 with
+        | None -> raise (Kernel.Guard_fail "nothing completing")
+        | Some i ->
+          Ehr.write ctx in_flight 0 None;
+          (* set the presence bit AND wake up matching IQ sources in one
+             atomic action — the paper's point: separating these two
+             updates is exactly what loses wakeups *)
+          Ehr.write ctx rdyb.(i.dst) 0 true;
+          Array.iter
+            (fun s ->
+              match Ehr.read ctx s 0 with
+              | Some (w, r1, r2) ->
+                if (w.src1 = i.dst && not r1) || (w.src2 = i.dst && not r2) then
+                  Ehr.write ctx s 0 (Some (w, r1 || w.src1 = i.dst, r2 || w.src2 = i.dst))
+              | None -> ())
+            iq;
+          incr completed)
+  in
+  let do_issue =
+    Rule.make "doIssue" (fun ctx ->
+        Kernel.guard ctx (Ehr.read ctx in_flight 1 = None) "pipe busy";
+        let ready =
+          Array.to_list iq
+          |> List.find_opt (fun s ->
+                 match Ehr.read ctx s issue_port with Some (_, true, true) -> true | _ -> false)
+        in
+        match ready with
+        | Some s ->
+          (match Ehr.read ctx s issue_port with
+          | Some (i, _, _) ->
+            Ehr.write ctx s issue_port None;
+            Ehr.write ctx in_flight 1 (Some i)
+          | None -> assert false)
+        | None -> raise (Kernel.Guard_fail "nothing ready"))
+  in
+  let do_rename =
+    Rule.make "doRename" (fun ctx ->
+        match !program with
+        | [] -> raise (Kernel.Guard_fail "renamed everything")
+        | i :: tl ->
+          let slot = Array.to_list iq |> List.find_opt (fun s -> Ehr.read ctx s 2 = None) in
+          (match slot with
+          | None -> raise (Kernel.Guard_fail "IQ full")
+          | Some s ->
+            (* reading RDYB at port 1 sees this cycle's wakeups: no lost
+               wakeup between the read and the IQ insert — atomicity *)
+            let rdy1 = Ehr.read ctx rdyb.(i.src1) 1 and rdy2 = Ehr.read ctx rdyb.(i.src2) 1 in
+            Ehr.write ctx rdyb.(i.dst) 1 false;
+            Ehr.write ctx s 2 (Some (i, rdy1, rdy2));
+            Kernel.on_abort ctx (fun () -> program := i :: tl);
+            program := tl))
+  in
+  let sim = Sim.create clk [ do_regwrite; do_issue; do_rename ] in
+  (match Sim.run_until sim ~max_cycles:200 (fun () -> !completed = 6) with
+  | `Done n -> Printf.printf "%-36s chain of 6 completed in %2d cycles\n" order_name n
+  | `Timeout -> Printf.printf "%-36s TIMEOUT\n" order_name)
+
+let () =
+  print_endline "Section IV: the IQ/RDYB atomicity problem, solved by conflict matrices:";
+  run "issue < wakeup (port-0 reads)" ~issue_port:0;
+  run "wakeup < issue (port-1 reads)" ~issue_port:1;
+  print_endline
+    "(both conflict matrices are CORRECT — the atomicity of rules keeps the\n\
+    \ reasoning local — but wakeup-before-issue saves one cycle per dependency\n\
+    \ link: the Sec. IV-D exploration)"

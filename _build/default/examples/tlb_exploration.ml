@@ -1,0 +1,36 @@
+(* Microarchitectural exploration, the paper's Section VI-A headline: take
+   the TLB-bound mcf kernel and refine ONLY the TLB subsystem — blocking
+   (RiscyOO-B), non-blocking, non-blocking + translation walk cache
+   (RiscyOO-T+). No other module changes; the interfaces make the refinement
+   local, which is the whole point of CMD.
+
+   Run: dune exec examples/tlb_exploration.exe *)
+
+open Workloads
+
+let () =
+  let prog = Spec_kernels.find "mcf" ~scale:1 in
+  let variants =
+    [
+      ("blocking TLBs (RiscyOO-B)", Tlb.Tlb_sys.blocking_config);
+      ( "non-blocking, no walk cache",
+        { Tlb.Tlb_sys.nonblocking_config with Tlb.Tlb_sys.walk_cache_entries = None } );
+      ("non-blocking + walk cache (T+)", Tlb.Tlb_sys.nonblocking_config);
+    ]
+  in
+  let base = ref 0 in
+  List.iter
+    (fun (name, tlb) ->
+      let cfg = { Ooo.Config.riscyoo_b with Ooo.Config.name; tlb } in
+      let m = Machine.create ~paging:true (Machine.Out_of_order cfg) prog in
+      let o = Machine.run m in
+      if !base = 0 then base := o.Machine.cycles;
+      Printf.printf "%-32s %9d cycles   speedup %.2fx   (dtlb misses %d, walks %d)\n" name
+        o.Machine.cycles
+        (float_of_int !base /. float_of_int o.Machine.cycles)
+        (Machine.find_stat m "c0.tlb.d.misses")
+        (Machine.find_stat m "c0.tlb.l2.misses"))
+    variants;
+  print_endline
+    "(the paper built exactly this refinement in two weeks on top of the frozen\n\
+    \ interfaces of the rest of the core — Section VI-A)"

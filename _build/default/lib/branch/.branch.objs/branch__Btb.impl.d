@@ -1,0 +1,1 @@
+lib/branch/btb.ml: Array Cmd Int64 Mut

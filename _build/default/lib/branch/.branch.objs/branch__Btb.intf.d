@@ -1,0 +1,1 @@
+lib/branch/btb.mli: Cmd

@@ -1,0 +1,1 @@
+lib/branch/dir_pred.ml: Array Bool Cmd Int64 Kernel Mut Tournament

@@ -1,0 +1,1 @@
+lib/branch/dir_pred.mli: Cmd

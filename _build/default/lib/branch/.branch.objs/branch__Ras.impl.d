@@ -1,0 +1,1 @@
+lib/branch/ras.ml: Array Cmd Mut

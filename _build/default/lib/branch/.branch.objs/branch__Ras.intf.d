@@ -1,0 +1,1 @@
+lib/branch/ras.mli: Cmd

@@ -1,0 +1,1 @@
+lib/branch/tournament.ml: Array Bool Cmd Int64 Kernel Mut Stdlib

@@ -1,0 +1,1 @@
+lib/branch/tournament.mli: Cmd

@@ -1,0 +1,20 @@
+open Cmd
+
+type entry = { mutable valid : bool; mutable epc : int64; mutable target : int64 }
+
+type t = { entries : entry array; mask : int }
+
+let create ?(entries = 256) () =
+  { entries = Array.init entries (fun _ -> { valid = false; epc = 0L; target = 0L }); mask = entries - 1 }
+
+let idx t pc = (Int64.to_int pc lsr 2) land t.mask
+
+let predict t pc =
+  let e = t.entries.(idx t pc) in
+  if e.valid && e.epc = pc then Some e.target else None
+
+let update ctx t ~pc ~target ~taken =
+  let e = t.entries.(idx t pc) in
+  Mut.field ctx ~get:(fun () -> e.valid) ~set:(fun v -> e.valid <- v) taken;
+  Mut.field ctx ~get:(fun () -> e.epc) ~set:(fun v -> e.epc <- v) pc;
+  Mut.field ctx ~get:(fun () -> e.target) ~set:(fun v -> e.target <- v) target

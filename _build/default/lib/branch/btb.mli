@@ -1,0 +1,13 @@
+(** Branch target buffer: 256-entry direct-mapped (paper, Fig. 12).
+
+    Predicts the next fetch address for a pc; trained on redirects. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+
+(** Predicted target of the instruction at [pc], if the BTB knows one. *)
+val predict : t -> int64 -> int64 option
+
+(** Train: [pc] jumps to [target] ([taken] false removes the entry). *)
+val update : Cmd.Kernel.ctx -> t -> pc:int64 -> target:int64 -> taken:bool -> unit

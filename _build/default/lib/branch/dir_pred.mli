@@ -1,0 +1,23 @@
+(** Direction predictors behind one interface — the CMD story applied to the
+    front-end: the tournament predictor (the paper's configuration), gshare,
+    and a plain bimodal table are interchangeable without touching any other
+    module. *)
+
+type kind = Tournament | Gshare | Bimodal
+
+type t
+
+val create : kind -> t
+val kind_to_string : kind -> string
+
+type snapshot
+
+(** Predict the branch at [pc], speculatively updating any global history;
+    returns the snapshot to restore on a misprediction. *)
+val predict : Cmd.Kernel.ctx -> t -> int64 -> bool * snapshot
+
+(** Train with the resolved outcome. *)
+val update : Cmd.Kernel.ctx -> t -> pc:int64 -> taken:bool -> snap:snapshot -> unit
+
+(** Repair speculative history after a misprediction. *)
+val restore : Cmd.Kernel.ctx -> t -> snap:snapshot -> taken:bool -> unit

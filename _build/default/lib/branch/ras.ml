@@ -1,0 +1,22 @@
+open Cmd
+
+type t = { stack : int64 array; mutable sp : int }
+
+type snapshot = int
+
+let create ?(entries = 8) () = { stack = Array.make entries 0L; sp = 0 }
+
+let snapshot t = t.sp
+
+let push ctx t v =
+  let n = Array.length t.stack in
+  Mut.set_arr ctx t.stack (t.sp mod n) v;
+  Mut.field ctx ~get:(fun () -> t.sp) ~set:(fun v -> t.sp <- v) (t.sp + 1)
+
+let pop ctx t =
+  let n = Array.length t.stack in
+  let sp' = if t.sp > 0 then t.sp - 1 else 0 in
+  Mut.field ctx ~get:(fun () -> t.sp) ~set:(fun v -> t.sp <- v) sp';
+  t.stack.(sp' mod n)
+
+let restore ctx t snap = Mut.field ctx ~get:(fun () -> t.sp) ~set:(fun v -> t.sp <- v) snap

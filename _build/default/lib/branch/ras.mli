@@ -1,0 +1,19 @@
+(** Return address stack, 8 entries (paper, Fig. 12).
+
+    Speculatively pushed/popped at fetch; a misprediction redirect restores
+    the stack pointer from the snapshot carried by the flushing branch. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+
+type snapshot
+
+val snapshot : t -> snapshot
+val push : Cmd.Kernel.ctx -> t -> int64 -> unit
+
+(** Pop; returns the predicted return address (garbage when underflowed —
+    just a misprediction, never an error). *)
+val pop : Cmd.Kernel.ctx -> t -> int64
+
+val restore : Cmd.Kernel.ctx -> t -> snapshot -> unit

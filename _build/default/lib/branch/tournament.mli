@@ -1,0 +1,26 @@
+(** Tournament direction predictor, as in the Alpha 21264 (paper, Fig. 12):
+    a local predictor (1024 10-bit histories into 1024 3-bit counters), a
+    global predictor (4096 2-bit counters indexed by global history), and a
+    choice predictor that selects between them.
+
+    Global history is updated speculatively at prediction time; every
+    prediction returns a {!snapshot} that [restore] rolls back to on a
+    misprediction redirect. *)
+
+type t
+
+val create : unit -> t
+
+type snapshot
+
+(** Predict the direction of the branch at [pc]; speculatively shifts the
+    global history. *)
+val predict : Cmd.Kernel.ctx -> t -> int64 -> bool * snapshot
+
+(** Train with the branch outcome (at execute/commit). [snap] is the
+    snapshot its prediction returned. *)
+val update : Cmd.Kernel.ctx -> t -> pc:int64 -> taken:bool -> snap:snapshot -> unit
+
+(** Roll global history back to just after the mispredicted branch, with its
+    corrected outcome. *)
+val restore : Cmd.Kernel.ctx -> t -> snap:snapshot -> taken:bool -> unit

@@ -1,0 +1,1 @@
+lib/cmd/clock.ml: Array List

@@ -1,0 +1,1 @@
+lib/cmd/config_reg.ml: Clock Kernel

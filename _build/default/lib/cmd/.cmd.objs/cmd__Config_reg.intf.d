@@ -1,0 +1,1 @@
+lib/cmd/config_reg.mli: Clock Kernel

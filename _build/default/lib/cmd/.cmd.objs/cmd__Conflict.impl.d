@@ -1,0 +1,1 @@
+lib/cmd/conflict.ml: Format

@@ -1,0 +1,1 @@
+lib/cmd/ehr.ml: Kernel Printf

@@ -1,0 +1,1 @@
+lib/cmd/ehr.mli: Kernel

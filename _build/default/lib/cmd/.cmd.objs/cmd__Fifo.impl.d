@@ -1,0 +1,1 @@
+lib/cmd/fifo.ml: Array Clock Ehr Kernel List Printf

@@ -1,0 +1,1 @@
+lib/cmd/fifo.mli: Clock Kernel

@@ -1,0 +1,1 @@
+lib/cmd/kernel.ml: Clock List Printf

@@ -1,0 +1,1 @@
+lib/cmd/kernel.mli: Clock

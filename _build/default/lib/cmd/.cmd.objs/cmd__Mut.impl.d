@@ -1,0 +1,1 @@
+lib/cmd/mut.ml: Array Bytes Kernel

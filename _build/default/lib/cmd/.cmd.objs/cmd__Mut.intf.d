@@ -1,0 +1,1 @@
+lib/cmd/mut.mli: Bytes Kernel

@@ -1,0 +1,1 @@
+lib/cmd/reg.mli: Kernel

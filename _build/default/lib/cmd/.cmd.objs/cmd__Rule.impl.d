@@ -1,0 +1,1 @@
+lib/cmd/rule.ml: Kernel

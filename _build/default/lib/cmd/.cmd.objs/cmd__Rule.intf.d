@@ -1,0 +1,1 @@
+lib/cmd/rule.mli: Kernel

@@ -1,0 +1,1 @@
+lib/cmd/sim.ml: Array Clock Format Kernel List Random Rule

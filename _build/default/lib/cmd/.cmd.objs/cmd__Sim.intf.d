@@ -1,0 +1,1 @@
+lib/cmd/sim.mli: Clock Format Rule

@@ -1,0 +1,1 @@
+lib/cmd/stats.ml: Format Hashtbl Kernel List String

@@ -1,0 +1,1 @@
+lib/cmd/stats.mli: Format Kernel

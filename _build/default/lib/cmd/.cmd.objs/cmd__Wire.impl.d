@@ -1,0 +1,1 @@
+lib/cmd/wire.ml: Clock Ehr Kernel

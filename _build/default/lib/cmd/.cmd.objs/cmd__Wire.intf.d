@@ -1,0 +1,1 @@
+lib/cmd/wire.mli: Clock Kernel

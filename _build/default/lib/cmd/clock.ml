@@ -1,0 +1,26 @@
+type t = {
+  mutable now : int;
+  mutable hooks : (unit -> unit) list;
+  mutable cache : (unit -> unit) array option;
+}
+
+let create () = { now = 0; hooks = []; cache = None }
+let now t = t.now
+
+let on_cycle_end t f =
+  t.hooks <- f :: t.hooks;
+  t.cache <- None
+
+let tick t =
+  let hooks =
+    match t.cache with
+    | Some a -> a
+    | None ->
+      (* Hooks affect independent primitives, so order is immaterial; we run
+         them oldest-first for reproducibility. *)
+      let a = Array.of_list (List.rev t.hooks) in
+      t.cache <- Some a;
+      a
+  in
+  Array.iter (fun f -> f ()) hooks;
+  t.now <- t.now + 1

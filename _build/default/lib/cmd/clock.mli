@@ -1,0 +1,20 @@
+(** The simulated clock.
+
+    A {!t} carries the current cycle number and the list of end-of-cycle
+    hooks. Hooks are how cycle-boundary primitives ({!Config_reg}, {!Wire})
+    commit or reset their state; they run outside any rule, after all rules of
+    the cycle have fired, in registration order. *)
+
+type t
+
+(** A fresh clock at cycle 0 with no hooks. *)
+val create : unit -> t
+
+(** Current cycle number, starting at 0. *)
+val now : t -> int
+
+(** Register a hook to run at the end of every cycle. *)
+val on_cycle_end : t -> (unit -> unit) -> unit
+
+(** Run all end-of-cycle hooks, then advance the cycle number. *)
+val tick : t -> unit

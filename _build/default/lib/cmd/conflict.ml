@@ -1,0 +1,22 @@
+type order = C | Lt | Gt | Cf
+
+let to_string = function C -> "C" | Lt -> "<" | Gt -> ">" | Cf -> "CF"
+let pp fmt o = Format.pp_print_string fmt (to_string o)
+
+let flip = function Lt -> Gt | Gt -> Lt | (C | Cf) as o -> o
+
+let join a b =
+  match a, b with
+  | Cf, o | o, Cf -> o
+  | Lt, Lt -> Lt
+  | Gt, Gt -> Gt
+  | C, _ | _, C | Lt, Gt | Gt, Lt -> C
+
+let ehr_order (w1, p1) (w2, p2) =
+  match w1, w2 with
+  | false, false -> Cf
+  | false, true -> if p1 <= p2 then Lt else Gt
+  | true, false -> if p1 < p2 then Lt else Gt
+  | true, true -> if p1 < p2 then Lt else if p2 < p1 then Gt else C
+
+let allows_before = function Lt | Cf -> true | Gt | C -> false

@@ -1,0 +1,44 @@
+(** Conflict-matrix algebra for CMD interfaces (paper, Section IV-B).
+
+    For two methods [f1] and [f2] of a module, the conflict matrix records one
+    of four relations:
+    - [C]: the methods conflict and cannot be called in the same cycle;
+    - [Lt] ([<]): they may be called concurrently, and the net effect is as if
+      [f1] executed before [f2];
+    - [Gt] ([>]): concurrent, net effect as if [f2] executed before [f1];
+    - [Cf]: conflict free — concurrent, and the order does not matter.
+
+    In this embedding, the conflict matrix of a compound module is not written
+    down by hand; it is induced by the EHR ports its methods touch (exactly as
+    the BSV compiler derives it from primitive register accesses). This module
+    provides the algebra used by tests and by {!Conflict.infer} helpers. *)
+
+type order =
+  | C   (** conflict: never in the same cycle *)
+  | Lt  (** first method logically before the second *)
+  | Gt  (** first method logically after the second *)
+  | Cf  (** conflict-free: order immaterial *)
+
+val pp : Format.formatter -> order -> unit
+
+val to_string : order -> string
+
+(** [flip o] is the relation seen from the second method's point of view:
+    [flip Lt = Gt], [flip Gt = Lt], [C] and [Cf] are symmetric. *)
+val flip : order -> order
+
+(** [join a b] combines the relations induced by two pairs of primitive
+    accesses into the relation of the enclosing methods: a method pair is
+    [Lt] only if every constituent access pair is [Lt] or [Cf], etc. Any
+    disagreement collapses to [C]. *)
+val join : order -> order -> order
+
+(** Relation between two accesses of the same EHR, given as
+    [(write?, port)] pairs, in the EHR semantics of Rosenband's ephemeral
+    history registers: reads at port [i] observe writes at ports [< i]. *)
+val ehr_order : bool * int -> bool * int -> order
+
+(** [allows_before a b] is [true] when relation [a]-then-[b] is admissible in
+    a serial schedule that places the first method's rule earlier, i.e. the
+    relation is [Lt] or [Cf]. *)
+val allows_before : order -> bool

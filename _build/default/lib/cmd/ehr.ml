@@ -1,0 +1,22 @@
+type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string }
+
+let counter = ref 0
+
+let create ?name init =
+  incr counter;
+  let nm = match name with Some n -> n | None -> Printf.sprintf "ehr#%d" !counter in
+  { cell = Kernel.make_cell nm; v = init; nm }
+
+let read ctx t p =
+  Kernel.record_read ctx t.cell p;
+  t.v
+
+let write ctx t p v =
+  Kernel.record_write ctx t.cell p;
+  let old = t.v in
+  Kernel.on_abort ctx (fun () -> t.v <- old);
+  t.v <- v
+
+let peek t = t.v
+let poke t v = t.v <- v
+let name t = t.nm

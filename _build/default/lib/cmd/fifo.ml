@@ -1,0 +1,155 @@
+type 'a t = {
+  nm : string;
+  cap : int;
+  enq_f : Kernel.ctx -> 'a -> unit;
+  deq_f : Kernel.ctx -> 'a;
+  first_f : Kernel.ctx -> 'a;
+  can_enq_f : Kernel.ctx -> bool;
+  can_deq_f : Kernel.ctx -> bool;
+  clear_f : Kernel.ctx -> unit;
+  size_f : unit -> int;
+  list_f : unit -> 'a list;
+}
+
+let get_slot nm = function
+  | Some v -> v
+  | None -> invalid_arg (nm ^ ": empty slot read (internal invariant broken)")
+
+let ring_list slots head count cap =
+  List.init count (fun i -> get_slot "fifo" (Ehr.peek slots.((head + i) mod cap)))
+
+(* Pipeline and bypass FIFOs share a ring-buffer skeleton; only the port
+   assignment differs. [dp] is the port of the deq side, [ep] of the enq
+   side: pipeline = (deq 0, enq 1), bypass = (enq 0, deq 1). Port 2 is
+   reserved for [clear]. *)
+let ring ~nm ~cap ~dp ~ep =
+  let count = Ehr.create ~name:(nm ^ ".count") 0 in
+  let head = Ehr.create ~name:(nm ^ ".head") 0 in
+  let tail = Ehr.create ~name:(nm ^ ".tail") 0 in
+  let slots = Array.init cap (fun i -> Ehr.create ~name:(Printf.sprintf "%s.slot%d" nm i) None) in
+  let enq_f ctx v =
+    let c = Ehr.read ctx count ep in
+    Kernel.guard ctx (c < cap) (nm ^ " full");
+    let t = Ehr.read ctx tail ep in
+    Ehr.write ctx slots.(t) ep (Some v);
+    Ehr.write ctx tail ep ((t + 1) mod cap);
+    Ehr.write ctx count ep (c + 1)
+  in
+  let first_f ctx =
+    let c = Ehr.read ctx count dp in
+    Kernel.guard ctx (c > 0) (nm ^ " empty");
+    let h = Ehr.read ctx head dp in
+    get_slot nm (Ehr.read ctx slots.(h) dp)
+  in
+  let deq_f ctx =
+    let c = Ehr.read ctx count dp in
+    Kernel.guard ctx (c > 0) (nm ^ " empty");
+    let h = Ehr.read ctx head dp in
+    let v = get_slot nm (Ehr.read ctx slots.(h) dp) in
+    Ehr.write ctx slots.(h) dp None;
+    Ehr.write ctx head dp ((h + 1) mod cap);
+    Ehr.write ctx count dp (c - 1);
+    v
+  in
+  let can_enq_f ctx = Ehr.read ctx count ep < cap in
+  let can_deq_f ctx = Ehr.read ctx count dp > 0 in
+  let clear_f ctx =
+    Ehr.write ctx count 2 0;
+    Ehr.write ctx head 2 0;
+    Ehr.write ctx tail 2 0;
+    Array.iter (fun s -> Ehr.write ctx s 2 None) slots
+  in
+  let size_f () = Ehr.peek count in
+  let list_f () = ring_list slots (Ehr.peek head) (Ehr.peek count) cap in
+  { nm; cap; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+
+let pipeline ?name ~capacity () =
+  let nm = match name with Some n -> n | None -> "pfifo" in
+  ring ~nm ~cap:capacity ~dp:0 ~ep:1
+
+let bypass ?name ~capacity () =
+  let nm = match name with Some n -> n | None -> "bfifo" in
+  ring ~nm ~cap:capacity ~dp:1 ~ep:0
+
+(* Conflict-free FIFO: the enq side and the deq side touch disjoint cells;
+   each side's guard compares its own (tracked) total against a cycle-start
+   snapshot of the other side's, so guards are conservative by up to one
+   cycle — exactly BSV's mkCFFifo. Each side is multi-ported: the k-th enq
+   (or deq) of a cycle uses EHR port k, so any number of same-cycle enqs and
+   deqs compose, within one rule or across rules (enq_k < enq_{k+1}). *)
+let cf ?name clk ~capacity () =
+  let nm = match name with Some n -> n | None -> "cffifo" in
+  let cap = capacity in
+  assert (cap <= 56);
+  let clear_port = 60 in
+  let enq_total = Ehr.create ~name:(nm ^ ".enqTotal") 0 in
+  let deq_total = Ehr.create ~name:(nm ^ ".deqTotal") 0 in
+  let slots = Array.init cap (fun i -> Ehr.create ~name:(Printf.sprintf "%s.slot%d" nm i) None) in
+  let enq_snap = ref 0 (* enq_total at cycle start *)
+  and deq_snap = ref 0 (* deq_total at cycle start *)
+  and eport = ref 0
+  and dport = ref 0 in
+  Clock.on_cycle_end clk (fun () ->
+      enq_snap := Ehr.peek enq_total;
+      deq_snap := Ehr.peek deq_total;
+      eport := 0;
+      dport := 0);
+  let bump ctx r =
+    let old = !r in
+    Kernel.on_abort ctx (fun () -> r := old);
+    r := old + 1;
+    old
+  in
+  let enq_f ctx v =
+    let t = Ehr.read ctx enq_total !eport in
+    Kernel.guard ctx (t - !deq_snap < cap) (nm ^ " full");
+    let p = bump ctx eport in
+    Ehr.write ctx slots.(t mod cap) p (Some v);
+    Ehr.write ctx enq_total p (t + 1)
+  in
+  let first_f ctx =
+    let h = Ehr.read ctx deq_total !dport in
+    Kernel.guard ctx (h < !enq_snap) (nm ^ " empty");
+    get_slot nm (Ehr.read ctx slots.(h mod cap) !dport)
+  in
+  let deq_f ctx =
+    let h = Ehr.read ctx deq_total !dport in
+    Kernel.guard ctx (h < !enq_snap) (nm ^ " empty");
+    let p = bump ctx dport in
+    let v = get_slot nm (Ehr.read ctx slots.(h mod cap) p) in
+    Ehr.write ctx slots.(h mod cap) p None;
+    Ehr.write ctx deq_total p (h + 1);
+    v
+  in
+  let can_enq_f ctx = Ehr.read ctx enq_total !eport - !deq_snap < cap in
+  let can_deq_f ctx = Ehr.read ctx deq_total !dport < !enq_snap in
+  let clear_f ctx =
+    Ehr.write ctx enq_total clear_port 0;
+    Ehr.write ctx deq_total clear_port 0;
+    Array.iter (fun s -> Ehr.write ctx s clear_port None) slots;
+    (* the snapshots must not keep stale occupancy across the flush cycle *)
+    Kernel.on_abort ctx
+      (let oe = !enq_snap and od = !deq_snap in
+       fun () ->
+         enq_snap := oe;
+         deq_snap := od);
+    enq_snap := 0;
+    deq_snap := 0
+  in
+  let size_f () = Ehr.peek enq_total - Ehr.peek deq_total in
+  let list_f () =
+    let h = Ehr.peek deq_total and n = Ehr.peek enq_total - Ehr.peek deq_total in
+    List.init n (fun i -> get_slot nm (Ehr.peek slots.((h + i) mod cap)))
+  in
+  { nm; cap; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+
+let enq ctx t v = t.enq_f ctx v
+let deq ctx t = t.deq_f ctx
+let first ctx t = t.first_f ctx
+let can_enq ctx t = t.can_enq_f ctx
+let can_deq ctx t = t.can_deq_f ctx
+let clear ctx t = t.clear_f ctx
+let capacity t = t.cap
+let name t = t.nm
+let peek_size t = t.size_f ()
+let peek_list t = t.list_f ()

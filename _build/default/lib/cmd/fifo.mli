@@ -1,0 +1,50 @@
+(** Latency-insensitive FIFOs with explicit concurrency semantics.
+
+    All three variants share the guarded interface [enq]/[deq]/[first]/
+    [clear]; they differ only in their conflict matrices, which is exactly the
+    paper's point: module refinement may change the CM, and composition
+    remains correct (possibly with less concurrency).
+
+    - {!pipeline}: [first < deq < enq < clear]. When full, a [deq] earlier in
+      the schedule frees the slot an [enq] fills the same cycle (the classic
+      pipeline register).
+    - {!bypass}: [enq < deq < clear]. When empty, a value enqueued earlier in
+      the schedule can be dequeued the same cycle (a same-cycle forwarding
+      path).
+    - {!cf}: [enq CF deq], both [< clear]. Guards are conservative — they see
+      the occupancy at the start of the cycle — so enqueue and dequeue rules
+      may be scheduled in either order. *)
+
+type 'a t
+
+val pipeline : ?name:string -> capacity:int -> unit -> 'a t
+val bypass : ?name:string -> capacity:int -> unit -> 'a t
+val cf : ?name:string -> Clock.t -> capacity:int -> unit -> 'a t
+
+(** [enq ctx q v] appends [v]; guarded on the queue not being full. *)
+val enq : Kernel.ctx -> 'a t -> 'a -> unit
+
+(** [deq ctx q] removes and returns the oldest element; guarded on
+    non-emptiness. *)
+val deq : Kernel.ctx -> 'a t -> 'a
+
+(** [first ctx q] returns the oldest element without removing it. *)
+val first : Kernel.ctx -> 'a t -> 'a
+
+(** Non-aborting guard probes, reading through the same ports as the
+    corresponding action. *)
+val can_enq : Kernel.ctx -> 'a t -> bool
+
+val can_deq : Kernel.ctx -> 'a t -> bool
+
+(** [clear ctx q] empties the queue; logically ordered after every other
+    method of the cycle (used by wrong-path flushes). *)
+val clear : Kernel.ctx -> 'a t -> unit
+
+val capacity : 'a t -> int
+val name : 'a t -> string
+
+(** Untracked occupancy / contents, for statistics and tests. *)
+val peek_size : 'a t -> int
+
+val peek_list : 'a t -> 'a list

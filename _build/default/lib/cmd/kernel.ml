@@ -1,0 +1,92 @@
+exception Guard_fail of string
+exception Retry of string
+exception Conflict_error of string
+
+type cell = {
+  cell_name : string;
+  (* Per-cycle access summary, lazily reset via the [stamp] generation. *)
+  mutable max_r : int;  (* highest read port this cycle, -1 if none *)
+  mutable max_w : int;  (* highest write port this cycle, -1 if none *)
+  mutable w_mask : int; (* bitmask of write ports used this cycle *)
+  mutable stamp : int;  (* cycle the summary belongs to *)
+}
+
+type ctx = {
+  clk : Clock.t;
+  mutable undo : (unit -> unit) list;
+  mutable rule : string;
+  mutable accesses : int;
+}
+
+let make_cell name = { cell_name = name; max_r = -1; max_w = -1; w_mask = 0; stamp = -1 }
+let make_ctx clk = { clk; undo = []; rule = "?"; accesses = 0 }
+let clock ctx = ctx.clk
+let rule_name ctx = ctx.rule
+let set_rule_name ctx n = ctx.rule <- n
+let on_abort ctx f = ctx.undo <- f :: ctx.undo
+let access_count ctx = ctx.accesses
+
+let refresh ctx c =
+  let now = Clock.now ctx.clk in
+  if c.stamp <> now then begin
+    c.stamp <- now;
+    c.max_r <- -1;
+    c.max_w <- -1;
+    c.w_mask <- 0
+  end
+
+let retry ctx c kind port =
+  raise
+    (Retry
+       (Printf.sprintf "rule %s: %s port %d of %s inadmissible after this cycle's accesses (max_r=%d max_w=%d)"
+          ctx.rule kind port c.cell_name c.max_r c.max_w))
+
+let record_read ctx c port =
+  refresh ctx c;
+  (* read[port] may follow write[j] only when j < port *)
+  if c.max_w >= port then retry ctx c "read" port;
+  ctx.accesses <- ctx.accesses + 1;
+  if port > c.max_r then begin
+    let old = c.max_r in
+    c.max_r <- port;
+    ctx.undo <- (fun () -> c.max_r <- old) :: ctx.undo
+  end
+
+let record_write ctx c port =
+  refresh ctx c;
+  (* write[port] may follow read[j] when j <= port, write[j] when j < port *)
+  if c.max_r > port || c.max_w >= port || c.w_mask land (1 lsl port) <> 0 then
+    retry ctx c "write" port;
+  ctx.accesses <- ctx.accesses + 1;
+  let old_w = c.max_w and old_mask = c.w_mask in
+  c.max_w <- port;
+  c.w_mask <- c.w_mask lor (1 lsl port);
+  ctx.undo <-
+    (fun () ->
+      c.max_w <- old_w;
+      c.w_mask <- old_mask)
+    :: ctx.undo
+
+let guard ctx ok msg = if not ok then raise (Guard_fail (ctx.rule ^ ": " ^ msg))
+
+let rollback ctx =
+  (* Undo entries are newest-first; applying them head-first restores each
+     location through its successive old values down to the original. *)
+  List.iter (fun f -> f ()) ctx.undo;
+  ctx.undo <- []
+
+let rollback_to ctx save =
+  let rec go l = if l != save then (match l with
+    | [] -> ()
+    | f :: tl -> f (); go tl)
+  in
+  go ctx.undo;
+  ctx.undo <- save
+
+let attempt ctx f =
+  let save = ctx.undo in
+  match f ctx with
+  | r -> Some r
+  | exception (Guard_fail _ | Retry _) ->
+    rollback_to ctx save;
+    None

@@ -1,0 +1,82 @@
+(** The CMD execution kernel: transactional guarded atomic actions.
+
+    A design is a set of modules whose interface methods read and atomically
+    update internal state, composed by {e rules}. A rule either updates the
+    state of every module it calls or does nothing (paper, Section I). Within
+    a clock cycle many rules may fire, but the net effect always equals
+    executing the fired rules serially in schedule order.
+
+    Every piece of rule-visible state bottoms out in a {e cell} — the port
+    bookkeeping of one ephemeral history register (EHR). When a rule's method
+    call touches port [p] of a cell, the kernel checks the access is
+    admissible {e after} everything already performed this cycle (by earlier
+    rules and by the same rule):
+
+    - read port [i] after write port [j] requires [j < i];
+    - write port [i] after read port [j] requires [j <= i];
+    - write port [i] after write port [j] requires [j < i].
+
+    These are exactly the EHR orderings, so the induced conflict matrix of any
+    compound module matches what the BSV compiler would derive. An
+    inadmissible access aborts the whole rule ({!Retry}), and every state
+    change it made is rolled back — atomicity with no effort from the module
+    author. *)
+
+(** Raised by a method whose guard is not ready; aborts (and rolls back) the
+    calling rule for this cycle. *)
+exception Guard_fail of string
+
+(** Raised internally when an access conflicts with the cycle's history; the
+    scheduler rolls the rule back and retries it next cycle. *)
+exception Retry of string
+
+(** A genuine design error: the conflict arises within a single rule (e.g.
+    writing a register twice, or reading a plain register after writing it),
+    which no schedule can fix. *)
+exception Conflict_error of string
+
+type cell
+type ctx
+
+(** [make_cell name] allocates the conflict-tracking bookkeeping for one EHR.
+    [name] appears in conflict diagnostics. *)
+val make_cell : string -> cell
+
+(** A transaction context for one rule attempt. Method implementations thread
+    it through every state access. *)
+val make_ctx : Clock.t -> ctx
+
+(** The clock this context runs under. *)
+val clock : ctx -> Clock.t
+
+(** Name of the rule currently executing (for diagnostics). *)
+val rule_name : ctx -> string
+val set_rule_name : ctx -> string -> unit
+
+(** [record_read ctx cell port] declares a port-[port] read of [cell],
+    aborting with {!Retry} if inadmissible after this cycle's history. *)
+val record_read : ctx -> cell -> int -> unit
+
+(** [record_write ctx cell port] declares a port-[port] write of [cell]. *)
+val record_write : ctx -> cell -> int -> unit
+
+(** [on_abort ctx undo] registers [undo] to run if the enclosing rule (or
+    {!attempt}) aborts. State primitives call this before each mutation. *)
+val on_abort : ctx -> (unit -> unit) -> unit
+
+(** [guard ctx ok msg] raises [Guard_fail msg] when [ok] is false. Guards are
+    how methods refuse to be applied before they are ready (paper, Sec. III). *)
+val guard : ctx -> bool -> string -> unit
+
+(** [abort ctx] rolls back everything the transaction did and re-raises the
+    given exception. Used by the scheduler. *)
+val rollback : ctx -> unit
+
+(** [attempt ctx f] runs [f ctx] as a nested transaction: if it raises
+    {!Guard_fail} or {!Retry}, its effects are rolled back and the result is
+    [None]; otherwise [Some] of its result. This expresses superscalar
+    "do as many ways as are ready" loops without aborting the whole rule. *)
+val attempt : ctx -> (ctx -> 'a) -> 'a option
+
+(** Number of accesses recorded so far in this transaction (diagnostics). *)
+val access_count : ctx -> int

@@ -1,0 +1,24 @@
+(** Tracked mutation of module-internal state.
+
+    Complex modules (caches, queues with search) keep their internals in
+    plain OCaml structures rather than one EHR per field; their interface
+    methods and internal rules still need the all-or-nothing property. These
+    helpers perform a mutation {e and} register the undo with the enclosing
+    transaction, so an aborting rule leaves no trace.
+
+    Such state carries no conflict ports: the module's interface FIFOs and
+    lock cells define its conflict matrix, and internal state is only ever
+    reached through them. *)
+
+val set : Kernel.ctx -> 'a ref -> 'a -> unit
+val set_arr : Kernel.ctx -> 'a array -> int -> 'a -> unit
+
+(** Record-field mutation: [field ctx ~get ~set v] for fields reached through
+    closures. *)
+val field : Kernel.ctx -> get:(unit -> 'a) -> set:('a -> unit) -> 'a -> unit
+
+(** [blit ctx ~src ~src_pos ~dst ~dst_pos ~len] — tracked [Bytes.blit]. *)
+val blit : Kernel.ctx -> src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+
+(** Tracked 64-bit little-endian store into a buffer. *)
+val set_int64 : Kernel.ctx -> Bytes.t -> int -> int64 -> unit

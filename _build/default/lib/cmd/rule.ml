@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  body : Kernel.ctx -> unit;
+  mutable fired : int;
+  mutable guard_failed : int;
+  mutable conflicted : int;
+}
+
+let make name body = { name; body; fired = 0; guard_failed = 0; conflicted = 0 }
+
+let reset_stats t =
+  t.fired <- 0;
+  t.guard_failed <- 0;
+  t.conflicted <- 0

@@ -1,0 +1,17 @@
+(** Rules: the guarded atomic actions that compose modules (paper, Sec. III).
+
+    A rule's body calls interface methods of any number of modules; firing is
+    all-or-nothing. The scheduler gathers per-rule firing statistics here. *)
+
+type t = {
+  name : string;
+  body : Kernel.ctx -> unit;
+  mutable fired : int;  (** cycles in which the rule fired *)
+  mutable guard_failed : int;  (** attempts aborted by a guard *)
+  mutable conflicted : int;  (** attempts aborted by an intra-cycle conflict *)
+}
+
+val make : string -> (Kernel.ctx -> unit) -> t
+
+(** Reset the statistics counters. *)
+val reset_stats : t -> unit

@@ -1,0 +1,89 @@
+type mode = Multi | One_per_cycle | Shuffle of int
+
+type t = {
+  clk : Clock.t;
+  rule_list : Rule.t list;
+  order : Rule.t array; (* attempt order; permuted in Shuffle mode *)
+  mode : mode;
+  rng : Random.State.t option;
+  mutable n_cycles : int;
+  mutable fires : int;
+  mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
+}
+
+let create ?(mode = Multi) clk rules =
+  let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
+  { clk; rule_list = rules; order = Array.of_list rules; mode; rng; n_cycles = 0; fires = 0; rr = 0 }
+
+let clock t = t.clk
+let cycles t = t.n_cycles
+let total_fires t = t.fires
+let rules t = t.rule_list
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let cycle t =
+  (match t.rng with Some rng -> shuffle rng t.order | None -> ());
+  let fired = ref 0 in
+  let n = Array.length t.order in
+  let stop = ref false in
+  let base = if t.mode = One_per_cycle then t.rr else 0 in
+  let i = ref 0 in
+  while not !stop && !i < n do
+    let r = t.order.((base + !i) mod n) in
+    incr i;
+    let ctx = Kernel.make_ctx t.clk in
+    Kernel.set_rule_name ctx r.Rule.name;
+    (match r.Rule.body ctx with
+    | () ->
+      r.Rule.fired <- r.Rule.fired + 1;
+      incr fired;
+      if t.mode = One_per_cycle then stop := true
+    | exception Kernel.Guard_fail _ ->
+      Kernel.rollback ctx;
+      r.Rule.guard_failed <- r.Rule.guard_failed + 1
+    | exception Kernel.Retry msg ->
+      Kernel.rollback ctx;
+      (* If nothing fired yet this cycle, the conflict is within the rule
+         itself: no schedule can ever admit it. Fail loudly, like the BSV
+         compiler rejecting an ill-formed rule. *)
+      if !fired = 0 then raise (Kernel.Conflict_error msg);
+      r.Rule.conflicted <- r.Rule.conflicted + 1)
+  done;
+  if t.mode = One_per_cycle && n > 0 then t.rr <- (t.rr + 1) mod n;
+  Clock.tick t.clk;
+  t.n_cycles <- t.n_cycles + 1;
+  t.fires <- t.fires + !fired;
+  !fired
+
+let run t n =
+  for _ = 1 to n do
+    ignore (cycle t)
+  done
+
+let run_until t ~max_cycles pred =
+  let rec go n =
+    if pred () then `Done n
+    else if n >= max_cycles then `Timeout
+    else begin
+      ignore (cycle t);
+      go (n + 1)
+    end
+  in
+  go 0
+
+let pp_stats fmt t =
+  Format.fprintf fmt "@[<v>cycles=%d fires=%d (%.2f rules/cycle)@," t.n_cycles t.fires
+    (if t.n_cycles = 0 then 0.0 else float_of_int t.fires /. float_of_int t.n_cycles);
+  List.iter
+    (fun (r : Rule.t) ->
+      Format.fprintf fmt "  %-28s fired=%-9d guard_failed=%-9d conflicted=%d@," r.name r.fired
+        r.guard_failed r.conflicted)
+    t.rule_list;
+  Format.fprintf fmt "@]"

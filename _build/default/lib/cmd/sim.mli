@@ -1,0 +1,41 @@
+(** The rule scheduler and clock loop.
+
+    Each cycle, rules are attempted in a fixed order (the static schedule).
+    A rule fires when its guards hold and all its state accesses are
+    admissible after what already fired this cycle; otherwise it is rolled
+    back and retried next cycle. The net effect of a cycle is therefore
+    always equal to executing its fired rules serially in schedule order —
+    the paper's atomicity guarantee, enforced dynamically.
+
+    The list order doubles as the intra-cycle logical order, so the
+    microarchitectural orderings of Section IV-D ("doRegWrite < doIssue <
+    doRename saves a cycle") are expressed by reordering the list. *)
+
+type mode =
+  | Multi  (** fire every admissible rule each cycle (the CMD hardware model) *)
+  | One_per_cycle  (** reference executor: at most one rule per cycle *)
+  | Shuffle of int  (** Multi, but attempt order is reshuffled each cycle
+                        from the given seed — for schedule-robustness tests *)
+
+type t
+
+val create : ?mode:mode -> Clock.t -> Rule.t list -> t
+
+val clock : t -> Clock.t
+
+(** Run one clock cycle; returns the number of rules that fired. *)
+val cycle : t -> int
+
+(** [run t n] runs [n] cycles. *)
+val run : t -> int -> unit
+
+(** [run_until t ~max_cycles pred] runs until [pred ()] holds at a cycle
+    boundary, returning [`Done cycles] or [`Timeout]. *)
+val run_until : t -> max_cycles:int -> (unit -> bool) -> [ `Done of int | `Timeout ]
+
+val cycles : t -> int
+val total_fires : t -> int
+val rules : t -> Rule.t list
+
+(** Per-rule firing report, for debugging schedules. *)
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type counter = { name : string; mutable v : int }
+type t = { prefix : string; tbl : (string, counter) Hashtbl.t }
+
+let create ?(prefix = "") () = { prefix; tbl = Hashtbl.create 64 }
+
+let counter t name =
+  let name = t.prefix ^ name in
+  match Hashtbl.find_opt t.tbl name with
+  | Some c -> c
+  | None ->
+    let c = { name; v = 0 } in
+    Hashtbl.add t.tbl name c;
+    c
+
+let incr ?ctx ?(by = 1) c =
+  (match ctx with
+  | Some ctx ->
+    let old = c.v in
+    Kernel.on_abort ctx (fun () -> c.v <- old)
+  | None -> ());
+  c.v <- c.v + by
+
+let get c = c.v
+let set c v = c.v <- v
+let find t name = match Hashtbl.find_opt t.tbl (t.prefix ^ name) with Some c -> c.v | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun _ c acc -> (c.name, c.v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t = Hashtbl.iter (fun _ c -> c.v <- 0) t.tbl
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (n, v) -> Format.fprintf fmt "%-32s %d@," n v) (to_list t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/inorder/inorder_core.ml: Addr_map Array Branch Bytes Char Clock Cmd Csr Decode Exec_unit Fifo Instr Int64 Isa Kernel Mem Mmio Mut Rule Stats Tlb Xlen

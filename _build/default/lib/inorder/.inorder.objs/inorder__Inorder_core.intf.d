@@ -1,0 +1,1 @@
+lib/inorder/inorder_core.mli: Cmd Isa Mem Tlb

@@ -1,0 +1,316 @@
+open Cmd
+open Isa
+
+(* Fetch in-flight table entry: one per outstanding fetch. *)
+type fslot = {
+  mutable fvalid : bool;
+  mutable vpc : int64;
+  mutable fepoch : int;
+  mutable pred_next : int64;
+}
+
+type xstate =
+  | XIdle
+  | XDtlb of Instr.t * int64 (* decoded mem instr, pc *)
+  | XAt of Instr.t (* waiting for atomic response *)
+
+type t = {
+  name : string;
+  clk : Clock.t;
+  hart_id : int;
+  ic : Mem.L1_icache.t;
+  dc : Mem.L1_dcache.t;
+  tlb : Tlb.Tlb_sys.t;
+  mmio : Mmio.t;
+  regs : int64 array;
+  mutable pc : int64; (* next pc to fetch *)
+  mutable epoch : int;
+  btb : Branch.Btb.t;
+  fslots : fslot array;
+  mutable next_fslot : int;
+  f2x : (int64 * int * int64) Fifo.t; (* pc, word, predicted next pc *)
+  mutable xst : xstate;
+  mutable pending_load : (int * int) option; (* rd, tag *)
+  mutable load_tag : int;
+  mutable pending_store : (int64 * Bytes.t * int64) option; (* line, data, mask *)
+  mutable reservation : int64 option;
+  mutable halted_f : bool;
+  mutable n_instret : int;
+  c_cycles : Stats.counter;
+  c_instrs : Stats.counter;
+  c_mispred : Stats.counter;
+}
+
+let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats () =
+  {
+    name;
+    clk;
+    hart_id;
+    ic = icache;
+    dc = dcache;
+    tlb;
+    mmio;
+    regs = Array.make 32 0L;
+    pc = Addr_map.dram_base;
+    epoch = 0;
+    btb = Branch.Btb.create ();
+    fslots = Array.init 8 (fun _ -> { fvalid = false; vpc = 0L; fepoch = 0; pred_next = 0L });
+    next_fslot = 0;
+    f2x = Fifo.cf ~name:(name ^ ".f2x") clk ~capacity:4 ();
+    xst = XIdle;
+    pending_load = None;
+    load_tag = 0;
+    pending_store = None;
+    reservation = None;
+    halted_f = false;
+    n_instret = 0;
+    c_cycles = Stats.counter stats (name ^ ".cycles");
+    c_instrs = Stats.counter stats (name ^ ".instrs");
+    c_mispred = Stats.counter stats (name ^ ".mispredicts");
+  }
+
+let set_pc t pc = t.pc <- pc
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+let reg t r = t.regs.(r)
+let halted t = t.halted_f
+let instret t = t.n_instret
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+
+(* --- fetch pipeline ------------------------------------------------------ *)
+
+let step_fetch_issue ctx t =
+  Kernel.guard ctx (not t.halted_f) "halted";
+  let slot = t.fslots.(t.next_fslot) in
+  Kernel.guard ctx (not slot.fvalid) "fetch slots full";
+  Tlb.Tlb_sys.itlb_req ctx t.tlb ~tag:t.next_fslot t.pc;
+  let pred = match Branch.Btb.predict t.btb t.pc with Some tgt -> tgt | None -> Int64.add t.pc 4L in
+  fld ctx (fun () -> slot.fvalid) (fun v -> slot.fvalid <- v) true;
+  fld ctx (fun () -> slot.vpc) (fun v -> slot.vpc <- v) t.pc;
+  fld ctx (fun () -> slot.fepoch) (fun v -> slot.fepoch <- v) t.epoch;
+  fld ctx (fun () -> slot.pred_next) (fun v -> slot.pred_next <- v) pred;
+  fld ctx (fun () -> t.next_fslot) (fun v -> t.next_fslot <- v) ((t.next_fslot + 1) mod Array.length t.fslots);
+  fld ctx (fun () -> t.pc) (fun v -> t.pc <- v) pred
+
+let step_fetch_tlb ctx t =
+  let tag, res = Tlb.Tlb_sys.itlb_resp ctx t.tlb in
+  let slot = t.fslots.(tag) in
+  if not slot.fvalid then failwith (t.name ^ ": orphan itlb resp");
+  if slot.fepoch <> t.epoch then fld ctx (fun () -> slot.fvalid) (fun v -> slot.fvalid <- v) false
+  else
+    match res with
+    | Tlb.Tlb_sys.Hit pa -> Mem.L1_icache.req ctx t.ic ~tag pa
+    | Tlb.Tlb_sys.Fault -> failwith (t.name ^ ": instruction page fault")
+
+let step_fetch_mem ctx t =
+  let tag, _pa, words = Mem.L1_icache.resp ctx t.ic in
+  let slot = t.fslots.(tag) in
+  if slot.fvalid && slot.fepoch = t.epoch then
+    Fifo.enq ctx t.f2x (slot.vpc, words.(0), slot.pred_next);
+  fld ctx (fun () -> slot.fvalid) (fun v -> slot.fvalid <- v) false
+
+(* --- execute -------------------------------------------------------------- *)
+
+let redirect ctx t target =
+  fld ctx (fun () -> t.pc) (fun v -> t.pc <- v) target;
+  fld ctx (fun () -> t.epoch) (fun v -> t.epoch <- v) (t.epoch + 1);
+  Fifo.clear ctx t.f2x
+
+(* hazards against the single outstanding load *)
+let load_hazard t (i : Instr.t) =
+  match t.pending_load with
+  | None -> false
+  | Some (rd, _) ->
+    (Instr.uses_rs1 i && i.rs1 = rd) || (Instr.uses_rs2 i && i.rs2 = rd) || (Instr.writes_rd i && i.rd = rd)
+
+let retire ctx t =
+  fld ctx (fun () -> t.n_instret) (fun v -> t.n_instret <- v) (t.n_instret + 1);
+  Stats.incr ~ctx t.c_instrs
+
+let store_mask_data addr bytes v =
+  let line = Mem.Cache_geom.line_addr addr in
+  let off = Mem.Cache_geom.offset addr in
+  let data = Bytes.make Mem.Cache_geom.line_bytes '\000' in
+  for k = 0 to bytes - 1 do
+    Bytes.set data (off + k) (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xFF))
+  done;
+  let mask = Int64.shift_left (Int64.sub (Int64.shift_left 1L bytes) 1L) off in
+  (line, data, mask)
+
+let exec_nonmem ctx t (i : Instr.t) pc pred_next =
+  let rs1 = t.regs.(i.rs1) and rs2 = t.regs.(i.rs2) in
+  let next = Int64.add pc 4L in
+  let wr v = if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd v in
+  let actual_next = ref next in
+  (match i.op with
+  | Instr.Lui -> wr i.imm
+  | Instr.Auipc -> wr (Int64.add pc i.imm)
+  | Instr.Jal ->
+    wr next;
+    actual_next := Int64.add pc i.imm
+  | Instr.Jalr ->
+    wr next;
+    actual_next := Int64.logand (Int64.add rs1 i.imm) (Int64.lognot 1L)
+  | Instr.Br c -> if Exec_unit.branch_taken c rs1 rs2 then actual_next := Int64.add pc i.imm
+  | Instr.OpA { alu; word; imm } -> wr (Exec_unit.alu alu ~word rs1 (if imm then i.imm else rs2))
+  | Instr.MulDiv { op; word } -> wr (Exec_unit.muldiv op ~word rs1 rs2)
+  | Instr.Ecall ->
+    if t.regs.(17) = 93L then begin
+      ignore (Mmio.store t.mmio ~hart:t.hart_id Addr_map.mmio_exit t.regs.(10));
+      fld ctx (fun () -> t.halted_f) (fun v -> t.halted_f <- v) true
+    end
+    else failwith (t.name ^ ": unknown ecall")
+  | Instr.Csr { op; imm } ->
+    let addr = Int64.to_int i.imm in
+    let old =
+      if addr = Csr.mhartid then Int64.of_int t.hart_id
+      else if addr = Csr.satp then Tlb.Tlb_sys.satp t.tlb
+      else if addr = Csr.cycle || addr = Csr.time then Int64.of_int (Clock.now t.clk)
+      else if addr = Csr.instret then Int64.of_int t.n_instret
+      else 0L
+    in
+    ignore (op, imm);
+    wr old
+  | Instr.Ebreak | Instr.Illegal _ -> failwith (t.name ^ ": illegal/ebreak")
+  | Instr.Ld _ | Instr.St _ | Instr.Lr _ | Instr.Sc _ | Instr.Amo _ | Instr.Fence | Instr.FenceI ->
+    assert false);
+  retire ctx t;
+  if Instr.is_branch i then begin
+    Branch.Btb.update ctx t.btb ~pc ~target:!actual_next ~taken:(!actual_next <> next)
+  end;
+  if !actual_next <> pred_next && not t.halted_f then begin
+    Stats.incr ~ctx t.c_mispred;
+    redirect ctx t !actual_next
+  end
+
+let step_execute ctx t =
+  Kernel.guard ctx (not t.halted_f) "halted";
+  match t.xst with
+  | XIdle ->
+    let pc, word, pred_next = Fifo.first ctx t.f2x in
+    let i = Decode.decode word in
+    Kernel.guard ctx (not (load_hazard t i)) "load-use hazard";
+    (* dequeue before executing: a redirect clears the queue, and the clear
+       must be ordered after this dequeue *)
+    if Instr.is_mem i then begin
+      (match i.op with
+      | Instr.Fence | Instr.FenceI ->
+        (* drain outstanding memory ops *)
+        Kernel.guard ctx (t.pending_load = None && t.pending_store = None) "fence drain";
+        ignore (Fifo.deq ctx t.f2x);
+        retire ctx t;
+        if Int64.add pc 4L <> pred_next then redirect ctx t (Int64.add pc 4L)
+      | _ ->
+        (* at most one load and one store outstanding; atomics drain both *)
+        (match i.op with
+        | Instr.Ld _ | Instr.Lr _ -> Kernel.guard ctx (t.pending_load = None) "load busy"
+        | Instr.St _ -> Kernel.guard ctx (t.pending_store = None) "store busy"
+        | _ -> Kernel.guard ctx (t.pending_load = None && t.pending_store = None) "atomic drain");
+        let va = Int64.add t.regs.(i.rs1) i.imm in
+        Tlb.Tlb_sys.dtlb_req ctx t.tlb ~tag:0 va;
+        ignore (Fifo.deq ctx t.f2x);
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XDtlb (i, pc));
+        (* mem instructions never redirect; verify the fetch prediction *)
+        if Int64.add pc 4L <> pred_next then redirect ctx t (Int64.add pc 4L))
+    end
+    else begin
+      ignore (Fifo.deq ctx t.f2x);
+      exec_nonmem ctx t i pc pred_next
+    end
+  | XDtlb (i, _pc) ->
+    let _tag, res = Tlb.Tlb_sys.dtlb_resp ctx t.tlb in
+    let pa = match res with Tlb.Tlb_sys.Hit pa -> pa | Tlb.Tlb_sys.Fault -> failwith "data page fault" in
+    let rs2 = t.regs.(i.rs2) in
+    (match i.op with
+    | Instr.Ld { width; unsigned } ->
+      if Addr_map.is_mmio pa then begin
+        if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd (Mmio.load t.mmio ~hart:t.hart_id pa);
+        retire ctx t;
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
+      end
+      else begin
+        let tag = t.load_tag in
+        Mem.L1_dcache.req ctx t.dc
+          (Mem.L1_dcache.Ld { tag; addr = pa; bytes = Instr.bytes_of_width width; unsigned });
+        fld ctx (fun () -> t.load_tag) (fun v -> t.load_tag <- v) (tag + 1);
+        fld ctx (fun () -> t.pending_load) (fun v -> t.pending_load <- v) (Some (i.rd, tag));
+        retire ctx t;
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
+      end
+    | Instr.St width ->
+      if Addr_map.is_mmio pa then begin
+        ignore (Mmio.store t.mmio ~hart:t.hart_id pa rs2);
+        if pa = Addr_map.mmio_exit then fld ctx (fun () -> t.halted_f) (fun v -> t.halted_f <- v) true;
+        retire ctx t;
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
+      end
+      else begin
+        let line, data, mask = store_mask_data pa (Instr.bytes_of_width width) rs2 in
+        Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.St { tag = 0; line });
+        fld ctx (fun () -> t.pending_store) (fun v -> t.pending_store <- v) (Some (line, data, mask));
+        (match t.reservation with
+        | Some l when l = line -> fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None
+        | _ -> ());
+        retire ctx t;
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
+      end
+    | Instr.Lr width ->
+      let bytes = Instr.bytes_of_width width in
+      let f old = (None, old) in
+      Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
+      fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v)
+        (Some (Mem.Cache_geom.line_addr pa));
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+    | Instr.Sc width ->
+      let bytes = Instr.bytes_of_width width in
+      let reserved = t.reservation = Some (Mem.Cache_geom.line_addr pa) in
+      let f _old = if reserved then (Some rs2, 0L) else (None, 1L) in
+      Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
+      fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None;
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+    | Instr.Amo { op; width } ->
+      let bytes = Instr.bytes_of_width width in
+      let f old = (Some (Exec_unit.amo op width ~old ~src:rs2), old) in
+      Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+    | _ -> assert false)
+  | XAt i ->
+    let _tag, result = Mem.L1_dcache.resp_at ctx t.dc in
+    let result =
+      match i.op with
+      | Instr.Lr Instr.W | Instr.Amo { width = Instr.W; _ } -> Xlen.sext ~bits:32 result
+      | _ -> result
+    in
+    if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd result;
+    retire ctx t;
+    fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
+
+let step_load_resp ctx t =
+  let tag, v = Mem.L1_dcache.resp_ld ctx t.dc in
+  match t.pending_load with
+  | Some (rd, ptag) when ptag = tag ->
+    if rd <> 0 then Mut.set_arr ctx t.regs rd v;
+    fld ctx (fun () -> t.pending_load) (fun v -> t.pending_load <- v) None
+  | _ -> failwith (t.name ^ ": orphan load resp")
+
+let step_store_resp ctx t =
+  let _tag = Mem.L1_dcache.resp_st ctx t.dc in
+  match t.pending_store with
+  | Some (line, data, mask) ->
+    Mem.L1_dcache.write_data ctx t.dc ~line ~data ~mask;
+    fld ctx (fun () -> t.pending_store) (fun v -> t.pending_store <- v) None
+  | None -> failwith (t.name ^ ": orphan store resp")
+
+let rules t =
+  [
+    Rule.make (t.name ^ ".loadResp") (fun ctx ->
+        ignore (Kernel.attempt ctx (fun ctx -> step_load_resp ctx t)));
+    Rule.make (t.name ^ ".storeResp") (fun ctx ->
+        ignore (Kernel.attempt ctx (fun ctx -> step_store_resp ctx t)));
+    Rule.make (t.name ^ ".execute") (fun ctx ->
+        Stats.incr ~ctx t.c_cycles;
+        ignore (Kernel.attempt ctx (fun ctx -> step_execute ctx t)));
+    Rule.make (t.name ^ ".fetch") (fun ctx ->
+        ignore (Kernel.attempt ctx (fun ctx -> step_fetch_mem ctx t));
+        ignore (Kernel.attempt ctx (fun ctx -> step_fetch_tlb ctx t));
+        ignore (Kernel.attempt ctx (fun ctx -> step_fetch_issue ctx t)));
+  ]

@@ -1,0 +1,31 @@
+(** The in-order baseline core — the stand-in for Rocket (paper, Fig. 13).
+
+    A 1-wide in-order pipeline in the CMD style: pipelined fetch through the
+    I-TLB and I-cache with BTB next-line prediction, and an execute stage
+    that overlaps at most one outstanding load and one outstanding store with
+    subsequent independent instructions (a 1-entry scoreboard), exactly the
+    degree of latency hiding a simple in-order core manages. Memory traffic
+    goes through the same coherent cache hierarchy and TLBs as the OOO core;
+    only the memory latency parameter distinguishes Rocket-10 from
+    Rocket-120 in the evaluation. *)
+
+type t
+
+val create :
+  ?name:string ->
+  Cmd.Clock.t ->
+  hart_id:int ->
+  icache:Mem.L1_icache.t ->
+  dcache:Mem.L1_dcache.t ->
+  tlb:Tlb.Tlb_sys.t ->
+  mmio:Isa.Mmio.t ->
+  stats:Cmd.Stats.t ->
+  unit ->
+  t
+
+val set_pc : t -> int64 -> unit
+val set_reg : t -> int -> int64 -> unit
+val reg : t -> int -> int64
+val halted : t -> bool
+val instret : t -> int
+val rules : t -> Cmd.Rule.t list

@@ -1,0 +1,1 @@
+lib/isa/addr_map.ml: Int64

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Encode Hashtbl Instr Int64 List Printf Reg_name Xlen

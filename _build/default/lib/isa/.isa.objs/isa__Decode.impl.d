@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Instr Int64 Xlen

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Instr Int64 Xlen

@@ -1,0 +1,1 @@
+lib/isa/exec_unit.mli: Instr

@@ -1,0 +1,1 @@
+lib/isa/golden.ml: Addr_map Array Csr Decode Hashtbl Instr Int64 Mmio Page_table Phys_mem Printf Xlen

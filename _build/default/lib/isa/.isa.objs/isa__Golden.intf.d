@@ -1,0 +1,1 @@
+lib/isa/golden.mli: Instr Mmio Phys_mem

@@ -1,0 +1,1 @@
+lib/isa/mmio.ml: Addr_map Buffer Char Hashtbl Int64

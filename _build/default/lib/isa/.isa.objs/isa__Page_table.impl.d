@@ -1,0 +1,1 @@
+lib/isa/page_table.ml: Array Int64 Phys_mem

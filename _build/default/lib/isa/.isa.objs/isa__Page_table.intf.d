@@ -1,0 +1,1 @@
+lib/isa/page_table.mli: Phys_mem

@@ -1,0 +1,1 @@
+lib/isa/phys_mem.ml: Bytes Char Hashtbl Int64

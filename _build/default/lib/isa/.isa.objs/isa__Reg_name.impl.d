@@ -1,0 +1,1 @@
+lib/isa/reg_name.ml: Array Printf

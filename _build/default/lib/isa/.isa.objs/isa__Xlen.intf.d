@@ -1,0 +1,1 @@
+lib/isa/xlen.mli: Format

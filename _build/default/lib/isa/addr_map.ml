@@ -1,0 +1,4 @@
+let dram_base = 0x8000_0000L
+let mmio_console = 0x1000_0000L
+let mmio_exit = 0x1000_0008L
+let is_mmio a = Int64.unsigned_compare a dram_base < 0

@@ -1,0 +1,14 @@
+(** The physical address map shared by every core and the golden model. *)
+
+(** Start of cacheable DRAM. *)
+val dram_base : int64
+
+(** MMIO console device: a store writes one character. *)
+val mmio_console : int64
+
+(** MMIO exit device ("tohost"): a store terminates the hart with the stored
+    value as exit code. *)
+val mmio_exit : int64
+
+(** [is_mmio a] — everything below DRAM is uncached device space. *)
+val is_mmio : int64 -> bool

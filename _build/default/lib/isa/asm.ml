@@ -1,0 +1,159 @@
+open Instr
+
+type item =
+  | Fixed of Instr.t
+  | Branch of branch_cond * int * int * string
+  | Jump of int * string (* jal rd, label *)
+  | La_hi of int * string (* auipc rd, pcrel_hi *)
+  | La_lo of int * string (* addi rd, rd, pcrel_lo relative to previous auipc *)
+
+type t = {
+  mutable items : item list; (* newest first *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t; (* label -> instruction index *)
+  mutable freshes : int;
+}
+
+let create () = { items = []; count = 0; labels = Hashtbl.create 64; freshes = 0 }
+
+let label t name =
+  if Hashtbl.mem t.labels name then invalid_arg ("Asm.label: duplicate " ^ name);
+  Hashtbl.add t.labels name t.count
+
+let fresh t prefix =
+  t.freshes <- t.freshes + 1;
+  Printf.sprintf ".%s_%d" prefix t.freshes
+
+let emit t item =
+  t.items <- item :: t.items;
+  t.count <- t.count + 1
+
+let insn t i = emit t (Fixed i)
+let length t = t.count
+
+(* computational *)
+let addi t rd rs1 imm = insn t (make ~rd ~rs1 ~imm (OpA { alu = Add; word = false; imm = true }))
+let rtype alu t rd rs1 rs2 = insn t (make ~rd ~rs1 ~rs2 (OpA { alu; word = false; imm = false }))
+let add = rtype Add
+let sub = rtype Sub
+let and_ = rtype And
+let or_ = rtype Or
+let xor = rtype Xor
+let sll = rtype Sll
+let srl = rtype Srl
+let slt = rtype Slt
+let sltu = rtype Sltu
+let itype alu t rd rs1 imm = insn t (make ~rd ~rs1 ~imm (OpA { alu; word = false; imm = true }))
+let slli t rd rs1 sh = itype Sll t rd rs1 (Int64.of_int sh)
+let srli t rd rs1 sh = itype Srl t rd rs1 (Int64.of_int sh)
+let srai t rd rs1 sh = itype Sra t rd rs1 (Int64.of_int sh)
+let andi = itype And
+let ori = itype Or
+let xori = itype Xor
+let sltiu = itype Sltu
+let addw t rd rs1 rs2 = insn t (make ~rd ~rs1 ~rs2 (OpA { alu = Add; word = true; imm = false }))
+let addiw t rd rs1 imm = insn t (make ~rd ~rs1 ~imm (OpA { alu = Add; word = true; imm = true }))
+let mtype op t rd rs1 rs2 = insn t (make ~rd ~rs1 ~rs2 (MulDiv { op; word = false }))
+let mul = mtype Mul
+let mulh = mtype Mulh
+let div = mtype Div
+let divu = mtype Divu
+let rem = mtype Rem
+let remu = mtype Remu
+
+(* memory *)
+let load_ width unsigned t rd imm rs1 = insn t (make ~rd ~rs1 ~imm (Ld { width; unsigned }))
+let ld = load_ D false
+let lw = load_ W false
+let lwu = load_ W true
+let lh = load_ H false
+let lb = load_ B false
+let lbu = load_ B true
+let store_ width t rs2 imm rs1 = insn t (make ~rs1 ~rs2 ~imm (St width))
+let sd = store_ D
+let sw = store_ W
+let sh = store_ H
+let sb = store_ B
+let fence t = insn t (make Fence)
+let lr_d t rd rs1 = insn t (make ~rd ~rs1 (Lr D))
+let sc_d t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Sc D))
+let lr_w t rd rs1 = insn t (make ~rd ~rs1 (Lr W))
+let sc_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Sc W))
+let amoadd_d t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoadd; width = D }))
+let amoadd_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoadd; width = W }))
+let amoswap_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoswap; width = W }))
+
+(* control flow *)
+let branch c t rs1 rs2 lbl = emit t (Branch (c, rs1, rs2, lbl))
+let beq = branch Beq
+let bne = branch Bne
+let blt = branch Blt
+let bge = branch Bge
+let bltu = branch Bltu
+let bgeu = branch Bgeu
+let jal t rd lbl = emit t (Jump (rd, lbl))
+let j t lbl = jal t 0 lbl
+let jalr t rd rs1 imm = insn t (make ~rd ~rs1 ~imm Jalr)
+let ret t = jalr t 0 Reg_name.ra 0L
+let call t lbl = jal t Reg_name.ra lbl
+
+(* pseudo *)
+let mv t rd rs1 = addi t rd rs1 0L
+let nop t = addi t 0 0 0L
+
+let rec li t rd v =
+  if Encode.fits_simm12 v then addi t rd 0 v
+  else if Xlen.sext ~bits:32 v = v then begin
+    let lo = Xlen.sext ~bits:12 v in
+    let hi = Xlen.sext ~bits:32 (Int64.sub v lo) in
+    insn t (make ~rd ~imm:hi Lui);
+    if lo <> 0L then addiw t rd rd lo
+  end
+  else begin
+    let lo = Xlen.sext ~bits:12 v in
+    let hi = Int64.shift_right (Int64.sub v lo) 12 in
+    li t rd hi;
+    slli t rd rd 12;
+    if lo <> 0L then addi t rd rd lo
+  end
+
+let la t rd lbl =
+  emit t (La_hi (rd, lbl));
+  emit t (La_lo (rd, lbl))
+
+(* system *)
+let ecall t = insn t (make Ecall)
+let csrr t rd csr = insn t (make ~rd ~imm:(Int64.of_int csr) (Csr { op = Csrrs; imm = false }))
+
+let assemble t ~base =
+  let items = Array.of_list (List.rev t.items) in
+  let addr idx = Int64.add base (Int64.of_int (idx * 4)) in
+  let resolve lbl =
+    match Hashtbl.find_opt t.labels lbl with
+    | Some i -> addr i
+    | None -> invalid_arg ("Asm.assemble: undefined label " ^ lbl)
+  in
+  Array.mapi
+    (fun i item ->
+      let pc = addr i in
+      match item with
+      | Fixed ins -> ins
+      | Branch (c, rs1, rs2, lbl) -> make ~rs1 ~rs2 ~imm:(Int64.sub (resolve lbl) pc) (Br c)
+      | Jump (rd, lbl) -> make ~rd ~imm:(Int64.sub (resolve lbl) pc) Jal
+      | La_hi (rd, lbl) ->
+        let delta = Int64.sub (resolve lbl) pc in
+        let lo = Xlen.sext ~bits:12 delta in
+        make ~rd ~imm:(Xlen.sext ~bits:32 (Int64.sub delta lo)) Auipc
+      | La_lo (rd, lbl) ->
+        (* the matching auipc sits one instruction earlier *)
+        let delta = Int64.sub (resolve lbl) (addr (i - 1)) in
+        let lo = Xlen.sext ~bits:12 delta in
+        make ~rd ~rs1:rd ~imm:lo (OpA { alu = Add; word = false; imm = true }))
+    items
+
+let words t ~base = Array.map Encode.encode (assemble t ~base)
+
+let addr_of t ~base lbl =
+  match Hashtbl.find_opt t.labels lbl with
+  | Some i -> Int64.add base (Int64.of_int (i * 4))
+  | None -> invalid_arg ("Asm.addr_of: undefined label " ^ lbl)

@@ -1,0 +1,115 @@
+(** A two-pass assembler eDSL with labels.
+
+    Workload kernels are written against this interface; {!assemble} resolves
+    labels and produces the instruction words to load at a base address.
+    Convenience emitters cover the common pseudo-instructions ([li], [la],
+    [mv], [j], [call], [ret], [nop]). All registers are {!Reg_name} ints. *)
+
+type t
+
+val create : unit -> t
+
+(** Define a label at the current position. *)
+val label : t -> string -> unit
+
+(** [fresh t prefix] makes a unique label name (not yet placed). *)
+val fresh : t -> string -> string
+
+(** Emit a raw typed instruction. *)
+val insn : t -> Instr.t -> unit
+
+(** {2 Integer computational} *)
+
+val addi : t -> int -> int -> int64 -> unit
+val add : t -> int -> int -> int -> unit
+val sub : t -> int -> int -> int -> unit
+val slli : t -> int -> int -> int -> unit
+val srli : t -> int -> int -> int -> unit
+val srai : t -> int -> int -> int -> unit
+val andi : t -> int -> int -> int64 -> unit
+val ori : t -> int -> int -> int64 -> unit
+val xori : t -> int -> int -> int64 -> unit
+val and_ : t -> int -> int -> int -> unit
+val or_ : t -> int -> int -> int -> unit
+val xor : t -> int -> int -> int -> unit
+val sll : t -> int -> int -> int -> unit
+val srl : t -> int -> int -> int -> unit
+val slt : t -> int -> int -> int -> unit
+val sltu : t -> int -> int -> int -> unit
+val sltiu : t -> int -> int -> int64 -> unit
+val addw : t -> int -> int -> int -> unit
+val addiw : t -> int -> int -> int64 -> unit
+val mul : t -> int -> int -> int -> unit
+val mulh : t -> int -> int -> int -> unit
+val div : t -> int -> int -> int -> unit
+val divu : t -> int -> int -> int -> unit
+val rem : t -> int -> int -> int -> unit
+val remu : t -> int -> int -> int -> unit
+
+(** {2 Memory} *)
+
+val ld : t -> int -> int64 -> int -> unit
+
+val lw : t -> int -> int64 -> int -> unit
+val lwu : t -> int -> int64 -> int -> unit
+val lh : t -> int -> int64 -> int -> unit
+val lb : t -> int -> int64 -> int -> unit
+val lbu : t -> int -> int64 -> int -> unit
+val sd : t -> int -> int64 -> int -> unit
+val sw : t -> int -> int64 -> int -> unit
+val sh : t -> int -> int64 -> int -> unit
+val sb : t -> int -> int64 -> int -> unit
+val fence : t -> unit
+val lr_d : t -> int -> int -> unit
+val sc_d : t -> int -> int -> int -> unit
+val lr_w : t -> int -> int -> unit
+val sc_w : t -> int -> int -> int -> unit
+val amoadd_d : t -> int -> int -> int -> unit
+val amoadd_w : t -> int -> int -> int -> unit
+val amoswap_w : t -> int -> int -> int -> unit
+
+(** {2 Control flow (label targets)} *)
+
+val beq : t -> int -> int -> string -> unit
+
+val bne : t -> int -> int -> string -> unit
+val blt : t -> int -> int -> string -> unit
+val bge : t -> int -> int -> string -> unit
+val bltu : t -> int -> int -> string -> unit
+val bgeu : t -> int -> int -> string -> unit
+val j : t -> string -> unit
+val jal : t -> int -> string -> unit
+val jalr : t -> int -> int -> int64 -> unit
+val ret : t -> unit
+val call : t -> string -> unit
+
+(** {2 Pseudo} *)
+
+val li : t -> int -> int64 -> unit
+
+(** Load a label's address (pc-relative [auipc]+[addi] pair). *)
+val la : t -> int -> string -> unit
+
+val mv : t -> int -> int -> unit
+val nop : t -> unit
+
+(** {2 System} *)
+
+val ecall : t -> unit
+
+val csrr : t -> int -> int -> unit
+
+(** {2 Assembly} *)
+
+(** Number of instructions emitted so far. *)
+val length : t -> int
+
+(** [assemble t ~base] resolves labels against [base] and returns the typed
+    program (one {!Instr.t} per word, label displacements folded in). *)
+val assemble : t -> base:int64 -> Instr.t array
+
+(** Encoded 32-bit words of the assembled program. *)
+val words : t -> base:int64 -> int array
+
+(** Address of [label] once assembled at [base]. *)
+val addr_of : t -> base:int64 -> string -> int64

@@ -1,0 +1,13 @@
+let cycle = 0xC00
+let time = 0xC01
+let instret = 0xC02
+let mhartid = 0xF14
+let satp = 0x180
+
+let name a =
+  if a = cycle then "cycle"
+  else if a = time then "time"
+  else if a = instret then "instret"
+  else if a = mhartid then "mhartid"
+  else if a = satp then "satp"
+  else Printf.sprintf "csr:0x%x" a

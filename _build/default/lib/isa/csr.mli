@@ -1,0 +1,9 @@
+(** The handful of CSRs the models implement. *)
+
+val cycle : int
+val time : int
+val instret : int
+val mhartid : int
+val satp : int
+
+val name : int -> string

@@ -1,0 +1,110 @@
+open Instr
+
+let bits w lo hi = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let sext32 bitsn v = Xlen.sext ~bits:bitsn (Int64.of_int v)
+
+let imm_i w = sext32 12 (bits w 20 31)
+let imm_s w = sext32 12 ((bits w 25 31 lsl 5) lor bits w 7 11)
+
+let imm_b w =
+  sext32 13
+    ((bits w 31 31 lsl 12) lor (bits w 7 7 lsl 11) lor (bits w 25 30 lsl 5) lor (bits w 8 11 lsl 1))
+
+let imm_u w = Xlen.sext ~bits:32 (Int64.of_int ((bits w 12 31) lsl 12))
+
+let imm_j w =
+  sext32 21
+    ((bits w 31 31 lsl 20) lor (bits w 12 19 lsl 12) lor (bits w 20 20 lsl 11)
+   lor (bits w 21 30 lsl 1))
+
+let width_of_f3 f3 = match f3 land 3 with 0 -> B | 1 -> H | 2 -> W | _ -> D
+
+let alu_of_f3 f3 f7 imm =
+  match f3 with
+  | 0 -> if (not imm) && f7 land 0x20 <> 0 then Some Sub else Some Add
+  | 1 -> Some Sll
+  | 2 -> Some Slt
+  | 3 -> Some Sltu
+  | 4 -> Some Xor
+  | 5 -> if f7 land 0x20 <> 0 then Some Sra else Some Srl
+  | 6 -> Some Or
+  | 7 -> Some And
+  | _ -> None
+
+let muldiv_of_f3 = function
+  | 0 -> Mul | 1 -> Mulh | 2 -> Mulhsu | 3 -> Mulhu | 4 -> Div | 5 -> Divu | 6 -> Rem | _ -> Remu
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  let opc = bits w 0 6 in
+  let rd = bits w 7 11 in
+  let f3 = bits w 12 14 in
+  let rs1 = bits w 15 19 in
+  let rs2 = bits w 20 24 in
+  let f7 = bits w 25 31 in
+  let ill = make (Illegal w) in
+  match opc with
+  | 0x37 -> make ~rd ~imm:(imm_u w) Lui
+  | 0x17 -> make ~rd ~imm:(imm_u w) Auipc
+  | 0x6F -> make ~rd ~imm:(imm_j w) Jal
+  | 0x67 -> if f3 = 0 then make ~rd ~rs1 ~imm:(imm_i w) Jalr else ill
+  | 0x63 ->
+    let c =
+      match f3 with
+      | 0 -> Some Beq | 1 -> Some Bne | 4 -> Some Blt | 5 -> Some Bge | 6 -> Some Bltu
+      | 7 -> Some Bgeu | _ -> None
+    in
+    (match c with Some c -> make ~rs1 ~rs2 ~imm:(imm_b w) (Br c) | None -> ill)
+  | 0x03 ->
+    if f3 = 7 then ill
+    else
+      let unsigned = f3 land 4 <> 0 in
+      if unsigned && f3 land 3 = 3 then ill
+      else make ~rd ~rs1 ~imm:(imm_i w) (Ld { width = width_of_f3 f3; unsigned })
+  | 0x23 -> make ~rs1 ~rs2 ~imm:(imm_s w) (St (width_of_f3 f3))
+  | 0x13 | 0x1B ->
+    let word = opc = 0x1B in
+    (match alu_of_f3 f3 0 true with
+    | None -> ill
+    | Some alu ->
+      (match alu with
+      | Sll | Srl ->
+        let sra = f7 land 0x20 <> 0 in
+        let alu = if f3 = 5 && sra then Sra else alu in
+        let shbits = if word then 5 else 6 in
+        let sh = bits w 20 (20 + shbits - 1) in
+        make ~rd ~rs1 ~imm:(Int64.of_int sh) (OpA { alu; word; imm = true })
+      | _ -> make ~rd ~rs1 ~imm:(imm_i w) (OpA { alu; word; imm = true })))
+  | 0x33 | 0x3B ->
+    let word = opc = 0x3B in
+    if f7 = 1 then make ~rd ~rs1 ~rs2 (MulDiv { op = muldiv_of_f3 f3; word })
+    else (
+      match alu_of_f3 f3 f7 false with
+      | Some alu -> make ~rd ~rs1 ~rs2 (OpA { alu; word; imm = false })
+      | None -> ill)
+  | 0x2F ->
+    let width = if f3 land 1 = 1 then D else W in
+    if f3 <> 2 && f3 <> 3 then ill
+    else
+      let f5 = f7 lsr 2 in
+      (match f5 with
+      | 0x02 -> make ~rd ~rs1 (Lr width)
+      | 0x03 -> make ~rd ~rs1 ~rs2 (Sc width)
+      | _ ->
+        let op =
+          match f5 with
+          | 0x00 -> Some Amoadd | 0x01 -> Some Amoswap | 0x04 -> Some Amoxor | 0x08 -> Some Amoor
+          | 0x0C -> Some Amoand | 0x10 -> Some Amomin | 0x14 -> Some Amomax
+          | 0x18 -> Some Amominu | 0x1C -> Some Amomaxu | _ -> None
+        in
+        (match op with Some op -> make ~rd ~rs1 ~rs2 (Amo { op; width }) | None -> ill))
+  | 0x0F -> if f3 = 0 then make Fence else if f3 = 1 then make FenceI else ill
+  | 0x73 ->
+    if f3 = 0 then (
+      match bits w 20 31 with 0 -> make Ecall | 1 -> make Ebreak | _ -> ill)
+    else
+      let op = match f3 land 3 with 1 -> Some Csrrw | 2 -> Some Csrrs | 3 -> Some Csrrc | _ -> None in
+      (match op with
+      | Some op -> make ~rd ~rs1 ~imm:(Int64.of_int (bits w 20 31)) (Csr { op; imm = f3 land 4 <> 0 })
+      | None -> ill)
+  | _ -> ill

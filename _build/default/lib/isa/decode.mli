@@ -1,0 +1,5 @@
+(** Instruction decoder: 32-bit word to typed {!Instr.t}.
+
+    Unrecognized words decode to [Instr.Illegal]; decoding never raises. *)
+
+val decode : int -> Instr.t

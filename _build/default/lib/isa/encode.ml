@@ -1,0 +1,112 @@
+open Instr
+
+let fits_simm12 v = Int64.compare v (-2048L) >= 0 && Int64.compare v 2047L <= 0
+
+let check name ok = if not ok then invalid_arg ("encode: " ^ name ^ " immediate out of range")
+
+let r_type ~f7 ~rs2 ~rs1 ~f3 ~rd ~opc =
+  (f7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12) lor (rd lsl 7) lor opc
+
+let i_type ~imm ~rs1 ~f3 ~rd ~opc =
+  check "I" (fits_simm12 imm);
+  let imm = Int64.to_int (Int64.logand imm 0xFFFL) in
+  (imm lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12) lor (rd lsl 7) lor opc
+
+let s_type ~imm ~rs2 ~rs1 ~f3 ~opc =
+  check "S" (fits_simm12 imm);
+  let imm = Int64.to_int (Int64.logand imm 0xFFFL) in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+  lor ((imm land 0x1F) lsl 7)
+  lor opc
+
+let b_type ~imm ~rs2 ~rs1 ~f3 ~opc =
+  check "B" (Int64.compare imm (-4096L) >= 0 && Int64.compare imm 4095L <= 0 && Int64.rem imm 2L = 0L);
+  let imm = Int64.to_int (Int64.logand imm 0x1FFFL) in
+  let b12 = (imm lsr 12) land 1
+  and b11 = (imm lsr 11) land 1
+  and b10_5 = (imm lsr 5) land 0x3F
+  and b4_1 = (imm lsr 1) land 0xF in
+  (b12 lsl 31) lor (b10_5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+  lor (b4_1 lsl 8) lor (b11 lsl 7) lor opc
+
+let u_type ~imm ~rd ~opc =
+  (* imm holds the already-shifted 32-bit value (multiple of 4096). *)
+  check "U" (Int64.logand imm 0xFFFL = 0L && Xlen.sext ~bits:32 imm = imm);
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical imm 12) 0xFFFFFL) in
+  (hi lsl 12) lor (rd lsl 7) lor opc
+
+let j_type ~imm ~rd ~opc =
+  check "J"
+    (Int64.compare imm (-1048576L) >= 0 && Int64.compare imm 1048575L <= 0 && Int64.rem imm 2L = 0L);
+  let imm = Int64.to_int (Int64.logand imm 0x1FFFFFL) in
+  let b20 = (imm lsr 20) land 1
+  and b10_1 = (imm lsr 1) land 0x3FF
+  and b11 = (imm lsr 11) land 1
+  and b19_12 = (imm lsr 12) land 0xFF in
+  (b20 lsl 31) lor (b10_1 lsl 21) lor (b11 lsl 20) lor (b19_12 lsl 12) lor (rd lsl 7) lor opc
+
+let f3_of_branch = function Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+let f3_of_width = function B -> 0 | H -> 1 | W -> 2 | D -> 3
+
+let f3_f7_of_alu = function
+  | Add -> (0, 0)
+  | Sub -> (0, 0x20)
+  | Sll -> (1, 0)
+  | Slt -> (2, 0)
+  | Sltu -> (3, 0)
+  | Xor -> (4, 0)
+  | Srl -> (5, 0)
+  | Sra -> (5, 0x20)
+  | Or -> (6, 0)
+  | And -> (7, 0)
+
+let f3_of_muldiv = function
+  | Mul -> 0 | Mulh -> 1 | Mulhsu -> 2 | Mulhu -> 3 | Div -> 4 | Divu -> 5 | Rem -> 6 | Remu -> 7
+
+let f5_of_amo = function
+  | Amoadd -> 0x00 | Amoswap -> 0x01 | Amoxor -> 0x04 | Amoor -> 0x08 | Amoand -> 0x0C
+  | Amomin -> 0x10 | Amomax -> 0x14 | Amominu -> 0x18 | Amomaxu -> 0x1C
+
+let encode (i : Instr.t) =
+  match i.op with
+  | Lui -> u_type ~imm:i.imm ~rd:i.rd ~opc:0x37
+  | Auipc -> u_type ~imm:i.imm ~rd:i.rd ~opc:0x17
+  | Jal -> j_type ~imm:i.imm ~rd:i.rd ~opc:0x6F
+  | Jalr -> i_type ~imm:i.imm ~rs1:i.rs1 ~f3:0 ~rd:i.rd ~opc:0x67
+  | Br c -> b_type ~imm:i.imm ~rs2:i.rs2 ~rs1:i.rs1 ~f3:(f3_of_branch c) ~opc:0x63
+  | Ld { width; unsigned } ->
+    let f3 = f3_of_width width lor if unsigned then 4 else 0 in
+    i_type ~imm:i.imm ~rs1:i.rs1 ~f3 ~rd:i.rd ~opc:0x03
+  | St w -> s_type ~imm:i.imm ~rs2:i.rs2 ~rs1:i.rs1 ~f3:(f3_of_width w) ~opc:0x23
+  | OpA { alu; word; imm = true } ->
+    let f3, f7 = f3_f7_of_alu alu in
+    let opc = if word then 0x1B else 0x13 in
+    (match alu with
+    | Sll | Srl | Sra ->
+      let sh = Int64.to_int i.imm in
+      let bits = if word then 5 else 6 in
+      check "shamt" (sh >= 0 && sh < (1 lsl bits));
+      r_type ~f7:(f7 lor (if (not word) && sh >= 32 then 1 else 0)) ~rs2:(sh land 0x1F)
+        ~rs1:i.rs1 ~f3 ~rd:i.rd ~opc
+    | Add | Slt | Sltu | Xor | Or | And -> i_type ~imm:i.imm ~rs1:i.rs1 ~f3 ~rd:i.rd ~opc
+    | Sub -> invalid_arg "encode: subi does not exist")
+  | OpA { alu; word; imm = false } ->
+    let f3, f7 = f3_f7_of_alu alu in
+    r_type ~f7 ~rs2:i.rs2 ~rs1:i.rs1 ~f3 ~rd:i.rd ~opc:(if word then 0x3B else 0x33)
+  | MulDiv { op; word } ->
+    r_type ~f7:1 ~rs2:i.rs2 ~rs1:i.rs1 ~f3:(f3_of_muldiv op) ~rd:i.rd
+      ~opc:(if word then 0x3B else 0x33)
+  | Lr w -> r_type ~f7:(0x02 lsl 2) ~rs2:0 ~rs1:i.rs1 ~f3:(f3_of_width w) ~rd:i.rd ~opc:0x2F
+  | Sc w -> r_type ~f7:(0x03 lsl 2) ~rs2:i.rs2 ~rs1:i.rs1 ~f3:(f3_of_width w) ~rd:i.rd ~opc:0x2F
+  | Amo { op; width } ->
+    r_type ~f7:(f5_of_amo op lsl 2) ~rs2:i.rs2 ~rs1:i.rs1 ~f3:(f3_of_width width) ~rd:i.rd
+      ~opc:0x2F
+  | Fence -> i_type ~imm:0L ~rs1:0 ~f3:0 ~rd:0 ~opc:0x0F
+  | FenceI -> i_type ~imm:0L ~rs1:0 ~f3:1 ~rd:0 ~opc:0x0F
+  | Ecall -> i_type ~imm:0L ~rs1:0 ~f3:0 ~rd:0 ~opc:0x73
+  | Ebreak -> i_type ~imm:1L ~rs1:0 ~f3:0 ~rd:0 ~opc:0x73
+  | Csr { op; imm } ->
+    let f3 = (match op with Csrrw -> 1 | Csrrs -> 2 | Csrrc -> 3) lor if imm then 4 else 0 in
+    let csr = Int64.to_int i.imm land 0xFFF in
+    (csr lsl 20) lor (i.rs1 lsl 15) lor (f3 lsl 12) lor (i.rd lsl 7) lor 0x73
+  | Illegal w -> w

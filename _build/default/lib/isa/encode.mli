@@ -1,0 +1,9 @@
+(** Instruction encoder: typed {!Instr.t} to the 32-bit RISC-V word.
+
+    Immediates out of range for the format are rejected with
+    [Invalid_argument]; branch/jump displacements must be even. *)
+
+val encode : Instr.t -> int
+
+(** Shorthands used by the assembler for immediates that need splitting. *)
+val fits_simm12 : int64 -> bool

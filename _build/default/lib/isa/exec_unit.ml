@@ -1,0 +1,57 @@
+let alu op ~word a b =
+  match op, word with
+  | Instr.Add, false -> Xlen.add a b
+  | Instr.Add, true -> Xlen.addw a b
+  | Instr.Sub, false -> Xlen.sub a b
+  | Instr.Sub, true -> Xlen.subw a b
+  | Instr.Sll, false -> Xlen.sll a b
+  | Instr.Sll, true -> Xlen.sllw a b
+  | Instr.Srl, false -> Xlen.srl a b
+  | Instr.Srl, true -> Xlen.srlw a b
+  | Instr.Sra, false -> Xlen.sra a b
+  | Instr.Sra, true -> Xlen.sraw a b
+  | Instr.Slt, _ -> Xlen.slt a b
+  | Instr.Sltu, _ -> Xlen.sltu a b
+  | Instr.Xor, _ -> Xlen.logxor a b
+  | Instr.Or, _ -> Xlen.logor a b
+  | Instr.And, _ -> Xlen.logand a b
+
+let muldiv op ~word a b =
+  match op, word with
+  | Instr.Mul, false -> Xlen.mul a b
+  | Instr.Mul, true -> Xlen.mulw a b
+  | Instr.Mulh, _ -> Xlen.mulh a b
+  | Instr.Mulhsu, _ -> Xlen.mulhsu a b
+  | Instr.Mulhu, _ -> Xlen.mulhu a b
+  | Instr.Div, false -> Xlen.div a b
+  | Instr.Div, true -> Xlen.divw a b
+  | Instr.Divu, false -> Xlen.divu a b
+  | Instr.Divu, true -> Xlen.divuw a b
+  | Instr.Rem, false -> Xlen.rem a b
+  | Instr.Rem, true -> Xlen.remw a b
+  | Instr.Remu, false -> Xlen.remu a b
+  | Instr.Remu, true -> Xlen.remuw a b
+
+let branch_taken c a b =
+  match c with
+  | Instr.Beq -> a = b
+  | Instr.Bne -> a <> b
+  | Instr.Blt -> Int64.compare a b < 0
+  | Instr.Bge -> Int64.compare a b >= 0
+  | Instr.Bltu -> Xlen.ucompare a b < 0
+  | Instr.Bgeu -> Xlen.ucompare a b >= 0
+
+let amo op width ~old ~src =
+  let v =
+    match op with
+    | Instr.Amoswap -> src
+    | Instr.Amoadd -> Int64.add old src
+    | Instr.Amoxor -> Int64.logxor old src
+    | Instr.Amoand -> Int64.logand old src
+    | Instr.Amoor -> Int64.logor old src
+    | Instr.Amomin -> if Int64.compare old src <= 0 then old else src
+    | Instr.Amomax -> if Int64.compare old src >= 0 then old else src
+    | Instr.Amominu -> if Xlen.ucompare old src <= 0 then old else src
+    | Instr.Amomaxu -> if Xlen.ucompare old src >= 0 then old else src
+  in
+  if width = Instr.W then Xlen.sext ~bits:32 v else v

@@ -1,0 +1,11 @@
+(** Pure execution semantics shared by every core model (the golden
+    simulator keeps its own copies of the branch/AMO logic where noted, so
+    the microarchitectural cores are checked against an independent path for
+    the corner cases covered by {!Xlen} unit tests). *)
+
+val alu : Instr.alu_op -> word:bool -> int64 -> int64 -> int64
+val muldiv : Instr.muldiv_op -> word:bool -> int64 -> int64 -> int64
+val branch_taken : Instr.branch_cond -> int64 -> int64 -> bool
+
+(** New memory value of an AMO (the register result is the old value). *)
+val amo : Instr.amo_op -> Instr.width -> old:int64 -> src:int64 -> int64

@@ -1,0 +1,239 @@
+exception Fatal of string
+
+type hart = {
+  id : int;
+  mutable pc : int64;
+  regs : int64 array;
+  mutable satp : int64; (* root table PA, 0 = bare *)
+  mutable instret : int64;
+  mutable reservation : int64 option; (* reserved cache line *)
+  mutable ecall_halt : bool;
+  tlb : (int64, int64) Hashtbl.t; (* vpn -> page pa; pure speedup *)
+}
+
+type t = { pmem : Phys_mem.t; mmio : Mmio.t; harts : hart array }
+
+type commit = {
+  pc : int64;
+  instr : Instr.t;
+  rd_write : (int * int64) option;
+  store : (int64 * int * int64) option;
+  next_pc : int64;
+}
+
+let create ~nharts pmem mmio =
+  let mk id =
+    {
+      id;
+      pc = 0L;
+      regs = Array.make 32 0L;
+      satp = 0L;
+      instret = 0L;
+      reservation = None;
+      ecall_halt = false;
+      tlb = Hashtbl.create 256;
+    }
+  in
+  { pmem; mmio; harts = Array.init nharts mk }
+
+let mem t = t.pmem
+let mmio t = t.mmio
+let set_pc t ~hart v = t.harts.(hart).pc <- v
+let pc t ~hart = t.harts.(hart).pc
+let set_reg t ~hart r v = if r <> 0 then t.harts.(hart).regs.(r) <- v
+let reg t ~hart r = t.harts.(hart).regs.(r)
+
+let set_satp t ~hart v =
+  t.harts.(hart).satp <- v;
+  Hashtbl.reset t.harts.(hart).tlb
+
+let instret t ~hart = t.harts.(hart).instret
+let halted t ~hart = t.harts.(hart).ecall_halt || Mmio.exit_code t.mmio ~hart <> None
+
+let xlate t (h : hart) va =
+  if h.satp = 0L then va
+  else begin
+    let vpn = Int64.shift_right_logical va 12 in
+    match Hashtbl.find_opt h.tlb vpn with
+    | Some page -> Int64.logor page (Int64.logand va 0xFFFL)
+    | None -> (
+      match Page_table.translate t.pmem ~root:h.satp va with
+      | Some pa ->
+        Hashtbl.replace h.tlb vpn (Int64.logand pa (Int64.lognot 0xFFFL));
+        pa
+      | None -> raise (Fatal (Printf.sprintf "golden: page fault at 0x%Lx (hart %d)" va h.id)))
+  end
+
+let translate t ~hart va = xlate t t.harts.(hart) va
+
+let line_of a = Int64.logand a (Int64.lognot 63L)
+
+let width_bytes = Instr.bytes_of_width
+
+let load_val t pa width unsigned =
+  let bytes = width_bytes width in
+  let raw = Phys_mem.load t.pmem ~bytes pa in
+  if unsigned then raw else Xlen.sext ~bits:(bytes * 8) raw
+
+let step t ~hart =
+  let h = t.harts.(hart) in
+  if halted t ~hart then None
+  else begin
+    let pc = h.pc in
+    let ipa = xlate t h pc in
+    let word = Int64.to_int (Phys_mem.load t.pmem ~bytes:4 ipa) in
+    let i = Decode.decode word in
+    let rs1 = h.regs.(i.rs1) and rs2 = h.regs.(i.rs2) in
+    let next = Int64.add pc 4L in
+    let rd_write = ref None in
+    let store = ref None in
+    let next_pc = ref next in
+    let wr v = if i.rd <> 0 then rd_write := Some (i.rd, v) in
+    let do_store pa bytes v =
+      if Addr_map.is_mmio pa then ignore (Mmio.store t.mmio ~hart pa v)
+      else Phys_mem.store t.pmem ~bytes pa v;
+      store := Some (pa, bytes, v)
+    in
+    (match i.op with
+    | Instr.Lui -> wr i.imm
+    | Instr.Auipc -> wr (Int64.add pc i.imm)
+    | Instr.Jal ->
+      wr next;
+      next_pc := Int64.add pc i.imm
+    | Instr.Jalr ->
+      wr next;
+      next_pc := Int64.logand (Int64.add rs1 i.imm) (Int64.lognot 1L)
+    | Instr.Br c ->
+      let taken =
+        match c with
+        | Instr.Beq -> rs1 = rs2
+        | Instr.Bne -> rs1 <> rs2
+        | Instr.Blt -> Int64.compare rs1 rs2 < 0
+        | Instr.Bge -> Int64.compare rs1 rs2 >= 0
+        | Instr.Bltu -> Xlen.ucompare rs1 rs2 < 0
+        | Instr.Bgeu -> Xlen.ucompare rs1 rs2 >= 0
+      in
+      if taken then next_pc := Int64.add pc i.imm
+    | Instr.Ld { width; unsigned } ->
+      let pa = xlate t h (Int64.add rs1 i.imm) in
+      if Addr_map.is_mmio pa then wr (Mmio.load t.mmio ~hart pa)
+      else wr (load_val t pa width unsigned)
+    | Instr.St width ->
+      let pa = xlate t h (Int64.add rs1 i.imm) in
+      do_store pa (width_bytes width) rs2
+    | Instr.OpA { alu; word; imm } ->
+      let b = if imm then i.imm else rs2 in
+      let f =
+        match alu, word with
+        | Instr.Add, false -> Xlen.add
+        | Instr.Add, true -> Xlen.addw
+        | Instr.Sub, false -> Xlen.sub
+        | Instr.Sub, true -> Xlen.subw
+        | Instr.Sll, false -> Xlen.sll
+        | Instr.Sll, true -> Xlen.sllw
+        | Instr.Srl, false -> Xlen.srl
+        | Instr.Srl, true -> Xlen.srlw
+        | Instr.Sra, false -> Xlen.sra
+        | Instr.Sra, true -> Xlen.sraw
+        | Instr.Slt, _ -> Xlen.slt
+        | Instr.Sltu, _ -> Xlen.sltu
+        | Instr.Xor, _ -> Xlen.logxor
+        | Instr.Or, _ -> Xlen.logor
+        | Instr.And, _ -> Xlen.logand
+      in
+      wr (f rs1 b)
+    | Instr.MulDiv { op; word } ->
+      let f =
+        match op, word with
+        | Instr.Mul, false -> Xlen.mul
+        | Instr.Mul, true -> Xlen.mulw
+        | Instr.Mulh, _ -> Xlen.mulh
+        | Instr.Mulhsu, _ -> Xlen.mulhsu
+        | Instr.Mulhu, _ -> Xlen.mulhu
+        | Instr.Div, false -> Xlen.div
+        | Instr.Div, true -> Xlen.divw
+        | Instr.Divu, false -> Xlen.divu
+        | Instr.Divu, true -> Xlen.divuw
+        | Instr.Rem, false -> Xlen.rem
+        | Instr.Rem, true -> Xlen.remw
+        | Instr.Remu, false -> Xlen.remu
+        | Instr.Remu, true -> Xlen.remuw
+      in
+      wr (f rs1 rs2)
+    | Instr.Lr width ->
+      let pa = xlate t h rs1 in
+      h.reservation <- Some (line_of pa);
+      wr (load_val t pa width false)
+    | Instr.Sc width ->
+      let pa = xlate t h rs1 in
+      (match h.reservation with
+      | Some line when line = line_of pa ->
+        do_store pa (width_bytes width) rs2;
+        wr 0L
+      | _ -> wr 1L);
+      h.reservation <- None
+    | Instr.Amo { op; width } ->
+      let pa = xlate t h rs1 in
+      let old = load_val t pa width false in
+      let nv =
+        match op with
+        | Instr.Amoswap -> rs2
+        | Instr.Amoadd -> Int64.add old rs2
+        | Instr.Amoxor -> Int64.logxor old rs2
+        | Instr.Amoand -> Int64.logand old rs2
+        | Instr.Amoor -> Int64.logor old rs2
+        | Instr.Amomin -> if Int64.compare old rs2 <= 0 then old else rs2
+        | Instr.Amomax -> if Int64.compare old rs2 >= 0 then old else rs2
+        | Instr.Amominu -> if Xlen.ucompare old rs2 <= 0 then old else rs2
+        | Instr.Amomaxu -> if Xlen.ucompare old rs2 >= 0 then old else rs2
+      in
+      let nv = if width = Instr.W then Xlen.sext ~bits:32 nv else nv in
+      do_store pa (width_bytes width) nv;
+      wr old
+    | Instr.Fence | Instr.FenceI -> ()
+    | Instr.Ecall ->
+      (* runtime convention: a7=93 is exit(a0) *)
+      if h.regs.(17) = 93L then begin
+        ignore (Mmio.store t.mmio ~hart Addr_map.mmio_exit h.regs.(10));
+        h.ecall_halt <- true
+      end
+      else raise (Fatal (Printf.sprintf "golden: unknown ecall a7=%Ld at 0x%Lx" h.regs.(17) pc))
+    | Instr.Ebreak -> raise (Fatal (Printf.sprintf "golden: ebreak at 0x%Lx" pc))
+    | Instr.Csr { op; imm } ->
+      let addr = Int64.to_int i.imm in
+      let old =
+        if addr = Csr.mhartid then Int64.of_int h.id
+        else if addr = Csr.satp then h.satp
+        else if addr = Csr.instret then h.instret
+        else if addr = Csr.cycle || addr = Csr.time then h.instret
+        else 0L
+      in
+      let src = if imm then Int64.of_int i.rs1 else rs1 in
+      let nv =
+        match op with
+        | Instr.Csrrw -> Some src
+        | Instr.Csrrs -> if i.rs1 = 0 then None else Some (Int64.logor old src)
+        | Instr.Csrrc -> if i.rs1 = 0 then None else Some (Int64.logand old (Int64.lognot src))
+      in
+      (match nv with
+      | Some v when addr = Csr.satp ->
+        h.satp <- v;
+        Hashtbl.reset h.tlb
+      | _ -> ());
+      wr old
+    | Instr.Illegal w -> raise (Fatal (Printf.sprintf "golden: illegal instr 0x%x at 0x%Lx" w pc)));
+    (match !rd_write with Some (r, v) -> h.regs.(r) <- v | None -> ());
+    h.pc <- !next_pc;
+    h.instret <- Int64.add h.instret 1L;
+    Some { pc; instr = i; rd_write = !rd_write; store = !store; next_pc = !next_pc }
+  end
+
+let run t ~hart ~max =
+  let rec go n =
+    if n >= max then `Timeout
+    else
+      match step t ~hart with
+      | None -> `Halted n
+      | Some _ -> go (n + 1)
+  in
+  go 0

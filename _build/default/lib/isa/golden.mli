@@ -1,0 +1,50 @@
+(** The golden ISA-level simulator — the stand-in for Spike, the "golden
+    model for RISC-V implementations" the paper validates against.
+
+    Executes one instruction per step with architectural semantics only (no
+    timing). The OOO core runs in lockstep against it: every committed
+    instruction is compared on pc, destination register and value. *)
+
+exception Fatal of string
+
+type t
+
+type commit = {
+  pc : int64;
+  instr : Instr.t;
+  rd_write : (int * int64) option;  (** destination register and value *)
+  store : (int64 * int * int64) option;  (** physical addr, bytes, value *)
+  next_pc : int64;
+}
+
+(** [create ~nharts mem mmio] — harts start halted at pc 0 with zero
+    registers; position them with {!set_pc}/{!set_reg}/{!set_satp}. *)
+val create : nharts:int -> Phys_mem.t -> Mmio.t -> t
+
+val mem : t -> Phys_mem.t
+val mmio : t -> Mmio.t
+val set_pc : t -> hart:int -> int64 -> unit
+val pc : t -> hart:int -> int64
+val set_reg : t -> hart:int -> int -> int64 -> unit
+val reg : t -> hart:int -> int -> int64
+
+(** Enable Sv39 translation with the given root page ([0] = bare). *)
+val set_satp : t -> hart:int -> int64 -> unit
+
+val instret : t -> hart:int -> int64
+
+(** [halted t ~hart] — the hart has stored to the exit device (or exited via
+    ecall). *)
+val halted : t -> hart:int -> bool
+
+(** Execute one instruction; [None] when halted. Raises {!Fatal} on illegal
+    instructions or unmapped addresses. *)
+val step : t -> hart:int -> commit option
+
+(** Run until the hart halts or [max] instructions retire; returns retired
+    count, [`Timeout] if the budget ran out first. *)
+val run : t -> hart:int -> max:int -> [ `Halted of int | `Timeout ]
+
+(** Translate a virtual address under the hart's current [satp] (identity
+    when bare). Used by loaders and debuggers. *)
+val translate : t -> hart:int -> int64 -> int64

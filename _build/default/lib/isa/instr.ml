@@ -1,0 +1,118 @@
+type width = B | H | W | D
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type muldiv_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type amo_op = Amoswap | Amoadd | Amoxor | Amoand | Amoor | Amomin | Amomax | Amominu | Amomaxu
+type csr_op = Csrrw | Csrrs | Csrrc
+
+type op =
+  | Lui
+  | Auipc
+  | Jal
+  | Jalr
+  | Br of branch_cond
+  | Ld of { width : width; unsigned : bool }
+  | St of width
+  | OpA of { alu : alu_op; word : bool; imm : bool }
+  | MulDiv of { op : muldiv_op; word : bool }
+  | Lr of width
+  | Sc of width
+  | Amo of { op : amo_op; width : width }
+  | Fence
+  | FenceI
+  | Ecall
+  | Ebreak
+  | Csr of { op : csr_op; imm : bool }
+  | Illegal of int
+
+type t = { op : op; rd : int; rs1 : int; rs2 : int; imm : int64 }
+
+let make ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0L) op = { op; rd; rs1; rs2; imm }
+let bytes_of_width = function B -> 1 | H -> 2 | W -> 4 | D -> 8
+
+type exec_class = EC_alu | EC_branch | EC_muldiv | EC_mem | EC_system
+
+let exec_class i =
+  match i.op with
+  | Lui | Auipc | OpA _ -> EC_alu
+  | Jal | Jalr | Br _ -> EC_branch
+  | MulDiv _ -> EC_muldiv
+  | Ld _ | St _ | Lr _ | Sc _ | Amo _ | Fence | FenceI -> EC_mem
+  | Ecall | Ebreak | Csr _ | Illegal _ -> EC_system
+
+let is_mem i = exec_class i = EC_mem
+let is_load i = match i.op with Ld _ | Lr _ -> true | _ -> false
+let is_store i = match i.op with St _ | Sc _ | Amo _ -> true | _ -> false
+let is_branch i = match i.op with Jal | Jalr | Br _ -> true | _ -> false
+
+let uses_rs1 i =
+  match i.op with
+  | Lui | Auipc | Jal | Fence | FenceI | Ecall | Ebreak | Illegal _ -> false
+  | Csr { imm; _ } -> not imm
+  | Jalr | Br _ | Ld _ | St _ | OpA _ | MulDiv _ | Lr _ | Sc _ | Amo _ -> true
+
+let uses_rs2 i =
+  match i.op with
+  | Br _ | St _ | Sc _ | Amo _ -> true
+  | OpA { imm; _ } -> not imm
+  | MulDiv _ -> true
+  | Lui | Auipc | Jal | Jalr | Ld _ | Lr _ | Fence | FenceI | Ecall | Ebreak | Csr _ | Illegal _
+    -> false
+
+let writes_rd i =
+  i.rd <> 0
+  &&
+  match i.op with
+  | Br _ | St _ | Fence | FenceI | Ecall | Ebreak | Illegal _ -> false
+  | Lui | Auipc | Jal | Jalr | Ld _ | OpA _ | MulDiv _ | Lr _ | Sc _ | Amo _ | Csr _ -> true
+
+let width_str = function B -> "b" | H -> "h" | W -> "w" | D -> "d"
+
+let op_str i =
+  match i.op with
+  | Lui -> "lui"
+  | Auipc -> "auipc"
+  | Jal -> "jal"
+  | Jalr -> "jalr"
+  | Br c ->
+    (match c with Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge" | Bltu -> "bltu" | Bgeu -> "bgeu")
+  | Ld { width; unsigned } -> "l" ^ width_str width ^ (if unsigned then "u" else "")
+  | St w -> "s" ^ width_str w
+  | OpA { alu; word; imm } ->
+    let base =
+      match alu with
+      | Add -> "add" | Sub -> "sub" | Sll -> "sll" | Slt -> "slt" | Sltu -> "sltu"
+      | Xor -> "xor" | Srl -> "srl" | Sra -> "sra" | Or -> "or" | And -> "and"
+    in
+    base ^ (if imm then "i" else "") ^ if word then "w" else ""
+  | MulDiv { op; word } ->
+    let base =
+      match op with
+      | Mul -> "mul" | Mulh -> "mulh" | Mulhsu -> "mulhsu" | Mulhu -> "mulhu"
+      | Div -> "div" | Divu -> "divu" | Rem -> "rem" | Remu -> "remu"
+    in
+    base ^ if word then "w" else ""
+  | Lr w -> "lr." ^ width_str w
+  | Sc w -> "sc." ^ width_str w
+  | Amo { op; width } ->
+    let base =
+      match op with
+      | Amoswap -> "amoswap" | Amoadd -> "amoadd" | Amoxor -> "amoxor" | Amoand -> "amoand"
+      | Amoor -> "amoor" | Amomin -> "amomin" | Amomax -> "amomax" | Amominu -> "amominu"
+      | Amomaxu -> "amomaxu"
+    in
+    base ^ "." ^ width_str width
+  | Fence -> "fence"
+  | FenceI -> "fence.i"
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"
+  | Csr { op; imm } ->
+    let base = match op with Csrrw -> "csrrw" | Csrrs -> "csrrs" | Csrrc -> "csrrc" in
+    base ^ if imm then "i" else ""
+  | Illegal w -> Printf.sprintf "illegal(0x%x)" w
+
+let pp fmt i =
+  Format.fprintf fmt "%s rd=%s rs1=%s rs2=%s imm=%Ld" (op_str i) (Reg_name.to_string i.rd)
+    (Reg_name.to_string i.rs1) (Reg_name.to_string i.rs2) i.imm
+
+let to_string i = Format.asprintf "%a" pp i

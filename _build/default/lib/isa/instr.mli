@@ -1,0 +1,70 @@
+(** Typed RV64IMA (+Zicsr, +fences) instructions.
+
+    Both the golden ISA simulator and the microarchitectural cores execute
+    this structured form; {!Decode} and {!Encode} convert to and from the
+    32-bit encoding, and round-tripping is property-tested. *)
+
+type width = B | H | W | D
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+
+type muldiv_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+
+type amo_op = Amoswap | Amoadd | Amoxor | Amoand | Amoor | Amomin | Amomax | Amominu | Amomaxu
+
+type csr_op = Csrrw | Csrrs | Csrrc
+
+type op =
+  | Lui
+  | Auipc
+  | Jal
+  | Jalr
+  | Br of branch_cond
+  | Ld of { width : width; unsigned : bool }
+  | St of width
+  | OpA of { alu : alu_op; word : bool; imm : bool }  (** integer ALU *)
+  | MulDiv of { op : muldiv_op; word : bool }
+  | Lr of width
+  | Sc of width
+  | Amo of { op : amo_op; width : width }
+  | Fence
+  | FenceI
+  | Ecall
+  | Ebreak
+  | Csr of { op : csr_op; imm : bool }
+  | Illegal of int
+
+type t = { op : op; rd : int; rs1 : int; rs2 : int; imm : int64 }
+
+val make : ?rd:int -> ?rs1:int -> ?rs2:int -> ?imm:int64 -> op -> t
+
+(** Width in bytes. *)
+val bytes_of_width : width -> int
+
+(** Classification used by issue logic. *)
+type exec_class = EC_alu | EC_branch | EC_muldiv | EC_mem | EC_system
+
+val exec_class : t -> exec_class
+
+(** [is_mem i] holds for loads, stores, AMOs, LR/SC and fences — everything
+    that allocates an LSQ slot. *)
+val is_mem : t -> bool
+
+(** Loads in the LSQ sense: LD + LR (reads memory, returns a value). *)
+val is_load : t -> bool
+
+(** Stores in the LSQ sense: ST + SC + AMO (writes memory). *)
+val is_store : t -> bool
+
+val is_branch : t -> bool
+
+(** Does the instruction read rs1 / rs2, write rd? *)
+val uses_rs1 : t -> bool
+
+val uses_rs2 : t -> bool
+val writes_rd : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,18 @@
+type t = { buf : Buffer.t; exits : (int, int64) Hashtbl.t }
+
+let create () = { buf = Buffer.create 256; exits = Hashtbl.create 4 }
+
+let store t ~hart addr v =
+  if addr = Addr_map.mmio_console then begin
+    Buffer.add_char t.buf (Char.chr (Int64.to_int v land 0xFF));
+    true
+  end
+  else if addr = Addr_map.mmio_exit then begin
+    if not (Hashtbl.mem t.exits hart) then Hashtbl.add t.exits hart v;
+    true
+  end
+  else Addr_map.is_mmio addr
+
+let load _t ~hart:_ _addr = 0L
+let exit_code t ~hart = Hashtbl.find_opt t.exits hart
+let console t = Buffer.contents t.buf

@@ -1,0 +1,22 @@
+(** Memory-mapped devices: console output and the exit ("tohost") register.
+
+    MMIO accesses happen only at commit (paper, Section V-B), so a single
+    non-speculative [store]/[load] interface suffices for every model. *)
+
+type t
+
+val create : unit -> t
+
+(** [store t ~hart addr v] performs an uncached device store. Returns [true]
+    when the address belongs to a device; a store to {!Addr_map.mmio_exit}
+    records the hart's exit code. *)
+val store : t -> hart:int -> int64 -> int64 -> bool
+
+(** Device load; currently every device reads as 0. *)
+val load : t -> hart:int -> int64 -> int64
+
+(** Exit code of a hart, if it has exited. *)
+val exit_code : t -> hart:int -> int64 option
+
+(** Console output accumulated so far. *)
+val console : t -> string

@@ -1,0 +1,82 @@
+let pte_v = 1L
+let pte_rwx = 0b1110L
+
+type t = { mem : Phys_mem.t; root_pa : int64; mutable cursor : int64 }
+
+let alloc_page t =
+  let pa = t.cursor in
+  t.cursor <- Int64.add t.cursor 4096L;
+  pa
+
+let create mem ~alloc_base =
+  let t = { mem; root_pa = alloc_base; cursor = alloc_base } in
+  ignore (alloc_page t);
+  t
+
+let vpn va level = Int64.to_int (Int64.logand (Int64.shift_right_logical va (12 + (9 * level))) 0x1FFL)
+
+let pte_addr table_pa idx = Int64.add table_pa (Int64.of_int (idx * 8))
+
+(* Follow (or create) the non-leaf PTE at [level] of [table_pa]. *)
+let ensure_table t table_pa idx =
+  let pa = pte_addr table_pa idx in
+  let pte = Phys_mem.load t.mem ~bytes:8 pa in
+  if Int64.logand pte pte_v <> 0L then Int64.shift_left (Int64.shift_right_logical pte 10) 12
+  else begin
+    let page = alloc_page t in
+    let pte = Int64.logor (Int64.shift_left (Int64.shift_right_logical page 12) 10) pte_v in
+    Phys_mem.store t.mem ~bytes:8 pa pte;
+    page
+  end
+
+let map t ~va ~pa =
+  let l1 = ensure_table t t.root_pa (vpn va 2) in
+  let l0 = ensure_table t l1 (vpn va 1) in
+  let leaf = Int64.logor (Int64.shift_left (Int64.shift_right_logical pa 12) 10) (Int64.logor pte_v pte_rwx) in
+  Phys_mem.store t.mem ~bytes:8 (pte_addr l0 (vpn va 0)) leaf
+
+let map_mega t ~va ~pa =
+  assert (Int64.logand va 0x1FFFFFL = 0L && Int64.logand pa 0x1FFFFFL = 0L);
+  let l1 = ensure_table t t.root_pa (vpn va 2) in
+  let leaf = Int64.logor (Int64.shift_left (Int64.shift_right_logical pa 12) 10) (Int64.logor pte_v pte_rwx) in
+  Phys_mem.store t.mem ~bytes:8 (pte_addr l1 (vpn va 1)) leaf
+
+let map_mega_range t ~va ~pa ~len =
+  let pages = Int64.to_int (Int64.div (Int64.add len 0x1FFFFFL) 0x200000L) in
+  for i = 0 to pages - 1 do
+    let off = Int64.of_int (i * 0x200000) in
+    map_mega t ~va:(Int64.add va off) ~pa:(Int64.add pa off)
+  done
+
+let map_range t ~va ~pa ~len =
+  let pages = Int64.to_int (Int64.div (Int64.add len 4095L) 4096L) in
+  for i = 0 to pages - 1 do
+    let off = Int64.of_int (i * 4096) in
+    map t ~va:(Int64.add va off) ~pa:(Int64.add pa off)
+  done
+
+let root t = t.root_pa
+let alloc_end t = t.cursor
+
+let walk mem ~root va =
+  let ptes = Array.make 3 0L in
+  let rec go table_pa level =
+    let pa = pte_addr table_pa (vpn va level) in
+    ptes.(2 - level) <- pa;
+    let pte = Phys_mem.load mem ~bytes:8 pa in
+    if Int64.logand pte pte_v = 0L then None
+    else if Int64.logand pte pte_rwx <> 0L then begin
+      (* leaf, possibly a superpage: the low VPN slices fall through *)
+      let base = Int64.shift_left (Int64.shift_right_logical pte 10) 12 in
+      let low_mask = Int64.sub (Int64.shift_left 1L (12 + (9 * level))) 4096L in
+      Some (Int64.logor base (Int64.logand va low_mask), ptes)
+    end
+    else if level = 0 then None
+    else go (Int64.shift_left (Int64.shift_right_logical pte 10) 12) (level - 1)
+  in
+  go root 2
+
+let translate mem ~root va =
+  match walk mem ~root va with
+  | Some (page, _) -> Some (Int64.logor page (Int64.logand va 0xFFFL))
+  | None -> None

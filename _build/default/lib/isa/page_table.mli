@@ -1,0 +1,37 @@
+(** Sv39 page tables: builder and reference walker.
+
+    The builder writes real three-level Sv39 tables into physical memory; the
+    microarchitectural page walker ({!Tlb.Page_walker}) and the golden model
+    both walk those bytes, so TLB behaviour is grounded in the same data
+    structure the paper's hardware walks. *)
+
+type t
+
+(** [create mem ~alloc_base] starts building a page table; table pages are
+    carved from physical memory starting at [alloc_base] (4 KiB aligned). *)
+val create : Phys_mem.t -> alloc_base:int64 -> t
+
+(** [map t ~va ~pa] installs a 4 KiB mapping (addresses page aligned). *)
+val map : t -> va:int64 -> pa:int64 -> unit
+
+(** [map_range t ~va ~pa ~len] maps [len] bytes (rounded up to pages). *)
+val map_range : t -> va:int64 -> pa:int64 -> len:int64 -> unit
+
+(** Install a 2 MB megapage (level-1 leaf); addresses 2 MB aligned. *)
+val map_mega : t -> va:int64 -> pa:int64 -> unit
+
+val map_mega_range : t -> va:int64 -> pa:int64 -> len:int64 -> unit
+
+(** Physical address of the root table page — the value to put in [satp]. *)
+val root : t -> int64
+
+(** First free physical address after the allocated table pages. *)
+val alloc_end : t -> int64
+
+(** One step of the three-level walk: physical addresses of the PTEs read at
+    levels 2, 1, 0 plus the translated page, or [None] on fault. Pure with
+    respect to memory. *)
+val walk : Phys_mem.t -> root:int64 -> int64 -> (int64 * int64 array) option
+
+(** [translate mem ~root va] is the translated {e byte} address. *)
+val translate : Phys_mem.t -> root:int64 -> int64 -> int64 option

@@ -1,0 +1,81 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.add t.pages idx p;
+    p
+
+let load_byte t addr =
+  let addr = Int64.to_int addr in
+  let p = page t (addr lsr page_bits) in
+  Char.code (Bytes.unsafe_get p (addr land (page_size - 1)))
+
+let store_byte t addr v =
+  let addr = Int64.to_int addr in
+  let p = page t (addr lsr page_bits) in
+  Bytes.unsafe_set p (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xFF))
+
+let load t ~bytes addr =
+  let a = Int64.to_int addr in
+  let off = a land (page_size - 1) in
+  if off + bytes <= page_size then begin
+    let p = page t (a lsr page_bits) in
+    match bytes with
+    | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get p off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p off)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le p off)) 0xFFFFFFFFL
+    | 8 -> Bytes.get_int64_le p off
+    | _ -> invalid_arg "Phys_mem.load: bad width"
+  end
+  else begin
+    (* page-straddling slow path *)
+    let v = ref 0L in
+    for i = bytes - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (load_byte t (Int64.add addr (Int64.of_int i))))
+    done;
+    !v
+  end
+
+let store t ~bytes addr v =
+  let a = Int64.to_int addr in
+  let off = a land (page_size - 1) in
+  if off + bytes <= page_size then begin
+    let p = page t (a lsr page_bits) in
+    match bytes with
+    | 1 -> Bytes.unsafe_set p off (Char.unsafe_chr (Int64.to_int v land 0xFF))
+    | 2 -> Bytes.set_uint16_le p off (Int64.to_int v land 0xFFFF)
+    | 4 -> Bytes.set_int32_le p off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le p off v
+    | _ -> invalid_arg "Phys_mem.store: bad width"
+  end
+  else
+    for i = 0 to bytes - 1 do
+      store_byte t (Int64.add addr (Int64.of_int i)) (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    done
+
+let load_block t addr n =
+  let b = Bytes.create n in
+  for i = 0 to (n / 8) - 1 do
+    Bytes.set_int64_le b (i * 8) (load t ~bytes:8 (Int64.add addr (Int64.of_int (i * 8))))
+  done;
+  b
+
+let store_block t addr b =
+  for i = 0 to (Bytes.length b / 8) - 1 do
+    store t ~bytes:8 (Int64.add addr (Int64.of_int (i * 8))) (Bytes.get_int64_le b (i * 8))
+  done
+
+let pages_touched t = Hashtbl.length t.pages
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;
+  { pages }

@@ -1,0 +1,29 @@
+(** Sparse byte-addressable physical memory.
+
+    Backed by 4 KiB pages allocated on first touch, so multi-gigabyte address
+    spaces with small working sets cost nothing. All accesses are
+    little-endian; accesses may straddle page boundaries. *)
+
+type t
+
+val create : unit -> t
+
+(** [load t ~bytes addr] reads [bytes] ∈ {1,2,4,8} little-endian, zero-
+    extended into the result. *)
+val load : t -> bytes:int -> int64 -> int64
+
+(** [store t ~bytes addr v] writes the low [bytes] of [v]. *)
+val store : t -> bytes:int -> int64 -> int64 -> unit
+
+(** Cache-line (or any power-of-two block) bulk accessors used by the memory
+    hierarchy. *)
+val load_block : t -> int64 -> int -> Bytes.t
+
+val store_block : t -> int64 -> Bytes.t -> unit
+
+(** Number of pages touched so far (footprint diagnostics). *)
+val pages_touched : t -> int
+
+(** [copy t] makes an independent snapshot (used to fork the golden model's
+    memory from the core's). *)
+val copy : t -> t

@@ -1,0 +1,41 @@
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let s0 = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let s8 = 24
+let s9 = 25
+let s10 = 26
+let s11 = 27
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+let names =
+  [|
+    "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0"; "a1"; "a2"; "a3"; "a4";
+    "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"; "s8"; "s9"; "s10"; "s11"; "t3"; "t4";
+    "t5"; "t6";
+  |]
+
+let to_string r = if r >= 0 && r < 32 then names.(r) else Printf.sprintf "x?%d" r

@@ -1,0 +1,40 @@
+(** Architectural register names (RISC-V ABI mnemonics).
+
+    Registers are plain ints 0–31; these constants make assembler programs
+    and test expectations readable. *)
+
+val zero : int
+val ra : int
+val sp : int
+val gp : int
+val tp : int
+val t0 : int
+val t1 : int
+val t2 : int
+val s0 : int
+val s1 : int
+val a0 : int
+val a1 : int
+val a2 : int
+val a3 : int
+val a4 : int
+val a5 : int
+val a6 : int
+val a7 : int
+val s2 : int
+val s3 : int
+val s4 : int
+val s5 : int
+val s6 : int
+val s7 : int
+val s8 : int
+val s9 : int
+val s10 : int
+val s11 : int
+val t3 : int
+val t4 : int
+val t5 : int
+val t6 : int
+
+(** ABI name of a register number. *)
+val to_string : int -> string

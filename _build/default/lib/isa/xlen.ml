@@ -1,0 +1,91 @@
+type t = int64
+
+let zero = 0L
+let of_int = Int64.of_int
+let to_int = Int64.to_int
+
+let sext ~bits v =
+  let s = 64 - bits in
+  Int64.shift_right (Int64.shift_left v s) s
+
+let zext ~bits v =
+  if bits >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L)
+
+let add = Int64.add
+let sub = Int64.sub
+let logand = Int64.logand
+let logor = Int64.logor
+let logxor = Int64.logxor
+let sll x y = Int64.shift_left x (Int64.to_int y land 63)
+let srl x y = Int64.shift_right_logical x (Int64.to_int y land 63)
+let sra x y = Int64.shift_right x (Int64.to_int y land 63)
+let slt x y = if Int64.compare x y < 0 then 1L else 0L
+let ucompare = Int64.unsigned_compare
+let sltu x y = if ucompare x y < 0 then 1L else 0L
+let mul = Int64.mul
+
+(* High half of the unsigned 128-bit product, by 32-bit limbs. *)
+let mulhu x y =
+  let lo32 v = Int64.logand v 0xFFFFFFFFL in
+  let hi32 v = Int64.shift_right_logical v 32 in
+  let x0 = lo32 x and x1 = hi32 x and y0 = lo32 y and y1 = hi32 y in
+  let p00 = Int64.mul x0 y0 in
+  let p01 = Int64.mul x0 y1 in
+  let p10 = Int64.mul x1 y0 in
+  let p11 = Int64.mul x1 y1 in
+  let mid = Int64.add (Int64.add (hi32 p00) (lo32 p01)) (lo32 p10) in
+  Int64.add (Int64.add p11 (hi32 p01)) (Int64.add (hi32 p10) (hi32 mid))
+
+let mulh x y =
+  (* signed×signed from unsigned: adjust for negative operands *)
+  let u = mulhu x y in
+  let u = if Int64.compare x 0L < 0 then Int64.sub u y else u in
+  if Int64.compare y 0L < 0 then Int64.sub u x else u
+
+let mulhsu x y =
+  let u = mulhu x y in
+  if Int64.compare x 0L < 0 then Int64.sub u y else u
+
+let div x y =
+  if y = 0L then -1L
+  else if x = Int64.min_int && y = -1L then Int64.min_int
+  else Int64.div x y
+
+let rem x y =
+  if y = 0L then x
+  else if x = Int64.min_int && y = -1L then 0L
+  else Int64.rem x y
+
+let divu x y = if y = 0L then -1L else Int64.unsigned_div x y
+let remu x y = if y = 0L then x else Int64.unsigned_rem x y
+
+let w f x y = sext ~bits:32 (f x y)
+let addw = w add
+let subw = w sub
+let sllw x y = sext ~bits:32 (Int64.shift_left x (Int64.to_int y land 31))
+let srlw x y = sext ~bits:32 (Int64.shift_right_logical (zext ~bits:32 x) (Int64.to_int y land 31))
+let sraw x y = sext ~bits:32 (Int64.shift_right (sext ~bits:32 x) (Int64.to_int y land 31))
+let mulw = w mul
+
+let divw x y =
+  let x = sext ~bits:32 x and y = sext ~bits:32 y in
+  if y = 0L then -1L
+  else if x = sext ~bits:32 0x80000000L && y = -1L then x
+  else sext ~bits:32 (Int64.div x y)
+
+let divuw x y =
+  let x = zext ~bits:32 x and y = zext ~bits:32 y in
+  if y = 0L then -1L else sext ~bits:32 (Int64.unsigned_div x y)
+
+let remw x y =
+  let x = sext ~bits:32 x and y = sext ~bits:32 y in
+  if y = 0L then x
+  else if x = sext ~bits:32 0x80000000L && y = -1L then 0L
+  else sext ~bits:32 (Int64.rem x y)
+
+let remuw x y =
+  let x = zext ~bits:32 x and y = zext ~bits:32 y in
+  if y = 0L then sext ~bits:32 x else sext ~bits:32 (Int64.unsigned_rem x y)
+
+let pp_hex fmt v = Format.fprintf fmt "0x%Lx" v

@@ -1,0 +1,72 @@
+(** 64-bit machine arithmetic with RISC-V semantics.
+
+    Values are [int64] interpreted as the 64-bit register contents. All the
+    corner cases of the RV64IM spec live here: shift-amount masking, the
+    [*W] 32-bit operations that sign-extend their results, division by zero
+    and signed-overflow conventions, and the high halves of 128-bit
+    products. *)
+
+type t = int64
+
+val zero : t
+val of_int : int -> t
+val to_int : t -> int
+
+(** [sext ~bits v] sign-extends the low [bits] of [v]. *)
+val sext : bits:int -> t -> t
+
+(** [zext ~bits v] zero-extends the low [bits] of [v]. *)
+val zext : bits:int -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** Shifts mask the amount to 6 bits (5 for the [*W] forms). *)
+val sll : t -> t -> t
+
+val srl : t -> t -> t
+val sra : t -> t -> t
+
+(** Signed / unsigned set-less-than, returning 0 or 1. *)
+val slt : t -> t -> t
+
+val sltu : t -> t -> t
+
+(** Unsigned comparison, [-1], [0] or [1]. *)
+val ucompare : t -> t -> int
+
+val mul : t -> t -> t
+
+(** High 64 bits of the signed×signed / signed×unsigned / unsigned×unsigned
+    128-bit product. *)
+val mulh : t -> t -> t
+
+val mulhsu : t -> t -> t
+val mulhu : t -> t -> t
+
+(** RISC-V division: [x/0 = -1], [min_int / -1 = min_int]. *)
+val div : t -> t -> t
+
+(** RISC-V remainder: [x rem 0 = x], [min_int rem -1 = 0]. *)
+val rem : t -> t -> t
+
+val divu : t -> t -> t
+val remu : t -> t -> t
+
+(** 32-bit ([*W]) forms: compute on the low 32 bits, sign-extend to 64. *)
+val addw : t -> t -> t
+
+val subw : t -> t -> t
+val sllw : t -> t -> t
+val srlw : t -> t -> t
+val sraw : t -> t -> t
+val mulw : t -> t -> t
+val divw : t -> t -> t
+val divuw : t -> t -> t
+val remw : t -> t -> t
+val remuw : t -> t -> t
+
+val pp_hex : Format.formatter -> t -> unit

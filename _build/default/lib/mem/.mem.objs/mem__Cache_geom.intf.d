@@ -1,0 +1,1 @@
+lib/mem/cache_geom.mli:

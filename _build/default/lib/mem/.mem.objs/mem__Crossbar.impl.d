@@ -1,0 +1,1 @@
+lib/mem/crossbar.ml: Array Cmd Fifo Kernel L2_cache Msg Rule

@@ -1,0 +1,1 @@
+lib/mem/crossbar.mli: Cmd L2_cache Msg

@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Bytes Cache_geom Clock Cmd Fifo Isa Kernel Mut

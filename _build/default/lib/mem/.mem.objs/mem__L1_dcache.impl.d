@@ -1,0 +1,1 @@
+lib/mem/l1_dcache.ml: Array Bytes Cache_geom Char Cmd Fifo Int64 Isa Kernel Msg Mut Rule Stats

@@ -1,0 +1,1 @@
+lib/mem/l1_dcache.mli: Bytes Cache_geom Cmd Msg

@@ -1,0 +1,1 @@
+lib/mem/l1_icache.ml: Array Bytes Cache_geom Cmd Fifo Int32 Int64 Kernel Msg Mut Rule Stats

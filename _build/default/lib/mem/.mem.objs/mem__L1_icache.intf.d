@@ -1,0 +1,1 @@
+lib/mem/l1_icache.mli: Cache_geom Cmd Msg

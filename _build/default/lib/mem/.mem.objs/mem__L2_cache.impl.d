@@ -1,0 +1,1 @@
+lib/mem/l2_cache.ml: Array Bytes Cache_geom Clock Cmd Dram Fifo Fun Int64 Kernel List Msg Mut Rule Stats

@@ -1,0 +1,1 @@
+lib/mem/l2_cache.mli: Cache_geom Cmd Dram Msg

@@ -1,0 +1,1 @@
+lib/mem/mem_sys.ml: Array Cache_geom Cmd Crossbar Dram L1_dcache L1_icache L2_cache List Printf

@@ -1,0 +1,1 @@
+lib/mem/mem_sys.mli: Cmd Dram Isa L1_dcache L1_icache L2_cache

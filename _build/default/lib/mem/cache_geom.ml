@@ -1,0 +1,17 @@
+(* Cache geometry helpers. Lines are 64 bytes everywhere. *)
+
+let line_bytes = 64
+let line_bits = 6
+
+type t = { sets : int; ways : int; set_bits : int }
+
+let v ~size_bytes ~ways =
+  let sets = size_bytes / (ways * line_bytes) in
+  assert (sets > 0 && sets land (sets - 1) = 0);
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  { sets; ways; set_bits = log2 sets }
+
+let line_addr a = Int64.logand a (Int64.lognot 63L)
+let index t line = Int64.to_int (Int64.shift_right_logical line line_bits) land (t.sets - 1)
+let tag t line = Int64.shift_right_logical line (line_bits + t.set_bits)
+let offset a = Int64.to_int a land (line_bytes - 1)

@@ -1,0 +1,22 @@
+(** Cache geometry helpers. Every cache in the hierarchy uses 64-byte lines
+    (paper, Fig. 12: buffers are "64B wide"). *)
+
+val line_bytes : int
+val line_bits : int
+
+type t = { sets : int; ways : int; set_bits : int }
+
+(** [v ~size_bytes ~ways] — the set count must come out a power of two. *)
+val v : size_bytes:int -> ways:int -> t
+
+(** Align an address down to its line. *)
+val line_addr : int64 -> int64
+
+(** Set index of a line address. *)
+val index : t -> int64 -> int
+
+(** Tag of a line address. *)
+val tag : t -> int64 -> int64
+
+(** Byte offset within the line. *)
+val offset : int64 -> int

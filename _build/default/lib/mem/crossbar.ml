@@ -1,0 +1,54 @@
+open Cmd
+
+type endpoint = {
+  creq : Msg.creq Fifo.t;
+  cresp : Msg.cresp Fifo.t;
+  preq : Msg.preq Fifo.t;
+  presp : Msg.presp Fifo.t;
+}
+
+let rules children ~l2 =
+  let up_resp =
+    Rule.make "xbar.up.resp" (fun ctx ->
+        Array.iter
+          (fun ep ->
+            ignore
+              (Kernel.attempt ctx (fun ctx -> Fifo.enq ctx (L2_cache.cresp_in l2) (Fifo.deq ctx ep.cresp))))
+          children)
+  in
+  let up_req =
+    Rule.make "xbar.up.req" (fun ctx ->
+        Array.iter
+          (fun ep ->
+            ignore
+              (Kernel.attempt ctx (fun ctx -> Fifo.enq ctx (L2_cache.creq_in l2) (Fifo.deq ctx ep.creq))))
+          children)
+  in
+  let down_resp =
+    Rule.make "xbar.down.resp" (fun ctx ->
+        (* drain as many grants as the destinations accept this cycle *)
+        let continue = ref true in
+        while !continue do
+          match
+            Kernel.attempt ctx (fun ctx ->
+                let child, (g : Msg.presp) = Fifo.deq ctx (L2_cache.presp_out l2) in
+                Fifo.enq ctx children.(child).presp g)
+          with
+          | Some () -> ()
+          | None -> continue := false
+        done)
+  in
+  let down_req =
+    Rule.make "xbar.down.req" (fun ctx ->
+        let continue = ref true in
+        while !continue do
+          match
+            Kernel.attempt ctx (fun ctx ->
+                let child, (d : Msg.preq) = Fifo.deq ctx (L2_cache.preq_out l2) in
+                Fifo.enq ctx children.(child).preq d)
+          with
+          | Some () -> ()
+          | None -> continue := false
+        done)
+  in
+  [ up_resp; down_resp; up_req; down_req ]

@@ -1,0 +1,19 @@
+(** The cache crossbar (paper, Fig. 11): connection rules between N L1
+    children and the shared L2.
+
+    Child→parent channels are merged (round-robin over children, one message
+    per child per cycle); parent→child channels are demultiplexed on the
+    destination id. Response channels get their own rules scheduled before
+    request channels, preserving the "responses are never slower than
+    requests" invariant the protocol's ordering argument needs. *)
+
+type endpoint = {
+  creq : Msg.creq Cmd.Fifo.t;
+  cresp : Msg.cresp Cmd.Fifo.t;
+  preq : Msg.preq Cmd.Fifo.t;
+  presp : Msg.presp Cmd.Fifo.t;
+}
+
+(** [rules children l2] — the child endpoints must be indexed by their
+    [child] id as used in the messages. *)
+val rules : endpoint array -> l2:L2_cache.t -> Cmd.Rule.t list

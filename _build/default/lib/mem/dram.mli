@@ -1,0 +1,28 @@
+(** The DRAM model: fixed latency, bounded outstanding requests.
+
+    Matches the paper's memory model (Fig. 12): a latency in cycles and a
+    maximum number of in-flight requests standing in for bandwidth
+    (24 requests ≈ 12.8 GB/s at 2 GHz). Reads complete in order after
+    [latency] cycles; writes are acknowledged implicitly and applied at
+    request time (the L2 is the only client and never reads a line it has
+    outstanding writes for). *)
+
+type t
+
+val create : Cmd.Clock.t -> Isa.Phys_mem.t -> latency:int -> max_inflight:int -> t
+
+(** Read a 64-byte line. Guarded on an in-flight slot being free. *)
+val req_read : Cmd.Kernel.ctx -> t -> int64 -> unit
+
+(** Write back a 64-byte line (costs an in-flight slot until accepted). *)
+val req_write : Cmd.Kernel.ctx -> t -> int64 -> Bytes.t -> unit
+
+(** Oldest completed read: [(line_addr, data)]. Guarded on one being ready. *)
+val resp : Cmd.Kernel.ctx -> t -> int64 * Bytes.t
+
+val can_resp : Cmd.Kernel.ctx -> t -> bool
+
+(** Total reads and writes accepted (statistics). *)
+val reads : t -> int
+
+val writes : t -> int

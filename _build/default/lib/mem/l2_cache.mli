@@ -1,0 +1,49 @@
+(** Shared, inclusive, non-blocking L2 cache: the MSI directory parent
+    (paper, Section V-D and Fig. 11).
+
+    Serves upgrade requests from [nchildren] L1 caches, tracking each child's
+    state per line in a directory; demands downgrades when a grant requires
+    them; recalls children and writes back dirty lines on its own evictions
+    (inclusive); and fetches from {!Dram} on misses. A separate read port
+    serves the L2 TLB's hardware page walks — those reads are coherent: any
+    child holding the line in M is downgraded to S first.
+
+    Channel discipline (deadlock/ordering argument): response channels
+    (child→parent [cresp], parent→child [presp]) are processed
+    unconditionally every cycle, so they are never blocked behind requests;
+    grants therefore always beat later downgrade demands, and voluntary
+    evictions always beat later re-requests. *)
+
+type t
+
+val create :
+  ?name:string ->
+  Cmd.Clock.t ->
+  nchildren:int ->
+  geom:Cache_geom.t ->
+  mshrs:int ->
+  ?latency:int ->
+  ?mesi:bool ->
+  dram:Dram.t ->
+  stats:Cmd.Stats.t ->
+  unit ->
+  t
+
+(** Child-side channels, to be connected by {!Crossbar}. *)
+val creq_in : t -> Msg.creq Cmd.Fifo.t
+
+val cresp_in : t -> Msg.cresp Cmd.Fifo.t
+
+(** Outbound messages carry the destination child. *)
+val preq_out : t -> (int * Msg.preq) Cmd.Fifo.t
+
+val presp_out : t -> (int * Msg.presp) Cmd.Fifo.t
+
+(** {2 Page-walker port (coherent 8-byte reads)} *)
+
+val walk_req : Cmd.Kernel.ctx -> t -> tag:int -> int64 -> unit
+val can_walk_req : Cmd.Kernel.ctx -> t -> bool
+val walk_resp : Cmd.Kernel.ctx -> t -> int * int64
+val can_walk_resp : Cmd.Kernel.ctx -> t -> bool
+
+val rules : t -> Cmd.Rule.t list

@@ -1,0 +1,90 @@
+type config = {
+  l1d_bytes : int;
+  l1d_ways : int;
+  l1d_mshrs : int;
+  l1i_bytes : int;
+  l1i_ways : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l2_mshrs : int;
+  l2_latency : int;
+  mesi : bool;
+  mem_latency : int;
+  mem_inflight : int;
+}
+
+let default_config =
+  {
+    l1d_bytes = 32 * 1024;
+    l1d_ways = 8;
+    l1d_mshrs = 8;
+    l1i_bytes = 32 * 1024;
+    l1i_ways = 8;
+    l2_bytes = 1024 * 1024;
+    l2_ways = 16;
+    l2_mshrs = 16;
+    l2_latency = 16;
+    mesi = false;
+    mem_latency = 120;
+    mem_inflight = 24;
+  }
+
+type t = {
+  dcaches : L1_dcache.t array;
+  icaches : L1_icache.t array;
+  l2c : L2_cache.t;
+  dramc : Dram.t;
+  xbar_rules : Cmd.Rule.t list;
+}
+
+let create clk pmem cfg ~ncores ~fetch_width ~stats =
+  let dramc = Dram.create clk pmem ~latency:cfg.mem_latency ~max_inflight:cfg.mem_inflight in
+  let nchildren = 2 * ncores in
+  let l2c =
+    L2_cache.create clk ~nchildren
+      ~geom:(Cache_geom.v ~size_bytes:cfg.l2_bytes ~ways:cfg.l2_ways)
+      ~mshrs:cfg.l2_mshrs ~latency:cfg.l2_latency ~mesi:cfg.mesi ~dram:dramc ~stats ()
+  in
+  let dcaches =
+    Array.init ncores (fun i ->
+        L1_dcache.create ~name:(Printf.sprintf "c%d.l1d" i) clk ~child_id:(2 * i)
+          ~geom:(Cache_geom.v ~size_bytes:cfg.l1d_bytes ~ways:cfg.l1d_ways)
+          ~mshrs:cfg.l1d_mshrs ~stats ())
+  in
+  let icaches =
+    Array.init ncores (fun i ->
+        L1_icache.create ~name:(Printf.sprintf "c%d.l1i" i) clk ~child_id:((2 * i) + 1)
+          ~geom:(Cache_geom.v ~size_bytes:cfg.l1i_bytes ~ways:cfg.l1i_ways)
+          ~fetch_width ~stats ())
+  in
+  let endpoints =
+    Array.init nchildren (fun c ->
+        if c land 1 = 0 then
+          let d = dcaches.(c / 2) in
+          {
+            Crossbar.creq = L1_dcache.creq_out d;
+            cresp = L1_dcache.cresp_out d;
+            preq = L1_dcache.preq_in d;
+            presp = L1_dcache.presp_in d;
+          }
+        else
+          let i = icaches.(c / 2) in
+          {
+            Crossbar.creq = L1_icache.creq_out i;
+            cresp = L1_icache.cresp_out i;
+            preq = L1_icache.preq_in i;
+            presp = L1_icache.presp_in i;
+          })
+  in
+  { dcaches; icaches; l2c; dramc; xbar_rules = Crossbar.rules endpoints ~l2:l2c }
+
+let dcache t i = t.dcaches.(i)
+let icache t i = t.icaches.(i)
+let l2 t = t.l2c
+let dram t = t.dramc
+
+let rules t =
+  t.xbar_rules
+  @ L2_cache.rules t.l2c
+  @ Array.to_list (Array.map L1_dcache.rules t.dcaches |> Array.map List.hd)
+  @ Array.to_list (Array.map L1_icache.rules t.icaches |> Array.map List.hd)

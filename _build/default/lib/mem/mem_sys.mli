@@ -1,0 +1,37 @@
+(** The assembled coherent memory system (paper, Fig. 11): per-core L1 I/D
+    caches, the cache crossbar, the shared inclusive L2, and DRAM.
+
+    Both TLB page walks (through the L2 walker port) and all cache traffic
+    are coherent, as in the paper. *)
+
+type config = {
+  l1d_bytes : int;
+  l1d_ways : int;
+  l1d_mshrs : int;
+  l1i_bytes : int;
+  l1i_ways : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l2_mshrs : int;
+  l2_latency : int;  (** cycles added to every L2 response (hit latency) *)
+  mesi : bool;  (** grant exclusive-clean on unshared reads (MESI) *)
+  mem_latency : int;
+  mem_inflight : int;
+}
+
+(** The paper's RiscyOO-B memory parameters (Fig. 12). *)
+val default_config : config
+
+type t
+
+val create :
+  Cmd.Clock.t -> Isa.Phys_mem.t -> config -> ncores:int -> fetch_width:int -> stats:Cmd.Stats.t -> t
+
+val dcache : t -> int -> L1_dcache.t
+val icache : t -> int -> L1_icache.t
+val l2 : t -> L2_cache.t
+val dram : t -> Dram.t
+
+(** All internal rules (caches, crossbar, L2), in a schedule that keeps
+    response channels ahead of request channels. *)
+val rules : t -> Cmd.Rule.t list

@@ -1,0 +1,10 @@
+type state = I | S | E | M
+
+let rank = function I -> 0 | S -> 1 | E -> 2 | M -> 3
+let state_leq a b = rank a <= rank b
+let state_to_string = function I -> "I" | S -> "S" | E -> "E" | M -> "M"
+
+type creq = { child : int; line : int64; want : state }
+type cresp = { child : int; line : int64; to_s : state; data : Bytes.t option }
+type preq = { line : int64; to_s : state }
+type presp = { line : int64; granted : state; data : Bytes.t }

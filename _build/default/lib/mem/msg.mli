@@ -1,0 +1,33 @@
+(** MSI coherence protocol messages (paper, Section V-D: the protocol
+    formally verified by Vijayaraghavan et al., restated for this model).
+
+    Children (L1 caches) talk to the parent (shared L2) over two virtual
+    channels in each direction:
+    - child→parent requests ({!creq}): upgrade demands;
+    - child→parent responses ({!cresp}): demanded or voluntary downgrades,
+      carrying data when the child held M;
+    - parent→child requests ({!preq}): downgrade demands;
+    - parent→child responses ({!presp}): grants, always carrying data.
+
+    Response channels are drained unconditionally at both ends, which makes
+    them strictly faster than the request channels; that ordering argument
+    is what keeps the directory in sync without acknowledgement messages. *)
+
+type state =
+  | I
+  | S
+  | E  (** exclusive-clean (the MESI extension the paper suggests) *)
+  | M
+
+val state_leq : state -> state -> bool
+val state_to_string : state -> string
+
+type creq = { child : int; line : int64; want : state }
+
+(** [to_s] is the state the child now holds. [data] present iff it held M. *)
+type cresp = { child : int; line : int64; to_s : state; data : Bytes.t option }
+
+type preq = { line : int64; to_s : state }
+
+(** Grants carry the full line unconditionally. *)
+type presp = { line : int64; granted : state; data : Bytes.t }

@@ -1,0 +1,1 @@
+lib/ooo/bypass.ml: Array Cmd Printf Wire

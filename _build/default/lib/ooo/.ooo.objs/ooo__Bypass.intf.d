@@ -1,0 +1,1 @@
+lib/ooo/bypass.mli: Cmd

@@ -1,0 +1,1 @@
+lib/ooo/config.ml: Branch Format Mem Tlb

@@ -1,0 +1,1 @@
+lib/ooo/config.mli: Branch Format Mem Tlb

@@ -1,0 +1,1 @@
+lib/ooo/core.mli: Cmd Config Format Isa Mem Tlb Uop

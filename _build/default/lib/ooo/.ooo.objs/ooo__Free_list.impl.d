@@ -1,0 +1,1 @@
+lib/ooo/free_list.ml: Array Cmd Kernel Mut

@@ -1,0 +1,1 @@
+lib/ooo/free_list.mli: Cmd

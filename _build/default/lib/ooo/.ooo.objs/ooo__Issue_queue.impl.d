@@ -1,0 +1,1 @@
+lib/ooo/issue_queue.ml: Array Cmd Kernel Mut Uop

@@ -1,0 +1,1 @@
+lib/ooo/issue_queue.mli: Cmd Uop

@@ -1,0 +1,1 @@
+lib/ooo/lsq.ml: Array Cmd Config Format Hashtbl Int64 Isa Kernel List Mem Mut Printf Store_buffer Uop

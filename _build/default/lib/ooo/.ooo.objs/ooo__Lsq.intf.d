@@ -1,0 +1,1 @@
+lib/ooo/lsq.mli: Cmd Config Format Store_buffer Uop

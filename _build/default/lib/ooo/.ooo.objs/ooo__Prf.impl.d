@@ -1,0 +1,1 @@
+lib/ooo/prf.ml: Array Cmd Mut

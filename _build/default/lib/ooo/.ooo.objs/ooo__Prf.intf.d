@@ -1,0 +1,1 @@
+lib/ooo/prf.mli: Cmd

@@ -1,0 +1,1 @@
+lib/ooo/rename_table.mli: Cmd

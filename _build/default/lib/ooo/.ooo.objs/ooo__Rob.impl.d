@@ -1,0 +1,1 @@
+lib/ooo/rob.ml: Array Cmd Kernel Mut Uop

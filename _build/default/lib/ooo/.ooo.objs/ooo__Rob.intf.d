@@ -1,0 +1,1 @@
+lib/ooo/rob.mli: Cmd Uop

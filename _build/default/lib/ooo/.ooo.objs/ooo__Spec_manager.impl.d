@@ -1,0 +1,1 @@
+lib/ooo/spec_manager.ml: Array Cmd Kernel List Mut

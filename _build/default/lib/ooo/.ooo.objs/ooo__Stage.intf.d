@@ -1,0 +1,1 @@
+lib/ooo/stage.mli: Cmd

@@ -1,0 +1,1 @@
+lib/ooo/store_buffer.ml: Array Bytes Char Cmd Int64 Kernel Mem Mut

@@ -1,0 +1,1 @@
+lib/ooo/store_buffer.mli: Bytes Cmd

@@ -1,0 +1,1 @@
+lib/ooo/uop.ml: Branch Cmd Format Isa

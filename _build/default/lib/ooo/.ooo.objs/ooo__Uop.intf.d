@@ -1,0 +1,1 @@
+lib/ooo/uop.mli: Branch Cmd Format Isa

@@ -1,0 +1,52 @@
+(** The RiscyOO out-of-order core (paper, Fig. 9): front-end with BTB +
+    tournament predictor + RAS and epoch-based redirect; rename with
+    speculation tags; ROB; per-pipeline issue queues; PRF with presence bits
+    and scoreboard; ALU/MULDIV/MEM pipelines with a bypass network; LSQ +
+    store buffer; commit with golden-model lockstep co-simulation.
+
+    All of it is composed by top-level atomic rules ({!rules}); the returned
+    list order {e is} the intra-cycle logical order, so the schedule
+    experiments of Section IV-D are expressed by reordering it. *)
+
+type t
+
+(** Which intra-cycle rule ordering to build (the Section IV-D exploration):
+    [`Aggressive] places wakeup-producing rules before issue and issue before
+    rename (a freshly woken or renamed instruction can issue in the same
+    cycle); [`Conservative] reverses rename/issue, costing a cycle on
+    back-to-back dependents. *)
+type schedule = [ `Aggressive | `Conservative ]
+
+val create :
+  ?name:string ->
+  ?cosim:Isa.Golden.t ->
+  Cmd.Clock.t ->
+  Config.t ->
+  hart_id:int ->
+  icache:Mem.L1_icache.t ->
+  dcache:Mem.L1_dcache.t ->
+  tlb:Tlb.Tlb_sys.t ->
+  mmio:Isa.Mmio.t ->
+  stats:Cmd.Stats.t ->
+  unit ->
+  t
+
+(** Also registers the TSO/reservation eviction hook on the D-cache. *)
+val rules : ?schedule:schedule -> t -> Cmd.Rule.t list
+
+val set_pc : t -> int64 -> unit
+
+(** Observe every committed uop (tracing, custom statistics). *)
+val set_commit_hook : t -> (Uop.t -> unit) -> unit
+
+(** Initialize an architectural register (pre-run). *)
+val set_reg : t -> int -> int64 -> unit
+
+(** Architectural (committed) value of a register. *)
+val reg : t -> int -> int64
+
+val halted : t -> bool
+val instret : t -> int
+
+(** Dump pipeline state (debugging). *)
+val pp_debug : Format.formatter -> t -> unit

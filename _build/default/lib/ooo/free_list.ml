@@ -1,0 +1,47 @@
+open Cmd
+
+type t = {
+  ring : int array;
+  mutable alloc_ptr : int; (* absolute *)
+  mutable free_ptr : int; (* absolute *)
+  nregs : int;
+}
+
+type snapshot = int
+
+let create ~nregs =
+  let n_free = nregs - 32 in
+  let ring = Array.make nregs (-1) in
+  for i = 0 to n_free - 1 do
+    ring.(i) <- 32 + i
+  done;
+  { ring; alloc_ptr = 0; free_ptr = n_free; nregs }
+
+let free_count t = t.free_ptr - t.alloc_ptr
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+
+let alloc ctx t =
+  Kernel.guard ctx (free_count t > 0) "free list empty";
+  let r = t.ring.(t.alloc_ptr mod t.nregs) in
+  fld ctx (fun () -> t.alloc_ptr) (fun v -> t.alloc_ptr <- v) (t.alloc_ptr + 1);
+  r
+
+let free ctx t r =
+  Mut.set_arr ctx t.ring (t.free_ptr mod t.nregs) r;
+  fld ctx (fun () -> t.free_ptr) (fun v -> t.free_ptr <- v) (t.free_ptr + 1)
+
+let snapshot t = t.alloc_ptr
+let restore ctx t snap = fld ctx (fun () -> t.alloc_ptr) (fun v -> t.alloc_ptr <- v) snap
+
+let reset ctx t ~live =
+  let is_live = Array.make t.nregs false in
+  Array.iter (fun r -> if r >= 0 then is_live.(r) <- true) live;
+  let k = ref 0 in
+  for r = 0 to t.nregs - 1 do
+    if not is_live.(r) then begin
+      Mut.set_arr ctx t.ring !k r;
+      incr k
+    end
+  done;
+  fld ctx (fun () -> t.alloc_ptr) (fun v -> t.alloc_ptr <- v) 0;
+  fld ctx (fun () -> t.free_ptr) (fun v -> t.free_ptr <- v) !k

@@ -1,0 +1,25 @@
+(** Free list of physical registers: a ring with absolute pointers, so a
+    branch snapshot is just the allocation pointer — restoring it reclaims
+    every register allocated on the wrong path (their frees at commit never
+    happen, their slots are still in the ring). *)
+
+type t
+
+(** Registers [32..nregs-1] start free (0–31 back the initial RAT). *)
+val create : nregs:int -> t
+
+val free_count : t -> int
+
+(** Allocate; guarded on availability. *)
+val alloc : Cmd.Kernel.ctx -> t -> int
+
+(** Return a register (at commit, the overwritten old mapping). *)
+val free : Cmd.Kernel.ctx -> t -> int -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : Cmd.Kernel.ctx -> t -> snapshot -> unit
+
+(** Commit-time flush: everything not in [live] becomes free. *)
+val reset : Cmd.Kernel.ctx -> t -> live:int array -> unit

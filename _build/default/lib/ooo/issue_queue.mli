@@ -1,0 +1,27 @@
+(** Instruction issue queue (paper, Section IV): holds renamed,
+    not-yet-issued instructions with per-source ready bits; [wakeup]
+    broadcasts a produced register; [issue] selects the oldest ready entry.
+
+    The IQ/RDYB concurrency problem of Section IV is resolved by the
+    schedule: the rules calling [wakeup] run before the rule calling
+    [enter] (wakeup < enter), and rename reads the scoreboard after those
+    wakeups have set it, so no enter/wakeup race can drop a ready bit. *)
+
+type t
+
+val create : name:string -> size:int -> t
+val name : t -> string
+val count : t -> int
+val can_enter : t -> bool
+
+(** [enter ctx q u ~rdy1 ~rdy2] (guarded on space). *)
+val enter : Cmd.Kernel.ctx -> t -> Uop.t -> rdy1:bool -> rdy2:bool -> unit
+
+(** Set ready bits of sources matching the produced physical register. *)
+val wakeup : Cmd.Kernel.ctx -> t -> int -> unit
+
+(** Remove and return the oldest fully ready entry; guarded. *)
+val issue : Cmd.Kernel.ctx -> t -> Uop.t
+
+(** Drop wrong-path entries (their uops are marked killed). *)
+val squash : Cmd.Kernel.ctx -> t -> unit

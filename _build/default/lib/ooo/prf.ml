@@ -1,0 +1,33 @@
+open Cmd
+
+type t = { vals : int64 array; pres : bool array; sb : bool array }
+
+let create ~nregs = { vals = Array.make nregs 0L; pres = Array.make nregs true; sb = Array.make nregs true }
+let nregs t = Array.length t.vals
+let read t r = if r < 0 then 0L else t.vals.(r)
+let present t r = r < 0 || t.pres.(r)
+let sb_ready t r = r < 0 || t.sb.(r)
+
+let write ctx t r v =
+  Mut.set_arr ctx t.vals r v;
+  Mut.set_arr ctx t.pres r true;
+  Mut.set_arr ctx t.sb r true
+
+let set_sb ctx t r = Mut.set_arr ctx t.sb r true
+
+let alloc_clear ctx t r =
+  Mut.set_arr ctx t.pres r false;
+  Mut.set_arr ctx t.sb r false
+
+let reset_presence ctx t ~live =
+  for r = 0 to Array.length t.pres - 1 do
+    Mut.set_arr ctx t.pres r false;
+    Mut.set_arr ctx t.sb r false
+  done;
+  Array.iter
+    (fun r ->
+      if r >= 0 then begin
+        Mut.set_arr ctx t.pres r true;
+        Mut.set_arr ctx t.sb r true
+      end)
+    live

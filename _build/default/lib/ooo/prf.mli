@@ -1,0 +1,31 @@
+(** Physical register file with two sets of presence bits (paper, Sec. V).
+
+    The {e true} presence bits (RDYB) are set only when a value is written;
+    the Reg-Read stage stalls on them. The {e scoreboard} bits are set
+    optimistically when the value is known to arrive with a small fixed
+    latency (at issue of a single-cycle ALU op); the rename stage reads them
+    to seed IQ ready bits, enabling back-to-back wakeups. *)
+
+type t
+
+val create : nregs:int -> t
+val nregs : t -> int
+
+(** Value of a ready register ([-1] reads as 0 — the x0 pseudo-source). *)
+val read : t -> int -> int64
+
+val present : t -> int -> bool
+val sb_ready : t -> int -> bool
+
+(** [write ctx t r v] writes the value and sets the true presence bit. *)
+val write : Cmd.Kernel.ctx -> t -> int -> int64 -> unit
+
+(** Optimistic scoreboard set (at issue). *)
+val set_sb : Cmd.Kernel.ctx -> t -> int -> unit
+
+(** At allocation (rename): clear both bits of the fresh register. *)
+val alloc_clear : Cmd.Kernel.ctx -> t -> int -> unit
+
+(** Reset both bit sets so exactly [live] registers are present (commit-time
+    flush: the RRAT mappings). *)
+val reset_presence : Cmd.Kernel.ctx -> t -> live:int array -> unit

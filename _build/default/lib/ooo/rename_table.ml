@@ -1,0 +1,33 @@
+open Cmd
+
+type t = { rat : int array; rrat_a : int array; snaps : int array array }
+
+let initial () =
+  (* x0 maps to the constant-zero pseudo register -1; x1..x31 to p1..p31 *)
+  Array.init 32 (fun i -> if i = 0 then -1 else i)
+
+let create ~n_tags =
+  { rat = initial (); rrat_a = initial (); snaps = Array.init n_tags (fun _ -> Array.make 32 (-1)) }
+
+let lookup t r = t.rat.(r)
+let set ctx t r p = if r <> 0 then Mut.set_arr ctx t.rat r p
+
+let snapshot ctx t ~tag =
+  let s = t.snaps.(tag) in
+  for i = 0 to 31 do
+    Mut.set_arr ctx s i t.rat.(i)
+  done
+
+let restore ctx t ~tag =
+  let s = t.snaps.(tag) in
+  for i = 0 to 31 do
+    Mut.set_arr ctx t.rat i s.(i)
+  done
+
+let rrat_set ctx t r p = if r <> 0 then Mut.set_arr ctx t.rrat_a r p
+let rrat t = t.rrat_a
+
+let restore_from_rrat ctx t =
+  for i = 0 to 31 do
+    Mut.set_arr ctx t.rat i t.rrat_a.(i)
+  done

@@ -1,0 +1,26 @@
+(** Register rename: the speculative RAT with per-speculation-tag snapshots,
+    and the retirement RAT (RRAT) that tracks architectural state at commit
+    (used for commit-time flushes: load-speculation kills, exceptions). *)
+
+type t
+
+val create : n_tags:int -> t
+
+(** Current speculative mapping of an architectural register (x0 → -1). *)
+val lookup : t -> int -> int
+
+val set : Cmd.Kernel.ctx -> t -> int -> int -> unit
+
+(** Save the RAT into tag [tag]'s slot (at branch rename). *)
+val snapshot : Cmd.Kernel.ctx -> t -> tag:int -> unit
+
+(** Restore the RAT from tag [tag]'s slot (misprediction). *)
+val restore : Cmd.Kernel.ctx -> t -> tag:int -> unit
+
+(** Retirement side. *)
+val rrat_set : Cmd.Kernel.ctx -> t -> int -> int -> unit
+
+val rrat : t -> int array
+
+(** Commit-time flush: RAT := RRAT. *)
+val restore_from_rrat : Cmd.Kernel.ctx -> t -> unit

@@ -1,0 +1,52 @@
+open Cmd
+
+type t = { slots : Uop.t option array; mutable head : int; mutable tail : int; size : int }
+
+let create ~size = { slots = Array.make size None; head = 0; tail = 0; size }
+let count t = t.tail - t.head
+let can_enq t = count t < t.size
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+
+let enq ctx t u =
+  Kernel.guard ctx (can_enq t) "rob full";
+  let idx = t.tail in
+  Mut.set_arr ctx t.slots (idx mod t.size) (Some u);
+  fld ctx (fun () -> t.tail) (fun v -> t.tail <- v) (t.tail + 1);
+  idx
+
+let next_idx t = t.tail
+let head t = if count t > 0 then t.slots.(t.head mod t.size) else None
+let peek t k = if count t > k then t.slots.((t.head + k) mod t.size) else None
+
+let deq ctx t =
+  Kernel.guard ctx (count t > 0) "rob empty";
+  Mut.set_arr ctx t.slots (t.head mod t.size) None;
+  fld ctx (fun () -> t.head) (fun v -> t.head <- v) (t.head + 1)
+
+let truncate_after ctx t rob_idx =
+  let killed = ref [] in
+  for i = t.tail - 1 downto rob_idx + 1 do
+    match t.slots.(i mod t.size) with
+    | Some u ->
+      Uop.mk_set_killed ctx u true;
+      killed := u :: !killed;
+      Mut.set_arr ctx t.slots (i mod t.size) None
+    | None -> ()
+  done;
+  fld ctx (fun () -> t.tail) (fun v -> t.tail <- v) (max (rob_idx + 1) t.head);
+  !killed
+
+let iter_live t f =
+  for i = t.head to t.tail - 1 do
+    match t.slots.(i mod t.size) with Some u -> f u | None -> ()
+  done
+
+let flush ctx t =
+  for i = t.head to t.tail - 1 do
+    match t.slots.(i mod t.size) with
+    | Some u ->
+      Uop.mk_set_killed ctx u true;
+      Mut.set_arr ctx t.slots (i mod t.size) None
+    | None -> ()
+  done;
+  fld ctx (fun () -> t.tail) (fun v -> t.tail <- v) t.head

@@ -1,0 +1,43 @@
+open Cmd
+
+type t = {
+  n_tags : int;
+  mutable active : int;
+  alloc_masks : int array; (* mask under which each tag was allocated *)
+}
+
+let create ~n_tags = { n_tags; active = 0; alloc_masks = Array.make n_tags 0 }
+
+let active_mask t = t.active
+let can_alloc t = t.active <> (1 lsl t.n_tags) - 1
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+
+let alloc ctx t =
+  Kernel.guard ctx (can_alloc t) "no free speculation tag";
+  let rec find i = if t.active land (1 lsl i) = 0 then i else find (i + 1) in
+  let tag = find 0 in
+  Mut.set_arr ctx t.alloc_masks tag t.active;
+  fld ctx (fun () -> t.active) (fun v -> t.active <- v) (t.active lor (1 lsl tag));
+  tag
+
+let correct ctx t tag =
+  fld ctx (fun () -> t.active) (fun v -> t.active <- v) (t.active land lnot (1 lsl tag));
+  (* later tags no longer depend on it *)
+  for i = 0 to t.n_tags - 1 do
+    if t.alloc_masks.(i) land (1 lsl tag) <> 0 then
+      Mut.set_arr ctx t.alloc_masks i (t.alloc_masks.(i) land lnot (1 lsl tag))
+  done
+
+let wrong ctx t tag =
+  let bit = 1 lsl tag in
+  let dead = ref [ tag ] in
+  for i = 0 to t.n_tags - 1 do
+    if i <> tag && t.active land (1 lsl i) <> 0 && t.alloc_masks.(i) land bit <> 0 then
+      dead := i :: !dead
+  done;
+  let dead_mask = List.fold_left (fun m i -> m lor (1 lsl i)) 0 !dead in
+  fld ctx (fun () -> t.active) (fun v -> t.active <- v) (t.active land lnot dead_mask);
+  !dead
+
+let mask_of tags = List.fold_left (fun m i -> m lor (1 lsl i)) 0 tags
+let reset ctx t = fld ctx (fun () -> t.active) (fun v -> t.active <- v) 0

@@ -1,0 +1,35 @@
+(** Speculation manager (paper, Section V): a finite set of speculation tags
+    managed as bit masks.
+
+    Every unresolved branch owns a tag; every younger instruction carries the
+    set of unresolved older tags in its [spec_mask]. When a branch resolves
+    correctly its tag's bit is cleared everywhere ([correctSpec]); when it
+    mispredicts, every uop whose mask contains the tag is wrong-path
+    ([wrongSpec]), and so is every {e tag} allocated under it. *)
+
+type t
+
+val create : n_tags:int -> t
+
+(** Mask of currently active (unresolved) tags. *)
+val active_mask : t -> int
+
+(** Any tag free? *)
+val can_alloc : t -> bool
+
+(** Allocate a tag for a branch renamed under [active_mask]; guarded. *)
+val alloc : Cmd.Kernel.ctx -> t -> int
+
+(** Resolve correctly: frees the tag. The caller must also clear the bit in
+    every live uop's mask. *)
+val correct : Cmd.Kernel.ctx -> t -> int -> unit
+
+(** Resolve wrongly: returns the tags to kill ([tag] itself plus every tag
+    allocated while it was active) and frees them all. *)
+val wrong : Cmd.Kernel.ctx -> t -> int -> int list
+
+(** Mask with the given tags' bits. *)
+val mask_of : int list -> int
+
+(** Commit-time flush: everything unresolved dies. *)
+val reset : Cmd.Kernel.ctx -> t -> unit

@@ -1,0 +1,106 @@
+open Cmd
+
+type entry = {
+  mutable used : bool;
+  mutable line : int64;
+  data : Bytes.t;
+  mutable mask : int64;
+  mutable issued : bool;
+}
+
+type t = { entries : entry array }
+
+type search = Full of int64 | Partial of int | NoMatch
+
+let create ~size =
+  {
+    entries =
+      Array.init size (fun _ ->
+          { used = false; line = 0L; data = Bytes.make Mem.Cache_geom.line_bytes '\000'; mask = 0L; issued = false });
+  }
+
+let count t = Array.fold_left (fun n e -> if e.used then n + 1 else n) 0 t.entries
+let is_empty t = count t = 0
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+
+let find_line t line f =
+  let r = ref None in
+  Array.iteri (fun i e -> if e.used && e.line = line && f e then r := Some (i, e)) t.entries;
+  !r
+
+let write_entry ctx e ~off ~bytes v =
+  let src = Bytes.create bytes in
+  for k = 0 to bytes - 1 do
+    Bytes.set src k (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xFF))
+  done;
+  Mut.blit ctx ~src ~src_pos:0 ~dst:e.data ~dst_pos:off ~len:bytes;
+  let add = Int64.shift_left (Int64.sub (Int64.shift_left 1L bytes) 1L) off in
+  fld ctx (fun () -> e.mask) (fun v -> e.mask <- v) (Int64.logor e.mask add)
+
+let enq ctx t ~addr ~bytes v =
+  let line = Mem.Cache_geom.line_addr addr in
+  let off = Mem.Cache_geom.offset addr in
+  match find_line t line (fun e -> not e.issued) with
+  | Some (_, e) -> write_entry ctx e ~off ~bytes v
+  | None -> (
+    let free = ref None in
+    Array.iter (fun e -> if (not e.used) && !free = None then free := Some e) t.entries;
+    match !free with
+    | None -> raise (Kernel.Guard_fail "store buffer full")
+    | Some e ->
+      fld ctx (fun () -> e.used) (fun v -> e.used <- v) true;
+      fld ctx (fun () -> e.line) (fun v -> e.line <- v) line;
+      fld ctx (fun () -> e.mask) (fun v -> e.mask <- v) 0L;
+      fld ctx (fun () -> e.issued) (fun v -> e.issued <- v) false;
+      write_entry ctx e ~off ~bytes v)
+
+let can_enq t ~addr =
+  let line = Mem.Cache_geom.line_addr addr in
+  find_line t line (fun e -> not e.issued) <> None
+  || Array.exists (fun e -> not e.used) t.entries
+
+let issue ctx t =
+  let r = ref None in
+  Array.iteri (fun i e -> if e.used && (not e.issued) && !r = None then r := Some (i, e)) t.entries;
+  match !r with
+  | None -> raise (Kernel.Guard_fail "store buffer: nothing to issue")
+  | Some (i, e) ->
+    fld ctx (fun () -> e.issued) (fun v -> e.issued <- v) true;
+    (i, e.line)
+
+let deq ctx t idx =
+  let e = t.entries.(idx) in
+  if not e.used then failwith "store buffer: deq of free entry";
+  fld ctx (fun () -> e.used) (fun v -> e.used <- v) false;
+  fld ctx (fun () -> e.issued) (fun v -> e.issued <- v) false;
+  (e.line, Bytes.copy e.data, e.mask)
+
+let search t ~addr ~bytes =
+  let line = Mem.Cache_geom.line_addr addr in
+  let off = Mem.Cache_geom.offset addr in
+  let need = Int64.shift_left (Int64.sub (Int64.shift_left 1L bytes) 1L) off in
+  (* youngest-match semantics: with coalescing there is at most one entry
+     per line unissued, but an issued one may coexist; prefer the unissued
+     (younger) entry's bytes — if it fully covers, forward from it. *)
+  let consider e acc =
+    if e.used && e.line = line && Int64.logand e.mask need <> 0L then Some e else acc
+  in
+  let unissued = Array.fold_left (fun a e -> if not e.issued then consider e a else a) None t.entries in
+  let issued = Array.fold_left (fun a e -> if e.issued then consider e a else a) None t.entries in
+  let pick = match unissued with Some e -> Some e | None -> issued in
+  match pick with
+  | None -> NoMatch
+  | Some e ->
+    if Int64.logand e.mask need = need
+       && (unissued = None || issued = None (* both matching: bytes may be split *))
+    then begin
+      let v = ref 0L in
+      for k = bytes - 1 downto 0 do
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get e.data (off + k))))
+      done;
+      Full !v
+    end
+    else
+      let idx = ref 0 in
+      Array.iteri (fun i x -> if x == e then idx := i) t.entries;
+      Partial !idx

@@ -1,0 +1,27 @@
+(** Store buffer (paper, Section V-B): committed stores waiting to enter the
+    L1 D cache, WMM only. Entries are 64 B wide with byte enables; stores to
+    the same line coalesce (while unissued); entries issue to the cache out
+    of order. *)
+
+type t
+
+val create : size:int -> t
+val count : t -> int
+val is_empty : t -> bool
+
+(** [enq ctx t ~addr ~bytes v] — coalesces into an unissued entry for the
+    same line or allocates; guarded on space. *)
+val enq : Cmd.Kernel.ctx -> t -> addr:int64 -> bytes:int -> int64 -> unit
+
+val can_enq : t -> addr:int64 -> bool
+
+(** Pick an unissued entry: [(index, line)] and mark it issued; guarded. *)
+val issue : Cmd.Kernel.ctx -> t -> int * int64
+
+(** Remove entry [idx]: its line, 64-byte data and byte mask. *)
+val deq : Cmd.Kernel.ctx -> t -> int -> int64 * Bytes.t * int64
+
+type search = Full of int64 | Partial of int | NoMatch  (** [Partial idx] *)
+
+(** Can a load of [bytes] at [addr] be served by the buffer? *)
+val search : t -> addr:int64 -> bytes:int -> search

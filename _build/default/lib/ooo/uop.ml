@@ -1,0 +1,54 @@
+type lsq_slot = LNone | LQ of int | SQ of int
+
+type t = {
+  seq : int;
+  pc : int64;
+  instr : Isa.Instr.t;
+  rob_idx : int;
+  prd : int;
+  prs1 : int;
+  prs2 : int;
+  prd_old : int;
+  spec_tag : int;
+  lsq : lsq_slot;
+  pred_next : int64;
+  ras_sp : Branch.Ras.snapshot;
+  ghist : Branch.Dir_pred.snapshot option;
+  mutable spec_mask : int;
+  mutable killed : bool;
+  mutable completed : bool;
+  mutable ld_kill : bool;
+  mutable fault : bool;
+  mutable mmio : bool;
+  mutable translated : bool;
+  mutable paddr : int64;
+  mutable st_data : int64;
+  mutable result : int64;
+  mutable actual_next : int64;
+}
+
+let fld = Cmd.Mut.field
+
+let mk_set_mask ctx u v = fld ctx ~get:(fun () -> u.spec_mask) ~set:(fun x -> u.spec_mask <- x) v
+let mk_set_killed ctx u v = fld ctx ~get:(fun () -> u.killed) ~set:(fun x -> u.killed <- x) v
+
+let mk_set_completed ctx u v =
+  fld ctx ~get:(fun () -> u.completed) ~set:(fun x -> u.completed <- x) v
+
+let mk_set_ld_kill ctx u v = fld ctx ~get:(fun () -> u.ld_kill) ~set:(fun x -> u.ld_kill <- x) v
+let mk_set_fault ctx u v = fld ctx ~get:(fun () -> u.fault) ~set:(fun x -> u.fault <- x) v
+let mk_set_mmio ctx u v = fld ctx ~get:(fun () -> u.mmio) ~set:(fun x -> u.mmio <- x) v
+
+let mk_set_translated ctx u v =
+  fld ctx ~get:(fun () -> u.translated) ~set:(fun x -> u.translated <- x) v
+let mk_set_paddr ctx u v = fld ctx ~get:(fun () -> u.paddr) ~set:(fun x -> u.paddr <- x) v
+let mk_set_st_data ctx u v = fld ctx ~get:(fun () -> u.st_data) ~set:(fun x -> u.st_data <- x) v
+let mk_set_result ctx u v = fld ctx ~get:(fun () -> u.result) ~set:(fun x -> u.result <- x) v
+
+let mk_set_actual_next ctx u v =
+  fld ctx ~get:(fun () -> u.actual_next) ~set:(fun x -> u.actual_next <- x) v
+
+let pp fmt u =
+  Format.fprintf fmt "#%d pc=%Lx %a rob=%d prd=%d mask=%x%s" u.seq u.pc Isa.Instr.pp u.instr
+    u.rob_idx u.prd u.spec_mask
+    (if u.killed then " KILLED" else "")

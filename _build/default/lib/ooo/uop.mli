@@ -1,0 +1,50 @@
+(** In-flight micro-operations.
+
+    A [t] is allocated at rename and threaded through every module (ROB,
+    issue queues, LSQ, pipeline stages); the ROB entry {e is} the uop, so a
+    speculation event (paper, Section V) updates each uop exactly once and
+    every holder observes it. Mutations go through tracked setters so
+    aborting rules leave no trace. *)
+
+type lsq_slot = LNone | LQ of int | SQ of int
+
+type t = {
+  seq : int;  (** global age: monotonically increasing at rename *)
+  pc : int64;
+  instr : Isa.Instr.t;
+  rob_idx : int;
+  prd : int;  (** physical destination, -1 if none *)
+  prs1 : int;
+  prs2 : int;
+  prd_old : int;  (** prior mapping of the architectural destination *)
+  spec_tag : int;  (** tag owned by this branch, -1 otherwise *)
+  lsq : lsq_slot;
+  pred_next : int64;
+  ras_sp : Branch.Ras.snapshot;  (** front-end's predicted next pc *)
+  ghist : Branch.Dir_pred.snapshot option;  (** for direction branches *)
+  mutable spec_mask : int;  (** unresolved older branches this uop depends on *)
+  mutable killed : bool;  (** wrong-path: every holder must drop it *)
+  mutable completed : bool;  (** ROB completion bit *)
+  mutable ld_kill : bool;  (** memory-dependency / TSO violation: flush at commit *)
+  mutable fault : bool;
+  mutable mmio : bool;
+  mutable translated : bool;
+  mutable paddr : int64;
+  mutable st_data : int64;
+  mutable result : int64;  (** destination value (for co-simulation) *)
+  mutable actual_next : int64;
+}
+
+val mk_set_mask : Cmd.Kernel.ctx -> t -> int -> unit
+val mk_set_killed : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_completed : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_ld_kill : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_fault : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_mmio : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_translated : Cmd.Kernel.ctx -> t -> bool -> unit
+val mk_set_paddr : Cmd.Kernel.ctx -> t -> int64 -> unit
+val mk_set_st_data : Cmd.Kernel.ctx -> t -> int64 -> unit
+val mk_set_result : Cmd.Kernel.ctx -> t -> int64 -> unit
+val mk_set_actual_next : Cmd.Kernel.ctx -> t -> int64 -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/synth/gates.ml: List Mem Ooo Tlb

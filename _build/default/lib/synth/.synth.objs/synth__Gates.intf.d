@@ -1,0 +1,1 @@
+lib/synth/gates.mli: Ooo

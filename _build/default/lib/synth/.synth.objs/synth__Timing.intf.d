@@ -1,0 +1,1 @@
+lib/synth/timing.mli: Ooo

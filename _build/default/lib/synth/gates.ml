@@ -1,0 +1,111 @@
+(* Primitive costs in NAND2 equivalents (standard-cell folklore numbers). *)
+let ff = 6.0 (* D flip-flop *)
+let mux2 = 3.0
+let cmp_bit = 4.0 (* one bit of a CAM/equality comparator *)
+let adder_bit = 9.0
+
+let log2 n = log (float_of_int n) /. log 2.0
+
+let phys_tag_bits (cfg : Ooo.Config.t) = int_of_float (ceil (log2 (32 + cfg.rob_size + 8)))
+
+(* An N-entry structure with [bits] of state per entry, [rp] read and [wp]
+   write ports: FFs plus per-port mux/decode trees. *)
+let regfile ~entries ~bits ~rp ~wp =
+  let e = float_of_int entries and b = float_of_int bits in
+  (e *. b *. ff) +. (float_of_int rp *. e *. b *. mux2 /. 8.0) +. (float_of_int wp *. e *. 2.0)
+
+let breakdown (cfg : Ooo.Config.t) =
+  let w = float_of_int cfg.width in
+  let tag = float_of_int (phys_tag_bits cfg) in
+  let rob_entry_bits =
+    (* pc + fault-address/CSR-data field + control + phys tags + spec mask *)
+    48 + 64 + 40 + (3 * phys_tag_bits cfg) + cfg.n_spec_tags
+  in
+  let rob =
+    regfile ~entries:cfg.rob_size ~bits:rob_entry_bits ~rp:(2 * cfg.width) ~wp:(2 * cfg.width)
+    (* commit/dispatch select trees *)
+    +. (w *. float_of_int cfg.rob_size *. 60.0)
+  in
+  let iq_one =
+    (* each entry: uop payload FFs + two wakeup CAM comparators *)
+    regfile ~entries:cfg.iq_size ~bits:(64 + (3 * phys_tag_bits cfg)) ~rp:1 ~wp:cfg.width
+    +. (float_of_int cfg.iq_size *. 2.0 *. tag *. cmp_bit)
+    (* age-ordered select tree *)
+    +. (float_of_int cfg.iq_size *. 20.0)
+  in
+  let n_iqs = cfg.n_alu + 2 in
+  let prf =
+    regfile ~entries:(32 + cfg.rob_size + 8) ~bits:64 ~rp:(2 * (cfg.n_alu + 2)) ~wp:(cfg.n_alu + 2)
+  in
+  let rename =
+    (* RAT + RRAT + per-tag snapshots + free list ring *)
+    regfile ~entries:32 ~bits:(2 * phys_tag_bits cfg) ~rp:(3 * cfg.width) ~wp:(2 * cfg.width)
+    +. (float_of_int cfg.n_spec_tags *. 32.0 *. tag *. ff)
+    +. regfile ~entries:(32 + cfg.rob_size + 8) ~bits:(phys_tag_bits cfg) ~rp:cfg.width ~wp:cfg.width
+  in
+  let lsq =
+    (* address CAMs against every entry, per mem-pipe port *)
+    regfile ~entries:cfg.lq_size ~bits:(48 + 24) ~rp:2 ~wp:2
+    +. regfile ~entries:cfg.sq_size ~bits:(48 + 64 + 16) ~rp:2 ~wp:2
+    +. (float_of_int (cfg.lq_size + cfg.sq_size) *. 48.0 *. cmp_bit)
+  in
+  let store_buffer =
+    regfile ~entries:cfg.sb_size ~bits:(48 + 512 + 64) ~rp:1 ~wp:1
+    +. (float_of_int cfg.sb_size *. 48.0 *. cmp_bit)
+  in
+  let alu = float_of_int cfg.n_alu *. (64.0 *. adder_bit +. 3000.0) in
+  let muldiv = 22000.0 in
+  let bypass = w *. float_of_int cfg.n_alu *. 64.0 *. mux2 *. 2.0 in
+  let frontend_ctl = w *. 9000.0 (* fetch buffers, decoders, epoch logic *) in
+  let predictor =
+    (* tournament counters + histories + BTB + RAS kept in cells, as the
+       paper notes ("significantly affected by the size of the branch
+       predictors... could use SRAM") *)
+    ((1024.0 *. 10.0) +. (1024.0 *. 3.0) +. (4096.0 *. 2.0) +. (4096.0 *. 2.0)) *. ff
+    +. (float_of_int cfg.btb_entries *. (30.0 +. 48.0) *. ff)
+    +. (float_of_int cfg.ras_entries *. 48.0 *. ff)
+  in
+  let cache_ctl =
+    (* tag comparators, MSHRs, TLB control; data arrays are SRAM (excluded) *)
+    float_of_int cfg.mem.Mem.Mem_sys.l1d_mshrs *. 2200.0
+    +. 9000.0 (* L1D control *) +. 6000.0 (* L1I control *)
+    +. float_of_int cfg.tlb.Tlb.Tlb_sys.dtlb_entries *. (27.0 +. 44.0) *. (ff +. cmp_bit)
+    +. float_of_int cfg.tlb.Tlb.Tlb_sys.itlb_entries *. (27.0 +. 44.0) *. (ff +. cmp_bit)
+    +. (match cfg.tlb.Tlb.Tlb_sys.walk_cache_entries with
+       | Some n -> float_of_int (2 * n) *. (30.0 +. 44.0) *. (ff +. cmp_bit)
+       | None -> 0.0)
+    +. float_of_int cfg.tlb.Tlb.Tlb_sys.l2_misses *. 3500.0
+  in
+  [
+    ("rob", rob);
+    ("issue-queues", float_of_int n_iqs *. iq_one);
+    ("prf", prf);
+    ("rename+spec", rename);
+    ("lsq", lsq);
+    ("store-buffer", store_buffer);
+    ("alus", alu);
+    ("muldiv", muldiv);
+    ("bypass", bypass);
+    ("front-end", frontend_ctl);
+    ("predictors", predictor);
+    ("cache/tlb control", cache_ctl);
+  ]
+
+(* Global calibration: anchors RiscyOO-T+ at the paper's 1.78 M NAND2. *)
+let fudge = ref None
+
+let raw_total cfg = List.fold_left (fun a (_, g) -> a +. g) 0.0 (breakdown cfg)
+
+let calibration () =
+  match !fudge with
+  | Some f -> f
+  | None ->
+    let f = 1.78e6 /. raw_total Ooo.Config.riscyoo_tplus in
+    fudge := Some f;
+    f
+
+let total cfg = raw_total cfg *. calibration ()
+
+let breakdown cfg =
+  let f = calibration () in
+  List.map (fun (n, g) -> (n, g *. f)) (breakdown cfg)

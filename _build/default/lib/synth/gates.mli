@@ -1,0 +1,15 @@
+(** Structural NAND2-equivalent gate-count model (stand-in for the paper's
+    Synopsys DC + 32 nm topographical synthesis, Fig. 21).
+
+    The model counts logic only — flip-flops, comparators (CAMs), muxes and
+    select trees — per module, as a function of the configuration, exactly
+    like the paper's NAND2-equivalent metric ("logic-only and does not
+    include SRAMs"). Constants are calibrated so RiscyOO-T+ lands at the
+    paper's 1.78 M gates; the model's value is {e relative}: growing only
+    the ROB (T+ → T+R+) must grow area by the paper's ~6%. *)
+
+(** Per-module gate counts (NAND2 equivalents). *)
+val breakdown : Ooo.Config.t -> (string * float) list
+
+(** Total NAND2-equivalent gates. *)
+val total : Ooo.Config.t -> float

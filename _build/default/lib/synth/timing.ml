@@ -1,0 +1,20 @@
+let log2 n = log (float_of_int n) /. log 2.0
+let sqrtf n = sqrt (float_of_int n)
+
+let paths (cfg : Ooo.Config.t) =
+  let w = float_of_int cfg.width in
+  [
+    (* commit/dispatch select across the ROB: banked select ~ sqrt(N) *)
+    ("rob-select", 180.0 +. (91.0 *. sqrtf cfg.rob_size));
+    (* IQ wakeup CAM + age-ordered select *)
+    ("iq-wakeup-select", 340.0 +. (52.0 *. log2 (cfg.iq_size * (cfg.n_alu + 2))));
+    (* rename: intra-group dependency cross-check grows with width^2 *)
+    ("rename-xcheck", 300.0 +. (14.0 *. w *. w));
+    (* bypass network fan-in *)
+    ("bypass", 320.0 +. (26.0 *. float_of_int cfg.n_alu *. w));
+    (* LSQ address CAM *)
+    ("lsq-cam", 330.0 +. (40.0 *. log2 (cfg.lq_size + cfg.sq_size)));
+  ]
+
+let critical_path_ps cfg = List.fold_left (fun a (_, d) -> max a d) 0.0 (paths cfg)
+let max_freq_ghz cfg = 1000.0 /. critical_path_ps cfg

@@ -1,0 +1,18 @@
+(** Critical-path model giving a maximum clock frequency per configuration
+    (stand-in for the paper's timing-driven topographical synthesis).
+
+    The dominant paths of an OOO core scale with structure sizes: the
+    commit/dispatch select across the ROB (~sqrt(entries) with banked
+    precharge selects), the IQ wakeup-select loop (~log of entries plus CAM
+    fan-in), rename dependency checks (~width²) and the bypass network
+    (~pipes × width). The model takes the max and is calibrated so
+    RiscyOO-T+ synthesizes at the paper's 1.1 GHz; growing the ROB to 80
+    entries must then land near 1.0 GHz (Fig. 21). *)
+
+(** Critical path length in picoseconds. *)
+val critical_path_ps : Ooo.Config.t -> float
+
+(** Which structure owns the critical path, with the per-path delays. *)
+val paths : Ooo.Config.t -> (string * float) list
+
+val max_freq_ghz : Ooo.Config.t -> float

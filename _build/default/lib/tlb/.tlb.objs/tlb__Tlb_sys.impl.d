@@ -1,0 +1,1 @@
+lib/tlb/tlb_sys.ml: Array Cmd Fifo Format Int64 Kernel List Mut Option Printf Rule Stats Walk_cache

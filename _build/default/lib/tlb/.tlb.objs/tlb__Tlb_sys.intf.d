@@ -1,0 +1,1 @@
+lib/tlb/tlb_sys.mli: Cmd Format

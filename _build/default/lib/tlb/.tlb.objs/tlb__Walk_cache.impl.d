@@ -1,0 +1,1 @@
+lib/tlb/walk_cache.ml: Array Cmd Int64 Mut

@@ -1,0 +1,1 @@
+lib/tlb/walk_cache.mli: Cmd

@@ -1,0 +1,1 @@
+lib/tlb/walk_xbar.ml: Array Cmd Fifo Kernel Mem Rule Tlb_sys

@@ -1,0 +1,1 @@
+lib/tlb/walk_xbar.mli: Cmd Mem Tlb_sys

@@ -1,0 +1,309 @@
+open Cmd
+
+type result = Hit of int64 | Fault
+
+type config = {
+  itlb_entries : int;
+  itlb_misses : int;
+  dtlb_entries : int;
+  dtlb_misses : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_misses : int;
+  walk_cache_entries : int option;
+}
+
+let blocking_config =
+  {
+    itlb_entries = 32;
+    itlb_misses = 1;
+    dtlb_entries = 32;
+    dtlb_misses = 1;
+    l2_sets = 512;
+    l2_ways = 4;
+    l2_misses = 1;
+    walk_cache_entries = None;
+  }
+
+let nonblocking_config =
+  { blocking_config with dtlb_misses = 4; itlb_misses = 2; l2_misses = 2; walk_cache_entries = Some 24 }
+
+type l1_entry = { mutable valid : bool; mutable vpn : int64; mutable ppn : int64 }
+type l2_entry = { mutable lvalid : bool; mutable lvpn : int64; mutable lppn : int64 }
+
+type l1_miss = {
+  mutable mvalid : bool;
+  mutable mvpn : int64;
+  mutable waiters : (int * int64) list; (* tag, full va *)
+}
+
+(* A walk in progress = an L2 TLB miss slot. *)
+type walk = {
+  mutable wvalid : bool;
+  mutable wvpn : int64;
+  mutable wva : int64;
+  mutable level : int; (* level of the table [base] addresses *)
+  mutable base : int64;
+  mutable outstanding : bool; (* memory read in flight *)
+  mutable result : result option; (* completed, to be published *)
+}
+
+type side = {
+  entries : l1_entry array;
+  misses : l1_miss array;
+  req_q : (int * int64) Fifo.t;
+  resp_q : (int * result) Fifo.t;
+  mutable rotor : int;
+  c_access : Stats.counter;
+  c_miss : Stats.counter;
+}
+
+type t = {
+  name : string;
+  cfg : config;
+  mutable satp_v : int64;
+  i : side;
+  d : side;
+  l2 : l2_entry array array;
+  mutable l2_rotor : int;
+  walks : walk array;
+  wcache : Walk_cache.t option;
+  wreq : (int * int64) Fifo.t;
+  wresp : (int * int64) Fifo.t;
+  c_l2_access : Stats.counter;
+  c_l2_miss : Stats.counter;
+}
+
+let mk_side clk name n misses stats =
+  {
+    entries = Array.init n (fun _ -> { valid = false; vpn = 0L; ppn = 0L });
+    misses = Array.init misses (fun _ -> { mvalid = false; mvpn = 0L; waiters = [] });
+    req_q = Fifo.cf ~name:(name ^ ".req") clk ~capacity:4 ();
+    resp_q = Fifo.cf ~name:(name ^ ".resp") clk ~capacity:8 ();
+    rotor = 0;
+    c_access = Stats.counter stats (name ^ ".accesses");
+    c_miss = Stats.counter stats (name ^ ".misses");
+  }
+
+let create ?(name = "tlb") clk cfg ~stats () =
+  {
+    name;
+    cfg;
+    satp_v = 0L;
+    i = mk_side clk (name ^ ".i") cfg.itlb_entries cfg.itlb_misses stats;
+    d = mk_side clk (name ^ ".d") cfg.dtlb_entries cfg.dtlb_misses stats;
+    l2 = Array.init cfg.l2_sets (fun _ -> Array.init cfg.l2_ways (fun _ -> { lvalid = false; lvpn = 0L; lppn = 0L }));
+    l2_rotor = 0;
+    walks =
+      Array.init cfg.l2_misses (fun _ ->
+          { wvalid = false; wvpn = 0L; wva = 0L; level = 2; base = 0L; outstanding = false; result = None });
+    wcache = Option.map (fun n -> Walk_cache.create ~entries_per_level:n) cfg.walk_cache_entries;
+    wreq = Fifo.cf ~name:(name ^ ".wreq") clk ~capacity:4 ();
+    wresp = Fifo.cf ~name:(name ^ ".wresp") clk ~capacity:4 ();
+    c_l2_access = Stats.counter stats (name ^ ".l2.accesses");
+    c_l2_miss = Stats.counter stats (name ^ ".l2.misses");
+  }
+
+let set_satp t v = t.satp_v <- v
+let satp t = t.satp_v
+
+let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
+let vpn_of va = Int64.shift_right_logical va 12
+let pa_of ppn va = Int64.logor (Int64.shift_left ppn 12) (Int64.logand va 0xFFFL)
+
+let l1_lookup side vpn =
+  Array.fold_left (fun acc e -> if e.valid && e.vpn = vpn then Some e.ppn else acc) None side.entries
+
+let l1_fill ctx side vpn ppn =
+  if l1_lookup side vpn = None then begin
+    let e = side.entries.(side.rotor mod Array.length side.entries) in
+    fld ctx (fun () -> side.rotor) (fun v -> side.rotor <- v) (side.rotor + 1);
+    fld ctx (fun () -> e.valid) (fun v -> e.valid <- v) true;
+    fld ctx (fun () -> e.vpn) (fun v -> e.vpn <- v) vpn;
+    fld ctx (fun () -> e.ppn) (fun v -> e.ppn <- v) ppn
+  end
+
+let l2_lookup t vpn =
+  let set = t.l2.(Int64.to_int vpn land (t.cfg.l2_sets - 1)) in
+  Array.fold_left (fun acc e -> if e.lvalid && e.lvpn = vpn then Some e.lppn else acc) None set
+
+let l2_fill ctx t vpn ppn =
+  if l2_lookup t vpn = None then begin
+    let set = t.l2.(Int64.to_int vpn land (t.cfg.l2_sets - 1)) in
+    let e = set.(t.l2_rotor mod Array.length set) in
+    fld ctx (fun () -> t.l2_rotor) (fun v -> t.l2_rotor <- v) (t.l2_rotor + 1);
+    fld ctx (fun () -> e.lvalid) (fun v -> e.lvalid <- v) true;
+    fld ctx (fun () -> e.lvpn) (fun v -> e.lvpn <- v) vpn;
+    fld ctx (fun () -> e.lppn) (fun v -> e.lppn <- v) ppn
+  end
+
+(* --- steps --------------------------------------------------------------- *)
+
+(* Consume one L1 request: hit -> respond; miss -> merge into or allocate a
+   miss slot (stall if none free: this is what makes the blocking config
+   block). *)
+let step_l1_req ctx t side =
+  (* blocking configuration (one miss slot): no hit-under-miss — any
+     outstanding miss blocks the whole TLB, as in RiscyOO-B *)
+  Kernel.guard ctx
+    (Array.length side.misses > 1 || not side.misses.(0).mvalid)
+    "blocking tlb: miss outstanding";
+  let tag, va = Fifo.first ctx side.req_q in
+  Stats.incr ~ctx side.c_access;
+  if t.satp_v = 0L then Fifo.enq ctx side.resp_q (tag, Hit va)
+  else begin
+    let vpn = vpn_of va in
+    match l1_lookup side vpn with
+    | Some ppn -> Fifo.enq ctx side.resp_q (tag, Hit (pa_of ppn va))
+    | None -> (
+      Stats.incr ~ctx side.c_miss;
+      let existing = Array.fold_left (fun a m -> if m.mvalid && m.mvpn = vpn then Some m else a) None side.misses in
+      match existing with
+      | Some m -> fld ctx (fun () -> m.waiters) (fun v -> m.waiters <- v) (m.waiters @ [ (tag, va) ])
+      | None -> (
+        let free = Array.fold_left (fun a m -> if m.mvalid then a else Some m) None side.misses in
+        match free with
+        | None -> raise (Kernel.Guard_fail "l1 tlb miss slots full")
+        | Some m ->
+          fld ctx (fun () -> m.mvalid) (fun v -> m.mvalid <- v) true;
+          fld ctx (fun () -> m.mvpn) (fun v -> m.mvpn <- v) vpn;
+          fld ctx (fun () -> m.waiters) (fun v -> m.waiters <- v) [ (tag, va) ]))
+  end;
+  ignore (Fifo.deq ctx side.req_q)
+
+(* Try to satisfy one L1 miss slot from the L2 TLB, or ensure a walk is in
+   flight. Responding needs resp_q space for every waiter. *)
+let step_l1_miss ctx t side m =
+  Kernel.guard ctx m.mvalid "idle miss slot";
+  match l2_lookup t m.mvpn with
+  | Some ppn ->
+    l1_fill ctx side m.mvpn ppn;
+    List.iter (fun (tag, va) -> Fifo.enq ctx side.resp_q (tag, Hit (pa_of ppn va))) m.waiters;
+    fld ctx (fun () -> m.mvalid) (fun v -> m.mvalid <- v) false
+  | None ->
+    (* check whether a walk finished with a fault for this vpn *)
+    let faulted =
+      Array.exists (fun w -> w.wvalid && w.wvpn = m.mvpn && w.result = Some Fault) t.walks
+    in
+    if faulted then begin
+      List.iter (fun (tag, _) -> Fifo.enq ctx side.resp_q (tag, Fault)) m.waiters;
+      fld ctx (fun () -> m.mvalid) (fun v -> m.mvalid <- v) false
+    end
+    else begin
+      let walking = Array.exists (fun w -> w.wvalid && w.wvpn = m.mvpn) t.walks in
+      if not walking then begin
+        let free = Array.fold_left (fun a w -> if w.wvalid then a else Some w) None t.walks in
+        match free with
+        | None -> raise (Kernel.Guard_fail "no walk slot")
+        | Some w ->
+          Stats.incr ~ctx t.c_l2_access;
+          Stats.incr ~ctx t.c_l2_miss;
+          let va = Int64.shift_left m.mvpn 12 in
+          let level, base =
+            match t.wcache with
+            | Some wc -> Walk_cache.lookup wc ~root:t.satp_v va
+            | None -> (2, t.satp_v)
+          in
+          fld ctx (fun () -> w.wvalid) (fun v -> w.wvalid <- v) true;
+          fld ctx (fun () -> w.wvpn) (fun v -> w.wvpn <- v) m.mvpn;
+          fld ctx (fun () -> w.wva) (fun v -> w.wva <- v) va;
+          fld ctx (fun () -> w.level) (fun v -> w.level <- v) level;
+          fld ctx (fun () -> w.base) (fun v -> w.base <- v) base;
+          fld ctx (fun () -> w.outstanding) (fun v -> w.outstanding <- v) false;
+          fld ctx (fun () -> w.result) (fun v -> w.result <- v) None
+      end
+      else raise (Kernel.Guard_fail "walk pending")
+    end
+
+(* Issue the next PTE read of a walk. *)
+let step_walk_issue ctx t idx (w : walk) =
+  Kernel.guard ctx (w.wvalid && (not w.outstanding) && w.result = None) "no read to issue";
+  let vpn_slice = Int64.logand (Int64.shift_right_logical w.wva (12 + (9 * w.level))) 0x1FFL in
+  let pte_addr = Int64.add w.base (Int64.mul vpn_slice 8L) in
+  Fifo.enq ctx t.wreq (idx, pte_addr);
+  fld ctx (fun () -> w.outstanding) (fun v -> w.outstanding <- v) true
+
+(* Consume one PTE read response and advance that walk. *)
+let step_walk_resp ctx t =
+  let idx, pte = Fifo.deq ctx t.wresp in
+  let w = t.walks.(idx) in
+  if not (w.wvalid && w.outstanding) then failwith (t.name ^ ": orphan walk response");
+  fld ctx (fun () -> w.outstanding) (fun v -> w.outstanding <- v) false;
+  let valid = Int64.logand pte 1L = 1L in
+  let leaf = valid && Int64.logand pte 0xEL <> 0L in
+  let ppn = Int64.shift_right_logical pte 10 in
+  if not valid then fld ctx (fun () -> w.result) (fun v -> w.result <- v) (Some Fault)
+  else if leaf then begin
+    (* a leaf above level 0 is a superpage: the low VPN slices pass through,
+       and the TLBs cache the derived 4 KB-granularity translation *)
+    let low = Int64.logand w.wvpn (Int64.sub (Int64.shift_left 1L (9 * w.level)) 1L) in
+    let ppn = Int64.add ppn low in
+    fld ctx (fun () -> w.result) (fun v -> w.result <- v) (Some (Hit ppn));
+    l2_fill ctx t w.wvpn ppn
+  end
+  else begin
+    let next_base = Int64.shift_left ppn 12 in
+    let next_level = w.level - 1 in
+    if next_level < 0 then fld ctx (fun () -> w.result) (fun v -> w.result <- v) (Some Fault)
+    else begin
+      (match t.wcache with
+      | Some wc -> Walk_cache.insert ctx wc w.wva ~level:next_level ~base:next_base
+      | None -> ());
+      fld ctx (fun () -> w.level) (fun v -> w.level <- v) next_level;
+      fld ctx (fun () -> w.base) (fun v -> w.base <- v) next_base
+    end
+  end
+
+(* Retire completed walks once no L1 miss slot still needs them. *)
+let step_walk_retire ctx t (w : walk) =
+  Kernel.guard ctx (w.wvalid && w.result <> None) "walk not done";
+  let needed side = Array.exists (fun m -> m.mvalid && m.mvpn = w.wvpn) side.misses in
+  Kernel.guard ctx (not (needed t.i || needed t.d)) "walk result still needed";
+  fld ctx (fun () -> w.wvalid) (fun v -> w.wvalid <- v) false
+
+let tick t =
+  Rule.make (t.name ^ ".tick") (fun ctx ->
+      let _ = Kernel.attempt ctx (fun ctx -> step_walk_resp ctx t) in
+      Array.iteri (fun i w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_issue ctx t i w))) t.walks;
+      List.iter
+        (fun side ->
+          Array.iter
+            (fun m -> ignore (Kernel.attempt ctx (fun ctx -> step_l1_miss ctx t side m)))
+            side.misses;
+          ignore (Kernel.attempt ctx (fun ctx -> step_l1_req ctx t side)))
+        [ t.d; t.i ];
+      Array.iter (fun w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_retire ctx t w))) t.walks)
+
+let rules t = [ tick t ]
+
+let itlb_req ctx t ~tag va = Fifo.enq ctx t.i.req_q (tag, va)
+let can_itlb_req ctx t = Fifo.can_enq ctx t.i.req_q
+let itlb_resp ctx t = Fifo.deq ctx t.i.resp_q
+let can_itlb_resp ctx t = Fifo.can_deq ctx t.i.resp_q
+let dtlb_req ctx t ~tag va = Fifo.enq ctx t.d.req_q (tag, va)
+let can_dtlb_req ctx t = Fifo.can_enq ctx t.d.req_q
+let dtlb_resp ctx t = Fifo.deq ctx t.d.resp_q
+let can_dtlb_resp ctx t = Fifo.can_deq ctx t.d.resp_q
+let walk_mem_req t = t.wreq
+let walk_mem_resp t = t.wresp
+
+(* debug *)
+let pp_debug fmt t =
+  Format.fprintf fmt "satp=%Lx@." t.satp_v;
+  Array.iteri
+    (fun i w ->
+      Format.fprintf fmt "walk%d: valid=%b vpn=%Lx level=%d base=%Lx out=%b result=%s@." i w.wvalid
+        w.wvpn w.level w.base w.outstanding
+        (match w.result with None -> "-" | Some Fault -> "F" | Some (Hit p) -> Printf.sprintf "H%Lx" p))
+    t.walks;
+  List.iter
+    (fun (nm, side) ->
+      Array.iteri
+        (fun i m ->
+          Format.fprintf fmt "%s miss%d: valid=%b vpn=%Lx waiters=%d@." nm i m.mvalid m.mvpn
+            (List.length m.waiters))
+        side.misses;
+      Format.fprintf fmt "%s reqq=%d respq=%d@." nm (Cmd.Fifo.peek_size side.req_q)
+        (Cmd.Fifo.peek_size side.resp_q))
+    [ ("i", t.i); ("d", t.d) ];
+  Format.fprintf fmt "wreq=%d wresp=%d@." (Cmd.Fifo.peek_size t.wreq) (Cmd.Fifo.peek_size t.wresp)

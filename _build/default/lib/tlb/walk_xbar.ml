@@ -1,0 +1,29 @@
+open Cmd
+
+let slot_bits = 4
+
+let rules tlbs ~l2 =
+  let up =
+    Rule.make "walkxbar.up" (fun ctx ->
+        Array.iteri
+          (fun core t ->
+            ignore
+              (Kernel.attempt ctx (fun ctx ->
+                   let slot, addr = Fifo.deq ctx (Tlb_sys.walk_mem_req t) in
+                   Mem.L2_cache.walk_req ctx l2 ~tag:((core lsl slot_bits) lor slot) addr)))
+          tlbs)
+  in
+  let down =
+    Rule.make "walkxbar.down" (fun ctx ->
+        let continue = ref true in
+        while !continue do
+          match
+            Kernel.attempt ctx (fun ctx ->
+                let tag, v = Mem.L2_cache.walk_resp ctx l2 in
+                Fifo.enq ctx (Tlb_sys.walk_mem_resp tlbs.(tag lsr slot_bits)) (tag land ((1 lsl slot_bits) - 1), v))
+          with
+          | Some () -> ()
+          | None -> continue := false
+        done)
+  in
+  [ down; up ]

@@ -1,0 +1,5 @@
+(** The page-walk crossbar (paper, Fig. 11): routes each core's page-walker
+    PTE reads to the shared L2 cache's coherent walker port and the
+    responses back, retagging with the core id. *)
+
+val rules : Tlb_sys.t array -> l2:Mem.L2_cache.t -> Cmd.Rule.t list

@@ -1,0 +1,1 @@
+lib/workloads/kernel_lib.ml: Array Asm Csr Fun Int64 Isa Phys_mem Reg_name

@@ -1,0 +1,1 @@
+lib/workloads/kernel_lib.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/machine.ml: Addr_map Array Asm Clock Cmd Format Golden Inorder Int64 Isa List Mem Mmio Ooo Page_table Phys_mem Printf Sim Stats Tlb

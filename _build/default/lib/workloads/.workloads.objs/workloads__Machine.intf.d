@@ -1,0 +1,1 @@
+lib/workloads/machine.mli: Cmd Format Isa Mem Ooo Tlb

@@ -1,0 +1,1 @@
+lib/workloads/parsec_kernels.ml: Asm Csr Int64 Isa Kernel_lib List Machine Reg_name

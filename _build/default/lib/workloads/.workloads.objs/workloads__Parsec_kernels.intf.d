@@ -1,0 +1,1 @@
+lib/workloads/parsec_kernels.mli: Machine

@@ -1,0 +1,1 @@
+lib/workloads/spec_kernels.ml: Addr_map Asm Int64 Isa Kernel_lib List Machine Phys_mem Reg_name

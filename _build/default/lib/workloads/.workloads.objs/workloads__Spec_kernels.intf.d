@@ -1,0 +1,1 @@
+lib/workloads/spec_kernels.mli: Machine

@@ -1,0 +1,100 @@
+open Isa
+open Reg_name
+
+let exit_a0 p =
+  Asm.li p a7 93L;
+  Asm.ecall p
+
+let worker_join p ~harts ~done_addr ~result_addr =
+  Asm.li p t5 done_addr;
+  Asm.li p t6 1L;
+  Asm.fence p;
+  Asm.amoadd_d p zero t6 t5;
+  Asm.csrr p t6 Csr.mhartid;
+  Asm.bne p t6 zero "kl_worker_exit";
+  Asm.li p t6 (Int64.of_int harts);
+  Asm.label p "kl_wait_all";
+  Asm.ld p t4 0L t5;
+  Asm.bne p t4 t6 "kl_wait_all";
+  Asm.fence p;
+  Asm.li p t5 result_addr;
+  Asm.ld p a0 0L t5;
+  exit_a0 p;
+  Asm.label p "kl_worker_exit";
+  Asm.li p a0 0L;
+  exit_a0 p
+
+let spin_lock p ~addr_reg ~tmp1 ~tmp2 =
+  let l = Asm.fresh p "lock" in
+  Asm.label p l;
+  Asm.li p tmp1 1L;
+  Asm.amoswap_w p tmp2 tmp1 addr_reg;
+  Asm.bne p tmp2 zero l;
+  Asm.fence p
+
+let spin_unlock p ~addr_reg =
+  Asm.fence p;
+  Asm.sw p zero 0L addr_reg
+
+let barrier p ~addr_reg ~harts ~tmp1 ~tmp2 =
+  Asm.li p tmp1 1L;
+  Asm.fence p;
+  Asm.amoadd_d p zero tmp1 addr_reg;
+  Asm.li p tmp1 (Int64.of_int harts);
+  let l = Asm.fresh p "bar" in
+  Asm.label p l;
+  Asm.ld p tmp2 0L addr_reg;
+  Asm.blt p tmp2 tmp1 l;
+  Asm.fence p
+
+let partition p ~n_reg ~harts ~lo_reg ~hi_reg ~tmp =
+  Asm.csrr p tmp Csr.mhartid;
+  Asm.addi p hi_reg n_reg (Int64.of_int (harts - 1));
+  Asm.li p lo_reg (Int64.of_int harts);
+  Asm.divu p hi_reg hi_reg lo_reg;
+  Asm.mul p lo_reg hi_reg tmp;
+  Asm.add p hi_reg lo_reg hi_reg;
+  let clamp r =
+    let l = Asm.fresh p "clamp" in
+    Asm.bge p n_reg r l;
+    Asm.mv p r n_reg;
+    Asm.label p l
+  in
+  clamp lo_reg;
+  clamp hi_reg
+
+let lcg state =
+  state := ((!state * 0x5851F42D4C957F2D) + 0x14057B7EF767814F) land max_int;
+  !state
+
+let init_pointer_chase pmem ~base ~n ~stride ~seed =
+  let rng = ref seed in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = lcg rng mod (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let addr k = Int64.add base (Int64.of_int (perm.(k) * stride)) in
+  for k = 0 to n - 1 do
+    let next = addr ((k + 1) mod n) in
+    Phys_mem.store pmem ~bytes:8 (addr k) next;
+    (* a payload value next to the pointer *)
+    Phys_mem.store pmem ~bytes:8 (Int64.add (addr k) 8L) (Int64.of_int (perm.(k) land 0xFF))
+  done;
+  addr 0
+
+let init_random_bytes pmem ~base ~n ~seed =
+  let rng = ref seed in
+  for i = 0 to n - 1 do
+    Phys_mem.store pmem ~bytes:1 (Int64.add base (Int64.of_int i)) (Int64.of_int (lcg rng land 0xFF))
+  done
+
+let init_random_words pmem ~base ~n ~bound ~seed =
+  let rng = ref seed in
+  for i = 0 to n - 1 do
+    Phys_mem.store pmem ~bytes:8
+      (Int64.add base (Int64.of_int (i * 8)))
+      (Int64.rem (Int64.of_int (lcg rng)) bound)
+  done

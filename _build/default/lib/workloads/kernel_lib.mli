@@ -1,0 +1,39 @@
+(** Shared building blocks for workload kernels: exit conventions, spin
+    locks, barriers, per-hart partitioning and data-segment generators. *)
+
+(** Emit the exit sequence: [exit(a0)]. *)
+val exit_a0 : Isa.Asm.t -> unit
+
+(** [worker_join p ~harts ~done_addr ~result_addr] — every hart bumps the
+    done-counter; hart 0 spins until all arrive, loads the 64-bit result at
+    [result_addr] into a0 and exits with it; other harts exit 0. *)
+val worker_join : Isa.Asm.t -> harts:int -> done_addr:int64 -> result_addr:int64 -> unit
+
+(** [spin_lock p ~addr ~tmp1 ~tmp2] acquires; [spin_unlock p ~addr]. *)
+val spin_lock : Isa.Asm.t -> addr_reg:int -> tmp1:int -> tmp2:int -> unit
+
+val spin_unlock : Isa.Asm.t -> addr_reg:int -> unit
+
+(** One-shot sense-free barrier: bump the counter at [addr_reg], spin until
+    it reaches [harts]. Use a fresh counter per barrier instance. *)
+val barrier : Isa.Asm.t -> addr_reg:int -> harts:int -> tmp1:int -> tmp2:int -> unit
+
+(** [partition p ~n_reg ~harts ~lo_reg ~hi_reg ~tmp] computes this hart's
+    [lo, hi) slice of [0, n). Clobbers [tmp]. *)
+val partition : Isa.Asm.t -> n_reg:int -> harts:int -> lo_reg:int -> hi_reg:int -> tmp:int -> unit
+
+(** Deterministic pseudo-random generator used by data initializers. *)
+val lcg : int ref -> int
+
+(** Write a random cyclic permutation of [n] nodes, each [stride] bytes
+    apart starting at [base]: slot k holds the address of its successor.
+    Returns the address of the first node. *)
+val init_pointer_chase :
+  Isa.Phys_mem.t -> base:int64 -> n:int -> stride:int -> seed:int -> int64
+
+(** Fill [n] bytes at [base] with LCG-random bytes. *)
+val init_random_bytes : Isa.Phys_mem.t -> base:int64 -> n:int -> seed:int -> unit
+
+(** Fill [n] 64-bit words at [base] with LCG-random values bounded by
+    [bound]. *)
+val init_random_words : Isa.Phys_mem.t -> base:int64 -> n:int -> bound:int64 -> seed:int -> unit

@@ -1,0 +1,244 @@
+open Cmd
+open Isa
+
+type kind =
+  | Golden_only
+  | In_order of { mem : Mem.Mem_sys.config; tlb : Tlb.Tlb_sys.config }
+  | Out_of_order of Ooo.Config.t
+
+type program = {
+  asm : Asm.t;
+  init_mem : (Phys_mem.t -> unit) option;
+  regs : (int * int64) list;
+}
+
+let program ?init_mem ?(regs = []) asm = { asm; init_mem; regs }
+
+type core_handle =
+  | HGolden
+  | HInorder of Inorder.Inorder_core.t
+  | HOoo of Ooo.Core.t
+
+type t = {
+  kind : kind;
+  ncores : int;
+  pmem : Phys_mem.t;
+  mmio : Mmio.t;
+  sim : Sim.t option; (* None for golden-only *)
+  golden : Golden.t option; (* used directly when Golden_only *)
+  cores : core_handle array;
+  stats_t : Stats.t;
+  mutable spent_cycles : int;
+}
+
+type outcome = { exits : int64 array; cycles : int; timed_out : bool }
+
+let base = Addr_map.dram_base
+
+let load_program pmem (p : program) =
+  Array.iteri
+    (fun i w -> Phys_mem.store pmem ~bytes:4 (Int64.add base (Int64.of_int (i * 4))) (Int64.of_int w))
+    (Asm.words p.asm ~base);
+  match p.init_mem with Some f -> f pmem | None -> ()
+
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) kind prog =
+  let pmem = Phys_mem.create () in
+  let mmio = Mmio.create () in
+  let stats_t = Stats.create () in
+  load_program pmem prog;
+  let satp =
+    if paging then begin
+      let pt = Page_table.create pmem ~alloc_base:0xA000_0000L in
+      let len = Int64.of_int (mapped_mb * 1024 * 1024) in
+      if megapages then Page_table.map_mega_range pt ~va:base ~pa:base ~len
+      else Page_table.map_range pt ~va:base ~pa:base ~len;
+      Page_table.root pt
+    end
+    else 0L
+  in
+  match kind with
+  | Golden_only ->
+    let g = Golden.create ~nharts:ncores pmem mmio in
+    for h = 0 to ncores - 1 do
+      Golden.set_pc g ~hart:h base;
+      if satp <> 0L then Golden.set_satp g ~hart:h satp;
+      List.iter (fun (r, v) -> Golden.set_reg g ~hart:h r v) prog.regs
+    done;
+    {
+      kind;
+      ncores;
+      pmem;
+      mmio;
+      sim = None;
+      golden = Some g;
+      cores = Array.make ncores HGolden;
+      stats_t;
+      spent_cycles = 0;
+    }
+  | In_order { mem; tlb } ->
+    let clk = Clock.create () in
+    let ms = Mem.Mem_sys.create clk pmem mem ~ncores ~fetch_width:2 ~stats:stats_t in
+    let tlbs =
+      Array.init ncores (fun i ->
+          let tl = Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk tlb ~stats:stats_t () in
+          Tlb.Tlb_sys.set_satp tl satp;
+          tl)
+    in
+    let cores =
+      Array.init ncores (fun i ->
+          let c =
+            Inorder.Inorder_core.create ~name:(Printf.sprintf "c%d" i) clk ~hart_id:i
+              ~icache:(Mem.Mem_sys.icache ms i) ~dcache:(Mem.Mem_sys.dcache ms i) ~tlb:tlbs.(i)
+              ~mmio ~stats:stats_t ()
+          in
+          Inorder.Inorder_core.set_pc c base;
+          List.iter (fun (r, v) -> Inorder.Inorder_core.set_reg c r v) prog.regs;
+          c)
+    in
+    let rules =
+      List.concat_map Inorder.Inorder_core.rules (Array.to_list cores)
+      @ List.concat_map Tlb.Tlb_sys.rules (Array.to_list tlbs)
+      @ Tlb.Walk_xbar.rules tlbs ~l2:(Mem.Mem_sys.l2 ms)
+      @ Mem.Mem_sys.rules ms
+    in
+    {
+      kind;
+      ncores;
+      pmem;
+      mmio;
+      sim = Some (Sim.create ~mode clk rules);
+      golden = None;
+      cores = Array.map (fun c -> HInorder c) cores;
+      stats_t;
+      spent_cycles = 0;
+    }
+  | Out_of_order cfg ->
+    let clk = Clock.create () in
+    let ms = Mem.Mem_sys.create clk pmem cfg.Ooo.Config.mem ~ncores ~fetch_width:cfg.width ~stats:stats_t in
+    let golden =
+      if cosim then begin
+        let g = Golden.create ~nharts:ncores (Phys_mem.copy pmem) (Mmio.create ()) in
+        for h = 0 to ncores - 1 do
+          Golden.set_pc g ~hart:h base;
+          if satp <> 0L then Golden.set_satp g ~hart:h satp;
+          List.iter (fun (r, v) -> Golden.set_reg g ~hart:h r v) prog.regs
+        done;
+        Some g
+      end
+      else None
+    in
+    let tlbs =
+      Array.init ncores (fun i ->
+          let tl =
+            Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk cfg.Ooo.Config.tlb
+              ~stats:stats_t ()
+          in
+          Tlb.Tlb_sys.set_satp tl satp;
+          tl)
+    in
+    let cores =
+      Array.init ncores (fun i ->
+          let c =
+            Ooo.Core.create ~name:(Printf.sprintf "c%d" i) ?cosim:golden clk cfg ~hart_id:i
+              ~icache:(Mem.Mem_sys.icache ms i) ~dcache:(Mem.Mem_sys.dcache ms i) ~tlb:tlbs.(i)
+              ~mmio ~stats:stats_t ()
+          in
+          Ooo.Core.set_pc c base;
+          List.iter (fun (r, v) -> Ooo.Core.set_reg c r v) prog.regs;
+          c)
+    in
+    let rules =
+      List.concat_map (fun c -> Ooo.Core.rules ?schedule c) (Array.to_list cores)
+      @ List.concat_map Tlb.Tlb_sys.rules (Array.to_list tlbs)
+      @ Tlb.Walk_xbar.rules tlbs ~l2:(Mem.Mem_sys.l2 ms)
+      @ Mem.Mem_sys.rules ms
+    in
+    {
+      kind;
+      ncores;
+      pmem;
+      mmio;
+      sim = Some (Sim.create ~mode clk rules);
+      golden = None;
+      cores = Array.map (fun c -> HOoo c) cores;
+      stats_t;
+      spent_cycles = 0;
+    }
+
+let hart_halted t h =
+  match t.cores.(h) with
+  | HGolden -> ( match t.golden with Some g -> Golden.halted g ~hart:h | None -> true)
+  | HInorder c -> Inorder.Inorder_core.halted c
+  | HOoo c -> Ooo.Core.halted c
+
+let all_halted t =
+  let ok = ref true in
+  for h = 0 to t.ncores - 1 do
+    if not (hart_halted t h) then ok := false
+  done;
+  !ok
+
+let run ?(max_cycles = 50_000_000) t =
+  (match t.sim, t.golden with
+  | Some sim, _ ->
+    (match Sim.run_until sim ~max_cycles (fun () -> all_halted t) with
+    | `Done n -> t.spent_cycles <- t.spent_cycles + n
+    | `Timeout -> t.spent_cycles <- t.spent_cycles + max_cycles)
+  | None, Some g ->
+    (* golden-only: round-robin the harts *)
+    let budget = ref max_cycles in
+    let live = ref true in
+    while !live && !budget > 0 do
+      live := false;
+      for h = 0 to t.ncores - 1 do
+        match Golden.step g ~hart:h with Some _ -> live := true | None -> ()
+      done;
+      decr budget;
+      t.spent_cycles <- t.spent_cycles + 1
+    done
+  | None, None -> invalid_arg "Machine.run: empty machine");
+  let exits =
+    Array.init t.ncores (fun h ->
+        match Mmio.exit_code t.mmio ~hart:h with Some v -> v | None -> -1L)
+  in
+  { exits; cycles = t.spent_cycles; timed_out = not (all_halted t) }
+
+let stats t = t.stats_t
+
+let console t = Mmio.console t.mmio
+
+let instrs t =
+  let total = ref 0 in
+  Array.iteri
+    (fun h c ->
+      match c with
+      | HGolden -> (
+        match t.golden with
+        | Some g -> total := !total + Int64.to_int (Golden.instret g ~hart:h)
+        | None -> ())
+      | HInorder c -> total := !total + Inorder.Inorder_core.instret c
+      | HOoo c -> total := !total + Ooo.Core.instret c)
+    t.cores;
+  !total
+
+let find_stat t name = Stats.find t.stats_t name
+
+let pp_rule_stats fmt t =
+  match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()
+
+(* Trace committed instructions of every OOO core to [fmt]. *)
+let trace_commits t fmt =
+  Array.iteri
+    (fun h c ->
+      match c with
+      | HOoo core ->
+        Ooo.Core.set_commit_hook core (fun u ->
+            Format.fprintf fmt "C%d %8d: %Lx %s -> %Lx@." h (Ooo.Core.instret core) u.Ooo.Uop.pc
+              (Isa.Instr.to_string u.Ooo.Uop.instr) u.Ooo.Uop.result)
+      | HInorder _ | HGolden -> ())
+    t.cores
+
+let pp_core_debug fmt t =
+  Array.iter
+    (fun c -> match c with HOoo c -> Ooo.Core.pp_debug fmt c | HInorder _ | HGolden -> ())
+    t.cores

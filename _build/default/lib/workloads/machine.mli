@@ -1,0 +1,58 @@
+(** Full-system harness: assembles cores, TLBs, the coherent cache hierarchy
+    and DRAM into a runnable machine, loads a program, and runs to exit.
+
+    One [program] serves every model — the golden ISA simulator, the in-order
+    baseline and any {!Ooo.Config.t} — which is how the benchmark harness
+    compares them. All harts start at the entry point; multi-threaded kernels
+    branch on [mhartid]. *)
+
+type kind =
+  | Golden_only
+  | In_order of { mem : Mem.Mem_sys.config; tlb : Tlb.Tlb_sys.config }
+  | Out_of_order of Ooo.Config.t
+
+type program = {
+  asm : Isa.Asm.t;
+  init_mem : (Isa.Phys_mem.t -> unit) option;  (** data-segment initialization *)
+  regs : (int * int64) list;  (** initial registers, applied to every hart *)
+}
+
+val program : ?init_mem:(Isa.Phys_mem.t -> unit) -> ?regs:(int * int64) list -> Isa.Asm.t -> program
+
+type t
+
+(** [create kind prog] — [paging] builds identity Sv39 tables over
+    [mapped_mb] megabytes from DRAM base and enables translation; [cosim]
+    runs the golden model in lockstep with every OOO commit (single-core
+    only). *)
+val create :
+  ?ncores:int ->
+  ?paging:bool ->
+  ?megapages:bool ->
+  ?mapped_mb:int ->
+  ?cosim:bool ->
+  ?schedule:Ooo.Core.schedule ->
+  ?mode:Cmd.Sim.mode ->
+  kind ->
+  program ->
+  t
+
+type outcome = { exits : int64 array; cycles : int; timed_out : bool }
+
+(** Run until every hart exits (or [max_cycles]). *)
+val run : ?max_cycles:int -> t -> outcome
+
+val stats : t -> Cmd.Stats.t
+val console : t -> string
+
+(** Committed instructions, summed over harts. *)
+val instrs : t -> int
+
+val find_stat : t -> string -> int
+
+(** Print every committed instruction of the OOO cores to the formatter. *)
+val trace_commits : t -> Format.formatter -> unit
+
+(** Per-rule firing statistics of the underlying scheduler (debugging). *)
+val pp_rule_stats : Format.formatter -> t -> unit
+val pp_core_debug : Format.formatter -> t -> unit

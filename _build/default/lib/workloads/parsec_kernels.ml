@@ -1,0 +1,335 @@
+open Isa
+open Reg_name
+
+let data0 = 0x8020_0000L (* input arrays *)
+let data1 = 0x8040_0000L (* output / scratch *)
+let lock_addr = 0x8018_0000L
+let done_addr = 0x8018_0040L
+let result_addr = 0x8018_0080L
+let barrier0 = 0x8018_0200L
+
+(* accumulate t-reg into the shared result with an amoadd *)
+let accumulate p ~value_reg ~tmp =
+  Asm.li p tmp result_addr;
+  Asm.amoadd_d p zero value_reg tmp
+
+(* standard epilogue *)
+let join p ~harts = Kernel_lib.worker_join p ~harts ~done_addr ~result_addr
+
+(* partition [0, n) among harts; leaves lo in s4, hi in s5; n in s3 *)
+let part p ~harts ~n =
+  Asm.li p s3 (Int64.of_int n);
+  Kernel_lib.partition p ~n_reg:s3 ~harts ~lo_reg:s4 ~hi_reg:s5 ~tmp:t0
+
+(* --- blackscholes: independent per-element pricing ------------------------ *)
+let blackscholes ~harts ~scale =
+  let n = 1200 * scale in
+  let p = Asm.create () in
+  part p ~harts ~n;
+  Asm.li p s0 data0;
+  Asm.li p a1 0L (* partial *);
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2 (* spot *);
+  (* fixed-point pseudo Black-Scholes: a few mul/div rounds *)
+  Asm.addi p t4 t3 100L;
+  Asm.mul p t5 t3 t4;
+  Asm.ori p t4 t4 1L;
+  Asm.divu p t5 t5 t4;
+  Asm.mul p t5 t5 t3;
+  Asm.srli p t5 t5 7;
+  Asm.add p a1 a1 t5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "loop";
+  Asm.label p "done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n ~bound:10000L ~seed:0xB5)
+    p
+
+(* --- swaptions: heavier per-element inner loop ---------------------------- *)
+let swaptions ~harts ~scale =
+  let n = 160 * scale in
+  let p = Asm.create () in
+  part p ~harts ~n;
+  Asm.li p s0 data0;
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2;
+  (* inner simulation: 12 rounds of mul/shift/add *)
+  Asm.li p t4 12L;
+  Asm.mv p t5 t3;
+  Asm.label p "inner";
+  Asm.mul p t5 t5 t3;
+  Asm.srli p t5 t5 11;
+  Asm.addi p t5 t5 17L;
+  Asm.addi p t4 t4 (-1L);
+  Asm.bne p t4 zero "inner";
+  Asm.add p a1 a1 t5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "loop";
+  Asm.label p "done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n ~bound:99991L ~seed:0x5A)
+    p
+
+(* --- fluidanimate: stencil with neighbour sharing and a barrier ----------- *)
+let fluidanimate ~harts ~scale =
+  let n = 1600 * scale in
+  let p = Asm.create () in
+  part p ~harts ~n;
+  Asm.li p s0 data0;
+  Asm.li p s1 data1;
+  (* pass 1: new[i] = (old[max(i-1,0)] + old[i] + old[min(i+1,n-1)]) / 3 *)
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "p1_done";
+  Asm.label p "p1";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2;
+  Asm.ld p t4 (-8L) t2;
+  Asm.ld p t5 8L t2;
+  Asm.add p t3 t3 t4;
+  Asm.add p t3 t3 t5;
+  Asm.li p t4 3L;
+  Asm.divu p t3 t3 t4;
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s1;
+  Asm.sd p t3 0L t2;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "p1";
+  Asm.label p "p1_done";
+  (* barrier between passes *)
+  Asm.li p t1 barrier0;
+  Kernel_lib.barrier p ~addr_reg:t1 ~harts ~tmp1:t2 ~tmp2:t3;
+  (* pass 2: checksum of my slice of new[] *)
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "p2_done";
+  Asm.label p "p2";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s1;
+  Asm.ld p t3 0L t2;
+  Asm.add p a1 a1 t3;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "p2";
+  Asm.label p "p2_done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m ->
+      (* pad one word before and after so the stencil never reads junk *)
+      Kernel_lib.init_random_words m
+        ~base:(Int64.sub data0 8L)
+        ~n:(n + 2) ~bound:1000L ~seed:0xF1)
+    p
+
+(* --- facesim: blocked matrix-vector products ------------------------------ *)
+let facesim ~harts ~scale =
+  let rows = 96 * scale in
+  let cols = 32 in
+  let p = Asm.create () in
+  part p ~harts ~n:rows;
+  Asm.li p s0 data0 (* matrix, row-major *);
+  Asm.li p s1 data1 (* vector *);
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "row";
+  Asm.li p t2 (Int64.of_int (cols * 8));
+  Asm.mul p t2 t0 t2;
+  Asm.add p t2 t2 s0 (* row base *);
+  Asm.mv p t3 s1;
+  Asm.li p t4 (Int64.of_int cols);
+  Asm.li p t5 0L;
+  Asm.label p "dot";
+  Asm.ld p t6 0L t2;
+  Asm.ld p a2 0L t3;
+  Asm.mul p t6 t6 a2;
+  Asm.add p t5 t5 t6;
+  Asm.addi p t2 t2 8L;
+  Asm.addi p t3 t3 8L;
+  Asm.addi p t4 t4 (-1L);
+  Asm.bne p t4 zero "dot";
+  Asm.srli p t5 t5 9;
+  Asm.add p a1 a1 t5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "row";
+  Asm.label p "done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_words m ~base:data0 ~n:(rows * cols) ~bound:256L ~seed:0xFA;
+      Kernel_lib.init_random_words m ~base:data1 ~n:cols ~bound:256L ~seed:0xCE)
+    p
+
+(* --- ferret: hash queries into a lock-protected shared table --------------- *)
+let ferret ~harts ~scale =
+  let n = 700 * scale in
+  let table = 0x8030_0000L in
+  let p = Asm.create () in
+  part p ~harts ~n;
+  Asm.li p s0 data0;
+  Asm.li p s1 table;
+  Asm.li p s2 lock_addr;
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2 (* item *);
+  (* hash *)
+  Asm.li p t4 0x9E3779B9L;
+  Asm.mul p t3 t3 t4;
+  Asm.srli p t4 t3 13;
+  Asm.li p t5 1023L;
+  Asm.and_ p t4 t4 t5;
+  Asm.slli p t4 t4 3;
+  Asm.add p t4 t4 s1 (* bucket *);
+  (* lock-protected read-modify-write of the shared bucket *)
+  Kernel_lib.spin_lock p ~addr_reg:s2 ~tmp1:t5 ~tmp2:t6;
+  Asm.ld p t5 0L t4;
+  Asm.add p t5 t5 t3;
+  Asm.sd p t5 0L t4;
+  Kernel_lib.spin_unlock p ~addr_reg:s2;
+  (* checksum uses only thread-local values so it is schedule-independent *)
+  Asm.andi p t5 t3 0xFFL;
+  Asm.add p a1 a1 t5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "loop";
+  Asm.label p "done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n ~bound:1_000_000L ~seed:0xFE)
+    p
+
+(* --- freqmine: shared read-only scan, private counting -------------------- *)
+let freqmine ~harts ~scale =
+  let n = 2400 * scale in
+  let priv_tables = 0x8030_0000L in
+  let p = Asm.create () in
+  part p ~harts ~n;
+  Asm.li p s0 data0;
+  (* private 256-entry table at priv_tables + hart*8KB *)
+  Asm.csrr p t0 Csr.mhartid;
+  Asm.slli p t0 t0 13;
+  Asm.li p s1 priv_tables;
+  Asm.add p s1 s1 t0;
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "loop";
+  Asm.add p t2 s0 t0;
+  Asm.lbu p t3 0L t2 (* transaction item *);
+  Asm.slli p t4 t3 3;
+  Asm.add p t4 t4 s1;
+  Asm.ld p t5 0L t4;
+  Asm.addi p t5 t5 1L;
+  Asm.sd p t5 0L t4;
+  (* pattern check: pairs of consecutive equal items *)
+  Asm.lbu p t6 1L t2;
+  Asm.bne p t3 t6 "no_pair";
+  Asm.addi p a1 a1 1L;
+  Asm.label p "no_pair";
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "loop";
+  Asm.label p "done";
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_bytes m ~base:data0 ~n:(n + 1) ~seed:0xF2)
+    p
+
+(* --- streamcluster: shared reads + contended shared updates ---------------- *)
+let streamcluster ~harts ~scale =
+  let points = 600 * scale in
+  let centers = 0x8030_0000L in
+  let n_centers = 8 in
+  let p = Asm.create () in
+  part p ~harts ~n:points;
+  Asm.li p s0 data0 (* points, read-shared *);
+  Asm.li p s1 centers (* center accumulators, write-shared *);
+  Asm.li p s2 lock_addr;
+  Asm.li p a1 0L;
+  Asm.mv p t0 s4;
+  Asm.bge p t0 s5 "done";
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2 (* point *);
+  (* nearest-center: argmin over 8 centers of |p - c_k| (c_k = k*1000) *)
+  Asm.li p t4 0L (* best k *);
+  Asm.li p t5 0x7FFFFFFFL (* best dist *);
+  Asm.li p t6 0L (* k *);
+  Asm.label p "ctr";
+  Asm.li p a2 1000L;
+  Asm.mul p a2 t6 a2;
+  Asm.sub p a2 t3 a2;
+  Asm.bge p a2 zero "abs_ok";
+  Asm.sub p a2 zero a2;
+  Asm.label p "abs_ok";
+  Asm.bge p a2 t5 "not_better";
+  Asm.mv p t5 a2;
+  Asm.mv p t4 t6;
+  Asm.label p "not_better";
+  Asm.addi p t6 t6 1L;
+  Asm.li p a2 (Int64.of_int n_centers);
+  Asm.blt p t6 a2 "ctr";
+  (* contended shared update: centers[best] += point (all threads hit the
+     same few lines; under TSO this is where eviction kills bite) *)
+  Asm.slli p t4 t4 3;
+  Asm.add p t4 t4 s1;
+  Asm.amoadd_d p zero t3 t4;
+  Asm.andi p t3 t3 0xFFL;
+  Asm.add p a1 a1 t3;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s5 "loop";
+  Asm.label p "done";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:points ~bound:8000L ~seed:0x5C)
+    p
+
+let all =
+  [
+    ("blackscholes", fun ~harts ~scale -> blackscholes ~harts ~scale);
+    ("facesim", fun ~harts ~scale -> facesim ~harts ~scale);
+    ("ferret", fun ~harts ~scale -> ferret ~harts ~scale);
+    ("fluidanimate", fun ~harts ~scale -> fluidanimate ~harts ~scale);
+    ("freqmine", fun ~harts ~scale -> freqmine ~harts ~scale);
+    ("swaptions", fun ~harts ~scale -> swaptions ~harts ~scale);
+    ("streamcluster", fun ~harts ~scale -> streamcluster ~harts ~scale);
+  ]
+
+let names = List.map fst all
+
+let find name ~harts ~scale =
+  match List.assoc_opt name all with
+  | Some f -> f ~harts ~scale
+  | None -> invalid_arg ("Parsec_kernels.find: unknown kernel " ^ name)

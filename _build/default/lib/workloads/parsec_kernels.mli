@@ -1,0 +1,20 @@
+(** PARSEC-shaped multi-threaded kernels (paper, Section VI-B).
+
+    Seven kernels named after the PARSEC benchmarks the paper runs, each
+    exercising the shared-memory pattern that matters for the TSO-vs-WMM
+    comparison: data-parallel compute ([blackscholes], [swaptions],
+    [facesim]), neighbour sharing with barriers ([fluidanimate]),
+    lock-protected shared tables ([ferret]), read-mostly sharing
+    ([freqmine]) and high-contention shared updates ([streamcluster]).
+
+    All harts run the same code, partitioned by [mhartid]; hart 0 reduces
+    the per-hart partial sums and exits with a checksum. For a fixed thread
+    count the checksum is schedule-independent (each thread's contribution
+    uses only thread-local values), so it must be identical across memory
+    models, core counts-of-machines and the golden reference — which is how
+    the multicore runs are validated. *)
+
+val all : (string * (harts:int -> scale:int -> Machine.program)) list
+
+val find : string -> harts:int -> scale:int -> Machine.program
+val names : string list

@@ -1,0 +1,546 @@
+open Isa
+open Reg_name
+
+let data0 = 0x8020_0000L
+let data1 = 0x8060_0000L
+
+(* emit an in-register LCG step: r = r * K + C (K in kreg) *)
+let lcg_step p ~r ~kreg =
+  Asm.mul p r r kreg;
+  Asm.addi p r r 0x2EFL
+
+let finish p =
+  Kernel_lib.exit_a0 p
+
+(* --- bzip2: run-length scanning over random bytes ----------------------- *)
+let bzip2 ~scale =
+  let n = 24_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L (* i *);
+  Asm.li p t1 (-1L) (* prev *);
+  Asm.li p t2 0L (* run *);
+  Asm.label p "loop";
+  Asm.add p t3 s0 t0;
+  Asm.lbu p t4 0L t3;
+  Asm.bne p t4 t1 "break_run";
+  Asm.addi p t2 t2 1L;
+  Asm.j p "next";
+  Asm.label p "break_run";
+  Asm.mul p t5 t2 t2;
+  Asm.add p a0 a0 t5;
+  Asm.li p t2 1L;
+  Asm.mv p t1 t4;
+  Asm.label p "next";
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      (* an 8-symbol alphabet: runs are short but common, so the run-break
+         branch is genuinely data-dependent (bzip2's profile) *)
+      Kernel_lib.init_random_words m ~base:data0 ~n:(n / 8) ~bound:0x0707070707070708L ~seed:0x1234)
+    p
+
+(* --- gcc: opcode dispatch ladder over a random "IR" --------------------- *)
+let gcc ~scale =
+  let n = 12_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p a0 1L;
+  Asm.li p t0 0L;
+  Asm.label p "loop";
+  Asm.slli p t3 t0 3;
+  Asm.add p t3 t3 s0;
+  Asm.ld p t4 0L t3 (* opcode 0..7 *);
+  Asm.li p t5 0L;
+  Asm.beq p t4 t5 "op0";
+  Asm.li p t5 1L;
+  Asm.beq p t4 t5 "op1";
+  Asm.li p t5 2L;
+  Asm.beq p t4 t5 "op2";
+  Asm.li p t5 3L;
+  Asm.beq p t4 t5 "op3";
+  (* 4..7: arithmetic mix *)
+  Asm.xori p a0 a0 0x55L;
+  Asm.add p a0 a0 t4;
+  Asm.j p "next";
+  Asm.label p "op0";
+  Asm.addi p a0 a0 3L;
+  Asm.j p "next";
+  Asm.label p "op1";
+  Asm.slli p a0 a0 1;
+  Asm.j p "next";
+  Asm.label p "op2";
+  Asm.srli p a0 a0 1;
+  Asm.addi p a0 a0 7L;
+  Asm.j p "next";
+  Asm.label p "op3";
+  Asm.mul p a0 a0 t4;
+  Asm.addi p a0 a0 1L;
+  Asm.label p "next";
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  Asm.li p t0 0xFFFFFFL;
+  Asm.and_ p a0 a0 t0;
+  finish p;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n ~bound:8L ~seed:0x777)
+    p
+
+(* --- mcf: giant-footprint pointer chases (TLB killer) -------------------- *)
+(* Four independent chains interleaved, so the non-blocking TLB's parallel
+   miss handling has independent misses to overlap — like mcf's multiple
+   arc-list traversals. *)
+let mcf ~scale =
+  let nodes = 3072 in
+  let stride = 4096 + 64 in
+  let hops = 3_500 * scale in
+  let p = Asm.create () in
+  Asm.li p s1 (Int64.of_int hops);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  (* four entry pointers, patched into memory after the code *)
+  Asm.la p t1 "entry_ptrs";
+  Asm.ld p s2 0L t1;
+  Asm.ld p s3 8L t1;
+  Asm.ld p s4 16L t1;
+  Asm.ld p s5 24L t1;
+  Asm.label p "loop";
+  Asm.ld p t2 8L s2;
+  Asm.add p a0 a0 t2;
+  Asm.ld p t3 8L s3;
+  Asm.add p a0 a0 t3;
+  Asm.ld p t4 8L s4;
+  Asm.add p a0 a0 t4;
+  Asm.ld p t5 8L s5;
+  Asm.add p a0 a0 t5;
+  Asm.ld p s2 0L s2;
+  Asm.ld p s3 0L s3;
+  Asm.ld p s4 0L s4;
+  Asm.ld p s5 0L s5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Asm.label p "entry_ptrs";
+  for _ = 1 to 8 do
+    Asm.nop p
+  done;
+  let entry_off = Asm.addr_of p ~base:Addr_map.dram_base "entry_ptrs" in
+  Machine.program
+    ~init_mem:(fun m ->
+      let first = Kernel_lib.init_pointer_chase m ~base:data0 ~n:nodes ~stride ~seed:0xBEEF in
+      (* four entries spread around the same cycle *)
+      let nth_next a k =
+        let rec go a k = if k = 0 then a else go (Phys_mem.load m ~bytes:8 a) (k - 1) in
+        go a k
+      in
+      Phys_mem.store m ~bytes:8 entry_off first;
+      Phys_mem.store m ~bytes:8 (Int64.add entry_off 8L) (nth_next first (nodes / 4));
+      Phys_mem.store m ~bytes:8 (Int64.add entry_off 16L) (nth_next first (nodes / 2));
+      Phys_mem.store m ~bytes:8 (Int64.add entry_off 24L) (nth_next first (3 * nodes / 4)))
+    p
+
+(* --- gobmk: board-scan with data-dependent pattern branches -------------- *)
+let gobmk ~scale =
+  let iters = 12_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0 (* 1K of random words *);
+  Asm.li p s1 (Int64.of_int iters);
+  Asm.li p s2 0x5851F42DL;
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  Asm.li p t1 0x9E37L;
+  Asm.label p "loop";
+  lcg_step p ~r:t1 ~kreg:s2;
+  Asm.srli p t2 t1 7;
+  Asm.andi p t2 t2 127L;
+  Asm.slli p t2 t2 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2 (* board word *);
+  (* arithmetic liberty count of the low nibbles (no branches) *)
+  Asm.andi p t4 t3 15L;
+  Asm.add p a0 a0 t4;
+  Asm.srli p t5 t3 4;
+  Asm.andi p t5 t5 15L;
+  Asm.add p a0 a0 t5;
+  (* one genuinely data-dependent pattern branch per position *)
+  Asm.srli p t6 t3 17;
+  Asm.andi p t6 t6 3L;
+  Asm.beq p t6 zero "atari";
+  Asm.addi p a0 a0 1L;
+  Asm.j p "next";
+  Asm.label p "atari";
+  Asm.slli p a0 a0 1;
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a0 a0 t6;
+  Asm.label p "next";
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:128 ~bound:Int64.max_int ~seed:0x60)
+    p
+
+(* --- hmmer: dense Viterbi-like adds and maxes, sequential ---------------- *)
+let hmmer ~scale =
+  let n = 4_000 in
+  let passes = 6 * scale in
+  let p = Asm.create () in
+  Asm.li p s3 (Int64.of_int passes);
+  Asm.li p a0 0L;
+  Asm.label p "pass";
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p t0 0L;
+  Asm.li p t6 0L (* best *);
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2;
+  Asm.ld p t4 8L t2;
+  Asm.add p t5 t3 t4;
+  Asm.add p t5 t5 t6;
+  Asm.blt p t5 t6 "no_update";
+  Asm.mv p t6 t5;
+  Asm.label p "no_update";
+  Asm.andi p t6 t6 0x7FFL;
+  Asm.addi p t0 t0 2L;
+  Asm.blt p t0 s1 "loop";
+  Asm.add p a0 a0 t6;
+  Asm.addi p s3 s3 (-1L);
+  Asm.bne p s3 zero "pass";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n ~bound:1000L ~seed:0x42)
+    p
+
+(* --- sjeng: hash-driven lookups with unpredictable branches and divides -- *)
+let sjeng ~scale =
+  let iters = 9_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0 (* 64KB table *);
+  Asm.li p s1 (Int64.of_int iters);
+  Asm.li p s2 0x5851F42DL;
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  Asm.li p t1 0x1234L;
+  Asm.label p "loop";
+  lcg_step p ~r:t1 ~kreg:s2;
+  Asm.srli p t2 t1 9;
+  Asm.li p t3 8191L;
+  Asm.and_ p t2 t2 t3;
+  Asm.slli p t2 t2 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2 (* hash entry *);
+  Asm.andi p t4 t3 3L;
+  Asm.beq p t4 zero "miss";
+  Asm.li p t5 1L;
+  Asm.beq p t4 t5 "cut";
+  (* search deeper: a divide models evaluation *)
+  Asm.ori p t5 t3 1L;
+  Asm.divu p t5 t1 t5;
+  Asm.add p a0 a0 t5;
+  Asm.j p "next";
+  Asm.label p "miss";
+  Asm.sd p t1 0L t2;
+  Asm.addi p a0 a0 1L;
+  Asm.j p "next";
+  Asm.label p "cut";
+  Asm.xor p a0 a0 t3;
+  Asm.label p "next";
+  Asm.li p t5 0xFFFFFFL;
+  Asm.and_ p a0 a0 t5;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:8192 ~bound:Int64.max_int ~seed:0x99)
+    p
+
+(* --- libquantum: streaming toggle over an L2-sized array ----------------- *)
+let libquantum ~scale =
+  let n = 256 * 1024 (* words = 2MB, larger than most L2 configs *) in
+  let passes = scale in
+  let p = Asm.create () in
+  Asm.li p s3 (Int64.of_int passes);
+  Asm.li p a0 0L;
+  Asm.label p "pass";
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p t0 0L;
+  Asm.li p t4 0x40L;
+  Asm.label p "loop";
+  Asm.slli p t2 t0 3;
+  Asm.add p t2 t2 s0;
+  Asm.ld p t3 0L t2;
+  Asm.xor p t3 t3 t4;
+  Asm.sd p t3 0L t2;
+  Asm.add p a0 a0 t3;
+  Asm.addi p t0 t0 8L;
+  Asm.blt p t0 s1 "loop";
+  Asm.addi p s3 s3 (-1L);
+  Asm.bne p s3 zero "pass";
+  Asm.li p t5 0xFFFFFFL;
+  Asm.and_ p a0 a0 t5;
+  finish p;
+  Machine.program
+    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:64 ~bound:255L ~seed:0x7)
+    p
+
+(* --- h264ref: block SAD with good locality and high ILP ------------------ *)
+let h264ref ~scale =
+  let blocks = 500 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0 (* frame A *);
+  Asm.li p s1 data1 (* frame B *);
+  Asm.li p s2 (Int64.of_int blocks);
+  Asm.li p s3 0L (* block index *);
+  Asm.li p a0 0L;
+  Asm.label p "block";
+  (* block offset: (idx * 67) mod 32768, word aligned *)
+  Asm.li p t0 67L;
+  Asm.mul p t0 s3 t0;
+  Asm.li p t1 32767L;
+  Asm.and_ p t0 t0 t1;
+  Asm.andi p t0 t0 (-8L);
+  Asm.add p t2 s0 t0;
+  Asm.add p t3 s1 t0;
+  (* 16 byte-pairs of abs-diff *)
+  Asm.li p t4 16L;
+  Asm.label p "sad";
+  Asm.lbu p t5 0L t2;
+  Asm.lbu p t6 0L t3;
+  Asm.sub p t5 t5 t6;
+  (* branchless |x|: video kernels keep their inner loops branch-free *)
+  Asm.srai p t6 t5 63;
+  Asm.xor p t5 t5 t6;
+  Asm.sub p t5 t5 t6;
+  Asm.add p a0 a0 t5;
+  Asm.addi p t2 t2 1L;
+  Asm.addi p t3 t3 1L;
+  Asm.addi p t4 t4 (-1L);
+  Asm.bne p t4 zero "sad";
+  Asm.addi p s3 s3 1L;
+  Asm.blt p s3 s2 "block";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_bytes m ~base:data0 ~n:33000 ~seed:0x11;
+      Kernel_lib.init_random_bytes m ~base:data1 ~n:33000 ~seed:0x22)
+    p
+
+(* --- astar: data-dependent grid walk + sparse node info (TLB heavy) ------ *)
+let astar ~scale =
+  let steps = 30_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0 (* 64KB grid of bytes *);
+  Asm.li p s1 data1 (* sparse node info, 4096 pages *);
+  Asm.li p s2 (Int64.of_int steps);
+  Asm.li p s3 0x5851F42DL (* lcg multiplier *);
+  Asm.li p s4 0xACE1L (* lcg state: models the open-list ordering *);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L (* step *);
+  Asm.li p t1 777L (* pos *);
+  Asm.label p "loop";
+  lcg_step p ~r:s4 ~kreg:s3;
+  Asm.li p t2 65535L;
+  Asm.and_ p t3 t1 t2;
+  Asm.add p t3 t3 s0;
+  Asm.lbu p t4 0L t3 (* cell *);
+  (* sparse node record: page selected by position + search order; the
+     payload sits at a page-dependent set offset so the lines spread over
+     the caches (TLB-bound, not DRAM-bound — astar's profile) *)
+  Asm.srli p t6 s4 9;
+  Asm.add p t6 t6 t1;
+  Asm.li p t5 4095L;
+  Asm.and_ p t6 t6 t5;
+  Asm.srli p t5 t6 6;
+  Asm.andi p t5 t5 63L;
+  Asm.slli p t5 t5 6;
+  Asm.slli p t6 t6 12;
+  Asm.add p t6 t6 t5;
+  Asm.add p t6 t6 s1;
+  Asm.ld p t5 0L t6;
+  Asm.add p a0 a0 t5;
+  (* direction branch on cell low bits *)
+  Asm.andi p t5 t4 3L;
+  Asm.beq p t5 zero "d0";
+  Asm.li p t2 1L;
+  Asm.beq p t5 t2 "d1";
+  Asm.li p t2 2L;
+  Asm.beq p t5 t2 "d2";
+  Asm.addi p t1 t1 257L;
+  Asm.j p "go";
+  Asm.label p "d0";
+  Asm.addi p t1 t1 1L;
+  Asm.j p "go";
+  Asm.label p "d1";
+  Asm.addi p t1 t1 255L;
+  Asm.j p "go";
+  Asm.label p "d2";
+  Asm.addi p t1 t1 511L;
+  Asm.label p "go";
+  Asm.add p t1 t1 t4;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s2 "loop";
+  Asm.li p t5 0xFFFFFFL;
+  Asm.and_ p a0 a0 t5;
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_bytes m ~base:data0 ~n:65536 ~seed:0x33;
+      (* one payload word at the start of each sparse page *)
+      let rng = ref 5 in
+      for k = 0 to 4095 do
+        Phys_mem.store m ~bytes:8
+          (Int64.add data1 (Int64.of_int ((k * 4096) + ((k lsr 6) land 63 * 64))))
+          (Int64.of_int (Kernel_lib.lcg rng land 0xFF))
+      done)
+    p
+
+(* --- omnetpp: event-heap delete-min over sparse nodes (TLB + branches) --- *)
+(* Percolate-to-leaf delete-min: each operation walks root-to-leaf choosing
+   the smaller child, touching ~13 scattered pages — omnetpp's event-queue
+   churn. *)
+let omnetpp ~scale =
+  let heap_nodes = 8192 in
+  let node_stride = 4096 (* one node per page: 32MB footprint *) in
+  let ops = 1_200 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data1;
+  Asm.li p s1 (Int64.of_int ops);
+  Asm.li p s2 0x5851F42DL;
+  Asm.li p s3 (Int64.of_int heap_nodes);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  Asm.li p t1 0xACEL;
+  Asm.label p "loop";
+  lcg_step p ~r:t1 ~kreg:s2;
+  Asm.li p t4 1L (* node index (1-based heap) *);
+  Asm.label p "sift";
+  Asm.slli p t5 t4 1 (* left child *);
+  Asm.bge p t5 s3 "at_leaf";
+  (* load both children's keys; node k lives at k*4096 + (k&63)*64 so the
+     key lines spread over cache sets while still costing a page each *)
+  let node_addr ~idx ~dst ~tmp =
+    Asm.slli p dst idx 12;
+    Asm.srli p tmp idx 6;
+    Asm.andi p tmp tmp 63L;
+    Asm.slli p tmp tmp 6;
+    Asm.add p dst dst tmp;
+    Asm.add p dst dst s0
+  in
+  node_addr ~idx:t5 ~dst:t6 ~tmp:a2;
+  Asm.ld p t2 0L t6 (* left key *);
+  Asm.addi p a2 t5 1L;
+  node_addr ~idx:a2 ~dst:t3 ~tmp:a3;
+  Asm.ld p t3 0L t3 (* right key *);
+  (* pick the smaller child (data-dependent branch) *)
+  Asm.blt p t2 t3 "go_left";
+  Asm.addi p t5 t5 1L;
+  Asm.mv p t2 t3;
+  Asm.label p "go_left";
+  (* hoist the chosen key into the parent slot *)
+  Asm.slli p t6 t4 12;
+  Asm.srli p a2 t4 6;
+  Asm.andi p a2 a2 63L;
+  Asm.slli p a2 a2 6;
+  Asm.add p t6 t6 a2;
+  Asm.add p t6 t6 s0;
+  Asm.sd p t2 0L t6;
+  Asm.add p a0 a0 t2;
+  Asm.mv p t4 t5;
+  Asm.j p "sift";
+  Asm.label p "at_leaf";
+  (* insert a fresh random key at the vacated leaf *)
+  Asm.srli p t2 t1 5;
+  Asm.li p t3 0xFFFFFL;
+  Asm.and_ p t2 t2 t3;
+  Asm.slli p t6 t4 12;
+  Asm.srli p a2 t4 6;
+  Asm.andi p a2 a2 63L;
+  Asm.slli p a2 a2 6;
+  Asm.add p t6 t6 a2;
+  Asm.add p t6 t6 s0;
+  Asm.sd p t2 0L t6;
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a0 a0 t6;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      let rng = ref 9 in
+      for k = 1 to heap_nodes - 1 do
+        Phys_mem.store m ~bytes:8
+          (Int64.add data1 (Int64.of_int ((k * node_stride) + ((k lsr 6) land 63 * 64))))
+          (Int64.of_int (Kernel_lib.lcg rng land 0xFFFFF))
+      done)
+    p
+
+(* --- xalancbmk: byte scanning with tag dispatch --------------------------- *)
+let xalancbmk ~scale =
+  let n = 16_000 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p s2 data1 (* 256-entry action table *);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  Asm.label p "loop";
+  Asm.add p t2 s0 t0;
+  Asm.lbu p t3 0L t2;
+  Asm.slli p t4 t3 3;
+  Asm.add p t4 t4 s2;
+  Asm.ld p t5 0L t4 (* action *);
+  Asm.andi p t6 t3 7L;
+  Asm.beq p t6 zero "open_tag";
+  Asm.andi p t6 t3 15L;
+  Asm.li p t2 3L;
+  Asm.beq p t6 t2 "close_tag";
+  Asm.add p a0 a0 t5;
+  Asm.j p "next";
+  Asm.label p "open_tag";
+  Asm.slli p a0 a0 1;
+  Asm.xor p a0 a0 t5;
+  Asm.j p "next";
+  Asm.label p "close_tag";
+  Asm.srli p a0 a0 1;
+  Asm.add p a0 a0 t3;
+  Asm.label p "next";
+  Asm.li p t2 0xFFFFFFL;
+  Asm.and_ p a0 a0 t2;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_bytes m ~base:data0 ~n ~seed:0x55;
+      Kernel_lib.init_random_words m ~base:data1 ~n:256 ~bound:65536L ~seed:0x66)
+    p
+
+let all =
+  [
+    ("bzip2", fun ~scale -> bzip2 ~scale);
+    ("gcc", fun ~scale -> gcc ~scale);
+    ("mcf", fun ~scale -> mcf ~scale);
+    ("gobmk", fun ~scale -> gobmk ~scale);
+    ("hmmer", fun ~scale -> hmmer ~scale);
+    ("sjeng", fun ~scale -> sjeng ~scale);
+    ("libquantum", fun ~scale -> libquantum ~scale);
+    ("h264ref", fun ~scale -> h264ref ~scale);
+    ("astar", fun ~scale -> astar ~scale);
+    ("omnetpp", fun ~scale -> omnetpp ~scale);
+    ("xalancbmk", fun ~scale -> xalancbmk ~scale);
+  ]
+
+let names = List.map fst all
+
+let find name ~scale =
+  match List.assoc_opt name all with
+  | Some f -> f ~scale
+  | None -> invalid_arg ("Spec_kernels.find: unknown kernel " ^ name)

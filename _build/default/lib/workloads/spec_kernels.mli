@@ -1,0 +1,24 @@
+(** SPEC CINT2006-shaped single-core kernels (paper, Section VI-A).
+
+    Eleven synthetic kernels carrying the same names as the paper's
+    benchmarks, each engineered to reproduce that benchmark's bottleneck
+    profile from Fig. 16:
+
+    - [mcf], [astar], [omnetpp]: large-footprint pointer chasing — very high
+      D-TLB and L2-TLB miss rates (these are the ones the non-blocking TLB +
+      walk cache of RiscyOO-T+ accelerates most);
+    - [hmmer], [h264ref]: dense compute, near-zero miss rates;
+    - [sjeng], [gobmk]: data-dependent branches — high misprediction rates;
+    - [libquantum]: streaming over an L2-sized array — cache-bandwidth bound;
+    - [bzip2], [gcc], [xalancbmk]: mixed profiles.
+
+    Every kernel exits with a data-dependent checksum, so each run is
+    validated against the golden ISA simulator. [scale] multiplies the
+    dynamic instruction count (1 ≈ 100–300k instructions). *)
+
+val all : (string * (scale:int -> Machine.program)) list
+
+val find : string -> scale:int -> Machine.program
+
+(** Kernel names in the paper's presentation order. *)
+val names : string list

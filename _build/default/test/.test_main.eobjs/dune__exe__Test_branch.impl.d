@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Branch Clock Cmd Int64 Kernel List Printf

@@ -1,0 +1,1 @@
+test/test_cmd.ml: Alcotest Clock Cmd Config_reg Conflict Ehr Fifo Fun Gen Kernel List Printf QCheck QCheck_alcotest Reg Rule Sim Wire

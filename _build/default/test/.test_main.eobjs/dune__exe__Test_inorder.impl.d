@@ -1,0 +1,1 @@
+test/test_inorder.ml: Addr_map Alcotest Array Asm Clock Cmd Fmt Golden Inorder Int64 Isa Mem Mmio Option Page_table Phys_mem Printf Reg_name Sim Stats Tlb

@@ -1,0 +1,1 @@
+test/test_isa.ml: Addr_map Alcotest Array Asm Csr Decode Encode Fmt Golden Instr Int64 Isa List Mmio Option Page_table Phys_mem Printf QCheck QCheck_alcotest Random Reg_name Xlen

@@ -1,0 +1,1 @@
+test/test_lsq.ml: Alcotest Branch Clock Cmd Isa Kernel Lsq Ooo Store_buffer Uop

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Bytes Cache_geom Clock Cmd Fmt Hashtbl Int64 Isa Kernel L1_dcache L1_icache L2_cache Mem Mem_sys Msg Printf QCheck QCheck_alcotest Random Sim Stats

@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Asm Csr Fmt Int64 Isa Machine Mem Ooo Printf Reg_name Tlb Workloads

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Asm Branch Cmd Fmt Int64 Isa List Machine Mem Ooo Printf Reg_name Tlb Workloads

@@ -1,0 +1,1 @@
+test/test_ooo_units.ml: Alcotest Branch Bytes Char Clock Cmd Free_list Int64 Isa Issue_queue Kernel List Ooo Prf QCheck QCheck_alcotest Rename_table Rob Rule Sim Spec_manager Stage Store_buffer Uop

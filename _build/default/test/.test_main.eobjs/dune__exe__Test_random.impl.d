@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Array Asm Fmt Int64 Isa Kernel_lib List Machine Mem Ooo Printf Random Reg_name Tlb Workloads

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest List Ooo Printf Synth

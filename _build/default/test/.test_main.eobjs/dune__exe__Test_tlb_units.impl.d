@@ -1,0 +1,1 @@
+test/test_tlb_units.ml: Alcotest Array Branch Bytes Char Clock Cmd Fmt Int64 Isa Kernel Mem Ooo QCheck QCheck_alcotest Random Tlb

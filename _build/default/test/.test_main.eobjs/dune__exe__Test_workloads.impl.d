@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fmt Int64 Isa List Machine Mem Ooo Option Parsec_kernels Printf Spec_kernels Tlb Workloads

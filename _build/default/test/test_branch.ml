@@ -1,0 +1,92 @@
+(* Unit tests for the branch prediction structures. *)
+
+open Cmd
+
+let ctx0 () = Kernel.make_ctx (Clock.create ())
+
+let test_btb () =
+  let ctx = ctx0 () in
+  let btb = Branch.Btb.create ~entries:16 () in
+  Alcotest.(check bool) "cold miss" true (Branch.Btb.predict btb 0x1000L = None);
+  Branch.Btb.update ctx btb ~pc:0x1000L ~target:0x2000L ~taken:true;
+  Alcotest.(check bool) "trained" true (Branch.Btb.predict btb 0x1000L = Some 0x2000L);
+  (* aliasing entry replaces (direct-mapped: 16 entries * 4 bytes apart) *)
+  Branch.Btb.update ctx btb ~pc:(Int64.add 0x1000L (Int64.of_int (16 * 4))) ~target:0x3000L ~taken:true;
+  Alcotest.(check bool) "alias evicts" true (Branch.Btb.predict btb 0x1000L = None);
+  (* not-taken training clears *)
+  Branch.Btb.update ctx btb ~pc:0x4000L ~target:0x5000L ~taken:true;
+  Branch.Btb.update ctx btb ~pc:0x4000L ~target:0x5000L ~taken:false;
+  Alcotest.(check bool) "cleared on not-taken" true (Branch.Btb.predict btb 0x4000L = None)
+
+let test_tournament_learns () =
+  let ctx = ctx0 () in
+  let t = Branch.Tournament.create () in
+  let pc = 0x1000L in
+  (* strongly-taken branch: after warmup, predictions must be taken *)
+  for _ = 1 to 32 do
+    let _, snap = Branch.Tournament.predict ctx t pc in
+    Branch.Tournament.update ctx t ~pc ~taken:true ~snap
+  done;
+  let pred, snap = Branch.Tournament.predict ctx t pc in
+  Branch.Tournament.update ctx t ~pc ~taken:true ~snap;
+  Alcotest.(check bool) "learned always-taken" true pred;
+  (* alternating pattern: the local 10-bit history should capture it *)
+  let t2 = Branch.Tournament.create () in
+  let correct = ref 0 in
+  let total = 200 in
+  for i = 1 to total do
+    let taken = i mod 2 = 0 in
+    let pred, snap = Branch.Tournament.predict ctx t2 pc in
+    if pred = taken && i > 100 then incr correct;
+    Branch.Tournament.update ctx t2 ~pc ~taken ~snap
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "alternating learned (%d/100 correct after warmup)" !correct)
+    true (!correct > 90)
+
+let test_tournament_restore () =
+  let ctx = ctx0 () in
+  let t = Branch.Tournament.create () in
+  let _, snap = Branch.Tournament.predict ctx t 0x1000L in
+  (* speculate three more *)
+  let _ = Branch.Tournament.predict ctx t 0x1004L in
+  let _ = Branch.Tournament.predict ctx t 0x1008L in
+  Branch.Tournament.restore ctx t ~snap ~taken:false;
+  (* after restore, prediction for the same history must be reproducible *)
+  let p1, _ = Branch.Tournament.predict ctx t 0x100CL in
+  Branch.Tournament.restore ctx t ~snap ~taken:false;
+  let p2, _ = Branch.Tournament.predict ctx t 0x100CL in
+  Alcotest.(check bool) "deterministic after restore" true (p1 = p2)
+
+let test_ras () =
+  let ctx = ctx0 () in
+  let ras = Branch.Ras.create ~entries:4 () in
+  Branch.Ras.push ctx ras 0x100L;
+  Branch.Ras.push ctx ras 0x200L;
+  let snap = Branch.Ras.snapshot ras in
+  Branch.Ras.push ctx ras 0x300L;
+  Alcotest.(check int64) "lifo" 0x300L (Branch.Ras.pop ctx ras);
+  Alcotest.(check int64) "lifo2" 0x200L (Branch.Ras.pop ctx ras);
+  Branch.Ras.restore ctx ras snap;
+  Alcotest.(check int64) "restored top" 0x200L (Branch.Ras.pop ctx ras);
+  Alcotest.(check int64) "below" 0x100L (Branch.Ras.pop ctx ras);
+  (* underflow doesn't raise, just mispredicts *)
+  let _ = Branch.Ras.pop ctx ras in
+  ()
+
+let test_ras_wraps () =
+  let ctx = ctx0 () in
+  let ras = Branch.Ras.create ~entries:2 () in
+  List.iter (fun v -> Branch.Ras.push ctx ras v) [ 1L; 2L; 3L ];
+  Alcotest.(check int64) "newest survives wrap" 3L (Branch.Ras.pop ctx ras);
+  Alcotest.(check int64) "second" 2L (Branch.Ras.pop ctx ras)
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "btb: train/alias/clear" `Quick test_btb;
+    t "tournament: learns patterns" `Quick test_tournament_learns;
+    t "tournament: history restore" `Quick test_tournament_restore;
+    t "ras: push/pop/restore" `Quick test_ras;
+    t "ras: overflow wraps" `Quick test_ras_wraps;
+  ]

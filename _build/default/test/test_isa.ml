@@ -1,0 +1,353 @@
+(* Tests for the ISA substrate: arithmetic corner cases, encode/decode
+   round-trips, the assembler, Sv39 page tables and the golden simulator. *)
+
+open Isa
+
+let i64 = Alcotest.testable (Fmt.fmt "%Ld") Int64.equal
+
+let test_xlen_division () =
+  Alcotest.check i64 "div by zero" (-1L) (Xlen.div 7L 0L);
+  Alcotest.check i64 "rem by zero" 7L (Xlen.rem 7L 0L);
+  Alcotest.check i64 "div overflow" Int64.min_int (Xlen.div Int64.min_int (-1L));
+  Alcotest.check i64 "rem overflow" 0L (Xlen.rem Int64.min_int (-1L));
+  Alcotest.check i64 "divu by zero" (-1L) (Xlen.divu 7L 0L);
+  Alcotest.check i64 "divw" (-2L) (Xlen.divw 7L (-3L));
+  Alcotest.check i64 "divw overflow" (Xlen.sext ~bits:32 0x80000000L)
+    (Xlen.divw 0x80000000L (-1L))
+
+let test_xlen_mulh () =
+  Alcotest.check i64 "mulhu max" 0xFFFFFFFFFFFFFFFEL (Xlen.mulhu (-1L) (-1L));
+  Alcotest.check i64 "mulh -1*-1" 0L (Xlen.mulh (-1L) (-1L));
+  Alcotest.check i64 "mulh min*min"
+    0x4000000000000000L
+    (Xlen.mulh Int64.min_int Int64.min_int);
+  Alcotest.check i64 "mulhsu -1,max" (-1L) (Xlen.mulhsu (-1L) Int64.max_int);
+  (* cross-check mulh against a reference on small values *)
+  for a = -5 to 5 do
+    for b = -5 to 5 do
+      let expect = if (a < 0) = (b < 0) || a = 0 || b = 0 then 0L else -1L in
+      Alcotest.check i64
+        (Printf.sprintf "mulh %d %d" a b)
+        expect
+        (Xlen.mulh (Int64.of_int a) (Int64.of_int b))
+    done
+  done
+
+let test_xlen_word_ops () =
+  Alcotest.check i64 "addw wraps" (Xlen.sext ~bits:32 0x80000000L)
+    (Xlen.addw 0x7FFFFFFFL 1L);
+  Alcotest.check i64 "sraw" (-1L) (Xlen.sraw 0x80000000L 31L);
+  Alcotest.check i64 "srlw" 1L (Xlen.srlw 0x80000000L 31L);
+  Alcotest.check i64 "sllw sext" (Xlen.sext ~bits:32 0x80000000L) (Xlen.sllw 1L 31L)
+
+(* random instruction generator for round-trip tests *)
+let gen_instr =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let width = oneofl [ Instr.B; Instr.H; Instr.W; Instr.D ] in
+  let simm12 = map (fun i -> Int64.of_int (i - 2048)) (int_bound 4095) in
+  let op_gen : Instr.t QCheck.Gen.t =
+    oneof
+      [
+        (let* rd = reg and* v = int_bound 0xFFFFF in
+         return (Instr.make ~rd ~imm:(Xlen.sext ~bits:32 (Int64.of_int (v lsl 12))) Instr.Lui));
+        (let* rd = reg and* rs1 = reg and* imm = simm12 in
+         return (Instr.make ~rd ~rs1 ~imm Instr.Jalr));
+        (let* rs1 = reg and* rs2 = reg and* off = int_bound 2000
+         and* c = oneofl [ Instr.Beq; Instr.Bne; Instr.Blt; Instr.Bge; Instr.Bltu; Instr.Bgeu ] in
+         return (Instr.make ~rs1 ~rs2 ~imm:(Int64.of_int ((off - 1000) * 2)) (Instr.Br c)));
+        (let* rd = reg and* rs1 = reg and* imm = simm12 and* w = width in
+         let unsigned = w <> Instr.D && Random.bool () in
+         return (Instr.make ~rd ~rs1 ~imm (Instr.Ld { width = w; unsigned })));
+        (let* rs1 = reg and* rs2 = reg and* imm = simm12 and* w = width in
+         return (Instr.make ~rs1 ~rs2 ~imm (Instr.St w)));
+        (let* rd = reg and* rs1 = reg and* rs2 = reg
+         and* alu =
+           oneofl
+             [ Instr.Add; Instr.Sub; Instr.Sll; Instr.Slt; Instr.Sltu; Instr.Xor; Instr.Srl;
+               Instr.Sra; Instr.Or; Instr.And ]
+         and* word = bool in
+         return (Instr.make ~rd ~rs1 ~rs2 (Instr.OpA { alu; word; imm = false })));
+        (let* rd = reg and* rs1 = reg and* rs2 = reg
+         and* op =
+           oneofl
+             [ Instr.Mul; Instr.Mulh; Instr.Mulhsu; Instr.Mulhu; Instr.Div; Instr.Divu;
+               Instr.Rem; Instr.Remu ]
+         and* word = bool in
+         let op = Instr.MulDiv { op; word } in
+         (* RV64 has no mulhw etc.: word forms exist only for Mul/Div/Rem *)
+         let op =
+           match op with
+           | Instr.MulDiv { op = (Instr.Mulh | Instr.Mulhsu | Instr.Mulhu) as o; word = _ } ->
+             Instr.MulDiv { op = o; word = false }
+           | o -> o
+         in
+         return (Instr.make ~rd ~rs1 ~rs2 op));
+        (let* rd = reg and* rs1 = reg and* rs2 = reg and* w = oneofl [ Instr.W; Instr.D ]
+         and* op =
+           oneofl
+             [ Instr.Amoswap; Instr.Amoadd; Instr.Amoxor; Instr.Amoand; Instr.Amoor;
+               Instr.Amomin; Instr.Amomax; Instr.Amominu; Instr.Amomaxu ]
+         in
+         return (Instr.make ~rd ~rs1 ~rs2 (Instr.Amo { op; width = w })));
+      ]
+  in
+  op_gen
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trip" ~count:2000
+    (QCheck.make ~print:Instr.to_string gen_instr)
+    (fun i -> Decode.decode (Encode.encode i) = i)
+
+let test_decode_known_words () =
+  (* cross-checked against riscv-tests objdumps *)
+  let check w s =
+    let i = Decode.decode w in
+    Alcotest.(check string) (Printf.sprintf "0x%08x" w) s (Instr.to_string i)
+  in
+  check 0x00000513 "addi rd=a0 rs1=zero rs2=zero imm=0";
+  check 0x00A50533 "add rd=a0 rs1=a0 rs2=a0 imm=0";
+  check 0xFFF50513 "addi rd=a0 rs1=a0 rs2=zero imm=-1";
+  check 0x0000006F "jal rd=zero rs1=zero rs2=zero imm=0";
+  check 0x00008067 "jalr rd=zero rs1=ra rs2=zero imm=0";
+  check 0x00053503 "ld rd=a0 rs1=a0 rs2=zero imm=0";
+  check 0x00B53023 "sd rd=zero rs1=a0 rs2=a1 imm=0";
+  check 0x02B50533 "mul rd=a0 rs1=a0 rs2=a1 imm=0";
+  check 0x00000073 "ecall rd=zero rs1=zero rs2=zero imm=0"
+
+let test_phys_mem () =
+  let m = Phys_mem.create () in
+  Phys_mem.store m ~bytes:8 0x80000000L 0x1122334455667788L;
+  Alcotest.check i64 "ld8" 0x1122334455667788L (Phys_mem.load m ~bytes:8 0x80000000L);
+  Alcotest.check i64 "ld4" 0x55667788L (Phys_mem.load m ~bytes:4 0x80000000L);
+  Alcotest.check i64 "ld1" 0x66L (Phys_mem.load m ~bytes:1 0x80000002L);
+  (* page straddle *)
+  Phys_mem.store m ~bytes:8 0x80000FFCL 0xAABBCCDDEEFF0011L;
+  Alcotest.check i64 "straddle" 0xAABBCCDDEEFF0011L (Phys_mem.load m ~bytes:8 0x80000FFCL);
+  Alcotest.check i64 "unmapped reads zero" 0L (Phys_mem.load m ~bytes:8 0x90000000L)
+
+let test_page_table () =
+  let m = Phys_mem.create () in
+  let pt = Page_table.create m ~alloc_base:0x80100000L in
+  Page_table.map_range pt ~va:0x80000000L ~pa:0x80000000L ~len:0x10000L;
+  Page_table.map pt ~va:0x12345000L ~pa:0x80042000L;
+  (match Page_table.translate m ~root:(Page_table.root pt) 0x80001234L with
+  | Some pa -> Alcotest.check i64 "identity" 0x80001234L pa
+  | None -> Alcotest.fail "identity unmapped");
+  (match Page_table.translate m ~root:(Page_table.root pt) 0x12345678L with
+  | Some pa -> Alcotest.check i64 "remap" 0x80042678L pa
+  | None -> Alcotest.fail "remap unmapped");
+  (match Page_table.translate m ~root:(Page_table.root pt) 0x55555000L with
+  | Some _ -> Alcotest.fail "should fault"
+  | None -> ());
+  match Page_table.walk m ~root:(Page_table.root pt) 0x12345678L with
+  | Some (_, ptes) -> Alcotest.(check int) "three levels" 3 (Array.length ptes)
+  | None -> Alcotest.fail "walk failed"
+
+(* assemble + run a small program end to end on the golden model *)
+let fib_program n =
+  let open Reg_name in
+  let p = Asm.create () in
+  Asm.li p a0 (Int64.of_int n);
+  Asm.li p t0 0L;
+  (* fib(i) *)
+  Asm.li p t1 1L;
+  (* fib(i+1) *)
+  Asm.label p "loop";
+  Asm.beq p a0 zero "done";
+  Asm.add p t2 t0 t1;
+  Asm.mv p t0 t1;
+  Asm.mv p t1 t2;
+  Asm.addi p a0 a0 (-1L);
+  Asm.j p "loop";
+  Asm.label p "done";
+  Asm.mv p a0 t0;
+  (* exit(fib(n)) *)
+  Asm.li p a7 93L;
+  Asm.ecall p;
+  p
+
+let run_golden ?(satp = false) p =
+  let mem = Phys_mem.create () in
+  let mmio = Mmio.create () in
+  let base = Addr_map.dram_base in
+  Array.iteri
+    (fun i w -> Phys_mem.store mem ~bytes:4 (Int64.add base (Int64.of_int (i * 4))) (Int64.of_int w))
+    (Asm.words p ~base);
+  let g = Golden.create ~nharts:1 mem mmio in
+  Golden.set_pc g ~hart:0 base;
+  if satp then begin
+    let pt = Page_table.create mem ~alloc_base:0x81000000L in
+    Page_table.map_range pt ~va:base ~pa:base ~len:0x100000L;
+    Golden.set_satp g ~hart:0 (Page_table.root pt)
+  end;
+  match Golden.run g ~hart:0 ~max:100000 with
+  | `Halted _ -> Mmio.exit_code mmio ~hart:0
+  | `Timeout -> None
+
+let test_megapages () =
+  let m = Phys_mem.create () in
+  let pt = Page_table.create m ~alloc_base:0x80100000L in
+  Page_table.map_mega pt ~va:0x80200000L ~pa:0x80600000L;
+  (match Page_table.translate m ~root:(Page_table.root pt) 0x80234567L with
+  | Some pa -> Alcotest.check i64 "megapage offset passes through" 0x80634567L pa
+  | None -> Alcotest.fail "megapage unmapped");
+  (* a golden run under megapage identity mapping *)
+  let p = fib_program 12 in
+  match run_golden ~satp:false p with
+  | None -> Alcotest.fail "bare run failed"
+  | Some expect -> (
+    let mem = Phys_mem.create () in
+    let mmio = Mmio.create () in
+    let base = Addr_map.dram_base in
+    Array.iteri
+      (fun i w ->
+        Phys_mem.store mem ~bytes:4 (Int64.add base (Int64.of_int (i * 4))) (Int64.of_int w))
+      (Asm.words p ~base);
+    let pt = Page_table.create mem ~alloc_base:0x81000000L in
+    Page_table.map_mega_range pt ~va:base ~pa:base ~len:0x400000L;
+    let g = Golden.create ~nharts:1 mem mmio in
+    Golden.set_pc g ~hart:0 base;
+    Golden.set_satp g ~hart:0 (Page_table.root pt);
+    match Golden.run g ~hart:0 ~max:100000 with
+    | `Halted _ -> Alcotest.check i64 "fib under megapages" expect (Option.get (Mmio.exit_code mmio ~hart:0))
+    | `Timeout -> Alcotest.fail "golden timed out under megapages")
+
+let test_golden_fib () =
+  (match run_golden (fib_program 10) with
+  | Some v -> Alcotest.check i64 "fib 10" 55L v
+  | None -> Alcotest.fail "did not exit");
+  match run_golden ~satp:true (fib_program 15) with
+  | Some v -> Alcotest.check i64 "fib 15 under Sv39" 610L v
+  | None -> Alcotest.fail "did not exit under Sv39"
+
+let test_golden_memory_amo () =
+  let open Reg_name in
+  let p = Asm.create () in
+  Asm.li p s0 0x80010000L;
+  Asm.li p t0 5L;
+  Asm.sd p t0 0L s0;
+  Asm.li p t1 3L;
+  Asm.amoadd_d p t2 t1 s0;
+  (* t2 = 5, mem = 8 *)
+  Asm.ld p t3 0L s0;
+  (* t3 = 8 *)
+  Asm.lr_d p t4 s0;
+  Asm.addi p t4 t4 1L;
+  Asm.sc_d p t5 t4 s0;
+  (* success: t5 = 0, mem = 9 *)
+  Asm.ld p t6 0L s0;
+  Asm.mul p a0 t2 t3;
+  (* 40 *)
+  Asm.add p a0 a0 t5;
+  (* +0 *)
+  Asm.add p a0 a0 t6;
+  (* +9 = 49 *)
+  Asm.li p a7 93L;
+  Asm.ecall p;
+  match run_golden p with
+  | Some v -> Alcotest.check i64 "amo/lrsc arithmetic" 49L v
+  | None -> Alcotest.fail "did not exit"
+
+let test_golden_li_values () =
+  let cases = [ 0L; 1L; -1L; 2047L; -2048L; 0x7FFFFFFFL; 0x80000000L; -2147483648L;
+                0xDEADBEEFL; 0x123456789ABCDEFL; Int64.min_int; Int64.max_int ] in
+  List.iter
+    (fun v ->
+      let open Reg_name in
+      let p = Asm.create () in
+      Asm.li p a0 v;
+      Asm.li p a7 93L;
+      Asm.ecall p;
+      match run_golden p with
+      | Some got -> Alcotest.check i64 (Printf.sprintf "li %Ld" v) v got
+      | None -> Alcotest.fail "did not exit")
+    cases
+
+let test_golden_branches () =
+  (* exhaustive branch-condition check against OCaml comparisons *)
+  let open Reg_name in
+  let vals = [ 0L; 1L; -1L; 5L; Int64.min_int; Int64.max_int ] in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let p = Asm.create () in
+          Asm.li p s0 x;
+          Asm.li p s1 y;
+          Asm.li p a0 0L;
+          let check_one bit emit cond =
+            let skip = Asm.fresh p "skip" in
+            emit p s0 s1 skip;
+            Asm.ori p a0 a0 (Int64.of_int bit);
+            Asm.label p skip;
+            cond
+          in
+          let expected =
+            (if x = y then 0 else 1)
+            lor (if x <> y then 0 else 2)
+            lor (if Int64.compare x y < 0 then 0 else 4)
+            lor (if Int64.compare x y >= 0 then 0 else 8)
+            lor (if Xlen.ucompare x y < 0 then 0 else 16)
+            lor if Xlen.ucompare x y >= 0 then 0 else 32
+          in
+          ignore (check_one 1 Asm.beq ());
+          ignore (check_one 2 Asm.bne ());
+          ignore (check_one 4 Asm.blt ());
+          ignore (check_one 8 Asm.bge ());
+          ignore (check_one 16 Asm.bltu ());
+          ignore (check_one 32 Asm.bgeu ());
+          Asm.li p a7 93L;
+          Asm.ecall p;
+          match run_golden p with
+          | Some got ->
+            Alcotest.check i64 (Printf.sprintf "branches %Ld %Ld" x y) (Int64.of_int expected) got
+          | None -> Alcotest.fail "did not exit")
+        vals)
+    vals
+
+let test_golden_csr () =
+  let open Reg_name in
+  let p = Asm.create () in
+  Asm.csrr p t0 Csr.mhartid;
+  Asm.csrr p t1 Csr.instret;
+  (* instret reads 1 here: one instruction already retired *)
+  Asm.add p a0 t0 t1;
+  Asm.li p a7 93L;
+  Asm.ecall p;
+  match run_golden p with
+  | Some v -> Alcotest.check i64 "mhartid + instret" 1L v
+  | None -> Alcotest.fail "did not exit"
+
+let test_asm_la () =
+  let open Reg_name in
+  let p = Asm.create () in
+  Asm.j p "start";
+  Asm.label p "data_anchor";
+  Asm.nop p;
+  Asm.label p "start";
+  Asm.la p a0 "data_anchor";
+  Asm.li p a7 93L;
+  Asm.ecall p;
+  match run_golden p with
+  | Some v -> Alcotest.check i64 "la resolves" (Int64.add Addr_map.dram_base 4L) v
+  | None -> Alcotest.fail "did not exit"
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "xlen: division corner cases" `Quick test_xlen_division;
+    t "xlen: mulh family" `Quick test_xlen_mulh;
+    t "xlen: word ops" `Quick test_xlen_word_ops;
+    t "decode: known words" `Quick test_decode_known_words;
+    t "phys_mem: widths and straddles" `Quick test_phys_mem;
+    t "page_table: sv39 walks" `Quick test_page_table;
+    t "page_table: 2MB megapages" `Quick test_megapages;
+    t "golden: fib (bare and Sv39)" `Quick test_golden_fib;
+    t "golden: amo + lr/sc" `Quick test_golden_memory_amo;
+    t "golden: li constants" `Quick test_golden_li_values;
+    t "golden: branch conditions" `Quick test_golden_branches;
+    t "asm: la pc-relative" `Quick test_asm_la;
+    t "golden: csr reads" `Quick test_golden_csr;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

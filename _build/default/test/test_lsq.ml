@@ -1,0 +1,195 @@
+(* Unit tests for the load-store queue: program-order tracking, store-to-load
+   forwarding decisions, the two kill mechanisms, and wrong-path slot
+   recycling (paper, Section V-B). *)
+
+open Cmd
+open Ooo
+
+let ctx0 () = Kernel.make_ctx (Clock.create ())
+
+let cfg mm =
+  { Ooo.Config.riscyoo_b with Ooo.Config.lq_size = 4; sq_size = 4; mem_model = mm }
+
+let mk ?(seq = 0) op : Uop.t =
+  {
+    seq;
+    pc = 0L;
+    instr = Isa.Instr.make op;
+    rob_idx = 0;
+    prd = -1;
+    prs1 = -1;
+    prs2 = -1;
+    prd_old = -1;
+    spec_tag = -1;
+    lsq = Uop.LNone;
+    pred_next = 0L;
+    ras_sp = Branch.Ras.snapshot (Branch.Ras.create ());
+    ghist = None;
+    spec_mask = 0;
+    killed = false;
+    completed = false;
+    ld_kill = false;
+    fault = false;
+    mmio = false;
+    translated = false;
+    paddr = 0L;
+    st_data = 0L;
+    result = 0L;
+    actual_next = 0L;
+  }
+
+let ld_op = Isa.Instr.Ld { width = Isa.Instr.D; unsigned = false }
+let st_op = Isa.Instr.St Isa.Instr.D
+
+let enq_ld ctx lsq ~seq ~paddr =
+  let idx = Lsq.reserve_ld ctx lsq in
+  let u = { (mk ~seq ld_op) with Uop.lsq = Uop.LQ idx; paddr } in
+  Lsq.fill_ld ctx lsq idx u;
+  (idx, u)
+
+let enq_st ctx lsq ~seq ~paddr ~data =
+  let idx = Lsq.reserve_st ctx lsq in
+  let u = { (mk ~seq st_op) with Uop.lsq = Uop.SQ idx; paddr; st_data = data } in
+  Lsq.fill_st ctx lsq idx u;
+  (idx, u)
+
+let test_forwarding () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  let _, st = enq_st ctx lsq ~seq:1 ~paddr:0x80000100L ~data:0xDEADL in
+  let lidx, ld = enq_ld ctx lsq ~seq:2 ~paddr:0x80000100L in
+  Lsq.update_st ctx lsq st;
+  Lsq.update_ld ctx lsq ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  Alcotest.(check int) "issuable load" lidx i;
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.Forward (v, _) -> Alcotest.(check int64) "forwarded value" 0xDEADL v
+  | _ -> Alcotest.fail "expected forwarding")
+
+let test_partial_overlap_stalls () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  (* 4-byte store, 8-byte load at the same address: partial cover -> stall *)
+  let sidx = Lsq.reserve_st ctx lsq in
+  let st = { (mk ~seq:1 (Isa.Instr.St Isa.Instr.W)) with Uop.lsq = Uop.SQ sidx; paddr = 0x80000100L } in
+  Lsq.fill_st ctx lsq sidx st;
+  let _, ld = enq_ld ctx lsq ~seq:2 ~paddr:0x80000100L in
+  Lsq.update_st ctx lsq st;
+  Lsq.update_ld ctx lsq ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.Stalled -> ()
+  | _ -> Alcotest.fail "expected stall on partial overlap");
+  (* once the store leaves the SQ the stall clears and the load goes to
+     memory *)
+  Lsq.set_at_commit ctx lsq st;
+  Lsq.deq_st ctx lsq;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache _ -> ()
+  | _ -> Alcotest.fail "expected cache issue after store drained"
+
+let test_store_update_kills_younger_load () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  let _, st = enq_st ctx lsq ~seq:1 ~paddr:0x80000100L ~data:1L in
+  let _, ld = enq_ld ctx lsq ~seq:2 ~paddr:0x80000100L in
+  Lsq.update_ld ctx lsq ld;
+  (* the load issues speculatively past the unresolved store *)
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache _ -> ()
+  | _ -> Alcotest.fail "expected speculative issue");
+  Alcotest.(check bool) "not killed yet" false ld.Uop.ld_kill;
+  (* the store's address resolves: the memory-dependency violation is caught *)
+  Lsq.update_st ctx lsq st;
+  Alcotest.(check bool) "violating load marked to-be-killed" true ld.Uop.ld_kill
+
+let test_tso_cache_evict_kill () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.TSO) in
+  let _, ld = enq_ld ctx lsq ~seq:1 ~paddr:0x80000140L in
+  Lsq.update_ld ctx lsq ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache tag -> (
+    match Lsq.resp_ld ctx lsq tag 42L with
+    | `Ok _ -> ()
+    | `WrongPath -> Alcotest.fail "live load")
+  | _ -> Alcotest.fail "expected cache issue");
+  (* an eviction of the line the completed-but-uncommitted load read: TSO
+     marks it to-be-killed; WMM would not *)
+  Lsq.cache_evict ctx lsq 0x80000140L;
+  Alcotest.(check bool) "TSO kill" true ld.Uop.ld_kill;
+  let lsq_w = Lsq.create (cfg Ooo.Config.WMM) in
+  let _, ld2 = enq_ld ctx lsq_w ~seq:1 ~paddr:0x80000140L in
+  Lsq.update_ld ctx lsq_w ld2;
+  let i, u = Lsq.get_issue_ld ctx lsq_w in
+  (match Lsq.issue_ld ctx lsq_w i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache tag -> ignore (Lsq.resp_ld ctx lsq_w tag 42L)
+  | _ -> ());
+  Lsq.cache_evict ctx lsq_w 0x80000140L;
+  Alcotest.(check bool) "WMM does not kill" false ld2.Uop.ld_kill
+
+let test_wrong_path_slot () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  let _, ld = enq_ld ctx lsq ~seq:1 ~paddr:0x80000100L in
+  Lsq.update_ld ctx lsq ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  let tag =
+    match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+    | Lsq.ToCache tag -> tag
+    | _ -> Alcotest.fail "expected cache issue"
+  in
+  (* the load is killed while its response is in flight *)
+  Uop.mk_set_killed ctx ld true;
+  Lsq.kill_suffix ctx lsq;
+  (* the slot is reallocated to a new load, which must NOT be issuable yet *)
+  let _, ld2 = enq_ld ctx lsq ~seq:2 ~paddr:0x80000200L in
+  Lsq.update_ld ctx lsq ld2;
+  (match Lsq.get_issue_ld ctx lsq with
+  | exception Kernel.Guard_fail _ -> ()
+  | _ -> Alcotest.fail "wrong-path slot must block issue");
+  (* the stale response arrives: dropped, and the slot becomes usable *)
+  (match Lsq.resp_ld ctx lsq tag 99L with
+  | `WrongPath -> ()
+  | `Ok _ -> Alcotest.fail "stale response must not deliver");
+  let _, u2 = Lsq.get_issue_ld ctx lsq in
+  Alcotest.(check int) "new load issuable" 2 u2.Uop.seq
+
+let test_fences_gate_loads () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  let fence = mk ~seq:1 Isa.Instr.Fence in
+  Lsq.add_fence ctx lsq fence;
+  let _, ld = enq_ld ctx lsq ~seq:2 ~paddr:0x80000100L in
+  Lsq.update_ld ctx lsq ld;
+  (match Lsq.get_issue_ld ctx lsq with
+  | exception Kernel.Guard_fail _ -> ()
+  | _ -> Alcotest.fail "load must wait for the older fence");
+  Lsq.remove_fence ctx lsq fence;
+  let _, u = Lsq.get_issue_ld ctx lsq in
+  Alcotest.(check int) "issuable after fence" 2 u.Uop.seq
+
+let test_no_older_stores () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.WMM) in
+  let _, st = enq_st ctx lsq ~seq:5 ~paddr:0x80000100L ~data:1L in
+  Alcotest.(check bool) "blocked by older store" false (Lsq.no_older_stores lsq 10);
+  Alcotest.(check bool) "younger store does not block" true (Lsq.no_older_stores lsq 3);
+  Lsq.set_at_commit ctx lsq st;
+  Lsq.deq_st ctx lsq;
+  Alcotest.(check bool) "empty sq blocks nothing" true (Lsq.no_older_stores lsq 10)
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "store-to-load forwarding" `Quick test_forwarding;
+    t "partial overlap stalls, clears on drain" `Quick test_partial_overlap_stalls;
+    t "store update kills younger issued load" `Quick test_store_update_kills_younger_load;
+    t "TSO cache-evict kill (WMM immune)" `Quick test_tso_cache_evict_kill;
+    t "wrong-path slot recycling" `Quick test_wrong_path_slot;
+    t "fences gate younger loads" `Quick test_fences_gate_loads;
+    t "no_older_stores predicate" `Quick test_no_older_stores;
+  ]

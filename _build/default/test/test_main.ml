@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "riscyoo"
+    [
+      ("cmd", Test_cmd.suite);
+      ("isa", Test_isa.suite);
+      ("mem", Test_mem.suite);
+      ("branch", Test_branch.suite);
+      ("inorder", Test_inorder.suite);
+      ("ooo-units", Test_ooo_units.suite);
+      ("lsq", Test_lsq.suite);
+      ("tlb-units", Test_tlb_units.suite);
+      ("ooo", Test_ooo.suite);
+      ("multicore", Test_multicore.suite);
+      ("workloads", Test_workloads.suite);
+      ("random", Test_random.suite);
+      ("synth", Test_synth.suite);
+    ]

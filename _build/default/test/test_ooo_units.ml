@@ -1,0 +1,289 @@
+(* Unit tests for the OOO core's building blocks, exercised directly rather
+   than through full-system runs. *)
+
+open Cmd
+open Ooo
+
+let ctx0 () = Kernel.make_ctx (Clock.create ())
+
+let mk_uop ?(seq = 0) ?(prs1 = -1) ?(prs2 = -1) ?(prd = -1) ?(mask = 0) () : Uop.t =
+  {
+    seq;
+    pc = 0L;
+    instr = Isa.Instr.make (Isa.Instr.OpA { alu = Isa.Instr.Add; word = false; imm = false });
+    rob_idx = 0;
+    prd;
+    prs1;
+    prs2;
+    prd_old = -1;
+    spec_tag = -1;
+    lsq = Uop.LNone;
+    pred_next = 0L;
+    ras_sp = Branch.Ras.snapshot (Branch.Ras.create ());
+    ghist = None;
+    spec_mask = mask;
+    killed = false;
+    completed = false;
+    ld_kill = false;
+    fault = false;
+    mmio = false;
+    translated = false;
+    paddr = 0L;
+    st_data = 0L;
+    result = 0L;
+    actual_next = 0L;
+  }
+
+(* --- free list ---------------------------------------------------------- *)
+
+let test_free_list () =
+  let ctx = ctx0 () in
+  let fl = Free_list.create ~nregs:40 in
+  Alcotest.(check int) "initial free" 8 (Free_list.free_count fl);
+  let a = Free_list.alloc ctx fl in
+  let snap = Free_list.snapshot fl in
+  let b = Free_list.alloc ctx fl in
+  let c = Free_list.alloc ctx fl in
+  Alcotest.(check bool) "distinct" true (a <> b && b <> c && a <> c);
+  Alcotest.(check int) "after 3 allocs" 5 (Free_list.free_count fl);
+  (* wrong-path restore reclaims b and c *)
+  Free_list.restore ctx fl snap;
+  Alcotest.(check int) "restored" 7 (Free_list.free_count fl);
+  let b' = Free_list.alloc ctx fl in
+  Alcotest.(check int) "same register handed out again" b b';
+  (* commit-side frees append *)
+  Free_list.free ctx fl a;
+  Alcotest.(check int) "freed" 7 (Free_list.free_count fl)
+
+let qcheck_free_list =
+  QCheck.Test.make ~name:"free list: alloc/free/restore conserves registers" ~count:100
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      let ctx = ctx0 () in
+      let fl = Free_list.create ~nregs:40 in
+      let live = ref [] in
+      let snaps = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 when Free_list.free_count fl > 0 ->
+            let r = Free_list.alloc ctx fl in
+            live := r :: !live
+          | 1 -> (
+            match !live with
+            | r :: tl ->
+              Free_list.free ctx fl r;
+              live := tl
+            | [] -> ())
+          | 2 -> snaps := (Free_list.snapshot fl, List.length !live) :: !snaps
+          | _ -> ())
+        ops;
+      (* every allocated register is within range and unique *)
+      let sorted = List.sort_uniq compare !live in
+      List.length sorted = List.length !live
+      && List.for_all (fun r -> r >= 32 && r < 40) !live)
+
+(* --- spec manager -------------------------------------------------------- *)
+
+let test_spec_manager () =
+  let ctx = ctx0 () in
+  let sm = Spec_manager.create ~n_tags:4 in
+  let t0 = Spec_manager.alloc ctx sm in
+  let t1 = Spec_manager.alloc ctx sm in
+  let t2 = Spec_manager.alloc ctx sm in
+  Alcotest.(check int) "mask covers all three" 0b111 (Spec_manager.active_mask sm);
+  (* resolving t1 correctly leaves t0, t2 *)
+  Spec_manager.correct ctx sm t1;
+  Alcotest.(check int) "t1 released" 0b101 (Spec_manager.active_mask sm);
+  (* killing t0 also kills t2 (allocated under t0) but t0 is freed *)
+  let dead = Spec_manager.wrong ctx sm t0 in
+  Alcotest.(check (list int)) "cascade kill" [ t0; t2 ] (List.sort compare dead);
+  Alcotest.(check int) "all free" 0 (Spec_manager.active_mask sm)
+
+let test_spec_exhaustion () =
+  let ctx = ctx0 () in
+  let sm = Spec_manager.create ~n_tags:2 in
+  let _ = Spec_manager.alloc ctx sm in
+  let _ = Spec_manager.alloc ctx sm in
+  Alcotest.(check bool) "exhausted" false (Spec_manager.can_alloc sm);
+  match Spec_manager.alloc ctx sm with
+  | exception Kernel.Guard_fail _ -> ()
+  | _ -> Alcotest.fail "allocation beyond capacity"
+
+(* --- rename table -------------------------------------------------------- *)
+
+let test_rename_table () =
+  let ctx = ctx0 () in
+  let rt = Rename_table.create ~n_tags:4 in
+  Alcotest.(check int) "x5 initial" 5 (Rename_table.lookup rt 5);
+  Rename_table.set ctx rt 5 40;
+  Rename_table.snapshot ctx rt ~tag:2;
+  Rename_table.set ctx rt 5 41;
+  Rename_table.set ctx rt 6 42;
+  Rename_table.restore ctx rt ~tag:2;
+  Alcotest.(check int) "x5 back to snapshot" 40 (Rename_table.lookup rt 5);
+  Alcotest.(check int) "x6 back to snapshot" 6 (Rename_table.lookup rt 6);
+  Rename_table.rrat_set ctx rt 5 40;
+  Rename_table.set ctx rt 5 50;
+  Rename_table.restore_from_rrat ctx rt;
+  Alcotest.(check int) "x5 from rrat" 40 (Rename_table.lookup rt 5);
+  Alcotest.(check int) "x0 never renamed" (-1) (Rename_table.lookup rt 0)
+
+(* --- rob ----------------------------------------------------------------- *)
+
+let test_rob () =
+  let ctx = ctx0 () in
+  let rob = Rob.create ~size:4 in
+  let u0 = mk_uop ~seq:0 () and u1 = mk_uop ~seq:1 () and u2 = mk_uop ~seq:2 () in
+  let i0 = Rob.enq ctx rob u0 in
+  let _i1 = Rob.enq ctx rob u1 in
+  let _i2 = Rob.enq ctx rob u2 in
+  Alcotest.(check int) "count" 3 (Rob.count rob);
+  (match Rob.head rob with
+  | Some u -> Alcotest.(check int) "head is oldest" 0 u.Uop.seq
+  | None -> Alcotest.fail "empty");
+  (* truncate after the head: u1 and u2 die *)
+  let killed = Rob.truncate_after ctx rob i0 in
+  Alcotest.(check int) "two killed" 2 (List.length killed);
+  Alcotest.(check bool) "marked killed" true (u1.Uop.killed && u2.Uop.killed);
+  Alcotest.(check int) "only head left" 1 (Rob.count rob);
+  Rob.deq ctx rob;
+  Alcotest.(check int) "empty" 0 (Rob.count rob);
+  (* wrap-around *)
+  for k = 3 to 12 do
+    if Rob.can_enq rob then ignore (Rob.enq ctx rob (mk_uop ~seq:k ()));
+    if Rob.count rob > 2 then Rob.deq ctx rob
+  done;
+  Alcotest.(check bool) "bounded" true (Rob.count rob <= 4)
+
+(* --- issue queue ---------------------------------------------------------- *)
+
+let test_issue_queue () =
+  let ctx = ctx0 () in
+  let q = Issue_queue.create ~name:"t" ~size:4 in
+  let a = mk_uop ~seq:10 ~prs1:3 () in
+  let b = mk_uop ~seq:11 ~prs1:3 ~prs2:4 () in
+  Issue_queue.enter ctx q a ~rdy1:false ~rdy2:true;
+  Issue_queue.enter ctx q b ~rdy1:false ~rdy2:false;
+  (match Issue_queue.issue ctx q with
+  | exception Kernel.Guard_fail _ -> ()
+  | _ -> Alcotest.fail "nothing should be ready");
+  Issue_queue.wakeup ctx q 3;
+  (* a becomes ready; b still waits on prs2=4 *)
+  let u = Issue_queue.issue ctx q in
+  Alcotest.(check int) "oldest ready issues" 10 u.Uop.seq;
+  Issue_queue.wakeup ctx q 4;
+  let u = Issue_queue.issue ctx q in
+  Alcotest.(check int) "b issues after full wakeup" 11 u.Uop.seq;
+  (* squash removes killed entries *)
+  let c = mk_uop ~seq:12 () in
+  Issue_queue.enter ctx q c ~rdy1:true ~rdy2:true;
+  Uop.mk_set_killed ctx c true;
+  Issue_queue.squash ctx q;
+  Alcotest.(check int) "squashed" 0 (Issue_queue.count q)
+
+let test_issue_queue_age_order () =
+  let ctx = ctx0 () in
+  let q = Issue_queue.create ~name:"t" ~size:8 in
+  List.iter
+    (fun s -> Issue_queue.enter ctx q (mk_uop ~seq:s ()) ~rdy1:true ~rdy2:true)
+    [ 7; 3; 9; 1; 5 ];
+  let order = List.init 5 (fun _ -> (Issue_queue.issue ctx q).Uop.seq) in
+  Alcotest.(check (list int)) "oldest-first selection" [ 1; 3; 5; 7; 9 ] order
+
+(* --- store buffer ---------------------------------------------------------- *)
+
+let test_store_buffer () =
+  let ctx = ctx0 () in
+  let sb = Store_buffer.create ~size:2 in
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:8 0x1122334455667788L;
+  Store_buffer.enq ctx sb ~addr:0x80000108L ~bytes:4 0xAABBCCDDL;
+  Alcotest.(check int) "coalesced into one line" 1 (Store_buffer.count sb);
+  (match Store_buffer.search sb ~addr:0x80000100L ~bytes:8 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "full hit" 0x1122334455667788L v
+  | _ -> Alcotest.fail "expected full");
+  (match Store_buffer.search sb ~addr:0x80000104L ~bytes:8 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "straddling both stores" 0xAABBCCDD11223344L v
+  | _ -> Alcotest.fail "expected full (contiguous bytes)");
+  (match Store_buffer.search sb ~addr:0x80000106L ~bytes:8 with
+  | Store_buffer.Partial _ -> ()
+  | _ -> Alcotest.fail "expected partial");
+  (match Store_buffer.search sb ~addr:0x8000010CL ~bytes:8 with
+  | Store_buffer.NoMatch -> ()
+  | _ -> Alcotest.fail "expected no match just past the written bytes");
+  (match Store_buffer.search sb ~addr:0x80000140L ~bytes:8 with
+  | Store_buffer.NoMatch -> ()
+  | _ -> Alcotest.fail "expected no match");
+  let idx, line = Store_buffer.issue ctx sb in
+  Alcotest.(check int64) "issue line" 0x80000100L line;
+  (* issued entries no longer coalesce: a new store allocates *)
+  Store_buffer.enq ctx sb ~addr:0x80000110L ~bytes:8 7L;
+  Alcotest.(check int) "second entry" 2 (Store_buffer.count sb);
+  let _, data, mask = Store_buffer.deq ctx sb idx in
+  Alcotest.(check int64) "mask covers 12 bytes" 0xFFFL mask;
+  Alcotest.(check int64) "data byte" 0x88L (Int64.of_int (Char.code (Bytes.get data 0)));
+  Alcotest.(check int) "one left" 1 (Store_buffer.count sb)
+
+(* --- stage ------------------------------------------------------------------ *)
+
+let test_stage () =
+  let clk = Clock.create () in
+  let s = Stage.create ~name:"st" ~dead:(fun (u : Uop.t) -> u.killed) in
+  let a = mk_uop ~seq:1 () in
+  let taken = ref [] in
+  let consumer =
+    Rule.make "take" (fun ctx -> taken := (Stage.take ctx s).Uop.seq :: !taken)
+  in
+  let producer =
+    Rule.make "put" (fun ctx ->
+        Kernel.guard ctx (!taken = []) "once";
+        Stage.put ctx s a)
+  in
+  let sim = Sim.create clk [ consumer; producer ] in
+  Sim.run sim 3;
+  Alcotest.(check (list int)) "flowed through" [ 1 ] !taken;
+  (* killed occupants evaporate at take/peek *)
+  let b = mk_uop ~seq:2 () in
+  let ctx = Kernel.make_ctx clk in
+  Stage.put ctx s b;
+  Uop.mk_set_killed ctx b true;
+  Clock.tick clk;
+  let ctx = Kernel.make_ctx clk in
+  (match Stage.take ctx s with
+  | exception Kernel.Guard_fail _ -> ()
+  | _ -> Alcotest.fail "killed uop must not be taken");
+  Alcotest.(check bool) "slot free after drop" true (Stage.peek_opt s = None)
+
+(* --- prf --------------------------------------------------------------------- *)
+
+let test_prf () =
+  let ctx = ctx0 () in
+  let prf = Prf.create ~nregs:8 in
+  Prf.alloc_clear ctx prf 5;
+  Alcotest.(check bool) "cleared" false (Prf.present prf 5 || Prf.sb_ready prf 5);
+  Prf.set_sb ctx prf 5;
+  Alcotest.(check bool) "scoreboard optimistic" true (Prf.sb_ready prf 5);
+  Alcotest.(check bool) "true presence still false" false (Prf.present prf 5);
+  Prf.write ctx prf 5 99L;
+  Alcotest.(check bool) "present after write" true (Prf.present prf 5);
+  Alcotest.(check int64) "value" 99L (Prf.read prf 5);
+  Alcotest.(check bool) "x0 pseudo-source" true (Prf.present prf (-1) && Prf.read prf (-1) = 0L);
+  Prf.reset_presence ctx prf ~live:[| 3; 5 |];
+  Alcotest.(check bool) "live kept" true (Prf.present prf 5);
+  Alcotest.(check bool) "others dropped" false (Prf.present prf 6)
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "free list: snapshot/restore" `Quick test_free_list;
+    t "spec manager: cascade kills" `Quick test_spec_manager;
+    t "spec manager: exhaustion" `Quick test_spec_exhaustion;
+    t "rename table: snapshots + rrat" `Quick test_rename_table;
+    t "rob: truncate + wrap" `Quick test_rob;
+    t "issue queue: wakeup/issue/squash" `Quick test_issue_queue;
+    t "issue queue: age order" `Quick test_issue_queue_age_order;
+    t "store buffer: coalesce/search" `Quick test_store_buffer;
+    t "stage: pipeline + kill" `Quick test_stage;
+    t "prf: presence vs scoreboard" `Quick test_prf;
+    QCheck_alcotest.to_alcotest qcheck_free_list;
+  ]

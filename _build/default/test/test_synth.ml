@@ -1,0 +1,48 @@
+(* Tests for the synthesis model: calibration anchors and monotonicity. *)
+
+let test_anchors () =
+  let t = Synth.Gates.total Ooo.Config.riscyoo_tplus in
+  Alcotest.(check bool)
+    (Printf.sprintf "T+ calibrated to 1.78M (%.2fM)" (t /. 1e6))
+    true
+    (abs_float (t -. 1.78e6) < 1e3);
+  let tr = Synth.Gates.total Ooo.Config.riscyoo_tplus_rplus in
+  let growth = (tr -. t) /. t in
+  Alcotest.(check bool)
+    (Printf.sprintf "T+R+ grows 2-10%% (paper 6.2%%; model %.1f%%)" (100. *. growth))
+    true
+    (growth > 0.02 && growth < 0.10)
+
+let test_frequency () =
+  let f = Synth.Timing.max_freq_ghz Ooo.Config.riscyoo_tplus in
+  Alcotest.(check bool) (Printf.sprintf "T+ ~1.1GHz (%.2f)" f) true (abs_float (f -. 1.1) < 0.05);
+  let fr = Synth.Timing.max_freq_ghz Ooo.Config.riscyoo_tplus_rplus in
+  Alcotest.(check bool) (Printf.sprintf "T+R+ ~1.0GHz (%.2f)" fr) true (abs_float (fr -. 1.0) < 0.06);
+  Alcotest.(check bool) "bigger ROB is slower" true (fr < f)
+
+let test_monotonic () =
+  let base = Ooo.Config.riscyoo_tplus in
+  let bigger_iq = { base with Ooo.Config.iq_size = 2 * base.Ooo.Config.iq_size; name = "big-iq" } in
+  Alcotest.(check bool) "IQ growth adds gates" true
+    (Synth.Gates.total bigger_iq > Synth.Gates.total base);
+  let path name cfg = List.assoc name (Synth.Timing.paths cfg) in
+  Alcotest.(check bool) "IQ growth lengthens the wakeup path" true
+    (path "iq-wakeup-select" bigger_iq > path "iq-wakeup-select" base);
+  let wider = Ooo.Config.denver_proxy in
+  Alcotest.(check bool) "7-wide proxy is much bigger" true
+    (Synth.Gates.total wider > 1.5 *. Synth.Gates.total base)
+
+let test_breakdown_sums () =
+  let cfg = Ooo.Config.riscyoo_b in
+  let parts = List.fold_left (fun a (_, g) -> a +. g) 0.0 (Synth.Gates.breakdown cfg) in
+  Alcotest.(check bool) "breakdown sums to total" true
+    (abs_float (parts -. Synth.Gates.total cfg) < 1.0)
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "anchors: paper's Fig 21 points" `Quick test_anchors;
+    t "frequency model" `Quick test_frequency;
+    t "monotonicity" `Quick test_monotonic;
+    t "breakdown consistency" `Quick test_breakdown_sums;
+  ]

@@ -1,0 +1,177 @@
+(* Unit tests for the address-translation structures: the split translation
+   walk cache and the DRAM model. *)
+
+open Cmd
+
+let ctx0 () = Kernel.make_ctx (Clock.create ())
+let i64 = Alcotest.testable (Fmt.fmt "%Ld") Int64.equal
+
+let test_walk_cache_levels () =
+  let ctx = ctx0 () in
+  let wc = Tlb.Walk_cache.create ~entries_per_level:4 in
+  let root = 0x1000L in
+  let va = 0x12345678L in
+  (* cold: walk starts at the root *)
+  let l, b = Tlb.Walk_cache.lookup wc ~root va in
+  Alcotest.(check int) "cold level" 2 l;
+  Alcotest.check i64 "cold base" root b;
+  (* learn the level-1 table (the walk found it at 0x2000) *)
+  Tlb.Walk_cache.insert ctx wc va ~level:1 ~base:0x2000L;
+  let l, b = Tlb.Walk_cache.lookup wc ~root va in
+  Alcotest.(check int) "skips to level 1" 1 l;
+  Alcotest.check i64 "level-1 base" 0x2000L b;
+  (* learn the level-0 table: only one read remains *)
+  Tlb.Walk_cache.insert ctx wc va ~level:0 ~base:0x3000L;
+  let l, b = Tlb.Walk_cache.lookup wc ~root va in
+  Alcotest.(check int) "skips to level 0" 0 l;
+  Alcotest.check i64 "level-0 base" 0x3000L b;
+  (* a different vpn2 prefix misses both levels *)
+  let l, _ = Tlb.Walk_cache.lookup wc ~root 0x7212345678L in
+  Alcotest.(check int) "other prefix cold" 2 l;
+  (* same vpn2, different vpn1: level-1 entry still applies *)
+  let l, b = Tlb.Walk_cache.lookup wc ~root 0x12745678L in
+  Alcotest.(check int) "sibling hits level 1" 1 l;
+  Alcotest.check i64 "sibling base" 0x2000L b
+
+let test_walk_cache_capacity () =
+  let ctx = ctx0 () in
+  let wc = Tlb.Walk_cache.create ~entries_per_level:2 in
+  (* fill beyond capacity: the rotor evicts, and lookups never crash *)
+  for k = 0 to 7 do
+    let va = Int64.shift_left (Int64.of_int k) 30 in
+    Tlb.Walk_cache.insert ctx wc va ~level:1 ~base:(Int64.of_int (0x1000 * k))
+  done;
+  let hits = ref 0 in
+  for k = 0 to 7 do
+    let va = Int64.shift_left (Int64.of_int k) 30 in
+    let l, _ = Tlb.Walk_cache.lookup wc ~root:0L va in
+    if l = 1 then incr hits
+  done;
+  Alcotest.(check int) "only capacity survives" 2 !hits;
+  Tlb.Walk_cache.flush wc;
+  let l, _ = Tlb.Walk_cache.lookup wc ~root:0L (Int64.shift_left 7L 30) in
+  Alcotest.(check int) "flushed" 2 l
+
+let test_dram_latency_and_order () =
+  let clk = Clock.create () in
+  let pmem = Isa.Phys_mem.create () in
+  Isa.Phys_mem.store pmem ~bytes:8 0x80000000L 0xAAL;
+  Isa.Phys_mem.store pmem ~bytes:8 0x80000040L 0xBBL;
+  let d = Mem.Dram.create clk pmem ~latency:10 ~max_inflight:2 in
+  let ctx = Kernel.make_ctx clk in
+  Mem.Dram.req_read ctx d 0x80000000L;
+  Mem.Dram.req_read ctx d 0x80000040L;
+  (* third read exceeds the in-flight bound *)
+  (match Kernel.attempt ctx (fun ctx -> Mem.Dram.req_read ctx d 0x80000080L) with
+  | None -> ()
+  | Some () -> Alcotest.fail "bandwidth bound ignored");
+  Alcotest.(check bool) "nothing ready yet" false (Mem.Dram.can_resp ctx d);
+  for _ = 1 to 10 do
+    Clock.tick clk
+  done;
+  let ctx = Kernel.make_ctx clk in
+  Alcotest.(check bool) "ready after latency" true (Mem.Dram.can_resp ctx d);
+  let a1, d1 = Mem.Dram.resp ctx d in
+  let a2, d2 = Mem.Dram.resp ctx d in
+  Alcotest.check i64 "in order 1" 0x80000000L a1;
+  Alcotest.check i64 "in order 2" 0x80000040L a2;
+  Alcotest.check i64 "data 1" 0xAAL (Bytes.get_int64_le d1 0);
+  Alcotest.check i64 "data 2" 0xBBL (Bytes.get_int64_le d2 0);
+  Alcotest.(check int) "reads counted" 2 (Mem.Dram.reads d)
+
+let test_dram_write () =
+  let clk = Clock.create () in
+  let pmem = Isa.Phys_mem.create () in
+  let d = Mem.Dram.create clk pmem ~latency:5 ~max_inflight:4 in
+  let ctx = Kernel.make_ctx clk in
+  let line = Bytes.make 64 '\000' in
+  Bytes.set_int64_le line 8 0x1234L;
+  Mem.Dram.req_write ctx d 0x80000000L line;
+  Alcotest.check i64 "write landed" 0x1234L (Isa.Phys_mem.load pmem ~bytes:8 0x80000008L);
+  Alcotest.(check int) "writes counted" 1 (Mem.Dram.writes d)
+
+(* LSQ store-to-load forwarding against a naive memory oracle: random older
+   stores with known addresses, then a load; the LSQ's decision (forward
+   value / stall / go to cache) must agree with what the oracle says the
+   load should see. *)
+let qcheck_lsq_forwarding =
+  QCheck.Test.make ~name:"lsq forwarding matches naive-memory oracle" ~count:300
+    QCheck.(triple (int_bound 1000) (int_bound 7) (int_bound 3))
+    (fun (seed, lofs, lsz) ->
+      let rng = Random.State.make [| seed |] in
+      let ctx = ctx0 () in
+      let cfg = { Ooo.Config.riscyoo_b with Ooo.Config.lq_size = 8; sq_size = 8 } in
+      let lsq = Ooo.Lsq.create cfg in
+      let base = 0x80000100L in
+      let mem = Bytes.make 32 '\xCC' in
+      (* backing memory contents the cache would return *)
+      let mk_uop seq op lsqs paddr st_data : Ooo.Uop.t =
+        {
+          seq; pc = 0L; instr = Isa.Instr.make op; rob_idx = 0; prd = -1; prs1 = -1; prs2 = -1;
+          prd_old = -1; spec_tag = -1; lsq = lsqs; pred_next = 0L;
+          ras_sp = Branch.Ras.snapshot (Branch.Ras.create ()); ghist = None; spec_mask = 0;
+          killed = false; completed = false; ld_kill = false; fault = false; mmio = false;
+          translated = true; paddr; st_data; result = 0L; actual_next = 0L;
+        }
+      in
+      (* 0-3 older stores at random (aligned) offsets/sizes *)
+      let n_st = Random.State.int rng 4 in
+      for k = 0 to n_st - 1 do
+        let sz = [| 1; 2; 4; 8 |].(Random.State.int rng 4) in
+        let off = Random.State.int rng (24 / sz) * sz in
+        let v = Int64.of_int (Random.State.int rng 0x1000000) in
+        let w = match sz with 1 -> Isa.Instr.B | 2 -> Isa.Instr.H | 4 -> Isa.Instr.W | _ -> Isa.Instr.D in
+        let idx = Ooo.Lsq.reserve_st ctx lsq in
+        let u = mk_uop k (Isa.Instr.St w) (Ooo.Uop.SQ idx) (Int64.add base (Int64.of_int off)) v in
+        Ooo.Lsq.fill_st ctx lsq idx u;
+        Ooo.Lsq.update_st ctx lsq u;
+        (* oracle *)
+        for b = 0 to sz - 1 do
+          Bytes.set mem (off + b) (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * b)) land 0xFF))
+        done
+      done;
+      (* the load *)
+      let sz = [| 1; 2; 4; 8 |].(lsz) in
+      let off = lofs * sz mod (24 / sz * sz |> max sz) in
+      let off = off - (off mod sz) in
+      let w = match sz with 1 -> Isa.Instr.B | 2 -> Isa.Instr.H | 4 -> Isa.Instr.W | _ -> Isa.Instr.D in
+      let lidx = Ooo.Lsq.reserve_ld ctx lsq in
+      let lu =
+        mk_uop 100 (Isa.Instr.Ld { width = w; unsigned = true }) (Ooo.Uop.LQ lidx)
+          (Int64.add base (Int64.of_int off))
+          0L
+      in
+      Ooo.Lsq.fill_ld ctx lsq lidx lu;
+      Ooo.Lsq.update_ld ctx lsq lu;
+      let oracle () =
+        let v = ref 0L in
+        for b = sz - 1 downto 0 do
+          v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get mem (off + b))))
+        done;
+        !v
+      in
+      match Ooo.Lsq.get_issue_ld ctx lsq with
+      | exception Kernel.Guard_fail _ -> n_st > 0 (* only valid if something blocks *)
+      | i, u -> (
+        match Ooo.Lsq.issue_ld ctx lsq i u ~sb_search:Ooo.Store_buffer.NoMatch with
+        | Ooo.Lsq.Forward (v, _) -> v = oracle ()
+        | Ooo.Lsq.Stalled ->
+          (* conservative: admissible only when some older store overlaps *)
+          n_st > 0
+        | Ooo.Lsq.ToCache _ ->
+          (* no forwarding: every byte must be untouched by the stores *)
+          let clean = ref true in
+          for b = 0 to sz - 1 do
+            if Bytes.get mem (off + b) <> '\xCC' then clean := false
+          done;
+          !clean))
+
+let suite =
+  let t = Alcotest.test_case in
+  [
+    t "walk cache: level skipping" `Quick test_walk_cache_levels;
+    t "walk cache: capacity + flush" `Quick test_walk_cache_capacity;
+    t "dram: latency, order, bandwidth" `Quick test_dram_latency_and_order;
+    t "dram: writes" `Quick test_dram_write;
+    QCheck_alcotest.to_alcotest qcheck_lsq_forwarding;
+  ]
