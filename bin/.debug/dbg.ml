@@ -24,7 +24,7 @@ let () =
   let sim = Sim.create clk rules in
   (match Sim.run_until sim ~max_cycles:5000 (fun () -> Inorder.Inorder_core.halted core) with
   | `Done n -> Printf.printf "done in %d cycles\n" n
-  | `Timeout ->
+  | `Timeout _ ->
     Printf.printf "TIMEOUT\n";
     Format.printf "%a@." Sim.pp_stats sim;
     Format.printf "%a@." Stats.pp stats)

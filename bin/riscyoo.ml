@@ -54,7 +54,30 @@ let run_cmd =
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"print every committed instruction") in
   let rules = Arg.(value & flag & info [ "rules" ] ~doc:"print per-rule firing statistics") in
-  let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace rules =
+  let watchdog =
+    Arg.(
+      value & opt int 0
+      & info [ "watchdog" ] ~docv:"N"
+          ~doc:"trip (with a rule-starvation report) after N cycles without a rule firing or an \
+                instruction committing (0 = off)")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:"check ROB/free-list/LSQ/store-buffer/L2-directory invariants every cycle")
+  in
+  let inject =
+    Arg.(
+      value & opt int 0
+      & info [ "inject" ] ~docv:"TRIALS"
+          ~doc:"run a fault-injection campaign of TRIALS single-bit flips instead of a plain run")
+  in
+  let inject_seed =
+    Arg.(value & opt int 0xFA17 & info [ "inject-seed" ] ~docv:"SEED" ~doc:"campaign RNG seed")
+  in
+  let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
+      rules watchdog invariants inject inject_seed =
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
       else Spec_kernels.find kernel ~scale
@@ -86,10 +109,54 @@ let run_cmd =
             }
         | None -> failwith ("unknown config " ^ name))
     in
-    let m = Machine.create ~ncores:cores ~paging ~megapages ~cosim kind prog in
+    if inject > 0 then begin
+      (* Campaign mode: golden reference exits, then a fault-free DUT run to
+         size the injection horizon, then the seeded trials — each a fresh
+         machine with lockstep cosim (single-core), invariant checks and a
+         watchdog, so every flip is either masked, detected or diagnosed. *)
+      let gm = Machine.create ~ncores:cores ~paging ~megapages Machine.Golden_only prog in
+      let go = Machine.run gm in
+      if go.Machine.timed_out then failwith "golden reference run timed out";
+      let clean = Machine.create ~ncores:cores ~paging ~megapages kind prog in
+      let co = Machine.run clean in
+      if co.Machine.timed_out then failwith "fault-free run timed out";
+      let horizon = co.Machine.cycles in
+      let wd_limit = if watchdog > 0 then watchdog else 10_000 in
+      let harness =
+        {
+          Verif.Fault.build =
+            (fun () ->
+              Machine.create ~ncores:cores ~paging ~megapages ~cosim:(cores = 1)
+                ~watchdog:wd_limit ~invariants:true kind prog);
+          exec =
+            (fun m ~on_cycle ->
+              let o = Machine.run ~max_cycles:(2 * horizon + 10 * wd_limit) ~on_cycle m in
+              if o.Machine.timed_out then `Timeout o.Machine.cycles else `Exit o.Machine.exits);
+          reference = go.Machine.exits;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let s = Verif.Fault.run ~seed:inject_seed ~trials:inject ~horizon harness in
+      Printf.printf "reference exits: %s  (fault-free run: %d cycles)\n"
+        (String.concat " " (Array.to_list (Array.map Int64.to_string go.Machine.exits)))
+        horizon;
+      Verif.Report.print ~exemplars:10 s;
+      Printf.printf "host: %.1fs\n" (Unix.gettimeofday () -. t0);
+      if s.Verif.Fault.n_undiagnosed > 0 then exit 1
+    end
+    else
+    let m = Machine.create ~ncores:cores ~paging ~megapages ~cosim ~watchdog ~invariants kind prog in
     if trace then Machine.trace_commits m Format.std_formatter;
     let t0 = Unix.gettimeofday () in
-    let o = Machine.run m in
+    let o =
+      try Machine.run m with
+      | Verif.Watchdog.Trip info ->
+        print_endline info.Verif.Watchdog.report;
+        exit 2
+      | Verif.Invariant.Violation (name, msg) ->
+        Printf.printf "INVARIANT VIOLATION [%s]: %s\n" name msg;
+        exit 2
+    in
     let dt = Unix.gettimeofday () -. t0 in
     if o.Machine.timed_out then print_endline "TIMED OUT"
     else begin
@@ -110,7 +177,7 @@ let run_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
-      $ prefetch $ predictor $ trace $ rules)
+      $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed)
 
 let synth_cmd =
   let doc = "Print the synthesis model's area/frequency estimates" in

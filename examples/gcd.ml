@@ -100,7 +100,7 @@ let throughput name (gcd, internal_rules) inputs =
          List.length !results = List.length inputs)
    with
   | `Done n -> Printf.printf "%-10s: %d results in %4d cycles\n" name (List.length !results) n
-  | `Timeout -> Printf.printf "%-10s: timeout!\n" name);
+  | `Timeout _ -> Printf.printf "%-10s: timeout!\n" name);
   List.rev !results
 
 let () =

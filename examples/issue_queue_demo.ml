@@ -92,7 +92,7 @@ let run order_name ~issue_port =
   let sim = Sim.create clk [ do_regwrite; do_issue; do_rename ] in
   (match Sim.run_until sim ~max_cycles:200 (fun () -> !completed = 6) with
   | `Done n -> Printf.printf "%-36s chain of 6 completed in %2d cycles\n" order_name n
-  | `Timeout -> Printf.printf "%-36s TIMEOUT\n" order_name)
+  | `Timeout _ -> Printf.printf "%-36s TIMEOUT\n" order_name)
 
 let () =
   print_endline "Section IV: the IQ/RDYB atomicity problem, solved by conflict matrices:";

@@ -2,10 +2,28 @@ type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string }
 
 let counter = ref 0
 
+(* Fault-injection support: when the Inject registry is armed, every EHR is
+   a candidate site. The cell is polymorphic, so a bit can only be flipped
+   when the live value is an immediate (int, bool, constant constructor):
+   XOR-ing the OCaml-int view preserves the tag bit, so the result is still
+   an immediate and the mutation is memory-safe — pattern matches and
+   bounds checks downstream turn a nonsense value into a detected fault
+   rather than undefined behaviour. Boxed values report [false] (no flip). *)
+let inject_width = 8
+
+let flip_immediate t bit =
+  if Obj.is_int (Obj.repr t.v) then begin
+    t.v <- Obj.magic ((Obj.magic t.v : int) lxor (1 lsl bit));
+    true
+  end
+  else false
+
 let create ?name init =
   incr counter;
   let nm = match name with Some n -> n | None -> Printf.sprintf "ehr#%d" !counter in
-  { cell = Kernel.make_cell nm; v = init; nm }
+  let t = { cell = Kernel.make_cell nm; v = init; nm } in
+  Inject.register ~name:nm ~width:inject_width (flip_immediate t);
+  t
 
 let read ctx t p =
   Kernel.record_read ctx t.cell p;

@@ -1,0 +1,49 @@
+(* Registry of injectable state for fault-injection campaigns.
+
+   Primitive state elements (EHRs — and through them Regs and FIFOs — plus
+   any module that owns raw arrays, like the PRF) register a [site] when the
+   registry is armed: a name, a notional bit-width, and a closure that flips
+   one bit of the live value in place. A campaign driver picks a site, a bit
+   and a cycle, and calls [fire].
+
+   The registry is disarmed by default so ordinary simulations pay nothing
+   (one branch per state-element construction) and hold no closures over
+   dead machines. A campaign arms it, builds a fresh machine, reads the
+   sites, runs the trial, and re-arms (which clears) for the next trial. *)
+
+type site = {
+  id : int;
+  name : string;
+  width : int;  (** bits eligible for flipping: [0, width) *)
+  flip : int -> bool;
+      (** [flip bit] XORs bit [bit] into the current value; returns [false]
+          when the value's runtime representation cannot be flipped safely
+          (e.g. a boxed value behind a polymorphic cell). *)
+}
+
+let armed = ref false
+let store : site list ref = ref []
+let n = ref 0
+
+let arm () =
+  armed := true;
+  store := [];
+  n := 0
+
+let disarm () =
+  armed := false;
+  store := [];
+  n := 0
+
+let is_armed () = !armed
+
+let register ~name ~width flip =
+  if !armed then begin
+    store := { id = !n; name; width = max 1 width; flip } :: !store;
+    incr n
+  end
+
+let n_sites () = !n
+let sites () = Array.of_list (List.rev !store)
+
+let fire site bit = site.flip (bit mod site.width)

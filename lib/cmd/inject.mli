@@ -1,0 +1,40 @@
+(** Registry of injectable state for fault-injection campaigns.
+
+    EHRs (and therefore Regs and FIFOs, which are built from them) register
+    themselves here when the registry is {e armed}; modules owning raw
+    state (e.g. a physical register file) may register sites explicitly.
+    A campaign driver arms the registry, builds a machine, then flips a
+    chosen bit of a chosen site at a chosen cycle. Disarmed (the default),
+    registration is a no-op, so normal runs keep no references to machine
+    state. *)
+
+type site = {
+  id : int;
+  name : string;
+  width : int;  (** bits eligible for flipping: [0, width) *)
+  flip : int -> bool;
+      (** [flip bit] XORs the bit into the live value; [false] when the
+          value's representation cannot be flipped safely. *)
+}
+
+(** Arm and clear the registry: subsequent state-element constructions
+    register sites. *)
+val arm : unit -> unit
+
+(** Disarm and clear the registry (the default state). *)
+val disarm : unit -> unit
+
+val is_armed : unit -> bool
+
+(** [register ~name ~width flip] — called by state-element constructors.
+    No-op unless armed. *)
+val register : name:string -> width:int -> (int -> bool) -> unit
+
+val n_sites : unit -> int
+
+(** All sites registered since the last [arm], in registration order. *)
+val sites : unit -> site array
+
+(** [fire site bit] flips [bit mod site.width]; returns whether the flip
+    was applied. *)
+val fire : site -> int -> bool

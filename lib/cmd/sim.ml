@@ -9,16 +9,50 @@ type t = {
   mutable n_cycles : int;
   mutable fires : int;
   mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
+  (* observability (verification layer): a ring buffer of which rules fired
+     each cycle, monitors that watch liveness, and post-cycle checks *)
+  mutable history : (int * string list) array; (* (cycle, fired rule names) *)
+  mutable history_depth : int;
+  mutable monitors : (t -> int -> unit) list; (* called with this cycle's fire count *)
+  mutable post_cycle : (int -> unit) list; (* called with the finished cycle's index *)
 }
 
 let create ?(mode = Multi) clk rules =
   let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
-  { clk; rule_list = rules; order = Array.of_list rules; mode; rng; n_cycles = 0; fires = 0; rr = 0 }
+  {
+    clk;
+    rule_list = rules;
+    order = Array.of_list rules;
+    mode;
+    rng;
+    n_cycles = 0;
+    fires = 0;
+    rr = 0;
+    history = [||];
+    history_depth = 0;
+    monitors = [];
+    post_cycle = [];
+  }
 
 let clock t = t.clk
 let cycles t = t.n_cycles
 let total_fires t = t.fires
 let rules t = t.rule_list
+
+let enable_history t ~depth =
+  t.history_depth <- depth;
+  t.history <- Array.make (max 1 depth) (-1, [])
+
+let history t =
+  if t.history_depth = 0 then []
+  else
+    List.filter
+      (fun (c, _) -> c >= 0)
+      (List.init t.history_depth (fun i ->
+           t.history.((t.n_cycles + i) mod t.history_depth)))
+
+let add_monitor t f = t.monitors <- t.monitors @ [ f ]
+let on_post_cycle t f = t.post_cycle <- t.post_cycle @ [ f ]
 
 let shuffle rng a =
   for i = Array.length a - 1 downto 1 do
@@ -31,6 +65,7 @@ let shuffle rng a =
 let cycle t =
   (match t.rng with Some rng -> shuffle rng t.order | None -> ());
   let fired = ref 0 in
+  let fired_names = ref [] in
   let n = Array.length t.order in
   let stop = ref false in
   let base = if t.mode = One_per_cycle then t.rr else 0 in
@@ -44,6 +79,7 @@ let cycle t =
     | () ->
       r.Rule.fired <- r.Rule.fired + 1;
       incr fired;
+      if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
       if t.mode = One_per_cycle then stop := true
     | exception Kernel.Guard_fail _ ->
       Kernel.rollback ctx;
@@ -57,9 +93,14 @@ let cycle t =
       r.Rule.conflicted <- r.Rule.conflicted + 1)
   done;
   if t.mode = One_per_cycle && n > 0 then t.rr <- (t.rr + 1) mod n;
+  if t.history_depth > 0 then
+    t.history.(t.n_cycles mod t.history_depth) <- (t.n_cycles, List.rev !fired_names);
   Clock.tick t.clk;
+  let this_cycle = t.n_cycles in
   t.n_cycles <- t.n_cycles + 1;
   t.fires <- t.fires + !fired;
+  List.iter (fun f -> f this_cycle) t.post_cycle;
+  List.iter (fun f -> f t !fired) t.monitors;
   !fired
 
 let run t n =
@@ -67,11 +108,12 @@ let run t n =
     ignore (cycle t)
   done
 
-let run_until t ~max_cycles pred =
+let run_until ?on_cycle t ~max_cycles pred =
   let rec go n =
     if pred () then `Done n
-    else if n >= max_cycles then `Timeout
+    else if n >= max_cycles then `Timeout n
     else begin
+      (match on_cycle with Some f -> f n | None -> ());
       ignore (cycle t);
       go (n + 1)
     end

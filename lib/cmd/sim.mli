@@ -30,12 +30,38 @@ val cycle : t -> int
 val run : t -> int -> unit
 
 (** [run_until t ~max_cycles pred] runs until [pred ()] holds at a cycle
-    boundary, returning [`Done cycles] or [`Timeout]. *)
-val run_until : t -> max_cycles:int -> (unit -> bool) -> [ `Done of int | `Timeout ]
+    boundary, returning [`Done cycles] or [`Timeout cycles] (how far the run
+    got before the budget ran out). [on_cycle] is called with the loop's
+    cycle index before each cycle — the fault-injection hook. *)
+val run_until :
+  ?on_cycle:(int -> unit) ->
+  t ->
+  max_cycles:int ->
+  (unit -> bool) ->
+  [ `Done of int | `Timeout of int ]
 
 val cycles : t -> int
 val total_fires : t -> int
 val rules : t -> Rule.t list
+
+(** {2 Observability (verification layer)} *)
+
+(** Keep a ring buffer of the last [depth] cycles' fired-rule names; the
+    watchdog dumps it when it trips. *)
+val enable_history : t -> depth:int -> unit
+
+(** Recorded (cycle, fired rule names) pairs, oldest first. Empty unless
+    {!enable_history} was called. *)
+val history : t -> (int * string list) list
+
+(** [add_monitor t f] — [f t fired] runs after every cycle with the number
+    of rules that fired that cycle. Monitors may raise (e.g. a watchdog
+    trip); the exception propagates out of {!cycle}. *)
+val add_monitor : t -> (t -> int -> unit) -> unit
+
+(** [on_post_cycle t f] — [f cycle] runs after every cycle, before the
+    monitors: the invariant-checking hook. *)
+val on_post_cycle : t -> (int -> unit) -> unit
 
 (** Per-rule firing report, for debugging schedules. *)
 val pp_stats : Format.formatter -> t -> unit

@@ -72,6 +72,7 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
       dg_sent = Array.make nchildren false;
     }
   in
+  let t =
   {
     name;
     nchildren;
@@ -96,6 +97,33 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
     c_miss = Stats.counter stats (name ^ ".misses");
     c_recalls = Stats.counter stats (name ^ ".recalls");
   }
+  in
+  (* Directory exclusivity (paper Sec. VI): a line owned M (or E under
+     MESI) by one child must be I in every other child — the parent only
+     grants after downgrading everyone else, so two owners at a cycle
+     boundary means the protocol state itself was corrupted. *)
+  Verif.Invariant.register ~name:"l2.dir-exclusive" (fun () ->
+      Array.iteri
+        (fun set_idx ways ->
+          Array.iter
+            (fun (ln : line) ->
+              if ln.valid then begin
+                let owner = ref (-1) in
+                Array.iteri
+                  (fun c st -> if st = Msg.M || st = Msg.E then owner := c)
+                  ln.dir;
+                if !owner >= 0 then
+                  Array.iteri
+                    (fun c st ->
+                      if c <> !owner && st <> Msg.I then
+                        Verif.Invariant.fail "l2.dir-exclusive"
+                          "%s set %d tag 0x%Lx: child %d owns the line but child %d is not I"
+                          name set_idx ln.tag !owner c)
+                    ln.dir
+              end)
+            ways)
+        t.lines);
+  t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 

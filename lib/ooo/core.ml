@@ -92,6 +92,8 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
   let dead_2 ((u : Uop.t), _) = u.killed in
   let dead_3 ((u : Uop.t), _, _) = u.killed in
   let dead_4 ((u : Uop.t), _, _, _) = u.killed in
+  let fl = Free_list.create ~nregs in
+  let t =
   {
     name;
     cfg;
@@ -114,10 +116,10 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
     f2d = Fifo.cf ~name:(name ^ ".f2d") clk ~capacity:4 ();
     d2r = Fifo.cf ~name:(name ^ ".d2r") clk ~capacity:(2 * cfg.width + 2) ();
     rat = Rename_table.create ~n_tags:cfg.n_spec_tags;
-    fl = Free_list.create ~nregs;
+    fl;
     spec = Spec_manager.create ~n_tags:cfg.n_spec_tags;
-    fl_snaps = Array.make cfg.n_spec_tags (Free_list.snapshot (Free_list.create ~nregs:33));
-    prf = Prf.create ~nregs;
+    fl_snaps = Array.make cfg.n_spec_tags (Free_list.snapshot fl);
+    prf = Prf.create ~name:(name ^ ".prf") ~nregs ();
     seq_ctr = 0;
     rob = Rob.create ~size:cfg.rob_size;
     alu_iqs =
@@ -149,6 +151,18 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
     c_ld_kill_flush = Stats.counter stats (name ^ ".ldKillFlushes");
     c_tso_kills = Stats.counter stats (name ^ ".tsoKills");
   }
+  in
+  (* Free and architecturally-live registers must be disjoint: a register
+     the RRAT maps (committed state) that also sits on the free list would
+     be overwritten by the next rename. *)
+  Verif.Invariant.register ~name:"rename.partition" (fun () ->
+      let live = Array.make nregs false in
+      Array.iter (fun p -> if p >= 0 then live.(p) <- true) (Rename_table.rrat t.rat);
+      Free_list.iter_free t.fl (fun p ->
+          if p >= 0 && p < nregs && live.(p) then
+            Verif.Invariant.fail "rename.partition"
+              "%s: physical register %d is on the free list and live in the RRAT" name p));
+  t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 let set_pc t pc = t.fpc <- pc

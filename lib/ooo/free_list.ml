@@ -9,15 +9,35 @@ type t = {
 
 type snapshot = int
 
+let free_count t = t.free_ptr - t.alloc_ptr
+
+(* Every entry in the free window is a valid physical register and no
+   register appears twice — a double-free would eventually hand the same
+   register to two in-flight uops. *)
+let check_no_double_free t () =
+  let n = free_count t in
+  if n < 0 || n > t.nregs then
+    Verif.Invariant.fail "freelist.no-double-free" "free count %d outside [0,%d] (alloc=%d free=%d)"
+      n t.nregs t.alloc_ptr t.free_ptr;
+  let seen = Array.make t.nregs false in
+  for i = t.alloc_ptr to t.free_ptr - 1 do
+    let r = t.ring.(i mod t.nregs) in
+    if r < 0 || r >= t.nregs then
+      Verif.Invariant.fail "freelist.no-double-free" "entry %d is not a register: %d" i r;
+    if seen.(r) then
+      Verif.Invariant.fail "freelist.no-double-free" "register %d is free twice" r;
+    seen.(r) <- true
+  done
+
 let create ~nregs =
   let n_free = nregs - 32 in
   let ring = Array.make nregs (-1) in
   for i = 0 to n_free - 1 do
     ring.(i) <- 32 + i
   done;
-  { ring; alloc_ptr = 0; free_ptr = n_free; nregs }
-
-let free_count t = t.free_ptr - t.alloc_ptr
+  let t = { ring; alloc_ptr = 0; free_ptr = n_free; nregs } in
+  Verif.Invariant.register ~name:"freelist.no-double-free" (check_no_double_free t);
+  t
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 
 let alloc ctx t =
@@ -29,6 +49,11 @@ let alloc ctx t =
 let free ctx t r =
   Mut.set_arr ctx t.ring (t.free_ptr mod t.nregs) r;
   fld ctx (fun () -> t.free_ptr) (fun v -> t.free_ptr <- v) (t.free_ptr + 1)
+
+let iter_free t f =
+  for i = t.alloc_ptr to t.free_ptr - 1 do
+    f t.ring.(i mod t.nregs)
+  done
 
 let snapshot t = t.alloc_ptr
 let restore ctx t snap = fld ctx (fun () -> t.alloc_ptr) (fun v -> t.alloc_ptr <- v) snap

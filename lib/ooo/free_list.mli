@@ -16,6 +16,10 @@ val alloc : Cmd.Kernel.ctx -> t -> int
 (** Return a register (at commit, the overwritten old mapping). *)
 val free : Cmd.Kernel.ctx -> t -> int -> unit
 
+(** Iterate the registers currently on the free list, oldest first (for
+    cross-module invariant checks). *)
+val iter_free : t -> (int -> unit) -> unit
+
 type snapshot
 
 val snapshot : t -> snapshot

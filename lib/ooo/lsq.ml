@@ -38,7 +38,48 @@ type issue_result = Forward of int64 * int | ToCache of int | Stalled
 let wp_sets = ref 0
 let wp_clears = ref 0
 
+(* Age ordering: occupied LQ/SQ slots hold strictly increasing sequence
+   numbers from head to tail (the LQ tolerates holes — a killed load's slot
+   is vacated while a stale response is still owed), and committed SQ
+   entries form a prefix: a store can only commit after every older store
+   committed, and a committed store may never be dropped before issue. *)
+let check_age_order t () =
+  let fail fmt = Verif.Invariant.fail "lsq.age-order" fmt in
+  let lq_n = t.l_tail - t.l_head and lq_cap = Array.length t.lq in
+  if lq_n < 0 || lq_n > lq_cap then
+    fail "LQ window [%d,%d) outside capacity %d" t.l_head t.l_tail lq_cap;
+  let sq_n = t.s_tail - t.s_head and sq_cap = Array.length t.sq in
+  if sq_n < 0 || sq_n > sq_cap then
+    fail "SQ window [%d,%d) outside capacity %d" t.s_head t.s_tail sq_cap;
+  let last = ref min_int in
+  for i = t.l_head to t.l_tail - 1 do
+    let e = t.lq.(i mod lq_cap) in
+    match e.lu with
+    | Some u when e.lidx = i ->
+      if u.Uop.seq <= !last then
+        fail "LQ slot %d seq %d not younger than predecessor seq %d" i u.Uop.seq !last;
+      last := u.Uop.seq
+    | _ -> ()
+  done;
+  let last = ref min_int in
+  let uncommitted_seen = ref false in
+  for i = t.s_head to t.s_tail - 1 do
+    let e = t.sq.(i mod sq_cap) in
+    match e.su with
+    | Some u ->
+      if u.Uop.seq <= !last then
+        fail "SQ slot %d seq %d not younger than predecessor seq %d" i u.Uop.seq !last;
+      last := u.Uop.seq;
+      if e.scommitted then begin
+        if !uncommitted_seen then
+          fail "SQ slot %d committed after an uncommitted older store" i
+      end
+      else uncommitted_seen := true
+    | None -> if e.scommitted then fail "SQ slot %d committed store lost (empty slot)" i
+  done
+
 let create (cfg : Config.t) =
+  let t =
   {
     lq =
       Array.init cfg.Config.lq_size (fun _ ->
@@ -55,6 +96,9 @@ let create (cfg : Config.t) =
     tag_ctr = 0;
     outstanding = Hashtbl.create 64;
   }
+  in
+  Verif.Invariant.register ~name:"lsq.age-order" (check_age_order t);
+  t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 let lslot t i = t.lq.(i mod Array.length t.lq)

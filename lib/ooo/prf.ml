@@ -2,7 +2,18 @@ open Cmd
 
 type t = { vals : int64 array; pres : bool array; sb : bool array }
 
-let create ~nregs = { vals = Array.make nregs 0L; pres = Array.make nregs true; sb = Array.make nregs true }
+(* The EHR auto-registration only covers immediate (unboxed) values; PRF
+   values are boxed int64s, so each register explicitly registers a 64-bit
+   flip site — the largest single block of architecturally visible state. *)
+let create ?(name = "prf") ~nregs () =
+  let t = { vals = Array.make nregs 0L; pres = Array.make nregs true; sb = Array.make nregs true } in
+  if Inject.is_armed () then
+    for r = 0 to nregs - 1 do
+      Inject.register ~name:(Printf.sprintf "%s.r%d" name r) ~width:64 (fun bit ->
+          t.vals.(r) <- Int64.logxor t.vals.(r) (Int64.shift_left 1L bit);
+          true)
+    done;
+  t
 let nregs t = Array.length t.vals
 let read t r = if r < 0 then 0L else t.vals.(r)
 let present t r = r < 0 || t.pres.(r)

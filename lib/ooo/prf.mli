@@ -8,7 +8,9 @@
 
 type t
 
-val create : nregs:int -> t
+(** [name] prefixes the per-register fault-injection sites registered when
+    the {!Cmd.Inject} registry is armed. *)
+val create : ?name:string -> nregs:int -> unit -> t
 val nregs : t -> int
 
 (** Value of a ready register ([-1] reads as 0 — the x0 pseudo-source). *)

@@ -2,8 +2,31 @@ open Cmd
 
 type t = { slots : Uop.t option array; mutable head : int; mutable tail : int; size : int }
 
-let create ~size = { slots = Array.make size None; head = 0; tail = 0; size }
 let count t = t.tail - t.head
+
+(* Commit order is age order: absolute head/tail stay a well-formed window
+   and the occupied slots' global sequence numbers are strictly increasing
+   from head to tail. A flipped pointer or swapped slot breaks this. *)
+let check_age_order t () =
+  let c = count t in
+  if c < 0 || c > t.size then
+    Verif.Invariant.fail "rob.age-order" "count %d outside [0,%d] (head=%d tail=%d)" c t.size
+      t.head t.tail;
+  let last = ref min_int in
+  for i = t.head to t.tail - 1 do
+    match t.slots.(i mod t.size) with
+    | Some u ->
+      if u.Uop.seq <= !last then
+        Verif.Invariant.fail "rob.age-order" "slot %d seq %d not younger than predecessor seq %d"
+          i u.Uop.seq !last;
+      last := u.Uop.seq
+    | None -> ()
+  done
+
+let create ~size =
+  let t = { slots = Array.make size None; head = 0; tail = 0; size } in
+  Verif.Invariant.register ~name:"rob.age-order" (check_age_order t);
+  t
 let can_enq t = count t < t.size
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 

@@ -12,12 +12,36 @@ type t = { entries : entry array }
 
 type search = Full of int64 | Partial of int | NoMatch
 
+(* Coalescing keeps at most one unissued entry per line (enq merges into
+   it), and a used entry always holds at least one valid byte. Two unissued
+   entries for one line would let a load forward from the wrong one. *)
+let check_coalescing t () =
+  let n = Array.length t.entries in
+  for i = 0 to n - 1 do
+    let e = t.entries.(i) in
+    if e.used then begin
+      if e.mask = 0L then
+        Verif.Invariant.fail "storebuf.coalesce" "entry %d used with empty byte mask" i;
+      if not e.issued then
+        for j = i + 1 to n - 1 do
+          let f = t.entries.(j) in
+          if f.used && (not f.issued) && f.line = e.line then
+            Verif.Invariant.fail "storebuf.coalesce"
+              "entries %d and %d both unissued for line 0x%Lx" i j e.line
+        done
+    end
+  done
+
 let create ~size =
-  {
-    entries =
-      Array.init size (fun _ ->
-          { used = false; line = 0L; data = Bytes.make Mem.Cache_geom.line_bytes '\000'; mask = 0L; issued = false });
-  }
+  let t =
+    {
+      entries =
+        Array.init size (fun _ ->
+            { used = false; line = 0L; data = Bytes.make Mem.Cache_geom.line_bytes '\000'; mask = 0L; issued = false });
+    }
+  in
+  Verif.Invariant.register ~name:"storebuf.coalesce" (check_coalescing t);
+  t
 
 let count t = Array.fold_left (fun n e -> if e.used then n + 1 else n) 0 t.entries
 let is_empty t = count t = 0

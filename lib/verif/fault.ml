@@ -1,0 +1,99 @@
+(* Deterministic, seeded bit-flip campaign driver.
+
+   One trial = build a fresh machine with the Inject registry armed, pick
+   (site, bit, cycle) from the seeded RNG, run with a hook that applies the
+   flip at that cycle, and classify the result. The CMD composition claim
+   is that every trial lands in exactly one of three buckets — the fault is
+   architecturally masked, or a checker (golden-model lockstep, invariant,
+   exit-code compare, or any internal sanity failure) detects divergence,
+   or the watchdog diagnoses a hang. Silent corruption or an undiagnosed
+   timeout would falsify the claim; the summary counts them separately so
+   tests can assert zero. *)
+
+type outcome =
+  | Masked
+  | Detected_divergence of string
+  | Detected_hang of string
+
+type trial = {
+  id : int;
+  site : string;
+  bit : int;
+  at_cycle : int;
+  applied : bool; (* false: the chosen site's value was not flippable *)
+  outcome : outcome;
+  diagnosed : bool; (* hangs only: tripped by the watchdog, not a raw timeout *)
+}
+
+type summary = {
+  trials : trial list;
+  n_trials : int;
+  n_masked : int;
+  n_divergence : int;
+  n_hang : int;
+  n_not_applied : int;
+  n_undiagnosed : int; (* raw timeouts — should always be 0 under a watchdog *)
+}
+
+type 'm harness = {
+  build : unit -> 'm;
+  exec : 'm -> on_cycle:(int -> unit) -> [ `Exit of int64 array | `Timeout of int ];
+  reference : int64 array; (* golden-model exit codes *)
+}
+
+let summarize trials =
+  let n = List.length trials in
+  let count f = List.length (List.filter f trials) in
+  {
+    trials;
+    n_trials = n;
+    n_masked = count (fun t -> t.outcome = Masked);
+    n_divergence = count (fun t -> match t.outcome with Detected_divergence _ -> true | _ -> false);
+    n_hang = count (fun t -> match t.outcome with Detected_hang _ -> true | _ -> false);
+    n_not_applied = count (fun t -> not t.applied);
+    n_undiagnosed =
+      count (fun t -> match t.outcome with Detected_hang _ -> not t.diagnosed | _ -> false);
+  }
+
+let pp_exits fmt exits =
+  Array.iter (fun v -> Format.fprintf fmt " %Ld" v) exits
+
+let run_trial h ~rng ~horizon ~id =
+  Cmd.Inject.arm ();
+  let m = h.build () in
+  let sites = Cmd.Inject.sites () in
+  Cmd.Inject.disarm ();
+  if Array.length sites = 0 then
+    invalid_arg "Fault.run: machine registered no injectable sites";
+  let site = sites.(Random.State.int rng (Array.length sites)) in
+  let bit = Random.State.int rng site.width in
+  let at_cycle = Random.State.int rng (max 1 horizon) in
+  let applied = ref false in
+  let on_cycle c = if c = at_cycle then applied := Cmd.Inject.fire site bit in
+  let outcome, diagnosed =
+    match h.exec m ~on_cycle with
+    | `Exit exits ->
+      if exits = h.reference then (Masked, true)
+      else
+        ( Detected_divergence
+            (Format.asprintf "exit codes%a differ from golden%a" pp_exits exits pp_exits
+               h.reference),
+          true )
+    | `Timeout n ->
+      (Detected_hang (Printf.sprintf "raw timeout after %d cycles (no watchdog diagnosis)" n), false)
+    | exception Watchdog.Trip info ->
+      (Detected_hang (Printf.sprintf "%s (cycle %d)" info.reason info.at_cycle), true)
+    | exception Invariant.Violation (name, msg) ->
+      (Detected_divergence (Printf.sprintf "invariant %s: %s" name msg), true)
+    | exception e -> (Detected_divergence ("exception: " ^ Printexc.to_string e), true)
+  in
+  { id; site = site.name; bit; at_cycle; applied = !applied; outcome; diagnosed }
+
+let run ?(seed = 0xFA17) ~trials ~horizon h =
+  let rng = Random.State.make [| seed; trials; horizon |] in
+  let out = ref [] in
+  for id = 0 to trials - 1 do
+    out := run_trial h ~rng ~horizon ~id :: !out
+  done;
+  Cmd.Inject.disarm ();
+  summarize (List.rev !out)

@@ -1,0 +1,51 @@
+(** Deterministic, seeded bit-flip fault-injection campaigns.
+
+    Each trial builds a fresh machine with the {!Cmd.Inject} registry
+    armed, flips one bit of one state element at one cycle, and classifies
+    the run: {e masked} (architectural results unchanged), {e detected
+    divergence} (golden-model mismatch, invariant violation, exit-code
+    mismatch, or any internal sanity failure) or {e detected hang}
+    (watchdog trip; a raw timeout is also a hang but counts as
+    undiagnosed). The driver is generic over the machine type — callers
+    supply build/exec closures — so it lives below the workloads layer. *)
+
+type outcome =
+  | Masked
+  | Detected_divergence of string
+  | Detected_hang of string
+
+type trial = {
+  id : int;
+  site : string;  (** name of the injected state element *)
+  bit : int;
+  at_cycle : int;
+  applied : bool;  (** false: the site held an unflippable (boxed) value *)
+  outcome : outcome;
+  diagnosed : bool;  (** hangs: watchdog-diagnosed rather than raw timeout *)
+}
+
+type summary = {
+  trials : trial list;
+  n_trials : int;
+  n_masked : int;
+  n_divergence : int;
+  n_hang : int;
+  n_not_applied : int;
+  n_undiagnosed : int;  (** raw timeouts — 0 under a correctly-sized watchdog *)
+}
+
+type 'm harness = {
+  build : unit -> 'm;  (** fresh machine; runs with the Inject registry armed *)
+  exec : 'm -> on_cycle:(int -> unit) -> [ `Exit of int64 array | `Timeout of int ];
+      (** run to completion, calling [on_cycle] before every cycle; must let
+          exceptions (watchdog trips, invariant violations, cosim
+          mismatches) propagate *)
+  reference : int64 array;  (** golden-model exit codes *)
+}
+
+(** [run ~trials ~horizon h] — [horizon] bounds the injection cycle
+    (typically the fault-free run's cycle count). Same [seed] (default
+    [0xFA17]) ⇒ identical trial plan and classification. *)
+val run : ?seed:int -> trials:int -> horizon:int -> 'm harness -> summary
+
+val summarize : trial list -> summary

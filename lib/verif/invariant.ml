@@ -1,0 +1,33 @@
+exception Violation of string * string
+
+type check = { name : string; run : unit -> unit }
+
+let fail name fmt = Printf.ksprintf (fun msg -> raise (Violation (name, msg))) fmt
+
+(* Modules register their checks against whichever collector is active.
+   With no collector (the default), registration is a no-op: a machine
+   built without [~invariants] keeps no check closures alive. *)
+
+let collector : check list ref option ref = ref None
+
+let register ~name run =
+  match !collector with
+  | Some l -> l := { name; run } :: !l
+  | None -> ()
+
+let collecting f =
+  let saved = !collector in
+  let l = ref [] in
+  collector := Some l;
+  Fun.protect
+    ~finally:(fun () -> collector := saved)
+    (fun () ->
+      let r = f () in
+      (r, List.rev !l))
+
+let run_checks checks = List.iter (fun c -> c.run ()) checks
+
+let attach sim checks =
+  if checks <> [] then Cmd.Sim.on_post_cycle sim (fun _cycle -> run_checks checks)
+
+let names checks = List.map (fun c -> c.name) checks

@@ -1,0 +1,34 @@
+(** Per-module invariant checking (RealityCheck-style, PAPERS.md).
+
+    Hardware modules register cheap structural checks at construction time
+    — ROB age order, free-list/rename-table partition, LSQ ordering, L2
+    directory exclusivity. A machine built with invariant checking active
+    collects the checks registered during its construction and runs them
+    once per cycle via {!Cmd.Sim.on_post_cycle}; a violation raises
+    {!Violation} out of the simulation loop, turning silent state
+    corruption into a detected fault. *)
+
+(** [Violation (check_name, message)] *)
+exception Violation of string * string
+
+type check = { name : string; run : unit -> unit }
+
+(** [fail name fmt ...] raises {!Violation} — for use inside checks. *)
+val fail : string -> ('a, unit, string, 'b) format4 -> 'a
+
+(** Called by module constructors. A no-op unless a {!collecting} scope is
+    active, so ordinary construction registers (and retains) nothing. *)
+val register : name:string -> (unit -> unit) -> unit
+
+(** [collecting f] runs [f] with a fresh collector and returns [f]'s result
+    together with every check registered during its execution. Nestable;
+    restores the previous collector on exit. *)
+val collecting : (unit -> 'a) -> 'a * check list
+
+(** Run every check once; raises {!Violation} on the first failure. *)
+val run_checks : check list -> unit
+
+(** Check once per cycle from here on. *)
+val attach : Cmd.Sim.t -> check list -> unit
+
+val names : check list -> string list

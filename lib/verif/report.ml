@@ -1,0 +1,42 @@
+(* Human-readable campaign summaries for the CLI and CI logs. *)
+
+let outcome_tag = function
+  | Fault.Masked -> "masked"
+  | Fault.Detected_divergence _ -> "divergence"
+  | Fault.Detected_hang _ -> "hang"
+
+let outcome_detail = function
+  | Fault.Masked -> ""
+  | Fault.Detected_divergence m | Fault.Detected_hang m -> m
+
+let pp_trial fmt (t : Fault.trial) =
+  Format.fprintf fmt "#%-4d %-36s bit %-2d @@ cycle %-8d %-10s%s%s" t.id t.site t.bit
+    t.at_cycle (outcome_tag t.outcome)
+    (if t.applied then "" else " (flip not applied)")
+    (match outcome_detail t.outcome with "" -> "" | d -> "  " ^ d)
+
+let pp_summary ?(exemplars = 5) fmt (s : Fault.summary) =
+  Format.fprintf fmt "@[<v>fault-injection campaign: %d trials@," s.n_trials;
+  let pct n = if s.n_trials = 0 then 0. else 100. *. float_of_int n /. float_of_int s.n_trials in
+  Format.fprintf fmt "  masked               %5d  (%5.1f%%)@," s.n_masked (pct s.n_masked);
+  Format.fprintf fmt "  detected divergence  %5d  (%5.1f%%)@," s.n_divergence (pct s.n_divergence);
+  Format.fprintf fmt "  detected hang        %5d  (%5.1f%%)@," s.n_hang (pct s.n_hang);
+  Format.fprintf fmt "  flips not applied    %5d@," s.n_not_applied;
+  Format.fprintf fmt "  undiagnosed timeouts %5d%s@," s.n_undiagnosed
+    (if s.n_undiagnosed = 0 then "" else "  <-- should be zero");
+  let interesting =
+    List.filter (fun (t : Fault.trial) -> t.outcome <> Fault.Masked) s.trials
+  in
+  if interesting <> [] then begin
+    Format.fprintf fmt "sample detections:@,";
+    List.iteri
+      (fun i t -> if i < exemplars then Format.fprintf fmt "  %a@," pp_trial t)
+      interesting;
+    if List.length interesting > exemplars then
+      Format.fprintf fmt "  ... and %d more@," (List.length interesting - exemplars)
+  end;
+  Format.fprintf fmt "@]"
+
+let print ?exemplars s = Format.printf "%a@." (pp_summary ?exemplars) s
+
+let to_string ?exemplars s = Format.asprintf "%a" (pp_summary ?exemplars) s

@@ -1,0 +1,10 @@
+(** Pretty-printing of fault-injection campaign results. *)
+
+val pp_trial : Format.formatter -> Fault.trial -> unit
+
+(** Counts per outcome class plus up to [exemplars] (default 5) sample
+    non-masked trials. *)
+val pp_summary : ?exemplars:int -> Format.formatter -> Fault.summary -> unit
+
+val print : ?exemplars:int -> Fault.summary -> unit
+val to_string : ?exemplars:int -> Fault.summary -> string

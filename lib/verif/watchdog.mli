@@ -1,0 +1,27 @@
+(** Liveness watchdog: detects a wedged or livelocked design.
+
+    Trips when no rule fires — or, when a [progress] counter is supplied,
+    when that counter stands still — for [limit] consecutive cycles. The
+    trip report names every starved rule with its guard-fail and conflict
+    counters and dumps the last cycles of rule-firing history (recorded in
+    a ring buffer inside {!Cmd.Sim}). *)
+
+type info = { at_cycle : int; reason : string; report : string }
+
+exception Trip of info
+
+type t
+
+(** [attach ~limit sim] arms the watchdog on [sim]. [history] is the depth
+    of the rule-firing ring buffer dumped on a trip; [progress] is a
+    monotonic counter (typically committed instructions) whose stall also
+    counts as a hang. Raises {!Trip} out of [Sim.cycle] when it fires;
+    streak counters are reset on trip, so catching the exception and
+    continuing re-arms a full window. *)
+val attach : ?history:int -> ?progress:(unit -> int) -> limit:int -> Cmd.Sim.t -> t
+
+(** Clear the idle/stall streaks (e.g. after deliberately pausing). *)
+val reset : t -> unit
+
+(** Number of times this watchdog has tripped. *)
+val trips : t -> int

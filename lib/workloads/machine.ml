@@ -29,6 +29,8 @@ type t = {
   cores : core_handle array;
   stats_t : Stats.t;
   mutable spent_cycles : int;
+  mutable wd : Verif.Watchdog.t option;
+  mutable checks : Verif.Invariant.check list;
 }
 
 type outcome = { exits : int64 array; cycles : int; timed_out : bool }
@@ -41,7 +43,21 @@ let load_program pmem (p : program) =
     (Asm.words p.asm ~base);
   match p.init_mem with Some f -> f pmem | None -> ()
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) kind prog =
+let instrs t =
+  let total = ref 0 in
+  Array.iteri
+    (fun h c ->
+      match c with
+      | HGolden -> (
+        match t.golden with
+        | Some g -> total := !total + Int64.to_int (Golden.instret g ~hart:h)
+        | None -> ())
+      | HInorder c -> total := !total + Inorder.Inorder_core.instret c
+      | HOoo c -> total := !total + Ooo.Core.instret c)
+    t.cores;
+  !total
+
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(watchdog = 0) ?(invariants = false) kind prog =
   let pmem = Phys_mem.create () in
   let mmio = Mmio.create () in
   let stats_t = Stats.create () in
@@ -56,6 +72,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     end
     else 0L
   in
+  let build () =
   match kind with
   | Golden_only ->
     let g = Golden.create ~nharts:ncores pmem mmio in
@@ -74,6 +91,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       cores = Array.make ncores HGolden;
       stats_t;
       spent_cycles = 0;
+      wd = None;
+      checks = [];
     }
   | In_order { mem; tlb } ->
     let clk = Clock.create () in
@@ -111,6 +130,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       cores = Array.map (fun c -> HInorder c) cores;
       stats_t;
       spent_cycles = 0;
+      wd = None;
+      checks = [];
     }
   | Out_of_order cfg ->
     let clk = Clock.create () in
@@ -163,7 +184,22 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       cores = Array.map (fun c -> HOoo c) cores;
       stats_t;
       spent_cycles = 0;
+      wd = None;
+      checks = [];
     }
+  in
+  (* With [invariants], construction runs inside a collector scope: every
+     ROB/free-list/LSQ/store-buffer/L2 built above registers its structural
+     check, and the whole set is then evaluated once per cycle. *)
+  let t, checks = if invariants then Verif.Invariant.collecting build else (build (), []) in
+  t.checks <- checks;
+  (match t.sim with
+  | Some sim ->
+    Verif.Invariant.attach sim checks;
+    if watchdog > 0 then
+      t.wd <- Some (Verif.Watchdog.attach ~progress:(fun () -> instrs t) ~limit:watchdog sim)
+  | None -> ());
+  t
 
 let hart_halted t h =
   match t.cores.(h) with
@@ -178,12 +214,11 @@ let all_halted t =
   done;
   !ok
 
-let run ?(max_cycles = 50_000_000) t =
+let run ?(max_cycles = 50_000_000) ?on_cycle t =
   (match t.sim, t.golden with
   | Some sim, _ ->
-    (match Sim.run_until sim ~max_cycles (fun () -> all_halted t) with
-    | `Done n -> t.spent_cycles <- t.spent_cycles + n
-    | `Timeout -> t.spent_cycles <- t.spent_cycles + max_cycles)
+    (match Sim.run_until ?on_cycle sim ~max_cycles (fun () -> all_halted t) with
+    | `Done n | `Timeout n -> t.spent_cycles <- t.spent_cycles + n)
   | None, Some g ->
     (* golden-only: round-robin the harts *)
     let budget = ref max_cycles in
@@ -207,21 +242,10 @@ let stats t = t.stats_t
 
 let console t = Mmio.console t.mmio
 
-let instrs t =
-  let total = ref 0 in
-  Array.iteri
-    (fun h c ->
-      match c with
-      | HGolden -> (
-        match t.golden with
-        | Some g -> total := !total + Int64.to_int (Golden.instret g ~hart:h)
-        | None -> ())
-      | HInorder c -> total := !total + Inorder.Inorder_core.instret c
-      | HOoo c -> total := !total + Ooo.Core.instret c)
-    t.cores;
-  !total
-
 let find_stat t name = Stats.find t.stats_t name
+
+let watchdog_trips t = match t.wd with Some w -> Verif.Watchdog.trips w | None -> 0
+let invariant_names t = Verif.Invariant.names t.checks
 
 let pp_rule_stats fmt t =
   match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()

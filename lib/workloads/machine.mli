@@ -24,7 +24,12 @@ type t
 (** [create kind prog] — [paging] builds identity Sv39 tables over
     [mapped_mb] megabytes from DRAM base and enables translation; [cosim]
     runs the golden model in lockstep with every OOO commit (single-core
-    only). *)
+    only). [watchdog] (cycles, 0 = off) attaches a liveness monitor that
+    raises {!Verif.Watchdog.Trip} when no rule fires or no instruction
+    commits for that many consecutive cycles; [invariants] collects the
+    structural checks registered by the ROB, free list, LSQ, store buffer
+    and L2 directory during construction and runs them once per cycle
+    (raising {!Verif.Invariant.Violation} on corruption). *)
 val create :
   ?ncores:int ->
   ?paging:bool ->
@@ -33,14 +38,17 @@ val create :
   ?cosim:bool ->
   ?schedule:Ooo.Core.schedule ->
   ?mode:Cmd.Sim.mode ->
+  ?watchdog:int ->
+  ?invariants:bool ->
   kind ->
   program ->
   t
 
 type outcome = { exits : int64 array; cycles : int; timed_out : bool }
 
-(** Run until every hart exits (or [max_cycles]). *)
-val run : ?max_cycles:int -> t -> outcome
+(** Run until every hart exits (or [max_cycles]). [on_cycle] is called with
+    the loop's cycle index before each cycle — the fault-injection hook. *)
+val run : ?max_cycles:int -> ?on_cycle:(int -> unit) -> t -> outcome
 
 val stats : t -> Cmd.Stats.t
 val console : t -> string
@@ -49,6 +57,12 @@ val console : t -> string
 val instrs : t -> int
 
 val find_stat : t -> string -> int
+
+(** Times the watchdog tripped (0 when none was attached). *)
+val watchdog_trips : t -> int
+
+(** Names of the invariant checks collected at construction. *)
+val invariant_names : t -> string list
 
 (** Print every committed instruction of the OOO cores to the formatter. *)
 val trace_commits : t -> Format.formatter -> unit

@@ -523,6 +523,36 @@ let xalancbmk ~scale =
       Kernel_lib.init_random_words m ~base:data1 ~n:256 ~bound:65536L ~seed:0x66)
     p
 
+(* --- smoke: a tiny mixed loop (loads, stores, data-dependent branches) for
+   fault-injection campaigns and CI, where full kernels are too long ------ *)
+let smoke ~scale =
+  let n = 256 * scale in
+  let p = Asm.create () in
+  Asm.li p s0 data0;
+  Asm.li p s1 (Int64.of_int n);
+  Asm.li p a0 0L;
+  Asm.li p t0 0L;
+  Asm.label p "loop";
+  Asm.slli p t1 t0 3;
+  Asm.add p t3 s0 t1;
+  Asm.ld p t4 0L t3;
+  Asm.xor p a0 a0 t4;
+  Asm.add p a0 a0 t0;
+  Asm.andi p t2 t4 1L;
+  Asm.beq p t2 zero "even";
+  Asm.mul p a0 a0 t4;
+  Asm.label p "even";
+  Asm.sd p a0 0L t3;
+  Asm.addi p t0 t0 1L;
+  Asm.blt p t0 s1 "loop";
+  Asm.li p t2 0xFFFFFFL;
+  Asm.and_ p a0 a0 t2;
+  finish p;
+  Machine.program
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_words m ~base:data0 ~n ~bound:0x10000000L ~seed:0x5E0)
+    p
+
 let all =
   [
     ("bzip2", fun ~scale -> bzip2 ~scale);
@@ -541,6 +571,11 @@ let all =
 let names = List.map fst all
 
 let find name ~scale =
-  match List.assoc_opt name all with
-  | Some f -> f ~scale
-  | None -> invalid_arg ("Spec_kernels.find: unknown kernel " ^ name)
+  (* [smoke] is findable but deliberately absent from [all]: it is far too
+     short to count as a benchmark and only exists for fault-injection
+     campaigns and CI *)
+  if name = "smoke" then smoke ~scale
+  else
+    match List.assoc_opt name all with
+    | Some f -> f ~scale
+    | None -> invalid_arg ("Spec_kernels.find: unknown kernel " ^ name)

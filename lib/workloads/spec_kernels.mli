@@ -18,6 +18,8 @@
 
 val all : (string * (scale:int -> Machine.program)) list
 
+(** Also accepts ["smoke"], a deliberately tiny (~3k instruction) mixed
+    loop for fault-injection campaigns and CI — not listed in [all]. *)
 val find : string -> scale:int -> Machine.program
 
 (** Kernel names in the paper's presentation order. *)

@@ -427,10 +427,105 @@ let test_run_until () =
   let sim = Sim.create clk rules in
   (match Sim.run_until sim ~max_cycles:100 (fun () -> Reg.peek c >= 10) with
   | `Done n -> Alcotest.(check int) "took 10 cycles" 10 n
-  | `Timeout -> Alcotest.fail "timeout");
+  | `Timeout _ -> Alcotest.fail "timeout");
   match Sim.run_until sim ~max_cycles:5 (fun () -> Reg.peek c >= 1000) with
   | `Done _ -> Alcotest.fail "should time out"
-  | `Timeout -> ()
+  | `Timeout n -> Alcotest.(check int) "spent the whole budget" 5 n
+
+(* Two sims built identically with the same Shuffle seed must produce the
+   same trace (per-cycle fire counts and final state): campaigns and
+   schedule-robustness tests rely on this determinism. *)
+let test_shuffle_deterministic () =
+  let build () =
+    let clk = Clock.create () in
+    let a = Reg.create 0 and b = Reg.create 0 and c = Reg.create 0 in
+    let rules =
+      [
+        rule "inc-a" (fun ctx -> Reg.modify ctx a succ);
+        rule "a-to-b" (fun ctx -> Reg.write ctx b (Reg.read ctx a * 2));
+        rule "b-to-c" (fun ctx -> Reg.write ctx c (Reg.read ctx b + Reg.read ctx c));
+        rule "gated" (fun ctx ->
+            Kernel.guard ctx (Reg.read ctx a mod 3 = 0) "mod3";
+            Reg.modify ctx c succ);
+      ]
+    in
+    let sim = Sim.create ~mode:(Sim.Shuffle 42) clk rules in
+    let trace = List.init 50 (fun _ -> Sim.cycle sim) in
+    (trace, Reg.peek a, Reg.peek b, Reg.peek c)
+  in
+  let t1 = build () and t2 = build () in
+  Alcotest.(check bool) "identical traces under one seed" true (t1 = t2)
+
+let test_one_per_cycle_fairness () =
+  (* three always-ready rules, 9 cycles: the rotating start offset must give
+     each exactly 3 firings (a fixed order would starve the later ones) *)
+  let clk = Clock.create () in
+  let counts = Array.make 3 0 in
+  let rules =
+    List.init 3 (fun i -> rule (Printf.sprintf "r%d" i) (fun _ -> counts.(i) <- counts.(i) + 1))
+  in
+  let sim = Sim.create ~mode:Sim.One_per_cycle clk rules in
+  Sim.run sim 9;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "rule %d fired 3 times" i) 3 c)
+    counts
+
+let test_watchdog_trip_and_reset () =
+  let clk = Clock.create () in
+  let budget = ref 5 in
+  let rules =
+    [
+      rule "pump" (fun ctx ->
+          Kernel.guard ctx (!budget > 0) "dry";
+          Mut.field ctx ~get:(fun () -> !budget) ~set:(fun v -> budget := v) (!budget - 1));
+    ]
+  in
+  let sim = Sim.create clk rules in
+  let wd = Verif.Watchdog.attach ~history:8 ~limit:8 sim in
+  (* fires 5 cycles, then guard-fails forever: idle streak starts at cycle 5
+     and the trip must come exactly 8 idle cycles later *)
+  (match Sim.run_until sim ~max_cycles:100 (fun () -> false) with
+  | `Done _ | `Timeout _ -> Alcotest.fail "watchdog never tripped"
+  | exception Verif.Watchdog.Trip info ->
+    Alcotest.(check int) "tripped after 5 live + 8 idle cycles" 13 info.at_cycle;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "report names the starved rule" true (contains info.report "pump");
+    Alcotest.(check bool) "report carries guard-fail counts" true
+      (contains info.report "guard-failed"));
+  Alcotest.(check int) "one trip recorded" 1 (Verif.Watchdog.trips wd);
+  (* catching re-arms a full window: the next trip takes 8 more cycles *)
+  (match Sim.run_until sim ~max_cycles:100 (fun () -> false) with
+  | `Done _ | `Timeout _ -> Alcotest.fail "watchdog did not re-trip"
+  | exception Verif.Watchdog.Trip info ->
+    Alcotest.(check int) "re-tripped a full window later" 21 info.at_cycle);
+  Alcotest.(check int) "two trips recorded" 2 (Verif.Watchdog.trips wd)
+
+let test_inject_registry () =
+  (* disarmed: registration is a no-op *)
+  Inject.disarm ();
+  let r0 = Reg.create 7 in
+  ignore r0;
+  Alcotest.(check int) "disarmed registers nothing" 0 (Inject.n_sites ());
+  (* armed: every Reg/Ehr/Fifo cell becomes a site, and firing a bit flips
+     the live value *)
+  Inject.arm ();
+  let r = Reg.create ~name:"target" 0 in
+  let sites = Inject.sites () in
+  Inject.disarm ();
+  Alcotest.(check bool) "site registered" true (Array.length sites >= 1);
+  let site =
+    match Array.to_list sites |> List.find_opt (fun s -> s.Inject.name = "target") with
+    | Some s -> s
+    | None -> Alcotest.fail "named site missing"
+  in
+  Alcotest.(check bool) "flip applied" true (Inject.fire site 3);
+  Alcotest.(check int) "bit 3 flipped" 8 (Reg.peek r);
+  Alcotest.(check bool) "flip back" true (Inject.fire site 3);
+  Alcotest.(check int) "restored" 0 (Reg.peek r)
 
 let suite =
   let t = Alcotest.test_case in
@@ -453,6 +548,10 @@ let suite =
     t "chain intact under all modes" `Quick test_chain_all_modes;
     t "conflict: EHR order matrix" `Quick test_ehr_order_matrix;
     t "sim: run_until" `Quick test_run_until;
+    t "sim: shuffle deterministic under seed" `Quick test_shuffle_deterministic;
+    t "sim: one-per-cycle round-robin fairness" `Quick test_one_per_cycle_fairness;
+    t "watchdog: trip, report, re-arm" `Quick test_watchdog_trip_and_reset;
+    t "inject: registry arm/fire/disarm" `Quick test_inject_registry;
     QCheck_alcotest.to_alcotest qcheck_token_conservation;
     QCheck_alcotest.to_alcotest qcheck_ehr_ports;
     QCheck_alcotest.to_alcotest qcheck_conflict_algebra;

@@ -65,7 +65,7 @@ let run_to_exit ?(max_cycles = 500_000) m =
     match Mmio.exit_code m.mmio ~hart:0 with
     | Some v -> v
     | None -> Alcotest.fail "halted without exit code")
-  | `Timeout -> Alcotest.fail "in-order core timed out"
+  | `Timeout _ -> Alcotest.fail "in-order core timed out"
 
 (* golden-model reference run of the same program *)
 let golden_exit prog =

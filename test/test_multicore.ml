@@ -107,7 +107,7 @@ let small_mem =
 
 let run_mc mm ~ncores prog expect =
   let cfg = { (Ooo.Config.multicore mm) with Ooo.Config.mem = small_mem } in
-  let m = Machine.create ~ncores (Machine.Out_of_order cfg) prog in
+  let m = Machine.create ~ncores ~invariants:true (Machine.Out_of_order cfg) prog in
   let o = Machine.run ~max_cycles:2_000_000 m in
   Alcotest.(check bool)
     (Printf.sprintf "%s x%d exits" cfg.Ooo.Config.name ncores)
@@ -128,7 +128,7 @@ let test_lock_wmm () = run_mc Ooo.Config.WMM ~ncores:4 (lock_kernel ~harts:4 ~it
 let test_inorder_multicore () =
   let prog = shared_counter_kernel ~harts:2 ~iters:30 in
   let m =
-    Machine.create ~ncores:2
+    Machine.create ~ncores:2 ~invariants:true
       (Machine.In_order { mem = small_mem; tlb = Tlb.Tlb_sys.blocking_config })
       prog
   in

@@ -37,7 +37,7 @@ let run_both ?(cfg = test_cfg) ?(paging = false) ?schedule name prog =
   let g = Machine.create ~paging Machine.Golden_only prog in
   let og = Machine.run ~max_cycles:3_000_000 g in
   Alcotest.(check bool) (name ^ ": golden exits") false og.Machine.timed_out;
-  let m = Machine.create ~paging ~cosim:true ?schedule (Machine.Out_of_order cfg) prog in
+  let m = Machine.create ~paging ~cosim:true ~invariants:true ?schedule (Machine.Out_of_order cfg) prog in
   let om = Machine.run ~max_cycles:3_000_000 m in
   Alcotest.(check bool) (name ^ ": ooo exits") false om.Machine.timed_out;
   Alcotest.check i64 (name ^ ": exit codes agree") og.Machine.exits.(0) om.Machine.exits.(0);
@@ -201,7 +201,7 @@ let test_megapages_ooo () =
   let g = Machine.create Machine.Golden_only prog in
   let og = Machine.run ~max_cycles:3_000_000 g in
   let cfg = { test_cfg with Ooo.Config.tlb = Tlb.Tlb_sys.nonblocking_config; name = "t+" } in
-  let m = Machine.create ~paging:true ~megapages:true ~cosim:true (Machine.Out_of_order cfg) prog in
+  let m = Machine.create ~paging:true ~megapages:true ~cosim:true ~invariants:true (Machine.Out_of_order cfg) prog in
   let o = Machine.run ~max_cycles:3_000_000 m in
   Alcotest.(check bool) "megapage run exits" false o.Machine.timed_out;
   Alcotest.check i64 "megapage checksum" og.Machine.exits.(0) o.Machine.exits.(0)

@@ -258,7 +258,7 @@ let test_stage () =
 
 let test_prf () =
   let ctx = ctx0 () in
-  let prf = Prf.create ~nregs:8 in
+  let prf = Prf.create ~nregs:8 () in
   Prf.alloc_clear ctx prf 5;
   Alcotest.(check bool) "cleared" false (Prf.present prf 5 || Prf.sb_ready prf 5);
   Prf.set_sb ctx prf 5;
