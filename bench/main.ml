@@ -7,6 +7,8 @@
      bench/main.exe fig15 fig16     run selected figures
      bench/main.exe --scale 3 ...   larger workloads
      bench/main.exe bechamel        CMD-kernel microbenchmarks
+     bench/main.exe perf [--quick] [--out F] [--check BASELINE]
+                                    sim-speed report (JSON) + CI perf gate
    Figures: fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
             ablation-wakeup ablation-bypass ablation-tlb ablation-scheduler *)
 
@@ -521,6 +523,194 @@ let bechamel () =
     tests
 
 (* ---------------------------------------------------------------- *)
+(* perf: sim-speed measurement, JSON report and CI regression gate    *)
+(* ---------------------------------------------------------------- *)
+
+(* Measure one bechamel staged thunk, returning ns/run (OLS estimate). *)
+let measure_ns name staged =
+  let open Bechamel in
+  let open Toolkit in
+  let test = Test.make ~name staged in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let out = ref nan in
+  Hashtbl.iter
+    (fun _ r ->
+      let est =
+        Analyze.one
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock r
+      in
+      match Analyze.OLS.estimates est with Some [ per_run ] -> out := per_run | _ -> ())
+    raw;
+  !out
+
+(* A 64-rule mostly-idle system: one live producer/consumer pair plus 62
+   rules parked on empty FIFOs. This is the scheduler shape the fast path
+   targets — a wide processor where most rules are blocked most cycles. With
+   [fastpath] the 62 idle rules cost one generation-sum compare each; without
+   it each costs a transactional attempt ending in an exception + rollback. *)
+let idle_sched_thunk ~fastpath =
+  let open Bechamel in
+  Staged.stage
+    (let clk = Cmd.Clock.create () in
+     let active = Cmd.Fifo.pipeline ~name:"active" ~capacity:4 () in
+     let n = ref 0 in
+     let idle =
+       List.init 62 (fun i ->
+           let q = Cmd.Fifo.pipeline ~name:(Printf.sprintf "idle%d" i) ~capacity:4 () in
+           Cmd.Rule.make (Printf.sprintf "idle%d" i)
+             ~can_fire:(fun () -> Cmd.Fifo.peek_size q > 0)
+             ~watches:[ Cmd.Fifo.signal q ]
+             (fun ctx -> ignore (Cmd.Fifo.deq ctx q)))
+     in
+     let rules =
+       Cmd.Rule.make "deq"
+         ~can_fire:(fun () -> Cmd.Fifo.peek_size active > 0)
+         ~watches:[ Cmd.Fifo.signal active ]
+         (fun ctx -> ignore (Cmd.Fifo.deq ctx active))
+       :: Cmd.Rule.make "enq" (fun ctx ->
+              incr n;
+              Cmd.Fifo.enq ctx active !n)
+       :: idle
+     in
+     let sim = Cmd.Sim.create ~fastpath clk rules in
+     fun () -> ignore (Cmd.Sim.cycle sim))
+
+type perf_row = { wname : string; pcycles : int; pinstrs : int; wall_on : float; wall_off : float }
+
+let perf_workload ~budget kernel =
+  let prog = Spec_kernels.find kernel ~scale:!scale in
+  let timed fastpath =
+    (* best-of-N wall clock: scheduling noise only ever slows a run down, so
+       repeating until ~1s of total wall time and keeping the fastest gives a
+       stable speed estimate even for sub-100ms workloads *)
+    let once () =
+      let m = Machine.create ~paging:true ~fastpath (ooo Ooo.Config.riscyoo_b) prog in
+      let t0 = Unix.gettimeofday () in
+      let o = Machine.run ~max_cycles:budget m in
+      let dt = Unix.gettimeofday () -. t0 in
+      if o.Machine.timed_out then failwith ("perf: " ^ kernel ^ " timed out");
+      (o.Machine.cycles, o.Machine.exits.(0), Machine.instrs m, dt)
+    in
+    let (c, x, i, dt) = once () in
+    let best = ref dt and total = ref dt in
+    while !total < 1.0 do
+      let c2, x2, i2, dt2 = once () in
+      if (c2, x2, i2) <> (c, x, i) then failwith ("perf: " ^ kernel ^ " is nondeterministic");
+      if dt2 < !best then best := dt2;
+      total := !total +. dt2
+    done;
+    (c, x, i, !best)
+  in
+  let c_on, x_on, i_on, wall_on = timed true in
+  let c_off, x_off, i_off, wall_off = timed false in
+  (* the fast path must be a pure scheduling optimization *)
+  if c_on <> c_off || x_on <> x_off || i_on <> i_off then
+    failwith
+      (Printf.sprintf "perf: %s diverges with fastpath off (%d/%Ld/%d vs %d/%Ld/%d)" kernel c_on
+         x_on i_on c_off x_off i_off);
+  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s fastpath, %.0f c/s stripped\n%!" kernel c_on
+    (float_of_int c_on /. wall_on)
+    (float_of_int c_on /. wall_off);
+  { wname = kernel; pcycles = c_on; pinstrs = i_on; wall_on; wall_off }
+
+let cps r = float_of_int r.pcycles /. r.wall_on
+
+(* minimal JSON scanning for the regression gate: find the object containing
+   ["name": "<w>"] and read its "sim_cps" field. Enough for baseline.json,
+   which we also emit. *)
+let substr_index s needle from =
+  let n = String.length needle and m = String.length s in
+  let rec go i = if i + n > m then None else if String.sub s i n = needle then Some i else go (i + 1) in
+  go from
+
+let baseline_cps content w =
+  match substr_index content (Printf.sprintf "\"name\": \"%s\"" w) 0 with
+  | None -> None
+  | Some i -> (
+    match substr_index content "\"sim_cps\": " i with
+    | None -> None
+    | Some j ->
+      let start = j + String.length "\"sim_cps\": " in
+      let e = ref start in
+      while
+        !e < String.length content
+        && (match content.[!e] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr e
+      done;
+      float_of_string_opt (String.sub content start (!e - start)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let perf_json rows micro_on micro_off =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v1\",\n  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"wall_s_fastpath\": %.4f, \
+            \"wall_s_stripped\": %.4f, \"sim_cps\": %.1f, \"sim_kips\": %.2f, \
+            \"speedup_vs_stripped\": %.3f}%s\n"
+           r.wname r.pcycles r.pinstrs r.wall_on r.wall_off (cps r)
+           (float_of_int r.pinstrs /. r.wall_on /. 1000.0)
+           (r.wall_off /. r.wall_on)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n  \"microbench\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"idle_sched_fastpath_ns\": %.1f,\n    \"idle_sched_stripped_ns\": %.1f,\n"
+       micro_on micro_off);
+  Buffer.add_string b (Printf.sprintf "    \"idle_sched_speedup\": %.2f\n  }\n}\n" (micro_off /. micro_on));
+  Buffer.contents b
+
+let perf ~quick ~out ~check () =
+  header "perf: simulation speed (fastpath vs stripped)";
+  let budget = 200_000_000 in
+  let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
+  let rows = List.map (perf_workload ~budget) kernels in
+  let micro_on = measure_ns "idle-sched fastpath" (idle_sched_thunk ~fastpath:true) in
+  let micro_off = measure_ns "idle-sched stripped" (idle_sched_thunk ~fastpath:false) in
+  Printf.printf "idle 64-rule scheduler cycle: %.1f ns fastpath, %.1f ns stripped (%.2fx)\n"
+    micro_on micro_off (micro_off /. micro_on);
+  let json = perf_json rows micro_on micro_off in
+  (match out with
+  | None -> print_string json
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  match check with
+  | None -> ()
+  | Some path ->
+    let base = read_file path in
+    let failures =
+      List.filter_map
+        (fun r ->
+          match baseline_cps base r.wname with
+          | None ->
+            Printf.printf "check: no baseline for %s, skipping\n" r.wname;
+            None
+          | Some b ->
+            let c = cps r in
+            Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx)\n" r.wname c b (c /. b);
+            if c < 0.8 *. b then Some r.wname else None)
+        rows
+    in
+    if failures <> [] then begin
+      Printf.eprintf "PERF REGRESSION (>20%% below %s): %s\n" path (String.concat ", " failures);
+      exit 1
+    end
+
+(* ---------------------------------------------------------------- *)
 (* Main                                                               *)
 (* ---------------------------------------------------------------- *)
 
@@ -536,16 +726,27 @@ let all_figs =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let quick = ref false and out = ref None and check = ref None in
   let rec parse = function
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
       parsec_scale := int_of_string n;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--out" :: f :: rest ->
+      out := Some f;
+      parse rest
+    | "--check" :: f :: rest ->
+      check := Some f;
       parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
   in
   let named = parse args in
   match named with
+  | [ "perf" ] -> perf ~quick:!quick ~out:!out ~check:!check ()
   | [] ->
     Printf.printf "RiscyOO evaluation — reproducing every table and figure (scale %d)\n" !scale;
     List.iter (fun (_, f) -> f ()) all_figs;

@@ -7,6 +7,7 @@
      dune exec bin/riscyoo.exe -- list *)
 
 module Cmd_stats = Cmd.Stats
+module Cmd_sim = Cmd.Sim
 open Cmdliner
 open Workloads
 
@@ -76,8 +77,23 @@ let run_cmd =
   let inject_seed =
     Arg.(value & opt int 0xFA17 & info [ "inject-seed" ] ~docv:"SEED" ~doc:"campaign RNG seed")
   in
+  let no_fastpath =
+    Arg.(
+      value & flag
+      & info [ "no-fastpath" ]
+          ~doc:"strip can_fire predicates: attempt every rule every cycle (the pre-optimization \
+                scheduler; results must be bit-identical)")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "scheduler-audit" ]
+          ~doc:"attempt every rule and verify each can_fire predicate against what its rule \
+                actually did; exits 3 on a lying predicate")
+  in
   let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
-      rules watchdog invariants inject inject_seed =
+      rules watchdog invariants inject inject_seed no_fastpath audit =
+    let fastpath = not no_fastpath in
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
       else Spec_kernels.find kernel ~scale
@@ -145,7 +161,10 @@ let run_cmd =
       if s.Verif.Fault.n_undiagnosed > 0 then exit 1
     end
     else
-    let m = Machine.create ~ncores:cores ~paging ~megapages ~cosim ~watchdog ~invariants kind prog in
+    let m =
+      Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~watchdog ~invariants
+        kind prog
+    in
     if trace then Machine.trace_commits m Format.std_formatter;
     let t0 = Unix.gettimeofday () in
     let o =
@@ -156,6 +175,9 @@ let run_cmd =
       | Verif.Invariant.Violation (name, msg) ->
         Printf.printf "INVARIANT VIOLATION [%s]: %s\n" name msg;
         exit 2
+      | Cmd_sim.Audit_fail msg ->
+        Printf.printf "SCHEDULER AUDIT FAILURE: %s\n" msg;
+        exit 3
     in
     let dt = Unix.gettimeofday () -. t0 in
     if o.Machine.timed_out then print_endline "TIMED OUT"
@@ -177,7 +199,8 @@ let run_cmd =
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
-      $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed)
+      $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
+      $ no_fastpath $ audit)
 
 let synth_cmd =
   let doc = "Print the synthesis model's area/frequency estimates" in

@@ -1,4 +1,4 @@
-type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string }
+type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string; sg : Wakeup.signal }
 
 let counter = ref 0
 
@@ -14,6 +14,7 @@ let inject_width = 8
 let flip_immediate t bit =
   if Obj.is_int (Obj.repr t.v) then begin
     t.v <- Obj.magic ((Obj.magic t.v : int) lxor (1 lsl bit));
+    Wakeup.touch t.sg;
     true
   end
   else false
@@ -21,7 +22,7 @@ let flip_immediate t bit =
 let create ?name init =
   incr counter;
   let nm = match name with Some n -> n | None -> Printf.sprintf "ehr#%d" !counter in
-  let t = { cell = Kernel.make_cell nm; v = init; nm } in
+  let t = { cell = Kernel.make_cell nm; v = init; nm; sg = Wakeup.make () } in
   Inject.register ~name:nm ~width:inject_width (flip_immediate t);
   t
 
@@ -29,12 +30,23 @@ let read ctx t p =
   Kernel.record_read ctx t.cell p;
   t.v
 
+(* Touch only on a physical value change: parked predicates observe values
+   through [peek], so writing back the same immediate (the common idle case,
+   e.g. wires re-poked to None at every cycle boundary) cannot change any
+   predicate's answer and need not wake anyone. A rolled-back write leaves
+   its touch behind — a spurious wakeup, which is harmless. *)
 let write ctx t p v =
   Kernel.record_write ctx t.cell p;
   let old = t.v in
   Kernel.on_abort ctx (fun () -> t.v <- old);
+  if v != old then Wakeup.touch t.sg;
   t.v <- v
 
 let peek t = t.v
-let poke t v = t.v <- v
+
+let poke t v =
+  if v != t.v then Wakeup.touch t.sg;
+  t.v <- v
+
 let name t = t.nm
+let signal t = t.sg

@@ -27,3 +27,8 @@ val peek : 'a t -> 'a
 val poke : 'a t -> 'a -> unit
 
 val name : 'a t -> string
+
+(** The EHR's wakeup signal: touched on every tracked or untracked write
+    that physically changes the value (and on fault-injection flips). Rules
+    whose [can_fire] reads this EHR through {!peek} may watch it. *)
+val signal : 'a t -> Wakeup.signal

@@ -1,6 +1,7 @@
 type 'a t = {
   nm : string;
   cap : int;
+  sg : Wakeup.signal; (* touched whenever occupancy may have changed *)
   enq_f : Kernel.ctx -> 'a -> unit;
   deq_f : Kernel.ctx -> 'a;
   first_f : Kernel.ctx -> 'a;
@@ -27,13 +28,15 @@ let ring ~nm ~cap ~dp ~ep =
   let head = Ehr.create ~name:(nm ^ ".head") 0 in
   let tail = Ehr.create ~name:(nm ^ ".tail") 0 in
   let slots = Array.init cap (fun i -> Ehr.create ~name:(Printf.sprintf "%s.slot%d" nm i) None) in
+  let sg = Wakeup.make () in
   let enq_f ctx v =
     let c = Ehr.read ctx count ep in
     Kernel.guard ctx (c < cap) (nm ^ " full");
     let t = Ehr.read ctx tail ep in
     Ehr.write ctx slots.(t) ep (Some v);
     Ehr.write ctx tail ep ((t + 1) mod cap);
-    Ehr.write ctx count ep (c + 1)
+    Ehr.write ctx count ep (c + 1);
+    Wakeup.touch sg
   in
   let first_f ctx =
     let c = Ehr.read ctx count dp in
@@ -49,6 +52,7 @@ let ring ~nm ~cap ~dp ~ep =
     Ehr.write ctx slots.(h) dp None;
     Ehr.write ctx head dp ((h + 1) mod cap);
     Ehr.write ctx count dp (c - 1);
+    Wakeup.touch sg;
     v
   in
   let can_enq_f ctx = Ehr.read ctx count ep < cap in
@@ -57,11 +61,12 @@ let ring ~nm ~cap ~dp ~ep =
     Ehr.write ctx count 2 0;
     Ehr.write ctx head 2 0;
     Ehr.write ctx tail 2 0;
-    Array.iter (fun s -> Ehr.write ctx s 2 None) slots
+    Array.iter (fun s -> Ehr.write ctx s 2 None) slots;
+    Wakeup.touch sg
   in
   let size_f () = Ehr.peek count in
   let list_f () = ring_list slots (Ehr.peek head) (Ehr.peek count) cap in
-  { nm; cap; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+  { nm; cap; sg; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
 
 let pipeline ?name ~capacity () =
   let nm = match name with Some n -> n | None -> "pfifo" in
@@ -89,9 +94,15 @@ let cf ?name clk ~capacity () =
   and deq_snap = ref 0 (* deq_total at cycle start *)
   and eport = ref 0
   and dport = ref 0 in
+  let sg = Wakeup.make () in
   Clock.on_cycle_end clk (fun () ->
-      enq_snap := Ehr.peek enq_total;
-      deq_snap := Ehr.peek deq_total;
+      (* The guards compare against cycle-start snapshots, so a parked
+         observer whose view depends on them must also be woken when the
+         snapshots advance at the cycle boundary. *)
+      let e = Ehr.peek enq_total and d = Ehr.peek deq_total in
+      if e <> !enq_snap || d <> !deq_snap then Wakeup.touch sg;
+      enq_snap := e;
+      deq_snap := d;
       eport := 0;
       dport := 0);
   let bump ctx r =
@@ -105,7 +116,8 @@ let cf ?name clk ~capacity () =
     Kernel.guard ctx (t - !deq_snap < cap) (nm ^ " full");
     let p = bump ctx eport in
     Ehr.write ctx slots.(t mod cap) p (Some v);
-    Ehr.write ctx enq_total p (t + 1)
+    Ehr.write ctx enq_total p (t + 1);
+    Wakeup.touch sg
   in
   let first_f ctx =
     let h = Ehr.read ctx deq_total !dport in
@@ -119,6 +131,7 @@ let cf ?name clk ~capacity () =
     let v = get_slot nm (Ehr.read ctx slots.(h mod cap) p) in
     Ehr.write ctx slots.(h mod cap) p None;
     Ehr.write ctx deq_total p (h + 1);
+    Wakeup.touch sg;
     v
   in
   let can_enq_f ctx = Ehr.read ctx enq_total !eport - !deq_snap < cap in
@@ -134,14 +147,15 @@ let cf ?name clk ~capacity () =
          enq_snap := oe;
          deq_snap := od);
     enq_snap := 0;
-    deq_snap := 0
+    deq_snap := 0;
+    Wakeup.touch sg
   in
   let size_f () = Ehr.peek enq_total - Ehr.peek deq_total in
   let list_f () =
     let h = Ehr.peek deq_total and n = Ehr.peek enq_total - Ehr.peek deq_total in
     List.init n (fun i -> get_slot nm (Ehr.peek slots.((h + i) mod cap)))
   in
-  { nm; cap; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+  { nm; cap; sg; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
 
 let enq ctx t v = t.enq_f ctx v
 let deq ctx t = t.deq_f ctx
@@ -151,5 +165,6 @@ let can_deq ctx t = t.can_deq_f ctx
 let clear ctx t = t.clear_f ctx
 let capacity t = t.cap
 let name t = t.nm
+let signal t = t.sg
 let peek_size t = t.size_f ()
 let peek_list t = t.list_f ()

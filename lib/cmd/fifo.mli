@@ -44,6 +44,11 @@ val clear : Kernel.ctx -> 'a t -> unit
 val capacity : 'a t -> int
 val name : 'a t -> string
 
+(** The queue's wakeup signal: touched on every successful [enq], [deq] and
+    [clear] (and, for {!cf}, when the cycle-boundary snapshots advance).
+    Rules whose [can_fire] consults {!peek_size} may watch it. *)
+val signal : 'a t -> Wakeup.signal
+
 (** Untracked occupancy / contents, for statistics and tests. *)
 val peek_size : 'a t -> int
 

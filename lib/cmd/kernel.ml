@@ -11,20 +11,51 @@ type cell = {
   mutable stamp : int;  (* cycle the summary belongs to *)
 }
 
+(* Undo entries live in a reusable arena: a growable array of closures with
+   a fill pointer. The scheduler keeps one ctx alive across every rule
+   attempt of a run, so the steady-state cost of an attempt is writing
+   closures into pre-allocated slots instead of consing a fresh list per
+   rule per cycle. A "mark" is just a fill-pointer snapshot. *)
 type ctx = {
   clk : Clock.t;
-  mutable undo : (unit -> unit) list;
+  mutable undo : (unit -> unit) array;
+  mutable undo_len : int;
   mutable rule : string;
   mutable accesses : int;
 }
 
+let no_undo () = ()
+
 let make_cell name = { cell_name = name; max_r = -1; max_w = -1; w_mask = 0; stamp = -1 }
-let make_ctx clk = { clk; undo = []; rule = "?"; accesses = 0 }
+
+let make_ctx clk =
+  { clk; undo = Array.make 64 no_undo; undo_len = 0; rule = "?"; accesses = 0 }
+
 let clock ctx = ctx.clk
 let rule_name ctx = ctx.rule
 let set_rule_name ctx n = ctx.rule <- n
-let on_abort ctx f = ctx.undo <- f :: ctx.undo
+
+let on_abort ctx f =
+  let n = ctx.undo_len in
+  if n = Array.length ctx.undo then begin
+    let bigger = Array.make (2 * n) no_undo in
+    Array.blit ctx.undo 0 bigger 0 n;
+    ctx.undo <- bigger
+  end;
+  ctx.undo.(n) <- f;
+  ctx.undo_len <- n + 1
+
 let access_count ctx = ctx.accesses
+let undo_depth ctx = ctx.undo_len
+
+let reset_ctx ctx =
+  (* Forget committed undos without running them; clear the slots so the
+     arena does not pin dead closures (and their captured old values). *)
+  for i = 0 to ctx.undo_len - 1 do
+    ctx.undo.(i) <- no_undo
+  done;
+  ctx.undo_len <- 0;
+  ctx.accesses <- 0
 
 let refresh ctx c =
   let now = Clock.now ctx.clk in
@@ -49,7 +80,7 @@ let record_read ctx c port =
   if port > c.max_r then begin
     let old = c.max_r in
     c.max_r <- port;
-    ctx.undo <- (fun () -> c.max_r <- old) :: ctx.undo
+    on_abort ctx (fun () -> c.max_r <- old)
   end
 
 let record_write ctx c port =
@@ -59,32 +90,27 @@ let record_write ctx c port =
     retry ctx c "write" port;
   ctx.accesses <- ctx.accesses + 1;
   let old_w = c.max_w and old_mask = c.w_mask in
-  c.max_w <- port;
-  c.w_mask <- c.w_mask lor (1 lsl port);
-  ctx.undo <-
-    (fun () ->
+  on_abort ctx (fun () ->
       c.max_w <- old_w;
-      c.w_mask <- old_mask)
-    :: ctx.undo
+      c.w_mask <- old_mask);
+  c.max_w <- port;
+  c.w_mask <- c.w_mask lor (1 lsl port)
 
 let guard ctx ok msg = if not ok then raise (Guard_fail (ctx.rule ^ ": " ^ msg))
 
-let rollback ctx =
-  (* Undo entries are newest-first; applying them head-first restores each
-     location through its successive old values down to the original. *)
-  List.iter (fun f -> f ()) ctx.undo;
-  ctx.undo <- []
+let rollback_to ctx mark =
+  (* Undo entries are newest-first from the top of the arena; applying them
+     top-down restores each location through its successive old values. *)
+  for i = ctx.undo_len - 1 downto mark do
+    ctx.undo.(i) ();
+    ctx.undo.(i) <- no_undo
+  done;
+  ctx.undo_len <- mark
 
-let rollback_to ctx save =
-  let rec go l = if l != save then (match l with
-    | [] -> ()
-    | f :: tl -> f (); go tl)
-  in
-  go ctx.undo;
-  ctx.undo <- save
+let rollback ctx = rollback_to ctx 0
 
 let attempt ctx f =
-  let save = ctx.undo in
+  let save = ctx.undo_len in
   match f ctx with
   | r -> Some r
   | exception (Guard_fail _ | Retry _) ->

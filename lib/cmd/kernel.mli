@@ -42,9 +42,15 @@ type ctx
     [name] appears in conflict diagnostics. *)
 val make_cell : string -> cell
 
-(** A transaction context for one rule attempt. Method implementations thread
-    it through every state access. *)
+(** A transaction context. Method implementations thread it through every
+    state access. The context owns a reusable undo arena, so the scheduler
+    keeps one context alive across all rule attempts of a run; call
+    {!reset_ctx} between attempts after a commit. *)
 val make_ctx : Clock.t -> ctx
+
+(** Forget the committed undo log (without running it) and reset the access
+    counter, readying the context for the next rule attempt. *)
+val reset_ctx : ctx -> unit
 
 (** The clock this context runs under. *)
 val clock : ctx -> Clock.t
@@ -80,3 +86,10 @@ val attempt : ctx -> (ctx -> 'a) -> 'a option
 
 (** Number of accesses recorded so far in this transaction (diagnostics). *)
 val access_count : ctx -> int
+
+(** Current depth of the undo arena: 0 right after {!make_ctx},
+    {!reset_ctx} or a full {!rollback}; positive once the transaction has
+    committed-but-revocable effects. The scheduler's audit mode uses this
+    to detect that a rule claiming [can_fire = false] actually did
+    something. *)
+val undo_depth : ctx -> int

@@ -1,14 +1,34 @@
 type t = {
   name : string;
   body : Kernel.ctx -> unit;
+  can_fire : (unit -> bool) option;
+  watches : Wakeup.signal array;
+  vacuous : bool;
   mutable fired : int;
   mutable guard_failed : int;
   mutable conflicted : int;
+  mutable skipped : int;
+  mutable parked : bool;
+  mutable park_sum : int;
 }
 
-let make name body = { name; body; fired = 0; guard_failed = 0; conflicted = 0 }
+let make ?can_fire ?(watches = []) ?(vacuous = false) name body =
+  {
+    name;
+    body;
+    can_fire;
+    watches = Array.of_list watches;
+    vacuous;
+    fired = 0;
+    guard_failed = 0;
+    conflicted = 0;
+    skipped = 0;
+    parked = false;
+    park_sum = 0;
+  }
 
 let reset_stats t =
   t.fired <- 0;
   t.guard_failed <- 0;
-  t.conflicted <- 0
+  t.conflicted <- 0;
+  t.skipped <- 0

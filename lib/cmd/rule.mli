@@ -1,17 +1,52 @@
 (** Rules: the guarded atomic actions that compose modules (paper, Sec. III).
 
     A rule's body calls interface methods of any number of modules; firing is
-    all-or-nothing. The scheduler gathers per-rule firing statistics here. *)
+    all-or-nothing. The scheduler gathers per-rule firing statistics here.
+
+    {2 Fast-path metadata}
+
+    [can_fire] is an optional {e cheap, untracked} predicate: when it returns
+    [false] the scheduler may skip the attempt entirely — no transaction
+    context, no exception, no rollback. The contract is one-sided:
+    [can_fire () = false] must imply the body could not fire this cycle
+    (w.r.t. the state committed so far in the schedule); [true] promises
+    nothing, the guard inside the body remains the correctness backstop.
+    [Sim]'s [--scheduler-audit] mode checks the contract dynamically.
+
+    [watches] is the rule's sensitivity set: when present, a rule whose
+    [can_fire] said [false] is {e parked} and is not even re-polled until one
+    of the watched signals is touched. A rule may only declare watches when
+    its [can_fire] depends exclusively on state covered by those signals;
+    rules reading plain mutable state (no signal) must stay watchless so the
+    predicate is re-evaluated every cycle.
+
+    [vacuous] declares that the body wraps its work in [Kernel.attempt] and
+    therefore returns normally — "fires" — even when the inner guard fails.
+    The scheduler uses this to account a skipped rule exactly as the seed
+    scheduler would have (a vacuous fire), keeping cycle-by-cycle firing
+    statistics bit-identical with and without the fast path. *)
 
 type t = {
   name : string;
   body : Kernel.ctx -> unit;
+  can_fire : (unit -> bool) option;  (** cheap pre-attempt predicate *)
+  watches : Wakeup.signal array;  (** sensitivity set for parking *)
+  vacuous : bool;  (** body swallows guard failures via [attempt] *)
   mutable fired : int;  (** cycles in which the rule fired *)
   mutable guard_failed : int;  (** attempts aborted by a guard *)
   mutable conflicted : int;  (** attempts aborted by an intra-cycle conflict *)
+  mutable skipped : int;  (** attempts pruned by the fast path *)
+  mutable parked : bool;  (** scheduler state: waiting on [watches] *)
+  mutable park_sum : int;  (** generation sum at park time *)
 }
 
-val make : string -> (Kernel.ctx -> unit) -> t
+val make :
+  ?can_fire:(unit -> bool) ->
+  ?watches:Wakeup.signal list ->
+  ?vacuous:bool ->
+  string ->
+  (Kernel.ctx -> unit) ->
+  t
 
 (** Reset the statistics counters. *)
 val reset_stats : t -> unit

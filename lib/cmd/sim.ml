@@ -1,11 +1,16 @@
 type mode = Multi | One_per_cycle | Shuffle of int
 
+exception Audit_fail of string
+
 type t = {
   clk : Clock.t;
   rule_list : Rule.t list;
   order : Rule.t array; (* attempt order; permuted in Shuffle mode *)
   mode : mode;
   rng : Random.State.t option;
+  ctx : Kernel.ctx; (* one reusable transaction context for all attempts *)
+  fastpath : bool; (* consult can_fire / park on watches *)
+  audit : bool; (* never skip; dynamically check the can_fire contract *)
   mutable n_cycles : int;
   mutable fires : int;
   mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
@@ -13,11 +18,13 @@ type t = {
      each cycle, monitors that watch liveness, and post-cycle checks *)
   mutable history : (int * string list) array; (* (cycle, fired rule names) *)
   mutable history_depth : int;
-  mutable monitors : (t -> int -> unit) list; (* called with this cycle's fire count *)
-  mutable post_cycle : (int -> unit) list; (* called with the finished cycle's index *)
+  mutable monitors_rev : (t -> int -> unit) list; (* newest-first *)
+  mutable post_cycle_rev : (int -> unit) list; (* newest-first *)
+  mutable hooks_cache : (int -> int -> unit) array option;
+      (* post-cycle checks then monitors, registration order, as one array *)
 }
 
-let create ?(mode = Multi) clk rules =
+let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) clk rules =
   let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
   {
     clk;
@@ -25,13 +32,17 @@ let create ?(mode = Multi) clk rules =
     order = Array.of_list rules;
     mode;
     rng;
+    ctx = Kernel.make_ctx clk;
+    fastpath;
+    audit;
     n_cycles = 0;
     fires = 0;
     rr = 0;
     history = [||];
     history_depth = 0;
-    monitors = [];
-    post_cycle = [];
+    monitors_rev = [];
+    post_cycle_rev = [];
+    hooks_cache = None;
   }
 
 let clock t = t.clk
@@ -51,8 +62,30 @@ let history t =
       (List.init t.history_depth (fun i ->
            t.history.((t.n_cycles + i) mod t.history_depth)))
 
-let add_monitor t f = t.monitors <- t.monitors @ [ f ]
-let on_post_cycle t f = t.post_cycle <- t.post_cycle @ [ f ]
+let add_monitor t f =
+  t.monitors_rev <- f :: t.monitors_rev;
+  t.hooks_cache <- None
+
+let on_post_cycle t f =
+  t.post_cycle_rev <- f :: t.post_cycle_rev;
+  t.hooks_cache <- None
+
+(* One flat array of end-of-cycle callbacks: post-cycle checks first, then
+   monitors, each set in registration order. Built lazily so registering a
+   hook is O(1) (it used to be an O(n) list append per registration, and
+   [cycle] walked two lists every cycle). *)
+let end_hooks t =
+  match t.hooks_cache with
+  | Some a -> a
+  | None ->
+    let a =
+      Array.of_list
+        (List.rev_append
+           (List.rev_map (fun f -> fun cyc _fired -> f cyc) (List.rev t.post_cycle_rev))
+           (List.rev_map (fun f -> fun _cyc fired -> f t fired) t.monitors_rev))
+    in
+    t.hooks_cache <- Some a;
+    a
 
 let shuffle rng a =
   for i = Array.length a - 1 downto 1 do
@@ -62,6 +95,35 @@ let shuffle rng a =
     a.(j) <- tmp
   done
 
+(* Fast-path decision: should [r] be skipped without an attempt this cycle?
+   Only rules carrying a [can_fire] predicate are ever skipped. A skippable
+   rule with a (non-empty) watch set parks: while parked, the per-cycle cost
+   is one generation-sum comparison; the predicate is re-evaluated only when
+   a watched signal was touched. Watchless rules re-evaluate the predicate
+   every cycle (still far cheaper than a transactional attempt). *)
+let should_skip (r : Rule.t) =
+  match r.can_fire with
+  | None -> false
+  | Some p ->
+    if r.parked then
+      if Wakeup.sum r.watches = r.park_sum then true
+      else if p () then begin
+        r.parked <- false;
+        false
+      end
+      else begin
+        r.park_sum <- Wakeup.sum r.watches;
+        true
+      end
+    else if p () then false
+    else begin
+      if Array.length r.watches > 0 then begin
+        r.parked <- true;
+        r.park_sum <- Wakeup.sum r.watches
+      end;
+      true
+    end
+
 let cycle t =
   (match t.rng with Some rng -> shuffle rng t.order | None -> ());
   let fired = ref 0 in
@@ -69,28 +131,63 @@ let cycle t =
   let n = Array.length t.order in
   let stop = ref false in
   let base = if t.mode = One_per_cycle then t.rr else 0 in
+  let ctx = t.ctx in
   let i = ref 0 in
   while not !stop && !i < n do
     let r = t.order.((base + !i) mod n) in
     incr i;
-    let ctx = Kernel.make_ctx t.clk in
-    Kernel.set_rule_name ctx r.Rule.name;
-    (match r.Rule.body ctx with
-    | () ->
-      r.Rule.fired <- r.Rule.fired + 1;
-      incr fired;
-      if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
-      if t.mode = One_per_cycle then stop := true
-    | exception Kernel.Guard_fail _ ->
-      Kernel.rollback ctx;
-      r.Rule.guard_failed <- r.Rule.guard_failed + 1
-    | exception Kernel.Retry msg ->
-      Kernel.rollback ctx;
-      (* If nothing fired yet this cycle, the conflict is within the rule
-         itself: no schedule can ever admit it. Fail loudly, like the BSV
-         compiler rejecting an ill-formed rule. *)
-      if !fired = 0 then raise (Kernel.Conflict_error msg);
-      r.Rule.conflicted <- r.Rule.conflicted + 1)
+    if t.fastpath && (not t.audit) && should_skip r then begin
+      (* Account the pruned attempt exactly as the seed scheduler would
+         have: an attempt-wrapped ([vacuous]) body swallows its inner guard
+         failure and "fires" vacuously; a bare guarded body fails its
+         guard. This keeps fire counts, the history ring and One_per_cycle
+         rotation bit-identical with the fast path on or off. *)
+      r.Rule.skipped <- r.Rule.skipped + 1;
+      if r.Rule.vacuous then begin
+        r.Rule.fired <- r.Rule.fired + 1;
+        incr fired;
+        if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
+        if t.mode = One_per_cycle then stop := true
+      end
+      else r.Rule.guard_failed <- r.Rule.guard_failed + 1
+    end
+    else begin
+      (* Audit mode: attempt every rule (fast path disabled) and verify the
+         one-sided can_fire contract — [false] must imply the body cannot
+         commit anything this cycle. *)
+      let claimed =
+        if not t.audit then true
+        else match r.Rule.can_fire with None -> true | Some p -> p ()
+      in
+      Kernel.set_rule_name ctx r.Rule.name;
+      (match r.Rule.body ctx with
+      | () ->
+        if (not claimed) && ((not r.Rule.vacuous) || Kernel.undo_depth ctx > 0) then begin
+          Kernel.rollback ctx;
+          raise
+            (Audit_fail
+               (Printf.sprintf
+                  "rule %s: can_fire returned false but the rule fired (cycle %d)"
+                  r.Rule.name t.n_cycles))
+        end;
+        Kernel.reset_ctx ctx;
+        r.Rule.fired <- r.Rule.fired + 1;
+        incr fired;
+        if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
+        if t.mode = One_per_cycle then stop := true
+      | exception Kernel.Guard_fail _ ->
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        r.Rule.guard_failed <- r.Rule.guard_failed + 1
+      | exception Kernel.Retry msg ->
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        (* If nothing fired yet this cycle, the conflict is within the rule
+           itself: no schedule can ever admit it. Fail loudly, like the BSV
+           compiler rejecting an ill-formed rule. *)
+        if !fired = 0 then raise (Kernel.Conflict_error msg);
+        r.Rule.conflicted <- r.Rule.conflicted + 1)
+    end
   done;
   if t.mode = One_per_cycle && n > 0 then t.rr <- (t.rr + 1) mod n;
   if t.history_depth > 0 then
@@ -99,8 +196,10 @@ let cycle t =
   let this_cycle = t.n_cycles in
   t.n_cycles <- t.n_cycles + 1;
   t.fires <- t.fires + !fired;
-  List.iter (fun f -> f this_cycle) t.post_cycle;
-  List.iter (fun f -> f t !fired) t.monitors;
+  let hooks = end_hooks t in
+  for h = 0 to Array.length hooks - 1 do
+    hooks.(h) this_cycle !fired
+  done;
   !fired
 
 let run t n =
@@ -125,7 +224,7 @@ let pp_stats fmt t =
     (if t.n_cycles = 0 then 0.0 else float_of_int t.fires /. float_of_int t.n_cycles);
   List.iter
     (fun (r : Rule.t) ->
-      Format.fprintf fmt "  %-28s fired=%-9d guard_failed=%-9d conflicted=%d@," r.name r.fired
-        r.guard_failed r.conflicted)
+      Format.fprintf fmt "  %-28s fired=%-9d guard_failed=%-9d conflicted=%-6d skipped=%d@," r.name
+        r.fired r.guard_failed r.conflicted r.skipped)
     t.rule_list;
   Format.fprintf fmt "@]"

@@ -17,9 +17,29 @@ type mode =
   | Shuffle of int  (** Multi, but attempt order is reshuffled each cycle
                         from the given seed — for schedule-robustness tests *)
 
+(** Raised in audit mode when a rule's [can_fire] returned [false] but its
+    body nevertheless fired (committed effects): the predicate lies, and the
+    fast path would silently starve the rule. *)
+exception Audit_fail of string
+
 type t
 
-val create : ?mode:mode -> Clock.t -> Rule.t list -> t
+(** [create ?mode ?fastpath ?audit clk rules] builds a scheduler.
+
+    With [fastpath] (the default), a rule carrying a [can_fire] predicate is
+    skipped — no transaction, no exception, no rollback — in cycles where
+    the predicate returns [false], and parked on its watch set until a
+    watched primitive is touched. Skips are accounted exactly as the seed
+    scheduler would have accounted the doomed attempt, so cycle counts, fire
+    counts, rule-firing history and all architectural state are bit-identical
+    with [fastpath] on or off, in every mode. [~fastpath:false] strips the
+    predicates (every rule is attempted, as before this optimization).
+
+    [~audit:true] disables skipping but evaluates every [can_fire] and raises
+    {!Audit_fail} if a rule fires in a cycle its predicate vetoed — the
+    debug oracle for predicate truthfulness ([--scheduler-audit] in the
+    driver). *)
+val create : ?mode:mode -> ?fastpath:bool -> ?audit:bool -> Clock.t -> Rule.t list -> t
 
 val clock : t -> Clock.t
 

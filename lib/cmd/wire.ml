@@ -14,3 +14,4 @@ let get_exn ctx t =
   | None -> raise (Kernel.Guard_fail (Kernel.rule_name ctx ^ ": wire " ^ Ehr.name t ^ " empty"))
 
 let peek = Ehr.peek
+let signal = Ehr.signal

@@ -21,3 +21,7 @@ val get : Kernel.ctx -> 'a t -> 'a option
 val get_exn : Kernel.ctx -> 'a t -> 'a
 
 val peek : 'a t -> 'a option
+
+(** The underlying EHR's wakeup signal (touched on [set] and on the
+    cycle-boundary drain of a non-empty wire). *)
+val signal : 'a t -> Wakeup.signal

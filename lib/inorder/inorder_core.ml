@@ -68,6 +68,11 @@ let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats ()
     c_instrs = Stats.counter stats (name ^ ".instrs");
     c_mispred = Stats.counter stats (name ^ ".mispredicts");
   }
+  |> fun t ->
+  (* counted at the clock edge rather than in the execute rule's body, so
+     that rule can carry a can_fire predicate and be skipped when idle *)
+  Clock.on_cycle_end clk (fun () -> Stats.incr t.c_cycles);
+  t
 
 let set_pc t pc = t.pc <- pc
 let set_reg t r v = if r <> 0 then t.regs.(r) <- v
@@ -302,14 +307,34 @@ let step_store_resp ctx t =
 
 let rules t =
   [
-    Rule.make (t.name ^ ".loadResp") (fun ctx ->
-        ignore (Kernel.attempt ctx (fun ctx -> step_load_resp ctx t)));
-    Rule.make (t.name ^ ".storeResp") (fun ctx ->
-        ignore (Kernel.attempt ctx (fun ctx -> step_store_resp ctx t)));
-    Rule.make (t.name ^ ".execute") (fun ctx ->
-        Stats.incr ~ctx t.c_cycles;
-        ignore (Kernel.attempt ctx (fun ctx -> step_execute ctx t)));
-    Rule.make (t.name ^ ".fetch") (fun ctx ->
+    Rule.make (t.name ^ ".loadResp")
+      ~can_fire:(fun () -> Mem.L1_dcache.resp_ld_ready t.dc)
+      ~watches:[ Mem.L1_dcache.resp_ld_signal t.dc ]
+      ~vacuous:true
+      (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> step_load_resp ctx t)));
+    Rule.make (t.name ^ ".storeResp")
+      ~can_fire:(fun () -> Mem.L1_dcache.resp_st_ready t.dc)
+      ~watches:[ Mem.L1_dcache.resp_st_signal t.dc ]
+      ~vacuous:true
+      (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> step_store_resp ctx t)));
+    (* [xst] and [halted_f] are mutated only by this rule itself, so while
+       parked (necessarily [XIdle] with [f2x] empty) the predicate can only
+       flip true via an [f2x] enqueue — which touches the watched signal. *)
+    Rule.make (t.name ^ ".execute")
+      ~can_fire:(fun () -> (not t.halted_f) && (t.xst <> XIdle || Fifo.peek_size t.f2x > 0))
+      ~watches:[ Fifo.signal t.f2x ]
+      ~vacuous:true
+      (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> step_execute ctx t)));
+    (* fetch slots are mutated only by this rule; the other work sources
+       (I$ and I-TLB responses) are watched queues *)
+    Rule.make (t.name ^ ".fetch")
+      ~can_fire:(fun () ->
+        Mem.L1_icache.resp_ready t.ic
+        || Tlb.Tlb_sys.itlb_resp_ready t.tlb
+        || ((not t.halted_f) && not t.fslots.(t.next_fslot).fvalid))
+      ~watches:[ Mem.L1_icache.resp_signal t.ic; Tlb.Tlb_sys.itlb_resp_signal t.tlb ]
+      ~vacuous:true
+      (fun ctx ->
         ignore (Kernel.attempt ctx (fun ctx -> step_fetch_mem ctx t));
         ignore (Kernel.attempt ctx (fun ctx -> step_fetch_tlb ctx t));
         ignore (Kernel.attempt ctx (fun ctx -> step_fetch_issue ctx t)));

@@ -7,9 +7,19 @@ type endpoint = {
   presp : Msg.presp Fifo.t;
 }
 
+(* Every crossbar rule is a pure queue-to-queue mover: it can only do work
+   when some source queue is non-empty, so its [can_fire] is an occupancy
+   scan and its watch set is the source queues' signals. (A full destination
+   merely makes the guarded enq fail — predicate true, attempt, guard-fail —
+   exactly like the seed scheduler.) *)
 let rules children ~l2 =
+  let child_sigs f = Array.to_list (Array.map f children) in
   let up_resp =
-    Rule.make "xbar.up.resp" (fun ctx ->
+    Rule.make "xbar.up.resp"
+      ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.cresp > 0) children)
+      ~watches:(child_sigs (fun ep -> Fifo.signal ep.cresp))
+      ~vacuous:true
+      (fun ctx ->
         Array.iter
           (fun ep ->
             ignore
@@ -17,7 +27,11 @@ let rules children ~l2 =
           children)
   in
   let up_req =
-    Rule.make "xbar.up.req" (fun ctx ->
+    Rule.make "xbar.up.req"
+      ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.creq > 0) children)
+      ~watches:(child_sigs (fun ep -> Fifo.signal ep.creq))
+      ~vacuous:true
+      (fun ctx ->
         Array.iter
           (fun ep ->
             ignore
@@ -25,7 +39,11 @@ let rules children ~l2 =
           children)
   in
   let down_resp =
-    Rule.make "xbar.down.resp" (fun ctx ->
+    Rule.make "xbar.down.resp"
+      ~can_fire:(fun () -> Fifo.peek_size (L2_cache.presp_out l2) > 0)
+      ~watches:[ Fifo.signal (L2_cache.presp_out l2) ]
+      ~vacuous:true
+      (fun ctx ->
         (* drain as many grants as the destinations accept this cycle *)
         let continue = ref true in
         while !continue do
@@ -39,7 +57,11 @@ let rules children ~l2 =
         done)
   in
   let down_req =
-    Rule.make "xbar.down.req" (fun ctx ->
+    Rule.make "xbar.down.req"
+      ~can_fire:(fun () -> Fifo.peek_size (L2_cache.preq_out l2) > 0)
+      ~watches:[ Fifo.signal (L2_cache.preq_out l2) ]
+      ~vacuous:true
+      (fun ctx ->
         let continue = ref true in
         while !continue do
           match

@@ -43,5 +43,6 @@ let resp ctx t =
   let _, line, data = Fifo.deq ctx t.pending in
   (line, data)
 
+let busy t = Fifo.peek_size t.pending > 0
 let reads t = t.n_reads
 let writes t = t.n_writes

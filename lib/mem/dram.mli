@@ -22,6 +22,10 @@ val resp : Cmd.Kernel.ctx -> t -> int64 * Bytes.t
 
 val can_resp : Cmd.Kernel.ctx -> t -> bool
 
+(** Untracked: some read is in flight (possibly not yet ready) — part of the
+    L2 tick rule's [can_fire]. *)
+val busy : t -> bool
+
 (** Total reads and writes accepted (statistics). *)
 val reads : t -> int
 

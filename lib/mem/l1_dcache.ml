@@ -343,7 +343,19 @@ let step_req ctx t =
   ignore (Fifo.deq ctx t.req_q)
 
 let tick t =
-  Rule.make (t.name ^ ".tick") (fun ctx ->
+  (* Work only ever arrives on the three input queues or sits in a filled
+     MSHR; MSHR state is mutated exclusively by this rule's own sub-steps,
+     so parking on the input-queue signals cannot miss a wakeup. (A drain
+     stalled on a core-held line lock keeps [m.filled] set, which keeps the
+     predicate true — no parking in that state.) *)
+  let can_fire () =
+    Fifo.peek_size t.presp_i > 0
+    || Fifo.peek_size t.preq_i > 0
+    || Fifo.peek_size t.req_q > 0
+    || Array.exists (fun m -> m.valid && m.filled) t.mshrs
+  in
+  let watches = [ Fifo.signal t.presp_i; Fifo.signal t.preq_i; Fifo.signal t.req_q ] in
+  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       Array.iter (fun m -> ignore (Kernel.attempt ctx (fun ctx -> step_drain ctx t m))) t.mshrs;
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
@@ -362,6 +374,14 @@ let resp_st ctx t = Fifo.deq ctx t.resp_st_q
 let can_resp_st ctx t = Fifo.can_deq ctx t.resp_st_q
 let resp_at ctx t = Fifo.deq ctx t.resp_at_q
 let can_resp_at ctx t = Fifo.can_deq ctx t.resp_at_q
+
+(* untracked response-availability probes + signals, for core-rule can_fire *)
+let resp_ld_ready t = Fifo.peek_size t.resp_ld_q > 0
+let resp_st_ready t = Fifo.peek_size t.resp_st_q > 0
+let resp_at_ready t = Fifo.peek_size t.resp_at_q > 0
+let resp_ld_signal t = Fifo.signal t.resp_ld_q
+let resp_st_signal t = Fifo.signal t.resp_st_q
+let resp_at_signal t = Fifo.signal t.resp_at_q
 
 let write_data ctx t ~line ~data ~mask =
   match lookup t line with

@@ -46,6 +46,19 @@ val can_resp_st : Cmd.Kernel.ctx -> t -> bool
 val resp_at : Cmd.Kernel.ctx -> t -> int * int64
 val can_resp_at : Cmd.Kernel.ctx -> t -> bool
 
+(** {2 Fast-path scheduler probes}
+
+    Untracked response availability ([peek_size > 0]) and the matching
+    wakeup signals, for the [can_fire] predicates of the core rules that
+    dequeue each response queue. *)
+
+val resp_ld_ready : t -> bool
+val resp_st_ready : t -> bool
+val resp_at_ready : t -> bool
+val resp_ld_signal : t -> Cmd.Wakeup.signal
+val resp_st_signal : t -> Cmd.Wakeup.signal
+val resp_at_signal : t -> Cmd.Wakeup.signal
+
 (** [write_data ctx t ~line ~data ~mask] writes masked bytes (bit [i] of
     [mask] enables byte [i]) into the locked line and unlocks it. *)
 val write_data : Cmd.Kernel.ctx -> t -> line:int64 -> data:Bytes.t -> mask:int64 -> unit

@@ -124,7 +124,16 @@ let step_preq ctx t =
   ignore (Fifo.deq ctx t.preq_i)
 
 let tick t =
-  Rule.make (t.name ^ ".tick") (fun ctx ->
+  (* [t.miss] is only ever mutated by this rule's own sub-steps, so while
+     parked it cannot change: a set miss can only clear via a presp arrival
+     (touches [presp_i]), and new demand traffic touches [req_q]/[preq_i]. *)
+  let can_fire () =
+    Fifo.peek_size t.presp_i > 0
+    || Fifo.peek_size t.preq_i > 0
+    || (Fifo.peek_size t.req_q > 0 && t.miss = None)
+  in
+  let watches = [ Fifo.signal t.presp_i; Fifo.signal t.preq_i; Fifo.signal t.req_q ] in
+  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_req ctx t) in
@@ -135,6 +144,8 @@ let req ctx t ~tag pc = Fifo.enq ctx t.req_q (tag, pc)
 let can_req ctx t = Fifo.can_enq ctx t.req_q
 let resp ctx t = Fifo.deq ctx t.resp_q
 let can_resp ctx t = Fifo.can_deq ctx t.resp_q
+let resp_ready t = Fifo.peek_size t.resp_q > 0
+let resp_signal t = Fifo.signal t.resp_q
 let creq_out t = t.creq_o
 let cresp_out t = t.cresp_o
 let preq_in t = t.preq_i

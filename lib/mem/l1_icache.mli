@@ -28,6 +28,12 @@ val resp : Cmd.Kernel.ctx -> t -> int * int64 * int array
 
 val can_resp : Cmd.Kernel.ctx -> t -> bool
 
+(** Untracked response availability + its wakeup signal, for the fetch
+    rule's [can_fire]. *)
+val resp_ready : t -> bool
+
+val resp_signal : t -> Cmd.Wakeup.signal
+
 val creq_out : t -> Msg.creq Cmd.Fifo.t
 val cresp_out : t -> Msg.cresp Cmd.Fifo.t
 val preq_in : t -> Msg.preq Cmd.Fifo.t

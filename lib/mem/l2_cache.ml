@@ -394,7 +394,23 @@ let step_delays ctx t =
   drain t.walk_delay t.walk_resp_q
 
 let tick t =
-  Rule.make (t.name ^ ".tick") (fun ctx ->
+  (* Delay queues, the DRAM pipe and the MSHR array are mutated only by this
+     rule's own sub-steps, and their time guards ripen by clock advance alone
+     — but any such in-flight work keeps the predicate true, so the rule only
+     parks when the L2 is completely drained. Then the only possible wakeups
+     are enqueues on the three input queues, whose signals we watch. *)
+  let can_fire () =
+    Fifo.peek_size t.presp_delay > 0
+    || Fifo.peek_size t.preq_delay > 0
+    || Fifo.peek_size t.walk_delay > 0
+    || Fifo.peek_size t.cresp_q > 0
+    || Dram.busy t.dram
+    || Array.exists (fun (m : mshr) -> m.valid) t.mshrs
+    || Fifo.peek_size t.creq_q > 0
+    || Fifo.peek_size t.walk_req_q > 0
+  in
+  let watches = [ Fifo.signal t.cresp_q; Fifo.signal t.creq_q; Fifo.signal t.walk_req_q ] in
+  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       step_delays ctx t;
       (* responses first, unconditionally, all of them *)
       let continue = ref true in
@@ -424,3 +440,5 @@ let walk_req ctx t ~tag addr = Fifo.enq ctx t.walk_req_q (tag, addr)
 let can_walk_req ctx t = Fifo.can_enq ctx t.walk_req_q
 let walk_resp ctx t = Fifo.deq ctx t.walk_resp_q
 let can_walk_resp ctx t = Fifo.can_deq ctx t.walk_resp_q
+let walk_resp_ready t = Fifo.peek_size t.walk_resp_q > 0
+let walk_resp_signal t = Fifo.signal t.walk_resp_q

@@ -46,4 +46,10 @@ val can_walk_req : Cmd.Kernel.ctx -> t -> bool
 val walk_resp : Cmd.Kernel.ctx -> t -> int * int64
 val can_walk_resp : Cmd.Kernel.ctx -> t -> bool
 
+(** Untracked walk-response availability + its wakeup signal, for the walk
+    crossbar's [can_fire]. *)
+val walk_resp_ready : t -> bool
+
+val walk_resp_signal : t -> Cmd.Wakeup.signal
+
 val rules : t -> Cmd.Rule.t list

@@ -155,6 +155,10 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
   (* Free and architecturally-live registers must be disjoint: a register
      the RRAT maps (committed state) that also sits on the free list would
      be overwritten by the next rename. *)
+  (* The cycle counter used to be bumped inside the (always-firing) commit
+     rule's body; counting at the clock edge instead lets the commit rule
+     carry a [can_fire] predicate and be skipped on idle cycles. *)
+  Clock.on_cycle_end clk (fun () -> Stats.incr t.c_cycles);
   Verif.Invariant.register ~name:"rename.partition" (fun () ->
       let live = Array.make nregs false in
       Array.iter (fun p -> if p >= 0 then live.(p) <- true) (Rename_table.rrat t.rat);
@@ -922,7 +926,14 @@ let step_resp_at ctx t =
 (* Rule list                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let mk name f = Rule.make name (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> f ctx)))
+(* Attempt-wrapped rule bodies swallow their own guard failures, so these
+   rules fire vacuously even with nothing to do — [vacuous] tells the
+   fast-path scheduler to account a skip as a (vacuous) firing. [can_fire]
+   and [watches] follow the one-sided contract documented in {!Cmd.Rule}:
+   the predicate may be conservatively true, but must never be false when
+   the body could commit an effect. *)
+let mk ?can_fire ?watches name f =
+  Rule.make ?can_fire ?watches ~vacuous:true name (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> f ctx)))
 
 let rules ?(schedule = `Aggressive) t =
   (* eviction hook: TSO load kills + LR/SC reservation *)
@@ -935,44 +946,153 @@ let rules ?(schedule = `Aggressive) t =
         Lsq.cache_evict ctx t.lsq line
       end);
   let n = t.name in
-  let commit = Rule.make (n ^ ".commit") (fun ctx -> Stats.incr ~ctx t.c_cycles; step_commit ctx t) in
-  let resp_at = mk (n ^ ".respAt") (fun ctx -> step_resp_at ctx t) in
-  let wb_alu = List.init t.cfg.n_alu (fun i -> mk (Printf.sprintf "%s.alu%d.wb" n i) (fun ctx -> step_wb_alu ctx t i)) in
-  let ex_alu = List.init t.cfg.n_alu (fun i -> mk (Printf.sprintf "%s.alu%d.ex" n i) (fun ctx -> step_exec_alu ctx t i)) in
-  let md = [ mk (n ^ ".md.wb") (fun ctx -> step_wb_md ctx t); mk (n ^ ".md.ex") (fun ctx -> step_exec_md ctx t) ] in
-  let resp_ld =
-    [ mk (n ^ ".respLd") (fun ctx -> step_resp_ld_cache ctx t); mk (n ^ ".respLdFwd") (fun ctx -> step_resp_ld_fwd ctx t) ]
+  (* predicate/watch helpers *)
+  let stage s = (Some (fun () -> Stage.occupied s), Some [ Stage.signal s ]) in
+  let fifo q = (Some (fun () -> Fifo.peek_size q > 0), Some [ Fifo.signal q ]) in
+  let mk_stage s name f = let can_fire, watches = stage s in mk ?can_fire ?watches name f in
+  let mk_fifo q name f = let can_fire, watches = fifo q in mk ?can_fire ?watches name f in
+  let commit =
+    (* [commit_one] guards on [not halted] and a ROB head; ROB occupancy is
+       plain mutable state, so the rule is watchless (predicate re-checked
+       every cycle). *)
+    Rule.make ~vacuous:true
+      ~can_fire:(fun () -> (not t.halted_f) && Rob.count t.rob > 0)
+      (n ^ ".commit")
+      (fun ctx -> step_commit ctx t)
   in
-  let rr_alu = List.init t.cfg.n_alu (fun i -> mk (Printf.sprintf "%s.alu%d.rr" n i) (fun ctx -> step_regread_alu ctx t i)) in
-  let rr_md = [ mk (n ^ ".md.rr") (fun ctx -> step_regread_md ctx t) ] in
-  let rr_mem = [ mk (n ^ ".mem.rr") (fun ctx -> step_regread_mem ctx t) ] in
-  let update_lsq = [ mk (n ^ ".updateLsq") (fun ctx -> step_update_lsq ctx t) ] in
+  let resp_at =
+    mk
+      ~can_fire:(fun () -> Mem.L1_dcache.resp_at_ready t.dc)
+      ~watches:[ Mem.L1_dcache.resp_at_signal t.dc ]
+      (n ^ ".respAt")
+      (fun ctx -> step_resp_at ctx t)
+  in
+  let wb_alu =
+    List.init t.cfg.n_alu (fun i ->
+        mk_stage t.alu_wb.(i) (Printf.sprintf "%s.alu%d.wb" n i) (fun ctx -> step_wb_alu ctx t i))
+  in
+  let ex_alu =
+    List.init t.cfg.n_alu (fun i ->
+        mk_stage t.alu_ex.(i) (Printf.sprintf "%s.alu%d.ex" n i) (fun ctx -> step_exec_alu ctx t i))
+  in
+  let md =
+    [
+      mk_stage t.md_wb (n ^ ".md.wb") (fun ctx -> step_wb_md ctx t);
+      (* the multiplier's completion-time guard is ignored by the predicate:
+         an occupied-but-not-ready stage attempts and guard-fails, as before *)
+      mk_stage t.md_ex (n ^ ".md.ex") (fun ctx -> step_exec_md ctx t);
+    ]
+  in
+  let resp_ld =
+    [
+      mk
+        ~can_fire:(fun () -> Mem.L1_dcache.resp_ld_ready t.dc)
+        ~watches:[ Mem.L1_dcache.resp_ld_signal t.dc ]
+        (n ^ ".respLd")
+        (fun ctx -> step_resp_ld_cache ctx t);
+      mk_fifo t.forward_q (n ^ ".respLdFwd") (fun ctx -> step_resp_ld_fwd ctx t);
+    ]
+  in
+  let rr_alu =
+    List.init t.cfg.n_alu (fun i ->
+        mk_stage t.alu_rr.(i) (Printf.sprintf "%s.alu%d.rr" n i) (fun ctx -> step_regread_alu ctx t i))
+  in
+  let rr_md = [ mk_stage t.md_rr (n ^ ".md.rr") (fun ctx -> step_regread_md ctx t) ] in
+  let rr_mem = [ mk_stage t.mem_rr (n ^ ".mem.rr") (fun ctx -> step_regread_mem ctx t) ] in
+  let update_lsq =
+    [
+      mk
+        ~can_fire:(fun () -> Tlb.Tlb_sys.dtlb_resp_ready t.tlbs)
+        ~watches:[ Tlb.Tlb_sys.dtlb_resp_signal t.tlbs ]
+        (n ^ ".updateLsq")
+        (fun ctx -> step_update_lsq ctx t);
+    ]
+  in
   let lsu =
-    [ mk (n ^ ".issueLd") (fun ctx -> step_issue_ld ctx t) ]
-    @ (if t.cfg.st_prefetch then [ mk (n ^ ".stPrefetch") (fun ctx -> step_st_prefetch ctx t) ]
+    (* LSQ/store-buffer occupancy is plain mutable state: these predicates
+       are watchless scans, mirroring the guards of the corresponding step *)
+    [ mk ~can_fire:(fun () -> Lsq.has_issue_ld t.lsq) (n ^ ".issueLd") (fun ctx -> step_issue_ld ctx t) ]
+    @ (if t.cfg.st_prefetch then
+         [
+           mk
+             ~can_fire:(fun () -> Lsq.prefetch_candidate t.lsq <> None)
+             (n ^ ".stPrefetch")
+             (fun ctx -> step_st_prefetch ctx t);
+         ]
        else [])
     @ (match t.cfg.mem_model with
       | Config.TSO ->
-        [ mk (n ^ ".respSt") (fun ctx -> step_resp_st_tso ctx t); mk (n ^ ".issueSt") (fun ctx -> step_issue_st_tso ctx t) ]
+        [
+          mk
+            ~can_fire:(fun () -> Mem.L1_dcache.resp_st_ready t.dc)
+            ~watches:[ Mem.L1_dcache.resp_st_signal t.dc ]
+            (n ^ ".respSt")
+            (fun ctx -> step_resp_st_tso ctx t);
+          mk
+            ~can_fire:(fun () ->
+              (not (Lsq.sq_head_issued t.lsq)) && Lsq.committed_store_head t.lsq <> None)
+            (n ^ ".issueSt")
+            (fun ctx -> step_issue_st_tso ctx t);
+        ]
       | Config.WMM ->
         [
-          mk (n ^ ".respSt") (fun ctx -> step_resp_st_wmm ctx t);
-          mk (n ^ ".sbIssue") (fun ctx -> step_sb_issue ctx t);
-          mk (n ^ ".deqSt") (fun ctx -> step_deq_st_wmm ctx t);
+          mk
+            ~can_fire:(fun () -> Mem.L1_dcache.resp_st_ready t.dc)
+            ~watches:[ Mem.L1_dcache.resp_st_signal t.dc ]
+            (n ^ ".respSt")
+            (fun ctx -> step_resp_st_wmm ctx t);
+          mk ~can_fire:(fun () -> Store_buffer.has_unissued t.sb) (n ^ ".sbIssue")
+            (fun ctx -> step_sb_issue ctx t);
+          mk
+            ~can_fire:(fun () -> Lsq.committed_store_head t.lsq <> None)
+            (n ^ ".deqSt")
+            (fun ctx -> step_deq_st_wmm ctx t);
         ])
   in
   let issue =
-    List.init t.cfg.n_alu (fun i -> mk (Printf.sprintf "%s.alu%d.issue" n i) (fun ctx -> step_issue_alu ctx t i))
-    @ [ mk (n ^ ".md.issue") (fun ctx -> step_issue_md ctx t); mk (n ^ ".mem.issue") (fun ctx -> step_issue_mem ctx t) ]
+    List.init t.cfg.n_alu (fun i ->
+        mk
+          ~can_fire:(fun () -> Issue_queue.has_ready t.alu_iqs.(i))
+          (Printf.sprintf "%s.alu%d.issue" n i)
+          (fun ctx -> step_issue_alu ctx t i))
+    @ [
+        mk ~can_fire:(fun () -> Issue_queue.has_ready t.md_iq) (n ^ ".md.issue")
+          (fun ctx -> step_issue_md ctx t);
+        mk ~can_fire:(fun () -> Issue_queue.has_ready t.mem_iq) (n ^ ".mem.issue")
+          (fun ctx -> step_issue_mem ctx t);
+      ]
   in
-  let decode = [ mk (n ^ ".decode") (fun ctx -> step_decode ctx t) ] in
-  let rename = [ Rule.make (n ^ ".rename") (fun ctx -> step_rename ctx t) ] in
+  let decode = [ mk_fifo t.f2d (n ^ ".decode") (fun ctx -> step_decode ctx t) ] in
+  let rename =
+    [
+      Rule.make ~vacuous:true
+        ~can_fire:(fun () -> Fifo.peek_size t.d2r > 0)
+        ~watches:[ Fifo.signal t.d2r ]
+        (n ^ ".rename")
+        (fun ctx -> step_rename ctx t);
+    ]
+  in
   let fetch =
     [
-      mk (n ^ ".fetch.mem") (fun ctx -> step_fetch_mem ctx t);
-      mk (n ^ ".fetch.dispatch") (fun ctx -> step_fetch_dispatch ctx t);
-      mk (n ^ ".fetch.tlb") (fun ctx -> step_fetch_tlb ctx t);
-      mk (n ^ ".fetch.issue") (fun ctx -> step_fetch_issue ctx t);
+      mk
+        ~can_fire:(fun () -> Mem.L1_icache.resp_ready t.ic)
+        ~watches:[ Mem.L1_icache.resp_signal t.ic ]
+        (n ^ ".fetch.mem")
+        (fun ctx -> step_fetch_mem ctx t);
+      mk
+        ~can_fire:(fun () ->
+          match t.fslots.(t.f_mem mod 8).fst with FReady _ -> true | FFree | FWaitTlb | FWaitMem -> false)
+        (n ^ ".fetch.dispatch")
+        (fun ctx -> step_fetch_dispatch ctx t);
+      mk
+        ~can_fire:(fun () -> Tlb.Tlb_sys.itlb_resp_ready t.tlbs)
+        ~watches:[ Tlb.Tlb_sys.itlb_resp_signal t.tlbs ]
+        (n ^ ".fetch.tlb")
+        (fun ctx -> step_fetch_tlb ctx t);
+      mk
+        ~can_fire:(fun () -> (not t.halted_f) && t.fslots.(t.f_alloc mod 8).fst = FFree)
+        (n ^ ".fetch.issue")
+        (fun ctx -> step_fetch_issue ctx t);
     ]
   in
   match schedule with

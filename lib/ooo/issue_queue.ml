@@ -37,6 +37,14 @@ let wakeup ctx t preg =
       | _ -> ())
     t.entries
 
+let has_ready t =
+  Array.exists
+    (fun e ->
+      match e.u with
+      | Some u -> e.used && e.rdy1 && e.rdy2 && not u.Uop.killed
+      | None -> false)
+    t.entries
+
 let issue ctx t =
   let best = ref None in
   Array.iter

@@ -20,6 +20,11 @@ val enter : Cmd.Kernel.ctx -> t -> Uop.t -> rdy1:bool -> rdy2:bool -> unit
 (** Set ready bits of sources matching the produced physical register. *)
 val wakeup : Cmd.Kernel.ctx -> t -> int -> unit
 
+(** Untracked probe mirroring {!issue}'s selection scan: does some live,
+    fully ready entry exist? Exactly [false] iff [issue] would guard-fail —
+    the issue rules' [can_fire] predicate. *)
+val has_ready : t -> bool
+
 (** Remove and return the oldest fully ready entry; guarded. *)
 val issue : Cmd.Kernel.ctx -> t -> Uop.t
 

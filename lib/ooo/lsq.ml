@@ -193,6 +193,23 @@ let update_st ctx t (u : Uop.t) =
 
 let fence_blocks t (u : Uop.t) = List.exists (fun (f : Uop.t) -> f.seq < u.seq) t.fences
 
+let has_issue_ld t =
+  let found = ref false in
+  for i = t.l_head to t.l_tail - 1 do
+    if not !found then begin
+      let e = lslot t i in
+      if e.lidx = i && (not e.wrong_path) && e.laddr_ok && e.lstate = LdIdle && e.lstall = SNone then
+        match e.lu with
+        | Some u
+          when (not u.killed) && (not u.mmio) && (not u.fault)
+               && (match u.instr.op with Isa.Instr.Ld _ -> true | _ -> false)
+               && not (fence_blocks t u) ->
+          found := true
+        | _ -> ()
+    end
+  done;
+  !found
+
 let get_issue_ld _ctx t =
   let found = ref None in
   for i = t.l_head to t.l_tail - 1 do

@@ -49,6 +49,10 @@ val update_st : Cmd.Kernel.ctx -> t -> Uop.t -> unit
 
 (** {2 Load issue / response} *)
 
+(** Untracked probe mirroring {!get_issue_ld}'s scan: [false] exactly when
+    [get_issue_ld] would guard-fail — the load-issue rule's [can_fire]. *)
+val has_issue_ld : t -> bool
+
 (** An issuable load: [(absolute index, uop)]; guarded. *)
 val get_issue_ld : Cmd.Kernel.ctx -> t -> int * Uop.t
 

@@ -37,3 +37,5 @@ let squash ctx t =
   | _ -> ()
 
 let peek_opt t = Ehr.peek t.slot
+let occupied t = Ehr.peek t.slot <> None
+let signal t = Ehr.signal t.slot

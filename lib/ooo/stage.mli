@@ -23,3 +23,12 @@ val take : Cmd.Kernel.ctx -> 'a t -> 'a
 val squash : Cmd.Kernel.ctx -> 'a t -> unit
 
 val peek_opt : 'a t -> 'a option
+
+(** Untracked occupancy probe for [can_fire] predicates. A dead (wrong-path)
+    occupant still counts as occupied — the attempt then drops it and
+    guard-fails, exactly as the seed scheduler did. *)
+val occupied : 'a t -> bool
+
+(** The slot EHR's wakeup signal, for rules whose [can_fire] is
+    {!occupied}. *)
+val signal : 'a t -> Cmd.Wakeup.signal

@@ -83,6 +83,8 @@ let can_enq t ~addr =
   find_line t line (fun e -> not e.issued) <> None
   || Array.exists (fun e -> not e.used) t.entries
 
+let has_unissued t = Array.exists (fun e -> e.used && not e.issued) t.entries
+
 let issue ctx t =
   let r = ref None in
   Array.iteri (fun i e -> if e.used && (not e.issued) && !r = None then r := Some (i, e)) t.entries;

@@ -15,6 +15,10 @@ val enq : Cmd.Kernel.ctx -> t -> addr:int64 -> bytes:int -> int64 -> unit
 
 val can_enq : t -> addr:int64 -> bool
 
+(** Untracked probe: some used, unissued entry exists — [false] exactly when
+    {!issue} would guard-fail. The sb-issue rule's [can_fire]. *)
+val has_unissued : t -> bool
+
 (** Pick an unissued entry: [(index, line)] and mark it issued; guarded. *)
 val issue : Cmd.Kernel.ctx -> t -> int * int64
 

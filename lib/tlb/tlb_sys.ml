@@ -262,7 +262,21 @@ let step_walk_retire ctx t (w : walk) =
   fld ctx (fun () -> w.wvalid) (fun v -> w.wvalid <- v) false
 
 let tick t =
-  Rule.make (t.name ^ ".tick") (fun ctx ->
+  (* Walk slots and miss slots are mutated only by this rule's own sub-steps,
+     so while parked they cannot change; any in-flight walk or miss keeps the
+     predicate true. Parking therefore only happens fully drained, and the
+     only wakeups are enqueues on the two request queues (core side) or the
+     walk-memory response queue (crossbar side) — all watched. *)
+  let can_fire () =
+    Fifo.peek_size t.wresp > 0
+    || Array.exists (fun w -> w.wvalid) t.walks
+    || Array.exists (fun m -> m.mvalid) t.i.misses
+    || Array.exists (fun m -> m.mvalid) t.d.misses
+    || Fifo.peek_size t.i.req_q > 0
+    || Fifo.peek_size t.d.req_q > 0
+  in
+  let watches = [ Fifo.signal t.wresp; Fifo.signal t.i.req_q; Fifo.signal t.d.req_q ] in
+  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_walk_resp ctx t) in
       Array.iteri (fun i w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_issue ctx t i w))) t.walks;
       List.iter
@@ -286,6 +300,10 @@ let dtlb_resp ctx t = Fifo.deq ctx t.d.resp_q
 let can_dtlb_resp ctx t = Fifo.can_deq ctx t.d.resp_q
 let walk_mem_req t = t.wreq
 let walk_mem_resp t = t.wresp
+let itlb_resp_ready t = Fifo.peek_size t.i.resp_q > 0
+let dtlb_resp_ready t = Fifo.peek_size t.d.resp_q > 0
+let itlb_resp_signal t = Fifo.signal t.i.resp_q
+let dtlb_resp_signal t = Fifo.signal t.d.resp_q
 
 (* debug *)
 let pp_debug fmt t =

@@ -49,6 +49,18 @@ val can_dtlb_req : Cmd.Kernel.ctx -> t -> bool
 val dtlb_resp : Cmd.Kernel.ctx -> t -> int * result
 val can_dtlb_resp : Cmd.Kernel.ctx -> t -> bool
 
+(** {2 Fast-path scheduler probes}
+
+    Untracked response availability ([peek_size > 0]) and the matching
+    wakeup signals, for the [can_fire] of core rules that dequeue TLB
+    responses. *)
+
+val itlb_resp_ready : t -> bool
+
+val dtlb_resp_ready : t -> bool
+val itlb_resp_signal : t -> Cmd.Wakeup.signal
+val dtlb_resp_signal : t -> Cmd.Wakeup.signal
+
 (** {2 Walker memory port} — to be connected to {!Mem.L2_cache} through the
     page-walk crossbar. Requests carry an opaque walk tag. *)
 

@@ -2,9 +2,16 @@ open Cmd
 
 let slot_bits = 4
 
+(* Pure queue movers, like the cache crossbar: can_fire is source-queue
+   occupancy, watches are the source queues' signals. *)
 let rules tlbs ~l2 =
   let up =
-    Rule.make "walkxbar.up" (fun ctx ->
+    Rule.make "walkxbar.up"
+      ~can_fire:(fun () ->
+        Array.exists (fun t -> Fifo.peek_size (Tlb_sys.walk_mem_req t) > 0) tlbs)
+      ~watches:(Array.to_list (Array.map (fun t -> Fifo.signal (Tlb_sys.walk_mem_req t)) tlbs))
+      ~vacuous:true
+      (fun ctx ->
         Array.iteri
           (fun core t ->
             ignore
@@ -14,7 +21,11 @@ let rules tlbs ~l2 =
           tlbs)
   in
   let down =
-    Rule.make "walkxbar.down" (fun ctx ->
+    Rule.make "walkxbar.down"
+      ~can_fire:(fun () -> Mem.L2_cache.walk_resp_ready l2)
+      ~watches:[ Mem.L2_cache.walk_resp_signal l2 ]
+      ~vacuous:true
+      (fun ctx ->
         let continue = ref true in
         while !continue do
           match

@@ -57,7 +57,7 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(watchdog = 0) ?(invariants = false) kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(watchdog = 0) ?(invariants = false) kind prog =
   let pmem = Phys_mem.create () in
   let mmio = Mmio.create () in
   let stats_t = Stats.create () in
@@ -125,7 +125,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode clk rules);
+      sim = Some (Sim.create ~mode ~fastpath ~audit clk rules);
       golden = None;
       cores = Array.map (fun c -> HInorder c) cores;
       stats_t;
@@ -179,7 +179,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode clk rules);
+      sim = Some (Sim.create ~mode ~fastpath ~audit clk rules);
       golden = None;
       cores = Array.map (fun c -> HOoo c) cores;
       stats_t;

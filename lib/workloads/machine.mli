@@ -38,6 +38,8 @@ val create :
   ?cosim:bool ->
   ?schedule:Ooo.Core.schedule ->
   ?mode:Cmd.Sim.mode ->
+  ?fastpath:bool ->
+  ?audit:bool ->
   ?watchdog:int ->
   ?invariants:bool ->
   kind ->

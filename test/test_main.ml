@@ -2,6 +2,7 @@ let () =
   Alcotest.run "riscyoo"
     [
       ("cmd", Test_cmd.suite);
+      ("sched", Test_sched.suite);
       ("isa", Test_isa.suite);
       ("mem", Test_mem.suite);
       ("branch", Test_branch.suite);
