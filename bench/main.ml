@@ -617,6 +617,66 @@ let perf_workload ~budget kernel =
 
 let cps r = float_of_int r.pcycles /. r.wall_on
 
+(* Quad-core workload timed at --jobs 1/2/4. Serial speed feeds the same
+   regression gate as the single-core rows; the jobs columns report the
+   domain-parallel speedup, which is only meaningful on a multi-core host
+   (a 1-CPU machine measures the barrier overhead instead). *)
+type mc_row = {
+  mcname : string;
+  mccycles : int;
+  mcinstrs : int;
+  mcwall : (int * float) list; (* jobs -> best wall seconds *)
+}
+
+let perf_multicore ~budget kernel =
+  let harts = 4 in
+  let prog = Parsec_kernels.find kernel ~harts ~scale:!parsec_scale in
+  let cfg = Ooo.Config.multicore Ooo.Config.TSO in
+  let timed jobs =
+    let once () =
+      let m = Machine.create ~ncores:harts ~paging:true ~jobs (ooo cfg) prog in
+      let t0 = Unix.gettimeofday () in
+      let o = Machine.run ~max_cycles:budget m in
+      let dt = Unix.gettimeofday () -. t0 in
+      if o.Machine.timed_out then failwith ("perf: " ^ kernel ^ " x4 timed out");
+      (o.Machine.cycles, Array.to_list o.Machine.exits, Machine.instrs m, dt)
+    in
+    let c, x, i, dt = once () in
+    let best = ref dt and total = ref dt in
+    while !total < 1.0 do
+      let c2, x2, i2, dt2 = once () in
+      if (c2, x2, i2) <> (c, x, i) then
+        failwith (Printf.sprintf "perf: %s x4 is nondeterministic at --jobs %d" kernel jobs);
+      if dt2 < !best then best := dt2;
+      total := !total +. dt2
+    done;
+    (c, x, i, !best)
+  in
+  (* serial first on a quiet process (idle worker domains tax the GC), then
+     ascending jobs so the domain pool only ever grows *)
+  Cmd.Sim.shutdown_pool ();
+  let runs = List.map (fun j -> (j, timed j)) [ 1; 2; 4 ] in
+  Cmd.Sim.shutdown_pool ();
+  let c1, x1, i1, _ = List.assoc 1 runs in
+  List.iter
+    (fun (j, (c, x, i, _)) ->
+      (* parallel execution must be bit-identical to serial *)
+      if (c, x, i) <> (c1, x1, i1) then
+        failwith (Printf.sprintf "perf: %s x4 diverges at --jobs %d" kernel j))
+    runs;
+  let row =
+    { mcname = kernel ^ "-x4"; mccycles = c1; mcinstrs = i1;
+      mcwall = List.map (fun (j, (_, _, _, w)) -> (j, w)) runs }
+  in
+  let w j = List.assoc j row.mcwall in
+  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s serial, x%.2f jobs2, x%.2f jobs4\n%!" row.mcname
+    c1
+    (float_of_int c1 /. w 1)
+    (w 1 /. w 2) (w 1 /. w 4);
+  row
+
+let mc_cps r = float_of_int r.mccycles /. List.assoc 1 r.mcwall
+
 (* minimal JSON scanning for the regression gate: find the object containing
    ["name": "<w>"] and read its "sim_cps" field. Enough for baseline.json,
    which we also emit. *)
@@ -649,9 +709,9 @@ let read_file path =
   close_in ic;
   s
 
-let perf_json rows micro_on micro_off =
+let perf_json rows mc_rows micro_on micro_off =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v1\",\n  \"workloads\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v2\",\n  \"workloads\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
@@ -664,6 +724,19 @@ let perf_json rows micro_on micro_off =
            (r.wall_off /. r.wall_on)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string b "  ],\n  \"multicore\": [\n";
+  List.iteri
+    (fun i r ->
+      let w j = List.assoc j r.mcwall in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"wall_s_jobs1\": %.4f, \
+            \"wall_s_jobs2\": %.4f, \"wall_s_jobs4\": %.4f, \"sim_cps\": %.1f, \
+            \"speedup_vs_serial_jobs2\": %.3f, \"speedup_vs_serial_jobs4\": %.3f}%s\n"
+           r.mcname r.mccycles r.mcinstrs (w 1) (w 2) (w 4) (mc_cps r)
+           (w 1 /. w 2) (w 1 /. w 4)
+           (if i = List.length mc_rows - 1 then "" else ",")))
+    mc_rows;
   Buffer.add_string b "  ],\n  \"microbench\": {\n";
   Buffer.add_string b
     (Printf.sprintf "    \"idle_sched_fastpath_ns\": %.1f,\n    \"idle_sched_stripped_ns\": %.1f,\n"
@@ -676,11 +749,19 @@ let perf ~quick ~out ~check () =
   let budget = 200_000_000 in
   let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
   let rows = List.map (perf_workload ~budget) kernels in
+  let mc_rows = List.map (perf_multicore ~budget) [ "blackscholes" ] in
+  List.iter
+    (fun r ->
+      let w j = List.assoc j r.mcwall in
+      Printf.printf "%s: %.0f sim-cycles/s serial; domain-parallel speedup %.2fx at --jobs 2, \
+                     %.2fx at --jobs 4\n"
+        r.mcname (mc_cps r) (w 1 /. w 2) (w 1 /. w 4))
+    mc_rows;
   let micro_on = measure_ns "idle-sched fastpath" (idle_sched_thunk ~fastpath:true) in
   let micro_off = measure_ns "idle-sched stripped" (idle_sched_thunk ~fastpath:false) in
   Printf.printf "idle 64-rule scheduler cycle: %.1f ns fastpath, %.1f ns stripped (%.2fx)\n"
     micro_on micro_off (micro_off /. micro_on);
-  let json = perf_json rows micro_on micro_off in
+  let json = perf_json rows mc_rows micro_on micro_off in
   (match out with
   | None -> print_string json
   | Some path ->
@@ -692,18 +773,21 @@ let perf ~quick ~out ~check () =
   | None -> ()
   | Some path ->
     let base = read_file path in
+    let gated =
+      List.map (fun r -> (r.wname, cps r)) rows
+      @ List.map (fun r -> (r.mcname, mc_cps r)) mc_rows
+    in
     let failures =
       List.filter_map
-        (fun r ->
-          match baseline_cps base r.wname with
+        (fun (name, c) ->
+          match baseline_cps base name with
           | None ->
-            Printf.printf "check: no baseline for %s, skipping\n" r.wname;
+            Printf.printf "check: no baseline for %s, skipping\n" name;
             None
           | Some b ->
-            let c = cps r in
-            Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx)\n" r.wname c b (c /. b);
-            if c < 0.8 *. b then Some r.wname else None)
-        rows
+            Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx)\n" name c b (c /. b);
+            if c < 0.8 *. b then Some name else None)
+        gated
     in
     if failures <> [] then begin
       Printf.eprintf "PERF REGRESSION (>20%% below %s): %s\n" path (String.concat ", " failures);

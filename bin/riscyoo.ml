@@ -8,6 +8,7 @@
 
 module Cmd_stats = Cmd.Stats
 module Cmd_sim = Cmd.Sim
+module Cmd_kernel = Cmd.Kernel
 open Cmdliner
 open Workloads
 
@@ -91,8 +92,22 @@ let run_cmd =
           ~doc:"attempt every rule and verify each can_fire predicate against what its rule \
                 actually did; exits 3 on a lying predicate")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"fire each core's rule partition on its own domain, N domains at a time; results \
+                are bit-identical to --jobs 1")
+  in
+  let partition_audit =
+    Arg.(
+      value & flag
+      & info [ "partition-audit" ]
+          ~doc:"run serially while recording the partition behind every EHR/FIFO/wire access; \
+                exits 3 on an undeclared cross-partition touch")
+  in
   let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
-      rules watchdog invariants inject inject_seed no_fastpath audit =
+      rules watchdog invariants inject inject_seed no_fastpath audit jobs partition_audit =
     let fastpath = not no_fastpath in
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
@@ -133,7 +148,7 @@ let run_cmd =
       let gm = Machine.create ~ncores:cores ~paging ~megapages Machine.Golden_only prog in
       let go = Machine.run gm in
       if go.Machine.timed_out then failwith "golden reference run timed out";
-      let clean = Machine.create ~ncores:cores ~paging ~megapages kind prog in
+      let clean = Machine.create ~ncores:cores ~paging ~megapages ~jobs kind prog in
       let co = Machine.run clean in
       if co.Machine.timed_out then failwith "fault-free run timed out";
       let horizon = co.Machine.cycles in
@@ -142,7 +157,7 @@ let run_cmd =
         {
           Verif.Fault.build =
             (fun () ->
-              Machine.create ~ncores:cores ~paging ~megapages ~cosim:(cores = 1)
+              Machine.create ~ncores:cores ~paging ~megapages ~cosim:(cores = 1) ~jobs
                 ~watchdog:wd_limit ~invariants:true kind prog);
           exec =
             (fun m ~on_cycle ->
@@ -162,8 +177,12 @@ let run_cmd =
     end
     else
     let m =
-      Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~watchdog ~invariants
-        kind prog
+      try
+        Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~jobs
+          ~partition_audit ~watchdog ~invariants kind prog
+      with Cmd_sim.Partition_error msg ->
+        Printf.printf "PARTITION ERROR: %s\n" msg;
+        exit 3
     in
     if trace then Machine.trace_commits m Format.std_formatter;
     let t0 = Unix.gettimeofday () in
@@ -177,6 +196,9 @@ let run_cmd =
         exit 2
       | Cmd_sim.Audit_fail msg ->
         Printf.printf "SCHEDULER AUDIT FAILURE: %s\n" msg;
+        exit 3
+      | Cmd_kernel.Partition_overlap msg ->
+        Printf.printf "PARTITION AUDIT FAILURE: %s\n" msg;
         exit 3
     in
     let dt = Unix.gettimeofday () -. t0 in
@@ -200,7 +222,7 @@ let run_cmd =
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
       $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
-      $ no_fastpath $ audit)
+      $ no_fastpath $ audit $ jobs $ partition_audit)
 
 let synth_cmd =
   let doc = "Print the synthesis model's area/frequency estimates" in

@@ -49,6 +49,17 @@ val name : 'a t -> string
     Rules whose [can_fire] consults {!peek_size} may watch it. *)
 val signal : 'a t -> Wakeup.signal
 
+(** Partition-checker tokens for [Rule.make ~touches]. A {!pipeline} or
+    {!bypass} FIFO is a single primitive (its sides share the count cell),
+    so both tokens carry the same identity and the queue can never legally
+    span two partitions. A {!cf} FIFO's sides touch disjoint cells, so each
+    side is its own primitive identity — the enq side and the deq side may
+    live in different partitions, which makes cf queues the only legal
+    cross-partition boundary. *)
+val enq_token : 'a t -> Partition.token
+
+val deq_token : 'a t -> Partition.token
+
 (** Untracked occupancy / contents, for statistics and tests. *)
 val peek_size : 'a t -> int
 

@@ -1,6 +1,7 @@
 exception Guard_fail of string
 exception Retry of string
 exception Conflict_error of string
+exception Partition_overlap of string
 
 type cell = {
   cell_name : string;
@@ -9,6 +10,12 @@ type cell = {
   mutable max_w : int;  (* highest write port this cycle, -1 if none *)
   mutable w_mask : int; (* bitmask of write ports used this cycle *)
   mutable stamp : int;  (* cycle the summary belongs to *)
+  (* Partition-audit summary, kept on its own stamp so the hot path stays
+     untouched when auditing is off. Masks are never rolled back on abort:
+     even an aborted access read the cell concurrently, so it counts. *)
+  mutable p_rmask : int; (* partitions that read this cell this cycle *)
+  mutable p_wmask : int; (* partitions that wrote this cell this cycle *)
+  mutable p_stamp : int;
 }
 
 (* Undo entries live in a reusable arena: a growable array of closures with
@@ -22,18 +29,73 @@ type ctx = {
   mutable undo_len : int;
   mutable rule : string;
   mutable accesses : int;
+  mutable part : int;       (* partition currently executing on this ctx *)
+  mutable stats_slot : int; (* shard index for Stats counters; -1 = direct *)
+  mutable paudit : bool;    (* record per-partition cell touches *)
 }
 
 let no_undo () = ()
 
-let make_cell name = { cell_name = name; max_r = -1; max_w = -1; w_mask = 0; stamp = -1 }
+let make_cell name =
+  {
+    cell_name = name;
+    max_r = -1;
+    max_w = -1;
+    w_mask = 0;
+    stamp = -1;
+    p_rmask = 0;
+    p_wmask = 0;
+    p_stamp = -1;
+  }
 
 let make_ctx clk =
-  { clk; undo = Array.make 64 no_undo; undo_len = 0; rule = "?"; accesses = 0 }
+  {
+    clk;
+    undo = Array.make 64 no_undo;
+    undo_len = 0;
+    rule = "?";
+    accesses = 0;
+    part = 0;
+    stats_slot = -1;
+    paudit = false;
+  }
 
 let clock ctx = ctx.clk
 let rule_name ctx = ctx.rule
 let set_rule_name ctx n = ctx.rule <- n
+let partition ctx = ctx.part
+let set_partition ctx p = ctx.part <- p
+let stats_slot ctx = ctx.stats_slot
+let set_stats_slot ctx s = ctx.stats_slot <- s
+let set_partition_audit ctx b = ctx.paudit <- b
+
+let overlap_fail ctx c all =
+  let parts = ref [] in
+  for p = 60 downto 0 do
+    if all land (1 lsl p) <> 0 then parts := string_of_int p :: !parts
+  done;
+  raise
+    (Partition_overlap
+       (Printf.sprintf
+          "cycle %d: cell %s touched by partitions {%s} with a write involved (last access by rule %s)"
+          (Clock.now ctx.clk) c.cell_name
+          (String.concat "," !parts)
+          ctx.rule))
+
+(* Record a cell touch for the partition audit. Read-read sharing across
+   partitions is harmless (no order dependence); any sharing that involves
+   a write is an overlap the static checker should have excluded. *)
+let audit_touch ctx c ~write =
+  let now = Clock.now ctx.clk in
+  if c.p_stamp <> now then begin
+    c.p_stamp <- now;
+    c.p_rmask <- 0;
+    c.p_wmask <- 0
+  end;
+  let bit = 1 lsl ctx.part in
+  if write then c.p_wmask <- c.p_wmask lor bit else c.p_rmask <- c.p_rmask lor bit;
+  let all = c.p_rmask lor c.p_wmask in
+  if c.p_wmask <> 0 && all land (all - 1) <> 0 then overlap_fail ctx c all
 
 let on_abort ctx f =
   let n = ctx.undo_len in
@@ -74,6 +136,7 @@ let retry ctx c kind port =
 
 let record_read ctx c port =
   refresh ctx c;
+  if ctx.paudit then audit_touch ctx c ~write:false;
   (* read[port] may follow write[j] only when j < port *)
   if c.max_w >= port then retry ctx c "read" port;
   ctx.accesses <- ctx.accesses + 1;
@@ -85,6 +148,7 @@ let record_read ctx c port =
 
 let record_write ctx c port =
   refresh ctx c;
+  if ctx.paudit then audit_touch ctx c ~write:true;
   (* write[port] may follow read[j] when j <= port, write[j] when j < port *)
   if c.max_r > port || c.max_w >= port || c.w_mask land (1 lsl port) <> 0 then
     retry ctx c "write" port;

@@ -35,6 +35,13 @@ exception Retry of string
     which no schedule can fix. *)
 exception Conflict_error of string
 
+(** Raised by the partition audit ([Sim.create ~partition_audit:true]) when a
+    cell is touched by two different partitions within one cycle with at
+    least one write involved — an overlap the static partition checker
+    should have made impossible. Read-read sharing across partitions is
+    order-independent and is not reported. *)
+exception Partition_overlap of string
+
 type cell
 type ctx
 
@@ -58,6 +65,24 @@ val clock : ctx -> Clock.t
 (** Name of the rule currently executing (for diagnostics). *)
 val rule_name : ctx -> string
 val set_rule_name : ctx -> string -> unit
+
+(** Partition attributed to accesses made through this context. The
+    scheduler sets it per execution context (parallel mode) or per rule
+    (partition-audit mode); module code never touches it. *)
+val partition : ctx -> int
+val set_partition : ctx -> int -> unit
+
+(** Shard index used by [Stats.incr] for counters incremented through this
+    context; [-1] (the default) increments the counter directly. Parallel
+    partitions each get a distinct slot so counter updates never race. *)
+val stats_slot : ctx -> int
+val set_stats_slot : ctx -> int -> unit
+
+(** Enable per-partition cell-touch recording on this context; any
+    cross-partition overlap involving a write raises {!Partition_overlap}.
+    Audit masks are deliberately not rolled back on abort — even an aborted
+    access read the cell concurrently. *)
+val set_partition_audit : ctx -> bool -> unit
 
 (** [record_read ctx cell port] declares a port-[port] read of [cell],
     aborting with {!Retry} if inadmissible after this cycle's history. *)

@@ -1,0 +1,38 @@
+(* Ambient partition scoping and boundary-primitive tokens.
+
+   A partition is an integer: 0 is the "uncore" (always executed serially),
+   1.. are parallel partitions (one per core). Module constructors and rule
+   constructors capture the ambient partition, so a machine builder tags a
+   whole subtree (core + private caches + TLB) by wrapping its construction
+   in [scoped].
+
+   A [token] names one primitive (an EHR cell group, a FIFO, a wire) for the
+   static partition checker. Rules declare the boundary primitives they
+   touch via [Rule.make ~touches]; the checker proves that no primitive is
+   claimed by two different parallel partitions. Partition-private state
+   needs no declaration — the dynamic [--partition-audit] mode backstops the
+   static argument by recording every cell actually touched per partition
+   per cycle. *)
+
+let uncore = 0
+let cur = ref uncore
+let ambient () = !cur
+
+let scoped p f =
+  if p < 0 || p > 60 then invalid_arg "Partition.scoped: partition out of range";
+  let old = !cur in
+  cur := p;
+  Fun.protect ~finally:(fun () -> cur := old) f
+
+type token = { tk_name : string; prim : int }
+
+let prim_ctr = ref 0
+
+let fresh_prim () =
+  incr prim_ctr;
+  !prim_ctr
+
+let token ~prim tk_name = { tk_name; prim }
+let mk_token tk_name = { tk_name; prim = fresh_prim () }
+let name tk = tk.tk_name
+let prim tk = tk.prim

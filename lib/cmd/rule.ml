@@ -4,31 +4,38 @@ type t = {
   can_fire : (unit -> bool) option;
   watches : Wakeup.signal array;
   vacuous : bool;
+  part : int;
+  touches : Partition.token array;
   mutable fired : int;
   mutable guard_failed : int;
   mutable conflicted : int;
   mutable skipped : int;
   mutable parked : bool;
   mutable park_sum : int;
+  mutable last_fired : int;
 }
 
-let make ?can_fire ?(watches = []) ?(vacuous = false) name body =
+let make ?can_fire ?(watches = []) ?(touches = []) ?(vacuous = false) name body =
   {
     name;
     body;
     can_fire;
     watches = Array.of_list watches;
     vacuous;
+    part = Partition.ambient ();
+    touches = Array.of_list touches;
     fired = 0;
     guard_failed = 0;
     conflicted = 0;
     skipped = 0;
     parked = false;
     park_sum = 0;
+    last_fired = -1;
   }
 
 let reset_stats t =
   t.fired <- 0;
   t.guard_failed <- 0;
   t.conflicted <- 0;
-  t.skipped <- 0
+  t.skipped <- 0;
+  t.last_fired <- -1

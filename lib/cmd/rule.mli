@@ -24,7 +24,18 @@
     therefore returns normally — "fires" — even when the inner guard fails.
     The scheduler uses this to account a skipped rule exactly as the seed
     scheduler would have (a vacuous fire), keeping cycle-by-cycle firing
-    statistics bit-identical with and without the fast path. *)
+    statistics bit-identical with and without the fast path.
+
+    {2 Partition metadata}
+
+    [part] is the partition the rule belongs to, captured from
+    [Partition.ambient] at construction. [touches] declares the {e boundary}
+    primitives the rule's body may access — primitives also accessible from
+    another partition (in practice the conflict-free FIFOs between a core
+    cluster and the uncore). Partition-private state needs no declaration;
+    the static checker in [Sim] proves no primitive is claimed by two
+    parallel partitions, and [--partition-audit] dynamically backstops the
+    private-state assumption. *)
 
 type t = {
   name : string;
@@ -32,17 +43,24 @@ type t = {
   can_fire : (unit -> bool) option;  (** cheap pre-attempt predicate *)
   watches : Wakeup.signal array;  (** sensitivity set for parking *)
   vacuous : bool;  (** body swallows guard failures via [attempt] *)
+  part : int;  (** partition, captured from [Partition.ambient] at [make] *)
+  touches : Partition.token array;  (** declared boundary primitives *)
   mutable fired : int;  (** cycles in which the rule fired *)
   mutable guard_failed : int;  (** attempts aborted by a guard *)
   mutable conflicted : int;  (** attempts aborted by an intra-cycle conflict *)
   mutable skipped : int;  (** attempts pruned by the fast path *)
   mutable parked : bool;  (** scheduler state: waiting on [watches] *)
   mutable park_sum : int;  (** generation sum at park time *)
+  mutable last_fired : int;
+      (** cycle of the most recent fire, -1 if never; maintained by the
+          parallel executor so the firing history can be reconstructed in
+          global schedule order after the barrier *)
 }
 
 val make :
   ?can_fire:(unit -> bool) ->
   ?watches:Wakeup.signal list ->
+  ?touches:Partition.token list ->
   ?vacuous:bool ->
   string ->
   (Kernel.ctx -> unit) ->

@@ -1,6 +1,145 @@
 type mode = Multi | One_per_cycle | Shuffle of int
 
 exception Audit_fail of string
+exception Partition_error of string
+
+(* ---------------------------------------------------------------------- *)
+(* Domain pool                                                            *)
+(*                                                                        *)
+(* One process-global pool, grown lazily and shared by every Sim so that  *)
+(* repeated Machine builds (tests, fault campaigns) do not spawn domains  *)
+(* per machine. Workers block on a condition variable between cycles: on  *)
+(* few-core hosts a spinning barrier would fight the partitions for the   *)
+(* CPU, and a blocked worker costs nothing. The mutex acquire/release     *)
+(* around every task grab and completion also provides the happens-before *)
+(* edges that make each partition's writes visible to the main domain at  *)
+(* the barrier (and the main domain's inter-cycle writes visible to the   *)
+(* partitions at dispatch).                                               *)
+(* ---------------------------------------------------------------------- *)
+
+module Pool = struct
+  type t = {
+    m : Mutex.t;
+    work_cv : Condition.t;
+    done_cv : Condition.t;
+    mutable tasks : (unit -> unit) array;
+    mutable next : int; (* index of the next unclaimed task *)
+    mutable remaining : int; (* tasks not yet completed *)
+    mutable max_helpers : int; (* workers allowed to participate this run *)
+    mutable shutdown : bool;
+    mutable nworkers : int;
+    mutable domains : unit Domain.t list;
+  }
+
+  let p =
+    {
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      tasks = [||];
+      next = 0;
+      remaining = 0;
+      max_helpers = 0;
+      shutdown = false;
+      nworkers = 0;
+      domains = [];
+    }
+
+  let finish_task () =
+    Mutex.lock p.m;
+    p.remaining <- p.remaining - 1;
+    if p.remaining = 0 then Condition.signal p.done_cv;
+    Mutex.unlock p.m
+
+  (* Tasks trap their own exceptions (see [run_part]); the catch-all here
+     only guards against a raising task deadlocking the barrier. *)
+  let exec i = try (Array.unsafe_get p.tasks i) () with _ -> ()
+
+  let rec worker id =
+    Mutex.lock p.m;
+    while
+      (not p.shutdown)
+      && (id >= p.max_helpers || p.next >= Array.length p.tasks)
+    do
+      Condition.wait p.work_cv p.m
+    done;
+    if p.shutdown then Mutex.unlock p.m
+    else begin
+      let i = p.next in
+      p.next <- i + 1;
+      Mutex.unlock p.m;
+      exec i;
+      finish_task ();
+      worker id
+    end
+
+  let shutdown_registered = ref false
+
+  let shutdown () =
+    Mutex.lock p.m;
+    p.shutdown <- true;
+    Condition.broadcast p.work_cv;
+    Mutex.unlock p.m;
+    List.iter Domain.join p.domains;
+    p.domains <- [];
+    p.nworkers <- 0;
+    p.shutdown <- false
+
+  let ensure_workers n =
+    if not !shutdown_registered then begin
+      shutdown_registered := true;
+      at_exit shutdown
+    end;
+    while p.nworkers < n do
+      let id = p.nworkers in
+      p.nworkers <- p.nworkers + 1;
+      p.domains <- Domain.spawn (fun () -> worker id) :: p.domains
+    done
+
+  (* Run every task to completion; the calling (main) domain participates,
+     plus at most [helpers] pool workers. *)
+  let run ~helpers tasks =
+    ensure_workers helpers;
+    Mutex.lock p.m;
+    p.tasks <- tasks;
+    p.next <- 0;
+    p.remaining <- Array.length tasks;
+    p.max_helpers <- helpers;
+    if helpers > 0 then Condition.broadcast p.work_cv;
+    Mutex.unlock p.m;
+    let continue = ref true in
+    while !continue do
+      Mutex.lock p.m;
+      if p.next < Array.length p.tasks then begin
+        let i = p.next in
+        p.next <- i + 1;
+        Mutex.unlock p.m;
+        exec i;
+        finish_task ()
+      end
+      else begin
+        while p.remaining > 0 do
+          Condition.wait p.done_cv p.m
+        done;
+        p.tasks <- [||] (* don't pin dead sims via task closures *);
+        continue := false;
+        Mutex.unlock p.m
+      end
+    done
+end
+
+(* ---------------------------------------------------------------------- *)
+
+(* One parallel partition: its rules in schedule order, a private
+   transaction context (own undo arena, stats shard, partition id), and the
+   per-cycle results its domain publishes at the barrier. *)
+type part = {
+  pid : int;
+  pctx : Kernel.ctx;
+  porder : Rule.t array; (* refilled in place in Shuffle mode *)
+  mutable pfired : int;
+  mutable pexn : exn option;
+}
 
 type t = {
   clk : Clock.t;
@@ -11,6 +150,14 @@ type t = {
   ctx : Kernel.ctx; (* one reusable transaction context for all attempts *)
   fastpath : bool; (* consult can_fire / park on watches *)
   audit : bool; (* never skip; dynamically check the can_fire contract *)
+  jobs : int;
+  paudit : bool; (* serial execution + per-partition cell-touch audit *)
+  par : bool; (* partitioned parallel execution active *)
+  stats : Stats.t option; (* merged at the cycle barrier when [par] *)
+  parts : part array; (* parallel partitions (pid >= 1), ascending *)
+  order_of_pid : Rule.t array array; (* pid -> that partition's order *)
+  fill : int array; (* scratch fill pointers for Shuffle refills *)
+  mutable tasks : (unit -> unit) array; (* one per part, reused *)
   mutable n_cycles : int;
   mutable fires : int;
   mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
@@ -24,31 +171,135 @@ type t = {
       (* post-cycle checks then monitors, registration order, as one array *)
 }
 
-let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) clk rules =
+(* Static partition checker: prove, from the declared boundary tokens and
+   watch sets, that no primitive is reachable from two different partitions.
+   Rules declare the boundary primitives they touch ([Rule.make ~touches]);
+   partition-private state is implicit and backstopped by the dynamic
+   [partition_audit]. A conflict-free FIFO contributes one primitive per
+   side, so its enq and deq halves may live in different partitions; a ring
+   FIFO is a single primitive and is confined to one partition. *)
+let check_partitions rules =
+  let owner : (int, int * string * string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Rule.t) ->
+      Array.iter
+        (fun tk ->
+          let prim = Partition.prim tk in
+          match Hashtbl.find_opt owner prim with
+          | None -> Hashtbl.add owner prim (r.part, r.name, Partition.name tk)
+          | Some (p0, r0, tk0) ->
+            if p0 <> r.part then
+              raise
+                (Partition_error
+                   (Printf.sprintf
+                      "primitive %s is touched from partition %d (rule %s) and partition %d (rule %s, token %s); only the two sides of a conflict-free FIFO may cross a partition boundary"
+                      tk0 p0 r0 r.part r.name (Partition.name tk))))
+        r.touches)
+    rules;
+  List.iter
+    (fun (r : Rule.t) ->
+      if r.part > 0 then
+        Array.iter
+          (fun s ->
+            let o = Wakeup.owner s in
+            if o <> r.part && o <> Partition.uncore then
+              raise
+                (Partition_error
+                   (Printf.sprintf
+                      "rule %s (partition %d) watches a signal owned by partition %d; parallel rules may only watch their own partition's signals (or the uncore's, which are quiescent during the parallel phase)"
+                      r.name r.part o)))
+          r.watches)
+    rules
+
+(* Refill each partition's order array from the (possibly just shuffled)
+   global order, one pass, preserving relative order — so the parallel
+   schedule permutes exactly like the serial one. *)
+let refill_partition_orders t =
+  Array.fill t.fill 0 (Array.length t.fill) 0;
+  for i = 0 to Array.length t.order - 1 do
+    let r = Array.unsafe_get t.order i in
+    let pid = r.Rule.part in
+    let k = t.fill.(pid) in
+    t.order_of_pid.(pid).(k) <- r;
+    t.fill.(pid) <- k + 1
+  done
+
+let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
+    ?(partition_audit = false) ?stats clk rules =
+  if jobs < 1 then invalid_arg "Sim.create: jobs must be >= 1";
   let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
-  {
-    clk;
-    rule_list = rules;
-    order = Array.of_list rules;
-    mode;
-    rng;
-    ctx = Kernel.make_ctx clk;
-    fastpath;
-    audit;
-    n_cycles = 0;
-    fires = 0;
-    rr = 0;
-    history = [||];
-    history_depth = 0;
-    monitors_rev = [];
-    post_cycle_rev = [];
-    hooks_cache = None;
-  }
+  if jobs > 1 || partition_audit then check_partitions rules;
+  let max_part = List.fold_left (fun m (r : Rule.t) -> max m r.Rule.part) 0 rules in
+  (* Parallel execution applies when something can actually run off-main and
+     the execution strategy is not inherently serial: One_per_cycle commits
+     a single rule per cycle across the whole machine, and the two audit
+     modes deliberately execute serially so their diagnostics are exact. *)
+  let par =
+    jobs > 1 && max_part > 0 && mode <> One_per_cycle && (not audit)
+    && not partition_audit
+  in
+  let counts = Array.make (max_part + 1) 0 in
+  List.iter (fun (r : Rule.t) -> counts.(r.Rule.part) <- counts.(r.Rule.part) + 1) rules;
+  let order_of_pid =
+    if par then Array.init (max_part + 1) (fun pid -> Array.make counts.(pid) (List.hd rules))
+    else [||]
+  in
+  let fill = if par then Array.make (max_part + 1) 0 else [||] in
+  let parts =
+    if not par then [||]
+    else
+      Array.of_list
+        (List.filter_map
+           (fun pid ->
+             if counts.(pid) = 0 then None
+             else begin
+               let pctx = Kernel.make_ctx clk in
+               Kernel.set_partition pctx pid;
+               Kernel.set_stats_slot pctx pid;
+               Some { pid; pctx; porder = order_of_pid.(pid); pfired = 0; pexn = None }
+             end)
+           (List.init max_part (fun i -> i + 1)))
+  in
+  (match stats with Some s when par -> Stats.prepare s ~slots:(max_part + 1) | _ -> ());
+  let t =
+    {
+      clk;
+      rule_list = rules;
+      order = Array.of_list rules;
+      mode;
+      rng;
+      ctx = Kernel.make_ctx clk;
+      fastpath;
+      audit;
+      jobs;
+      paudit = partition_audit;
+      par;
+      stats;
+      parts;
+      order_of_pid;
+      fill;
+      tasks = [||];
+      n_cycles = 0;
+      fires = 0;
+      rr = 0;
+      history = [||];
+      history_depth = 0;
+      monitors_rev = [];
+      post_cycle_rev = [];
+      hooks_cache = None;
+    }
+  in
+  Kernel.set_partition_audit t.ctx partition_audit;
+  if par then refill_partition_orders t;
+  t
 
 let clock t = t.clk
 let cycles t = t.n_cycles
 let total_fires t = t.fires
 let rules t = t.rule_list
+let jobs t = t.jobs
+let parallel t = t.par
+let shutdown_pool () = Pool.shutdown ()
 
 let enable_history t ~depth =
   t.history_depth <- depth;
@@ -124,7 +375,7 @@ let should_skip (r : Rule.t) =
       true
     end
 
-let cycle t =
+let cycle_serial t =
   (match t.rng with Some rng -> shuffle rng t.order | None -> ());
   let fired = ref 0 in
   let fired_names = ref [] in
@@ -160,6 +411,7 @@ let cycle t =
         else match r.Rule.can_fire with None -> true | Some p -> p ()
       in
       Kernel.set_rule_name ctx r.Rule.name;
+      if t.paudit then Kernel.set_partition ctx r.Rule.part;
       (match r.Rule.body ctx with
       | () ->
         if (not claimed) && ((not r.Rule.vacuous) || Kernel.undo_depth ctx > 0) then begin
@@ -201,6 +453,100 @@ let cycle t =
     hooks.(h) this_cycle !fired
   done;
   !fired
+
+(* Attempt every rule of [order] on [ctx], accumulating into [fired]. Same
+   skip accounting as the serial loop; additionally stamps [last_fired] so
+   the firing history can be reconstructed in global schedule order after
+   the barrier. [fired] starts at 0 for a parallel partition — during the
+   parallel phase a partition's cells are touched by that partition alone,
+   so a Retry with no local fire is a genuine single-rule conflict — and at
+   the parallel total for the uncore, preserving the serial semantics. *)
+let run_rules t ctx (order : Rule.t array) (fired : int ref) =
+  let cyc = t.n_cycles in
+  for i = 0 to Array.length order - 1 do
+    let r = Array.unsafe_get order i in
+    if t.fastpath && should_skip r then begin
+      r.Rule.skipped <- r.Rule.skipped + 1;
+      if r.Rule.vacuous then begin
+        r.Rule.fired <- r.Rule.fired + 1;
+        r.Rule.last_fired <- cyc;
+        incr fired
+      end
+      else r.Rule.guard_failed <- r.Rule.guard_failed + 1
+    end
+    else begin
+      Kernel.set_rule_name ctx r.Rule.name;
+      match r.Rule.body ctx with
+      | () ->
+        Kernel.reset_ctx ctx;
+        r.Rule.fired <- r.Rule.fired + 1;
+        r.Rule.last_fired <- cyc;
+        incr fired
+      | exception Kernel.Guard_fail _ ->
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        r.Rule.guard_failed <- r.Rule.guard_failed + 1
+      | exception Kernel.Retry msg ->
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        if !fired = 0 then raise (Kernel.Conflict_error msg);
+        r.Rule.conflicted <- r.Rule.conflicted + 1
+    end
+  done
+
+let run_part t (p : part) =
+  match
+    let fired = ref 0 in
+    run_rules t p.pctx p.porder fired;
+    p.pfired <- !fired
+  with
+  | () -> ()
+  | exception e -> p.pexn <- Some e
+
+let cycle_par t =
+  (match t.rng with
+  | Some rng ->
+    shuffle rng t.order;
+    refill_partition_orders t
+  | None -> ());
+  if Array.length t.tasks = 0 then
+    t.tasks <- Array.map (fun p -> fun () -> run_part t p) t.parts;
+  Pool.run ~helpers:(min (t.jobs - 1) (Array.length t.parts - 1)) t.tasks;
+  (* Barrier passed: every partition's writes are visible. Collect results,
+     re-raising the lowest-partition exception (deterministic pick). *)
+  let fired = ref 0 in
+  let first_exn = ref None in
+  Array.iter
+    (fun p ->
+      (match p.pexn with
+      | Some e -> if !first_exn = None then first_exn := Some e
+      | None -> ());
+      p.pexn <- None;
+      fired := !fired + p.pfired)
+    t.parts;
+  (match !first_exn with Some e -> raise e | None -> ());
+  (* Uncore: serial, on the main context, after every partition is done. *)
+  run_rules t t.ctx t.order_of_pid.(0) fired;
+  if t.history_depth > 0 then begin
+    let names = ref [] in
+    for i = Array.length t.order - 1 downto 0 do
+      let r = Array.unsafe_get t.order i in
+      if r.Rule.last_fired = t.n_cycles then names := r.Rule.name :: !names
+    done;
+    t.history.(t.n_cycles mod t.history_depth) <- (t.n_cycles, !names)
+  end;
+  Clock.tick t.clk;
+  (match t.stats with Some s -> Stats.merge s | None -> ());
+  let this_cycle = t.n_cycles in
+  t.n_cycles <- t.n_cycles + 1;
+  t.fires <- t.fires + !fired;
+  let hooks = end_hooks t in
+  for h = 0 to Array.length hooks - 1 do
+    hooks.(h) this_cycle !fired
+  done;
+  !fired
+
+let cycle t = if t.par then cycle_par t else cycle_serial t
 
 let run t n =
   for _ = 1 to n do

@@ -22,9 +22,15 @@ type mode =
     fast path would silently starve the rule. *)
 exception Audit_fail of string
 
+(** Raised by {!create} when the static partition checker finds a primitive
+    declared (via [Rule.make ~touches]) by rules in two different
+    partitions, or a parallel rule watching a signal it does not own. *)
+exception Partition_error of string
+
 type t
 
-(** [create ?mode ?fastpath ?audit clk rules] builds a scheduler.
+(** [create ?mode ?fastpath ?audit ?jobs ?partition_audit ?stats clk rules]
+    builds a scheduler.
 
     With [fastpath] (the default), a rule carrying a [can_fire] predicate is
     skipped — no transaction, no exception, no rollback — in cycles where
@@ -38,10 +44,80 @@ type t
     [~audit:true] disables skipping but evaluates every [can_fire] and raises
     {!Audit_fail} if a rule fires in a cycle its predicate vetoed — the
     debug oracle for predicate truthfulness ([--scheduler-audit] in the
-    driver). *)
-val create : ?mode:mode -> ?fastpath:bool -> ?audit:bool -> Clock.t -> Rule.t list -> t
+    driver).
+
+    {2 Partitioned parallel execution}
+
+    With [jobs > 1], rules tagged with a non-zero partition (captured from
+    [Partition.ambient] at construction — one partition per core cluster)
+    are fired concurrently, one OCaml domain per partition, using at most
+    [jobs] domains; rules in partition 0 (the {e uncore}) then run serially
+    on the main domain. The static checker proves from the declared
+    [~touches] tokens and watch sets that no primitive is reachable from
+    two partitions (raising {!Partition_error} otherwise), so every
+    interleaving of the parallel phase commutes — the paper's conflict-free
+    rules — and results are bit-identical to [jobs = 1] in every mode:
+    cycle counts, per-rule fire counts, firing history, architectural
+    state.
+
+    Parallel execution is inherently about firing {e many} rules per cycle,
+    so [One_per_cycle] and the two audit modes execute serially regardless
+    of [jobs] (with identical results, as always).
+
+    [~partition_audit:true] executes serially while recording, per cell per
+    cycle, which partitions touched it; any cross-partition overlap
+    involving a write raises [Kernel.Partition_overlap]. This is the
+    dynamic backstop for the static checker's private-state assumption
+    ([--partition-audit] in the driver). Overlap detection within a cycle
+    is order-independent, so the serial audit certifies the parallel
+    schedule.
+
+    [~stats] hands the machine's counter groups to the barrier: their
+    per-partition shard accumulators (see [Stats.incr]) are merged at the
+    end of every parallel cycle, before post-cycle hooks run.
+
+    {2 Cycle structure and hook ordering}
+
+    Each cycle proceeds: (1) parallel phase — every non-zero partition's
+    rules, concurrently; (2) barrier — all partition effects become visible
+    to the main domain; (3) uncore phase — partition-0 rules, serially; (4)
+    [Clock.tick] — wire resets, conflict-free FIFO snapshot advance; (5)
+    stats shard merge; (6) {!on_post_cycle} hooks (invariant checks); (7)
+    {!add_monitor} monitors (watchdog). Steps 5–7 run on the main domain
+    after the barrier, so invariant checks, watchdog monitors and anything
+    else observing the machine between cycles always sees the merged,
+    quiescent state — [--watchdog]/[--check-invariants] campaigns behave
+    identically at any [jobs]. [run_until]'s [on_cycle] (the fault-injection
+    hook) runs on the main domain {e before} the cycle's parallel phase is
+    dispatched, so injected flips are ordinary pre-cycle state changes and
+    campaigns stay deterministic under [jobs > 1]. *)
+val create :
+  ?mode:mode ->
+  ?fastpath:bool ->
+  ?audit:bool ->
+  ?jobs:int ->
+  ?partition_audit:bool ->
+  ?stats:Stats.t ->
+  Clock.t ->
+  Rule.t list ->
+  t
 
 val clock : t -> Clock.t
+
+(** The [jobs] the scheduler was created with. *)
+val jobs : t -> int
+
+(** Whether partitioned parallel execution is actually active (i.e.
+    [jobs > 1], at least one non-zero partition, and a mode that is not
+    inherently serial). *)
+val parallel : t -> bool
+
+(** Join the process-global worker-domain pool. Parallel simulations share
+    one lazily-spawned pool that persists between runs; on OCaml 5 even
+    idle domains tax every minor collection, so call this before timing
+    serial code after a parallel run. The pool respawns transparently on
+    the next parallel cycle. Also registered via [at_exit]. *)
+val shutdown_pool : unit -> unit
 
 (** Run one clock cycle; returns the number of rules that fired. *)
 val cycle : t -> int

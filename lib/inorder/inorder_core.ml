@@ -42,6 +42,9 @@ type t = {
 }
 
 let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats () =
+  (* Core-private state is built in the core's partition (hart 0 ->
+     partition 1; partition 0 is the uncore). *)
+  Partition.scoped (hart_id + 1) @@ fun () ->
   {
     name;
     clk;
@@ -306,6 +309,7 @@ let step_store_resp ctx t =
   | None -> failwith (t.name ^ ": orphan store resp")
 
 let rules t =
+  Partition.scoped (t.hart_id + 1) @@ fun () ->
   [
     Rule.make (t.name ^ ".loadResp")
       ~can_fire:(fun () -> Mem.L1_dcache.resp_ld_ready t.dc)

@@ -1,18 +1,32 @@
-type t = { buf : Buffer.t; exits : (int, int64) Hashtbl.t }
+(* Device state is sharded per hart so commit rules running on different
+   simulation domains never touch a shared buffer: each hart appends console
+   bytes to its own buffer and records its own exit code. [console] reports
+   the concatenation in hart order, which is also what the previous shared
+   buffer produced for the deterministic serial schedule (harts drain in
+   schedule order within a cycle). *)
 
-let create () = { buf = Buffer.create 256; exits = Hashtbl.create 4 }
+let max_harts = 64
+
+type t = { bufs : Buffer.t array; exits : int64 option array }
+
+let create () =
+  { bufs = Array.init max_harts (fun _ -> Buffer.create 16); exits = Array.make max_harts None }
 
 let store t ~hart addr v =
   if addr = Addr_map.mmio_console then begin
-    Buffer.add_char t.buf (Char.chr (Int64.to_int v land 0xFF));
+    Buffer.add_char t.bufs.(hart) (Char.chr (Int64.to_int v land 0xFF));
     true
   end
   else if addr = Addr_map.mmio_exit then begin
-    if not (Hashtbl.mem t.exits hart) then Hashtbl.add t.exits hart v;
+    if t.exits.(hart) = None then t.exits.(hart) <- Some v;
     true
   end
   else Addr_map.is_mmio addr
 
 let load _t ~hart:_ _addr = 0L
-let exit_code t ~hart = Hashtbl.find_opt t.exits hart
-let console t = Buffer.contents t.buf
+let exit_code t ~hart = t.exits.(hart)
+
+let console t =
+  let b = Buffer.create 256 in
+  Array.iter (fun hb -> Buffer.add_buffer b hb) t.bufs;
+  Buffer.contents b

@@ -14,10 +14,15 @@ type endpoint = {
    exactly like the seed scheduler.) *)
 let rules children ~l2 =
   let child_sigs f = Array.to_list (Array.map f children) in
+  (* Declared boundary tokens: the crossbar owns the uncore side of every
+     child queue — deq of creq/cresp, enq of preq/presp — mirroring the
+     L1 ticks' declarations of the opposite sides. *)
+  let child_tks f = Array.to_list (Array.map f children) in
   let up_resp =
     Rule.make "xbar.up.resp"
       ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.cresp > 0) children)
       ~watches:(child_sigs (fun ep -> Fifo.signal ep.cresp))
+      ~touches:(child_tks (fun ep -> Fifo.deq_token ep.cresp))
       ~vacuous:true
       (fun ctx ->
         Array.iter
@@ -30,6 +35,7 @@ let rules children ~l2 =
     Rule.make "xbar.up.req"
       ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.creq > 0) children)
       ~watches:(child_sigs (fun ep -> Fifo.signal ep.creq))
+      ~touches:(child_tks (fun ep -> Fifo.deq_token ep.creq))
       ~vacuous:true
       (fun ctx ->
         Array.iter
@@ -42,6 +48,7 @@ let rules children ~l2 =
     Rule.make "xbar.down.resp"
       ~can_fire:(fun () -> Fifo.peek_size (L2_cache.presp_out l2) > 0)
       ~watches:[ Fifo.signal (L2_cache.presp_out l2) ]
+      ~touches:(child_tks (fun ep -> Fifo.enq_token ep.presp))
       ~vacuous:true
       (fun ctx ->
         (* drain as many grants as the destinations accept this cycle *)
@@ -60,6 +67,7 @@ let rules children ~l2 =
     Rule.make "xbar.down.req"
       ~can_fire:(fun () -> Fifo.peek_size (L2_cache.preq_out l2) > 0)
       ~watches:[ Fifo.signal (L2_cache.preq_out l2) ]
+      ~touches:(child_tks (fun ep -> Fifo.enq_token ep.preq))
       ~vacuous:true
       (fun ctx ->
         let continue = ref true in

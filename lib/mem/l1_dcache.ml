@@ -43,6 +43,7 @@ type t = {
   preq_i : Msg.preq Fifo.t;
   presp_i : Msg.presp Fifo.t;
   child_id : int;
+  part : int; (* partition this cache was built in (its core's) *)
   mutable evict_hook : Kernel.ctx -> int64 -> unit;
   mutable rotor : int;
   c_hit : Stats.counter;
@@ -69,6 +70,7 @@ let create ?(name = "l1d") clk ~child_id ~geom ~mshrs ~stats () =
     preq_i = Fifo.cf ~name:(name ^ ".preq") clk ~capacity:4 ();
     presp_i = Fifo.cf ~name:(name ^ ".presp") clk ~capacity:4 ();
     child_id;
+    part = Partition.ambient ();
     evict_hook = (fun _ _ -> ());
     rotor = 0;
     c_hit = Stats.counter stats (name ^ ".hits");
@@ -355,14 +357,26 @@ let tick t =
     || Array.exists (fun m -> m.valid && m.filled) t.mshrs
   in
   let watches = [ Fifo.signal t.presp_i; Fifo.signal t.preq_i; Fifo.signal t.req_q ] in
-  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Declared boundary: the four child-side queues shared with the crossbar
+     (this cache drives creq/cresp enq and preq/presp deq; the crossbar
+     drives the opposite sides). Everything else the tick touches is
+     core-private. *)
+  let touches =
+    [
+      Fifo.enq_token t.creq_o;
+      Fifo.enq_token t.cresp_o;
+      Fifo.deq_token t.preq_i;
+      Fifo.deq_token t.presp_i;
+    ]
+  in
+  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       Array.iter (fun m -> ignore (Kernel.attempt ctx (fun ctx -> step_drain ctx t m))) t.mshrs;
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_req ctx t) in
       ())
 
-let rules t = [ tick t ]
+let rules t = Partition.scoped t.part (fun () -> [ tick t ])
 
 (* --- interface methods -------------------------------------------------- *)
 

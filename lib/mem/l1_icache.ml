@@ -14,6 +14,7 @@ type t = {
   preq_i : Msg.preq Fifo.t;
   presp_i : Msg.presp Fifo.t;
   child_id : int;
+  part : int; (* partition this cache was built in (its core's) *)
   (* single blocking miss *)
   mutable miss : (int * int64) option; (* waiting request: tag, pc *)
   mutable miss_way : int;
@@ -36,6 +37,7 @@ let create ?(name = "l1i") clk ~child_id ~geom ~fetch_width ~stats () =
     preq_i = Fifo.cf ~name:(name ^ ".preq") clk ~capacity:4 ();
     presp_i = Fifo.cf ~name:(name ^ ".presp") clk ~capacity:2 ();
     child_id;
+    part = Partition.ambient ();
     miss = None;
     miss_way = 0;
     rotor = 0;
@@ -133,13 +135,23 @@ let tick t =
     || (Fifo.peek_size t.req_q > 0 && t.miss = None)
   in
   let watches = [ Fifo.signal t.presp_i; Fifo.signal t.preq_i; Fifo.signal t.req_q ] in
-  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Declared boundary: the four child-side queues shared with the
+     crossbar; everything else is core-private. *)
+  let touches =
+    [
+      Fifo.enq_token t.creq_o;
+      Fifo.enq_token t.cresp_o;
+      Fifo.deq_token t.preq_i;
+      Fifo.deq_token t.presp_i;
+    ]
+  in
+  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_req ctx t) in
       ())
 
-let rules t = [ tick t ]
+let rules t = Partition.scoped t.part (fun () -> [ tick t ])
 let req ctx t ~tag pc = Fifo.enq ctx t.req_q (tag, pc)
 let can_req ctx t = Fifo.can_enq ctx t.req_q
 let resp ctx t = Fifo.deq ctx t.resp_q

@@ -45,17 +45,24 @@ let create clk pmem cfg ~ncores ~fetch_width ~stats =
       ~geom:(Cache_geom.v ~size_bytes:cfg.l2_bytes ~ways:cfg.l2_ways)
       ~mshrs:cfg.l2_mshrs ~latency:cfg.l2_latency ~mesi:cfg.mesi ~dram:dramc ~stats ()
   in
+  (* L1s are private to their core, so they are built — queues, signals and
+     tick rule alike — inside that core's partition; the crossbar, L2 and
+     DRAM stay in the ambient (uncore) partition. The L1↔crossbar queues
+     are conflict-free, which is what lets their two sides straddle the
+     partition boundary. *)
   let dcaches =
     Array.init ncores (fun i ->
-        L1_dcache.create ~name:(Printf.sprintf "c%d.l1d" i) clk ~child_id:(2 * i)
-          ~geom:(Cache_geom.v ~size_bytes:cfg.l1d_bytes ~ways:cfg.l1d_ways)
-          ~mshrs:cfg.l1d_mshrs ~stats ())
+        Cmd.Partition.scoped (i + 1) (fun () ->
+            L1_dcache.create ~name:(Printf.sprintf "c%d.l1d" i) clk ~child_id:(2 * i)
+              ~geom:(Cache_geom.v ~size_bytes:cfg.l1d_bytes ~ways:cfg.l1d_ways)
+              ~mshrs:cfg.l1d_mshrs ~stats ()))
   in
   let icaches =
     Array.init ncores (fun i ->
-        L1_icache.create ~name:(Printf.sprintf "c%d.l1i" i) clk ~child_id:((2 * i) + 1)
-          ~geom:(Cache_geom.v ~size_bytes:cfg.l1i_bytes ~ways:cfg.l1i_ways)
-          ~fetch_width ~stats ())
+        Cmd.Partition.scoped (i + 1) (fun () ->
+            L1_icache.create ~name:(Printf.sprintf "c%d.l1i" i) clk ~child_id:((2 * i) + 1)
+              ~geom:(Cache_geom.v ~size_bytes:cfg.l1i_bytes ~ways:cfg.l1i_ways)
+              ~fetch_width ~stats ()))
   in
   let endpoints =
     Array.init nchildren (fun c ->

@@ -87,6 +87,10 @@ type t = {
 exception Cosim_mismatch of string
 
 let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache ~tlb ~mmio ~stats () =
+  (* Everything a core builds — pipeline FIFOs, stages, bypass wires — is
+     private to it, so the whole construction runs in the core's partition
+     (hart 0 -> partition 1; partition 0 is the uncore). *)
+  Partition.scoped (hart_id + 1) @@ fun () ->
   let nregs = 32 + cfg.rob_size + 8 in
   let dead_u (u : Uop.t) = u.killed in
   let dead_2 ((u : Uop.t), _) = u.killed in
@@ -936,6 +940,7 @@ let mk ?can_fire ?watches name f =
   Rule.make ?can_fire ?watches ~vacuous:true name (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> f ctx)))
 
 let rules ?(schedule = `Aggressive) t =
+  Partition.scoped (t.hart_id + 1) @@ fun () ->
   (* eviction hook: TSO load kills + LR/SC reservation *)
   Mem.L1_dcache.set_evict_hook t.dc (fun ctx line ->
       (match t.reservation with

@@ -70,6 +70,7 @@ type t = {
   wcache : Walk_cache.t option;
   wreq : (int * int64) Fifo.t;
   wresp : (int * int64) Fifo.t;
+  part : int; (* partition this TLB was built in (its core's) *)
   c_l2_access : Stats.counter;
   c_l2_miss : Stats.counter;
 }
@@ -100,6 +101,7 @@ let create ?(name = "tlb") clk cfg ~stats () =
     wcache = Option.map (fun n -> Walk_cache.create ~entries_per_level:n) cfg.walk_cache_entries;
     wreq = Fifo.cf ~name:(name ^ ".wreq") clk ~capacity:4 ();
     wresp = Fifo.cf ~name:(name ^ ".wresp") clk ~capacity:4 ();
+    part = Partition.ambient ();
     c_l2_access = Stats.counter stats (name ^ ".l2.accesses");
     c_l2_miss = Stats.counter stats (name ^ ".l2.misses");
   }
@@ -276,7 +278,11 @@ let tick t =
     || Fifo.peek_size t.d.req_q > 0
   in
   let watches = [ Fifo.signal t.wresp; Fifo.signal t.i.req_q; Fifo.signal t.d.req_q ] in
-  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Declared boundary: the walk-memory queues shared with the walk
+     crossbar (this TLB enqs requests, deqs responses). The core-side
+     req/resp queues stay inside the core's partition. *)
+  let touches = [ Fifo.enq_token t.wreq; Fifo.deq_token t.wresp ] in
+  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_walk_resp ctx t) in
       Array.iteri (fun i w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_issue ctx t i w))) t.walks;
       List.iter
@@ -288,7 +294,7 @@ let tick t =
         [ t.d; t.i ];
       Array.iter (fun w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_retire ctx t w))) t.walks)
 
-let rules t = [ tick t ]
+let rules t = Partition.scoped t.part (fun () -> [ tick t ])
 
 let itlb_req ctx t ~tag va = Fifo.enq ctx t.i.req_q (tag, va)
 let can_itlb_req ctx t = Fifo.can_enq ctx t.i.req_q

@@ -10,6 +10,7 @@ let rules tlbs ~l2 =
       ~can_fire:(fun () ->
         Array.exists (fun t -> Fifo.peek_size (Tlb_sys.walk_mem_req t) > 0) tlbs)
       ~watches:(Array.to_list (Array.map (fun t -> Fifo.signal (Tlb_sys.walk_mem_req t)) tlbs))
+      ~touches:(Array.to_list (Array.map (fun t -> Fifo.deq_token (Tlb_sys.walk_mem_req t)) tlbs))
       ~vacuous:true
       (fun ctx ->
         Array.iteri
@@ -24,6 +25,7 @@ let rules tlbs ~l2 =
     Rule.make "walkxbar.down"
       ~can_fire:(fun () -> Mem.L2_cache.walk_resp_ready l2)
       ~watches:[ Mem.L2_cache.walk_resp_signal l2 ]
+      ~touches:(Array.to_list (Array.map (fun t -> Fifo.enq_token (Tlb_sys.walk_mem_resp t)) tlbs))
       ~vacuous:true
       (fun ctx ->
         let continue = ref true in

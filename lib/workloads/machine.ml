@@ -57,7 +57,10 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(watchdog = 0) ?(invariants = false) kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(watchdog = 0) ?(invariants = false) kind prog =
+  (* Cosim shares one Golden.t across every hart's commit hook, so its state
+     is not partition-private; force serial execution under cosim. *)
+  let jobs = if cosim then 1 else jobs in
   let pmem = Phys_mem.create () in
   let mmio = Mmio.create () in
   let stats_t = Stats.create () in
@@ -99,9 +102,10 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let ms = Mem.Mem_sys.create clk pmem mem ~ncores ~fetch_width:2 ~stats:stats_t in
     let tlbs =
       Array.init ncores (fun i ->
-          let tl = Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk tlb ~stats:stats_t () in
-          Tlb.Tlb_sys.set_satp tl satp;
-          tl)
+          Partition.scoped (i + 1) (fun () ->
+              let tl = Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk tlb ~stats:stats_t () in
+              Tlb.Tlb_sys.set_satp tl satp;
+              tl))
     in
     let cores =
       Array.init ncores (fun i ->
@@ -125,7 +129,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode ~fastpath ~audit clk rules);
+      sim = Some (Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules);
       golden = None;
       cores = Array.map (fun c -> HInorder c) cores;
       stats_t;
@@ -150,12 +154,13 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     in
     let tlbs =
       Array.init ncores (fun i ->
-          let tl =
-            Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk cfg.Ooo.Config.tlb
-              ~stats:stats_t ()
-          in
-          Tlb.Tlb_sys.set_satp tl satp;
-          tl)
+          Partition.scoped (i + 1) (fun () ->
+              let tl =
+                Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk cfg.Ooo.Config.tlb
+                  ~stats:stats_t ()
+              in
+              Tlb.Tlb_sys.set_satp tl satp;
+              tl))
     in
     let cores =
       Array.init ncores (fun i ->
@@ -179,7 +184,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode ~fastpath ~audit clk rules);
+      sim = Some (Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules);
       golden = None;
       cores = Array.map (fun c -> HOoo c) cores;
       stats_t;
@@ -239,6 +244,8 @@ let run ?(max_cycles = 50_000_000) ?on_cycle t =
   { exits; cycles = t.spent_cycles; timed_out = not (all_halted t) }
 
 let stats t = t.stats_t
+
+let parallel t = match t.sim with Some s -> Sim.parallel s | None -> false
 
 let console t = Mmio.console t.mmio
 

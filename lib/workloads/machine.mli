@@ -29,7 +29,17 @@ type t
     commits for that many consecutive cycles; [invariants] collects the
     structural checks registered by the ROB, free list, LSQ, store buffer
     and L2 directory during construction and runs them once per cycle
-    (raising {!Verif.Invariant.Violation} on corruption). *)
+    (raising {!Verif.Invariant.Violation} on corruption).
+
+    [jobs] (default 1) enables domain-parallel rule execution: each core's
+    pipeline, L1 caches and TLB form a private partition fired concurrently
+    with the others, while the crossbar, L2 and DRAM run serially after a
+    cycle barrier (see {!Cmd.Sim.create}). Results are bit-identical to
+    [jobs:1]. Forced back to 1 under [cosim], whose golden model is shared
+    across harts. [partition_audit] runs serially while checking every
+    EHR/FIFO/wire access against the partition that makes it, raising
+    {!Cmd.Kernel.Partition_overlap} on an undeclared cross-partition
+    touch. *)
 val create :
   ?ncores:int ->
   ?paging:bool ->
@@ -40,6 +50,8 @@ val create :
   ?mode:Cmd.Sim.mode ->
   ?fastpath:bool ->
   ?audit:bool ->
+  ?jobs:int ->
+  ?partition_audit:bool ->
   ?watchdog:int ->
   ?invariants:bool ->
   kind ->
@@ -53,6 +65,11 @@ type outcome = { exits : int64 array; cycles : int; timed_out : bool }
 val run : ?max_cycles:int -> ?on_cycle:(int -> unit) -> t -> outcome
 
 val stats : t -> Cmd.Stats.t
+
+(** True when the machine's simulator took the domain-parallel path (i.e.
+    [jobs > 1], partitions exist, and no serializing option forced the
+    fall-back). *)
+val parallel : t -> bool
 val console : t -> string
 
 (** Committed instructions, summed over harts. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("cmd", Test_cmd.suite);
       ("sched", Test_sched.suite);
+      ("par", Test_par.suite);
       ("isa", Test_isa.suite);
       ("mem", Test_mem.suite);
       ("branch", Test_branch.suite);

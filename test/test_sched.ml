@@ -196,8 +196,14 @@ let fired_counts m =
              rest
          | [] -> None)
 
+(* CI runs this suite at RISCYOO_JOBS=1 and =4; equivalence must hold at both. *)
+let jobs =
+  match Option.bind (Sys.getenv_opt "RISCYOO_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 1
+
 let run_full ~fastpath ~mode ?(cfg = Ooo.Config.riscyoo_b) ~budget prog =
-  let m = Machine.create ~paging:true ~mode ~fastpath (Machine.Out_of_order cfg) prog in
+  let m = Machine.create ~paging:true ~mode ~fastpath ~jobs (Machine.Out_of_order cfg) prog in
   let o = Machine.run ~max_cycles:budget m in
   Alcotest.(check bool) "run completes" false o.Machine.timed_out;
   (o.Machine.cycles, o.Machine.exits.(0), Machine.instrs m, fired_counts m)
