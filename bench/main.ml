@@ -7,8 +7,9 @@
      bench/main.exe fig15 fig16     run selected figures
      bench/main.exe --scale 3 ...   larger workloads
      bench/main.exe bechamel        CMD-kernel microbenchmarks
-     bench/main.exe perf [--quick] [--out F] [--check BASELINE]
-                                    sim-speed report (JSON) + CI perf gate
+     bench/main.exe perf [--quick] [--out F] [--check BASELINE] [--stats-json F]
+                                    sim-speed report (JSON) + CI perf gate;
+                                    --stats-json dumps per-workload counters
    Figures: fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
             ablation-wakeup ablation-bypass ablation-tlb ablation-scheduler *)
 
@@ -581,6 +582,7 @@ type perf_row = { wname : string; pcycles : int; pinstrs : int; wall_on : float;
 
 let perf_workload ~budget kernel =
   let prog = Spec_kernels.find kernel ~scale:!scale in
+  let snapshot = ref None in
   let timed fastpath =
     (* best-of-N wall clock: scheduling noise only ever slows a run down, so
        repeating until ~1s of total wall time and keeping the fastest gives a
@@ -591,6 +593,7 @@ let perf_workload ~budget kernel =
       let o = Machine.run ~max_cycles:budget m in
       let dt = Unix.gettimeofday () -. t0 in
       if o.Machine.timed_out then failwith ("perf: " ^ kernel ^ " timed out");
+      if !snapshot = None then snapshot := Some (Machine.stats m);
       (o.Machine.cycles, o.Machine.exits.(0), Machine.instrs m, dt)
     in
     let (c, x, i, dt) = once () in
@@ -613,7 +616,7 @@ let perf_workload ~budget kernel =
   Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s fastpath, %.0f c/s stripped\n%!" kernel c_on
     (float_of_int c_on /. wall_on)
     (float_of_int c_on /. wall_off);
-  { wname = kernel; pcycles = c_on; pinstrs = i_on; wall_on; wall_off }
+  ({ wname = kernel; pcycles = c_on; pinstrs = i_on; wall_on; wall_off }, Option.get !snapshot)
 
 let cps r = float_of_int r.pcycles /. r.wall_on
 
@@ -632,6 +635,7 @@ let perf_multicore ~budget kernel =
   let harts = 4 in
   let prog = Parsec_kernels.find kernel ~harts ~scale:!parsec_scale in
   let cfg = Ooo.Config.multicore Ooo.Config.TSO in
+  let snapshot = ref None in
   let timed jobs =
     let once () =
       let m = Machine.create ~ncores:harts ~paging:true ~jobs (ooo cfg) prog in
@@ -639,6 +643,7 @@ let perf_multicore ~budget kernel =
       let o = Machine.run ~max_cycles:budget m in
       let dt = Unix.gettimeofday () -. t0 in
       if o.Machine.timed_out then failwith ("perf: " ^ kernel ^ " x4 timed out");
+      if !snapshot = None then snapshot := Some (Machine.stats m);
       (o.Machine.cycles, Array.to_list o.Machine.exits, Machine.instrs m, dt)
     in
     let c, x, i, dt = once () in
@@ -673,7 +678,7 @@ let perf_multicore ~budget kernel =
     c1
     (float_of_int c1 /. w 1)
     (w 1 /. w 2) (w 1 /. w 4);
-  row
+  (row, Option.get !snapshot)
 
 let mc_cps r = float_of_int r.mccycles /. List.assoc 1 r.mcwall
 
@@ -744,12 +749,39 @@ let perf_json rows mc_rows micro_on micro_off =
   Buffer.add_string b (Printf.sprintf "    \"idle_sched_speedup\": %.2f\n  }\n}\n" (micro_off /. micro_on));
   Buffer.contents b
 
-let perf ~quick ~out ~check () =
+(* One machine-readable counter snapshot per perf workload (first timed run;
+   they are all deterministic, so any run's counters are *the* counters). *)
+let write_stats_json path entries =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-stats-v1\",\n  \"workloads\": {\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, cycles, instrs, st) ->
+      let doc =
+        Obs.Stats_json.to_string ~meta:[ ("workload", name) ] ~cycles ~instrs ~stats:st ()
+      in
+      Buffer.add_string b
+        (Printf.sprintf "    %S: %s%s\n" name (String.trim doc) (if i = n - 1 then "" else ",")))
+    entries;
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let perf ~quick ~out ~check ~stats_json () =
   header "perf: simulation speed (fastpath vs stripped)";
   let budget = 200_000_000 in
   let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
-  let rows = List.map (perf_workload ~budget) kernels in
-  let mc_rows = List.map (perf_multicore ~budget) [ "blackscholes" ] in
+  let rows_s = List.map (perf_workload ~budget) kernels in
+  let mc_rows_s = List.map (perf_multicore ~budget) [ "blackscholes" ] in
+  let rows = List.map fst rows_s and mc_rows = List.map fst mc_rows_s in
+  (match stats_json with
+  | None -> ()
+  | Some path ->
+    write_stats_json path
+      (List.map (fun (r, st) -> (r.wname, r.pcycles, r.pinstrs, st)) rows_s
+      @ List.map (fun (r, st) -> (r.mcname, r.mccycles, r.mcinstrs, st)) mc_rows_s));
   List.iter
     (fun r ->
       let w j = List.assoc j r.mcwall in
@@ -810,7 +842,7 @@ let all_figs =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = ref false and out = ref None and check = ref None in
+  let quick = ref false and out = ref None and check = ref None and stats_json = ref None in
   let rec parse = function
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
@@ -825,12 +857,15 @@ let () =
     | "--check" :: f :: rest ->
       check := Some f;
       parse rest
+    | "--stats-json" :: f :: rest ->
+      stats_json := Some f;
+      parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
   in
   let named = parse args in
   match named with
-  | [ "perf" ] -> perf ~quick:!quick ~out:!out ~check:!check ()
+  | [ "perf" ] -> perf ~quick:!quick ~out:!out ~check:!check ~stats_json:!stats_json ()
   | [] ->
     Printf.printf "RiscyOO evaluation — reproducing every table and figure (scale %d)\n" !scale;
     List.iter (fun (_, f) -> f ()) all_figs;

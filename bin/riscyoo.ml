@@ -106,8 +106,36 @@ let run_cmd =
           ~doc:"run serially while recording the partition behind every EHR/FIFO/wire access; \
                 exits 3 on an undeclared cross-partition touch")
   in
+  let obs_konata =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs-konata" ] ~docv:"FILE"
+          ~doc:"write a per-instruction pipeline trace in Konata (Kanata 0004) format")
+  in
+  let obs_chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs-chrome" ] ~docv:"FILE"
+          ~doc:"write a rule-level cycle trace as Chrome trace_event JSON (chrome://tracing, \
+                Perfetto), one track per partition")
+  in
+  let stats_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"write every performance counter plus derived metrics (IPC, MPKI, occupancy \
+                averages) as machine-readable JSON")
+  in
+  let obs_window =
+    Arg.(
+      value & opt (some (pair ~sep:':' int int)) None
+      & info [ "obs-window" ] ~docv:"A:B"
+          ~doc:"restrict trace capture to cycles [A, B): instructions decoded and rules fired \
+                outside the window are not recorded (in-flight ones still complete)")
+  in
   let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
-      rules watchdog invariants inject inject_seed no_fastpath audit jobs partition_audit =
+      rules watchdog invariants inject inject_seed no_fastpath audit jobs partition_audit
+      obs_konata obs_chrome stats_json obs_window =
     let fastpath = not no_fastpath in
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
@@ -176,10 +204,25 @@ let run_cmd =
       if s.Verif.Fault.n_undiagnosed > 0 then exit 1
     end
     else
+    let obs =
+      if obs_konata <> None || obs_chrome <> None || stats_json <> None then
+        Some
+          (Obs.Hub.create ?window:obs_window ?konata:obs_konata ?chrome:obs_chrome
+             ?stats_json
+             ~meta:
+               [
+                 ("kernel", kernel);
+                 ("config", config);
+                 ("cores", string_of_int cores);
+                 ("jobs", string_of_int jobs);
+               ]
+             ~nharts:cores ())
+      else None
+    in
     let m =
       try
         Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~jobs
-          ~partition_audit ~watchdog ~invariants kind prog
+          ~partition_audit ~watchdog ~invariants ?obs kind prog
       with Cmd_sim.Partition_error msg ->
         Printf.printf "PARTITION ERROR: %s\n" msg;
         exit 3
@@ -202,6 +245,14 @@ let run_cmd =
         exit 3
     in
     let dt = Unix.gettimeofday () -. t0 in
+    if trace then Machine.flush_trace m;
+    (* artifacts are written even on timeout — a trace of a hang is the
+       most useful trace of all *)
+    Option.iter
+      (fun hub ->
+        Obs.Hub.finish hub ~cycles:o.Machine.cycles ~instrs:(Machine.instrs m)
+          ~stats:(Machine.stats m))
+      obs;
     if o.Machine.timed_out then print_endline "TIMED OUT"
     else begin
       Printf.printf "exit codes : %s\n"
@@ -222,7 +273,8 @@ let run_cmd =
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
       $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
-      $ no_fastpath $ audit $ jobs $ partition_audit)
+      $ no_fastpath $ audit $ jobs $ partition_audit $ obs_konata $ obs_chrome $ stats_json
+      $ obs_window)
 
 let synth_cmd =
   let doc = "Print the synthesis model's area/frequency estimates" in

@@ -5,7 +5,10 @@
 
 type t
 
-val create : ?entries:int -> unit -> t
+(** With [~stats], overflowing pushes and underflowing pops are counted as
+    [name ^ ".overflows"] / [name ^ ".underflows"] — both are just
+    mispredictions in waiting, but the rates matter when sizing the stack. *)
+val create : ?entries:int -> ?stats:Cmd.Stats.t -> ?name:string -> unit -> t
 
 type snapshot
 

@@ -13,6 +13,7 @@ type t = {
   mutable parked : bool;
   mutable park_sum : int;
   mutable last_fired : int;
+  mutable rid : int;
 }
 
 let make ?can_fire ?(watches = []) ?(touches = []) ?(vacuous = false) name body =
@@ -31,6 +32,7 @@ let make ?can_fire ?(watches = []) ?(touches = []) ?(vacuous = false) name body 
     parked = false;
     park_sum = 0;
     last_fired = -1;
+    rid = -1;
   }
 
 let reset_stats t =

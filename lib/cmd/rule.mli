@@ -55,6 +55,10 @@ type t = {
       (** cycle of the most recent fire, -1 if never; maintained by the
           parallel executor so the firing history can be reconstructed in
           global schedule order after the barrier *)
+  mutable rid : int;
+      (** stable small-integer id assigned by an observability sink when a
+          rule trace is attached (creation-order index into [Sim.rules]);
+          -1 when no sink has claimed the rule *)
 }
 
 val make :

@@ -169,6 +169,14 @@ type t = {
   mutable post_cycle_rev : (int -> unit) list; (* newest-first *)
   mutable hooks_cache : (int -> int -> unit) array option;
       (* post-cycle checks then monitors, registration order, as one array *)
+  (* rule-level trace sink (observability layer). A flat bool guards every
+     call site so the disabled cost is one load+branch per fire; the callback
+     runs on whichever domain fired the rule, so a sink must write only
+     per-partition state (see lib/obs). Skipped-but-vacuous rules are traced
+     exactly like real fires, mirroring the fire-count accounting, so traces
+     are bit-identical with the fast path on or off. *)
+  mutable rtrace_on : bool;
+  mutable rtrace : Rule.t -> int -> unit;
 }
 
 (* Static partition checker: prove, from the declared boundary tokens and
@@ -287,6 +295,8 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
       monitors_rev = [];
       post_cycle_rev = [];
       hooks_cache = None;
+      rtrace_on = false;
+      rtrace = (fun _ _ -> ());
     }
   in
   Kernel.set_partition_audit t.ctx partition_audit;
@@ -312,6 +322,14 @@ let history t =
       (fun (c, _) -> c >= 0)
       (List.init t.history_depth (fun i ->
            t.history.((t.n_cycles + i) mod t.history_depth)))
+
+let set_rule_trace t f =
+  t.rtrace <- f;
+  t.rtrace_on <- true
+
+let clear_rule_trace t =
+  t.rtrace_on <- false;
+  t.rtrace <- (fun _ _ -> ())
 
 let add_monitor t f =
   t.monitors_rev <- f :: t.monitors_rev;
@@ -397,6 +415,7 @@ let cycle_serial t =
       if r.Rule.vacuous then begin
         r.Rule.fired <- r.Rule.fired + 1;
         incr fired;
+        if t.rtrace_on then t.rtrace r t.n_cycles;
         if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
         if t.mode = One_per_cycle then stop := true
       end
@@ -425,6 +444,7 @@ let cycle_serial t =
         Kernel.reset_ctx ctx;
         r.Rule.fired <- r.Rule.fired + 1;
         incr fired;
+        if t.rtrace_on then t.rtrace r t.n_cycles;
         if t.history_depth > 0 then fired_names := r.Rule.name :: !fired_names;
         if t.mode = One_per_cycle then stop := true
       | exception Kernel.Guard_fail _ ->
@@ -470,7 +490,8 @@ let run_rules t ctx (order : Rule.t array) (fired : int ref) =
       if r.Rule.vacuous then begin
         r.Rule.fired <- r.Rule.fired + 1;
         r.Rule.last_fired <- cyc;
-        incr fired
+        incr fired;
+        if t.rtrace_on then t.rtrace r cyc
       end
       else r.Rule.guard_failed <- r.Rule.guard_failed + 1
     end
@@ -481,7 +502,8 @@ let run_rules t ctx (order : Rule.t array) (fired : int ref) =
         Kernel.reset_ctx ctx;
         r.Rule.fired <- r.Rule.fired + 1;
         r.Rule.last_fired <- cyc;
-        incr fired
+        incr fired;
+        if t.rtrace_on then t.rtrace r cyc
       | exception Kernel.Guard_fail _ ->
         Kernel.rollback ctx;
         Kernel.reset_ctx ctx;

@@ -159,5 +159,17 @@ val add_monitor : t -> (t -> int -> unit) -> unit
     monitors: the invariant-checking hook. *)
 val on_post_cycle : t -> (int -> unit) -> unit
 
+(** [set_rule_trace t f] — [f rule cycle] runs once per rule fire (including
+    vacuous fires accounted for skipped rules, so the trace matches
+    [Rule.fired] exactly, fast path on or off). The callback runs on
+    whichever domain fired the rule: under [jobs > 1] it must confine its
+    writes to per-partition state indexed by [rule.part] (see [Obs] in
+    lib/obs). The disabled cost at every fire site is a single flat-[bool]
+    load and branch. *)
+val set_rule_trace : t -> (Rule.t -> int -> unit) -> unit
+
+(** Detach the rule-trace sink; fire sites go back to the bare branch. *)
+val clear_rule_trace : t -> unit
+
 (** Per-rule firing report, for debugging schedules. *)
 val pp_stats : Format.formatter -> t -> unit

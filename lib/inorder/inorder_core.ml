@@ -7,12 +7,13 @@ type fslot = {
   mutable vpc : int64;
   mutable fepoch : int;
   mutable pred_next : int64;
+  mutable fcyc : int; (* cycle the fetch was issued; only kept when tracing *)
 }
 
 type xstate =
   | XIdle
-  | XDtlb of Instr.t * int64 (* decoded mem instr, pc *)
-  | XAt of Instr.t (* waiting for atomic response *)
+  | XDtlb of Instr.t * int64 * int (* decoded mem instr, pc, trace id *)
+  | XAt of Instr.t * int (* waiting for atomic response (instr, trace id) *)
 
 type t = {
   name : string;
@@ -28,7 +29,7 @@ type t = {
   btb : Branch.Btb.t;
   fslots : fslot array;
   mutable next_fslot : int;
-  f2x : (int64 * int * int64) Fifo.t; (* pc, word, predicted next pc *)
+  f2x : (int64 * int * int64 * int) Fifo.t; (* pc, word, predicted next pc, fetch cycle *)
   mutable xst : xstate;
   mutable pending_load : (int * int) option; (* rd, tag *)
   mutable load_tag : int;
@@ -36,12 +37,14 @@ type t = {
   mutable reservation : int64 option;
   mutable halted_f : bool;
   mutable n_instret : int;
+  pipe : Obs.Pipe.t;
   c_cycles : Stats.counter;
   c_instrs : Stats.counter;
   c_mispred : Stats.counter;
 }
 
-let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats () =
+let create ?(name = "inorder") ?(pipe = Obs.Pipe.null) clk ~hart_id ~icache ~dcache ~tlb ~mmio
+    ~stats () =
   (* Core-private state is built in the core's partition (hart 0 ->
      partition 1; partition 0 is the uncore). *)
   Partition.scoped (hart_id + 1) @@ fun () ->
@@ -57,7 +60,8 @@ let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats ()
     pc = Addr_map.dram_base;
     epoch = 0;
     btb = Branch.Btb.create ();
-    fslots = Array.init 8 (fun _ -> { fvalid = false; vpc = 0L; fepoch = 0; pred_next = 0L });
+    fslots =
+      Array.init 8 (fun _ -> { fvalid = false; vpc = 0L; fepoch = 0; pred_next = 0L; fcyc = 0 });
     next_fslot = 0;
     f2x = Fifo.cf ~name:(name ^ ".f2x") clk ~capacity:4 ();
     xst = XIdle;
@@ -67,6 +71,7 @@ let create ?(name = "inorder") clk ~hart_id ~icache ~dcache ~tlb ~mmio ~stats ()
     reservation = None;
     halted_f = false;
     n_instret = 0;
+    pipe;
     c_cycles = Stats.counter stats (name ^ ".cycles");
     c_instrs = Stats.counter stats (name ^ ".instrs");
     c_mispred = Stats.counter stats (name ^ ".mispredicts");
@@ -96,6 +101,8 @@ let step_fetch_issue ctx t =
   fld ctx (fun () -> slot.vpc) (fun v -> slot.vpc <- v) t.pc;
   fld ctx (fun () -> slot.fepoch) (fun v -> slot.fepoch <- v) t.epoch;
   fld ctx (fun () -> slot.pred_next) (fun v -> slot.pred_next <- v) pred;
+  if Obs.Pipe.is_active t.pipe then
+    fld ctx (fun () -> slot.fcyc) (fun v -> slot.fcyc <- v) (Clock.now t.clk);
   fld ctx (fun () -> t.next_fslot) (fun v -> t.next_fslot <- v) ((t.next_fslot + 1) mod Array.length t.fslots);
   fld ctx (fun () -> t.pc) (fun v -> t.pc <- v) pred
 
@@ -113,7 +120,7 @@ let step_fetch_mem ctx t =
   let tag, _pa, words = Mem.L1_icache.resp ctx t.ic in
   let slot = t.fslots.(tag) in
   if slot.fvalid && slot.fepoch = t.epoch then
-    Fifo.enq ctx t.f2x (slot.vpc, words.(0), slot.pred_next);
+    Fifo.enq ctx t.f2x (slot.vpc, words.(0), slot.pred_next, slot.fcyc);
   fld ctx (fun () -> slot.fvalid) (fun v -> slot.fvalid <- v) false
 
 (* --- execute -------------------------------------------------------------- *)
@@ -130,9 +137,12 @@ let load_hazard t (i : Instr.t) =
   | Some (rd, _) ->
     (Instr.uses_rs1 i && i.rs1 = rd) || (Instr.uses_rs2 i && i.rs2 = rd) || (Instr.writes_rd i && i.rd = rd)
 
-let retire ctx t =
+let retire ?(tid = -1) ctx t =
   fld ctx (fun () -> t.n_instret) (fun v -> t.n_instret <- v) (t.n_instret + 1);
-  Stats.incr ~ctx t.c_instrs
+  Stats.incr ~ctx t.c_instrs;
+  (* the in-order core never retires down a wrong path, so a traced
+     instruction always ends with a clean (non-flush) retire *)
+  if tid >= 0 then Obs.Pipe.retire ctx t.pipe tid ~flushed:false ~at:(Clock.now t.clk)
 
 let store_mask_data addr bytes v =
   let line = Mem.Cache_geom.line_addr addr in
@@ -144,7 +154,7 @@ let store_mask_data addr bytes v =
   let mask = Int64.shift_left (Int64.sub (Int64.shift_left 1L bytes) 1L) off in
   (line, data, mask)
 
-let exec_nonmem ctx t (i : Instr.t) pc pred_next =
+let exec_nonmem ctx t (i : Instr.t) pc pred_next ~tid =
   let rs1 = t.regs.(i.rs1) and rs2 = t.regs.(i.rs2) in
   let next = Int64.add pc 4L in
   let wr v = if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd v in
@@ -181,7 +191,7 @@ let exec_nonmem ctx t (i : Instr.t) pc pred_next =
   | Instr.Ebreak | Instr.Illegal _ -> failwith (t.name ^ ": illegal/ebreak")
   | Instr.Ld _ | Instr.St _ | Instr.Lr _ | Instr.Sc _ | Instr.Amo _ | Instr.Fence | Instr.FenceI ->
     assert false);
-  retire ctx t;
+  retire ~tid ctx t;
   if Instr.is_branch i then begin
     Branch.Btb.update ctx t.btb ~pc ~target:!actual_next ~taken:(!actual_next <> next)
   end;
@@ -194,9 +204,22 @@ let step_execute ctx t =
   Kernel.guard ctx (not t.halted_f) "halted";
   match t.xst with
   | XIdle ->
-    let pc, word, pred_next = Fifo.first ctx t.f2x in
+    let pc, word, pred_next, fcyc = Fifo.first ctx t.f2x in
     let i = Decode.decode word in
     Kernel.guard ctx (not (load_hazard t i)) "load-use hazard";
+    (* Trace ids are born here — the single execute stage is the first (and
+       only) point where the instruction exists as such. The fetch stage is
+       backdated to the recorded fetch-issue cycle; an aborted attempt
+       (e.g. a busy-guard below) rolls the id back. *)
+    let tid =
+      if Obs.Pipe.is_active t.pipe then begin
+        let tid = Obs.Pipe.start ctx t.pipe ~pc ~at:fcyc in
+        Obs.Pipe.set_text t.pipe tid (Instr.to_string i);
+        Obs.Pipe.stage ctx t.pipe tid Obs.Pipe.s_exec ~at:(Clock.now t.clk);
+        tid
+      end
+      else -1
+    in
     (* dequeue before executing: a redirect clears the queue, and the clear
        must be ordered after this dequeue *)
     if Instr.is_mem i then begin
@@ -205,7 +228,7 @@ let step_execute ctx t =
         (* drain outstanding memory ops *)
         Kernel.guard ctx (t.pending_load = None && t.pending_store = None) "fence drain";
         ignore (Fifo.deq ctx t.f2x);
-        retire ctx t;
+        retire ~tid ctx t;
         if Int64.add pc 4L <> pred_next then redirect ctx t (Int64.add pc 4L)
       | _ ->
         (* at most one load and one store outstanding; atomics drain both *)
@@ -216,23 +239,24 @@ let step_execute ctx t =
         let va = Int64.add t.regs.(i.rs1) i.imm in
         Tlb.Tlb_sys.dtlb_req ctx t.tlb ~tag:0 va;
         ignore (Fifo.deq ctx t.f2x);
-        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XDtlb (i, pc));
+        fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XDtlb (i, pc, tid));
         (* mem instructions never redirect; verify the fetch prediction *)
         if Int64.add pc 4L <> pred_next then redirect ctx t (Int64.add pc 4L))
     end
     else begin
       ignore (Fifo.deq ctx t.f2x);
-      exec_nonmem ctx t i pc pred_next
+      exec_nonmem ctx t i pc pred_next ~tid
     end
-  | XDtlb (i, _pc) ->
+  | XDtlb (i, _pc, tid) ->
     let _tag, res = Tlb.Tlb_sys.dtlb_resp ctx t.tlb in
     let pa = match res with Tlb.Tlb_sys.Hit pa -> pa | Tlb.Tlb_sys.Fault -> failwith "data page fault" in
     let rs2 = t.regs.(i.rs2) in
+    if tid >= 0 then Obs.Pipe.stage ctx t.pipe tid Obs.Pipe.s_mem ~at:(Clock.now t.clk);
     (match i.op with
     | Instr.Ld { width; unsigned } ->
       if Addr_map.is_mmio pa then begin
         if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd (Mmio.load t.mmio ~hart:t.hart_id pa);
-        retire ctx t;
+        retire ~tid ctx t;
         fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
       end
       else begin
@@ -241,14 +265,14 @@ let step_execute ctx t =
           (Mem.L1_dcache.Ld { tag; addr = pa; bytes = Instr.bytes_of_width width; unsigned });
         fld ctx (fun () -> t.load_tag) (fun v -> t.load_tag <- v) (tag + 1);
         fld ctx (fun () -> t.pending_load) (fun v -> t.pending_load <- v) (Some (i.rd, tag));
-        retire ctx t;
+        retire ~tid ctx t;
         fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
       end
     | Instr.St width ->
       if Addr_map.is_mmio pa then begin
         ignore (Mmio.store t.mmio ~hart:t.hart_id pa rs2);
         if pa = Addr_map.mmio_exit then fld ctx (fun () -> t.halted_f) (fun v -> t.halted_f <- v) true;
-        retire ctx t;
+        retire ~tid ctx t;
         fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
       end
       else begin
@@ -258,7 +282,7 @@ let step_execute ctx t =
         (match t.reservation with
         | Some l when l = line -> fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None
         | _ -> ());
-        retire ctx t;
+        retire ~tid ctx t;
         fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
       end
     | Instr.Lr width ->
@@ -267,21 +291,21 @@ let step_execute ctx t =
       Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
       fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v)
         (Some (Mem.Cache_geom.line_addr pa));
-      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt (i, tid))
     | Instr.Sc width ->
       let bytes = Instr.bytes_of_width width in
       let reserved = t.reservation = Some (Mem.Cache_geom.line_addr pa) in
       let f _old = if reserved then (Some rs2, 0L) else (None, 1L) in
       Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
       fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None;
-      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt (i, tid))
     | Instr.Amo { op; width } ->
       let bytes = Instr.bytes_of_width width in
       let f old = (Some (Exec_unit.amo op width ~old ~src:rs2), old) in
       Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
-      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt i)
+      fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt (i, tid))
     | _ -> assert false)
-  | XAt i ->
+  | XAt (i, tid) ->
     let _tag, result = Mem.L1_dcache.resp_at ctx t.dc in
     let result =
       match i.op with
@@ -289,7 +313,7 @@ let step_execute ctx t =
       | _ -> result
     in
     if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd result;
-    retire ctx t;
+    retire ~tid ctx t;
     fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle
 
 let step_load_resp ctx t =

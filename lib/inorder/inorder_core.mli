@@ -13,6 +13,7 @@ type t
 
 val create :
   ?name:string ->
+  ?pipe:Obs.Pipe.t ->
   Cmd.Clock.t ->
   hart_id:int ->
   icache:Mem.L1_icache.t ->

@@ -47,6 +47,7 @@ type t = {
   c_hit : Stats.counter;
   c_miss : Stats.counter;
   c_recalls : Stats.counter;
+  c_mshr_occ : Stats.counter;
 }
 
 let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = false) ~dram ~stats () =
@@ -96,8 +97,14 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
     c_hit = Stats.counter stats (name ^ ".hits");
     c_miss = Stats.counter stats (name ^ ".misses");
     c_recalls = Stats.counter stats (name ^ ".recalls");
+    c_mshr_occ = Stats.counter stats (name ^ ".mshrOccSum");
   }
   in
+  (* MSHR occupancy sampled at the clock edge (main domain, post-barrier:
+     untracked increments are safe); divide by cycles for the average. *)
+  Clock.on_cycle_end clk (fun () ->
+      let n = Array.fold_left (fun a (m : mshr) -> if m.valid then a + 1 else a) 0 t.mshrs in
+      if n > 0 then Stats.incr ~by:n t.c_mshr_occ);
   (* Directory exclusivity (paper Sec. VI): a line owned M (or E under
      MESI) by one child must be I in every other child — the parent only
      grants after downgrading everyone else, so two owners at a cycle

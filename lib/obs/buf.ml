@@ -1,0 +1,22 @@
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(capacity = 1024) () = { a = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let push t v =
+  let n = Array.length t.a in
+  if t.len = n then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.a 0 bigger 0 n;
+    t.a <- bigger
+  end;
+  Array.unsafe_set t.a t.len v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Obs.Buf.get";
+  Array.unsafe_get t.a i
+
+let truncate t n = if n < t.len then t.len <- n
+let clear t = t.len <- 0

@@ -1,0 +1,24 @@
+(** Growable packed-int event buffer — the storage cell behind every trace
+    ring in [Obs].
+
+    Events are appended as fixed-width groups of raw ints (no boxing, no
+    per-event allocation once the array has grown to steady state), which is
+    what lets emission sites inside rule bodies stay cheap. {!truncate} drops
+    a suffix in O(1); abort-safe emission registers a truncation back to the
+    pre-emission fill pointer as a [Kernel.on_abort] undo, so an aborted rule
+    leaves no events behind. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Number of ints currently stored. *)
+val length : t -> int
+
+val push : t -> int -> unit
+val get : t -> int -> int
+
+(** [truncate t n] drops everything at index [n] and above. *)
+val truncate : t -> int -> unit
+
+val clear : t -> unit

@@ -1,0 +1,125 @@
+(* Chrome trace_event export (the JSON array format read by chrome://tracing
+   and https://ui.perfetto.dev).
+
+   Layout: one process (pid 0), one thread per simulator partition. Each
+   rule fire becomes a complete ("X") event on its partition's track, with
+   consecutive-cycle fires of the same rule merged into one slice;
+   per-partition fire counts become counter ("C") events; cycles where at
+   least one core partition fired become "barrier" instants on the uncore
+   track, marking where the parallel scheduler's end-of-cycle merge did real
+   work. Timestamps are cycles, expressed as microseconds (1 cycle = 1 us).
+
+   Everything is computed from [Rule_trace] buffers by deterministic sorts,
+   so the bytes are identical at any [--jobs]. *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Merge a partition's chronological (rid, cycle) fires into slices
+   (rid, start, len): consecutive-cycle fires of one rule fuse. *)
+let slices fires =
+  let open_runs = Hashtbl.create 64 in
+  (* rid -> (start, last) *)
+  let out = ref [] in
+  List.iter
+    (fun (rid, cyc) ->
+      match Hashtbl.find_opt open_runs rid with
+      | Some (st, last) when cyc = last + 1 ->
+          Hashtbl.replace open_runs rid (st, cyc)
+      | Some (st, last) ->
+          out := (rid, st, last - st + 1) :: !out;
+          Hashtbl.replace open_runs rid (cyc, cyc)
+      | None -> Hashtbl.add open_runs rid (cyc, cyc))
+    fires;
+  Hashtbl.iter (fun rid (st, last) -> out := (rid, st, last - st + 1) :: !out) open_runs;
+  let arr = Array.of_list !out in
+  Array.sort
+    (fun (r1, s1, l1) (r2, s2, l2) -> compare (s1, r1, l1) (s2, r2, l2))
+    arr;
+  arr
+
+(* Per-cycle fire counts of one partition, as a chronological
+   (cycle, count) list with explicit drops to 0 after gaps, deduplicated so
+   only changes remain. *)
+let counts fires =
+  let raw = ref [] in
+  List.iter
+    (fun (_, cyc) ->
+      match !raw with
+      | (c, n) :: rest when c = cyc -> raw := (c, n + 1) :: rest
+      | (c, _) :: _ when cyc > c + 1 -> raw := (cyc, 1) :: (c + 1, 0) :: !raw
+      | _ -> raw := (cyc, 1) :: !raw)
+    fires;
+  List.rev !raw
+
+let part_label p = if p = 0 then "partition 0 (uncore)" else Printf.sprintf "partition %d (core %d)" p (p - 1)
+
+let to_string ~names ~parts ~rt =
+  ignore parts;
+  let np = Rule_trace.nparts rt in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "[\n";
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  add
+    "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"riscyoo sim\"}}";
+  for p = 0 to np - 1 do
+    add
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+         p (esc (part_label p)))
+  done;
+  let barrier = Hashtbl.create 256 in
+  for p = 0 to np - 1 do
+    let fires = Rule_trace.fires rt p in
+    if p > 0 then
+      List.iter (fun (_, cyc) -> Hashtbl.replace barrier cyc ()) fires;
+    Array.iter
+      (fun (rid, st, len) ->
+        add
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":\"%s\",\"args\":{\"rid\":%d}}"
+             p st len
+             (esc (if rid < Array.length names then names.(rid) else "?"))
+             rid))
+      (slices fires);
+    List.iter
+      (fun (cyc, n) ->
+        add
+          (Printf.sprintf
+             "{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"name\":\"fires.p%d\",\"args\":{\"fires\":%d}}"
+             p cyc p n))
+      (counts fires)
+  done;
+  let bcycles =
+    List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) barrier [])
+  in
+  List.iter
+    (fun cyc ->
+      add
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":%d,\"name\":\"barrier\",\"s\":\"t\"}"
+           cyc))
+    bcycles;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write ~out ~names ~parts ~rt =
+  let oc = open_out out in
+  output_string oc (to_string ~names ~parts ~rt);
+  close_out oc

@@ -1,0 +1,41 @@
+(** Observability hub: owns the trace sinks, wires them into one simulator,
+    and writes the requested artifacts after the run.
+
+    Build the hub first ([create]), build the cores against {!pipe}, then
+    call {!attach} once the [Cmd.Sim.t] exists — it assigns every rule a
+    stable small-integer id ([Rule.rid], schedule order), arms the
+    rule-fire sink when a Chrome trace was requested, and installs the
+    capture-window clock hook. After the run, {!finish} writes each
+    requested file.
+
+    When no sink is requested the hub never activates anything, so the
+    instrumented cores' emission sites reduce to one load-and-branch. The
+    optional [window] (half-open cycle interval) gates event {e creation}:
+    instructions that started inside the window still trace to completion,
+    so exported pipelines are always whole. *)
+
+type t
+
+val create :
+  ?window:int * int ->
+  ?konata:string ->
+  ?chrome:string ->
+  ?stats_json:string ->
+  ?meta:(string * string) list ->
+  nharts:int ->
+  unit ->
+  t
+
+(** The per-hart instruction tracer to build core [hart] against. *)
+val pipe : t -> hart:int -> Pipe.t
+
+val attach : t -> Cmd.Sim.t -> unit
+
+(** Write every requested artifact. *)
+val finish : t -> cycles:int -> instrs:int -> stats:Cmd.Stats.t -> unit
+
+(** {2 In-memory renditions (what {!finish} writes; used by the tests)} *)
+
+val konata_string : t -> string
+val chrome_string : t -> string
+val stats_string : t -> cycles:int -> instrs:int -> stats:Cmd.Stats.t -> string

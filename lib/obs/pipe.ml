@@ -1,0 +1,149 @@
+open Cmd
+
+(* Stage codes. The numeric order is display order in Konata, not a claim
+   about pipeline order — each record carries its own timestamps. *)
+let s_fetch = 0
+let s_decode = 1
+let s_rename = 2
+let s_dispatch = 3
+let s_issue = 4
+let s_exec = 5
+let s_mem = 6
+let s_writeback = 7
+let s_commit = 8
+let n_stages = 9
+let stage_names = [| "F"; "D"; "Rn"; "Ds"; "Is"; "X"; "M"; "W"; "Cm" |]
+let stage_name c = stage_names.(c)
+
+(* Event record layout: fixed-width groups of 4 ints in [ev]:
+     [tag; tid; arg; cycle]
+   tag 0 = start  (arg unused; pc/text live in the per-tid side arrays)
+   tag 1 = stage  (arg = stage code)
+   tag 2 = retire (arg = 1 when flushed) *)
+let tag_start = 0
+let tag_stage = 1
+let tag_retire = 2
+
+type t = {
+  hart : int;
+  mutable active : bool;
+  ev : Buf.t;
+  mutable pcs : int64 array; (* indexed by tid *)
+  mutable txt : string array; (* indexed by tid; "" until decode *)
+  mutable ntids : int;
+}
+
+let create ~hart =
+  {
+    hart;
+    active = false;
+    ev = Buf.create ();
+    pcs = Array.make 256 0L;
+    txt = Array.make 256 "";
+    ntids = 0;
+  }
+
+(* Shared always-inactive instance: the default sink of a core built with no
+   observability attached. Never activated, so it never accumulates. *)
+let null = create ~hart:(-1)
+
+let hart t = t.hart
+let is_active t = t.active
+let set_active t b = t.active <- b
+let count t = t.ntids
+
+let ensure_cap t tid =
+  let n = Array.length t.pcs in
+  if tid >= n then begin
+    let n' = max (2 * n) (tid + 1) in
+    let pcs = Array.make n' 0L in
+    Array.blit t.pcs 0 pcs 0 n;
+    t.pcs <- pcs;
+    let txt = Array.make n' "" in
+    Array.blit t.txt 0 txt 0 n;
+    t.txt <- txt
+  end
+
+let start ctx t ~pc ~at =
+  let tid = t.ntids in
+  let mark = Buf.length t.ev in
+  Kernel.on_abort ctx (fun () ->
+      Buf.truncate t.ev mark;
+      t.ntids <- tid);
+  t.ntids <- tid + 1;
+  ensure_cap t tid;
+  t.pcs.(tid) <- pc;
+  t.txt.(tid) <- "";
+  Buf.push t.ev tag_start;
+  Buf.push t.ev tid;
+  Buf.push t.ev 0;
+  Buf.push t.ev at;
+  tid
+
+(* Untracked on purpose: the text slot is always written in the same attempt
+   as its {!start}, so an abort that releases the tid also guarantees the
+   slot is overwritten before it is ever read again. *)
+let set_text t tid s = t.txt.(tid) <- s
+
+let stage ctx t tid code ~at =
+  let mark = Buf.length t.ev in
+  Kernel.on_abort ctx (fun () -> Buf.truncate t.ev mark);
+  Buf.push t.ev tag_stage;
+  Buf.push t.ev tid;
+  Buf.push t.ev code;
+  Buf.push t.ev at
+
+let retire ctx t tid ~flushed ~at =
+  let mark = Buf.length t.ev in
+  Kernel.on_abort ctx (fun () -> Buf.truncate t.ev mark);
+  Buf.push t.ev tag_retire;
+  Buf.push t.ev tid;
+  Buf.push t.ev (if flushed then 1 else 0);
+  Buf.push t.ev at
+
+(* ------------------------------------------------------------------ *)
+(* Decoding into per-instruction records (export side)                 *)
+(* ------------------------------------------------------------------ *)
+
+type irec = {
+  ihart : int;
+  itid : int;
+  ipc : int64;
+  itext : string;
+  istart : int; (* fetch cycle *)
+  istages : (int * int) array; (* (stage code, cycle), emission order *)
+  iretire : int; (* -1 when the run ended with the uop in flight *)
+  iflushed : bool;
+}
+
+let records t =
+  let stages = Array.make t.ntids [] in
+  let retire_c = Array.make t.ntids (-1) in
+  let flushed = Array.make t.ntids false in
+  let starts = Array.make t.ntids 0 in
+  let n = Buf.length t.ev / 4 in
+  for k = 0 to n - 1 do
+    let tag = Buf.get t.ev (4 * k) in
+    let tid = Buf.get t.ev ((4 * k) + 1) in
+    let arg = Buf.get t.ev ((4 * k) + 2) in
+    let cyc = Buf.get t.ev ((4 * k) + 3) in
+    if tag = tag_start then starts.(tid) <- cyc
+    else if tag = tag_stage then stages.(tid) <- (arg, cyc) :: stages.(tid)
+    else if retire_c.(tid) < 0 then begin
+      (* keep the first retire; duplicates can arise from overlapping flush
+         paths and are harmless *)
+      retire_c.(tid) <- cyc;
+      flushed.(tid) <- arg = 1
+    end
+  done;
+  Array.init t.ntids (fun tid ->
+      {
+        ihart = t.hart;
+        itid = tid;
+        ipc = t.pcs.(tid);
+        itext = t.txt.(tid);
+        istart = starts.(tid);
+        istages = Array.of_list (List.rev stages.(tid));
+        iretire = retire_c.(tid);
+        iflushed = flushed.(tid);
+      })

@@ -1,0 +1,128 @@
+(* Machine-readable counter export.
+
+   Schema "riscyoo-stats-v1":
+     { "schema":  "riscyoo-stats-v1",
+       "meta":    { ... caller-supplied strings ... },
+       "cycles":  <int>, "instrs": <int>,
+       "counters": { "<name>": <int>, ... },       (sorted by name)
+       "derived":  { "<name>": <float>, ... } }    (sorted by name)
+
+   Derived metrics are computed here, once, instead of in every consumer:
+   global and per-core IPC, misses-per-kilo-instruction for every
+   "*.misses" counter, per-kilo-instruction rates for mispredicts and
+   pipeline kills, and occupancy averages for the "*OccSum" cycle-sampled
+   sums. Rates for a "cN.*" counter are normalised by that core's own
+   instruction count when present, else by the whole machine's.
+
+   Floats are printed with %.6f so the bytes are stable across runs and
+   platforms. *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let suffix ~suf s =
+  String.length s > String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf)
+     = suf
+
+let stem ~suf s = String.sub s 0 (String.length s - String.length suf)
+
+(* "c3.l1d.misses" -> Some "c3" *)
+let core_prefix name =
+  match String.index_opt name '.' with
+  | Some i ->
+      let p = String.sub name 0 i in
+      if String.length p > 1 && p.[0] = 'c'
+         && String.for_all (fun c -> c >= '0' && c <= '9')
+              (String.sub p 1 (String.length p - 1))
+      then Some p
+      else None
+  | None -> None
+
+let derived ~cycles ~instrs counters =
+  let find n = List.assoc_opt n counters in
+  let per_kilo name v =
+    (* normalise by the owning core's instrs when the counter is core-local *)
+    let base =
+      match core_prefix name with
+      | Some p -> ( match find (p ^ ".instrs") with Some n when n > 0 -> n | _ -> instrs)
+      | None -> instrs
+    in
+    if base > 0 then Some (1000.0 *. float_of_int v /. float_of_int base)
+    else None
+  in
+  let out = ref [] in
+  let add n v = out := (n, v) :: !out in
+  if cycles > 0 then add "ipc" (float_of_int instrs /. float_of_int cycles);
+  List.iter
+    (fun (name, v) ->
+      if suffix ~suf:".misses" name then
+        Option.iter (add (stem ~suf:".misses" name ^ ".mpki")) (per_kilo name v)
+      else if suffix ~suf:".mispredicts" name then
+        Option.iter (add (stem ~suf:".mispredicts" name ^ ".mispredPki")) (per_kilo name v)
+      else if suffix ~suf:".ldKillFlushes" name then
+        Option.iter (add (stem ~suf:".ldKillFlushes" name ^ ".ldKillPki")) (per_kilo name v)
+      else if suffix ~suf:".tsoKills" name then
+        Option.iter (add (stem ~suf:".tsoKills" name ^ ".tsoKillPki")) (per_kilo name v)
+      else if suffix ~suf:"OccSum" name then begin
+        (* cycle-sampled occupancy sum -> average occupancy over the run *)
+        let c =
+          match core_prefix name with
+          | Some p -> ( match find (p ^ ".cycles") with Some n when n > 0 -> n | _ -> cycles)
+          | None -> cycles
+        in
+        if c > 0 then
+          add (stem ~suf:"Sum" name ^ "Avg") (float_of_int v /. float_of_int c)
+      end
+      else if suffix ~suf:".instrs" name then begin
+        match core_prefix name with
+        | Some p -> (
+            match find (p ^ ".cycles") with
+            | Some c when c > 0 ->
+                add (p ^ ".ipc") (float_of_int v /. float_of_int c)
+            | _ -> ())
+        | None -> ()
+      end)
+    counters;
+  List.sort (fun (a, _) (b, _) -> compare a b) !out
+
+let to_string ?(meta = []) ~cycles ~instrs ~stats () =
+  let counters = Cmd.Stats.to_list stats in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-stats-v1\",\n  \"meta\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\": \"%s\"" (esc k) (esc v)))
+    meta;
+  Buffer.add_string b
+    (Printf.sprintf "\n  },\n  \"cycles\": %d,\n  \"instrs\": %d,\n  \"counters\": {"
+       cycles instrs);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\": %d" (esc k) v))
+    counters;
+  Buffer.add_string b "\n  },\n  \"derived\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\": %.6f" (esc k) v))
+    (derived ~cycles ~instrs counters);
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let write ?meta ~out ~cycles ~instrs ~stats () =
+  let oc = open_out out in
+  output_string oc (to_string ?meta ~cycles ~instrs ~stats ());
+  close_out oc

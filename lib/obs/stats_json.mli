@@ -1,0 +1,28 @@
+(** Machine-readable counter export (schema ["riscyoo-stats-v1"]).
+
+    The JSON object carries caller-supplied [meta] strings, the run's cycle
+    and retired-instruction totals, every [Cmd.Stats] counter sorted by
+    name, and a ["derived"] section computed here once instead of in every
+    consumer: global and per-core IPC, ["*.mpki"] for every ["*.misses"]
+    counter, per-kilo-instruction rates for mispredicts / load-kill /
+    TSO-kill flushes, and ["*OccAvg"] averages for the cycle-sampled
+    ["*OccSum"] counters. Rates for core-local ["cN.*"] counters are
+    normalised by that core's own instruction count. Floats print as %.6f,
+    keys are sorted — the bytes are a pure function of the counter values. *)
+
+val to_string :
+  ?meta:(string * string) list ->
+  cycles:int ->
+  instrs:int ->
+  stats:Cmd.Stats.t ->
+  unit ->
+  string
+
+val write :
+  ?meta:(string * string) list ->
+  out:string ->
+  cycles:int ->
+  instrs:int ->
+  stats:Cmd.Stats.t ->
+  unit ->
+  unit

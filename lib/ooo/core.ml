@@ -12,9 +12,16 @@ type fslot = {
   mutable flen : int;
   mutable fpred : int64;
   mutable fepoch : int;
+  mutable fcyc : int; (* cycle the fetch was issued; only kept when tracing *)
 }
 
-type fgroup = { gpc : int64; gwords : int array; gpred : int64; gepoch : int }
+type fgroup = {
+  gpc : int64;
+  gwords : int array;
+  gpred : int64;
+  gepoch : int;
+  gfcyc : int;
+}
 
 type dec = {
   dpc : int64;
@@ -22,6 +29,7 @@ type dec = {
   dpred : int64;
   dghist : Branch.Dir_pred.snapshot option;
   dras : Branch.Ras.snapshot;
+  dtid : int; (* observability trace id, -1 when tracing is off *)
 }
 
 type t = {
@@ -74,7 +82,9 @@ type t = {
   mutable atomic_busy : bool;
   mutable halted_f : bool;
   mutable n_instret : int;
-  mutable commit_hook : (Uop.t -> unit) option;
+  mutable commit_hook : (Kernel.ctx -> Uop.t -> unit) option;
+  (* observability *)
+  pipe : Obs.Pipe.t;
   (* statistics *)
   c_cycles : Stats.counter;
   c_instrs : Stats.counter;
@@ -82,11 +92,16 @@ type t = {
   c_branches : Stats.counter;
   c_ld_kill_flush : Stats.counter;
   c_tso_kills : Stats.counter;
+  c_rob_occ : Stats.counter;
+  c_rob_full : Stats.counter;
+  c_iq_occ : Stats.counter;
+  c_iq_full : Stats.counter;
 }
 
 exception Cosim_mismatch of string
 
-let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache ~tlb ~mmio ~stats () =
+let create ?(name = "ooo") ?cosim ?(pipe = Obs.Pipe.null) clk (cfg : Config.t) ~hart_id ~icache
+    ~dcache ~tlb ~mmio ~stats () =
   (* Everything a core builds — pipeline FIFOs, stages, bypass wires — is
      private to it, so the whole construction runs in the core's partition
      (hart 0 -> partition 1; partition 0 is the uncore). *)
@@ -110,11 +125,11 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
     cosim;
     btb = Branch.Btb.create ~entries:cfg.btb_entries ();
     tour = Branch.Dir_pred.create cfg.predictor;
-    ras = Branch.Ras.create ~entries:cfg.ras_entries ();
+    ras = Branch.Ras.create ~entries:cfg.ras_entries ~stats ~name:(name ^ ".ras") ();
     fpc = Addr_map.dram_base;
     epoch = 0;
     fslots =
-      Array.init 8 (fun _ -> { fst = FFree; vpc = 0L; flen = 0; fpred = 0L; fepoch = 0 });
+      Array.init 8 (fun _ -> { fst = FFree; vpc = 0L; flen = 0; fpred = 0L; fepoch = 0; fcyc = 0 });
     f_alloc = 0;
     f_mem = 0;
     f2d = Fifo.cf ~name:(name ^ ".f2d") clk ~capacity:4 ();
@@ -148,12 +163,17 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
     halted_f = false;
     n_instret = 0;
     commit_hook = None;
+    pipe;
     c_cycles = Stats.counter stats (name ^ ".cycles");
     c_instrs = Stats.counter stats (name ^ ".instrs");
     c_mispred = Stats.counter stats (name ^ ".mispredicts");
     c_branches = Stats.counter stats (name ^ ".branches");
     c_ld_kill_flush = Stats.counter stats (name ^ ".ldKillFlushes");
     c_tso_kills = Stats.counter stats (name ^ ".tsoKills");
+    c_rob_occ = Stats.counter stats (name ^ ".robOccSum");
+    c_rob_full = Stats.counter stats (name ^ ".robFullCycles");
+    c_iq_occ = Stats.counter stats (name ^ ".iqOccSum");
+    c_iq_full = Stats.counter stats (name ^ ".iqFullCycles");
   }
   in
   (* Free and architecturally-live registers must be disjoint: a register
@@ -161,8 +181,22 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
      be overwritten by the next rename. *)
   (* The cycle counter used to be bumped inside the (always-firing) commit
      rule's body; counting at the clock edge instead lets the commit rule
-     carry a [can_fire] predicate and be skipped on idle cycles. *)
-  Clock.on_cycle_end clk (fun () -> Stats.incr t.c_cycles);
+     carry a [can_fire] predicate and be skipped on idle cycles. Structure
+     occupancies are sampled here too: the hook runs on the main domain
+     after the barrier, so untracked increments are race- and
+     rollback-free, and sampling at the edge sees the settled state. *)
+  Clock.on_cycle_end clk (fun () ->
+      Stats.incr t.c_cycles;
+      let rc = Rob.count t.rob in
+      if rc > 0 then Stats.incr ~by:rc t.c_rob_occ;
+      if not (Rob.can_enq t.rob) then Stats.incr t.c_rob_full;
+      let occ = ref (Issue_queue.count t.md_iq + Issue_queue.count t.mem_iq) in
+      Array.iter (fun q -> occ := !occ + Issue_queue.count q) t.alu_iqs;
+      if !occ > 0 then Stats.incr ~by:!occ t.c_iq_occ;
+      if (not (Issue_queue.can_enter t.md_iq))
+         || (not (Issue_queue.can_enter t.mem_iq))
+         || Array.exists (fun q -> not (Issue_queue.can_enter q)) t.alu_iqs
+      then Stats.incr t.c_iq_full);
   Verif.Invariant.register ~name:"rename.partition" (fun () ->
       let live = Array.make nregs false in
       Array.iter (fun p -> if p >= 0 then live.(p) <- true) (Rename_table.rrat t.rat);
@@ -175,6 +209,14 @@ let create ?(name = "ooo") ?cosim clk (cfg : Config.t) ~hart_id ~icache ~dcache 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 let set_pc t pc = t.fpc <- pc
 let set_commit_hook t f = t.commit_hook <- Some f
+
+(* Observability emission. A uop whose [tid] is -1 was decoded while tracing
+   was off; the [tid >= 0] check is the whole disabled-path cost. *)
+let emit_stage ctx t tid code =
+  if tid >= 0 then Obs.Pipe.stage ctx t.pipe tid code ~at:(Clock.now t.clk)
+
+let emit_retire ctx t tid ~flushed =
+  if tid >= 0 then Obs.Pipe.retire ctx t.pipe tid ~flushed ~at:(Clock.now t.clk)
 let halted t = t.halted_f
 let instret t = t.n_instret
 
@@ -213,6 +255,8 @@ let step_fetch_issue ctx t =
   fld ctx (fun () -> slot.flen) (fun v -> slot.flen <- v) len;
   fld ctx (fun () -> slot.fpred) (fun v -> slot.fpred <- v) pred;
   fld ctx (fun () -> slot.fepoch) (fun v -> slot.fepoch <- v) t.epoch;
+  if Obs.Pipe.is_active t.pipe then
+    fld ctx (fun () -> slot.fcyc) (fun v -> slot.fcyc <- v) (Clock.now t.clk);
   fld ctx (fun () -> t.f_alloc) (fun v -> t.f_alloc <- v) (t.f_alloc + 1);
   fld ctx (fun () -> t.fpc) (fun v -> t.fpc <- v) pred
 
@@ -251,6 +295,7 @@ let step_fetch_mem ctx t =
         gwords = Array.sub words 0 n;
         gpred = (if n = slot.flen then slot.fpred else Int64.add slot.vpc (Int64.of_int (4 * n)));
         gepoch = slot.fepoch;
+        gfcyc = slot.fcyc;
       }
   end;
   fld ctx (fun () -> slot.fst) (fun v -> slot.fst <- v) FFree
@@ -293,7 +338,21 @@ let step_decode ctx t =
           | _ -> fallthrough
         in
         let ras_snap = Branch.Ras.snapshot t.ras in
-        Fifo.enq ctx t.d2r { dpc = pc; dinstr = i; dpred = pred; dghist = !ghist; dras = ras_snap };
+        (* Trace ids are born at decode: the first point where an
+           instruction exists as such. The fetch stage is backdated to the
+           cycle recorded at fetch-issue; wrong-path fetch groups that never
+           decode stay invisible. *)
+        let dtid =
+          if Obs.Pipe.is_active t.pipe then begin
+            let tid = Obs.Pipe.start ctx t.pipe ~pc ~at:g.gfcyc in
+            Obs.Pipe.set_text t.pipe tid (Instr.to_string i);
+            Obs.Pipe.stage ctx t.pipe tid Obs.Pipe.s_decode ~at:(Clock.now t.clk);
+            tid
+          end
+          else -1
+        in
+        Fifo.enq ctx t.d2r
+          { dpc = pc; dinstr = i; dpred = pred; dghist = !ghist; dras = ras_snap; dtid };
         if pred <> my_pred then begin
           redirect_front ctx t pred;
           stop := true
@@ -381,6 +440,7 @@ let rename_one ctx t =
       st_data = 0L;
       result = 0L;
       actual_next = Int64.add de.dpc 4L;
+      tid = de.dtid;
     }
   in
   ignore (Rob.enq ctx t.rob u);
@@ -403,6 +463,8 @@ let rename_one ctx t =
   (match i.op with
   | Instr.Fence | Instr.FenceI -> Lsq.add_fence ctx t.lsq u
   | _ -> ());
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_rename;
+  if target_iq <> None then emit_stage ctx t u.Uop.tid Obs.Pipe.s_dispatch;
   ignore (Fifo.deq ctx t.d2r)
 
 let step_rename ctx t =
@@ -444,7 +506,10 @@ let do_mispredict ctx t (u : Uop.t) actual =
   let dead = Spec_manager.wrong ctx t.spec u.spec_tag in
   let dead_mask = Spec_manager.mask_of dead in
   Rob.iter_live t.rob (fun v ->
-      if v.Uop.spec_mask land dead_mask <> 0 then Uop.mk_set_killed ctx v true);
+      if v.Uop.spec_mask land dead_mask <> 0 then begin
+        Uop.mk_set_killed ctx v true;
+        emit_retire ctx t v.Uop.tid ~flushed:true
+      end);
   ignore (Rob.truncate_after ctx t.rob u.rob_idx);
   squash_everything ctx t;
   Rename_table.restore ctx t.rat ~tag:u.spec_tag;
@@ -455,6 +520,9 @@ let commit_flush ctx t (u : Uop.t) =
   Stats.incr ~ctx t.c_ld_kill_flush;
   redirect_front ctx t u.pc;
   Fifo.clear ctx t.d2r;
+  (* every in-flight uop (including the head itself) is squashed and will
+     re-enter the pipeline under a fresh trace id *)
+  Rob.iter_live t.rob (fun v -> emit_retire ctx t v.Uop.tid ~flushed:true);
   Rob.flush ctx t.rob;
   squash_everything ctx t;
   Lsq.flush ctx t.lsq;
@@ -472,6 +540,7 @@ let step_issue_alu ctx t i =
   let q = t.alu_iqs.(i) in
   Kernel.guard ctx (Stage.can_put ctx t.alu_rr.(i)) "rr busy";
   let u = Issue_queue.issue ctx q in
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_issue;
   Stage.put ctx t.alu_rr.(i) u;
   (* single-cycle result: optimistic scoreboard wakeup at issue *)
   if u.Uop.prd >= 0 then begin
@@ -520,6 +589,7 @@ let step_exec_alu ctx t i =
   Kernel.guard ctx (Stage.can_put ctx t.alu_wb.(i)) "wb busy";
   let result, actual = exec_alu u v1 v2 in
   ignore (Stage.take ctx t.alu_ex.(i));
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_exec;
   Uop.mk_set_result ctx u result;
   Uop.mk_set_actual_next ctx u actual;
   if u.Uop.prd >= 0 then Bypass.set ctx t.byp (2 * i) u.Uop.prd result;
@@ -537,6 +607,7 @@ let step_exec_alu ctx t i =
 
 let step_wb_alu ctx t i =
   let u, result = Stage.take ctx t.alu_wb.(i) in
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_writeback;
   if u.Uop.prd >= 0 then begin
     Prf.write ctx t.prf u.Uop.prd result;
     Bypass.set ctx t.byp ((2 * i) + 1) u.Uop.prd result
@@ -550,6 +621,7 @@ let step_wb_alu ctx t i =
 let step_issue_md ctx t =
   Kernel.guard ctx (Stage.can_put ctx t.md_rr) "md rr busy";
   let u = Issue_queue.issue ctx t.md_iq in
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_issue;
   Stage.put ctx t.md_rr u
 
 let step_regread_md ctx t =
@@ -569,6 +641,7 @@ let step_exec_md ctx t =
     | _ -> assert false
   in
   ignore (Stage.take ctx t.md_ex);
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_exec;
   Uop.mk_set_result ctx u result;
   Stage.put ctx t.md_wb (u, result);
   if u.Uop.prd >= 0 then begin
@@ -578,6 +651,7 @@ let step_exec_md ctx t =
 
 let step_wb_md ctx t =
   let u, result = Stage.take ctx t.md_wb in
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_writeback;
   if u.Uop.prd >= 0 then Prf.write ctx t.prf u.Uop.prd result;
   Uop.mk_set_completed ctx u true
 
@@ -588,6 +662,7 @@ let step_wb_md ctx t =
 let step_issue_mem ctx t =
   Kernel.guard ctx (Stage.can_put ctx t.mem_rr) "mem rr busy";
   let u = Issue_queue.issue ctx t.mem_iq in
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_issue;
   Stage.put ctx t.mem_rr u
 
 let step_regread_mem ctx t =
@@ -600,6 +675,7 @@ let step_regread_mem ctx t =
   Tlb.Tlb_sys.dtlb_req ctx t.tlbs ~tag:!free va;
   Uop.mk_set_st_data ctx u v2;
   Mut.set_arr ctx t.tlb_pending !free (Some u);
+  emit_stage ctx t u.Uop.tid Obs.Pipe.s_exec;
   ignore (Stage.take ctx t.mem_rr)
 
 let step_update_lsq ctx t =
@@ -607,6 +683,7 @@ let step_update_lsq ctx t =
   let u = match t.tlb_pending.(tag) with Some u -> u | None -> failwith "orphan dtlb resp" in
   Mut.set_arr ctx t.tlb_pending tag None;
   if not u.Uop.killed then begin
+    emit_stage ctx t u.Uop.tid Obs.Pipe.s_mem;
     match res with
     | Tlb.Tlb_sys.Fault ->
       Uop.mk_set_fault ctx u true;
@@ -650,6 +727,7 @@ let handle_ld_resp ctx t tag v =
   match Lsq.resp_ld ctx t.lsq tag v with
   | `WrongPath -> ()
   | `Ok u ->
+    emit_stage ctx t u.Uop.tid Obs.Pipe.s_writeback;
     if u.Uop.prd >= 0 then begin
       Prf.write ctx t.prf u.Uop.prd v;
       wakeup_all ctx t u.Uop.prd
@@ -780,7 +858,8 @@ let commit_common ctx t (u : Uop.t) =
   fld ctx (fun () -> t.n_instret) (fun v -> t.n_instret <- v) (t.n_instret + 1);
   Stats.incr ~ctx t.c_instrs;
   Rob.deq ctx t.rob;
-  (match t.commit_hook with Some f -> f u | None -> ());
+  emit_retire ctx t u.tid ~flushed:false;
+  (match t.commit_hook with Some f -> f ctx u | None -> ());
   cosim_check ctx t u
 
 let atomic_f t (u : Uop.t) =
@@ -917,6 +996,7 @@ let step_resp_at ctx t =
       | Instr.Lr Instr.W | Instr.Amo { width = Instr.W; _ } -> Xlen.sext ~bits:32 result
       | _ -> result
     in
+    emit_stage ctx t u.tid Obs.Pipe.s_writeback;
     if u.prd >= 0 then begin
       Prf.write ctx t.prf u.prd result;
       wakeup_all ctx t u.prd

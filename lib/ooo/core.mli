@@ -20,6 +20,7 @@ type schedule = [ `Aggressive | `Conservative ]
 val create :
   ?name:string ->
   ?cosim:Isa.Golden.t ->
+  ?pipe:Obs.Pipe.t ->
   Cmd.Clock.t ->
   Config.t ->
   hart_id:int ->
@@ -36,8 +37,10 @@ val rules : ?schedule:schedule -> t -> Cmd.Rule.t list
 
 val set_pc : t -> int64 -> unit
 
-(** Observe every committed uop (tracing, custom statistics). *)
-val set_commit_hook : t -> (Uop.t -> unit) -> unit
+(** Observe every committed uop (tracing, custom statistics). The hook runs
+    inside the commit rule, so any side effect it makes must be registered
+    through the [ctx] to stay abort-safe. *)
+val set_commit_hook : t -> (Cmd.Kernel.ctx -> Uop.t -> unit) -> unit
 
 (** Initialize an architectural register (pre-run). *)
 val set_reg : t -> int -> int64 -> unit

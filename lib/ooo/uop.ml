@@ -25,6 +25,7 @@ type t = {
   mutable st_data : int64;
   mutable result : int64;
   mutable actual_next : int64;
+  tid : int; (* observability trace id, -1 when tracing was off at decode *)
 }
 
 let fld = Cmd.Mut.field

@@ -33,6 +33,7 @@ type t = {
   mutable st_data : int64;
   mutable result : int64;  (** destination value (for co-simulation) *)
   mutable actual_next : int64;
+  tid : int;  (** observability trace id, -1 when tracing was off at decode *)
 }
 
 val mk_set_mask : Cmd.Kernel.ctx -> t -> int -> unit

@@ -73,6 +73,7 @@ type t = {
   part : int; (* partition this TLB was built in (its core's) *)
   c_l2_access : Stats.counter;
   c_l2_miss : Stats.counter;
+  c_walk_cycles : Stats.counter;
 }
 
 let mk_side clk name n misses stats =
@@ -87,6 +88,7 @@ let mk_side clk name n misses stats =
   }
 
 let create ?(name = "tlb") clk cfg ~stats () =
+  let t =
   {
     name;
     cfg;
@@ -104,7 +106,14 @@ let create ?(name = "tlb") clk cfg ~stats () =
     part = Partition.ambient ();
     c_l2_access = Stats.counter stats (name ^ ".l2.accesses");
     c_l2_miss = Stats.counter stats (name ^ ".l2.misses");
+    c_walk_cycles = Stats.counter stats (name ^ ".walkCycles");
   }
+  in
+  (* cycles with at least one page walk in flight, sampled at the clock
+     edge (main domain, post-barrier: untracked increments are safe) *)
+  Clock.on_cycle_end clk (fun () ->
+      if Array.exists (fun w -> w.wvalid) t.walks then Stats.incr t.c_walk_cycles);
+  t
 
 let set_satp t v = t.satp_v <- v
 let satp t = t.satp_v

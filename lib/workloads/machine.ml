@@ -31,6 +31,7 @@ type t = {
   mutable spent_cycles : int;
   mutable wd : Verif.Watchdog.t option;
   mutable checks : Verif.Invariant.check list;
+  mutable tlog : (Obs.Commit_log.t * Format.formatter) option;
 }
 
 type outcome = { exits : int64 array; cycles : int; timed_out : bool }
@@ -57,7 +58,7 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(watchdog = 0) ?(invariants = false) kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
      is not partition-private; force serial execution under cosim. *)
   let jobs = if cosim then 1 else jobs in
@@ -74,6 +75,16 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       Page_table.root pt
     end
     else 0L
+  in
+  (* cores built with no hub get the shared inactive Pipe.null: emission
+     sites then cost one load-and-branch and record nothing *)
+  let pipe_for i =
+    match obs with Some hub -> Obs.Hub.pipe hub ~hart:i | None -> Obs.Pipe.null
+  in
+  let mk_sim clk rules =
+    let sim = Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules in
+    (match obs with Some hub -> Obs.Hub.attach hub sim | None -> ());
+    sim
   in
   let build () =
   match kind with
@@ -96,6 +107,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       spent_cycles = 0;
       wd = None;
       checks = [];
+      tlog = None;
     }
   | In_order { mem; tlb } ->
     let clk = Clock.create () in
@@ -110,7 +122,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let cores =
       Array.init ncores (fun i ->
           let c =
-            Inorder.Inorder_core.create ~name:(Printf.sprintf "c%d" i) clk ~hart_id:i
+            Inorder.Inorder_core.create ~name:(Printf.sprintf "c%d" i) ~pipe:(pipe_for i) clk
+              ~hart_id:i
               ~icache:(Mem.Mem_sys.icache ms i) ~dcache:(Mem.Mem_sys.dcache ms i) ~tlb:tlbs.(i)
               ~mmio ~stats:stats_t ()
           in
@@ -129,13 +142,14 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules);
+      sim = Some (mk_sim clk rules);
       golden = None;
       cores = Array.map (fun c -> HInorder c) cores;
       stats_t;
       spent_cycles = 0;
       wd = None;
       checks = [];
+      tlog = None;
     }
   | Out_of_order cfg ->
     let clk = Clock.create () in
@@ -165,7 +179,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let cores =
       Array.init ncores (fun i ->
           let c =
-            Ooo.Core.create ~name:(Printf.sprintf "c%d" i) ?cosim:golden clk cfg ~hart_id:i
+            Ooo.Core.create ~name:(Printf.sprintf "c%d" i) ?cosim:golden ~pipe:(pipe_for i) clk
+              cfg ~hart_id:i
               ~icache:(Mem.Mem_sys.icache ms i) ~dcache:(Mem.Mem_sys.dcache ms i) ~tlb:tlbs.(i)
               ~mmio ~stats:stats_t ()
           in
@@ -184,13 +199,14 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       ncores;
       pmem;
       mmio;
-      sim = Some (Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules);
+      sim = Some (mk_sim clk rules);
       golden = None;
       cores = Array.map (fun c -> HOoo c) cores;
       stats_t;
       spent_cycles = 0;
       wd = None;
       checks = [];
+      tlog = None;
     }
   in
   (* With [invariants], construction runs inside a collector scope: every
@@ -257,17 +273,27 @@ let invariant_names t = Verif.Invariant.names t.checks
 let pp_rule_stats fmt t =
   match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()
 
-(* Trace committed instructions of every OOO core to [fmt]. *)
+(* Trace committed instructions of every OOO core. Lines land in a
+   per-hart Obs.Commit_log (abort-safe, single writer per partition) and
+   [flush_trace] prints them hart-ordered after the run — printing straight
+   from the hook would interleave harts in rule-firing order. *)
 let trace_commits t fmt =
+  let log = Obs.Commit_log.create ~nharts:t.ncores in
+  Obs.Commit_log.set_active log true;
+  t.tlog <- Some (log, fmt);
   Array.iteri
     (fun h c ->
       match c with
       | HOoo core ->
-        Ooo.Core.set_commit_hook core (fun u ->
-            Format.fprintf fmt "C%d %8d: %Lx %s -> %Lx@." h (Ooo.Core.instret core) u.Ooo.Uop.pc
-              (Isa.Instr.to_string u.Ooo.Uop.instr) u.Ooo.Uop.result)
+        Ooo.Core.set_commit_hook core (fun ctx u ->
+            Obs.Commit_log.line ctx log ~hart:h
+              (Printf.sprintf "C%d %8d: %Lx %s -> %Lx" h (Ooo.Core.instret core) u.Ooo.Uop.pc
+                 (Isa.Instr.to_string u.Ooo.Uop.instr) u.Ooo.Uop.result))
       | HInorder _ | HGolden -> ())
     t.cores
+
+let flush_trace t =
+  match t.tlog with Some (log, fmt) -> Obs.Commit_log.dump log fmt | None -> ()
 
 let pp_core_debug fmt t =
   Array.iter

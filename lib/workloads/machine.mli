@@ -39,7 +39,13 @@ type t
     across harts. [partition_audit] runs serially while checking every
     EHR/FIFO/wire access against the partition that makes it, raising
     {!Cmd.Kernel.Partition_overlap} on an undeclared cross-partition
-    touch. *)
+    touch.
+
+    [obs] plugs an observability hub in: every core is built against the
+    hub's per-hart instruction tracer and the hub is attached to the
+    simulator (rule numbering, rule-fire sink, capture window) — see
+    {!Obs.Hub}. Without it the cores trace into [Obs.Pipe.null] and pay one
+    load-and-branch per potential event. *)
 val create :
   ?ncores:int ->
   ?paging:bool ->
@@ -54,6 +60,7 @@ val create :
   ?partition_audit:bool ->
   ?watchdog:int ->
   ?invariants:bool ->
+  ?obs:Obs.Hub.t ->
   kind ->
   program ->
   t
@@ -83,8 +90,15 @@ val watchdog_trips : t -> int
 (** Names of the invariant checks collected at construction. *)
 val invariant_names : t -> string list
 
-(** Print every committed instruction of the OOO cores to the formatter. *)
+(** Record every committed instruction of the OOO cores; {!flush_trace}
+    prints them to the formatter after the run, hart-ordered (all of hart
+    0's commits, then hart 1's, ...) so the output is deterministic at any
+    [jobs] and schedule mode. *)
 val trace_commits : t -> Format.formatter -> unit
+
+(** Print the recorded commit trace (no-op when {!trace_commits} was never
+    called). *)
+val flush_trace : t -> unit
 
 (** Per-rule firing statistics of the underlying scheduler (debugging). *)
 val pp_rule_stats : Format.formatter -> t -> unit

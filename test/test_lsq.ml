@@ -36,6 +36,7 @@ let mk ?(seq = 0) op : Uop.t =
     st_data = 0L;
     result = 0L;
     actual_next = 0L;
+    tid = -1;
   }
 
 let ld_op = Isa.Instr.Ld { width = Isa.Instr.D; unsigned = false }

@@ -14,6 +14,7 @@ let () =
       ("ooo", Test_ooo.suite);
       ("multicore", Test_multicore.suite);
       ("workloads", Test_workloads.suite);
+      ("obs", Test_obs.suite);
       ("verif", Test_verif.suite);
       ("random", Test_random.suite);
       ("synth", Test_synth.suite);

@@ -32,6 +32,7 @@ let mk_uop ?(seq = 0) ?(prs1 = -1) ?(prs2 = -1) ?(prd = -1) ?(mask = 0) () : Uop
     st_data = 0L;
     result = 0L;
     actual_next = 0L;
+    tid = -1;
   }
 
 (* --- free list ---------------------------------------------------------- *)

@@ -111,7 +111,7 @@ let qcheck_lsq_forwarding =
           prd_old = -1; spec_tag = -1; lsq = lsqs; pred_next = 0L;
           ras_sp = Branch.Ras.snapshot (Branch.Ras.create ()); ghist = None; spec_mask = 0;
           killed = false; completed = false; ld_kill = false; fault = false; mmio = false;
-          translated = true; paddr; st_data; result = 0L; actual_next = 0L;
+          translated = true; paddr; st_data; result = 0L; actual_next = 0L; tid = -1;
         }
       in
       (* 0-3 older stores at random (aligned) offsets/sizes *)
