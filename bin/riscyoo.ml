@@ -12,6 +12,13 @@ module Cmd_kernel = Cmd.Kernel
 open Cmdliner
 open Workloads
 
+(* Single exit funnel: the domain pool is shut down explicitly on every
+   path, so a failing run never leaves worker domains blocked on the job
+   queue at process teardown. *)
+let die code =
+  Cmd_sim.shutdown_pool ();
+  exit code
+
 let configs =
   [
     ("b", Ooo.Config.riscyoo_b);
@@ -201,7 +208,7 @@ let run_cmd =
         horizon;
       Verif.Report.print ~exemplars:10 s;
       Printf.printf "host: %.1fs\n" (Unix.gettimeofday () -. t0);
-      if s.Verif.Fault.n_undiagnosed > 0 then exit 1
+      if s.Verif.Fault.n_undiagnosed > 0 then die 1
     end
     else
     let obs =
@@ -225,7 +232,7 @@ let run_cmd =
           ~partition_audit ~watchdog ~invariants ?obs kind prog
       with Cmd_sim.Partition_error msg ->
         Printf.printf "PARTITION ERROR: %s\n" msg;
-        exit 3
+        die 3
     in
     if trace then Machine.trace_commits m Format.std_formatter;
     let t0 = Unix.gettimeofday () in
@@ -233,16 +240,16 @@ let run_cmd =
       try Machine.run m with
       | Verif.Watchdog.Trip info ->
         print_endline info.Verif.Watchdog.report;
-        exit 2
+        die 2
       | Verif.Invariant.Violation (name, msg) ->
         Printf.printf "INVARIANT VIOLATION [%s]: %s\n" name msg;
-        exit 2
+        die 2
       | Cmd_sim.Audit_fail msg ->
         Printf.printf "SCHEDULER AUDIT FAILURE: %s\n" msg;
-        exit 3
+        die 3
       | Cmd_kernel.Partition_overlap msg ->
         Printf.printf "PARTITION AUDIT FAILURE: %s\n" msg;
-        exit 3
+        die 3
     in
     let dt = Unix.gettimeofday () -. t0 in
     if trace then Machine.flush_trace m;
@@ -288,6 +295,139 @@ let synth_cmd =
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "synth" ~doc) Term.(const run $ const ())
 
+let litmus_cmd =
+  let doc = "Run memory-model litmus tests against reference outcome sets" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs each litmus test of the classic suite (SB, MP, LB, S, R, 2+2W, CoRR, CoWW, IRIW \
+         and fence variants) on the quad-core machine across shuffled rule schedules, and checks \
+         every observed outcome against the set an operational SC/TSO/WMM reference model \
+         allows. Exits 1 if a forbidden outcome, a --jobs disagreement or an unmet \
+         --require-relaxed is found; 2 on harness errors.";
+    ]
+  in
+  let model =
+    Arg.(
+      value & opt string "both"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"memory model(s) to test: tso, wmm or both")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 0
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"schedule seeds per (test, model, jobs); 0 = auto (200, or 12 with --quick)")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"small sweep for PR CI (12 seeds)") in
+  let test_name =
+    Arg.(
+      value & opt (some string) None
+      & info [ "test" ] ~docv:"NAME" ~doc:"run a single named test instead of the whole suite")
+  in
+  let hist =
+    Arg.(
+      value & opt (some string) None
+      & info [ "hist" ] ~docv:"FILE" ~doc:"write the outcome histograms as JSON")
+  in
+  let trace_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"replay the first run of each forbidden outcome with the Konata pipeline tracer \
+                and drop the trace here")
+  in
+  let jobs_only =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"run only at N domains (default: every seed runs at both --jobs 1 and 4, and the \
+                outcomes must be bit-identical)")
+  in
+  let no_stagger =
+    Arg.(
+      value & flag
+      & info [ "no-stagger" ] ~doc:"drop the seed-derived start-time skew (identical images)")
+  in
+  let require_relaxed =
+    Arg.(
+      value & flag
+      & info [ "require-relaxed" ]
+          ~doc:"also fail unless the sweep observed a non-SC outcome and, under WMM, an outcome \
+                outside the TSO set — guards the harness against sweeps too tame to distinguish \
+                the models")
+  in
+  let run model seeds quick test_name hist trace_dir jobs_only no_stagger require_relaxed =
+    let models =
+      match String.lowercase_ascii model with
+      | "tso" -> [ Ooo.Config.TSO ]
+      | "wmm" -> [ Ooo.Config.WMM ]
+      | "both" -> [ Ooo.Config.TSO; Ooo.Config.WMM ]
+      | m ->
+        Printf.eprintf "unknown model %s (want tso, wmm or both)\n" m;
+        die 2
+    in
+    let seeds = if seeds > 0 then seeds else if quick then 12 else 200 in
+    let tests =
+      match test_name with
+      | None -> Litmus.Test.all
+      | Some n -> (
+        match Litmus.Test.find n with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown litmus test %s; available: %s\n" n
+            (String.concat " " (List.map (fun (t : Litmus.Test.t) -> t.name) Litmus.Test.all));
+          die 2)
+    in
+    let jobs_list = match jobs_only with Some j -> [ j ] | None -> [ 1; 4 ] in
+    Option.iter (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755) trace_dir;
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun t ->
+              let r =
+                Litmus.Run.sweep ~seeds ~jobs_list ~stagger:(not no_stagger) ?trace_dir ~model:m t
+              in
+              Format.printf "%a" Litmus.Run.pp_report r;
+              r)
+            tests)
+        models
+    in
+    Option.iter
+      (fun f ->
+        let oc = open_out f in
+        output_string oc (Litmus.Run.reports_to_json ~seeds reports);
+        close_out oc)
+      hist;
+    let failed = List.filter (fun r -> not (Litmus.Run.ok r)) reports in
+    let errors = List.exists (fun r -> r.Litmus.Run.errors <> []) reports in
+    let relaxed = List.exists (fun r -> r.Litmus.Run.relaxed_seen) reports in
+    let wmm_only =
+      List.exists
+        (fun r -> r.Litmus.Run.model = Ooo.Config.WMM && r.Litmus.Run.wmm_only_seen)
+        reports
+    in
+    Printf.printf "%d sweeps, %d failed  (%.1fs host)\n" (List.length reports)
+      (List.length failed)
+      (Unix.gettimeofday () -. t0);
+    if require_relaxed then begin
+      if not relaxed then print_endline "REQUIRE-RELAXED: no non-SC outcome was ever observed";
+      if List.mem Ooo.Config.WMM models && not wmm_only then
+        print_endline "REQUIRE-RELAXED: no outcome outside the TSO set was observed under WMM"
+    end;
+    if errors then die 2;
+    if failed <> [] || (require_relaxed && (not relaxed || (List.mem Ooo.Config.WMM models && not wmm_only)))
+    then die 1;
+    die 0
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "litmus" ~doc ~man)
+    Term.(
+      const run $ model $ seeds $ quick $ test_name $ hist $ trace_dir $ jobs_only $ no_stagger
+      $ require_relaxed)
+
 let () =
   let info = Cmdliner.Cmd.info "riscyoo" ~doc:"RiscyOO processor models and workloads" in
-  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd ]))
+  die (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd; litmus_cmd ]))

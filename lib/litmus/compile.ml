@@ -1,0 +1,126 @@
+open Isa
+open Reg_name
+open Workloads
+
+type meta = { test : Test.t; locs : string list }
+
+(* Shared-location lines are spread 256 B apart (4 cache lines) so false
+   sharing never couples two locations; the barrier and done counters live
+   on their own lines well away from the data. *)
+let loc_base = 0x8010_0000L
+let loc_stride = 256
+let barrier_ctr = 0x8011_0000L
+let done_ctr = 0x8011_0100L
+
+let loc_addr locs l =
+  let rec idx i = function
+    | [] -> invalid_arg ("litmus: unknown location " ^ l)
+    | x :: _ when x = l -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  Int64.add loc_base (Int64.of_int (idx 0 locs * loc_stride))
+
+(* Thread-local IR register r0..r3 -> s2..s5; final location values (hart 0
+   only) -> s6..s9; location addresses are precomputed into a2..a5 before
+   the start barrier so a body access is a single instruction — the wider
+   the post-barrier race window, the more interleavings a sweep reaches.
+   The remaining harness scratch registers are t0..t6/s0/a0/a7. *)
+let arch_of_reg r = s2 + r
+let final_arch i = s6 + i
+
+let addr_reg locs l =
+  let rec idx i = function
+    | [] -> invalid_arg ("litmus: unknown location " ^ l)
+    | x :: _ when x = l -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  a2 + idx 0 locs
+
+(* Deterministic per-(seed, hart) stagger: 0..7 iterations of a countdown
+   loop. Same seed -> same image, which is what lets a forbidden run be
+   re-executed for its trace. *)
+let stagger_iters seed hart =
+  let h = (seed * 0x01000193) lxor ((hart + 1) * 0x85EBCA6B) in
+  (h lsr 7) land 7
+
+let emit_op p locs ~warm = function
+  | Test.St (l, v) ->
+    Asm.li p t2 (Int64.of_int v);
+    Asm.sw p t2 0L (addr_reg locs l)
+  | Test.Ld (r, l) -> Asm.lw p (if warm then t4 else arch_of_reg r) 0L (addr_reg locs l)
+  | Test.Fence -> Asm.fence p
+
+let emit_thread p (t : Test.t) locs ~seed ~stagger h =
+  let th = t.Test.threads.(h) in
+  List.iter (fun l -> Asm.li p (addr_reg locs l) (loc_addr locs l)) locs;
+  List.iter (emit_op p locs ~warm:true) th.Test.warm;
+  (* start barrier: no body op may race a warm-up *)
+  Asm.li p s0 barrier_ctr;
+  Kernel_lib.barrier p ~addr_reg:s0 ~harts:(Test.nharts t) ~tmp1:t1 ~tmp2:t2;
+  (if stagger then
+     let n = stagger_iters seed h in
+     if n > 0 then begin
+       let top = Asm.fresh p "stagger" and out = Asm.fresh p "stagger_done" in
+       Asm.li p t2 (Int64.of_int n);
+       Asm.label p top;
+       Asm.beq p t2 zero out;
+       Asm.addi p t2 t2 (-1L);
+       Asm.j p top;
+       Asm.label p out
+     end);
+  List.iter (emit_op p locs ~warm:false) th.Test.body;
+  (* publish: drain own stores, then bump the done counter *)
+  Asm.fence p;
+  Asm.li p t5 done_ctr;
+  Asm.li p t6 1L;
+  Asm.amoadd_d p zero t6 t5;
+  if h = 0 then begin
+    let wait = Asm.fresh p "alldone" in
+    Asm.li p t6 (Int64.of_int (Test.nharts t));
+    Asm.label p wait;
+    Asm.ld p t4 0L t5;
+    Asm.bne p t4 t6 wait;
+    Asm.fence p;
+    List.iteri (fun i l -> Asm.lw p (final_arch i) 0L (addr_reg locs l)) locs
+  end;
+  Asm.li p a0 (Int64.of_int h);
+  Asm.li p a7 93L;
+  Asm.ecall p
+
+let program ~seed ~stagger (t : Test.t) =
+  Test.check t;
+  let locs = Test.locs t in
+  let p = Asm.create () in
+  let n = Test.nharts t in
+  Asm.csrr p t0 Csr.mhartid;
+  for h = 1 to n - 1 do
+    Asm.li p t1 (Int64.of_int h);
+    Asm.beq p t0 t1 (Printf.sprintf "thread%d" h)
+  done;
+  emit_thread p t locs ~seed ~stagger 0;
+  for h = 1 to n - 1 do
+    Asm.label p (Printf.sprintf "thread%d" h);
+    emit_thread p t locs ~seed ~stagger h
+  done;
+  let init_mem pmem =
+    List.iter
+      (fun l ->
+        Phys_mem.store pmem ~bytes:4 (loc_addr locs l) (Int64.of_int (Test.init_value t l)))
+      locs
+  in
+  (Machine.program ~init_mem p, { test = t; locs })
+
+let read_outcome meta ~reg =
+  let t = meta.test in
+  let regs =
+    List.concat
+      (List.init (Test.nharts t) (fun i ->
+           List.map
+             (fun r -> Int64.to_int (reg ~hart:i (arch_of_reg r)))
+             (Test.observed t i)))
+  in
+  let finals = List.mapi (fun i _ -> Int64.to_int (reg ~hart:0 (final_arch i))) meta.locs in
+  Array.of_list (regs @ finals)
+
+let expected_exits meta =
+  Array.init (Test.nharts meta.test) Int64.of_int

@@ -1,0 +1,25 @@
+(** Lower a {!Test} to a bare-metal image for {!Workloads.Machine}.
+
+    Every hart dispatches on [mhartid] to its thread block: warm-up ops, a
+    start barrier (so no body instruction races a warm-up), a seed-derived
+    stagger loop (skews the harts' start times — with the Shuffle scheduler
+    seed this is what makes different seeds explore different
+    interleavings), the body with loads landing in s2–s5, a fence, and a
+    done-counter AMO. Hart 0 additionally spins until every hart has
+    signalled, fences, and loads each location's final value into s6–s9.
+    Each hart exits with its hart id (a harness sanity check; the real
+    observations are read from the register files after the run). *)
+
+type meta
+
+(** [program ~seed ~stagger test] — [seed] only affects the stagger loops;
+    [~stagger:false] compiles identical images for every seed. *)
+val program : seed:int -> stagger:bool -> Test.t -> Workloads.Machine.program * meta
+
+(** [read_outcome meta ~reg] assembles the canonical outcome vector (see
+    {!Test}) from an architectural-register reader, i.e.
+    [Machine.reg m ~hart]. *)
+val read_outcome : meta -> reg:(hart:int -> int -> int64) -> int array
+
+(** Expected exit code of each hart (its hart id). *)
+val expected_exits : meta -> int64 array

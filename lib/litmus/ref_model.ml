@@ -1,0 +1,187 @@
+type model = SC | TSO | WMM
+
+let model_to_string = function SC -> "SC" | TSO -> "TSO" | WMM -> "WMM"
+let of_mem_model = function Ooo.Config.TSO -> TSO | Ooo.Config.WMM -> WMM
+
+(* Threads are compiled to arrays of ops over integer location ids. *)
+type op = St of int * int | Ld of int * int | Fence
+
+type state = {
+  pc : int array;
+  regs : int array array; (* thread -> r0..r3 *)
+  mem : int array; (* loc id -> value *)
+  sb : (int * int) list array; (* thread -> (loc, v), oldest first *)
+  ib : int list array array; (* thread -> loc -> stale values, oldest first *)
+}
+
+let clone s =
+  {
+    pc = Array.copy s.pc;
+    regs = Array.map Array.copy s.regs;
+    mem = Array.copy s.mem;
+    sb = Array.copy s.sb;
+    ib = Array.map Array.copy s.ib;
+  }
+
+(* Youngest store-buffer entry for [l], if any. *)
+let sb_find sb l =
+  List.fold_left (fun acc (l', v) -> if l' = l then Some v else acc) None sb
+
+let sb_has sb l = List.exists (fun (l', _) -> l' = l) sb
+
+(* Remove the oldest entry for [l]; returns its value. *)
+let sb_take_oldest sb l =
+  let rec go = function
+    | [] -> invalid_arg "sb_take_oldest"
+    | (l', v) :: rest when l' = l -> (v, rest)
+    | e :: rest ->
+      let v, rest' = go rest in
+      (v, e :: rest')
+  in
+  go sb
+
+let successors model prog nthreads nlocs s =
+  let out = ref [] in
+  let push s' = out := s' :: !out in
+  for i = 0 to nthreads - 1 do
+    (* execute thread i's next instruction *)
+    (if s.pc.(i) < Array.length prog.(i) then
+       match prog.(i).(s.pc.(i)) with
+       | St (l, v) ->
+         let s' = clone s in
+         s'.pc.(i) <- s.pc.(i) + 1;
+         (match model with
+         | SC -> s'.mem.(l) <- v
+         | TSO -> s'.sb.(i) <- s.sb.(i) @ [ (l, v) ]
+         | WMM ->
+           s'.sb.(i) <- s.sb.(i) @ [ (l, v) ];
+           (* own stale values for l die: nothing older than the new store
+              may be read by this thread again *)
+           s'.ib.(i).(l) <- []);
+         push s'
+       | Ld (r, l) -> (
+         match if model = SC then None else sb_find s.sb.(i) l with
+         | Some v ->
+           (* forced: read the youngest own buffered store *)
+           let s' = clone s in
+           s'.pc.(i) <- s.pc.(i) + 1;
+           s'.regs.(i).(r) <- v;
+           push s'
+         | None ->
+           (* read the monolithic memory *)
+           let s' = clone s in
+           s'.pc.(i) <- s.pc.(i) + 1;
+           s'.regs.(i).(r) <- s.mem.(l);
+           if model = WMM then s'.ib.(i).(l) <- [];
+           push s';
+           (* WMM: or any still-live stale value; reading the k-th discards
+              everything older (per-location coherence) *)
+           if model = WMM then
+             List.iteri
+               (fun k v ->
+                 let s' = clone s in
+                 s'.pc.(i) <- s.pc.(i) + 1;
+                 s'.regs.(i).(r) <- v;
+                 let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+                 s'.ib.(i).(l) <- drop k s.ib.(i).(l);
+                 push s')
+               s.ib.(i).(l))
+       | Fence ->
+         if model = SC || s.sb.(i) = [] then begin
+           let s' = clone s in
+           s'.pc.(i) <- s.pc.(i) + 1;
+           if model = WMM then for l = 0 to nlocs - 1 do s'.ib.(i).(l) <- [] done;
+           push s'
+         end);
+    (* drain one entry of thread i's store buffer *)
+    match model with
+    | SC -> ()
+    | TSO -> (
+      match s.sb.(i) with
+      | (l, v) :: rest ->
+        let s' = clone s in
+        s'.sb.(i) <- rest;
+        s'.mem.(l) <- v;
+        push s'
+      | [] -> ())
+    | WMM ->
+      (* any location's oldest entry may go next *)
+      let seen = Array.make nlocs false in
+      List.iter
+        (fun (l, _) ->
+          if not seen.(l) then begin
+            seen.(l) <- true;
+            let v, rest = sb_take_oldest s.sb.(i) l in
+            let s' = clone s in
+            s'.sb.(i) <- rest;
+            let stale = s.mem.(l) in
+            s'.mem.(l) <- v;
+            for q = 0 to nthreads - 1 do
+              (* the overwritten value becomes readable by other threads —
+                 unless they have their own buffered store to l, which any
+                 later load of theirs must read instead *)
+              if q <> i && not (sb_has s.sb.(q) l) then
+                s'.ib.(q).(l) <- s.ib.(q).(l) @ [ stale ]
+            done;
+            push s'
+          end)
+        s.sb.(i)
+  done;
+  !out
+
+let allowed (t : Test.t) ~model =
+  Test.check t;
+  let locs = Test.locs t in
+  let nlocs = List.length locs in
+  let loc_id l =
+    let rec go i = function
+      | [] -> invalid_arg "loc_id"
+      | x :: _ when x = l -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 locs
+  in
+  let nthreads = Test.nharts t in
+  let prog =
+    Array.map
+      (fun (th : Test.thread) ->
+        Array.of_list
+          (List.map
+             (function
+               | Test.St (l, v) -> St (loc_id l, v)
+               | Test.Ld (r, l) -> Ld (r, loc_id l)
+               | Test.Fence -> Fence)
+             th.Test.body))
+      t.threads
+  in
+  let init =
+    {
+      pc = Array.make nthreads 0;
+      regs = Array.make_matrix nthreads 4 0;
+      mem = Array.of_list (List.map (Test.init_value t) locs);
+      sb = Array.make nthreads [];
+      ib = Array.init nthreads (fun _ -> Array.make nlocs []);
+    }
+  in
+  let observed = Array.init nthreads (Test.observed t) in
+  let outcome s =
+    Array.of_list
+      (List.concat
+         (List.init nthreads (fun i -> List.map (fun r -> s.regs.(i).(r)) observed.(i)))
+      @ Array.to_list s.mem)
+  in
+  let seen = Hashtbl.create 4096 in
+  let outcomes = Hashtbl.create 64 in
+  let rec dfs s =
+    let key = Marshal.to_string (s.pc, s.regs, s.mem, s.sb, s.ib) [] in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let next = successors model prog nthreads nlocs s in
+      if next = [] then Hashtbl.replace outcomes (outcome s) ()
+      else List.iter dfs next
+    end
+  in
+  dfs init;
+  List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) outcomes [])
+
+let is_allowed set o = List.exists (fun a -> a = o) set

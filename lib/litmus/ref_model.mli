@@ -1,0 +1,36 @@
+(** Reference allowed-outcome engine: exhaustive operational enumeration,
+    no external solver.
+
+    Each model is a small abstract machine executed instruction-to-execution
+    in program order; all relaxation comes from explicit buffers, following
+    the operational presentations the paper's cores implement:
+
+    - [SC]: stores hit the monolithic memory immediately.
+    - [TSO]: a per-thread FIFO store buffer; loads forward from the youngest
+      matching own-buffer entry; [Fence] waits for the buffer to drain.
+    - [WMM]: the paper's weak model. The store buffer drains same-address
+      entries in order but different addresses in any order, and each thread
+      has an invalidation buffer of stale values: when a store drains, the
+      overwritten memory value becomes readable (until superseded) by every
+      other thread, which is how WMM load-load reordering arises. [Fence]
+      acts as Commit + Reconcile: drains the store buffer and discards the
+      thread's stale values.
+
+    Every reachable final state (all threads done, all buffers drained) is
+    collected, so [allowed] is the exact outcome set of the model — the DUT,
+    whose relaxations are a subset of the buffer semantics above, must stay
+    inside it. The sets nest: SC ⊆ TSO ⊆ WMM. *)
+
+type model = SC | TSO | WMM
+
+val model_to_string : model -> string
+
+val of_mem_model : Ooo.Config.mem_model -> model
+
+(** All outcomes (see {!Test} for the encoding) the model admits for the
+    test, sorted lexicographically. Warm-up ops are ignored: they are
+    architecturally neutral by construction. *)
+val allowed : Test.t -> model:model -> int array list
+
+(** Membership in {!allowed} (the list is small; linear scan). *)
+val is_allowed : int array list -> int array -> bool

@@ -1,0 +1,245 @@
+open Workloads
+
+type cls = In_sc | Tso_relaxed | Wmm_relaxed | Forbidden
+
+let cls_to_string = function
+  | In_sc -> "SC"
+  | Tso_relaxed -> "TSO-relaxed"
+  | Wmm_relaxed -> "WMM-relaxed"
+  | Forbidden -> "FORBIDDEN"
+
+type run_error = Timed_out of int | Bad_exit of string | Not_quiesced
+
+exception Harness_error of run_error
+
+let error_to_string = function
+  | Timed_out c -> Printf.sprintf "timed out after %d cycles" c
+  | Bad_exit s -> "bad exit codes: " ^ s
+  | Not_quiesced -> "stores still buffered after every hart exited"
+
+(* Small caches and short memory latency: misses stay cheap (a litmus run is
+   a few thousand cycles) while the drain window — the source of the
+   interesting reorderings — stays wide relative to the bodies. *)
+let litmus_mem =
+  {
+    Mem.Mem_sys.l1d_bytes = 2048;
+    l1d_ways = 2;
+    l1d_mshrs = 4;
+    l1i_bytes = 2048;
+    l1i_ways = 2;
+    l2_bytes = 16384;
+    l2_ways = 4;
+    l2_mshrs = 8;
+    l2_latency = 4;
+    mesi = false;
+    mem_latency = 24;
+    mem_inflight = 8;
+  }
+
+let max_cycles = 300_000
+
+let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ~model test =
+  let prog, meta = Compile.program ~seed ~stagger test in
+  let ncores = Test.nharts test in
+  let obs =
+    Option.map
+      (fun f ->
+        Obs.Hub.create ~konata:f
+          ~meta:
+            [
+              ("litmus", test.Test.name);
+              ("model", Ref_model.model_to_string (Ref_model.of_mem_model model));
+              ("seed", string_of_int seed);
+              ("jobs", string_of_int jobs);
+            ]
+          ~nharts:ncores ())
+      konata
+  in
+  let cfg = { (Ooo.Config.multicore model) with Ooo.Config.mem = litmus_mem } in
+  let m =
+    Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle seed) ?obs
+      (Machine.Out_of_order cfg) prog
+  in
+  let o = Machine.run ~max_cycles m in
+  Option.iter
+    (fun hub ->
+      Obs.Hub.finish hub ~cycles:o.Machine.cycles ~instrs:(Machine.instrs m)
+        ~stats:(Machine.stats m))
+    obs;
+  if o.Machine.timed_out then raise (Harness_error (Timed_out o.Machine.cycles));
+  let expect = Compile.expected_exits meta in
+  if o.Machine.exits <> expect then
+    raise
+      (Harness_error
+         (Bad_exit
+            (String.concat " " (Array.to_list (Array.map Int64.to_string o.Machine.exits)))));
+  if not (Machine.quiesced m) then raise (Harness_error Not_quiesced);
+  Compile.read_outcome meta ~reg:(fun ~hart r -> Machine.reg m ~hart r)
+
+type report = {
+  test : Test.t;
+  model : Ooo.Config.mem_model;
+  total_runs : int;
+  hist : (int array * cls * int) list;
+  forbidden : (int array * int * int * string option) list;
+  mismatches : (int * int array * int array) list;
+  errors : string list;
+  relaxed_seen : bool;
+  wmm_only_seen : bool;
+}
+
+let ok r = r.forbidden = [] && r.mismatches = [] && r.errors = []
+
+let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~model test =
+  let sc = Ref_model.allowed test ~model:Ref_model.SC in
+  let tso = Ref_model.allowed test ~model:Ref_model.TSO in
+  let wmm = Ref_model.allowed test ~model:Ref_model.WMM in
+  let model_set =
+    match Ref_model.of_mem_model model with
+    | Ref_model.SC -> sc
+    | Ref_model.TSO -> tso
+    | Ref_model.WMM -> wmm
+  in
+  let classify o =
+    if Ref_model.is_allowed sc o then In_sc
+    else if Ref_model.is_allowed tso o then Tso_relaxed
+    else if Ref_model.is_allowed wmm o then Wmm_relaxed
+    else Forbidden
+  in
+  let counts = Hashtbl.create 32 in
+  let forbidden = ref [] in
+  let mismatches = ref [] in
+  let errors = ref [] in
+  for seed = 1 to seeds do
+    let first = ref None in
+    List.iter
+      (fun jobs ->
+        match run_one ~jobs ~seed ~stagger ~model test with
+        | o ->
+          Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o));
+          (match !first with
+          | None -> first := Some o
+          | Some o0 -> if o0 <> o then mismatches := (seed, o0, o) :: !mismatches);
+          if not (Ref_model.is_allowed model_set o) then
+            if not (List.exists (fun (o', _, _, _) -> o' = o) !forbidden) then begin
+              let trace =
+                Option.map
+                  (fun dir ->
+                    let f =
+                      Filename.concat dir
+                        (Printf.sprintf "litmus-%s-%s-seed%d-j%d.konata"
+                           test.Test.name
+                           (Ref_model.model_to_string (Ref_model.of_mem_model model))
+                           seed jobs)
+                    in
+                    (* replay the identical run with the pipeline tracer on *)
+                    (try ignore (run_one ~jobs ~seed ~stagger ~konata:f ~model test)
+                     with Harness_error _ -> ());
+                    f)
+                  trace_dir
+              in
+              forbidden := (o, seed, jobs, trace) :: !forbidden
+            end
+        | exception Harness_error e ->
+          errors :=
+            Printf.sprintf "%s seed=%d jobs=%d: %s" test.Test.name seed jobs
+              (error_to_string e)
+            :: !errors)
+      jobs_list
+  done;
+  let hist =
+    Hashtbl.fold (fun o n acc -> (o, classify o, n) :: acc) counts []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  let seen p = List.exists (fun (_, c, _) -> p c) hist in
+  {
+    test;
+    model;
+    total_runs = seeds * List.length jobs_list;
+    hist;
+    forbidden = List.rev !forbidden;
+    mismatches = List.rev !mismatches;
+    errors = List.rev !errors;
+    relaxed_seen = seen (fun c -> c <> In_sc);
+    wmm_only_seen = seen (fun c -> c = Wmm_relaxed || c = Forbidden);
+  }
+
+let pp_report fmt r =
+  let model = Ref_model.model_to_string (Ref_model.of_mem_model r.model) in
+  Format.fprintf fmt "%-10s %-4s %4d runs  %s@." r.test.Test.name model r.total_runs
+    (if ok r then "ok" else "FAIL");
+  List.iter
+    (fun (o, c, n) ->
+      Format.fprintf fmt "    %6d  [%-11s] %s@." n (cls_to_string c)
+        (Test.outcome_to_string r.test o))
+    r.hist;
+  List.iter
+    (fun (o, seed, jobs, trace) ->
+      Format.fprintf fmt "    FORBIDDEN %s (seed %d, jobs %d)%s@."
+        (Test.outcome_to_string r.test o)
+        seed jobs
+        (match trace with Some f -> " trace: " ^ f | None -> ""))
+    r.forbidden;
+  List.iter
+    (fun (seed, a, b) ->
+      Format.fprintf fmt "    JOBS MISMATCH seed %d: %s vs %s@." seed
+        (Test.outcome_to_string r.test a)
+        (Test.outcome_to_string r.test b))
+    r.mismatches;
+  List.iter (fun e -> Format.fprintf fmt "    ERROR %s@." e) r.errors
+
+(* Hand-rolled JSON: values are ints, booleans and printable ASCII names. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let reports_to_json ~seeds reports =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"schema\": \"riscyoo-litmus-v1\",\n  \"seeds\": %d,\n  \"sweeps\": [\n" seeds;
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n";
+      add "    {\"test\": \"%s\", \"model\": \"%s\", \"runs\": %d, \"ok\": %b,\n"
+        (json_escape r.test.Test.name)
+        (Ref_model.model_to_string (Ref_model.of_mem_model r.model))
+        r.total_runs (ok r);
+      add "     \"relaxed_seen\": %b, \"wmm_only_seen\": %b,\n" r.relaxed_seen r.wmm_only_seen;
+      add "     \"outcomes\": [";
+      List.iteri
+        (fun j (o, c, n) ->
+          if j > 0 then add ", ";
+          add "{\"outcome\": \"%s\", \"class\": \"%s\", \"count\": %d}"
+            (json_escape (Test.outcome_to_string r.test o))
+            (cls_to_string c) n)
+        r.hist;
+      add "],\n     \"forbidden\": [";
+      List.iteri
+        (fun j (o, seed, jobs, trace) ->
+          if j > 0 then add ", ";
+          add "{\"outcome\": \"%s\", \"seed\": %d, \"jobs\": %d%s}"
+            (json_escape (Test.outcome_to_string r.test o))
+            seed jobs
+            (match trace with
+            | Some f -> Printf.sprintf ", \"trace\": \"%s\"" (json_escape f)
+            | None -> ""))
+        r.forbidden;
+      add "],\n     \"mismatches\": %d, \"errors\": [" (List.length r.mismatches);
+      List.iteri
+        (fun j e ->
+          if j > 0 then add ", ";
+          add "\"%s\"" (json_escape e))
+        r.errors;
+      add "]}")
+    reports;
+  add "\n  ]\n}\n";
+  Buffer.contents b

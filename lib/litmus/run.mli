@@ -1,0 +1,69 @@
+(** Sweep driver: run a test across shuffled schedules and job counts,
+    accumulate outcome histograms, and flag forbidden outcomes.
+
+    Every (seed, jobs) pair is deterministic: the machine runs in
+    [Sim.Shuffle seed] mode on a seed-staggered image, so a forbidden run
+    can be replayed exactly — which is how {!sweep} attaches a Konata
+    pipeline trace to the first forbidden outcome it sees. *)
+
+(** How an observed outcome relates to the three reference sets (which
+    nest: SC ⊆ TSO ⊆ WMM). [Forbidden] means outside even the WMM set. *)
+type cls = In_sc | Tso_relaxed | Wmm_relaxed | Forbidden
+
+val cls_to_string : cls -> string
+
+type run_error =
+  | Timed_out of int  (** cycles spent *)
+  | Bad_exit of string  (** a hart exited with the wrong code *)
+  | Not_quiesced  (** store queues/buffers still held data after exit *)
+
+exception Harness_error of run_error
+
+(** One deterministic run; returns the outcome vector. [konata] dumps the
+    run's pipeline trace to the given file (used when replaying a failure).
+    Raises {!Harness_error} on timeout or a harness self-check failure. *)
+val run_one :
+  ?jobs:int ->
+  ?seed:int ->
+  ?stagger:bool ->
+  ?konata:string ->
+  model:Ooo.Config.mem_model ->
+  Test.t ->
+  int array
+
+type report = {
+  test : Test.t;
+  model : Ooo.Config.mem_model;
+  total_runs : int;
+  hist : (int array * cls * int) list;  (** outcome, class, count; count desc *)
+  forbidden : (int array * int * int * string option) list;
+      (** outcome, seed, jobs, trace file (first occurrence per outcome) *)
+  mismatches : (int * int array * int array) list;
+      (** seed, outcome at [jobs_list] head, differing outcome — the
+          domain-parallel engine must be bit-identical, so any entry here is
+          a simulator bug, not a memory-model bug *)
+  errors : string list;
+  relaxed_seen : bool;  (** some outcome outside the SC set was observed *)
+  wmm_only_seen : bool;  (** some outcome outside the TSO set was observed *)
+}
+
+(** Whether the sweep found no forbidden outcomes, no jobs mismatches and no
+    harness errors. *)
+val ok : report -> bool
+
+(** [sweep ~seeds ~jobs_list ~model test] — seeds run from 1 to [seeds];
+    each seed runs once per entry of [jobs_list] (default [[1; 4]]).
+    [trace_dir] enables Konata replay dumps for forbidden outcomes. *)
+val sweep :
+  ?seeds:int ->
+  ?jobs_list:int list ->
+  ?stagger:bool ->
+  ?trace_dir:string ->
+  model:Ooo.Config.mem_model ->
+  Test.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Machine-readable sweep summary (schema [riscyoo-litmus-v1]). *)
+val reports_to_json : seeds:int -> report list -> string

@@ -1,0 +1,233 @@
+type op = St of string * int | Ld of int * string | Fence
+
+type thread = { warm : op list; body : op list }
+
+type t = {
+  name : string;
+  doc : string;
+  init : (string * int) list;
+  threads : thread array;
+}
+
+let nharts t = Array.length t.threads
+
+let locs t =
+  let s = Hashtbl.create 8 in
+  let note l = Hashtbl.replace s l () in
+  List.iter (fun (l, _) -> note l) t.init;
+  Array.iter
+    (fun th ->
+      List.iter
+        (function St (l, _) -> note l | Ld (_, l) -> note l | Fence -> ())
+        (th.warm @ th.body))
+    t.threads;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) s [])
+
+let init_value t l = match List.assoc_opt l t.init with Some v -> v | None -> 0
+
+let observed t i =
+  let s = Hashtbl.create 4 in
+  List.iter
+    (function Ld (r, _) -> Hashtbl.replace s r () | St _ | Fence -> ())
+    t.threads.(i).body;
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) s [])
+
+let check t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let n = nharts t in
+  if n < 1 || n > 4 then fail "litmus %s: %d threads (must be 1-4)" t.name n;
+  if List.length (locs t) > 4 then fail "litmus %s: more than 4 locations" t.name;
+  Array.iteri
+    (fun i th ->
+      if th.body = [] then fail "litmus %s: thread %d has an empty body" t.name i;
+      List.iter
+        (function
+          | St (l, v) ->
+            if v < 0 || v > 255 then fail "litmus %s: store value %d out of range" t.name v;
+            ignore l
+          | Ld (r, _) ->
+            if r < 0 || r > 3 then fail "litmus %s: register r%d out of range" t.name r
+          | Fence -> ())
+        (th.warm @ th.body);
+      List.iter
+        (function
+          | St (l, v) ->
+            if v <> init_value t l then
+              fail "litmus %s: warm store to %s writes %d, not the initial value %d" t.name l v
+                (init_value t l)
+          | Ld _ | Fence -> ())
+        th.warm)
+    t.threads
+
+let outcome_labels t =
+  let regs =
+    List.concat
+      (List.init (nharts t) (fun i ->
+           List.map (fun r -> Printf.sprintf "%d:r%d" i r) (observed t i)))
+  in
+  regs @ locs t
+
+let outcome_to_string t (o : int array) =
+  let labels = outcome_labels t in
+  String.concat " " (List.mapi (fun i l -> Printf.sprintf "%s=%d" l o.(i)) labels)
+
+(* ------------------------------------------------------------------ *)
+(* The classic suite. Warm-ups steer coherence timing: a warm store puts
+   the line in the writer's cache in M state (its drain is then fast), a
+   warm load leaves a shared copy whose hit can bind a value before the
+   remote invalidation lands — under WMM nothing replays it. *)
+(* ------------------------------------------------------------------ *)
+
+let thr ?(warm = []) body = { warm; body }
+
+let sb =
+  {
+    name = "SB";
+    doc = "store buffering: r0=0 on both sides is non-SC, allowed TSO/WMM";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ Ld (0, "y") ] [ St ("x", 1); Ld (0, "y") ];
+        thr ~warm:[ Ld (0, "x") ] [ St ("y", 1); Ld (0, "x") ];
+      |];
+  }
+
+let sb_fence =
+  {
+    name = "SB+fence";
+    doc = "SB with fences: r0=0/r0=0 forbidden under every model";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1); Fence; Ld (0, "y") ];
+        thr [ St ("y", 1); Fence; Ld (0, "x") ];
+      |];
+  }
+
+let mp =
+  {
+    name = "MP";
+    doc = "message passing: r0=1,r1=0 forbidden TSO, allowed WMM";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 1); St ("y", 1) ];
+        thr ~warm:[ Ld (3, "x") ] [ Ld (0, "y"); Ld (1, "x") ];
+      |];
+  }
+
+let mp_fence =
+  {
+    name = "MP+fence";
+    doc = "MP with fences: r0=1,r1=0 forbidden under every model";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1); Fence; St ("y", 1) ];
+        thr [ Ld (0, "y"); Fence; Ld (1, "x") ];
+      |];
+  }
+
+let lb =
+  {
+    name = "LB";
+    doc = "load buffering: r0=1 on both sides forbidden even under WMM";
+    init = [];
+    threads =
+      [|
+        thr [ Ld (0, "x"); St ("y", 1) ];
+        thr [ Ld (0, "y"); St ("x", 1) ];
+      |];
+  }
+
+let s =
+  {
+    name = "S";
+    doc = "r0=1 with final x=2 needs W-W reordering: forbidden TSO, allowed WMM";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 2); St ("y", 1) ];
+        thr ~warm:[ St ("x", 0) ] [ Ld (0, "y"); St ("x", 1) ];
+      |];
+  }
+
+let r =
+  {
+    name = "R";
+    doc = "write race vs store buffering: final y=2 with r0=0";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 1); St ("y", 1) ];
+        thr ~warm:[ Ld (3, "x") ] [ St ("y", 2); Ld (0, "x") ];
+      |];
+  }
+
+let w2plus2 =
+  {
+    name = "2+2W";
+    doc = "2+2W: final x=1,y=1 needs both first writes last: forbidden TSO";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 1); St ("y", 2) ];
+        thr ~warm:[ St ("x", 0) ] [ St ("y", 1); St ("x", 2) ];
+      |];
+  }
+
+let corr =
+  {
+    name = "CoRR";
+    doc = "read-read coherence: r0=1,r1=0 forbidden under every model";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1) ];
+        thr ~warm:[ Ld (3, "x") ] [ Ld (0, "x"); Ld (1, "x") ];
+      |];
+  }
+
+let coww =
+  {
+    name = "CoWW";
+    doc = "write-write coherence: same-address stores drain in order, final x=2";
+    init = [];
+    threads = [| thr [ St ("x", 1); St ("x", 2) ] |];
+  }
+
+let iriw =
+  {
+    name = "IRIW";
+    doc = "independent reads: opposite orders forbidden TSO, allowed WMM";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("x", 0) ] [ St ("x", 1) ];
+        thr ~warm:[ St ("y", 0) ] [ St ("y", 1) ];
+        thr ~warm:[ Ld (3, "y") ] [ Ld (0, "x"); Ld (1, "y") ];
+        thr ~warm:[ Ld (3, "x") ] [ Ld (0, "y"); Ld (1, "x") ];
+      |];
+  }
+
+let iriw_fence =
+  {
+    name = "IRIW+fence";
+    doc = "IRIW with fenced readers: forbidden under every model";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1) ];
+        thr [ St ("y", 1) ];
+        thr [ Ld (0, "x"); Fence; Ld (1, "y") ];
+        thr [ Ld (0, "y"); Fence; Ld (1, "x") ];
+      |];
+  }
+
+let all =
+  [ sb; sb_fence; mp; mp_fence; lb; s; r; w2plus2; corr; coww; iriw; iriw_fence ]
+
+let () = List.iter check all
+
+let find name =
+  List.find_opt (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii name) all

@@ -1,0 +1,83 @@
+(** Litmus-test DSL (paper, Sec. VI; RealityCheck-style consistency
+    validation).
+
+    A test is a handful of tiny threads over named shared locations. The
+    same IR drives both sides of the check: {!Ref_model} enumerates the
+    outcomes an SC/TSO/WMM machine may produce, and {!Compile} lowers the
+    threads to a bare-metal RISC-V image for the real quad-core
+    {!Workloads.Machine}. An {e outcome} is the canonical vector of every
+    observed register followed by the final value of every location. *)
+
+type op =
+  | St of string * int  (** [[loc] := const] *)
+  | Ld of int * string  (** [r := [loc]] — [r] is a thread-local register 0–3 *)
+  | Fence  (** full fence ([FENCE]: drains stores, orders later loads) *)
+
+type thread = {
+  warm : op list;
+      (** cache-warming prelude, run before the start barrier: loads pull the
+          line into the local cache in shared state, stores (which must write
+          the location's initial value) take it exclusive. Architecturally
+          neutral; exists only to steer coherence timing. *)
+  body : op list;  (** the racing instructions *)
+}
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description, shown in reports *)
+  init : (string * int) list;  (** initial values; unlisted locations are 0 *)
+  threads : thread array;  (** thread [i] runs on hart [i] *)
+}
+
+(** Raises [Invalid_argument] unless: 1–4 threads, registers in 0–3, values
+    in 0–255, at most 4 locations, every warm store writes the location's
+    initial value, and every thread body is non-empty. *)
+val check : t -> unit
+
+val nharts : t -> int
+
+(** Location names, sorted — the canonical location order used by outcomes
+    and {!Compile}. *)
+val locs : t -> string list
+
+val init_value : t -> string -> int
+
+(** Registers thread [i] loads into, sorted — its observed registers. *)
+val observed : t -> int -> int list
+
+(** {2 Outcomes}
+
+    An outcome is an [int array]: thread 0's observed registers (ascending),
+    then thread 1's, ..., then the final value of every location in {!locs}
+    order. *)
+
+val outcome_labels : t -> string list
+
+val outcome_to_string : t -> int array -> string
+
+(** {2 The classic suite} *)
+
+val sb : t  (** store buffering: both loads may miss both stores *)
+
+val sb_fence : t
+val mp : t  (** message passing: flag seen but payload stale *)
+
+val mp_fence : t
+val lb : t  (** load buffering: forbidden even under WMM *)
+
+val s : t
+val r : t
+val w2plus2 : t  (** 2+2W: both first writes finish last *)
+
+val corr : t  (** coherence: two reads of one location never go backwards *)
+
+val coww : t  (** coherence: same-address stores drain in order *)
+
+val iriw : t  (** independent reads of independent writes *)
+
+val iriw_fence : t
+
+(** All of the above, in presentation order. *)
+val all : t list
+
+val find : string -> t option

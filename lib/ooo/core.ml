@@ -874,6 +874,7 @@ let atomic_f t (u : Uop.t) =
   | _ -> assert false
 
 let sb_empty t = Store_buffer.is_empty t.sb
+let quiesced t = sb_empty t && Lsq.sq_quiesced t.lsq
 
 let commit_one ctx t =
   Kernel.guard ctx (not t.halted_f) "halted";

@@ -51,5 +51,11 @@ val reg : t -> int -> int64
 val halted : t -> bool
 val instret : t -> int
 
+(** No store is still buffered (store queue and, under WMM, the store
+    buffer are empty). After every hart has exited, a quiesced core means
+    all its stores reached the coherent hierarchy — the litmus harness
+    checks this before reading final memory values. *)
+val quiesced : t -> bool
+
 (** Dump pipeline state (debugging). *)
 val pp_debug : Format.formatter -> t -> unit

@@ -393,6 +393,16 @@ let sq_head_is t (u : Uop.t) =
 let sq_head_issued t = t.s_tail - t.s_head > 0 && (sslot t t.s_head).sissued
 let sq_empty t = t.s_tail = t.s_head
 
+(* No committed store still waiting to reach memory. Speculative entries
+   (e.g. wrong-path stores fetched past a halting ecall) don't count: they
+   can never issue. *)
+let sq_quiesced t =
+  let ok = ref true in
+  for i = t.s_head to t.s_tail - 1 do
+    if (sslot t i).scommitted then ok := false
+  done;
+  !ok
+
 (* stores older than [seq] still pending? (the SQ head is the oldest) *)
 let no_older_stores t seq =
   t.s_tail = t.s_head

@@ -94,6 +94,10 @@ val sq_head_issued : t -> bool
 
 val sq_empty : t -> bool
 
+(** No committed store is still waiting to reach memory (speculative
+    entries, which can never issue, are ignored). *)
+val sq_quiesced : t -> bool
+
 (** No store older than [seq] is still in the SQ (fences, LR, MMIO wait on
     this rather than on full emptiness — younger stores may legally sit
     behind them). *)

@@ -235,6 +235,21 @@ let all_halted t =
   done;
   !ok
 
+let reg t ~hart r =
+  if hart < 0 || hart >= t.ncores then invalid_arg "Machine.reg: bad hart";
+  match t.cores.(hart) with
+  | HGolden -> (
+    match t.golden with
+    | Some g -> Golden.reg g ~hart r
+    | None -> invalid_arg "Machine.reg: empty machine")
+  | HInorder c -> Inorder.Inorder_core.reg c r
+  | HOoo c -> Ooo.Core.reg c r
+
+let quiesced t =
+  Array.for_all
+    (function HGolden | HInorder _ -> true | HOoo c -> Ooo.Core.quiesced c)
+    t.cores
+
 let run ?(max_cycles = 50_000_000) ?on_cycle t =
   (match t.sim, t.golden with
   | Some sim, _ ->

@@ -73,6 +73,15 @@ val run : ?max_cycles:int -> ?on_cycle:(int -> unit) -> t -> outcome
 
 val stats : t -> Cmd.Stats.t
 
+(** Architectural (committed) value of register [r] on [hart], read after a
+    run — how the litmus harness extracts observed load values. *)
+val reg : t -> hart:int -> int -> int64
+
+(** Every OOO core's store queue and store buffer are empty. Combined with
+    all harts having exited, this means every store has reached the
+    coherent hierarchy. Vacuously true for golden/in-order machines. *)
+val quiesced : t -> bool
+
 (** True when the machine's simulator took the domain-parallel path (i.e.
     [jobs > 1], partitions exist, and no serializing option forced the
     fall-back). *)

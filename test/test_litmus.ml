@@ -1,0 +1,154 @@
+(* Litmus subsystem: reference-model facts (well-established memory-model
+   litmus results, asserted by hand against the operational enumerator) and
+   quick DUT sweeps of the classic suite on the real multicore machine. *)
+
+open Litmus
+
+(* CI runs this suite at RISCYOO_JOBS=1 and =4; results must not depend on it. *)
+let jobs =
+  match Option.bind (Sys.getenv_opt "RISCYOO_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 1
+
+let allowed m t = Ref_model.allowed t ~model:m
+let mem set o = Ref_model.is_allowed set o
+let subset a b = List.for_all (mem b) a
+
+(* --- reference engine ----------------------------------------------------- *)
+
+(* The outcome sets must nest: every SC execution is a TSO execution, every
+   TSO execution a WMM one. *)
+let test_sets_nest () =
+  List.iter
+    (fun t ->
+      let sc = allowed Ref_model.SC t
+      and tso = allowed Ref_model.TSO t
+      and wmm = allowed Ref_model.WMM t in
+      Alcotest.(check bool) (t.Test.name ^ ": SC in TSO") true (subset sc tso);
+      Alcotest.(check bool) (t.Test.name ^ ": TSO in WMM") true (subset tso wmm);
+      Alcotest.(check bool) (t.Test.name ^ ": SC nonempty") true (sc <> []))
+    Test.all
+
+(* Hand-checked classics. Outcome layout: thread 0's observed registers
+   (ascending), thread 1's, ..., then final location values in sorted
+   location order. *)
+let test_facts () =
+  let chk name set o want =
+    Alcotest.(check bool) name want (mem set o)
+  in
+  let sc t = allowed Ref_model.SC t
+  and tso t = allowed Ref_model.TSO t
+  and wmm t = allowed Ref_model.WMM t in
+  (* SB: both loads 0 is the store-buffering outcome - non-SC, allowed TSO *)
+  let sb_relaxed = [| 0; 0; 1; 1 |] in
+  chk "SB relaxed not SC" (sc Test.sb) sb_relaxed false;
+  chk "SB relaxed in TSO" (tso Test.sb) sb_relaxed true;
+  chk "SB relaxed in WMM" (wmm Test.sb) sb_relaxed true;
+  chk "SB+fence kills it" (wmm Test.sb_fence) sb_relaxed false;
+  (* MP: flag seen, payload stale - needs ld-ld or st-st reordering *)
+  let mp_relaxed = [| 1; 0; 1; 1 |] in
+  chk "MP relaxed not TSO" (tso Test.mp) mp_relaxed false;
+  chk "MP relaxed in WMM" (wmm Test.mp) mp_relaxed true;
+  chk "MP+fence kills it" (wmm Test.mp_fence) mp_relaxed false;
+  (* LB: r=1 on both sides needs load-store reordering WMM also forbids *)
+  chk "LB relaxed not WMM" (wmm Test.lb) [| 1; 1; 1; 1 |] false;
+  (* S: W-W reordering makes the overwritten store win *)
+  let s_relaxed = [| 1; 2; 1 |] in
+  chk "S relaxed not TSO" (tso Test.s) s_relaxed false;
+  chk "S relaxed in WMM" (wmm Test.s) s_relaxed true;
+  (* 2+2W: both first writes last *)
+  let w_relaxed = [| 1; 1 |] in
+  chk "2+2W relaxed not TSO" (tso Test.w2plus2) w_relaxed false;
+  chk "2+2W relaxed in WMM" (wmm Test.w2plus2) w_relaxed true;
+  (* coherence holds even under WMM *)
+  chk "CoRR backwards not WMM" (wmm Test.corr) [| 1; 0; 1 |] false;
+  Alcotest.(check (list (array Alcotest.int)))
+    "CoWW: x=2 is the only outcome" [ [| 2 |] ] (wmm Test.coww);
+  (* IRIW: the two readers disagree on the write order *)
+  let iriw_relaxed = [| 1; 0; 1; 0; 1; 1 |] in
+  chk "IRIW relaxed not TSO" (tso Test.iriw) iriw_relaxed false;
+  chk "IRIW relaxed in WMM" (wmm Test.iriw) iriw_relaxed true;
+  chk "IRIW+fence kills it" (wmm Test.iriw_fence) iriw_relaxed false
+
+let test_labels () =
+  Alcotest.(check (list string))
+    "SB outcome labels" [ "0:r0"; "1:r0"; "x"; "y" ]
+    (Test.outcome_labels Test.sb);
+  Alcotest.(check (list string))
+    "MP outcome labels" [ "1:r0"; "1:r1"; "x"; "y" ]
+    (Test.outcome_labels Test.mp)
+
+(* --- DSL validation ------------------------------------------------------- *)
+
+let test_check_rejects () =
+  let bad name threads = { Test.name; doc = ""; init = []; threads } in
+  let raises t =
+    match Test.check t with
+    | () -> Alcotest.failf "%s: check accepted an invalid test" t.Test.name
+    | exception Invalid_argument _ -> ()
+  in
+  raises (bad "empty-body" [| { warm = []; body = [] } |]);
+  raises (bad "bad-reg" [| { warm = []; body = [ Test.Ld (4, "x") ] } |]);
+  raises (bad "bad-value" [| { warm = []; body = [ Test.St ("x", 256) ] } |]);
+  (* a warm store must be architecturally neutral *)
+  raises (bad "warm-st" [| { warm = [ Test.St ("x", 1) ]; body = [ Test.Ld (0, "x") ] } |]);
+  raises (bad "too-many-threads" (Array.make 5 { Test.warm = []; body = [ Test.Fence ] }))
+
+(* --- compilation ---------------------------------------------------------- *)
+
+(* Same (test, seed) -> bit-identical image; different seeds differ (the
+   stagger loops), unless stagger is off. *)
+let test_compile_deterministic () =
+  let words seed stagger =
+    let prog, _ = Compile.program ~seed ~stagger Test.sb in
+    Isa.Asm.words prog.Workloads.Machine.asm ~base:0x8000_0000L
+  in
+  Alcotest.(check bool) "same seed, same image" true (words 7 true = words 7 true);
+  Alcotest.(check bool) "stagger varies by seed" true (words 7 true <> words 8 true);
+  Alcotest.(check bool) "no stagger, no variation" true (words 7 false = words 8 false)
+
+(* --- the real machine ----------------------------------------------------- *)
+
+let jobs_list = if jobs = 1 then [ 1 ] else [ 1; jobs ]
+
+let test_run_one_deterministic () =
+  let run () = Run.run_one ~jobs ~seed:5 ~model:Ooo.Config.WMM Test.sb in
+  Alcotest.(check (array Alcotest.int)) "replay is exact" (run ()) (run ())
+
+(* Every observed outcome of every classic test must be in its model's
+   reference set; jobs 1 and N must agree run-for-run. *)
+let sweep_suite model =
+  List.iter
+    (fun t ->
+      let r = Run.sweep ~seeds:6 ~jobs_list ~model t in
+      if not (Run.ok r) then
+        Alcotest.failf "%s: %s" t.Test.name (Format.asprintf "%a" Run.pp_report r))
+    Test.all
+
+let test_dut_tso () = sweep_suite Ooo.Config.TSO
+let test_dut_wmm () = sweep_suite Ooo.Config.WMM
+
+(* The harness must be able to distinguish the models: the SB sweep has to
+   reach its non-SC outcome (store buffering is always visible), and MP has
+   to reach its WMM-only outcome under WMM but never under TSO. *)
+let test_relaxation_observed () =
+  let sb = Run.sweep ~seeds:8 ~jobs_list ~model:Ooo.Config.WMM Test.sb in
+  Alcotest.(check bool) "SB non-SC outcome reached" true sb.Run.relaxed_seen;
+  let mp = Run.sweep ~seeds:25 ~jobs_list ~model:Ooo.Config.WMM Test.mp in
+  Alcotest.(check bool) "MP WMM-only outcome reached" true mp.Run.wmm_only_seen;
+  let mp_tso = Run.sweep ~seeds:25 ~jobs_list ~model:Ooo.Config.TSO Test.mp in
+  Alcotest.(check bool) "MP stays in TSO set under TSO" true
+    (Run.ok mp_tso && not mp_tso.Run.wmm_only_seen)
+
+let suite =
+  [
+    Alcotest.test_case "ref: sets nest" `Quick test_sets_nest;
+    Alcotest.test_case "ref: classic facts" `Quick test_facts;
+    Alcotest.test_case "outcome labels" `Quick test_labels;
+    Alcotest.test_case "dsl validation" `Quick test_check_rejects;
+    Alcotest.test_case "compile determinism" `Quick test_compile_deterministic;
+    Alcotest.test_case "run_one determinism" `Quick test_run_one_deterministic;
+    Alcotest.test_case "dut: suite under TSO" `Slow test_dut_tso;
+    Alcotest.test_case "dut: suite under WMM" `Slow test_dut_wmm;
+    Alcotest.test_case "dut: relaxations observed" `Slow test_relaxation_observed;
+  ]

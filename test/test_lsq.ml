@@ -173,6 +173,130 @@ let test_fences_gate_loads () =
   let _, u = Lsq.get_issue_ld ctx lsq in
   Alcotest.(check int) "issuable after fence" 2 u.Uop.seq
 
+(* The TSO eviction kill must hit exactly the completed-but-uncommitted
+   loads of the evicted line: in-flight and unissued loads re-read the
+   coherent cache anyway, and other lines are untouched. *)
+let test_cache_evict_scope () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.TSO) in
+  (* seq 1: completed on line 0x...140; seq 2: issued, response in flight,
+     same line; seq 3: completed on a different line; seq 4: unissued *)
+  let _, done_ld = enq_ld ctx lsq ~seq:1 ~paddr:0x80000140L in
+  Lsq.update_ld ctx lsq done_ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache tag -> ignore (Lsq.resp_ld ctx lsq tag 1L)
+  | _ -> Alcotest.fail "expected cache issue");
+  let _, inflight_ld = enq_ld ctx lsq ~seq:2 ~paddr:0x80000148L in
+  Lsq.update_ld ctx lsq inflight_ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache _ -> () (* response never delivered: still LdIssued *)
+  | _ -> Alcotest.fail "expected cache issue");
+  let _, other_ld = enq_ld ctx lsq ~seq:3 ~paddr:0x80000180L in
+  Lsq.update_ld ctx lsq other_ld;
+  let i, u = Lsq.get_issue_ld ctx lsq in
+  (match Lsq.issue_ld ctx lsq i u ~sb_search:Store_buffer.NoMatch with
+  | Lsq.ToCache tag -> ignore (Lsq.resp_ld ctx lsq tag 3L)
+  | _ -> Alcotest.fail "expected cache issue");
+  let _, idle_ld = enq_ld ctx lsq ~seq:4 ~paddr:0x80000150L in
+  Lsq.update_ld ctx lsq idle_ld;
+  Lsq.cache_evict ctx lsq 0x80000140L;
+  Alcotest.(check bool) "completed load on the line killed" true done_ld.Uop.ld_kill;
+  Alcotest.(check bool) "in-flight load spared" false inflight_ld.Uop.ld_kill;
+  Alcotest.(check bool) "other line spared" false other_ld.Uop.ld_kill;
+  Alcotest.(check bool) "unissued load spared" false idle_ld.Uop.ld_kill;
+  (* a second eviction of the same line must not disturb the verdicts *)
+  Lsq.cache_evict ctx lsq 0x80000140L;
+  Alcotest.(check bool) "kill is sticky" true done_ld.Uop.ld_kill;
+  Alcotest.(check bool) "in-flight still spared" false inflight_ld.Uop.ld_kill
+
+(* sq_quiesced: speculative entries don't count, committed ones do. *)
+let test_sq_quiesced () =
+  let ctx = ctx0 () in
+  let lsq = Lsq.create (cfg Ooo.Config.TSO) in
+  Alcotest.(check bool) "empty sq is quiesced" true (Lsq.sq_quiesced lsq);
+  let _, st = enq_st ctx lsq ~seq:1 ~paddr:0x80000100L ~data:1L in
+  Alcotest.(check bool) "speculative store ignored" true (Lsq.sq_quiesced lsq);
+  Lsq.set_at_commit ctx lsq st;
+  Alcotest.(check bool) "committed store pending" false (Lsq.sq_quiesced lsq);
+  Lsq.deq_st ctx lsq;
+  Alcotest.(check bool) "drained" true (Lsq.sq_quiesced lsq)
+
+(* --- WMM store buffer: coalescing and out-of-order drain ------------------- *)
+
+let test_sb_coalescing () =
+  let ctx = ctx0 () in
+  let sb = Store_buffer.create ~size:4 in
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:4 0xAAL;
+  Store_buffer.enq ctx sb ~addr:0x80000108L ~bytes:4 0xBBL;
+  Alcotest.(check int) "same line coalesces" 1 (Store_buffer.count sb);
+  Store_buffer.enq ctx sb ~addr:0x80000140L ~bytes:4 0xCCL;
+  Alcotest.(check int) "new line allocates" 2 (Store_buffer.count sb);
+  (* both writes of the coalesced entry are visible to a load *)
+  (match Store_buffer.search sb ~addr:0x80000108L ~bytes:4 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "coalesced data" 0xBBL v
+  | _ -> Alcotest.fail "expected full match")
+
+let test_sb_issued_not_coalesced () =
+  let ctx = ctx0 () in
+  let sb = Store_buffer.create ~size:4 in
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:4 0x11L;
+  let _, line = Store_buffer.issue ctx sb in
+  Alcotest.(check int64) "issued the only line" 0x80000100L line;
+  (* a later store to the same line must NOT merge into the in-flight
+     entry - the cache write is already on its way *)
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:4 0x22L;
+  Alcotest.(check int) "fresh entry behind the issued one" 2 (Store_buffer.count sb);
+  (* with the address present in both the in-flight and the fresh entry a
+     load cannot forward - it stalls until the in-flight write drains *)
+  (match Store_buffer.search sb ~addr:0x80000100L ~bytes:4 with
+  | Store_buffer.Partial _ -> ()
+  | _ -> Alcotest.fail "expected a stall while bytes are split");
+  (* both entries are issuable: same-line write order is kept by the L1,
+     which serves same-line requests in arrival order *)
+  let idx2, line2 = Store_buffer.issue ctx sb in
+  Alcotest.(check int64) "younger entry issues too" 0x80000100L line2;
+  let _, _, _ = Store_buffer.deq ctx sb idx2 in
+  (match Store_buffer.search sb ~addr:0x80000100L ~bytes:4 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "single match forwards" 0x11L v
+  | _ -> Alcotest.fail "expected full match once only one entry holds the line")
+
+(* search prefers the younger (unissued) entry when it alone covers the
+   load, and falls back to the issued entry once it is the only match. *)
+let test_sb_search_preference () =
+  let ctx = ctx0 () in
+  let sb = Store_buffer.create ~size:4 in
+  (* issued entry covers offset 0; fresh entry covers offset 8 *)
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:4 0x11L;
+  let idx1, _ = Store_buffer.issue ctx sb in
+  Store_buffer.enq ctx sb ~addr:0x80000108L ~bytes:4 0x22L;
+  (match Store_buffer.search sb ~addr:0x80000108L ~bytes:4 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "unissued bytes win" 0x22L v
+  | _ -> Alcotest.fail "expected full match from the unissued entry");
+  (match Store_buffer.search sb ~addr:0x80000100L ~bytes:4 with
+  | Store_buffer.Full v -> Alcotest.(check int64) "issued bytes still visible" 0x11L v
+  | _ -> Alcotest.fail "expected full match from the issued entry");
+  let _, _, _ = Store_buffer.deq ctx sb idx1 in
+  (match Store_buffer.search sb ~addr:0x80000100L ~bytes:4 with
+  | Store_buffer.NoMatch -> ()
+  | _ -> Alcotest.fail "drained bytes must no longer forward")
+
+let test_sb_out_of_order_completion () =
+  let ctx = ctx0 () in
+  let sb = Store_buffer.create ~size:4 in
+  Store_buffer.enq ctx sb ~addr:0x80000100L ~bytes:4 1L;
+  Store_buffer.enq ctx sb ~addr:0x80000140L ~bytes:4 2L;
+  let i1, l1 = Store_buffer.issue ctx sb in
+  let i2, l2 = Store_buffer.issue ctx sb in
+  Alcotest.(check bool) "different lines in flight" true (l1 <> l2);
+  (* the cache acknowledges the SECOND line first: deq by tag, any order *)
+  let line2, _, _ = Store_buffer.deq ctx sb i2 in
+  Alcotest.(check int64) "second line deq'd first" l2 line2;
+  let line1, _, _ = Store_buffer.deq ctx sb i1 in
+  Alcotest.(check int64) "first line deq'd last" l1 line1;
+  Alcotest.(check bool) "empty" true (Store_buffer.is_empty sb)
+
 let test_no_older_stores () =
   let ctx = ctx0 () in
   let lsq = Lsq.create (cfg Ooo.Config.WMM) in
@@ -193,4 +317,10 @@ let suite =
     t "wrong-path slot recycling" `Quick test_wrong_path_slot;
     t "fences gate younger loads" `Quick test_fences_gate_loads;
     t "no_older_stores predicate" `Quick test_no_older_stores;
+    t "cache-evict kill scope" `Quick test_cache_evict_scope;
+    t "sq_quiesced ignores speculative stores" `Quick test_sq_quiesced;
+    t "store buffer coalesces per line" `Quick test_sb_coalescing;
+    t "issued entries not coalesced into" `Quick test_sb_issued_not_coalesced;
+    t "search prefers unissued bytes" `Quick test_sb_search_preference;
+    t "out-of-order drain completion" `Quick test_sb_out_of_order_completion;
   ]

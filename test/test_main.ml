@@ -18,4 +18,5 @@ let () =
       ("verif", Test_verif.suite);
       ("random", Test_random.suite);
       ("synth", Test_synth.suite);
+      ("litmus", Test_litmus.suite);
     ]
