@@ -428,6 +428,267 @@ let litmus_cmd =
       const run $ model $ seeds $ quick $ test_name $ hist $ trace_dir $ jobs_only $ no_stagger
       $ require_relaxed)
 
+let farm_cmd =
+  let doc = "Run a crash-safe farm of independent simulation jobs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Expands a riscyoo-farm-manifest-v1 JSON file into independent jobs (litmus seeds, \
+         fault-injection trials, synthetic poison jobs) and drains them across the worker-domain \
+         pool with per-job wall-clock timeouts, retry-with-backoff and \
+         quarantine-and-continue. Every terminal result is appended to a checksummed, fsync'd \
+         journal, so a killed sweep resumes with --resume, re-running only unfinished jobs; the \
+         final results file is byte-identical either way. SIGINT/SIGTERM cancel in-flight jobs \
+         and leave the journal consistent for a later resume.";
+      `P
+        "Exits 0 when every job finished clean, 1 when jobs were quarantined, 2 on \
+         manifest/journal errors, 3 when interrupted (resume with --resume).";
+    ]
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST" ~doc:"riscyoo-farm-manifest-v1 JSON file")
+  in
+  let resume = Arg.(value & flag & info [ "resume" ] ~doc:"recover the journal and re-run only unfinished jobs") in
+  let journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"journal path (default: MANIFEST with a .journal.jsonl extension; with --only the \
+                journal is disabled unless given explicitly)")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 60.
+      & info [ "timeout-s" ] ~docv:"S" ~doc:"per-attempt wall-clock limit; 0 disables")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N" ~doc:"retry rounds after the first attempt, then quarantine")
+  in
+  let backoff_s =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff-s" ] ~docv:"S" ~doc:"base retry backoff; round r waits S*2^(r-1), capped at 5s")
+  in
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"helper domains (total parallelism N+1)")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write canonical riscyoo-farm-results-v1 JSON here")
+  in
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"ID[,ID..]"
+          ~doc:"run only jobs whose id starts with one of the given prefixes (deterministic \
+                replay of quarantined jobs)")
+  in
+  let hist =
+    Arg.(
+      value & opt (some string) None
+      & info [ "hist" ] ~docv:"FILE"
+          ~doc:"write the litmus jobs' outcome histograms as riscyoo-litmus-v1 JSON")
+  in
+  let abort_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "abort-after" ] ~docv:"N"
+          ~doc:"(testing) simulate a mid-sweep kill after N journal appends")
+  in
+  let run manifest_path resume journal_arg timeout_s max_retries backoff_s workers out only hist
+      abort_after =
+    let m =
+      try Farm.Jobs.load manifest_path with
+      | Farm.Json.Parse_error e ->
+        Printf.eprintf "manifest error: %s\n" e;
+        die 2
+      | Sys_error e ->
+        Printf.eprintf "manifest error: %s\n" e;
+        die 2
+    in
+    let jobs = Farm.Jobs.jobs ~manifest_path m in
+    let jobs =
+      match only with
+      | None -> jobs
+      | Some pats ->
+        let pats = String.split_on_char ',' pats in
+        List.filter
+          (fun (j : Farm.Sweep.job) -> List.exists (fun p -> String.starts_with ~prefix:p j.id) pats)
+          jobs
+    in
+    if jobs = [] then begin
+      Printf.eprintf "farm: no jobs selected\n";
+      die 2
+    end;
+    let journal =
+      match (journal_arg, only) with
+      | Some f, _ -> Some f
+      | None, Some _ -> None (* a filtered job set would not match the journal's manifest *)
+      | None, None -> Some (Filename.remove_extension manifest_path ^ ".journal.jsonl")
+    in
+    (* SIGINT/SIGTERM: set the stop flag; in-flight jobs cancel at their
+       next hook poll, the journal (fsync'd per append) stays consistent,
+       and the sweep exits resumable. A second signal kills outright. *)
+    let stop = Atomic.make false in
+    let on_signal _ =
+      if Atomic.get stop then exit 130;
+      Atomic.set stop true;
+      prerr_endline "farm: interrupted — cancelling in-flight jobs (journal is consistent; resume with --resume)"
+    in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let config =
+      { Farm.Sweep.workers; timeout_s; max_retries; backoff_s }
+    in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      try
+        Farm.Sweep.run ?journal ~resume ~should_stop:(fun () -> Atomic.get stop) ?abort_after
+          ~log:print_endline config jobs
+      with Farm.Journal.Corrupt e ->
+        Printf.eprintf "journal error: %s\n" e;
+        die 2
+    in
+    Printf.printf "farm: %d jobs  %d ok  %d quarantined  %d resumed  %d unfinished  (%.1fs host)\n"
+      (List.length o.Farm.Sweep.records) o.Farm.Sweep.n_ok o.Farm.Sweep.n_quarantined
+      o.Farm.Sweep.n_resumed o.Farm.Sweep.n_unfinished
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun (id, err, replay) ->
+        Printf.printf "QUARANTINED %s\n  error : %s\n  replay: %s\n" id err replay)
+      (Farm.Sweep.quarantined o);
+    Option.iter
+      (fun f ->
+        let oc = open_out f in
+        output_string oc (Farm.Sweep.results_json o);
+        close_out oc)
+      out;
+    Option.iter
+      (fun f ->
+        let seeds =
+          List.fold_left
+            (fun acc -> function Farm.Jobs.Litmus ls -> max acc ls.Farm.Jobs.ls_seeds | _ -> acc)
+            0 m.Farm.Jobs.sweeps
+        in
+        match Farm.Jobs.litmus_json ~seeds o with
+        | Some json ->
+          let oc = open_out f in
+          output_string oc json;
+          close_out oc
+        | None -> prerr_endline "farm: --hist given but the sweep holds no litmus records")
+      hist;
+    if o.Farm.Sweep.interrupted then die 3;
+    if o.Farm.Sweep.n_quarantined > 0 then die 1;
+    die 0
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "farm" ~doc ~man)
+    Term.(
+      const run $ manifest_arg $ resume $ journal_arg $ timeout_s $ max_retries $ backoff_s
+      $ workers $ out $ only $ hist $ abort_after)
+
+let drift_cmd =
+  let doc = "Compare two riscyoo-litmus-v1 histograms for relaxation-rate drift" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Nightly trend tracking: for every (test, model) sweep present in both files, compares \
+         the relaxation rate (fraction of runs whose outcome lies outside the SC set) and fails \
+         when any pair drifts by more than --tolerance. Sweeps present on only one side are \
+         reported but not fatal. Exits 1 on drift or a forbidden outcome in NEW, 2 on parse \
+         errors.";
+    ]
+  in
+  let old_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"baseline JSON") in
+  let new_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"candidate JSON") in
+  let tolerance =
+    Arg.(
+      value & opt float 0.15
+      & info [ "tolerance" ] ~docv:"T"
+          ~doc:"max allowed absolute change in per-sweep relaxation rate (a fraction in [0,1])")
+  in
+  let run old_path new_path tolerance =
+    let load path =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Farm.Json.of_string s
+    in
+    let sweeps j =
+      match Farm.Json.get_list "sweeps" j with
+      | Some l -> l
+      | None -> failwith "no \"sweeps\" array (not a riscyoo-litmus-v1 file?)"
+    in
+    (* relaxation rate = non-SC outcomes / total runs *)
+    let stats j =
+      let test = Option.value ~default:"?" (Farm.Json.get_str "test" j) in
+      let model = Option.value ~default:"?" (Farm.Json.get_str "model" j) in
+      let runs = max 1 (Option.value ~default:1 (Farm.Json.get_int "runs" j)) in
+      let outcomes = Option.value ~default:[] (Farm.Json.get_list "outcomes" j) in
+      let relaxed =
+        List.fold_left
+          (fun acc o ->
+            let cls = Option.value ~default:"SC" (Farm.Json.get_str "class" o) in
+            let count = Option.value ~default:0 (Farm.Json.get_int "count" o) in
+            if cls = "SC" then acc else acc + count)
+          0 outcomes
+      in
+      let forbidden =
+        match Farm.Json.get_list "forbidden" j with Some (_ :: _) -> true | _ -> false
+      in
+      (test ^ "/" ^ model, float_of_int relaxed /. float_of_int runs, forbidden)
+    in
+    match (load old_path, load new_path) with
+    | exception Farm.Json.Parse_error e ->
+      Printf.eprintf "drift: parse error: %s\n" e;
+      die 2
+    | exception Sys_error e ->
+      Printf.eprintf "drift: %s\n" e;
+      die 2
+    | exception Failure e ->
+      Printf.eprintf "drift: %s\n" e;
+      die 2
+    | old_j, new_j ->
+      let old_stats = List.map stats (sweeps old_j) in
+      let new_stats = List.map stats (sweeps new_j) in
+      let failed = ref false in
+      List.iter
+        (fun (key, new_rate, forbidden) ->
+          if forbidden then begin
+            Printf.printf "DRIFT %-20s forbidden outcome present\n" key;
+            failed := true
+          end;
+          match List.assoc_opt key (List.map (fun (k, r, _) -> (k, r)) old_stats) with
+          | None -> Printf.printf "note  %-20s new sweep (no baseline)\n" key
+          | Some old_rate ->
+            let d = new_rate -. old_rate in
+            if Float.abs d > tolerance then begin
+              Printf.printf "DRIFT %-20s relaxation rate %.3f -> %.3f (|delta| %.3f > %.3f)\n" key
+                old_rate new_rate (Float.abs d) tolerance;
+              failed := true
+            end
+            else Printf.printf "ok    %-20s relaxation rate %.3f -> %.3f\n" key old_rate new_rate)
+        new_stats;
+      List.iter
+        (fun (key, _, _) ->
+          if not (List.exists (fun (k, _, _) -> k = key) new_stats) then
+            Printf.printf "note  %-20s sweep dropped since baseline\n" key)
+        old_stats;
+      if !failed then die 1;
+      die 0
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "drift" ~doc ~man) Term.(const run $ old_arg $ new_arg $ tolerance)
+
 let () =
   let info = Cmdliner.Cmd.info "riscyoo" ~doc:"RiscyOO processor models and workloads" in
-  die (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd; litmus_cmd ]))
+  die
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd; litmus_cmd; farm_cmd; drift_cmd ]))

@@ -5,7 +5,13 @@ type entry = { mutable valid : bool; mutable epc : int64; mutable target : int64
 type t = { entries : entry array; mask : int }
 
 let create ?(entries = 256) () =
-  { entries = Array.init entries (fun _ -> { valid = false; epc = 0L; target = 0L }); mask = entries - 1 }
+  let t =
+    { entries = Array.init entries (fun _ -> { valid = false; epc = 0L; target = 0L }); mask = entries - 1 }
+  in
+  State.field ~name:"btb"
+    (fun () -> t.entries)
+    (fun entries -> Array.blit entries 0 t.entries 0 (Array.length t.entries));
+  t
 
 let idx t pc = (Int64.to_int pc lsr 2) land t.mask
 

@@ -19,8 +19,20 @@ let bimodal_entries = 4096
 
 let create = function
   | Tournament -> T (Tournament.create ())
-  | Gshare -> G { gctr = Array.make gshare_entries 1; ghist = 0 }
-  | Bimodal -> B { bctr = Array.make bimodal_entries 1 }
+  | Gshare ->
+    let g = { gctr = Array.make gshare_entries 1; ghist = 0 } in
+    State.field ~name:"gshare"
+      (fun () -> (g.gctr, g.ghist))
+      (fun (gctr, ghist) ->
+        Array.blit gctr 0 g.gctr 0 gshare_entries;
+        g.ghist <- ghist);
+    G g
+  | Bimodal ->
+    let b = { bctr = Array.make bimodal_entries 1 } in
+    State.field ~name:"bimodal"
+      (fun () -> b.bctr)
+      (fun bctr -> Array.blit bctr 0 b.bctr 0 bimodal_entries);
+    B b
 
 let gidx g pc = ((Int64.to_int pc lsr 2) lxor g.ghist) land (gshare_entries - 1)
 let bidx pc = (Int64.to_int pc lsr 2) land (bimodal_entries - 1)

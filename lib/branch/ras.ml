@@ -13,7 +13,13 @@ let create ?(entries = 8) ?stats ?(name = "ras") () =
   let mk suffix =
     Option.map (fun s -> Stats.counter s (name ^ suffix)) stats
   in
-  { stack = Array.make entries 0L; sp = 0; c_over = mk ".overflows"; c_under = mk ".underflows" }
+  let t = { stack = Array.make entries 0L; sp = 0; c_over = mk ".overflows"; c_under = mk ".underflows" } in
+  State.field ~name
+    (fun () -> (t.stack, t.sp))
+    (fun (stack, sp) ->
+      Array.blit stack 0 t.stack 0 entries;
+      t.sp <- sp);
+  t
 
 let snapshot t = t.sp
 

@@ -15,13 +15,24 @@ type t = {
 type snapshot = { sghist : int; used_global : bool; pred : bool }
 
 let create () =
-  {
-    local_hist = Array.make local_entries 0;
-    local_ctr = Array.make (1 lsl local_hist_bits) 3;
-    global_ctr = Array.make global_entries 1;
-    choice_ctr = Array.make global_entries 1;
-    ghist = 0;
-  }
+  let t =
+    {
+      local_hist = Array.make local_entries 0;
+      local_ctr = Array.make (1 lsl local_hist_bits) 3;
+      global_ctr = Array.make global_entries 1;
+      choice_ctr = Array.make global_entries 1;
+      ghist = 0;
+    }
+  in
+  State.field ~name:"tournament"
+    (fun () -> (t.local_hist, t.local_ctr, t.global_ctr, t.choice_ctr, t.ghist))
+    (fun (local_hist, local_ctr, global_ctr, choice_ctr, ghist) ->
+      Array.blit local_hist 0 t.local_hist 0 (Array.length t.local_hist);
+      Array.blit local_ctr 0 t.local_ctr 0 (Array.length t.local_ctr);
+      Array.blit global_ctr 0 t.global_ctr 0 (Array.length t.global_ctr);
+      Array.blit choice_ctr 0 t.choice_ctr 0 (Array.length t.choice_ctr);
+      t.ghist <- ghist);
+  t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 let li _t pc = (Int64.to_int pc lsr 2) land (local_entries - 1)

@@ -1,11 +1,29 @@
 type t = {
   mutable now : int;
+  mutable uid : int;
   mutable hooks : (unit -> unit) list;
   mutable cache : (unit -> unit) array option;
 }
 
-let create () = { now = 0; hooks = []; cache = None }
+(* [now] is architectural time: it is snapshotted, and a restore rewinds
+   it. [uid] is a process-lifetime cycle identity for the kernel's lazily
+   reset per-cycle caches (cell access summaries): it ticks with [now] but
+   never goes backward — a restore bumps it instead, so every stamp
+   written before the restore is strictly older than the post-restore
+   cycle. Keying those caches on [now] would let a stale summary alias a
+   later run of the same machine when the rewound clock catches up to the
+   cycle the stamp was written at. *)
+let create () =
+  let t = { now = 0; uid = 0; hooks = []; cache = None } in
+  State.field ~name:"clock"
+    (fun () -> t.now)
+    (fun v ->
+      t.now <- v;
+      t.uid <- t.uid + 1);
+  t
+
 let now t = t.now
+let uid t = t.uid
 
 let on_cycle_end t f =
   t.hooks <- f :: t.hooks;
@@ -23,4 +41,5 @@ let tick t =
       a
   in
   Array.iter (fun f -> f ()) hooks;
-  t.now <- t.now + 1
+  t.now <- t.now + 1;
+  t.uid <- t.uid + 1

@@ -10,6 +10,11 @@ let create ?name clk init =
   Clock.on_cycle_end clk (fun () ->
       (match t.nxt with Some v -> t.cur <- v | None -> ());
       t.nxt <- None);
+  State.field ~name:(match name with Some n -> n | None -> "configreg")
+    (fun () -> (t.cur, t.nxt))
+    (fun (cur, nxt) ->
+      t.cur <- cur;
+      t.nxt <- nxt);
   t
 
 let read _ctx t = t.cur

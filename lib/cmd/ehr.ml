@@ -1,6 +1,11 @@
 type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string; sg : Wakeup.signal }
 
-let counter = ref 0
+(* Atomic so concurrent machine builds (farm workers) still get unique
+   debug names. The snapshot registry entry deliberately uses the stable
+   stem instead: counter-suffixed names are not build-deterministic, and
+   the State config digest must match across independent builds of the
+   same configuration. *)
+let counter = Atomic.make 0
 
 (* Fault-injection support: when the Inject registry is armed, every EHR is
    a candidate site. The cell is polymorphic, so a bit can only be flipped
@@ -20,10 +25,20 @@ let flip_immediate t bit =
   else false
 
 let create ?name init =
-  incr counter;
-  let nm = match name with Some n -> n | None -> Printf.sprintf "ehr#%d" !counter in
+  let nm =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "ehr#%d" (Atomic.fetch_and_add counter 1 + 1)
+  in
   let t = { cell = Kernel.make_cell nm; v = init; nm; sg = Wakeup.make () } in
   Inject.register ~name:nm ~width:inject_width (flip_immediate t);
+  State.register
+    ~name:(match name with Some n -> n | None -> "ehr")
+    ~save:(fun () -> Obj.repr t.v)
+    ~load:(fun o ->
+      let v : 'a = Obj.obj o in
+      if v != t.v then Wakeup.touch t.sg;
+      t.v <- v);
   t
 
 let read ctx t p =

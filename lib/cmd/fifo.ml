@@ -114,6 +114,17 @@ let cf ?name clk ~capacity () =
       deq_snap := d;
       eport := 0;
       dport := 0);
+  (* The totals and slots are EHR-backed (registered there); the
+     cycle-start snapshots are raw refs and need their own entry. The
+     per-cycle port counters are 0 at every cycle boundary — where
+     snapshots are taken — but ride along for completeness. *)
+  State.field ~name:(nm ^ ".cf")
+    (fun () -> (!enq_snap, !deq_snap, !eport, !dport))
+    (fun (e, d, ep, dp) ->
+      enq_snap := e;
+      deq_snap := d;
+      eport := ep;
+      dport := dp);
   let bump ctx r =
     let old = !r in
     Kernel.on_abort ctx (fun () -> r := old);

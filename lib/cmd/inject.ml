@@ -21,29 +21,35 @@ type site = {
           (e.g. a boxed value behind a polymorphic cell). *)
 }
 
-let armed = ref false
-let store : site list ref = ref []
-let n = ref 0
+(* Domain-local: fault campaigns running as farm jobs arm/build/disarm on
+   their own worker domain without seeing each other's sites. *)
+type reg = { mutable armed : bool; mutable store : site list; mutable n : int }
+
+let reg : reg Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { armed = false; store = []; n = 0 })
 
 let arm () =
-  armed := true;
-  store := [];
-  n := 0
+  let r = Domain.DLS.get reg in
+  r.armed <- true;
+  r.store <- [];
+  r.n <- 0
 
 let disarm () =
-  armed := false;
-  store := [];
-  n := 0
+  let r = Domain.DLS.get reg in
+  r.armed <- false;
+  r.store <- [];
+  r.n <- 0
 
-let is_armed () = !armed
+let is_armed () = (Domain.DLS.get reg).armed
 
 let register ~name ~width flip =
-  if !armed then begin
-    store := { id = !n; name; width = max 1 width; flip } :: !store;
-    incr n
+  let r = Domain.DLS.get reg in
+  if r.armed then begin
+    r.store <- { id = r.n; name; width = max 1 width; flip } :: r.store;
+    r.n <- r.n + 1
   end
 
-let n_sites () = !n
-let sites () = Array.of_list (List.rev !store)
+let n_sites () = (Domain.DLS.get reg).n
+let sites () = Array.of_list (List.rev (Domain.DLS.get reg).store)
 
 let fire site bit = site.flip (bit mod site.width)

@@ -86,7 +86,7 @@ let overlap_fail ctx c all =
    partitions is harmless (no order dependence); any sharing that involves
    a write is an overlap the static checker should have excluded. *)
 let audit_touch ctx c ~write =
-  let now = Clock.now ctx.clk in
+  let now = Clock.uid ctx.clk in
   if c.p_stamp <> now then begin
     c.p_stamp <- now;
     c.p_rmask <- 0;
@@ -119,8 +119,11 @@ let reset_ctx ctx =
   ctx.undo_len <- 0;
   ctx.accesses <- 0
 
+(* Stamps use [Clock.uid], not [Clock.now]: uid never goes backward across
+   a snapshot restore, so a summary written by an earlier run of a reused
+   machine can never masquerade as this cycle's. *)
 let refresh ctx c =
-  let now = Clock.now ctx.clk in
+  let now = Clock.uid ctx.clk in
   if c.stamp <> now then begin
     c.stamp <- now;
     c.max_r <- -1;

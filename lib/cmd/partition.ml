@@ -15,22 +15,25 @@
    per cycle. *)
 
 let uncore = 0
-let cur = ref uncore
-let ambient () = !cur
+
+(* Domain-local so farm workers can build machines concurrently: each
+   domain's ambient partition is its own. *)
+let cur : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref uncore)
+let ambient () = !(Domain.DLS.get cur)
 
 let scoped p f =
   if p < 0 || p > 60 then invalid_arg "Partition.scoped: partition out of range";
+  let cur = Domain.DLS.get cur in
   let old = !cur in
   cur := p;
   Fun.protect ~finally:(fun () -> cur := old) f
 
 type token = { tk_name : string; prim : int }
 
-let prim_ctr = ref 0
-
-let fresh_prim () =
-  incr prim_ctr;
-  !prim_ctr
+(* Atomic, not domain-local: primitive identities need only be unique, and
+   machines built on different domains must never alias each other's. *)
+let prim_ctr = Atomic.make 0
+let fresh_prim () = Atomic.fetch_and_add prim_ctr 1 + 1
 
 let token ~prim tk_name = { tk_name; prim }
 let mk_token tk_name = { tk_name; prim = fresh_prim () }

@@ -75,15 +75,29 @@ module Pool = struct
 
   let shutdown_registered = ref false
 
+  (* Idempotent and reentrancy-safe: the CAS makes a second call — from a
+     signal handler interrupting the first, from [at_exit] racing an
+     explicit call, or from plain double-shutdown — return immediately
+     instead of double-joining the domains or deadlocking on [p.m].
+     Signal handlers should still prefer setting a flag and letting the
+     main loop call this (see [riscyoo farm]): a handler that interrupts
+     the pool mid-cycle would block in [Domain.join] until the cycle's
+     tasks drain. *)
+  let in_shutdown = Atomic.make false
+
   let shutdown () =
-    Mutex.lock p.m;
-    p.shutdown <- true;
-    Condition.broadcast p.work_cv;
-    Mutex.unlock p.m;
-    List.iter Domain.join p.domains;
-    p.domains <- [];
-    p.nworkers <- 0;
-    p.shutdown <- false
+    if Atomic.compare_and_set in_shutdown false true then
+      Fun.protect
+        ~finally:(fun () -> Atomic.set in_shutdown false)
+        (fun () ->
+          Mutex.lock p.m;
+          p.shutdown <- true;
+          Condition.broadcast p.work_cv;
+          Mutex.unlock p.m;
+          List.iter Domain.join p.domains;
+          p.domains <- [];
+          p.nworkers <- 0;
+          p.shutdown <- false)
 
   let ensure_workers n =
     if not !shutdown_registered then begin
@@ -146,7 +160,7 @@ type t = {
   rule_list : Rule.t list;
   order : Rule.t array; (* attempt order; permuted in Shuffle mode *)
   mode : mode;
-  rng : Random.State.t option;
+  mutable rng : Random.State.t option; (* mutable for [reseed] and restore *)
   ctx : Kernel.ctx; (* one reusable transaction context for all attempts *)
   fastpath : bool; (* consult can_fire / park on watches *)
   audit : bool; (* never skip; dynamically check the can_fire contract *)
@@ -301,6 +315,62 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
   in
   Kernel.set_partition_audit t.ctx partition_audit;
   if par then refill_partition_orders t;
+  (* Stamp every rule with its index in the canonical (rule_list) order.
+     [Obs.Hub] stamps the same indices from the same list, so the two
+     agree; the stamps let the snapshot express the current schedule
+     permutation as plain indices. *)
+  let rules_arr = Array.of_list rules in
+  Array.iteri (fun i (r : Rule.t) -> r.Rule.rid <- i) rules_arr;
+  State.register ~name:"sim.sched"
+    ~save:(fun () ->
+      let ord = Array.map (fun (r : Rule.t) -> r.Rule.rid) t.order in
+      let per_rule =
+        Array.map
+          (fun (r : Rule.t) ->
+            (r.Rule.fired, r.Rule.guard_failed, r.Rule.conflicted, r.Rule.skipped,
+             r.Rule.last_fired))
+          rules_arr
+      in
+      Obj.repr
+        ( t.n_cycles,
+          t.fires,
+          t.rr,
+          ord,
+          Option.map Random.State.copy t.rng,
+          per_rule,
+          (Array.copy t.history, t.history_depth) ))
+    ~load:(fun o ->
+      let ( n_cycles,
+            fires,
+            rr,
+            (ord : int array),
+            (rng : Random.State.t option),
+            (per_rule : (int * int * int * int * int) array),
+            ((history : (int * string list) array), history_depth) ) =
+        Obj.obj o
+      in
+      t.n_cycles <- n_cycles;
+      t.fires <- fires;
+      t.rr <- rr;
+      Array.iteri (fun i rid -> t.order.(i) <- rules_arr.(rid)) ord;
+      t.rng <- rng;
+      Array.iteri
+        (fun i (fired, guard_failed, conflicted, skipped, last_fired) ->
+          let r = rules_arr.(i) in
+          r.Rule.fired <- fired;
+          r.Rule.guard_failed <- guard_failed;
+          r.Rule.conflicted <- conflicted;
+          r.Rule.skipped <- skipped;
+          r.Rule.last_fired <- last_fired;
+          (* Wakeup generations are not snapshotted: un-parking every rule
+             forces predicate re-evaluation, which cannot change fire
+             counts (skip accounting depends only on predicate results). *)
+          r.Rule.parked <- false;
+          r.Rule.park_sum <- 0)
+        per_rule;
+      t.history <- history;
+      t.history_depth <- history_depth;
+      if t.par then refill_partition_orders t);
   t
 
 let clock t = t.clk
@@ -310,6 +380,20 @@ let rules t = t.rule_list
 let jobs t = t.jobs
 let parallel t = t.par
 let shutdown_pool () = Pool.shutdown ()
+let pool_run ~helpers tasks = Pool.run ~helpers tasks
+
+(* Re-key the Shuffle schedule: reset the attempt order to the canonical
+   rule order and replace the RNG, exactly the state a cold machine built
+   with [Shuffle seed] starts from. Restoring a cycle-0 snapshot and
+   reseeding is therefore schedule-identical to a cold build with that
+   seed — the warm-fork path. No-op outside Shuffle mode. *)
+let reseed t seed =
+  match t.mode with
+  | Shuffle _ ->
+    List.iteri (fun i r -> t.order.(i) <- r) t.rule_list;
+    t.rng <- Some (Random.State.make [| seed |]);
+    if t.par then refill_partition_orders t
+  | Multi | One_per_cycle -> ()
 
 let enable_history t ~depth =
   t.history_depth <- depth;

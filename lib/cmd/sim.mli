@@ -116,8 +116,31 @@ val parallel : t -> bool
     one lazily-spawned pool that persists between runs; on OCaml 5 even
     idle domains tax every minor collection, so call this before timing
     serial code after a parallel run. The pool respawns transparently on
-    the next parallel cycle. Also registered via [at_exit]. *)
+    the next parallel cycle. Also registered via [at_exit].
+
+    Idempotent and reentrancy-safe: a second call — including one from a
+    signal handler interrupting the first — returns immediately. Signal
+    handlers should nevertheless prefer setting a flag and letting the
+    main loop shut down (see [riscyoo farm]): a handler firing mid-cycle
+    would block here until the in-flight cycle's tasks drain. *)
 val shutdown_pool : unit -> unit
+
+(** [pool_run ~helpers tasks] runs a batch of independent tasks on the same
+    shared worker-domain pool the partitioned simulator uses: the calling
+    domain participates, at most [helpers] pool workers steal tasks, and
+    the call returns when every task has completed. Tasks must trap their
+    own exceptions (an escaping one is silently dropped by the barrier).
+    This is the simulation farm's job executor — a farm task typically
+    builds and runs a whole [jobs:1] machine, which is safe because the
+    snapshot/injection/invariant registries are all domain-local. *)
+val pool_run : helpers:int -> (unit -> unit) array -> unit
+
+(** [reseed t seed] re-keys a [Shuffle] schedule: attempt order back to
+    the canonical rule order, fresh RNG from [seed] — exactly a cold
+    [Shuffle seed] build's starting schedule state. Restoring a cycle-0
+    snapshot then reseeding is schedule-identical to a cold build with
+    that seed (the farm's warm-fork path). No-op in other modes. *)
+val reseed : t -> int -> unit
 
 (** Run one clock cycle; returns the number of rules that fired. *)
 val cycle : t -> int

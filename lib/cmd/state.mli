@@ -1,0 +1,42 @@
+(** Per-machine snapshot state registry.
+
+    Primitives register a (save, load) pair at create time against the
+    ambient (domain-local) collector; [collecting] scopes a machine build
+    and returns the resulting registry. [save]/[load] serialize the whole
+    registry as one checksummed image — see [Machine.snapshot]. *)
+
+type registry
+
+(** Raised by [load] on any malformed, corrupted or mismatched image. *)
+exception Error of string
+
+(** [register ~name ~save ~load] adds an entry to the ambient registry (a
+    no-op when no [collecting] scope is active). [name] must be
+    build-deterministic — it participates in the config digest — so
+    auto-numbered primitives should register a stable stem, not their
+    counter-suffixed debug name. *)
+val register : name:string -> save:(unit -> Obj.t) -> load:(Obj.t -> unit) -> unit
+
+(** Typed wrapper over [register]: [get] returns the live value (marshaled
+    immediately — no copy needed), [set] must write the unmarshaled value
+    back in place (rules capture the live containers). *)
+val field : name:string -> (unit -> 'a) -> ('a -> unit) -> unit
+
+(** [collecting f] runs a machine build with a fresh ambient registry and
+    returns [f]'s result together with the registry, in registration
+    order. Nests; the previous collector is restored on exit. *)
+val collecting : (unit -> 'a) -> 'a * registry
+
+val names : registry -> string list
+val size : registry -> int
+
+(** [save t ~config] marshals every entry's value as one blob (preserving
+    heap sharing between containers) and frames it with magic, an
+    executable digest, a config digest (entry names + [config]) and a
+    payload checksum. *)
+val save : registry -> config:string -> string
+
+(** [load t ~config img] verifies the frame and writes every entry back in
+    place. Raises [Error] (never crashes) on truncated, corrupted,
+    wrong-binary or wrong-config images. *)
+val load : registry -> config:string -> string -> unit

@@ -1,7 +1,39 @@
 type counter = { name : string; mutable v : int; mutable shards : int array }
 type t = { prefix : string; tbl : (string, counter) Hashtbl.t }
 
-let create ?(prefix = "") () = { prefix; tbl = Hashtbl.create 64 }
+let shard_sum c =
+  let acc = ref 0 in
+  for i = 0 to Array.length c.shards - 1 do
+    acc := !acc + c.shards.(i)
+  done;
+  !acc
+
+let create ?(prefix = "") () =
+  let t = { prefix; tbl = Hashtbl.create 64 } in
+  (* Snapshot as sorted (name, folded value) pairs: counter records are
+     captured by rule closures at build time, so restore writes values back
+     into the existing records by name. Taken at a cycle barrier the shards
+     are already folded; [set] zeroes them regardless. *)
+  State.register ~name:"stats"
+    ~save:(fun () ->
+      Obj.repr
+        (Array.of_list
+           (Hashtbl.fold (fun _ c acc -> (c.name, c.v + shard_sum c) :: acc) t.tbl []
+           |> List.sort (fun (a, _) (b, _) -> String.compare a b))))
+    ~load:(fun o ->
+      let pairs : (string * int) array = Obj.obj o in
+      Hashtbl.iter
+        (fun _ c ->
+          c.v <- 0;
+          Array.fill c.shards 0 (Array.length c.shards) 0)
+        t.tbl;
+      Array.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt t.tbl name with
+          | Some c -> c.v <- v
+          | None -> Hashtbl.add t.tbl name { name; v; shards = [||] })
+        pairs);
+  t
 
 let counter t name =
   let name = t.prefix ^ name in
@@ -42,13 +74,6 @@ let incr ?ctx ?(by = 1) c =
       c.v <- c.v + by
     end
   | None -> c.v <- c.v + by
-
-let shard_sum c =
-  let acc = ref 0 in
-  for i = 0 to Array.length c.shards - 1 do
-    acc := !acc + c.shards.(i)
-  done;
-  !acc
 
 let get c = c.v + shard_sum c
 

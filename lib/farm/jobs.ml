@@ -1,0 +1,418 @@
+(* Manifest-driven job production: a riscyoo-farm-manifest-v1 JSON names
+   sweeps; each sweep expands into independent, individually-replayable
+   {!Sweep.job}s.
+
+   Three sweep types:
+   - [litmus]: the (tests x models x seeds) product, one jobs:1 machine
+     per seed, via {!Litmus.Run.farm_jobs}. With [stagger:false] the
+     warm-fork cache restores one cycle-0 snapshot per domain instead of
+     rebuilding the machine per seed.
+   - [fault]: the trials of a seeded bit-flip campaign on a workload
+     kernel, each trial's RNG independent ({!Verif.Fault.farm_trial}).
+     The golden reference and injection horizon are computed once per
+     domain (deterministic, so every domain agrees) and cached.
+   - [poison]: synthetic jobs for exercising the farm's own fault
+     tolerance — selected indices fail deterministically after N
+     synthetic cycles, hang until cancelled, or fail once then succeed. *)
+
+let spf = Printf.sprintf
+
+type litmus_sweep = {
+  ls_tests : Litmus.Test.t list;
+  ls_models : Ooo.Config.mem_model list;
+  ls_seeds : int;
+  ls_stagger : bool;
+  ls_warm : bool;
+}
+
+type fault_sweep = {
+  fs_kernel : string;
+  fs_config : string;
+  fs_cores : int;
+  fs_scale : int;
+  fs_trials : int;
+  fs_seed : int;
+}
+
+type poison_sweep = {
+  ps_jobs : int;
+  ps_cycles : int;  (* synthetic cycles of busy work per job *)
+  ps_fail : int list;  (* indices that fail deterministically -> quarantine *)
+  ps_hang : int list;  (* indices that spin until cancelled -> timeout *)
+  ps_flaky : int list;  (* indices that fail once, then succeed -> retry *)
+}
+
+type sweep = Litmus of litmus_sweep | Fault of fault_sweep | Poison of poison_sweep
+
+type manifest = { sweeps : sweep list }
+
+let schema = "riscyoo-farm-manifest-v1"
+
+(* ------------------------------ parsing -------------------------------- *)
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Json.Parse_error ("manifest: " ^ s))) fmt
+
+let str_of v = match Json.str v with Some s -> s | None -> bad "expected a string"
+let int_of v = match Json.int v with Some i -> i | None -> bad "expected an integer"
+let opt_int obj key d = match Json.get_int key obj with Some v -> v | None -> d
+let opt_bool obj key d = match Json.get_bool key obj with Some v -> v | None -> d
+let opt_str obj key d = match Json.get_str key obj with Some v -> v | None -> d
+
+let opt_int_list obj key =
+  match Json.get_list key obj with Some l -> List.map int_of l | None -> []
+
+let model_of_string s =
+  match String.lowercase_ascii s with
+  | "tso" -> Ooo.Config.TSO
+  | "wmm" -> Ooo.Config.WMM
+  | m -> bad "unknown memory model %S (want tso or wmm)" m
+
+let test_of_string n =
+  match Litmus.Test.find n with
+  | Some t -> t
+  | None ->
+    bad "unknown litmus test %S (have: %s)" n
+      (String.concat " " (List.map (fun (t : Litmus.Test.t) -> t.name) Litmus.Test.all))
+
+let parse_sweep j =
+  match Json.get_str "type" j with
+  | None -> bad "sweep entry lacks a \"type\""
+  | Some "litmus" ->
+    let ls_tests =
+      match Json.mem "tests" j with
+      | None | Some (Json.Str "all") -> Litmus.Test.all
+      | Some (Json.List l) -> List.map (fun v -> test_of_string (str_of v)) l
+      | Some v -> [ test_of_string (str_of v) ]
+    in
+    let ls_models =
+      match Json.mem "models" j with
+      | None -> [ Ooo.Config.TSO; Ooo.Config.WMM ]
+      | Some (Json.List l) -> List.map (fun v -> model_of_string (str_of v)) l
+      | Some v -> [ model_of_string (str_of v) ]
+    in
+    Litmus
+      {
+        ls_tests;
+        ls_models;
+        ls_seeds = opt_int j "seeds" 20;
+        ls_stagger = opt_bool j "stagger" true;
+        ls_warm = opt_bool j "warm" false;
+      }
+  | Some "fault" ->
+    Fault
+      {
+        fs_kernel = opt_str j "kernel" "gcc";
+        fs_config = opt_str j "config" "b";
+        fs_cores = opt_int j "cores" 1;
+        fs_scale = opt_int j "scale" 1;
+        fs_trials = opt_int j "trials" 32;
+        fs_seed = opt_int j "seed" 0xFA17;
+      }
+  | Some "poison" ->
+    Poison
+      {
+        ps_jobs = opt_int j "jobs" 10;
+        ps_cycles = opt_int j "cycles" 1000;
+        ps_fail = opt_int_list j "fail";
+        ps_hang = opt_int_list j "hang";
+        ps_flaky = opt_int_list j "flaky";
+      }
+  | Some ty -> bad "unknown sweep type %S (want litmus, fault or poison)" ty
+
+let of_json j =
+  (match Json.mem "schema" j with
+  | Some (Json.Str s) when s = schema -> ()
+  | Some (Json.Str s) -> bad "schema %S, want %S" s schema
+  | _ -> bad "missing \"schema\" (want %S)" schema);
+  match Json.mem "sweeps" j with
+  | Some (Json.List l) -> { sweeps = List.map parse_sweep l }
+  | _ -> bad "missing \"sweeps\" array"
+
+let of_string s = of_json (Json.of_string s)
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(* ---------------------------- litmus jobs ------------------------------ *)
+
+let model_tag m = match m with Ooo.Config.TSO -> "tso" | Ooo.Config.WMM -> "wmm"
+
+let cls_tag = Litmus.Run.cls_to_string
+
+let litmus_job ~replay_of ~warm (fj : Litmus.Run.farm_job) =
+  let id = Litmus.Run.farm_job_id fj in
+  {
+    Sweep.id;
+    kind = "litmus";
+    spec =
+      [
+        ("test", Json.Str fj.fj_test.Litmus.Test.name);
+        ("model", Json.Str (model_tag fj.fj_model));
+        ("seed", Json.Int fj.fj_seed);
+        ("stagger", Json.Bool fj.fj_stagger);
+      ];
+    replay = replay_of id;
+    run =
+      (fun ~should_stop ->
+        let on_cycle = Sweep.cancel_hook ~should_stop in
+        let o, cls, allowed = Litmus.Run.farm_run ~on_cycle ~warm fj in
+        Json.Obj
+          [
+            ("outcome", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) o)));
+            ("outcome_str", Json.Str (Litmus.Test.outcome_to_string fj.fj_test o));
+            ("class", Json.Str (cls_tag cls));
+            ("allowed", Json.Bool allowed);
+          ]);
+  }
+
+(* ----------------------------- fault jobs ------------------------------ *)
+
+let config_of_name = function
+  | "b" -> Ooo.Config.riscyoo_b
+  | "cminus" -> Ooo.Config.riscyoo_cminus
+  | "tplus" -> Ooo.Config.riscyoo_tplus
+  | "tplus-rplus" -> Ooo.Config.riscyoo_tplus_rplus
+  | "quad-tso" -> Ooo.Config.multicore Ooo.Config.TSO
+  | "quad-wmm" -> Ooo.Config.multicore Ooo.Config.WMM
+  | name -> bad "unknown fault config %S" name
+
+(* The campaign prologue — golden reference exits and the fault-free
+   cycle count that bounds the injection window — is deterministic, so
+   each worker domain computes it once and caches it; every domain
+   lands on the same horizon, keeping trial RNG derivation identical
+   no matter which domain runs a trial. *)
+type fault_env = {
+  harness : Workloads.Machine.t Verif.Fault.harness;
+  horizon : int;
+}
+
+let fault_env_cache : (string, fault_env) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let fault_env fs =
+  let key = spf "%s/%s/c%d/x%d" fs.fs_kernel fs.fs_config fs.fs_cores fs.fs_scale in
+  let cache = Domain.DLS.get fault_env_cache in
+  match Hashtbl.find_opt cache key with
+  | Some e -> e
+  | None ->
+    let module M = Workloads.Machine in
+    let prog = Workloads.Spec_kernels.find fs.fs_kernel ~scale:fs.fs_scale in
+    let kind = M.Out_of_order (config_of_name fs.fs_config) in
+    let gm = M.create ~ncores:fs.fs_cores M.Golden_only prog in
+    let go = M.run gm in
+    if go.M.timed_out then failwith "fault sweep: golden reference run timed out";
+    let clean = M.create ~ncores:fs.fs_cores kind prog in
+    let co = M.run clean in
+    if co.M.timed_out then failwith "fault sweep: fault-free run timed out";
+    let horizon = co.M.cycles in
+    let wd_limit = 10_000 in
+    let e =
+      {
+        harness =
+          {
+            Verif.Fault.build =
+              (fun () ->
+                M.create ~ncores:fs.fs_cores ~cosim:(fs.fs_cores = 1) ~watchdog:wd_limit
+                  ~invariants:true kind prog);
+            exec =
+              (fun m ~on_cycle ->
+                let o = M.run ~max_cycles:((2 * horizon) + (10 * wd_limit)) ~on_cycle m in
+                if o.M.timed_out then `Timeout o.M.cycles else `Exit o.M.exits);
+            reference = go.M.exits;
+          };
+        horizon;
+      }
+    in
+    Hashtbl.add cache key e;
+    e
+
+let trial_json (t : Verif.Fault.trial) =
+  let outcome, detail =
+    match t.outcome with
+    | Verif.Fault.Masked -> ("masked", "")
+    | Verif.Fault.Detected_divergence d -> ("divergence", d)
+    | Verif.Fault.Detected_hang d -> ("hang", d)
+  in
+  Json.Obj
+    [
+      ("site", Json.Str t.site);
+      ("bit", Json.Int t.bit);
+      ("at_cycle", Json.Int t.at_cycle);
+      ("applied", Json.Bool t.applied);
+      ("outcome", Json.Str outcome);
+      ("detail", Json.Str detail);
+      ("diagnosed", Json.Bool t.diagnosed);
+    ]
+
+let fault_job ~replay_of fs id =
+  let job_id =
+    spf "fault/%s/%s/c%d/s%d/trial%04d" fs.fs_kernel fs.fs_config fs.fs_cores fs.fs_seed id
+  in
+  {
+    Sweep.id = job_id;
+    kind = "fault";
+    spec =
+      [
+        ("kernel", Json.Str fs.fs_kernel);
+        ("config", Json.Str fs.fs_config);
+        ("cores", Json.Int fs.fs_cores);
+        ("seed", Json.Int fs.fs_seed);
+        ("trial", Json.Int id);
+      ];
+    replay = replay_of job_id;
+    run =
+      (fun ~should_stop ->
+        let e = fault_env fs in
+        let on_cycle = Sweep.cancel_hook ~should_stop in
+        let t =
+          Verif.Fault.farm_trial ~on_cycle e.harness ~seed:fs.fs_seed ~trials:fs.fs_trials
+            ~horizon:e.horizon ~id
+        in
+        trial_json t);
+  }
+
+(* ----------------------------- poison jobs ----------------------------- *)
+
+let spin ~should_stop cycles =
+  for c = 0 to cycles - 1 do
+    Sweep.cancel_hook ~should_stop c;
+    ignore (Sys.opaque_identity (c * c))
+  done
+
+let poison_job ~replay_of ps idx =
+  let id = spf "poison/job%04d" idx in
+  let mode =
+    if List.mem idx ps.ps_fail then `Fail
+    else if List.mem idx ps.ps_hang then `Hang
+    else if List.mem idx ps.ps_flaky then `Flaky (Atomic.make 0)
+    else `Ok
+  in
+  let mode_tag =
+    match mode with `Fail -> "fail" | `Hang -> "hang" | `Flaky _ -> "flaky" | `Ok -> "ok"
+  in
+  {
+    Sweep.id;
+    kind = "poison";
+    spec = [ ("mode", Json.Str mode_tag); ("cycles", Json.Int ps.ps_cycles) ];
+    replay = replay_of id;
+    run =
+      (fun ~should_stop ->
+        let ok () = Json.Obj [ ("value", Json.Int (idx * 7919)) ] in
+        match mode with
+        | `Ok ->
+          spin ~should_stop ps.ps_cycles;
+          ok ()
+        | `Fail ->
+          spin ~should_stop (ps.ps_cycles / 2);
+          failwith (spf "poisoned: injected failure after %d cycles" (ps.ps_cycles / 2))
+        | `Hang ->
+          let c = ref 0 in
+          while true do
+            if should_stop () then raise Sweep.Cancelled;
+            Unix.sleepf 0.001;
+            incr c
+          done;
+          ok ()
+        | `Flaky attempts ->
+          if Atomic.fetch_and_add attempts 1 = 0 then
+            failwith "poisoned: transient failure (first attempt only)"
+          else begin
+            spin ~should_stop ps.ps_cycles;
+            ok ()
+          end);
+  }
+
+(* ------------------------------ expansion ------------------------------ *)
+
+let jobs ?(manifest_path = "manifest.json") m =
+  let replay_of id = spf "riscyoo farm %s --only %s" manifest_path id in
+  List.concat_map
+    (fun sweep ->
+      match sweep with
+      | Litmus ls ->
+        Litmus.Run.farm_jobs ~stagger:ls.ls_stagger ~seeds:ls.ls_seeds ~models:ls.ls_models
+          ls.ls_tests
+        |> List.map (litmus_job ~replay_of ~warm:ls.ls_warm)
+      | Fault fs -> List.init fs.fs_trials (fault_job ~replay_of fs)
+      | Poison ps -> List.init ps.ps_jobs (poison_job ~replay_of ps))
+    m.sweeps
+
+(* -------------------- litmus histogram reconstruction ------------------ *)
+
+(* Rebuild riscyoo-litmus-v1 sweep reports from the farm's litmus records
+   so nightly trend tracking can diff a farm run against the classic
+   [riscyoo litmus --hist] artifact. Quarantined litmus jobs surface as
+   harness errors; non-litmus records are ignored. *)
+let litmus_reports (o : Sweep.outcome) =
+  let groups : (string * string, Sweep.record list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Sweep.record) ->
+      if r.kind = "litmus" then begin
+        let spec = Json.Obj r.spec in
+        let test = match Json.get_str "test" spec with Some s -> s | None -> bad "litmus record lacks a test" in
+        let model = match Json.get_str "model" spec with Some s -> s | None -> bad "litmus record lacks a model" in
+        let key = (test, model) in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := r :: !l
+        | None ->
+          Hashtbl.add groups key (ref [ r ]);
+          order := key :: !order
+      end)
+    o.records;
+  List.rev_map
+    (fun ((test_name, model_name) as key) ->
+      let records = List.rev !(Hashtbl.find groups key) in
+      let test = test_of_string test_name in
+      let model = model_of_string model_name in
+      let hist : (int array * Litmus.Run.cls * int ref) list ref = ref [] in
+      let forbidden = ref [] in
+      let errors = ref [] in
+      let relaxed = ref false and wmm_only = ref false in
+      List.iter
+        (fun (r : Sweep.record) ->
+          match r.status with
+          | Sweep.Quarantined { error; _ } ->
+            errors := Printf.sprintf "%s: %s" r.job_id error :: !errors
+          | Sweep.Finished v ->
+            let o =
+              match Json.get_list "outcome" v with
+              | Some l -> Array.of_list (List.map int_of l)
+              | None -> bad "litmus record lacks an outcome"
+            in
+            let cls = Litmus.Run.classify_outcome test o in
+            (if cls <> Litmus.Run.In_sc then relaxed := true);
+            (if cls = Litmus.Run.Wmm_relaxed || cls = Litmus.Run.Forbidden then wmm_only := true);
+            (match List.find_opt (fun (o', _, _) -> o' = o) !hist with
+            | Some (_, _, n) -> incr n
+            | None -> hist := (o, cls, ref 1) :: !hist);
+            if cls = Litmus.Run.Forbidden then begin
+              let seed = opt_int (Json.Obj r.spec) "seed" 0 in
+              forbidden := (o, seed, 1, None) :: !forbidden
+            end)
+        records;
+      let hist =
+        List.map (fun (o, c, n) -> (o, c, !n)) !hist
+        |> List.sort (fun (_, _, a) (_, _, b) -> compare (b : int) a)
+      in
+      {
+        Litmus.Run.test;
+        model;
+        total_runs = List.length records;
+        hist;
+        forbidden = List.rev !forbidden;
+        mismatches = [];
+        errors = List.rev !errors;
+        relaxed_seen = !relaxed;
+        wmm_only_seen = !wmm_only;
+      })
+    !order
+
+let litmus_json ~seeds o =
+  match litmus_reports o with
+  | [] -> None
+  | reports -> Some (Litmus.Run.reports_to_json ~seeds reports)

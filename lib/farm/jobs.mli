@@ -1,0 +1,77 @@
+(** Manifest-driven job production for the simulation farm.
+
+    A [riscyoo-farm-manifest-v1] JSON file names sweeps; each expands
+    into independent, individually-replayable {!Sweep.job}s:
+
+    {v
+    { "schema": "riscyoo-farm-manifest-v1",
+      "sweeps": [
+        {"type": "litmus", "tests": ["sb", "mp"], "models": ["tso", "wmm"],
+         "seeds": 50, "stagger": false, "warm": true},
+        {"type": "fault", "kernel": "gcc", "config": "b", "cores": 1,
+         "trials": 64, "seed": 64023},
+        {"type": "poison", "jobs": 100, "cycles": 1000,
+         "fail": [3, 17], "hang": [5], "flaky": [9]}
+      ] }
+    v}
+
+    [litmus] runs the (tests x models x seeds) product at jobs:1
+    ([tests] defaults to all, [models] to both, [warm] enables the
+    per-domain warm-fork snapshot cache — stagger-free sweeps only).
+    [fault] runs the trials of a seeded bit-flip campaign, each trial's
+    RNG independent of the others. [poison] makes synthetic jobs for
+    exercising the farm's fault tolerance: [fail] indices raise after
+    [cycles/2] synthetic cycles (quarantine), [hang] indices spin until
+    cancelled (timeout), [flaky] indices fail once then succeed
+    (retry). *)
+
+type litmus_sweep = {
+  ls_tests : Litmus.Test.t list;
+  ls_models : Ooo.Config.mem_model list;
+  ls_seeds : int;
+  ls_stagger : bool;
+  ls_warm : bool;
+}
+
+type fault_sweep = {
+  fs_kernel : string;
+  fs_config : string;
+  fs_cores : int;
+  fs_scale : int;
+  fs_trials : int;
+  fs_seed : int;
+}
+
+type poison_sweep = {
+  ps_jobs : int;
+  ps_cycles : int;
+  ps_fail : int list;
+  ps_hang : int list;
+  ps_flaky : int list;
+}
+
+type sweep = Litmus of litmus_sweep | Fault of fault_sweep | Poison of poison_sweep
+
+type manifest = { sweeps : sweep list }
+
+val schema : string
+
+(** Raise {!Json.Parse_error} on malformed or mis-schema'd manifests. *)
+val of_json : Json.t -> manifest
+
+val of_string : string -> manifest
+val load : string -> manifest
+
+(** Expand a manifest into jobs. [manifest_path] is echoed into each
+    job's replay command ([riscyoo farm <path> --only <id>]). *)
+val jobs : ?manifest_path:string -> manifest -> Sweep.job list
+
+(** Rebuild [riscyoo-litmus-v1] sweep reports from the farm's litmus
+    records (quarantined jobs surface as harness errors) so nightly
+    trend tracking can diff farm runs against [riscyoo litmus --hist]
+    artifacts. Ignores non-litmus records. *)
+val litmus_reports : Sweep.outcome -> Litmus.Run.report list
+
+(** [litmus_reports] serialized via {!Litmus.Run.reports_to_json};
+    [None] when the outcome holds no litmus records. *)
+val litmus_json : seeds:int -> Sweep.outcome -> string option

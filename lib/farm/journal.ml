@@ -1,0 +1,119 @@
+(* Crash-safe append-only result journal: riscyoo-farm-v1.
+
+   One JSON object per line. The first line is a header binding the journal
+   to a manifest digest; every subsequent line is a job record wrapped as
+
+     {"v": <record>, "crc": "<md5 hex of the canonical serialization of v>"}
+
+   Appends flush and fsync before returning, so a SIGKILL at any point
+   leaves a valid prefix plus at most one torn final line. Recovery parses
+   lines in order, verifies each checksum, and stops at the first torn or
+   corrupt line — everything before it is trusted, everything after is
+   ignored (and reported), which is exactly the resume semantics: finished
+   jobs are skipped, the job whose record was torn re-runs. *)
+
+let schema = "riscyoo-farm-v1"
+
+type t = {
+  oc : out_channel;
+  mu : Mutex.t;
+  mutable appended : int;
+}
+
+exception Corrupt of string
+
+let crc_of v = Digest.to_hex (Digest.string (Json.to_string v))
+
+let wrap v = Json.Obj [ ("v", v); ("crc", Json.Str (crc_of v)) ]
+
+let unwrap line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> Error ("unparsable line: " ^ m)
+  | j -> (
+    match (Json.mem "v" j, Json.get_str "crc" j) with
+    | Some v, Some crc -> if crc_of v = crc then Ok v else Error "checksum mismatch"
+    | _ -> Error "missing v/crc")
+
+let header ~manifest_digest =
+  Json.Obj [ ("schema", Json.Str schema); ("manifest", Json.Str manifest_digest) ]
+
+let append_line t v =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      output_string t.oc (Json.to_string (wrap v));
+      output_char t.oc '\n';
+      flush t.oc;
+      (try Unix.fsync (Unix.descr_of_out_channel t.oc) with Unix.Unix_error _ -> ());
+      t.appended <- t.appended + 1)
+
+let create path ~manifest_digest =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  let t = { oc; mu = Mutex.create (); appended = 0 } in
+  append_line t (header ~manifest_digest);
+  t
+
+let append t record = append_line t record
+
+let close t =
+  Mutex.lock t.mu;
+  close_out_noerr t.oc;
+  Mutex.unlock t.mu
+
+let appended t = t.appended
+
+type recovery = {
+  records : Json.t list; (* good records, journal order, header excluded *)
+  bad : string list; (* torn/corrupt lines skipped (diagnostics) *)
+}
+
+(* Read a journal back. Raises [Corrupt] when the file exists but its header
+   is not a valid riscyoo-farm-v1 header for [manifest_digest] — resuming
+   someone else's journal is an error. A torn or corrupt record line is
+   not: each line carries its own checksum, so bad lines are skipped
+   individually and every intact record (before or after the tear — a
+   resumed journal keeps appending past it) is recovered. Later records
+   shadow earlier ones for the same job, so re-runs win. *)
+let recover path ~manifest_digest =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let first =
+        match input_line ic with
+        | exception End_of_file -> raise (Corrupt "empty journal")
+        | l -> l
+      in
+      (match unwrap first with
+      | Ok h ->
+        if Json.get_str "schema" h <> Some schema then
+          raise (Corrupt "journal header has wrong schema");
+        (match Json.get_str "manifest" h with
+        | Some d when d = manifest_digest -> ()
+        | Some _ -> raise (Corrupt "journal belongs to a different manifest")
+        | None -> raise (Corrupt "journal header has no manifest digest"))
+      | Error e -> raise (Corrupt ("bad journal header: " ^ e)));
+      let records = ref [] in
+      let bad = ref [] in
+      let rec go n =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | "" -> go (n + 1) (* resume padding, below *)
+        | line ->
+          (match unwrap line with
+          | Ok v -> records := v :: !records
+          | Error e -> bad := Printf.sprintf "line %d: %s" n e :: !bad);
+          go (n + 1)
+      in
+      go 2;
+      { records = List.rev !records; bad = List.rev !bad })
+
+(* Reopen an existing journal for appending (resume path). A SIGKILLed
+   predecessor may have left a torn final line with no newline; starting
+   the continuation with one confines the damage to that line. Recovery
+   skips the blank. *)
+let reopen path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path in
+  output_char oc '\n';
+  { oc; mu = Mutex.create (); appended = 0 }

@@ -1,0 +1,40 @@
+(** Crash-safe append-only result journal ([riscyoo-farm-v1]).
+
+    One JSON record per line, each wrapped with its own MD5 checksum;
+    appends flush and fsync before returning. A SIGKILL at any point leaves
+    a valid prefix plus at most one torn final line, which {!recover} skips
+    — everything intact is trusted, and resuming appends fresh records
+    after the tear (later records shadow earlier ones per job). *)
+
+type t
+
+(** Raised by {!recover} on a journal whose header is missing, malformed,
+    or bound to a different manifest. *)
+exception Corrupt of string
+
+(** [create path ~manifest_digest] truncates [path] and writes the header
+    line binding the journal to the manifest. *)
+val create : string -> manifest_digest:string -> t
+
+(** Reopen an existing journal for appending (the resume path — run
+    {!recover} first to learn what it holds). *)
+val reopen : string -> t
+
+(** Append one record: serialize, checksum, write, flush, fsync. Safe to
+    call from any domain. *)
+val append : t -> Json.t -> unit
+
+val close : t -> unit
+
+(** Records appended through this handle (not counting recovered ones). *)
+val appended : t -> int
+
+type recovery = {
+  records : Json.t list;  (** intact records, journal order *)
+  bad : string list;  (** torn/corrupt lines that were skipped *)
+}
+
+(** Read a journal back, verifying the header against [manifest_digest]
+    (raises {!Corrupt} on mismatch) and each record line against its own
+    checksum (bad lines are skipped, not fatal). *)
+val recover : string -> manifest_digest:string -> recovery

@@ -1,0 +1,37 @@
+(** Minimal hand-rolled JSON (the container carries no JSON library).
+
+    The printer is canonical — object fields in construction order, fixed
+    number formatting, fixed separators — so equal values serialize to
+    byte-identical strings. The farm's resume-equivalence guarantee (a
+    resumed sweep's results file diffs clean against an uninterrupted one)
+    rests on this. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** Raises {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+(** Field of an object, [None] on absent field or non-object. *)
+val mem : string -> t -> t option
+
+val str : t -> string option
+val int : t -> int option
+val bool : t -> bool option
+val list : t -> t list option
+val float_of : t -> float option
+
+val get_str : string -> t -> string option
+val get_int : string -> t -> int option
+val get_bool : string -> t -> bool option
+val get_list : string -> t -> t list option

@@ -1,0 +1,80 @@
+(** The crash-safe simulation farm: a work-stealing sweep of independent
+    simulation jobs over the shared worker-domain pool, with per-job
+    wall-clock timeouts, retry-with-backoff, quarantine-and-continue, and a
+    checksummed fsync'd journal that makes interrupted sweeps resumable
+    with byte-identical final results. *)
+
+type job = {
+  id : string;  (** unique and stable — the journal/resume key *)
+  kind : string;
+  spec : (string * Json.t) list;  (** replay parameters, echoed in results *)
+  replay : string;  (** deterministic replay command for quarantine reports *)
+  run : should_stop:(unit -> bool) -> Json.t;
+      (** The work. Must poll [should_stop] (e.g. via {!cancel_hook} from a
+          machine's [on_cycle]) and raise {!Cancelled} when it fires; any
+          other exception marks the attempt failed (retried, then
+          quarantined). Runs on an arbitrary pool domain; machines must be
+          built with [jobs:1]. *)
+}
+
+type config = {
+  workers : int;  (** pool helper domains; total parallelism = workers + 1 *)
+  timeout_s : float;  (** per-attempt wall-clock limit; 0 = none *)
+  max_retries : int;  (** retry rounds after the first attempt *)
+  backoff_s : float;  (** round r waits [backoff_s * 2^(r-1)], capped at 5s *)
+}
+
+val default_config : config
+
+(** Raised inside a job when its cancel flag fires (timeout or shutdown). *)
+exception Cancelled
+
+type status = Finished of Json.t | Quarantined of { error : string; replay : string }
+
+type record = {
+  job_id : string;
+  kind : string;
+  spec : (string * Json.t) list;
+  status : status;
+  attempts : int;
+  resumed : bool;  (** recovered from the journal, not run this time *)
+}
+
+type outcome = {
+  records : record list;  (** sorted by job id *)
+  n_ok : int;
+  n_quarantined : int;
+  n_resumed : int;
+  n_unfinished : int;  (** interrupted before every job got a record *)
+  interrupted : bool;
+}
+
+(** [run config jobs] drains the sweep. [journal] appends every terminal
+    record (finished or quarantined) to a crash-safe {!Journal}; with
+    [resume:true] an existing journal is recovered first and only jobs
+    without a record re-run (the journal must match the job set, else
+    {!Journal.Corrupt}). [should_stop] is the external shutdown flag (the
+    driver's SIGINT/SIGTERM handler sets it): in-flight jobs are cancelled
+    and left unfinished for a later resume. [abort_after] (tests) simulates
+    a mid-sweep kill by stopping after N journal appends. [log] receives
+    progress lines. Raises [Invalid_argument] on duplicate job ids. *)
+val run :
+  ?journal:string ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?abort_after:int ->
+  ?log:(string -> unit) ->
+  config ->
+  job list ->
+  outcome
+
+(** Canonical results: sorted by job id, no volatile fields — a resumed
+    sweep serializes byte-identically to an uninterrupted one. *)
+val results_json : outcome -> string
+
+(** [(job_id, error, replay)] for every quarantined job. *)
+val quarantined : outcome -> (string * string * string) list
+
+(** [cancel_hook ~should_stop] is an [on_cycle] hook polling the flag every
+    256 cycles and raising {!Cancelled} out of the machine run. *)
+val cancel_hook : should_stop:(unit -> bool) -> int -> unit

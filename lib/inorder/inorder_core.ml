@@ -80,6 +80,26 @@ let create ?(name = "inorder") ?(pipe = Obs.Pipe.null) clk ~hart_id ~icache ~dca
   (* counted at the clock edge rather than in the execute rule's body, so
      that rule can carry a can_fire predicate and be skipped when idle *)
   Clock.on_cycle_end clk (fun () -> Stats.incr t.c_cycles);
+  State.field ~name:(name ^ ".core")
+    (fun () ->
+      ( (t.regs, t.pc, t.epoch, t.fslots, t.next_fslot),
+        (t.xst, t.pending_load, t.load_tag, t.pending_store),
+        (t.reservation, t.halted_f, t.n_instret) ))
+    (fun ( (regs, pc, epoch, fslots, next_fslot),
+           (xst, pending_load, load_tag, pending_store),
+           (reservation, halted_f, n_instret) ) ->
+      Array.blit regs 0 t.regs 0 32;
+      t.pc <- pc;
+      t.epoch <- epoch;
+      Array.blit fslots 0 t.fslots 0 (Array.length t.fslots);
+      t.next_fslot <- next_fslot;
+      t.xst <- xst;
+      t.pending_load <- pending_load;
+      t.load_tag <- load_tag;
+      t.pending_store <- pending_store;
+      t.reservation <- reservation;
+      t.halted_f <- halted_f;
+      t.n_instret <- n_instret);
   t
 
 let set_pc t pc = t.pc <- pc

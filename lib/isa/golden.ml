@@ -38,6 +38,45 @@ let create ~nharts pmem mmio =
 
 let mem t = t.pmem
 let mmio t = t.mmio
+
+(* Architectural hart state as a plain value, for the machine snapshot
+   registry (this library does not depend on the CMD kernel). The private
+   translation cache is a pure speedup keyed on current page tables, so it
+   survives export/import untouched. *)
+type hart_image = {
+  h_pc : int64;
+  h_regs : int64 array;
+  h_satp : int64;
+  h_instret : int64;
+  h_reservation : int64 option;
+  h_ecall_halt : bool;
+}
+
+let export t =
+  Array.map
+    (fun (h : hart) ->
+      {
+        h_pc = h.pc;
+        h_regs = Array.copy h.regs;
+        h_satp = h.satp;
+        h_instret = h.instret;
+        h_reservation = h.reservation;
+        h_ecall_halt = h.ecall_halt;
+      })
+    t.harts
+
+let import t img =
+  Array.iteri
+    (fun i hi ->
+      let h = t.harts.(i) in
+      h.pc <- hi.h_pc;
+      Array.blit hi.h_regs 0 h.regs 0 32;
+      h.satp <- hi.h_satp;
+      h.instret <- hi.h_instret;
+      h.reservation <- hi.h_reservation;
+      h.ecall_halt <- hi.h_ecall_halt;
+      Hashtbl.reset h.tlb)
+    img
 let set_pc t ~hart v = t.harts.(hart).pc <- v
 let pc t ~hart = t.harts.(hart).pc
 let set_reg t ~hart r v = if r <> 0 then t.harts.(hart).regs.(r) <- v

@@ -23,6 +23,13 @@ val create : nharts:int -> Phys_mem.t -> Mmio.t -> t
 
 val mem : t -> Phys_mem.t
 val mmio : t -> Mmio.t
+
+(** Architectural hart state as a plain (marshalable) value, for the
+    machine snapshot registry. [import] writes it back in place. *)
+type hart_image
+
+val export : t -> hart_image array
+val import : t -> hart_image array -> unit
 val set_pc : t -> hart:int -> int64 -> unit
 val pc : t -> hart:int -> int64
 val set_reg : t -> hart:int -> int -> int64 -> unit

@@ -26,6 +26,19 @@ let store t ~hart addr v =
 let load _t ~hart:_ _addr = 0L
 let exit_code t ~hart = t.exits.(hart)
 
+(* Snapshot support for the machine state registry. *)
+type image = string array * int64 option array
+
+let export t : image = (Array.map Buffer.contents t.bufs, Array.copy t.exits)
+
+let import t ((bufs, exits) : image) =
+  Array.iteri
+    (fun i s ->
+      Buffer.clear t.bufs.(i);
+      Buffer.add_string t.bufs.(i) s)
+    bufs;
+  Array.blit exits 0 t.exits 0 (Array.length exits)
+
 let console t =
   let b = Buffer.create 256 in
   Array.iter (fun hb -> Buffer.add_buffer b hb) t.bufs;

@@ -20,3 +20,10 @@ val exit_code : t -> hart:int -> int64 option
 
 (** Console output accumulated so far. *)
 val console : t -> string
+
+(** Device state as a plain (marshalable) value, for the machine snapshot
+    registry; [import] writes it back in place. *)
+type image
+
+val export : t -> image
+val import : t -> image -> unit

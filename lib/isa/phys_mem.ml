@@ -75,6 +75,21 @@ let store_block t addr b =
 
 let pages_touched t = Hashtbl.length t.pages
 
+(* Snapshot support for the machine state registry (this library does not
+   depend on the CMD kernel, so the registry hands these plain values
+   around). Pages sort by index so two exports of equal memories are
+   structurally equal regardless of hashtable insertion history. *)
+type image = (int * Bytes.t) array
+
+let export t : image =
+  let a = Array.of_seq (Seq.map (fun (k, v) -> (k, Bytes.copy v)) (Hashtbl.to_seq t.pages)) in
+  Array.sort (fun (a, _) (b, _) -> compare (a : int) b) a;
+  a
+
+let import t (img : image) =
+  Hashtbl.reset t.pages;
+  Array.iter (fun (k, v) -> Hashtbl.replace t.pages k (Bytes.copy v)) img
+
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;

@@ -24,6 +24,13 @@ val store_block : t -> int64 -> Bytes.t -> unit
 (** Number of pages touched so far (footprint diagnostics). *)
 val pages_touched : t -> int
 
+(** Memory contents as a plain (marshalable) value, index-sorted; [import]
+    replaces the whole contents. Used by the machine snapshot registry. *)
+type image
+
+val export : t -> image
+val import : t -> image -> unit
+
 (** [copy t] makes an independent snapshot (used to fork the golden model's
     memory from the core's). *)
 val copy : t -> t

@@ -38,29 +38,12 @@ let litmus_mem =
 
 let max_cycles = 300_000
 
-let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ~model test =
-  let prog, meta = Compile.program ~seed ~stagger test in
-  let ncores = Test.nharts test in
-  let obs =
-    Option.map
-      (fun f ->
-        Obs.Hub.create ~konata:f
-          ~meta:
-            [
-              ("litmus", test.Test.name);
-              ("model", Ref_model.model_to_string (Ref_model.of_mem_model model));
-              ("seed", string_of_int seed);
-              ("jobs", string_of_int jobs);
-            ]
-          ~nharts:ncores ())
-      konata
-  in
-  let cfg = { (Ooo.Config.multicore model) with Ooo.Config.mem = litmus_mem } in
-  let m =
-    Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle seed) ?obs
-      (Machine.Out_of_order cfg) prog
-  in
-  let o = Machine.run ~max_cycles m in
+(* Run an already-positioned machine and extract the outcome, with the
+   harness self-checks (exit codes, store drain). The trace hub, when
+   present, is finished before the checks: a trace of a failing run is the
+   most useful trace of all. *)
+let exec_machine ?on_cycle ?obs m meta =
+  let o = Machine.run ~max_cycles ?on_cycle m in
   Option.iter
     (fun hub ->
       Obs.Hub.finish hub ~cycles:o.Machine.cycles ~instrs:(Machine.instrs m)
@@ -75,6 +58,66 @@ let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ~model test =
             (String.concat " " (Array.to_list (Array.map Int64.to_string o.Machine.exits)))));
   if not (Machine.quiesced m) then raise (Harness_error Not_quiesced);
   Compile.read_outcome meta ~reg:(fun ~hart r -> Machine.reg m ~hart r)
+
+(* Warm-fork cache for farm sweeps, one per domain: a litmus machine per
+   (test, model, jobs) plus its cycle-0 snapshot. With [stagger:false] the
+   compiled image is seed-independent, so re-virginizing the machine
+   (restore + reseed) is schedule-identical to a cold [Shuffle seed] build
+   — machine construction is paid once per domain instead of once per
+   seed. *)
+let warm_cache : (string, Machine.t * string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm = false) ~model
+    test =
+  let prog, meta = Compile.program ~seed ~stagger test in
+  let ncores = Test.nharts test in
+  let cfg = { (Ooo.Config.multicore model) with Ooo.Config.mem = litmus_mem } in
+  if warm && (not stagger) && konata = None then begin
+    let key =
+      Printf.sprintf "%s/%s/j%d" test.Test.name
+        (match model with Ooo.Config.TSO -> "tso" | Ooo.Config.WMM -> "wmm")
+        jobs
+    in
+    let cache = Domain.DLS.get warm_cache in
+    let m, img =
+      match Hashtbl.find_opt cache key with
+      | Some mi -> mi
+      | None ->
+        (* seed 1 is arbitrary: the image is taken at cycle 0 and the
+           schedule RNG is re-keyed per run below *)
+        let m =
+          Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle 1) (Machine.Out_of_order cfg) prog
+        in
+        let img = Machine.snapshot m in
+        Hashtbl.add cache key (m, img);
+        (m, img)
+    in
+    Machine.restore m img;
+    Machine.reseed_schedule m seed;
+    exec_machine ?on_cycle m meta
+  end
+  else begin
+    let obs =
+      Option.map
+        (fun f ->
+          Obs.Hub.create ~konata:f
+            ~meta:
+              [
+                ("litmus", test.Test.name);
+                ("model", Ref_model.model_to_string (Ref_model.of_mem_model model));
+                ("seed", string_of_int seed);
+                ("jobs", string_of_int jobs);
+              ]
+            ~nharts:ncores ())
+        konata
+    in
+    let m =
+      Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle seed) ?obs
+        (Machine.Out_of_order cfg) prog
+    in
+    exec_machine ?on_cycle ?obs m meta
+  end
 
 type report = {
   test : Test.t;
@@ -187,6 +230,80 @@ let pp_report fmt r =
         (Test.outcome_to_string r.test b))
     r.mismatches;
   List.iter (fun e -> Format.fprintf fmt "    ERROR %s@." e) r.errors
+
+(* ---------------------------- farm job producers ----------------------- *)
+
+(* A farm job is one deterministic (test, model, seed) run at [jobs:1]; the
+   farm layer wraps these into its generic job records. Ids encode every
+   parameter, so they double as resume keys and replay specs. *)
+type farm_job = {
+  fj_test : Test.t;
+  fj_model : Ooo.Config.mem_model;
+  fj_seed : int;
+  fj_stagger : bool;
+}
+
+let model_tag m = Ref_model.model_to_string (Ref_model.of_mem_model m)
+
+let farm_job_id fj =
+  Printf.sprintf "litmus/%s/%s/%sseed%05d" fj.fj_test.Test.name
+    (String.lowercase_ascii (model_tag fj.fj_model))
+    (if fj.fj_stagger then "" else "nostagger/")
+    fj.fj_seed
+
+let farm_jobs ?(stagger = true) ~seeds ~models tests =
+  List.concat_map
+    (fun fj_model ->
+      List.concat_map
+        (fun fj_test ->
+          List.init seeds (fun i ->
+              { fj_test; fj_model; fj_seed = i + 1; fj_stagger = stagger }))
+        tests)
+    models
+
+(* Per-domain cache of the reference outcome sets: the operational models
+   enumerate interleavings, so pay that once per test per domain rather
+   than once per seed. *)
+let ref_sets_cache :
+    (string, int array list * int array list * int array list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let ref_sets test =
+  let cache = Domain.DLS.get ref_sets_cache in
+  match Hashtbl.find_opt cache test.Test.name with
+  | Some s -> s
+  | None ->
+    let s =
+      ( Ref_model.allowed test ~model:Ref_model.SC,
+        Ref_model.allowed test ~model:Ref_model.TSO,
+        Ref_model.allowed test ~model:Ref_model.WMM )
+    in
+    Hashtbl.add cache test.Test.name s;
+    s
+
+let classify_outcome test o =
+  let sc, tso, wmm = ref_sets test in
+  if Ref_model.is_allowed sc o then In_sc
+  else if Ref_model.is_allowed tso o then Tso_relaxed
+  else if Ref_model.is_allowed wmm o then Wmm_relaxed
+  else Forbidden
+
+(* Run one farm job. Raises {!Harness_error} (and lets the cancel hook's
+   exception through) — the farm retries, then quarantines. [warm] uses the
+   per-domain warm-fork cache (stagger-free jobs only). *)
+let farm_run ?on_cycle ?(warm = false) fj =
+  let o =
+    run_one ~seed:fj.fj_seed ~stagger:fj.fj_stagger ?on_cycle ~warm ~model:fj.fj_model fj.fj_test
+  in
+  let cls = classify_outcome fj.fj_test o in
+  let model_set =
+    let sc, tso, wmm = ref_sets fj.fj_test in
+    match Ref_model.of_mem_model fj.fj_model with
+    | Ref_model.SC -> sc
+    | Ref_model.TSO -> tso
+    | Ref_model.WMM -> wmm
+  in
+  (o, cls, Ref_model.is_allowed model_set o)
 
 (* Hand-rolled JSON: values are ints, booleans and printable ASCII names. *)
 let json_escape s =

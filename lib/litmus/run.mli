@@ -21,12 +21,19 @@ exception Harness_error of run_error
 
 (** One deterministic run; returns the outcome vector. [konata] dumps the
     run's pipeline trace to the given file (used when replaying a failure).
-    Raises {!Harness_error} on timeout or a harness self-check failure. *)
+    [on_cycle] is threaded to the machine's cycle hook (the farm's
+    cancellation poll). [warm] re-uses a per-domain cached machine by
+    restoring its cycle-0 snapshot and reseeding the schedule instead of
+    rebuilding — valid only with [stagger:false] (seed-independent images)
+    and no tracer; other runs silently take the cold path. Raises
+    {!Harness_error} on timeout or a harness self-check failure. *)
 val run_one :
   ?jobs:int ->
   ?seed:int ->
   ?stagger:bool ->
   ?konata:string ->
+  ?on_cycle:(int -> unit) ->
+  ?warm:bool ->
   model:Ooo.Config.mem_model ->
   Test.t ->
   int array
@@ -67,3 +74,35 @@ val pp_report : Format.formatter -> report -> unit
 
 (** Machine-readable sweep summary (schema [riscyoo-litmus-v1]). *)
 val reports_to_json : seeds:int -> report list -> string
+
+(** {2 Farm job producers}
+
+    One farm job = one deterministic (test, model, seed) run at [jobs:1];
+    the farm layer schedules thousands of them across worker domains. *)
+
+type farm_job = {
+  fj_test : Test.t;
+  fj_model : Ooo.Config.mem_model;
+  fj_seed : int;
+  fj_stagger : bool;
+}
+
+(** Stable unique id encoding every job parameter (the resume key). *)
+val farm_job_id : farm_job -> string
+
+(** The full (test × model × seed) product, seeds numbered from 1. *)
+val farm_jobs :
+  ?stagger:bool ->
+  seeds:int ->
+  models:Ooo.Config.mem_model list ->
+  Test.t list ->
+  farm_job list
+
+(** Classify an outcome against the (cached) reference sets. *)
+val classify_outcome : Test.t -> int array -> cls
+
+(** Run one job: outcome vector, its class, and whether the model under
+    test admits it. [warm] uses the per-domain warm-fork machine cache.
+    Raises {!Harness_error} on harness failures. *)
+val farm_run :
+  ?on_cycle:(int -> unit) -> ?warm:bool -> farm_job -> int array * cls * bool

@@ -10,14 +10,22 @@ type t = {
 }
 
 let create clk pmem ~latency ~max_inflight =
-  {
-    clk;
-    pmem;
-    latency;
-    pending = Fifo.cf ~name:"dram.pending" clk ~capacity:max_inflight ();
-    n_reads = 0;
-    n_writes = 0;
-  }
+  let t =
+    {
+      clk;
+      pmem;
+      latency;
+      pending = Fifo.cf ~name:"dram.pending" clk ~capacity:max_inflight ();
+      n_reads = 0;
+      n_writes = 0;
+    }
+  in
+  State.field ~name:"dram"
+    (fun () -> (t.n_reads, t.n_writes))
+    (fun (n_reads, n_writes) ->
+      t.n_reads <- n_reads;
+      t.n_writes <- n_writes);
+  t
 
 let req_read ctx t line =
   let data = Isa.Phys_mem.load_block t.pmem line Cache_geom.line_bytes in

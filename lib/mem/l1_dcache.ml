@@ -56,6 +56,7 @@ let create ?(name = "l1d") clk ~child_id ~geom ~mshrs ~stats () =
     { tag = -1L; st = Msg.I; data = Bytes.make Cache_geom.line_bytes '\000'; locked = false; pending = false }
   in
   let mk_mshr () = { valid = false; mline = 0L; way = 0; want = Msg.I; filled = false; waiters = [] } in
+  let t =
   {
     name;
     geom;
@@ -77,6 +78,17 @@ let create ?(name = "l1d") clk ~child_id ~geom ~mshrs ~stats () =
     c_miss = Stats.counter stats (name ^ ".misses");
     c_wb = Stats.counter stats (name ^ ".writebacks");
   }
+  in
+  (* MSHR waiter lists carry atomic-op closures (WAt) — the reason the
+     snapshot codec marshals with [Closures]. The FIFOs are EHR-backed and
+     register themselves; [evict_hook] is wiring, not state. *)
+  State.field ~name:(name ^ ".arrays")
+    (fun () -> (t.lines, t.mshrs, t.rotor))
+    (fun (lines, mshrs, rotor) ->
+      Array.iteri (fun s ways -> Array.blit ways 0 t.lines.(s) 0 (Array.length ways)) lines;
+      Array.blit mshrs 0 t.mshrs 0 (Array.length t.mshrs);
+      t.rotor <- rotor);
+  t
 
 (* --- helpers ----------------------------------------------------------- *)
 

@@ -25,6 +25,7 @@ type t = {
 
 let create ?(name = "l1i") clk ~child_id ~geom ~fetch_width ~stats () =
   let mk () = { tag = -1L; st = Msg.I; data = Bytes.make Cache_geom.line_bytes '\000'; pending = false } in
+  let t =
   {
     name;
     geom;
@@ -44,6 +45,15 @@ let create ?(name = "l1i") clk ~child_id ~geom ~fetch_width ~stats () =
     c_hit = Stats.counter stats (name ^ ".hits");
     c_miss = Stats.counter stats (name ^ ".misses");
   }
+  in
+  State.field ~name:(name ^ ".arrays")
+    (fun () -> (t.lines, t.miss, t.miss_way, t.rotor))
+    (fun (lines, miss, miss_way, rotor) ->
+      Array.iteri (fun s ways -> Array.blit ways 0 t.lines.(s) 0 (Array.length ways)) lines;
+      t.miss <- miss;
+      t.miss_way <- miss_way;
+      t.rotor <- rotor);
+  t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 

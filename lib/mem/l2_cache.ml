@@ -100,6 +100,12 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
     c_mshr_occ = Stats.counter stats (name ^ ".mshrOccSum");
   }
   in
+  State.field ~name:(name ^ ".arrays")
+    (fun () -> (t.lines, t.mshrs, t.rotor))
+    (fun (lines, mshrs, rotor) ->
+      Array.iteri (fun s ways -> Array.blit ways 0 t.lines.(s) 0 (Array.length ways)) lines;
+      Array.blit mshrs 0 t.mshrs 0 (Array.length t.mshrs);
+      t.rotor <- rotor);
   (* MSHR occupancy sampled at the clock edge (main domain, post-barrier:
      untracked increments are safe); divide by cycles for the average. *)
   Clock.on_cycle_end clk (fun () ->

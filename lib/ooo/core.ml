@@ -204,6 +204,34 @@ let create ?(name = "ooo") ?cosim ?(pipe = Obs.Pipe.null) clk (cfg : Config.t) ~
           if p >= 0 && p < nregs && live.(p) then
             Verif.Invariant.fail "rename.partition"
               "%s: physical register %d is on the free list and live in the RRAT" name p));
+  (* Raw (non-EHR) core state; the sub-modules built above registered
+     their own entries. [commit_hook] and the stats counters are not
+     state: hooks are re-attached by the machine builder, counters
+     register through [Stats]. *)
+  State.field ~name:(name ^ ".core")
+    (fun () ->
+      ( (t.fpc, t.epoch, t.f_alloc, t.f_mem, t.seq_ctr),
+        (t.reservation, t.atomic_busy, t.halted_f, t.n_instret),
+        t.fslots,
+        t.fl_snaps,
+        t.tlb_pending ))
+    (fun ( (fpc, epoch, f_alloc, f_mem, seq_ctr),
+           (reservation, atomic_busy, halted_f, n_instret),
+           fslots,
+           fl_snaps,
+           tlb_pending ) ->
+      t.fpc <- fpc;
+      t.epoch <- epoch;
+      t.f_alloc <- f_alloc;
+      t.f_mem <- f_mem;
+      t.seq_ctr <- seq_ctr;
+      t.reservation <- reservation;
+      t.atomic_busy <- atomic_busy;
+      t.halted_f <- halted_f;
+      t.n_instret <- n_instret;
+      Array.blit fslots 0 t.fslots 0 (Array.length t.fslots);
+      Array.blit fl_snaps 0 t.fl_snaps 0 (Array.length t.fl_snaps);
+      Array.blit tlb_pending 0 t.tlb_pending 0 (Array.length t.tlb_pending));
   t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v

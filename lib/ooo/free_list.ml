@@ -37,6 +37,12 @@ let create ~nregs =
   done;
   let t = { ring; alloc_ptr = 0; free_ptr = n_free; nregs } in
   Verif.Invariant.register ~name:"freelist.no-double-free" (check_no_double_free t);
+  State.field ~name:"freelist"
+    (fun () -> (t.ring, t.alloc_ptr, t.free_ptr))
+    (fun (ring, alloc_ptr, free_ptr) ->
+      Array.blit ring 0 t.ring 0 nregs;
+      t.alloc_ptr <- alloc_ptr;
+      t.free_ptr <- free_ptr);
   t
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 

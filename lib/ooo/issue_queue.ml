@@ -5,7 +5,15 @@ type entry = { mutable used : bool; mutable u : Uop.t option; mutable rdy1 : boo
 type t = { nm : string; entries : entry array; mutable n : int }
 
 let create ~name ~size =
-  { nm = name; entries = Array.init size (fun _ -> { used = false; u = None; rdy1 = true; rdy2 = true }); n = 0 }
+  let t =
+    { nm = name; entries = Array.init size (fun _ -> { used = false; u = None; rdy1 = true; rdy2 = true }); n = 0 }
+  in
+  State.field ~name
+    (fun () -> (t.entries, t.n))
+    (fun (entries, n) ->
+      Array.blit entries 0 t.entries 0 size;
+      t.n <- n);
+  t
 
 let name t = t.nm
 let count t = t.n

@@ -98,6 +98,28 @@ let create (cfg : Config.t) =
   }
   in
   Verif.Invariant.register ~name:"lsq.age-order" (check_age_order t);
+  State.field ~name:"lsq"
+    (fun () ->
+      ( t.lq,
+        t.sq,
+        t.l_head,
+        t.l_tail,
+        t.s_head,
+        t.s_tail,
+        t.fences,
+        t.tag_ctr,
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outstanding [] ))
+    (fun (lq, sq, l_head, l_tail, s_head, s_tail, fences, tag_ctr, outstanding) ->
+      Array.blit lq 0 t.lq 0 (Array.length t.lq);
+      Array.blit sq 0 t.sq 0 (Array.length t.sq);
+      t.l_head <- l_head;
+      t.l_tail <- l_tail;
+      t.s_head <- s_head;
+      t.s_tail <- s_tail;
+      t.fences <- fences;
+      t.tag_ctr <- tag_ctr;
+      Hashtbl.reset t.outstanding;
+      List.iter (fun (k, v) -> Hashtbl.replace t.outstanding k v) outstanding);
   t
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v

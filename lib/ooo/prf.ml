@@ -13,6 +13,12 @@ let create ?(name = "prf") ~nregs () =
           t.vals.(r) <- Int64.logxor t.vals.(r) (Int64.shift_left 1L bit);
           true)
     done;
+  State.field ~name
+    (fun () -> (t.vals, t.pres, t.sb))
+    (fun (vals, pres, sb) ->
+      Array.blit vals 0 t.vals 0 nregs;
+      Array.blit pres 0 t.pres 0 nregs;
+      Array.blit sb 0 t.sb 0 nregs);
   t
 let nregs t = Array.length t.vals
 let read t r = if r < 0 then 0L else t.vals.(r)

@@ -7,7 +7,16 @@ let initial () =
   Array.init 32 (fun i -> if i = 0 then -1 else i)
 
 let create ~n_tags =
-  { rat = initial (); rrat_a = initial (); snaps = Array.init n_tags (fun _ -> Array.make 32 (-1)) }
+  let t =
+    { rat = initial (); rrat_a = initial (); snaps = Array.init n_tags (fun _ -> Array.make 32 (-1)) }
+  in
+  State.field ~name:"rat"
+    (fun () -> (t.rat, t.rrat_a, t.snaps))
+    (fun (rat, rrat_a, snaps) ->
+      Array.blit rat 0 t.rat 0 32;
+      Array.blit rrat_a 0 t.rrat_a 0 32;
+      Array.iteri (fun i s -> Array.blit s 0 t.snaps.(i) 0 32) snaps);
+  t
 
 let lookup t r = t.rat.(r)
 let set ctx t r p = if r <> 0 then Mut.set_arr ctx t.rat r p

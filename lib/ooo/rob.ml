@@ -26,6 +26,12 @@ let check_age_order t () =
 let create ~size =
   let t = { slots = Array.make size None; head = 0; tail = 0; size } in
   Verif.Invariant.register ~name:"rob.age-order" (check_age_order t);
+  State.field ~name:"rob"
+    (fun () -> (t.slots, t.head, t.tail))
+    (fun (slots, head, tail) ->
+      Array.blit slots 0 t.slots 0 size;
+      t.head <- head;
+      t.tail <- tail);
   t
 let can_enq t = count t < t.size
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v

@@ -6,7 +6,14 @@ type t = {
   alloc_masks : int array; (* mask under which each tag was allocated *)
 }
 
-let create ~n_tags = { n_tags; active = 0; alloc_masks = Array.make n_tags 0 }
+let create ~n_tags =
+  let t = { n_tags; active = 0; alloc_masks = Array.make n_tags 0 } in
+  State.field ~name:"spec"
+    (fun () -> (t.active, t.alloc_masks))
+    (fun (active, alloc_masks) ->
+      t.active <- active;
+      Array.blit alloc_masks 0 t.alloc_masks 0 n_tags);
+  t
 
 let active_mask t = t.active
 let can_alloc t = t.active <> (1 lsl t.n_tags) - 1

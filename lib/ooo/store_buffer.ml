@@ -41,6 +41,9 @@ let create ~size =
     }
   in
   Verif.Invariant.register ~name:"storebuf.coalesce" (check_coalescing t);
+  State.field ~name:"storebuf"
+    (fun () -> t.entries)
+    (fun entries -> Array.blit entries 0 t.entries 0 size);
   t
 
 let count t = Array.fold_left (fun n e -> if e.used then n + 1 else n) 0 t.entries

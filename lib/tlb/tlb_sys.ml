@@ -113,6 +113,21 @@ let create ?(name = "tlb") clk cfg ~stats () =
      edge (main domain, post-barrier: untracked increments are safe) *)
   Clock.on_cycle_end clk (fun () ->
       if Array.exists (fun w -> w.wvalid) t.walks then Stats.incr t.c_walk_cycles);
+  let side_save s = (s.entries, s.misses, s.rotor) in
+  let side_load s (entries, misses, rotor) =
+    Array.blit entries 0 s.entries 0 (Array.length s.entries);
+    Array.blit misses 0 s.misses 0 (Array.length s.misses);
+    s.rotor <- rotor
+  in
+  State.field ~name:(name ^ ".arrays")
+    (fun () -> (t.satp_v, side_save t.i, side_save t.d, t.l2, t.l2_rotor, t.walks))
+    (fun (satp_v, si, sd, l2, l2_rotor, walks) ->
+      t.satp_v <- satp_v;
+      side_load t.i si;
+      side_load t.d sd;
+      Array.iteri (fun s ways -> Array.blit ways 0 t.l2.(s) 0 (Array.length ways)) l2;
+      t.l2_rotor <- l2_rotor;
+      Array.blit walks 0 t.walks 0 (Array.length t.walks));
   t
 
 let set_satp t v = t.satp_v <- v

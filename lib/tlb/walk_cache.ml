@@ -7,12 +7,20 @@ type t = { levels : entry array array; mutable rotor : int }
 (* levels.(0): entries giving the level-1 table (keyed by vpn2);
    levels.(1): entries giving the level-0 table (keyed by vpn2:vpn1). *)
 let create ~entries_per_level =
-  {
-    levels =
-      Array.init 2 (fun _ ->
-          Array.init entries_per_level (fun _ -> { valid = false; prefix = 0L; base = 0L }));
-    rotor = 0;
-  }
+  let t =
+    {
+      levels =
+        Array.init 2 (fun _ ->
+            Array.init entries_per_level (fun _ -> { valid = false; prefix = 0L; base = 0L }));
+      rotor = 0;
+    }
+  in
+  State.field ~name:"walkcache"
+    (fun () -> (t.levels, t.rotor))
+    (fun (levels, rotor) ->
+      Array.iteri (fun d arr -> Array.blit arr 0 t.levels.(d) 0 (Array.length arr)) levels;
+      t.rotor <- rotor);
+  t
 
 let prefix_of va depth =
   (* depth 1: vpn2; depth 2: vpn2:vpn1 *)

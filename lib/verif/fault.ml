@@ -58,7 +58,13 @@ let summarize trials =
 let pp_exits fmt exits =
   Array.iter (fun v -> Format.fprintf fmt " %Ld" v) exits
 
-let run_trial h ~rng ~horizon ~id =
+(* Exceptions escaping the caller-supplied hook (e.g. the farm's
+   cancellation poll) are the harness's business, not the DUT's — wrap
+   them so the classifier's catch-all re-raises instead of recording a
+   bogus divergence. *)
+exception Hook_abort of exn
+
+let run_trial ?(on_cycle = fun _ -> ()) h ~rng ~horizon ~id =
   Cmd.Inject.arm ();
   let m = h.build () in
   let sites = Cmd.Inject.sites () in
@@ -69,7 +75,11 @@ let run_trial h ~rng ~horizon ~id =
   let bit = Random.State.int rng site.width in
   let at_cycle = Random.State.int rng (max 1 horizon) in
   let applied = ref false in
-  let on_cycle c = if c = at_cycle then applied := Cmd.Inject.fire site bit in
+  let extra = on_cycle in
+  let on_cycle c =
+    (try extra c with e -> raise (Hook_abort e));
+    if c = at_cycle then applied := Cmd.Inject.fire site bit
+  in
   let outcome, diagnosed =
     match h.exec m ~on_cycle with
     | `Exit exits ->
@@ -80,7 +90,9 @@ let run_trial h ~rng ~horizon ~id =
                h.reference),
           true )
     | `Timeout n ->
-      (Detected_hang (Printf.sprintf "raw timeout after %d cycles (no watchdog diagnosis)" n), false)
+      ( Detected_hang (Printf.sprintf "raw timeout after %d cycles (no watchdog diagnosis)" n),
+        false )
+    | exception Hook_abort e -> raise e
     | exception Watchdog.Trip info ->
       (Detected_hang (Printf.sprintf "%s (cycle %d)" info.reason info.at_cycle), true)
     | exception Invariant.Violation (name, msg) ->
@@ -88,6 +100,14 @@ let run_trial h ~rng ~horizon ~id =
     | exception e -> (Detected_divergence ("exception: " ^ Printexc.to_string e), true)
   in
   { id; site = site.name; bit; at_cycle; applied = !applied; outcome; diagnosed }
+
+(* Farm job producer: trial [id]'s RNG is derived from the campaign key and
+   its own id, independent of every other trial — so trials can run in any
+   order, on any domain, be retried after a crash, and still reproduce
+   bit-identically. (The sequential {!run} below instead threads one RNG
+   through all trials, matching the original campaign semantics.) *)
+let farm_trial ?on_cycle h ~seed ~trials ~horizon ~id =
+  run_trial ?on_cycle h ~rng:(Random.State.make [| seed; trials; horizon; id |]) ~horizon ~id
 
 let run ?(seed = 0xFA17) ~trials ~horizon h =
   let rng = Random.State.make [| seed; trials; horizon |] in

@@ -48,4 +48,20 @@ type 'm harness = {
     [0xFA17]) ⇒ identical trial plan and classification. *)
 val run : ?seed:int -> trials:int -> horizon:int -> 'm harness -> summary
 
+(** Farm job producer: trial [id] of a [(seed, trials, horizon)] campaign,
+    with an RNG derived from those four values alone — independent of
+    every other trial, so trials can run in any order on any domain (and
+    be retried after a crash) and still reproduce bit-identically. The
+    sequential {!run} instead threads one RNG through all trials.
+    [on_cycle] is composed with the injection hook (the farm's
+    cancellation poll). *)
+val farm_trial :
+  ?on_cycle:(int -> unit) ->
+  'm harness ->
+  seed:int ->
+  trials:int ->
+  horizon:int ->
+  id:int ->
+  trial
+
 val summarize : trial list -> summary

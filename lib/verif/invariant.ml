@@ -6,21 +6,25 @@ let fail name fmt = Printf.ksprintf (fun msg -> raise (Violation (name, msg))) f
 
 (* Modules register their checks against whichever collector is active.
    With no collector (the default), registration is a no-op: a machine
-   built without [~invariants] keeps no check closures alive. *)
+   built without [~invariants] keeps no check closures alive. The
+   collector is domain-local so farm workers can build machines
+   concurrently. *)
 
-let collector : check list ref option ref = ref None
+let collector : check list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let register ~name run =
-  match !collector with
+  match !(Domain.DLS.get collector) with
   | Some l -> l := { name; run } :: !l
   | None -> ()
 
 let collecting f =
-  let saved = !collector in
+  let c = Domain.DLS.get collector in
+  let saved = !c in
   let l = ref [] in
-  collector := Some l;
+  c := Some l;
   Fun.protect
-    ~finally:(fun () -> collector := saved)
+    ~finally:(fun () -> c := saved)
     (fun () ->
       let r = f () in
       (r, List.rev !l))

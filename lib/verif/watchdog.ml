@@ -83,7 +83,8 @@ let monitor t _sim fired =
     end
     else t.stalled <- t.stalled + 1
   | None -> ());
-  if t.idle >= t.limit then trip t (Printf.sprintf "no rule fired for %d consecutive cycles" t.limit)
+  if t.idle >= t.limit then
+    trip t (Printf.sprintf "no rule fired for %d consecutive cycles" t.limit)
   else if t.progress <> None && t.stalled >= t.limit then
     trip t (Printf.sprintf "no instruction committed for %d consecutive cycles" t.limit)
 

@@ -32,6 +32,8 @@ type t = {
   mutable wd : Verif.Watchdog.t option;
   mutable checks : Verif.Invariant.check list;
   mutable tlog : (Obs.Commit_log.t * Format.formatter) option;
+  mutable registry : State.registry option;
+  mutable config_key : string;
 }
 
 type outcome = { exits : int64 array; cycles : int; timed_out : bool }
@@ -62,6 +64,13 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
      is not partition-private; force serial execution under cosim. *)
   let jobs = if cosim then 1 else jobs in
+  (* The whole build runs inside a [State.collecting] scope: every primitive
+     constructed along the way (EHRs, FIFOs, the PRF, caches, TLBs, the
+     scheduler) registers its snapshot entry as a side effect, and the
+     machine-level state the ISA layer cannot self-register (physical
+     memory, MMIO devices, the golden models, spent cycles) is appended
+     below. The resulting registry is what {!snapshot}/{!restore} walk. *)
+  let construct () =
   let pmem = Phys_mem.create () in
   let mmio = Mmio.create () in
   let stats_t = Stats.create () in
@@ -108,6 +117,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       wd = None;
       checks = [];
       tlog = None;
+      registry = None;
+      config_key = "";
     }
   | In_order { mem; tlb } ->
     let clk = Clock.create () in
@@ -150,6 +161,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       wd = None;
       checks = [];
       tlog = None;
+      registry = None;
+      config_key = "";
     }
   | Out_of_order cfg ->
     let clk = Clock.create () in
@@ -166,6 +179,18 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       end
       else None
     in
+    (* The cosim golden model (and its private memory/device copies) is
+       reachable only from the cores' commit hooks, so its snapshot entry
+       must be registered here while it is in scope. *)
+    (match golden with
+    | Some g ->
+      State.field ~name:"cosim.golden"
+        (fun () -> (Golden.export g, Phys_mem.export (Golden.mem g), Mmio.export (Golden.mmio g)))
+        (fun (hs, pm, mm) ->
+          Golden.import g hs;
+          Phys_mem.import (Golden.mem g) pm;
+          Mmio.import (Golden.mmio g) mm)
+    | None -> ());
     let tlbs =
       Array.init ncores (fun i ->
           Partition.scoped (i + 1) (fun () ->
@@ -207,6 +232,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       wd = None;
       checks = [];
       tlog = None;
+      registry = None;
+      config_key = "";
     }
   in
   (* With [invariants], construction runs inside a collector scope: every
@@ -214,12 +241,48 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
      check, and the whole set is then evaluated once per cycle. *)
   let t, checks = if invariants then Verif.Invariant.collecting build else (build (), []) in
   t.checks <- checks;
+  State.field ~name:"machine.pmem" (fun () -> Phys_mem.export pmem) (Phys_mem.import pmem);
+  State.field ~name:"machine.mmio" (fun () -> Mmio.export mmio) (Mmio.import mmio);
+  State.field ~name:"machine.cycles"
+    (fun () -> t.spent_cycles)
+    (fun v -> t.spent_cycles <- v);
+  (match t.golden with
+  | Some g -> State.field ~name:"machine.golden" (fun () -> Golden.export g) (Golden.import g)
+  | None -> ());
   (match t.sim with
   | Some sim ->
     Verif.Invariant.attach sim checks;
     if watchdog > 0 then
       t.wd <- Some (Verif.Watchdog.attach ~progress:(fun () -> instrs t) ~limit:watchdog sim)
   | None -> ());
+  t
+  in
+  let t, registry = State.collecting construct in
+  t.registry <- Some registry;
+  (* The configuration key covers everything that shapes the machine's state
+     inventory or its cycle-accurate behaviour: kind (including the full OOO
+     config), topology, paging, the program image and initial registers.
+     [jobs]/[fastpath]/[audit] are excluded on purpose — they are
+     state-identical by design, so an image snapshotted at [--jobs 1] loads
+     into a [--jobs 4] machine (and the round-trip tests rely on that).
+     The [Shuffle] seed is normalized away: the schedule RNG travels inside
+     the image ("sim.sched"), so a cycle-0 snapshot plus {!reseed_schedule}
+     forks one warm image across arbitrarily many seeds. *)
+  let mode_key = match mode with Sim.Shuffle _ -> Sim.Shuffle 0 | m -> m in
+  t.config_key <-
+    Digest.string
+      (Marshal.to_string
+         ( kind,
+           ncores,
+           paging,
+           megapages,
+           mapped_mb,
+           cosim,
+           schedule,
+           mode_key,
+           Asm.words prog.asm ~base,
+           prog.regs )
+         []);
   t
 
 let hart_halted t h =
@@ -288,6 +351,8 @@ let invariant_names t = Verif.Invariant.names t.checks
 let pp_rule_stats fmt t =
   match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()
 
+let rule_list t = match t.sim with Some sim -> Sim.rules sim | None -> []
+
 (* Trace committed instructions of every OOO core. Lines land in a
    per-hart Obs.Commit_log (abort-safe, single writer per partition) and
    [flush_trace] prints them hart-ordered after the run — printing straight
@@ -309,6 +374,22 @@ let trace_commits t fmt =
 
 let flush_trace t =
   match t.tlog with Some (log, fmt) -> Obs.Commit_log.dump log fmt | None -> ()
+
+(* -------------------------------------------------------------------- *)
+(* Snapshot / restore                                                   *)
+(* -------------------------------------------------------------------- *)
+
+let registry t =
+  match t.registry with
+  | Some r -> r
+  | None -> invalid_arg "Machine: no state registry (machine not built via create?)"
+
+let snapshot t = State.save (registry t) ~config:t.config_key
+let restore t img = State.load (registry t) ~config:t.config_key img
+let snapshot_entries t = State.names (registry t)
+
+let reseed_schedule t seed =
+  match t.sim with Some sim -> Sim.reseed sim seed | None -> ()
 
 let pp_core_debug fmt t =
   Array.iter

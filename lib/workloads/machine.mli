@@ -111,4 +111,36 @@ val flush_trace : t -> unit
 
 (** Per-rule firing statistics of the underlying scheduler (debugging). *)
 val pp_rule_stats : Format.formatter -> t -> unit
+
+(** The scheduler's rules, in schedule order (empty for golden-only) — the
+    per-rule [fired] counters are how the snapshot tests check bit-identity. *)
+val rule_list : t -> Cmd.Rule.t list
 val pp_core_debug : Format.formatter -> t -> unit
+
+(** {2 Snapshot / restore}
+
+    Every stateful primitive registers into a per-machine state registry as
+    the machine is built (see {!Cmd.State}); [snapshot] serializes the whole
+    registry into a self-describing image with a format-version magic, a
+    binary digest, a configuration digest and a payload checksum.
+    [restore] writes an image back into a machine built with the {e same}
+    configuration (kind, cores, paging, program — [jobs]/[fastpath]/[audit]
+    excluded: they are state-identical by design), raising
+    {!Cmd.State.Error} on any mismatch, truncation or corruption before
+    touching machine state. A restored machine continues bit-identically to
+    the one that was snapshotted: same cycles, instret and per-rule fire
+    counts. *)
+
+val snapshot : t -> string
+
+(** Raises {!Cmd.State.Error} on mismatched, truncated or corrupt images. *)
+val restore : t -> string -> unit
+
+(** Names of the registered snapshot entries, in registration order. *)
+val snapshot_entries : t -> string list
+
+(** Re-seed the shuffle scheduler (no-op in other modes): after restoring a
+    cycle-0 image, [reseed_schedule t seed] makes the run schedule-identical
+    to a cold machine built with [mode = Shuffle seed] — the warm-fork path
+    of the simulation farm. *)
+val reseed_schedule : t -> int -> unit

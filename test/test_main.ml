@@ -19,4 +19,6 @@ let () =
       ("random", Test_random.suite);
       ("synth", Test_synth.suite);
       ("litmus", Test_litmus.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("farm", Test_farm.suite);
     ]
