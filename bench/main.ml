@@ -578,17 +578,32 @@ let idle_sched_thunk ~fastpath =
      let sim = Cmd.Sim.create ~fastpath clk rules in
      fun () -> ignore (Cmd.Sim.cycle sim))
 
-type perf_row = { wname : string; pcycles : int; pinstrs : int; wall_on : float; wall_off : float }
+(* Three engines per workload: the compiled schedule (default), the
+   interpreted fast path ([--no-compile]), and the stripped scheduler
+   ([--no-fastpath]). All three must be bit-identical; the JSON reports the
+   two engine-vs-engine ratios, which are what CI gates on (ratios cancel
+   host-speed variation that makes absolute cycles/s untrustworthy there). *)
+type perf_row = {
+  wname : string;
+  pcycles : int;
+  pinstrs : int;
+  wall_compiled : float;
+  wall_interp : float;
+  wall_stripped : float;
+}
 
 let perf_workload ~budget kernel =
   let prog = Spec_kernels.find kernel ~scale:!scale in
   let snapshot = ref None in
-  let timed fastpath =
+  let timed ~compile ~fastpath =
     (* best-of-N wall clock: scheduling noise only ever slows a run down, so
        repeating until ~1s of total wall time and keeping the fastest gives a
        stable speed estimate even for sub-100ms workloads *)
     let once () =
-      let m = Machine.create ~paging:true ~fastpath (ooo Ooo.Config.riscyoo_b) prog in
+      let m = Machine.create ~paging:true ~compile ~fastpath (ooo Ooo.Config.riscyoo_b) prog in
+      if Machine.compiled m <> (compile && fastpath) then
+        failwith
+          (Printf.sprintf "perf: %s engine mismatch (%s)" kernel (Machine.compile_status m));
       let t0 = Unix.gettimeofday () in
       let o = Machine.run ~max_cycles:budget m in
       let dt = Unix.gettimeofday () -. t0 in
@@ -606,24 +621,34 @@ let perf_workload ~budget kernel =
     done;
     (c, x, i, !best)
   in
-  let c_on, x_on, i_on, wall_on = timed true in
-  let c_off, x_off, i_off, wall_off = timed false in
-  (* the fast path must be a pure scheduling optimization *)
-  if c_on <> c_off || x_on <> x_off || i_on <> i_off then
+  let c_c, x_c, i_c, wall_compiled = timed ~compile:true ~fastpath:true in
+  let c_i, x_i, i_i, wall_interp = timed ~compile:false ~fastpath:true in
+  let c_s, x_s, i_s, wall_stripped = timed ~compile:false ~fastpath:false in
+  (* schedule compilation and the fast path must be pure speed optimizations *)
+  if (c_c, x_c, i_c) <> (c_i, x_i, i_i) then
     failwith
-      (Printf.sprintf "perf: %s diverges with fastpath off (%d/%Ld/%d vs %d/%Ld/%d)" kernel c_on
-         x_on i_on c_off x_off i_off);
-  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s fastpath, %.0f c/s stripped\n%!" kernel c_on
-    (float_of_int c_on /. wall_on)
-    (float_of_int c_on /. wall_off);
-  ({ wname = kernel; pcycles = c_on; pinstrs = i_on; wall_on; wall_off }, Option.get !snapshot)
+      (Printf.sprintf "perf: %s diverges with compile off (%d/%Ld/%d vs %d/%Ld/%d)" kernel c_c x_c
+         i_c c_i x_i i_i);
+  if (c_c, x_c, i_c) <> (c_s, x_s, i_s) then
+    failwith
+      (Printf.sprintf "perf: %s diverges with fastpath off (%d/%Ld/%d vs %d/%Ld/%d)" kernel c_c
+         x_c i_c c_s x_s i_s);
+  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s compiled, %.0f c/s interpreted, %.0f c/s stripped\n%!"
+    kernel c_c
+    (float_of_int c_c /. wall_compiled)
+    (float_of_int c_c /. wall_interp)
+    (float_of_int c_c /. wall_stripped);
+  ( { wname = kernel; pcycles = c_c; pinstrs = i_c; wall_compiled; wall_interp; wall_stripped },
+    Option.get !snapshot )
 
-let cps r = float_of_int r.pcycles /. r.wall_on
+let cps r = float_of_int r.pcycles /. r.wall_compiled
+let compile_speedup r = r.wall_interp /. r.wall_compiled
+let fastpath_speedup r = r.wall_stripped /. r.wall_compiled
 
-(* Quad-core workload timed at --jobs 1/2/4. Serial speed feeds the same
-   regression gate as the single-core rows; the jobs columns report the
-   domain-parallel speedup, which is only meaningful on a multi-core host
-   (a 1-CPU machine measures the barrier overhead instead). *)
+(* Quad-core workload timed at --jobs 1/2/4. Serial speed and the jobs
+   columns are reported (not gated): domain-parallel speedup is only
+   meaningful on a multi-core host (a 1-CPU machine measures the barrier
+   overhead instead). *)
 type mc_row = {
   mcname : string;
   mccycles : int;
@@ -752,29 +777,33 @@ let perf_farm ~seeds =
   { snap_bytes = String.length !img; save_s; restore_s; fseeds = seeds; cold_s; warm_s }
 
 (* minimal JSON scanning for the regression gate: find the object containing
-   ["name": "<w>"] and read its "sim_cps" field. Enough for baseline.json,
-   which we also emit. *)
+   ["name": "<w>"] and read a numeric field out of it. Enough for
+   baseline.json, which we also emit. *)
 let substr_index s needle from =
   let n = String.length needle and m = String.length s in
   let rec go i = if i + n > m then None else if String.sub s i n = needle then Some i else go (i + 1) in
   go from
 
-let baseline_cps content w =
+let scan_number content start =
+  let e = ref start in
+  while
+    !e < String.length content
+    && (match content.[!e] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+  do
+    incr e
+  done;
+  float_of_string_opt (String.sub content start (!e - start))
+
+let baseline_field content w field =
   match substr_index content (Printf.sprintf "\"name\": \"%s\"" w) 0 with
   | None -> None
   | Some i -> (
-    match substr_index content "\"sim_cps\": " i with
+    let key = Printf.sprintf "\"%s\": " field in
+    match substr_index content key i with
     | None -> None
-    | Some j ->
-      let start = j + String.length "\"sim_cps\": " in
-      let e = ref start in
-      while
-        !e < String.length content
-        && (match content.[!e] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
-      do
-        incr e
-      done;
-      float_of_string_opt (String.sub content start (!e - start)))
+    | Some j -> scan_number content (j + String.length key))
+
+let baseline_cps content w = baseline_field content w "sim_cps"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -785,17 +814,17 @@ let read_file path =
 
 let perf_json rows mc_rows farm micro_on micro_off =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v3\",\n  \"workloads\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v4\",\n  \"workloads\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"wall_s_fastpath\": %.4f, \
-            \"wall_s_stripped\": %.4f, \"sim_cps\": %.1f, \"sim_kips\": %.2f, \
-            \"speedup_vs_stripped\": %.3f}%s\n"
-           r.wname r.pcycles r.pinstrs r.wall_on r.wall_off (cps r)
-           (float_of_int r.pinstrs /. r.wall_on /. 1000.0)
-           (r.wall_off /. r.wall_on)
+           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"wall_s_compiled\": %.4f, \
+            \"wall_s_interpreted\": %.4f, \"wall_s_stripped\": %.4f, \"sim_cps\": %.1f, \
+            \"sim_kips\": %.2f, \"compile_speedup\": %.3f, \"fastpath_speedup\": %.3f}%s\n"
+           r.wname r.pcycles r.pinstrs r.wall_compiled r.wall_interp r.wall_stripped (cps r)
+           (float_of_int r.pinstrs /. r.wall_compiled /. 1000.0)
+           (compile_speedup r) (fastpath_speedup r)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n  \"multicore\": [\n";
@@ -854,7 +883,7 @@ let write_stats_json path entries =
   Printf.printf "wrote %s\n" path
 
 let perf ~quick ~out ~check ~stats_json () =
-  header "perf: simulation speed (fastpath vs stripped)";
+  header "perf: simulation speed (compiled vs interpreted vs stripped)";
   let budget = 200_000_000 in
   let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
   let rows_s = List.map (perf_workload ~budget) kernels in
@@ -894,25 +923,45 @@ let perf ~quick ~out ~check ~stats_json () =
   match check with
   | None -> ()
   | Some path ->
+    (* CI gate. Absolute cycles/s depend on the (shared, noisy) CI host, so
+       they are reported but never gated. What IS gated are the engine-ratio
+       columns: compiled-vs-interpreted and compiled-vs-stripped wall-time
+       ratios of the same binary in the same process, which cancel host
+       speed. A ratio more than 5% below the checked-in baseline means the
+       schedule compiler (or the fast path) lost its advantage — a real
+       regression, not a slow runner. *)
     let base = read_file path in
-    let gated =
-      List.map (fun r -> (r.wname, cps r)) rows
-      @ List.map (fun r -> (r.mcname, mc_cps r)) mc_rows
-    in
+    let margin = 0.95 in
+    List.iter
+      (fun (name, c) ->
+        match baseline_cps base name with
+        | None -> Printf.printf "check: no baseline sim_cps for %s\n" name
+        | Some b ->
+          Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx) [informational]\n" name c
+            b (c /. b))
+      (List.map (fun r -> (r.wname, cps r)) rows
+      @ List.map (fun r -> (r.mcname, mc_cps r)) mc_rows);
     let failures =
-      List.filter_map
-        (fun (name, c) ->
-          match baseline_cps base name with
-          | None ->
-            Printf.printf "check: no baseline for %s, skipping\n" name;
-            None
-          | Some b ->
-            Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx)\n" name c b (c /. b);
-            if c < 0.8 *. b then Some name else None)
-        gated
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun (field, v) ->
+              match baseline_field base r.wname field with
+              | None ->
+                Printf.printf "check: no baseline %s for %s, skipping\n" field r.wname;
+                None
+              | Some b ->
+                let ok = v >= margin *. b in
+                Printf.printf "check: %s %s %.3f vs baseline %.3f (floor %.3f) %s\n" r.wname field
+                  v b (margin *. b)
+                  (if ok then "ok" else "FAIL");
+                if ok then None else Some (Printf.sprintf "%s.%s" r.wname field))
+            [ ("compile_speedup", compile_speedup r); ("fastpath_speedup", fastpath_speedup r) ])
+        rows
     in
     if failures <> [] then begin
-      Printf.eprintf "PERF REGRESSION (>20%% below %s): %s\n" path (String.concat ", " failures);
+      Printf.eprintf "PERF REGRESSION (engine ratio >5%% below %s): %s\n" path
+        (String.concat ", " failures);
       exit 1
     end
 

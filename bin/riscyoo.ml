@@ -113,6 +113,23 @@ let run_cmd =
           ~doc:"run serially while recording the partition behind every EHR/FIFO/wire access; \
                 exits 3 on an undeclared cross-partition touch")
   in
+  let no_compile =
+    Arg.(
+      value & flag
+      & info [ "no-compile" ]
+          ~doc:"skip schedule compilation and run every rule through the interpreted step path \
+                (port bookkeeping + undo logging); results are bit-identical to the compiled \
+                schedule")
+  in
+  let compile_audit =
+    Arg.(
+      value & flag
+      & info [ "compile-audit" ]
+          ~doc:"run interpreted while dynamically discharging the schedule compiler's proof \
+                obligations (declared footprints cover every tracked access; admissible rules \
+                never Retry; total rules never roll back tracked writes), then print the \
+                conflict-matrix report; exits 3 on a violated obligation")
+  in
   let obs_konata =
     Arg.(
       value & opt (some string) None
@@ -142,8 +159,9 @@ let run_cmd =
   in
   let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
       rules watchdog invariants inject inject_seed no_fastpath audit jobs partition_audit
-      obs_konata obs_chrome stats_json obs_window =
+      no_compile compile_audit obs_konata obs_chrome stats_json obs_window =
     let fastpath = not no_fastpath in
+    let compile = not no_compile in
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
       else Spec_kernels.find kernel ~scale
@@ -229,11 +247,15 @@ let run_cmd =
     let m =
       try
         Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~jobs
-          ~partition_audit ~watchdog ~invariants ?obs kind prog
+          ~partition_audit ~compile ~compile_audit ~watchdog ~invariants ?obs kind prog
       with Cmd_sim.Partition_error msg ->
         Printf.printf "PARTITION ERROR: %s\n" msg;
         die 3
     in
+    if compile_audit then begin
+      Printf.printf "compile    : %s\n" (Machine.compile_status m);
+      print_string (Machine.compile_report m)
+    end;
     if trace then Machine.trace_commits m Format.std_formatter;
     let t0 = Unix.gettimeofday () in
     let o =
@@ -249,6 +271,10 @@ let run_cmd =
         die 3
       | Cmd_kernel.Partition_overlap msg ->
         Printf.printf "PARTITION AUDIT FAILURE: %s\n" msg;
+        die 3
+      | Cmd_kernel.Compile_audit_fail msg ->
+        Printf.printf "COMPILE AUDIT FAILURE: %s\n" msg;
+        print_string (Machine.compile_report m);
         die 3
     in
     let dt = Unix.gettimeofday () -. t0 in
@@ -269,6 +295,7 @@ let run_cmd =
       Printf.printf "IPC        : %.3f\n"
         (float_of_int (Machine.instrs m) /. float_of_int (max 1 o.Machine.cycles));
       Printf.printf "host       : %.1fs (%.0f sim-cycles/s)\n" dt (float_of_int o.Machine.cycles /. dt);
+      if rules then Printf.printf "compile    : %s\n" (Machine.compile_status m);
       print_endline "counters:";
       List.iter
         (fun (n, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" n v)
@@ -280,8 +307,8 @@ let run_cmd =
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
       $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
-      $ no_fastpath $ audit $ jobs $ partition_audit $ obs_konata $ obs_chrome $ stats_json
-      $ obs_window)
+      $ no_fastpath $ audit $ jobs $ partition_audit $ no_compile $ compile_audit $ obs_konata
+      $ obs_chrome $ stats_json $ obs_window)
 
 let synth_cmd =
   let doc = "Print the synthesis model's area/frequency estimates" in

@@ -20,3 +20,70 @@ let ehr_order (w1, p1) (w2, p2) =
   | true, true -> if p1 < p2 then Lt else if p2 < p1 then Gt else C
 
 let allows_before = function Lt | Cf -> true | Gt | C -> false
+
+(* ---------------------------------------------------------------------- *)
+(* Footprints: the declarations the schedule compiler consumes.           *)
+(*                                                                        *)
+(* A primitive is a unit of conflict analysis (one EHR, one FIFO, one     *)
+(* wire). A rule's footprint is a list of atoms, each describing one      *)
+(* method call on one primitive as the EHR-style accesses it performs on  *)
+(* the primitive's abstract cells. The relation between two rules is the  *)
+(* join over all their atom pairs — exactly how the BSV compiler derives  *)
+(* a compound conflict matrix from primitive register accesses.           *)
+(* ---------------------------------------------------------------------- *)
+
+type prim = { pid : int; pname : string }
+
+(* Atomic: farm workers build machines concurrently in separate domains. *)
+let prim_counter = Atomic.make 0
+
+let fresh_prim pname = { pid = Atomic.fetch_and_add prim_counter 1; pname }
+
+type acc = { acell : int; awrite : bool; aport : int }
+
+(* Pseudo-port for conflict-free FIFO sides: the k-th same-cycle access
+   uses EHR port k, so any two dynamic accesses of the same cell compose
+   in either order, while a static port (the clear port, above every
+   dynamic one) must come after all of them. *)
+let dyn = -1
+
+let acc_order a b =
+  if a.acell <> b.acell then Cf
+  else if a.aport = dyn || b.aport = dyn then
+    if a.aport = dyn && b.aport = dyn then Cf else if a.aport = dyn then Lt else Gt
+  else ehr_order (a.awrite, a.aport) (b.awrite, b.aport)
+
+type atom = { ap : prim; alabel : string; accs : acc list }
+
+let atom ~prim ~label accs =
+  { ap = prim; alabel = label; accs = List.map (fun (awrite, acell, aport) -> { acell; awrite; aport }) accs }
+
+let atom_order a b =
+  if a.ap.pid <> b.ap.pid then Cf
+  else
+    List.fold_left
+      (fun o aa -> List.fold_left (fun o bb -> join o (acc_order aa bb)) o b.accs)
+      Cf a.accs
+
+(* Relation of footprint [fa] w.r.t. footprint [fb]: Lt means every shared
+   primitive admits fa's rule strictly before fb's, Cf means the order is
+   immaterial, C means no serial order within a cycle is admissible. *)
+let rel fa fb =
+  List.fold_left
+    (fun o a -> List.fold_left (fun o b -> join o (atom_order a b)) o fb)
+    Cf fa
+
+(* A footprint is self-compatible when every pair of its atoms admits at
+   least one execution order; the body is then assumed (and [--compile-audit]
+   dynamically verifies) to perform them in an admissible order. *)
+let self_compatible fp =
+  let rec go = function
+    | [] -> None
+    | a :: rest -> (
+      match List.find_opt (fun b -> atom_order a b = C) rest with
+      | Some b -> Some (a, b)
+      | None -> go rest)
+  in
+  go fp
+
+let atom_name a = a.ap.pname ^ "." ^ a.alabel

@@ -42,3 +42,55 @@ val ehr_order : bool * int -> bool * int -> order
     a serial schedule that places the first method's rule earlier, i.e. the
     relation is [Lt] or [Cf]. *)
 val allows_before : order -> bool
+
+(** {2 Footprints}
+
+    The declarations the schedule compiler in [Sim] consumes. A {!prim} is a
+    unit of conflict analysis (one EHR, one FIFO, one wire); primitives mint
+    their identity at construction via {!fresh_prim}. A rule's footprint is
+    an {!atom} list: each atom names one method call on one primitive,
+    expanded to the EHR-style accesses the method performs on the
+    primitive's abstract cells, so the relation between two rules is derived
+    by {!rel} exactly as the BSV compiler derives a compound conflict matrix
+    from primitive register accesses. *)
+
+type prim = { pid : int; pname : string }
+
+(** Mint a fresh primitive identity (thread-safe: farm workers build
+    machines concurrently). *)
+val fresh_prim : string -> prim
+
+(** One primitive-cell access: [(write?, abstract cell, port)]. *)
+type acc = { acell : int; awrite : bool; aport : int }
+
+(** Pseudo-port for conflict-free FIFO sides: the k-th same-cycle access
+    uses EHR port [k], so two [dyn] accesses of the same cell compose in
+    either order, while a static port (the clear port, above every dynamic
+    one) must come after all of them. *)
+val dyn : int
+
+type atom = { ap : prim; alabel : string; accs : acc list }
+
+(** [atom ~prim ~label accs] with [accs] as [(write?, cell, port)] triples. *)
+val atom : prim:prim -> label:string -> (bool * int * int) list -> atom
+
+(** Relation between two single accesses of the same primitive. *)
+val acc_order : acc -> acc -> order
+
+(** Relation between two method calls; [Cf] when the primitives differ. *)
+val atom_order : atom -> atom -> order
+
+(** [rel fa fb] is the relation of footprint [fa]'s rule w.r.t. [fb]'s:
+    [Lt] means every shared primitive admits [fa] strictly before [fb],
+    [Cf] that the order is immaterial, [C] that no same-cycle serial order
+    is admissible. *)
+val rel : atom list -> atom list -> order
+
+(** [self_compatible fp] is [None] when every pair of atoms in [fp] admits
+    at least one execution order, or [Some (a, b)] naming an irreconcilable
+    pair. The body is assumed — and [--compile-audit] dynamically verifies —
+    to perform compatible atoms in an admissible order. *)
+val self_compatible : atom list -> (atom * atom) option
+
+(** "prim.method" display name of an atom. *)
+val atom_name : atom -> string

@@ -1,4 +1,10 @@
-type 'a t = { cell : Kernel.cell; mutable v : 'a; nm : string; sg : Wakeup.signal }
+type 'a t = {
+  cell : Kernel.cell;
+  mutable v : 'a;
+  nm : string;
+  sg : Wakeup.signal;
+  mutable prim : Conflict.prim;
+}
 
 (* Atomic so concurrent machine builds (farm workers) still get unique
    debug names. The snapshot registry entry deliberately uses the stable
@@ -30,7 +36,10 @@ let create ?name init =
     | Some n -> n
     | None -> Printf.sprintf "ehr#%d" (Atomic.fetch_and_add counter 1 + 1)
   in
-  let t = { cell = Kernel.make_cell nm; v = init; nm; sg = Wakeup.make () } in
+  let prim = Conflict.fresh_prim nm in
+  let cell = Kernel.make_cell nm in
+  Kernel.set_cell_prim cell prim.Conflict.pid;
+  let t = { cell; v = init; nm; sg = Wakeup.make (); prim } in
   Inject.register ~name:nm ~width:inject_width (flip_immediate t);
   State.register
     ~name:(match name with Some n -> n | None -> "ehr")
@@ -53,7 +62,8 @@ let read ctx t p =
 let write ctx t p v =
   Kernel.record_write ctx t.cell p;
   let old = t.v in
-  Kernel.on_abort ctx (fun () -> t.v <- old);
+  if Kernel.logging ctx then Kernel.on_abort ctx (fun () -> t.v <- old)
+  else Kernel.note_elided ctx;
   if v != old then Wakeup.touch t.sg;
   t.v <- v
 
@@ -65,3 +75,17 @@ let poke t v =
 
 let name t = t.nm
 let signal t = t.sg
+let prim t = t.prim
+
+(* Compound primitives (FIFOs, stages) fold their internal EHRs into one
+   conflict-analysis identity: the wrapper's footprint helpers then speak
+   for all of them, and the compile audit attributes accesses correctly. *)
+let adopt t (prim : Conflict.prim) =
+  t.prim <- prim;
+  Kernel.set_cell_prim t.cell prim.Conflict.pid
+
+let fp t ~label accs =
+  Conflict.atom ~prim:t.prim ~label (List.map (fun (w, p) -> (w, 0, p)) accs)
+
+let fp_read t p = fp t ~label:(Printf.sprintf "r%d" p) [ (false, p) ]
+let fp_write t p = fp t ~label:(Printf.sprintf "w%d" p) [ (true, p) ]

@@ -10,6 +10,15 @@ type 'a t = {
      queues are the only legal cross-partition boundary). *)
   tk_enq : Partition.token;
   tk_deq : Partition.token;
+  (* Conflict-analysis identity plus per-method footprint atoms; variant
+     specific (the port scheme differs), built by the constructor. *)
+  prim : Conflict.prim;
+  a_enq : Conflict.atom;
+  a_deq : Conflict.atom;
+  a_first : Conflict.atom;
+  a_can_enq : Conflict.atom;
+  a_can_deq : Conflict.atom;
+  a_clear : Conflict.atom;
   enq_f : Kernel.ctx -> 'a -> unit;
   deq_f : Kernel.ctx -> 'a;
   first_f : Kernel.ctx -> 'a;
@@ -37,9 +46,12 @@ let ring ~nm ~cap ~dp ~ep =
   let tail = Ehr.create ~name:(nm ^ ".tail") 0 in
   let slots = Array.init cap (fun i -> Ehr.create ~name:(Printf.sprintf "%s.slot%d" nm i) None) in
   let sg = Wakeup.make () in
+  (* guard messages are built once: the concatenation was a per-call
+     allocation on the hottest kernel operations *)
+  let m_full = nm ^ " full" and m_empty = nm ^ " empty" in
   let enq_f ctx v =
     let c = Ehr.read ctx count ep in
-    Kernel.guard ctx (c < cap) (nm ^ " full");
+    Kernel.guard ctx (c < cap) m_full;
     let t = Ehr.read ctx tail ep in
     Ehr.write ctx slots.(t) ep (Some v);
     Ehr.write ctx tail ep ((t + 1) mod cap);
@@ -48,13 +60,13 @@ let ring ~nm ~cap ~dp ~ep =
   in
   let first_f ctx =
     let c = Ehr.read ctx count dp in
-    Kernel.guard ctx (c > 0) (nm ^ " empty");
+    Kernel.guard ctx (c > 0) m_empty;
     let h = Ehr.read ctx head dp in
     get_slot nm (Ehr.read ctx slots.(h) dp)
   in
   let deq_f ctx =
     let c = Ehr.read ctx count dp in
-    Kernel.guard ctx (c > 0) (nm ^ " empty");
+    Kernel.guard ctx (c > 0) m_empty;
     let h = Ehr.read ctx head dp in
     let v = get_slot nm (Ehr.read ctx slots.(h) dp) in
     Ehr.write ctx slots.(h) dp None;
@@ -75,7 +87,28 @@ let ring ~nm ~cap ~dp ~ep =
   let size_f () = Ehr.peek count in
   let list_f () = ring_list slots (Ehr.peek head) (Ehr.peek count) cap in
   let tk = Partition.mk_token nm in
-  { nm; cap; sg; tk_enq = tk; tk_deq = tk; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+  (* One conflict primitive for the whole ring; abstract cells 0=count,
+     1=head, 2=tail, 3=slots (merged — distinct slot cells collapse to one,
+     which is conservative). Atoms mirror the accesses of each method. *)
+  let prim = Conflict.fresh_prim nm in
+  Array.iter (fun s -> Ehr.adopt s prim) slots;
+  Ehr.adopt count prim;
+  Ehr.adopt head prim;
+  Ehr.adopt tail prim;
+  let atom = Conflict.atom ~prim in
+  let a_enq =
+    atom ~label:"enq" [ (false, 0, ep); (false, 2, ep); (true, 3, ep); (true, 2, ep); (true, 0, ep) ]
+  in
+  let a_first = atom ~label:"first" [ (false, 0, dp); (false, 1, dp); (false, 3, dp) ] in
+  let a_deq =
+    atom ~label:"deq"
+      [ (false, 0, dp); (false, 1, dp); (false, 3, dp); (true, 3, dp); (true, 1, dp); (true, 0, dp) ]
+  in
+  let a_can_enq = atom ~label:"can_enq" [ (false, 0, ep) ] in
+  let a_can_deq = atom ~label:"can_deq" [ (false, 0, dp) ] in
+  let a_clear = atom ~label:"clear" [ (true, 0, 2); (true, 1, 2); (true, 2, 2); (true, 3, 2) ] in
+  { nm; cap; sg; tk_enq = tk; tk_deq = tk; prim; a_enq; a_deq; a_first; a_can_enq; a_can_deq;
+    a_clear; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
 
 let pipeline ?name ~capacity () =
   let nm = match name with Some n -> n | None -> "pfifo" in
@@ -127,13 +160,15 @@ let cf ?name clk ~capacity () =
       dport := dp);
   let bump ctx r =
     let old = !r in
-    Kernel.on_abort ctx (fun () -> r := old);
+    if Kernel.logging ctx then Kernel.on_abort ctx (fun () -> r := old)
+    else Kernel.note_elided ctx;
     r := old + 1;
     old
   in
+  let m_full = nm ^ " full" and m_empty = nm ^ " empty" in
   let enq_f ctx v =
     let t = Ehr.read ctx enq_total !eport in
-    Kernel.guard ctx (t - !deq_snap < cap) (nm ^ " full");
+    Kernel.guard ctx (t - !deq_snap < cap) m_full;
     let p = bump ctx eport in
     Ehr.write ctx slots.(t mod cap) p (Some v);
     Ehr.write ctx enq_total p (t + 1);
@@ -141,12 +176,12 @@ let cf ?name clk ~capacity () =
   in
   let first_f ctx =
     let h = Ehr.read ctx deq_total !dport in
-    Kernel.guard ctx (h < !enq_snap) (nm ^ " empty");
+    Kernel.guard ctx (h < !enq_snap) m_empty;
     get_slot nm (Ehr.read ctx slots.(h mod cap) !dport)
   in
   let deq_f ctx =
     let h = Ehr.read ctx deq_total !dport in
-    Kernel.guard ctx (h < !enq_snap) (nm ^ " empty");
+    Kernel.guard ctx (h < !enq_snap) m_empty;
     let p = bump ctx dport in
     let v = get_slot nm (Ehr.read ctx slots.(h mod cap) p) in
     Ehr.write ctx slots.(h mod cap) p None;
@@ -177,7 +212,29 @@ let cf ?name clk ~capacity () =
   in
   let tk_enq = Partition.mk_token (nm ^ ".enq") in
   let tk_deq = Partition.mk_token (nm ^ ".deq") in
-  { nm; cap; sg; tk_enq; tk_deq; enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
+  (* Abstract cells 0=enqTotal, 1=deqTotal, 2=slots. Same-side and
+     cross-side accesses use the dynamic ascending ports ([Conflict.dyn]):
+     any two compose in either order — the conflict-free design point —
+     while the static clear port sits above all of them, so everything is
+     admissible strictly before [clear] and nothing after it. Cross-side
+     slot accesses can only collide when a side's guard has already failed,
+     so the merged slot cell keeps the [dyn] composition sound. *)
+  let prim = Conflict.fresh_prim nm in
+  Array.iter (fun s -> Ehr.adopt s prim) slots;
+  Ehr.adopt enq_total prim;
+  Ehr.adopt deq_total prim;
+  let atom = Conflict.atom ~prim in
+  let dyn = Conflict.dyn in
+  let a_enq = atom ~label:"enq" [ (false, 0, dyn); (true, 2, dyn); (true, 0, dyn) ] in
+  let a_first = atom ~label:"first" [ (false, 1, dyn); (false, 2, dyn) ] in
+  let a_deq = atom ~label:"deq" [ (false, 1, dyn); (false, 2, dyn); (true, 2, dyn); (true, 1, dyn) ] in
+  let a_can_enq = atom ~label:"can_enq" [ (false, 0, dyn) ] in
+  let a_can_deq = atom ~label:"can_deq" [ (false, 1, dyn) ] in
+  let a_clear =
+    atom ~label:"clear" [ (true, 0, clear_port); (true, 1, clear_port); (true, 2, clear_port) ]
+  in
+  { nm; cap; sg; tk_enq; tk_deq; prim; a_enq; a_deq; a_first; a_can_enq; a_can_deq; a_clear;
+    enq_f; deq_f; first_f; can_enq_f; can_deq_f; clear_f; size_f; list_f }
 
 let enq ctx t v = t.enq_f ctx v
 let deq ctx t = t.deq_f ctx
@@ -190,5 +247,12 @@ let name t = t.nm
 let signal t = t.sg
 let enq_token t = t.tk_enq
 let deq_token t = t.tk_deq
+let prim t = t.prim
+let fp_enq t = t.a_enq
+let fp_deq t = t.a_deq
+let fp_first t = t.a_first
+let fp_can_enq t = t.a_can_enq
+let fp_can_deq t = t.a_can_deq
+let fp_clear t = t.a_clear
 let peek_size t = t.size_f ()
 let peek_list t = t.list_f ()

@@ -60,6 +60,23 @@ val enq_token : 'a t -> Partition.token
 
 val deq_token : 'a t -> Partition.token
 
+(** {2 Conflict footprints}
+
+    One {!Conflict.prim} per queue (both sides of a {!cf} queue included:
+    its methods are conflict-free by construction, which the atoms encode
+    via {!Conflict.dyn} ports). Pass the atoms of the methods a rule's body
+    may call to [Rule.make ~fp]. The [can_enq]/[can_deq] probes are tracked
+    reads and need their own atoms when called through a ctx. *)
+
+val prim : 'a t -> Conflict.prim
+
+val fp_enq : 'a t -> Conflict.atom
+val fp_deq : 'a t -> Conflict.atom
+val fp_first : 'a t -> Conflict.atom
+val fp_can_enq : 'a t -> Conflict.atom
+val fp_can_deq : 'a t -> Conflict.atom
+val fp_clear : 'a t -> Conflict.atom
+
 (** Untracked occupancy / contents, for statistics and tests. *)
 val peek_size : 'a t -> int
 

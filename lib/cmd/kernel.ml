@@ -2,9 +2,11 @@ exception Guard_fail of string
 exception Retry of string
 exception Conflict_error of string
 exception Partition_overlap of string
+exception Compile_audit_fail of string
 
 type cell = {
   cell_name : string;
+  mutable prim : int; (* owning Conflict.prim pid; -1 until adopted *)
   (* Per-cycle access summary, lazily reset via the [stamp] generation. *)
   mutable max_r : int;  (* highest read port this cycle, -1 if none *)
   mutable max_w : int;  (* highest write port this cycle, -1 if none *)
@@ -32,6 +34,25 @@ type ctx = {
   mutable part : int;       (* partition currently executing on this ctx *)
   mutable stats_slot : int; (* shard index for Stats counters; -1 = direct *)
   mutable paudit : bool;    (* record per-partition cell touches *)
+  (* Compiled-schedule tier flags (Sim). [chk] gates the per-cell port
+     admissibility bookkeeping: the schedule compiler clears it for rules
+     whose every conflict pair is statically admissible, so no access of
+     theirs can raise or contribute to a [Retry]. [log] gates the undo
+     arena: cleared only for rules additionally proven abort-free (total);
+     elided entries are counted in [dropped] so a wrong totality claim
+     turns into a hard [Conflict_error] instead of a silent divergence. *)
+  mutable chk : bool;
+  mutable log : bool;
+  mutable dropped : int;
+  (* Compile-audit instrumentation (cold: all stay 0/None in normal runs).
+     [vundo] counts value-undo registrations, distinguishing them from the
+     kernel's own bookkeeping undos; [retries] counts Retry raises;
+     [audit_total] marks the current rule as claiming abort-free commits;
+     [fp_check] is called on every tracked access with the touched cell. *)
+  mutable vundo : int;
+  mutable retries : int;
+  mutable audit_total : bool;
+  mutable fp_check : (cell -> write:bool -> unit) option;
 }
 
 let no_undo () = ()
@@ -39,6 +60,7 @@ let no_undo () = ()
 let make_cell name =
   {
     cell_name = name;
+    prim = -1;
     max_r = -1;
     max_w = -1;
     w_mask = 0;
@@ -58,6 +80,13 @@ let make_ctx clk =
     part = 0;
     stats_slot = -1;
     paudit = false;
+    chk = true;
+    log = true;
+    dropped = 0;
+    vundo = 0;
+    retries = 0;
+    audit_total = false;
+    fp_check = None;
   }
 
 let clock ctx = ctx.clk
@@ -68,6 +97,19 @@ let set_partition ctx p = ctx.part <- p
 let stats_slot ctx = ctx.stats_slot
 let set_stats_slot ctx s = ctx.stats_slot <- s
 let set_partition_audit ctx b = ctx.paudit <- b
+
+let set_tier ctx ~chk ~log =
+  ctx.chk <- chk;
+  ctx.log <- log;
+  ctx.dropped <- 0
+
+let cell_prim c = c.prim
+let cell_name c = c.cell_name
+let set_cell_prim c pid = c.prim <- pid
+let retries ctx = ctx.retries
+let dropped ctx = ctx.dropped
+let set_total_audit ctx b = ctx.audit_total <- b
+let set_fp_check ctx f = ctx.fp_check <- f
 
 let overlap_fail ctx c all =
   let parts = ref [] in
@@ -97,7 +139,10 @@ let audit_touch ctx c ~write =
   let all = c.p_rmask lor c.p_wmask in
   if c.p_wmask <> 0 && all land (all - 1) <> 0 then overlap_fail ctx c all
 
-let on_abort ctx f =
+(* Kernel-internal push, used for the port-bookkeeping undos of
+   [record_read]/[record_write]; those run only when [chk] is set, and a
+   checked rule always logs, so no gating here. *)
+let push_undo ctx f =
   let n = ctx.undo_len in
   if n = Array.length ctx.undo then begin
     let bigger = Array.make (2 * n) no_undo in
@@ -106,6 +151,24 @@ let on_abort ctx f =
   end;
   ctx.undo.(n) <- f;
   ctx.undo_len <- n + 1
+
+(* Value undos from module code. When the schedule compiler has switched
+   logging off (a rule proven total), the entry is elided but counted, so
+   an abort that would have needed it is a hard error (see [attempt]). *)
+let on_abort ctx f =
+  if ctx.log then begin
+    ctx.vundo <- ctx.vundo + 1;
+    push_undo ctx f
+  end
+  else ctx.dropped <- ctx.dropped + 1
+
+(* Allocation-free variant of the elided path: primitives that sit on the
+   per-cycle hot path ([Ehr.write], [Mut.set]) test [logging] first so the
+   undo closure is never even allocated when the schedule compiler has
+   switched the log off (tier A). The elision still counts into [dropped],
+   keeping the wrong-totality check exact. *)
+let logging ctx = ctx.log
+let note_elided ctx = ctx.dropped <- ctx.dropped + 1
 
 let access_count ctx = ctx.accesses
 let undo_depth ctx = ctx.undo_len
@@ -132,38 +195,53 @@ let refresh ctx c =
   end
 
 let retry ctx c kind port =
+  ctx.retries <- ctx.retries + 1;
   raise
     (Retry
        (Printf.sprintf "rule %s: %s port %d of %s inadmissible after this cycle's accesses (max_r=%d max_w=%d)"
           ctx.rule kind port c.cell_name c.max_r c.max_w))
 
+(* When [chk] is off (rule statically proven conflict-admissible), an access
+   is a plain read/write: no summary refresh, no admissibility test, no
+   bookkeeping undo. The summaries other rules consult stay consistent
+   because any pair that could ever retry has both endpoints checked. *)
 let record_read ctx c port =
-  refresh ctx c;
-  if ctx.paudit then audit_touch ctx c ~write:false;
-  (* read[port] may follow write[j] only when j < port *)
-  if c.max_w >= port then retry ctx c "read" port;
-  ctx.accesses <- ctx.accesses + 1;
-  if port > c.max_r then begin
-    let old = c.max_r in
-    c.max_r <- port;
-    on_abort ctx (fun () -> c.max_r <- old)
+  if ctx.chk then begin
+    refresh ctx c;
+    if ctx.paudit then audit_touch ctx c ~write:false;
+    (match ctx.fp_check with Some f -> f c ~write:false | None -> ());
+    (* read[port] may follow write[j] only when j < port *)
+    if c.max_w >= port then retry ctx c "read" port;
+    ctx.accesses <- ctx.accesses + 1;
+    if port > c.max_r then begin
+      let old = c.max_r in
+      c.max_r <- port;
+      push_undo ctx (fun () -> c.max_r <- old)
+    end
   end
 
 let record_write ctx c port =
-  refresh ctx c;
-  if ctx.paudit then audit_touch ctx c ~write:true;
-  (* write[port] may follow read[j] when j <= port, write[j] when j < port *)
-  if c.max_r > port || c.max_w >= port || c.w_mask land (1 lsl port) <> 0 then
-    retry ctx c "write" port;
-  ctx.accesses <- ctx.accesses + 1;
-  let old_w = c.max_w and old_mask = c.w_mask in
-  on_abort ctx (fun () ->
-      c.max_w <- old_w;
-      c.w_mask <- old_mask);
-  c.max_w <- port;
-  c.w_mask <- c.w_mask lor (1 lsl port)
+  if ctx.chk then begin
+    refresh ctx c;
+    if ctx.paudit then audit_touch ctx c ~write:true;
+    (match ctx.fp_check with Some f -> f c ~write:true | None -> ());
+    (* write[port] may follow read[j] when j <= port, write[j] when j < port *)
+    if c.max_r > port || c.max_w >= port || c.w_mask land (1 lsl port) <> 0 then
+      retry ctx c "write" port;
+    ctx.accesses <- ctx.accesses + 1;
+    let old_w = c.max_w and old_mask = c.w_mask in
+    push_undo ctx (fun () ->
+        c.max_w <- old_w;
+        c.w_mask <- old_mask);
+    c.max_w <- port;
+    c.w_mask <- c.w_mask lor (1 lsl port)
+  end
 
-let guard ctx ok msg = if not ok then raise (Guard_fail (ctx.rule ^ ": " ^ msg))
+(* No rule-name prefix: guards abort on the hot path (every non-firing
+   attempted rule pays one), and the two string concatenations per failure
+   dominated the abort cost. The rule is always recoverable from the catch
+   site via [rule_name]. *)
+let guard _ctx ok msg = if not ok then raise (Guard_fail msg)
 
 let rollback_to ctx mark =
   (* Undo entries are newest-first from the top of the arena; applying them
@@ -177,9 +255,24 @@ let rollback_to ctx mark =
 let rollback ctx = rollback_to ctx 0
 
 let attempt ctx f =
-  let save = ctx.undo_len in
+  let save = ctx.undo_len and sdrop = ctx.dropped and svundo = ctx.vundo in
   match f ctx with
   | r -> Some r
   | exception (Guard_fail _ | Retry _) ->
+    (* Aborting with elided undos means the totality proof obligation the
+       schedule compiler relied on is false: state is already corrupt, so
+       fail hard rather than continue silently diverged. *)
+    if ctx.dropped > sdrop then
+      raise
+        (Conflict_error
+           (Printf.sprintf
+              "rule %s: abort after %d unlogged write(s) in a no-rollback (total) compiled tier; the ~total declaration is wrong for this schedule"
+              ctx.rule (ctx.dropped - sdrop)));
+    if ctx.audit_total && ctx.vundo > svundo then
+      raise
+        (Compile_audit_fail
+           (Printf.sprintf
+              "rule %s claims ~total but aborted after %d tracked write(s); the claim would corrupt state under tier-A compilation"
+              ctx.rule (ctx.vundo - svundo)));
     rollback_to ctx save;
     None

@@ -6,6 +6,8 @@ type t = {
   vacuous : bool;
   part : int;
   touches : Partition.token array;
+  fp : Conflict.atom list option;
+  total : bool;
   mutable fired : int;
   mutable guard_failed : int;
   mutable conflicted : int;
@@ -16,7 +18,8 @@ type t = {
   mutable rid : int;
 }
 
-let make ?can_fire ?(watches = []) ?(touches = []) ?(vacuous = false) name body =
+let make ?can_fire ?(watches = []) ?(touches = []) ?fp ?(total = false) ?(vacuous = false) name
+    body =
   {
     name;
     body;
@@ -25,6 +28,8 @@ let make ?can_fire ?(watches = []) ?(touches = []) ?(vacuous = false) name body 
     vacuous;
     part = Partition.ambient ();
     touches = Array.of_list touches;
+    fp;
+    total;
     fired = 0;
     guard_failed = 0;
     conflicted = 0;

@@ -45,6 +45,15 @@ type t = {
   vacuous : bool;  (** body swallows guard failures via [attempt] *)
   part : int;  (** partition, captured from [Partition.ambient] at [make] *)
   touches : Partition.token array;  (** declared boundary primitives *)
+  fp : Conflict.atom list option;
+      (** conflict footprint: every tracked primitive method the body may
+          call, as [Conflict.atom]s; [None] = opaque (conflicts with
+          everything, disables schedule compilation for the whole design) *)
+  total : bool;
+      (** claims the body never aborts after a tracked write when attempted
+          (guards, if any, fail before mutating); lets the compiler drop
+          the undo log. Verified by [--compile-audit], backstopped by a
+          hard error at run time *)
   mutable fired : int;  (** cycles in which the rule fired *)
   mutable guard_failed : int;  (** attempts aborted by a guard *)
   mutable conflicted : int;  (** attempts aborted by an intra-cycle conflict *)
@@ -65,6 +74,8 @@ val make :
   ?can_fire:(unit -> bool) ->
   ?watches:Wakeup.signal list ->
   ?touches:Partition.token list ->
+  ?fp:Conflict.atom list ->
+  ?total:bool ->
   ?vacuous:bool ->
   string ->
   (Kernel.ctx -> unit) ->

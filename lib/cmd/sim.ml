@@ -52,8 +52,12 @@ module Pool = struct
     Mutex.unlock p.m
 
   (* Tasks trap their own exceptions (see [run_part]); the catch-all here
-     only guards against a raising task deadlocking the barrier. *)
-  let exec i = try (Array.unsafe_get p.tasks i) () with _ -> ()
+     only guards against a raising task deadlocking the barrier. The array
+     is re-read and bounds-checked because [shutdown] may clear it between
+     a worker claiming an index and executing it. *)
+  let exec i =
+    let ts = p.tasks in
+    if i < Array.length ts then try ts.(i) () with _ -> ()
 
   let rec worker id =
     Mutex.lock p.m;
@@ -92,6 +96,20 @@ module Pool = struct
         (fun () ->
           Mutex.lock p.m;
           p.shutdown <- true;
+          (* Drop any queued work with the workers. A shutdown taken between
+             runs is the common case and the queue is already empty; but a
+             shutdown that interrupts a run (signal handlers) used to leave
+             [tasks]/[next]/[remaining] populated, and the first worker of
+             the NEXT generation would claim and execute a stale task — a
+             cached per-cycle step closure of a machine that may since have
+             been mutated or discarded. Clearing the queue here makes a
+             restarted pool start from a blank slate; [max_helpers] is
+             zeroed so freshly spawned workers stay parked until a run
+             hands them work. *)
+          p.tasks <- [||];
+          p.next <- 0;
+          p.remaining <- 0;
+          p.max_helpers <- 0;
           Condition.broadcast p.work_cv;
           Mutex.unlock p.m;
           List.iter Domain.join p.domains;
@@ -175,6 +193,20 @@ type t = {
   mutable n_cycles : int;
   mutable fires : int;
   mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
+  (* Schedule compilation (serial Multi/Shuffle with the fast path only).
+     [crunners] holds one specialized per-rule step closure per rule,
+     indexed by [Rule.rid]; empty = interpreted. [cfired]/[cnames] are the
+     compiled cycle's scratch accumulators (the closures write them
+     directly instead of threading refs). *)
+  caudit : bool; (* compile-audit: interpreted run verifying declarations *)
+  mutable crunners : (unit -> unit) array;
+  mutable cfired : int;
+  mutable cnames : string list;
+  mutable cstats : int * int * int; (* rules in tier A / tier B / interpreted *)
+  mutable cwhy : string; (* one-line compile status for reports *)
+  mutable creport : string; (* tier table + conflict-matrix dump *)
+  mutable cchk_free : bool array; (* by rid; consulted by the compile audit *)
+  mutable cfp_hooks : (Kernel.cell -> write:bool -> unit) option array; (* by rid *)
   (* observability (verification layer): a ring buffer of which rules fired
      each cycle, monitors that watch liveness, and post-cycle checks *)
   mutable history : (int * string list) array; (* (cycle, fired rule names) *)
@@ -246,8 +278,243 @@ let refill_partition_orders t =
     t.fill.(pid) <- k + 1
   done
 
+(* ---------------------------------------------------------------------- *)
+(* Schedule compilation                                                   *)
+(*                                                                        *)
+(* At elaboration, derive the pairwise conflict matrix from the rules'    *)
+(* declared footprints and classify every rule:                           *)
+(*                                                                        *)
+(*   tier A  — conflict-admissible in the static order AND declared       *)
+(*             [~total]: runs with neither port bookkeeping nor undo      *)
+(*             logging (a wrong totality claim is a hard error, not a     *)
+(*             silent divergence — see [Kernel.attempt]);                 *)
+(*   tier B  — conflict-admissible: port bookkeeping off, undo log on     *)
+(*             (guard aborts still roll back);                            *)
+(*   interp  — everything else falls back to the fully checked path.      *)
+(*                                                                       *)
+(* "Conflict-admissible" means: the rule's own atoms admit an execution   *)
+(* order, and every pair it forms with another rule is admissible in the  *)
+(* schedule's order (canonical order under Multi; both orders — i.e. CF — *)
+(* under Shuffle). Any pair that could ever [Retry] keeps BOTH endpoints  *)
+(* checked, so the per-cell summaries that checked rules consult remain   *)
+(* consistent even though unchecked rules stop contributing to them.      *)
+(* A single rule without a footprint disables compilation for the whole   *)
+(* design: an opaque body may touch any primitive.                        *)
+(* ---------------------------------------------------------------------- *)
+
+type analysis = {
+  an_chk_free : bool array;
+  an_reasons : string array; (* why a rule stays interpreted; "" otherwise *)
+  an_rel : Conflict.order array array;
+  an_opaque : string option; (* first footprint-less rule, if any *)
+}
+
+let analyze_schedule ~shuffled (rules_arr : Rule.t array) =
+  let n = Array.length rules_arr in
+  let opaque = ref None in
+  Array.iter
+    (fun (r : Rule.t) -> if r.Rule.fp = None && !opaque = None then opaque := Some r.Rule.name)
+    rules_arr;
+  match !opaque with
+  | Some _ as o ->
+    {
+      an_chk_free = Array.make n false;
+      an_reasons = Array.make n "opaque footprint in design";
+      an_rel = [||];
+      an_opaque = o;
+    }
+  | None ->
+    let fp = Array.map (fun (r : Rule.t) -> Option.get r.Rule.fp) rules_arr in
+    let relm = Array.make_matrix n n Conflict.Cf in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let r = Conflict.rel fp.(i) fp.(j) in
+        relm.(i).(j) <- r;
+        relm.(j).(i) <- Conflict.flip r
+      done
+    done;
+    let chk_free = Array.make n true in
+    let reasons = Array.make n "" in
+    for i = 0 to n - 1 do
+      (match Conflict.self_compatible fp.(i) with
+      | Some (a, b) ->
+        chk_free.(i) <- false;
+        reasons.(i) <-
+          Printf.sprintf "own atoms %s and %s conflict" (Conflict.atom_name a)
+            (Conflict.atom_name b)
+      | None -> ());
+      let j = ref 0 in
+      while chk_free.(i) && !j < n do
+        if !j <> i then begin
+          let ok =
+            if shuffled then relm.(i).(!j) = Conflict.Cf
+            else if i < !j then Conflict.allows_before relm.(i).(!j)
+            else Conflict.allows_before relm.(!j).(i)
+          in
+          if not ok then begin
+            chk_free.(i) <- false;
+            reasons.(i) <-
+              Printf.sprintf "%s %s in schedule order vs %s"
+                (Conflict.to_string relm.(i).(!j))
+                (if shuffled then "(needs CF under Shuffle)" else "inadmissible")
+                rules_arr.(!j).Rule.name
+          end
+        end;
+        incr j
+      done
+    done;
+    { an_chk_free = chk_free; an_reasons = reasons; an_rel = relm; an_opaque = None }
+
+let render_compile_report (rules_arr : Rule.t array) an ~tier =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "rule tiers (A = unchecked+unlogged, B = unchecked, I = interpreted):\n";
+  Array.iteri
+    (fun i (r : Rule.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %c %-28s%s\n" (tier i)
+           r.Rule.name
+           (if an.an_reasons.(i) = "" then "" else "  [" ^ an.an_reasons.(i) ^ "]")))
+    rules_arr;
+  if an.an_rel <> [||] then begin
+    let n = Array.length rules_arr in
+    Buffer.add_string b "\nconflict matrix (row rel column, schedule order = listing order):\n";
+    Buffer.add_string b "      ";
+    for j = 0 to n - 1 do
+      Buffer.add_string b (Printf.sprintf "%3d" j)
+    done;
+    Buffer.add_char b '\n';
+    for i = 0 to n - 1 do
+      Buffer.add_string b (Printf.sprintf "  %3d " i);
+      for j = 0 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "%3s" (if i = j then "." else Conflict.to_string an.an_rel.(i).(j)))
+      done;
+      Buffer.add_string b (Printf.sprintf "  %s\n" rules_arr.(i).Rule.name)
+    done
+  end;
+  Buffer.contents b
+
+(* Fast-path decision: should [r] be skipped without an attempt this cycle?
+   Only rules carrying a [can_fire] predicate are ever skipped. A skippable
+   rule with a (non-empty) watch set parks: while parked, the per-cycle cost
+   is one generation-sum comparison; the predicate is re-evaluated only when
+   a watched signal was touched. Watchless rules re-evaluate the predicate
+   every cycle (still far cheaper than a transactional attempt). *)
+let should_skip (r : Rule.t) =
+  match r.Rule.can_fire with
+  | None -> false
+  | Some p ->
+    if r.Rule.parked then
+      if Wakeup.sum r.Rule.watches = r.Rule.park_sum then true
+      else if p () then begin
+        r.Rule.parked <- false;
+        false
+      end
+      else begin
+        r.Rule.park_sum <- Wakeup.sum r.Rule.watches;
+        true
+      end
+    else if p () then false
+    else begin
+      if Array.length r.Rule.watches > 0 then begin
+        r.Rule.parked <- true;
+        r.Rule.park_sum <- Wakeup.sum r.Rule.watches
+      end;
+      true
+    end
+
+(* Per-rule footprint-coverage hook for the compile audit: every tracked
+   access must fall on a primitive the rule declared, in the declared
+   direction. *)
+let mk_fp_hook (r : Rule.t) =
+  match r.Rule.fp with
+  | None -> None
+  | Some atoms ->
+    let allowed : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (a : Conflict.atom) ->
+        List.iter
+          (fun (acc : Conflict.acc) ->
+            let bit = if acc.Conflict.awrite then 2 else 1 in
+            let prev = Option.value (Hashtbl.find_opt allowed a.Conflict.ap.Conflict.pid) ~default:0 in
+            Hashtbl.replace allowed a.Conflict.ap.Conflict.pid (prev lor bit))
+          a.Conflict.accs)
+      atoms;
+    Some
+      (fun c ~write ->
+        let pid = Kernel.cell_prim c in
+        if pid < 0 then
+          raise
+            (Kernel.Compile_audit_fail
+               (Printf.sprintf "rule %s: cell %s has no owning primitive" r.Rule.name
+                  (Kernel.cell_name c)));
+        let need = if write then 2 else 1 in
+        let have = Option.value (Hashtbl.find_opt allowed pid) ~default:0 in
+        if have land need = 0 then
+          raise
+            (Kernel.Compile_audit_fail
+               (Printf.sprintf
+                  "rule %s: undeclared %s of cell %s (prim #%d) — footprint is under-declared"
+                  r.Rule.name
+                  (if write then "write" else "read")
+                  (Kernel.cell_name c) pid)))
+
+(* One specialized per-rule step closure. [chk]/[log] are the kernel tier
+   flags this rule runs under (both true = interpreted-but-compiled: the
+   closure still saves the per-rule dispatch work of the generic loop).
+   Compilation requires [fastpath] and excludes audit modes and
+   One_per_cycle, so the skip path applies unconditionally and there is no
+   [stop] bookkeeping. Accounting mirrors [cycle_serial] exactly — fire
+   counts, history, rule traces and the fired-nothing [Conflict_error]
+   escalation — which is what makes compiled runs bit-identical. *)
+let mk_runner t (r : Rule.t) ~chk ~log =
+  let ctx = t.ctx in
+  fun () ->
+    if should_skip r then begin
+      r.Rule.skipped <- r.Rule.skipped + 1;
+      if r.Rule.vacuous then begin
+        r.Rule.fired <- r.Rule.fired + 1;
+        t.cfired <- t.cfired + 1;
+        if t.rtrace_on then t.rtrace r t.n_cycles;
+        if t.history_depth > 0 then t.cnames <- r.Rule.name :: t.cnames
+      end
+      else r.Rule.guard_failed <- r.Rule.guard_failed + 1
+    end
+    else begin
+      Kernel.set_rule_name ctx r.Rule.name;
+      (* Every runner (re)sets its tier: the previous rule may have cleared
+         the flags. [set_tier] also zeroes the dropped-undo counter, so the
+         abort check below sees only this rule's elisions. *)
+      Kernel.set_tier ctx ~chk ~log;
+      match r.Rule.body ctx with
+      | () ->
+        Kernel.reset_ctx ctx;
+        r.Rule.fired <- r.Rule.fired + 1;
+        t.cfired <- t.cfired + 1;
+        if t.rtrace_on then t.rtrace r t.n_cycles;
+        if t.history_depth > 0 then t.cnames <- r.Rule.name :: t.cnames
+      | exception Kernel.Guard_fail _ ->
+        (* A tier-A rule (no undo log) must never abort after a tracked
+           write; if it elided undos before this guard failure, state is
+           already unrecoverable — the [~total] declaration was wrong. *)
+        if (not log) && Kernel.dropped ctx > 0 then
+          raise
+            (Kernel.Conflict_error
+               (Printf.sprintf
+                  "rule %s: guard abort after %d unlogged write(s); the ~total declaration is wrong for this schedule"
+                  r.Rule.name (Kernel.dropped ctx)));
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        r.Rule.guard_failed <- r.Rule.guard_failed + 1
+      | exception Kernel.Retry msg ->
+        Kernel.rollback ctx;
+        Kernel.reset_ctx ctx;
+        if t.cfired = 0 then raise (Kernel.Conflict_error msg);
+        r.Rule.conflicted <- r.Rule.conflicted + 1
+    end
+
 let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
-    ?(partition_audit = false) ?stats clk rules =
+    ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?stats clk rules =
   if jobs < 1 then invalid_arg "Sim.create: jobs must be >= 1";
   let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
   if jobs > 1 || partition_audit then check_partitions rules;
@@ -258,7 +525,7 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
      modes deliberately execute serially so their diagnostics are exact. *)
   let par =
     jobs > 1 && max_part > 0 && mode <> One_per_cycle && (not audit)
-    && not partition_audit
+    && (not partition_audit) && not compile_audit
   in
   let counts = Array.make (max_part + 1) 0 in
   List.iter (fun (r : Rule.t) -> counts.(r.Rule.part) <- counts.(r.Rule.part) + 1) rules;
@@ -304,6 +571,15 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
       n_cycles = 0;
       fires = 0;
       rr = 0;
+      caudit = compile_audit;
+      crunners = [||];
+      cfired = 0;
+      cnames = [];
+      cstats = (0, 0, 0);
+      cwhy = "";
+      creport = "";
+      cchk_free = [||];
+      cfp_hooks = [||];
       history = [||];
       history_depth = 0;
       monitors_rev = [];
@@ -321,6 +597,66 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
      permutation as plain indices. *)
   let rules_arr = Array.of_list rules in
   Array.iteri (fun i (r : Rule.t) -> r.Rule.rid <- i) rules_arr;
+  (* Schedule compilation. Eligible only for the serial fast path: the
+     parallel scheduler has its own per-partition contexts, the audit modes
+     deliberately run fully checked, and One_per_cycle's rotating
+     single-commit semantics do not match the runners' accounting. The
+     compile audit performs the same analysis but keeps the interpreted
+     loop (instrumented in [cycle_serial]) to verify the declarations the
+     compiled path would trust. *)
+  let shuffled = match mode with Shuffle _ -> true | Multi | One_per_cycle -> false in
+  let compilable =
+    compile && (not par) && fastpath && (not audit) && (not partition_audit)
+    && (not compile_audit)
+    && mode <> One_per_cycle
+    && rules <> []
+  in
+  if compilable || compile_audit then begin
+    let an = analyze_schedule ~shuffled rules_arr in
+    let n = Array.length rules_arr in
+    let tier i =
+      if not an.an_chk_free.(i) then 'I'
+      else if rules_arr.(i).Rule.total then 'A'
+      else 'B'
+    in
+    let na = ref 0 and nb = ref 0 and ni = ref 0 in
+    for i = 0 to n - 1 do
+      match tier i with 'A' -> incr na | 'B' -> incr nb | _ -> incr ni
+    done;
+    t.cstats <- (!na, !nb, !ni);
+    t.creport <- render_compile_report rules_arr an ~tier;
+    t.cchk_free <- an.an_chk_free;
+    if compile_audit then begin
+      t.cwhy <- "compile-audit: interpreted run verifying footprints and totality claims";
+      t.cfp_hooks <- Array.map mk_fp_hook rules_arr
+    end
+    else begin
+      match an.an_opaque with
+      | Some nm ->
+        t.cwhy <- Printf.sprintf "interpreted: rule %s has no declared footprint" nm
+      | None ->
+        t.cwhy <-
+          Printf.sprintf
+            "compiled: %d/%d rules run unchecked (%d of those also unlogged), %d interpreted"
+            (!na + !nb) n !na !ni;
+        if !na + !nb > 0 then
+          t.crunners <-
+            Array.map
+              (fun (r : Rule.t) ->
+                let free = an.an_chk_free.(r.Rule.rid) in
+                mk_runner t r ~chk:(not free) ~log:(not (free && r.Rule.total)))
+              rules_arr
+    end
+  end
+  else
+    t.cwhy <-
+      (if not compile then "interpreted: compilation disabled"
+       else if par then "interpreted: parallel partitions active (jobs > 1)"
+       else if not fastpath then "interpreted: fast path disabled"
+       else if audit then "interpreted: audit mode"
+       else if partition_audit then "interpreted: partition-audit mode"
+       else if mode = One_per_cycle then "interpreted: One_per_cycle mode"
+       else "interpreted: empty rule set");
   State.register ~name:"sim.sched"
     ~save:(fun () ->
       let ord = Array.map (fun (r : Rule.t) -> r.Rule.rid) t.order in
@@ -448,35 +784,6 @@ let shuffle rng a =
     a.(j) <- tmp
   done
 
-(* Fast-path decision: should [r] be skipped without an attempt this cycle?
-   Only rules carrying a [can_fire] predicate are ever skipped. A skippable
-   rule with a (non-empty) watch set parks: while parked, the per-cycle cost
-   is one generation-sum comparison; the predicate is re-evaluated only when
-   a watched signal was touched. Watchless rules re-evaluate the predicate
-   every cycle (still far cheaper than a transactional attempt). *)
-let should_skip (r : Rule.t) =
-  match r.can_fire with
-  | None -> false
-  | Some p ->
-    if r.parked then
-      if Wakeup.sum r.watches = r.park_sum then true
-      else if p () then begin
-        r.parked <- false;
-        false
-      end
-      else begin
-        r.park_sum <- Wakeup.sum r.watches;
-        true
-      end
-    else if p () then false
-    else begin
-      if Array.length r.watches > 0 then begin
-        r.parked <- true;
-        r.park_sum <- Wakeup.sum r.watches
-      end;
-      true
-    end
-
 let cycle_serial t =
   (match t.rng with Some rng -> shuffle rng t.order | None -> ());
   let fired = ref 0 in
@@ -515,8 +822,30 @@ let cycle_serial t =
       in
       Kernel.set_rule_name ctx r.Rule.name;
       if t.paudit then Kernel.set_partition ctx r.Rule.part;
+      (* Compile audit: install this rule's footprint-coverage hook, flag a
+         would-be tier-A rule for the totality check in [Kernel.attempt],
+         and baseline the Retry counter — a Retry observed in a rule the
+         analysis classified conflict-admissible (even one swallowed by an
+         inner [attempt]) falsifies the classification. *)
+      let rbase =
+        if t.caudit then begin
+          Kernel.set_fp_check ctx t.cfp_hooks.(r.Rule.rid);
+          Kernel.set_total_audit ctx (t.cchk_free.(r.Rule.rid) && r.Rule.total);
+          Kernel.retries ctx
+        end
+        else 0
+      in
+      let audit_retry_check () =
+        if t.caudit && t.cchk_free.(r.Rule.rid) && Kernel.retries ctx > rbase then
+          raise
+            (Kernel.Compile_audit_fail
+               (Printf.sprintf
+                  "rule %s was classified conflict-admissible but raised Retry (cycle %d); its footprint or the conflict analysis is wrong"
+                  r.Rule.name t.n_cycles))
+      in
       (match r.Rule.body ctx with
       | () ->
+        audit_retry_check ();
         if (not claimed) && ((not r.Rule.vacuous) || Kernel.undo_depth ctx > 0) then begin
           Kernel.rollback ctx;
           raise
@@ -534,10 +863,12 @@ let cycle_serial t =
       | exception Kernel.Guard_fail _ ->
         Kernel.rollback ctx;
         Kernel.reset_ctx ctx;
+        audit_retry_check ();
         r.Rule.guard_failed <- r.Rule.guard_failed + 1
       | exception Kernel.Retry msg ->
         Kernel.rollback ctx;
         Kernel.reset_ctx ctx;
+        audit_retry_check ();
         (* If nothing fired yet this cycle, the conflict is within the rule
            itself: no schedule can ever admit it. Fail loudly, like the BSV
            compiler rejecting an ill-formed rule. *)
@@ -652,7 +983,45 @@ let cycle_par t =
   done;
   !fired
 
-let cycle t = if t.par then cycle_par t else cycle_serial t
+(* The compiled cycle: one indirect call per rule through the specialized
+   runner array (indexed by rid so Shuffle permutations cost nothing), with
+   the fired count and history names accumulated in the sim record instead
+   of per-cycle refs. The tier flags are restored before the end-of-cycle
+   hooks so any code sharing [t.ctx] (monitors, snapshot glue, the next
+   interpreted consumer) sees a fully checked context. *)
+let cycle_compiled t =
+  (match t.rng with Some rng -> shuffle rng t.order | None -> ());
+  t.cfired <- 0;
+  t.cnames <- [];
+  let order = t.order in
+  let runners = t.crunners in
+  for i = 0 to Array.length order - 1 do
+    (Array.unsafe_get runners (Array.unsafe_get order i).Rule.rid) ()
+  done;
+  Kernel.set_tier t.ctx ~chk:true ~log:true;
+  let fired = t.cfired in
+  if t.history_depth > 0 then
+    t.history.(t.n_cycles mod t.history_depth) <- (t.n_cycles, List.rev t.cnames);
+  t.cnames <- [];
+  Clock.tick t.clk;
+  let this_cycle = t.n_cycles in
+  t.n_cycles <- t.n_cycles + 1;
+  t.fires <- t.fires + fired;
+  let hooks = end_hooks t in
+  for h = 0 to Array.length hooks - 1 do
+    hooks.(h) this_cycle fired
+  done;
+  fired
+
+let cycle t =
+  if t.par then cycle_par t
+  else if Array.length t.crunners > 0 then cycle_compiled t
+  else cycle_serial t
+
+let compiled t = Array.length t.crunners > 0
+let compile_status t = t.cwhy
+let compile_report t = t.creport
+let compile_stats t = t.cstats
 
 let run t n =
   for _ = 1 to n do

@@ -90,13 +90,46 @@ type t
     identically at any [jobs]. [run_until]'s [on_cycle] (the fault-injection
     hook) runs on the main domain {e before} the cycle's parallel phase is
     dispatched, so injected flips are ordinary pre-cycle state changes and
-    campaigns stay deterministic under [jobs > 1]. *)
+    campaigns stay deterministic under [jobs > 1].
+
+    {2 Schedule compilation}
+
+    With [compile] (the default), elaboration derives the pairwise conflict
+    matrix from the rules' declared footprints ([Rule.make ~fp]) plus the
+    EHR/FIFO port orderings, and specializes a per-rule step closure for
+    every rule of a serial fast-path schedule:
+
+    - {e tier A} — every conflict pair the rule forms is statically
+      admissible in the schedule order {e and} the rule is declared
+      [~total]: runs with neither port-admissibility bookkeeping nor undo
+      logging (a wrong totality claim raises [Kernel.Conflict_error] the
+      moment it would matter, instead of silently diverging);
+    - {e tier B} — statically admissible: bookkeeping off, undo log kept
+      (guard aborts still roll back);
+    - {e interpreted} — everything else runs fully checked, inside the same
+      compiled loop.
+
+    A single rule without a footprint keeps the whole design interpreted
+    (an opaque body may touch anything). Compilation never changes results:
+    fire counts, history, traces and architectural state are bit-identical
+    with [compile] on or off. It applies only to serial ([jobs = 1] or no
+    partitions) fast-path runs in [Multi]/[Shuffle] modes; under [Shuffle]
+    a pair must be conflict-free both ways to count as admissible.
+
+    [~compile_audit:true] runs interpreted but dynamically discharges the
+    compiler's proof obligations: every tracked access must fall on a
+    declared (primitive, direction); a [Retry] in a rule classified
+    admissible, or an abort that rolls back tracked writes in a rule
+    claiming [~total], raises [Kernel.Compile_audit_fail]
+    ([--compile-audit] in the driver). *)
 val create :
   ?mode:mode ->
   ?fastpath:bool ->
   ?audit:bool ->
   ?jobs:int ->
   ?partition_audit:bool ->
+  ?compile:bool ->
+  ?compile_audit:bool ->
   ?stats:Stats.t ->
   Clock.t ->
   Rule.t list ->
@@ -162,6 +195,24 @@ val run_until :
 val cycles : t -> int
 val total_fires : t -> int
 val rules : t -> Rule.t list
+
+(** {2 Schedule-compilation introspection} *)
+
+(** Whether this scheduler runs the compiled per-rule step closures. *)
+val compiled : t -> bool
+
+(** One-line outcome of the compilation phase: what was compiled, or why
+    the schedule stays interpreted. *)
+val compile_status : t -> string
+
+(** Tier table plus the full pairwise conflict-matrix dump (empty when no
+    analysis ran — e.g. [~compile:false] with no audit). The driver prints
+    this under [--compile-audit]; CI archives it when bit-identity fails. *)
+val compile_report : t -> string
+
+(** [(tier_a, tier_b, interpreted)] rule counts from the analysis;
+    [(0, 0, 0)] when no analysis ran. *)
+val compile_stats : t -> int * int * int
 
 (** {2 Observability (verification layer)} *)
 

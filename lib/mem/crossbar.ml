@@ -18,45 +18,57 @@ let rules children ~l2 =
      child queue — deq of creq/cresp, enq of preq/presp — mirroring the
      L1 ticks' declarations of the opposite sides. *)
   let child_tks f = Array.to_list (Array.map f children) in
+  (* Footprints: pure movers touch only their source/destination queues.
+     Every sub-step checks the destination's [can_enq] (and peeks the source
+     with [first]) before dequeuing, so a cf-FIFO guard can only fail before
+     any tracked write — the rules are abort-free and declared [~total]. *)
+  let child_fps f = List.concat_map f (Array.to_list children) in
+  let move ctx ~src ~dst =
+    ignore
+      (Kernel.attempt ctx (fun ctx ->
+           Kernel.guard ctx (Fifo.can_enq ctx dst) "dst full";
+           Fifo.enq ctx dst (Fifo.deq ctx src)))
+  in
   let up_resp =
     Rule.make "xbar.up.resp"
       ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.cresp > 0) children)
       ~watches:(child_sigs (fun ep -> Fifo.signal ep.cresp))
       ~touches:(child_tks (fun ep -> Fifo.deq_token ep.cresp))
-      ~vacuous:true
-      (fun ctx ->
-        Array.iter
-          (fun ep ->
-            ignore
-              (Kernel.attempt ctx (fun ctx -> Fifo.enq ctx (L2_cache.cresp_in l2) (Fifo.deq ctx ep.cresp))))
-          children)
+      ~fp:
+        (child_fps (fun ep -> [ Fifo.fp_deq ep.cresp ])
+        @ [ Fifo.fp_can_enq (L2_cache.cresp_in l2); Fifo.fp_enq (L2_cache.cresp_in l2) ])
+      ~total:true ~vacuous:true
+      (fun ctx -> Array.iter (fun ep -> move ctx ~src:ep.cresp ~dst:(L2_cache.cresp_in l2)) children)
   in
   let up_req =
     Rule.make "xbar.up.req"
       ~can_fire:(fun () -> Array.exists (fun ep -> Fifo.peek_size ep.creq > 0) children)
       ~watches:(child_sigs (fun ep -> Fifo.signal ep.creq))
       ~touches:(child_tks (fun ep -> Fifo.deq_token ep.creq))
-      ~vacuous:true
-      (fun ctx ->
-        Array.iter
-          (fun ep ->
-            ignore
-              (Kernel.attempt ctx (fun ctx -> Fifo.enq ctx (L2_cache.creq_in l2) (Fifo.deq ctx ep.creq))))
-          children)
+      ~fp:
+        (child_fps (fun ep -> [ Fifo.fp_deq ep.creq ])
+        @ [ Fifo.fp_can_enq (L2_cache.creq_in l2); Fifo.fp_enq (L2_cache.creq_in l2) ])
+      ~total:true ~vacuous:true
+      (fun ctx -> Array.iter (fun ep -> move ctx ~src:ep.creq ~dst:(L2_cache.creq_in l2)) children)
   in
   let down_resp =
     Rule.make "xbar.down.resp"
       ~can_fire:(fun () -> Fifo.peek_size (L2_cache.presp_out l2) > 0)
       ~watches:[ Fifo.signal (L2_cache.presp_out l2) ]
       ~touches:(child_tks (fun ep -> Fifo.enq_token ep.presp))
-      ~vacuous:true
+      ~fp:
+        ([ Fifo.fp_first (L2_cache.presp_out l2); Fifo.fp_deq (L2_cache.presp_out l2) ]
+        @ child_fps (fun ep -> [ Fifo.fp_can_enq ep.presp; Fifo.fp_enq ep.presp ]))
+      ~total:true ~vacuous:true
       (fun ctx ->
         (* drain as many grants as the destinations accept this cycle *)
         let continue = ref true in
         while !continue do
           match
             Kernel.attempt ctx (fun ctx ->
-                let child, (g : Msg.presp) = Fifo.deq ctx (L2_cache.presp_out l2) in
+                let child, (g : Msg.presp) = Fifo.first ctx (L2_cache.presp_out l2) in
+                Kernel.guard ctx (Fifo.can_enq ctx children.(child).presp) "dst full";
+                ignore (Fifo.deq ctx (L2_cache.presp_out l2));
                 Fifo.enq ctx children.(child).presp g)
           with
           | Some () -> ()
@@ -68,13 +80,18 @@ let rules children ~l2 =
       ~can_fire:(fun () -> Fifo.peek_size (L2_cache.preq_out l2) > 0)
       ~watches:[ Fifo.signal (L2_cache.preq_out l2) ]
       ~touches:(child_tks (fun ep -> Fifo.enq_token ep.preq))
-      ~vacuous:true
+      ~fp:
+        ([ Fifo.fp_first (L2_cache.preq_out l2); Fifo.fp_deq (L2_cache.preq_out l2) ]
+        @ child_fps (fun ep -> [ Fifo.fp_can_enq ep.preq; Fifo.fp_enq ep.preq ]))
+      ~total:true ~vacuous:true
       (fun ctx ->
         let continue = ref true in
         while !continue do
           match
             Kernel.attempt ctx (fun ctx ->
-                let child, (d : Msg.preq) = Fifo.deq ctx (L2_cache.preq_out l2) in
+                let child, (d : Msg.preq) = Fifo.first ctx (L2_cache.preq_out l2) in
+                Kernel.guard ctx (Fifo.can_enq ctx children.(child).preq) "dst full";
+                ignore (Fifo.deq ctx (L2_cache.preq_out l2));
                 Fifo.enq ctx children.(child).preq d)
           with
           | Some () -> ()

@@ -51,6 +51,9 @@ let resp ctx t =
   let _, line, data = Fifo.deq ctx t.pending in
   (line, data)
 
+let fp_use t =
+  [ Fifo.fp_enq t.pending; Fifo.fp_first t.pending; Fifo.fp_deq t.pending; Fifo.fp_can_deq t.pending ]
+
 let busy t = Fifo.peek_size t.pending > 0
 let reads t = t.n_reads
 let writes t = t.n_writes

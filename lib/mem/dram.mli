@@ -22,6 +22,12 @@ val resp : Cmd.Kernel.ctx -> t -> int64 * Bytes.t
 
 val can_resp : Cmd.Kernel.ctx -> t -> bool
 
+(** Footprint atoms ([Rule.make ~fp]) covering every tracked access the DRAM
+    model can make on behalf of a calling rule — [req_read], [can_resp] and
+    [resp] all go through the pending queue; [req_write] touches no tracked
+    cell. *)
+val fp_use : t -> Cmd.Conflict.atom list
+
 (** Untracked: some read is in flight (possibly not yet ready) — part of the
     L2 tick rule's [can_fire]. *)
 val busy : t -> bool

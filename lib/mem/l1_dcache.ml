@@ -381,7 +381,27 @@ let tick t =
       Fifo.deq_token t.presp_i;
     ]
   in
-  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Tracked footprint: the core-side request/response queues plus the four
+     crossbar-side queues. Lines, MSHRs and the rotor are raw [Mut] state
+     private to this rule. *)
+  let fp =
+    [
+      Fifo.fp_first t.req_q;
+      Fifo.fp_deq t.req_q;
+      Fifo.fp_can_enq t.resp_ld_q;
+      Fifo.fp_enq t.resp_ld_q;
+      Fifo.fp_can_enq t.resp_st_q;
+      Fifo.fp_enq t.resp_st_q;
+      Fifo.fp_can_enq t.resp_at_q;
+      Fifo.fp_enq t.resp_at_q;
+      Fifo.fp_enq t.creq_o;
+      Fifo.fp_enq t.cresp_o;
+      Fifo.fp_first t.preq_i;
+      Fifo.fp_deq t.preq_i;
+      Fifo.fp_deq t.presp_i;
+    ]
+  in
+  Rule.make ~can_fire ~watches ~touches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       Array.iter (fun m -> ignore (Kernel.attempt ctx (fun ctx -> step_drain ctx t m))) t.mshrs;
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
@@ -400,6 +420,13 @@ let resp_st ctx t = Fifo.deq ctx t.resp_st_q
 let can_resp_st ctx t = Fifo.can_deq ctx t.resp_st_q
 let resp_at ctx t = Fifo.deq ctx t.resp_at_q
 let can_resp_at ctx t = Fifo.can_deq ctx t.resp_at_q
+
+(* footprint atoms for the core rules calling the methods above; [write_data]
+   mutates only raw line state and needs no atoms *)
+let fp_req t = [ Fifo.fp_can_enq t.req_q; Fifo.fp_enq t.req_q ]
+let fp_resp_ld t = [ Fifo.fp_can_deq t.resp_ld_q; Fifo.fp_deq t.resp_ld_q ]
+let fp_resp_st t = [ Fifo.fp_can_deq t.resp_st_q; Fifo.fp_deq t.resp_st_q ]
+let fp_resp_at t = [ Fifo.fp_can_deq t.resp_at_q; Fifo.fp_deq t.resp_at_q ]
 
 (* untracked response-availability probes + signals, for core-rule can_fire *)
 let resp_ld_ready t = Fifo.peek_size t.resp_ld_q > 0

@@ -155,7 +155,21 @@ let tick t =
       Fifo.deq_token t.presp_i;
     ]
   in
-  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Tracked footprint: the core-side queues plus the four crossbar-side
+     queues. Lines, the miss slot and the rotor are raw [Mut] state. *)
+  let fp =
+    [
+      Fifo.fp_first t.req_q;
+      Fifo.fp_deq t.req_q;
+      Fifo.fp_enq t.resp_q;
+      Fifo.fp_enq t.creq_o;
+      Fifo.fp_enq t.cresp_o;
+      Fifo.fp_first t.preq_i;
+      Fifo.fp_deq t.preq_i;
+      Fifo.fp_deq t.presp_i;
+    ]
+  in
+  Rule.make ~can_fire ~watches ~touches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_presp ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_preq ctx t) in
       let _ = Kernel.attempt ctx (fun ctx -> step_req ctx t) in
@@ -166,6 +180,8 @@ let req ctx t ~tag pc = Fifo.enq ctx t.req_q (tag, pc)
 let can_req ctx t = Fifo.can_enq ctx t.req_q
 let resp ctx t = Fifo.deq ctx t.resp_q
 let can_resp ctx t = Fifo.can_deq ctx t.resp_q
+let fp_req t = [ Fifo.fp_can_enq t.req_q; Fifo.fp_enq t.req_q ]
+let fp_resp t = [ Fifo.fp_can_deq t.resp_q; Fifo.fp_deq t.resp_q ]
 let resp_ready t = Fifo.peek_size t.resp_q > 0
 let resp_signal t = Fifo.signal t.resp_q
 let creq_out t = t.creq_o

@@ -423,7 +423,34 @@ let tick t =
     || Fifo.peek_size t.walk_req_q > 0
   in
   let watches = [ Fifo.signal t.cresp_q; Fifo.signal t.creq_q; Fifo.signal t.walk_req_q ] in
-  Rule.make ~can_fire ~watches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Tracked footprint: the six boundary queues, the three delay queues and
+     the DRAM pending queue. Lines, MSHRs and the rotor are raw [Mut] state
+     (invisible to the conflict matrix) private to this rule. *)
+  let fp =
+    [
+      Fifo.fp_first t.creq_q;
+      Fifo.fp_deq t.creq_q;
+      Fifo.fp_deq t.cresp_q;
+      Fifo.fp_can_enq t.preq_o;
+      Fifo.fp_enq t.preq_o;
+      Fifo.fp_can_enq t.presp_o;
+      Fifo.fp_enq t.presp_o;
+      Fifo.fp_first t.walk_req_q;
+      Fifo.fp_deq t.walk_req_q;
+      Fifo.fp_enq t.walk_resp_q;
+      Fifo.fp_enq t.presp_delay;
+      Fifo.fp_first t.presp_delay;
+      Fifo.fp_deq t.presp_delay;
+      Fifo.fp_enq t.preq_delay;
+      Fifo.fp_first t.preq_delay;
+      Fifo.fp_deq t.preq_delay;
+      Fifo.fp_enq t.walk_delay;
+      Fifo.fp_first t.walk_delay;
+      Fifo.fp_deq t.walk_delay;
+    ]
+    @ Dram.fp_use t.dram
+  in
+  Rule.make ~can_fire ~watches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       step_delays ctx t;
       (* responses first, unconditionally, all of them *)
       let continue = ref true in
@@ -449,6 +476,8 @@ let creq_in t = t.creq_q
 let cresp_in t = t.cresp_q
 let preq_out t = t.preq_o
 let presp_out t = t.presp_o
+let fp_walk_req t = [ Fifo.fp_can_enq t.walk_req_q; Fifo.fp_enq t.walk_req_q ]
+let fp_walk_resp t = [ Fifo.fp_can_deq t.walk_resp_q; Fifo.fp_deq t.walk_resp_q ]
 let walk_req ctx t ~tag addr = Fifo.enq ctx t.walk_req_q (tag, addr)
 let can_walk_req ctx t = Fifo.can_enq ctx t.walk_req_q
 let walk_resp ctx t = Fifo.deq ctx t.walk_resp_q

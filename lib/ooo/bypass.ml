@@ -14,3 +14,7 @@ let get ctx t preg =
       | None -> (
         match Wire.get ctx w with Some (p, v) when p = preg -> Some v | _ -> None))
     None t
+
+(* [get] scans every wire, so a reading rule declares all of them *)
+let fp_set t i = Wire.fp_set t.(i)
+let fp_get_all t = Array.to_list (Array.map Wire.fp_get t)

@@ -1045,8 +1045,9 @@ let step_resp_at ctx t =
    and [watches] follow the one-sided contract documented in {!Cmd.Rule}:
    the predicate may be conservatively true, but must never be false when
    the body could commit an effect. *)
-let mk ?can_fire ?watches name f =
-  Rule.make ?can_fire ?watches ~vacuous:true name (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> f ctx)))
+let mk ?can_fire ?watches ?fp ?total name f =
+  Rule.make ?can_fire ?watches ?fp ?total ~vacuous:true name
+    (fun ctx -> ignore (Kernel.attempt ctx (fun ctx -> f ctx)))
 
 let rules ?(schedule = `Aggressive) t =
   Partition.scoped (t.hart_id + 1) @@ fun () ->
@@ -1063,14 +1064,30 @@ let rules ?(schedule = `Aggressive) t =
   (* predicate/watch helpers *)
   let stage s = (Some (fun () -> Stage.occupied s), Some [ Stage.signal s ]) in
   let fifo q = (Some (fun () -> Fifo.peek_size q > 0), Some [ Fifo.signal q ]) in
-  let mk_stage s name f = let can_fire, watches = stage s in mk ?can_fire ?watches name f in
-  let mk_fifo q name f = let can_fire, watches = fifo q in mk ?can_fire ?watches name f in
+  let mk_stage s ~fp name f = let can_fire, watches = stage s in mk ?can_fire ?watches ~fp name f in
+  let mk_fifo q ~fp name f = let can_fire, watches = fifo q in mk ?can_fire ?watches ~fp name f in
+  (* conflict footprints ([Rule.make ~fp]): only EHR-backed state counts —
+     cf queues, stage slots, bypass wires, and the cache/TLB interface
+     queues. Everything else in the core is plain [Mut] state, invisible to
+     the port-order matrix. *)
+  let squash_fps =
+    Array.to_list (Array.map Stage.fp_squash t.alu_rr)
+    @ Array.to_list (Array.map Stage.fp_squash t.alu_ex)
+    @ Array.to_list (Array.map Stage.fp_squash t.alu_wb)
+    @ [ Stage.fp_squash t.md_rr; Stage.fp_squash t.md_ex; Stage.fp_squash t.md_wb;
+        Stage.fp_squash t.mem_rr ]
+  in
+  (* both flush paths (mispredict, commit-time load kill) clear d2r and
+     squash every stage slot *)
+  let flush_fps = Fifo.fp_clear t.d2r :: squash_fps in
+  let byp_read = if t.cfg.bypass then Bypass.fp_get_all t.byp else [] in
   let commit =
     (* [commit_one] guards on [not halted] and a ROB head; ROB occupancy is
        plain mutable state, so the rule is watchless (predicate re-checked
        every cycle). *)
     Rule.make ~vacuous:true
       ~can_fire:(fun () -> (not t.halted_f) && Rob.count t.rob > 0)
+      ~fp:(Mem.L1_dcache.fp_req t.dc @ flush_fps)
       (n ^ ".commit")
       (fun ctx -> step_commit ctx t)
   in
@@ -1078,23 +1095,39 @@ let rules ?(schedule = `Aggressive) t =
     mk
       ~can_fire:(fun () -> Mem.L1_dcache.resp_at_ready t.dc)
       ~watches:[ Mem.L1_dcache.resp_at_signal t.dc ]
+      ~fp:(Mem.L1_dcache.fp_resp_at t.dc)
       (n ^ ".respAt")
       (fun ctx -> step_resp_at ctx t)
   in
   let wb_alu =
     List.init t.cfg.n_alu (fun i ->
-        mk_stage t.alu_wb.(i) (Printf.sprintf "%s.alu%d.wb" n i) (fun ctx -> step_wb_alu ctx t i))
+        mk_stage t.alu_wb.(i)
+          ~fp:[ Stage.fp_take t.alu_wb.(i); Bypass.fp_set t.byp ((2 * i) + 1) ]
+          (Printf.sprintf "%s.alu%d.wb" n i)
+          (fun ctx -> step_wb_alu ctx t i))
   in
   let ex_alu =
     List.init t.cfg.n_alu (fun i ->
-        mk_stage t.alu_ex.(i) (Printf.sprintf "%s.alu%d.ex" n i) (fun ctx -> step_exec_alu ctx t i))
+        mk_stage t.alu_ex.(i)
+          ~fp:
+            ([ Stage.fp_can_put t.alu_wb.(i);
+               Stage.fp_take t.alu_ex.(i); Bypass.fp_set t.byp (2 * i);
+               Stage.fp_put t.alu_wb.(i) ]
+            @ flush_fps)
+          (Printf.sprintf "%s.alu%d.ex" n i)
+          (fun ctx -> step_exec_alu ctx t i))
   in
   let md =
     [
-      mk_stage t.md_wb (n ^ ".md.wb") (fun ctx -> step_wb_md ctx t);
+      mk_stage t.md_wb ~fp:[ Stage.fp_take t.md_wb ] (n ^ ".md.wb") (fun ctx -> step_wb_md ctx t);
       (* the multiplier's completion-time guard is ignored by the predicate:
          an occupied-but-not-ready stage attempts and guard-fails, as before *)
-      mk_stage t.md_ex (n ^ ".md.ex") (fun ctx -> step_exec_md ctx t);
+      mk_stage t.md_ex
+        ~fp:
+          [ Stage.fp_can_put t.md_wb; Stage.fp_take t.md_ex;
+            Stage.fp_put t.md_wb ]
+        (n ^ ".md.ex")
+        (fun ctx -> step_exec_md ctx t);
     ]
   in
   let resp_ld =
@@ -1102,22 +1135,50 @@ let rules ?(schedule = `Aggressive) t =
       mk
         ~can_fire:(fun () -> Mem.L1_dcache.resp_ld_ready t.dc)
         ~watches:[ Mem.L1_dcache.resp_ld_signal t.dc ]
+        ~fp:(Mem.L1_dcache.fp_resp_ld t.dc)
         (n ^ ".respLd")
         (fun ctx -> step_resp_ld_cache ctx t);
-      mk_fifo t.forward_q (n ^ ".respLdFwd") (fun ctx -> step_resp_ld_fwd ctx t);
+      mk_fifo t.forward_q ~fp:[ Fifo.fp_deq t.forward_q ] (n ^ ".respLdFwd")
+        (fun ctx -> step_resp_ld_fwd ctx t);
     ]
   in
   let rr_alu =
     List.init t.cfg.n_alu (fun i ->
-        mk_stage t.alu_rr.(i) (Printf.sprintf "%s.alu%d.rr" n i) (fun ctx -> step_regread_alu ctx t i))
+        mk_stage t.alu_rr.(i)
+          ~fp:
+            ([ Stage.fp_can_put t.alu_ex.(i) ]
+            @ byp_read
+            @ [ Stage.fp_take t.alu_rr.(i); Stage.fp_put t.alu_ex.(i) ])
+          (Printf.sprintf "%s.alu%d.rr" n i)
+          (fun ctx -> step_regread_alu ctx t i))
   in
-  let rr_md = [ mk_stage t.md_rr (n ^ ".md.rr") (fun ctx -> step_regread_md ctx t) ] in
-  let rr_mem = [ mk_stage t.mem_rr (n ^ ".mem.rr") (fun ctx -> step_regread_mem ctx t) ] in
+  let rr_md =
+    [
+      mk_stage t.md_rr
+        ~fp:
+          ([ Stage.fp_can_put t.md_ex ]
+          @ byp_read
+          @ [ Stage.fp_take t.md_rr; Stage.fp_put t.md_ex ])
+        (n ^ ".md.rr")
+        (fun ctx -> step_regread_md ctx t);
+    ]
+  in
+  let rr_mem =
+    [
+      mk_stage t.mem_rr
+        ~fp:
+          (byp_read @ Tlb.Tlb_sys.fp_dtlb_req t.tlbs
+          @ [ Stage.fp_take t.mem_rr ])
+        (n ^ ".mem.rr")
+        (fun ctx -> step_regread_mem ctx t);
+    ]
+  in
   let update_lsq =
     [
       mk
         ~can_fire:(fun () -> Tlb.Tlb_sys.dtlb_resp_ready t.tlbs)
         ~watches:[ Tlb.Tlb_sys.dtlb_resp_signal t.tlbs ]
+        ~fp:(Tlb.Tlb_sys.fp_dtlb_resp t.tlbs)
         (n ^ ".updateLsq")
         (fun ctx -> step_update_lsq ctx t);
     ]
@@ -1125,11 +1186,18 @@ let rules ?(schedule = `Aggressive) t =
   let lsu =
     (* LSQ/store-buffer occupancy is plain mutable state: these predicates
        are watchless scans, mirroring the guards of the corresponding step *)
-    [ mk ~can_fire:(fun () -> Lsq.has_issue_ld t.lsq) (n ^ ".issueLd") (fun ctx -> step_issue_ld ctx t) ]
+    [
+      mk
+        ~can_fire:(fun () -> Lsq.has_issue_ld t.lsq)
+        ~fp:(Fifo.fp_enq t.forward_q :: Mem.L1_dcache.fp_req t.dc)
+        (n ^ ".issueLd")
+        (fun ctx -> step_issue_ld ctx t);
+    ]
     @ (if t.cfg.st_prefetch then
          [
            mk
              ~can_fire:(fun () -> Lsq.prefetch_candidate t.lsq <> None)
+             ~fp:(Mem.L1_dcache.fp_req t.dc)
              (n ^ ".stPrefetch")
              (fun ctx -> step_st_prefetch ctx t);
          ]
@@ -1140,11 +1208,13 @@ let rules ?(schedule = `Aggressive) t =
           mk
             ~can_fire:(fun () -> Mem.L1_dcache.resp_st_ready t.dc)
             ~watches:[ Mem.L1_dcache.resp_st_signal t.dc ]
+            ~fp:(Mem.L1_dcache.fp_resp_st t.dc)
             (n ^ ".respSt")
             (fun ctx -> step_resp_st_tso ctx t);
           mk
             ~can_fire:(fun () ->
               (not (Lsq.sq_head_issued t.lsq)) && Lsq.committed_store_head t.lsq <> None)
+            ~fp:(Mem.L1_dcache.fp_req t.dc)
             (n ^ ".issueSt")
             (fun ctx -> step_issue_st_tso ctx t);
         ]
@@ -1153,13 +1223,17 @@ let rules ?(schedule = `Aggressive) t =
           mk
             ~can_fire:(fun () -> Mem.L1_dcache.resp_st_ready t.dc)
             ~watches:[ Mem.L1_dcache.resp_st_signal t.dc ]
+            ~fp:(Mem.L1_dcache.fp_resp_st t.dc)
             (n ^ ".respSt")
             (fun ctx -> step_resp_st_wmm ctx t);
-          mk ~can_fire:(fun () -> Store_buffer.has_unissued t.sb) (n ^ ".sbIssue")
+          mk
+            ~can_fire:(fun () -> Store_buffer.has_unissued t.sb)
+            ~fp:(Mem.L1_dcache.fp_req t.dc) (n ^ ".sbIssue")
             (fun ctx -> step_sb_issue ctx t);
+          (* SB/LSQ bookkeeping only — touches no EHR-backed state at all *)
           mk
             ~can_fire:(fun () -> Lsq.committed_store_head t.lsq <> None)
-            (n ^ ".deqSt")
+            ~fp:[] (n ^ ".deqSt")
             (fun ctx -> step_deq_st_wmm ctx t);
         ])
   in
@@ -1167,21 +1241,36 @@ let rules ?(schedule = `Aggressive) t =
     List.init t.cfg.n_alu (fun i ->
         mk
           ~can_fire:(fun () -> Issue_queue.has_ready t.alu_iqs.(i))
+          ~fp:[ Stage.fp_can_put t.alu_rr.(i); Stage.fp_put t.alu_rr.(i) ]
           (Printf.sprintf "%s.alu%d.issue" n i)
           (fun ctx -> step_issue_alu ctx t i))
     @ [
-        mk ~can_fire:(fun () -> Issue_queue.has_ready t.md_iq) (n ^ ".md.issue")
+        mk
+          ~can_fire:(fun () -> Issue_queue.has_ready t.md_iq)
+          ~fp:[ Stage.fp_can_put t.md_rr; Stage.fp_put t.md_rr ]
+          (n ^ ".md.issue")
           (fun ctx -> step_issue_md ctx t);
-        mk ~can_fire:(fun () -> Issue_queue.has_ready t.mem_iq) (n ^ ".mem.issue")
+        mk
+          ~can_fire:(fun () -> Issue_queue.has_ready t.mem_iq)
+          ~fp:[ Stage.fp_can_put t.mem_rr; Stage.fp_put t.mem_rr ]
+          (n ^ ".mem.issue")
           (fun ctx -> step_issue_mem ctx t);
       ]
   in
-  let decode = [ mk_fifo t.f2d (n ^ ".decode") (fun ctx -> step_decode ctx t) ] in
+  let decode =
+    [
+      mk_fifo t.f2d
+        ~fp:[ Fifo.fp_deq t.f2d; Fifo.fp_enq t.d2r ]
+        (n ^ ".decode")
+        (fun ctx -> step_decode ctx t);
+    ]
+  in
   let rename =
     [
       Rule.make ~vacuous:true
         ~can_fire:(fun () -> Fifo.peek_size t.d2r > 0)
         ~watches:[ Fifo.signal t.d2r ]
+        ~fp:[ Fifo.fp_first t.d2r; Fifo.fp_deq t.d2r ]
         (n ^ ".rename")
         (fun ctx -> step_rename ctx t);
     ]
@@ -1191,20 +1280,29 @@ let rules ?(schedule = `Aggressive) t =
       mk
         ~can_fire:(fun () -> Mem.L1_icache.resp_ready t.ic)
         ~watches:[ Mem.L1_icache.resp_signal t.ic ]
+        ~fp:(Mem.L1_icache.fp_resp t.ic @ [ Fifo.fp_enq t.f2d ])
         (n ^ ".fetch.mem")
         (fun ctx -> step_fetch_mem ctx t);
-      mk
+      (* The three rules below are [~total]: every guard (slot state, FIFO
+         space/occupancy) is checked before the first tracked write, so a
+         commit can never abort half-way. [fetch.mem] is NOT total: it enqueues
+         into [f2d] after consuming the cache response. The claims are
+         discharged dynamically by [--compile-audit]. *)
+      mk ~total:true
         ~can_fire:(fun () ->
           match t.fslots.(t.f_mem mod 8).fst with FReady _ -> true | FFree | FWaitTlb | FWaitMem -> false)
+        ~fp:(Mem.L1_icache.fp_req t.ic)
         (n ^ ".fetch.dispatch")
         (fun ctx -> step_fetch_dispatch ctx t);
-      mk
+      mk ~total:true
         ~can_fire:(fun () -> Tlb.Tlb_sys.itlb_resp_ready t.tlbs)
         ~watches:[ Tlb.Tlb_sys.itlb_resp_signal t.tlbs ]
+        ~fp:(Tlb.Tlb_sys.fp_itlb_resp t.tlbs)
         (n ^ ".fetch.tlb")
         (fun ctx -> step_fetch_tlb ctx t);
-      mk
+      mk ~total:true
         ~can_fire:(fun () -> (not t.halted_f) && t.fslots.(t.f_alloc mod 8).fst = FFree)
+        ~fp:(Tlb.Tlb_sys.fp_itlb_req t.tlbs)
         (n ^ ".fetch.issue")
         (fun ctx -> step_fetch_issue ctx t);
     ]

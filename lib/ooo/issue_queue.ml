@@ -2,11 +2,12 @@ open Cmd
 
 type entry = { mutable used : bool; mutable u : Uop.t option; mutable rdy1 : bool; mutable rdy2 : bool }
 
-type t = { nm : string; entries : entry array; mutable n : int }
+type t = { nm : string; m_full : string; entries : entry array; mutable n : int }
 
 let create ~name ~size =
   let t =
-    { nm = name; entries = Array.init size (fun _ -> { used = false; u = None; rdy1 = true; rdy2 = true }); n = 0 }
+    { nm = name; m_full = name ^ " full";
+      entries = Array.init size (fun _ -> { used = false; u = None; rdy1 = true; rdy2 = true }); n = 0 }
   in
   State.field ~name
     (fun () -> (t.entries, t.n))
@@ -26,7 +27,7 @@ let free_entry ctx e =
   fld ctx (fun () -> e.u) (fun v -> e.u <- v) None
 
 let enter ctx t u ~rdy1 ~rdy2 =
-  Kernel.guard ctx (can_enter t) (t.nm ^ " full");
+  Kernel.guard ctx (can_enter t) t.m_full;
   let rec find i = if t.entries.(i).used then find (i + 1) else t.entries.(i) in
   let e = find 0 in
   fld ctx (fun () -> e.used) (fun v -> e.used <- v) true;

@@ -1,8 +1,16 @@
 open Cmd
 
-type 'a t = { slot : 'a option Ehr.t; dead : 'a -> bool; nm : string }
+type 'a t = {
+  slot : 'a option Ehr.t;
+  dead : 'a -> bool;
+  nm : string;
+  m_occupied : string; (* guard messages precomputed: stages sit on the *)
+  m_empty : string; (* hottest per-cycle paths *)
+}
 
-let create ~name ~dead = { slot = Ehr.create ~name None; dead; nm = name }
+let create ~name ~dead =
+  { slot = Ehr.create ~name None; dead; nm = name;
+    m_occupied = name ^ " occupied"; m_empty = name ^ " empty" }
 
 (* ports: take/peek 0, put 1, squash 2 *)
 
@@ -14,7 +22,7 @@ let drop_if_dead ctx t port =
   | x -> x
 
 let put ctx t v =
-  Kernel.guard ctx (Ehr.read ctx t.slot 1 = None) (t.nm ^ " occupied");
+  Kernel.guard ctx (Ehr.read ctx t.slot 1 = None) t.m_occupied;
   Ehr.write ctx t.slot 1 (Some v)
 
 let can_put ctx t = Ehr.read ctx t.slot 1 = None
@@ -22,14 +30,14 @@ let can_put ctx t = Ehr.read ctx t.slot 1 = None
 let peek ctx t =
   match drop_if_dead ctx t 0 with
   | Some v -> v
-  | None -> raise (Kernel.Guard_fail (t.nm ^ " empty"))
+  | None -> raise (Kernel.Guard_fail t.m_empty)
 
 let take ctx t =
   match drop_if_dead ctx t 0 with
   | Some v ->
     Ehr.write ctx t.slot 0 None;
     v
-  | None -> raise (Kernel.Guard_fail (t.nm ^ " empty"))
+  | None -> raise (Kernel.Guard_fail t.m_empty)
 
 let squash ctx t =
   match Ehr.read ctx t.slot 2 with
@@ -39,3 +47,11 @@ let squash ctx t =
 let peek_opt t = Ehr.peek t.slot
 let occupied t = Ehr.peek t.slot <> None
 let signal t = Ehr.signal t.slot
+
+(* Conflict footprints. [take]/[peek] go through [drop_if_dead], which may
+   WRITE port 0 (dropping a dead occupant), so both declare the write. *)
+let fp_take t = Ehr.fp t.slot ~label:(t.nm ^ ".take") [ (false, 0); (true, 0) ]
+let fp_peek t = Ehr.fp t.slot ~label:(t.nm ^ ".peek") [ (false, 0); (true, 0) ]
+let fp_put t = Ehr.fp t.slot ~label:(t.nm ^ ".put") [ (false, 1); (true, 1) ]
+let fp_can_put t = Ehr.fp t.slot ~label:(t.nm ^ ".can_put") [ (false, 1) ]
+let fp_squash t = Ehr.fp t.slot ~label:(t.nm ^ ".squash") [ (false, 2); (true, 2) ]

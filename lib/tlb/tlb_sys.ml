@@ -306,7 +306,22 @@ let tick t =
      crossbar (this TLB enqs requests, deqs responses). The core-side
      req/resp queues stay inside the core's partition. *)
   let touches = [ Fifo.enq_token t.wreq; Fifo.deq_token t.wresp ] in
-  Rule.make ~can_fire ~watches ~touches ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  (* Tracked footprint: both L1-side queue pairs and the walk-memory pair.
+     TLB arrays, miss slots, walk slots and the walk cache are raw [Mut]
+     state private to this rule. *)
+  let fp =
+    [
+      Fifo.fp_first t.i.req_q;
+      Fifo.fp_deq t.i.req_q;
+      Fifo.fp_enq t.i.resp_q;
+      Fifo.fp_first t.d.req_q;
+      Fifo.fp_deq t.d.req_q;
+      Fifo.fp_enq t.d.resp_q;
+      Fifo.fp_enq t.wreq;
+      Fifo.fp_deq t.wresp;
+    ]
+  in
+  Rule.make ~can_fire ~watches ~touches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       let _ = Kernel.attempt ctx (fun ctx -> step_walk_resp ctx t) in
       Array.iteri (fun i w -> ignore (Kernel.attempt ctx (fun ctx -> step_walk_issue ctx t i w))) t.walks;
       List.iter
@@ -328,6 +343,10 @@ let dtlb_req ctx t ~tag va = Fifo.enq ctx t.d.req_q (tag, va)
 let can_dtlb_req ctx t = Fifo.can_enq ctx t.d.req_q
 let dtlb_resp ctx t = Fifo.deq ctx t.d.resp_q
 let can_dtlb_resp ctx t = Fifo.can_deq ctx t.d.resp_q
+let fp_itlb_req t = [ Fifo.fp_can_enq t.i.req_q; Fifo.fp_enq t.i.req_q ]
+let fp_itlb_resp t = [ Fifo.fp_can_deq t.i.resp_q; Fifo.fp_deq t.i.resp_q ]
+let fp_dtlb_req t = [ Fifo.fp_can_enq t.d.req_q; Fifo.fp_enq t.d.req_q ]
+let fp_dtlb_resp t = [ Fifo.fp_can_deq t.d.resp_q; Fifo.fp_deq t.d.resp_q ]
 let walk_mem_req t = t.wreq
 let walk_mem_resp t = t.wresp
 let itlb_resp_ready t = Fifo.peek_size t.i.resp_q > 0

@@ -11,12 +11,20 @@ let rules tlbs ~l2 =
         Array.exists (fun t -> Fifo.peek_size (Tlb_sys.walk_mem_req t) > 0) tlbs)
       ~watches:(Array.to_list (Array.map (fun t -> Fifo.signal (Tlb_sys.walk_mem_req t)) tlbs))
       ~touches:(Array.to_list (Array.map (fun t -> Fifo.deq_token (Tlb_sys.walk_mem_req t)) tlbs))
-      ~vacuous:true
+      ~fp:
+        (List.concat_map
+           (fun t -> [ Fifo.fp_deq (Tlb_sys.walk_mem_req t) ])
+           (Array.to_list tlbs)
+        @ Mem.L2_cache.fp_walk_req l2)
+      ~total:true ~vacuous:true
       (fun ctx ->
         Array.iteri
           (fun core t ->
             ignore
               (Kernel.attempt ctx (fun ctx ->
+                   (* walker-port capacity checked before the deq writes, so a
+                      guard failure never rolls anything back *)
+                   Kernel.guard ctx (Mem.L2_cache.can_walk_req ctx l2) "walk port full";
                    let slot, addr = Fifo.deq ctx (Tlb_sys.walk_mem_req t) in
                    Mem.L2_cache.walk_req ctx l2 ~tag:((core lsl slot_bits) lor slot) addr)))
           tlbs)
@@ -26,6 +34,11 @@ let rules tlbs ~l2 =
       ~can_fire:(fun () -> Mem.L2_cache.walk_resp_ready l2)
       ~watches:[ Mem.L2_cache.walk_resp_signal l2 ]
       ~touches:(Array.to_list (Array.map (fun t -> Fifo.enq_token (Tlb_sys.walk_mem_resp t)) tlbs))
+      ~fp:
+        (Mem.L2_cache.fp_walk_resp l2
+        @ List.concat_map
+            (fun t -> [ Fifo.fp_enq (Tlb_sys.walk_mem_resp t) ])
+            (Array.to_list tlbs))
       ~vacuous:true
       (fun ctx ->
         let continue = ref true in

@@ -60,7 +60,7 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
      is not partition-private; force serial execution under cosim. *)
   let jobs = if cosim then 1 else jobs in
@@ -91,7 +91,13 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     match obs with Some hub -> Obs.Hub.pipe hub ~hart:i | None -> Obs.Pipe.null
   in
   let mk_sim clk rules =
-    let sim = Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~stats:stats_t clk rules in
+    (* [compile] is pure strategy — compiled and interpreted schedules are
+       bit-identical — so it stays out of [config_key] below and snapshots
+       move freely between the two. *)
+    let sim =
+      Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~compile ~compile_audit
+        ~stats:stats_t clk rules
+    in
     (match obs with Some hub -> Obs.Hub.attach hub sim | None -> ());
     sim
   in
@@ -352,6 +358,9 @@ let pp_rule_stats fmt t =
   match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()
 
 let rule_list t = match t.sim with Some sim -> Sim.rules sim | None -> []
+let compiled t = match t.sim with Some sim -> Sim.compiled sim | None -> false
+let compile_status t = match t.sim with Some sim -> Sim.compile_status sim | None -> "no scheduler"
+let compile_report t = match t.sim with Some sim -> Sim.compile_report sim | None -> ""
 
 (* Trace committed instructions of every OOO core. Lines land in a
    per-hart Obs.Commit_log (abort-safe, single writer per partition) and

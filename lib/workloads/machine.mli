@@ -58,6 +58,8 @@ val create :
   ?audit:bool ->
   ?jobs:int ->
   ?partition_audit:bool ->
+  ?compile:bool ->
+  ?compile_audit:bool ->
   ?watchdog:int ->
   ?invariants:bool ->
   ?obs:Obs.Hub.t ->
@@ -115,6 +117,13 @@ val pp_rule_stats : Format.formatter -> t -> unit
 (** The scheduler's rules, in schedule order (empty for golden-only) — the
     per-rule [fired] counters are how the snapshot tests check bit-identity. *)
 val rule_list : t -> Cmd.Rule.t list
+
+(** {2 Schedule compilation} — see {!Cmd.Sim.compiled} and friends. *)
+
+val compiled : t -> bool
+
+val compile_status : t -> string
+val compile_report : t -> string
 val pp_core_debug : Format.formatter -> t -> unit
 
 (** {2 Snapshot / restore}

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "riscyoo"
     [
       ("cmd", Test_cmd.suite);
+      ("conflict", Test_conflict.suite);
       ("sched", Test_sched.suite);
       ("par", Test_par.suite);
       ("isa", Test_isa.suite);

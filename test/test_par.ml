@@ -269,6 +269,47 @@ let test_machine_equiv_inorder () =
   in
   check_mc_equiv "inorder/multi" (fp 1) (fp 4)
 
+(* Regression: [shutdown_pool] used to leave the interrupted generation's
+   task queue behind, and the first worker of the respawned pool would claim
+   a stale task — a cached per-cycle step closure of a machine that may have
+   been mutated or discarded since. The shutdown now clears the queue, so
+   tearing the pool down at any point between runs must neither disturb a
+   live compiled sim's cached closures nor leak work into the next parallel
+   generation. *)
+let test_pool_shutdown_compiled_steps () =
+  let run_with ~interrupt =
+    let clk = Clock.create () in
+    let e = Ehr.create ~name:"ps" 0 in
+    let bump =
+      Rule.make "bump"
+        ~fp:[ Ehr.fp e ~label:"bump" [ (false, 0); (true, 0) ] ]
+        ~total:true
+        (fun ctx -> Ehr.write ctx e 0 (Ehr.read ctx e 0 + 1))
+    in
+    let sim = Sim.create clk [ bump ] in
+    Alcotest.(check bool) "synthetic sim compiled" true (Sim.compiled sim);
+    Sim.run sim 60;
+    if interrupt then begin
+      (* put real work through the pool, then kill it mid-session *)
+      let t = make_toy ~jobs:4 2 in
+      Sim.run t.sim 20;
+      Sim.shutdown_pool ()
+    end;
+    (* the compiled sim keeps stepping through its cached closures *)
+    Sim.run sim 40;
+    Ehr.peek e
+  in
+  let clean = run_with ~interrupt:false in
+  let interrupted = run_with ~interrupt:true in
+  Alcotest.(check int) "compiled sim unaffected by pool shutdown" clean interrupted;
+  Alcotest.(check int) "compiled rule fired every cycle" 100 interrupted;
+  (* and the respawned pool starts from a blank slate: no stale task runs,
+     the next parallel generation computes exactly a fresh toy's result *)
+  let fresh = toy_fingerprint (make_toy ~jobs:4 2) 50 in
+  Sim.shutdown_pool ();
+  let after = toy_fingerprint (make_toy ~jobs:4 2) 50 in
+  Alcotest.(check bool) "restarted pool == fresh pool" true (fresh = after)
+
 (* Last test: tear the worker pool down (so later suites in this binary are
    not taxed by idle domains) and prove it respawns for another parallel run. *)
 let test_pool_restart () =
@@ -292,5 +333,7 @@ let suite =
     Alcotest.test_case "machine one-per-cycle fallback identical" `Slow test_machine_equiv_opc;
     Alcotest.test_case "machine partition audit clean" `Slow test_machine_audit_clean;
     Alcotest.test_case "in-order machine parallel == serial" `Quick test_machine_equiv_inorder;
+    Alcotest.test_case "pool shutdown leaves compiled steps intact" `Quick
+      test_pool_shutdown_compiled_steps;
     Alcotest.test_case "worker pool survives shutdown/restart" `Quick test_pool_restart;
   ]
