@@ -163,6 +163,8 @@ let rocket_mem latency =
     mesi = false;
     mem_latency = latency;
     mem_inflight = 8;
+    l2_banks = 1;
+    lookahead_override = None;
   }
 
 let rocket name latency kernel =
@@ -645,38 +647,46 @@ let cps r = float_of_int r.pcycles /. r.wall_compiled
 let compile_speedup r = r.wall_interp /. r.wall_compiled
 let fastpath_speedup r = r.wall_stripped /. r.wall_compiled
 
-(* Quad-core workload timed at --jobs 1/2/4. Serial speed and the jobs
-   columns are reported (not gated): domain-parallel speedup is only
-   meaningful on a multi-core host (a 1-CPU machine measures the barrier
-   overhead instead). *)
+(* Multicore workloads timed at --jobs 1/4/8 with lookahead epochs on (the
+   16-core row runs at the full derived window; the quad row keeps the
+   per-cycle barrier as a reference point). Serial speed is reported, the
+   jobs-4 speedup ratio is gated: wall(jobs1)/wall(jobs4) of the same
+   binary in the same process cancels host speed, so a drop against the
+   checked-in baseline means the parallel engine regressed — though its
+   absolute value only shows real scaling on a multi-core host (a 1-CPU
+   machine measures scheduling overhead instead). *)
 type mc_row = {
   mcname : string;
   mccycles : int;
   mcinstrs : int;
+  mcepoch : int; (* effective lookahead window length *)
   mcwall : (int * float) list; (* jobs -> best wall seconds *)
 }
 
-let perf_multicore ~budget kernel =
-  let harts = 4 in
+let perf_multicore ~budget ~harts ~epoch ~cfg kernel =
   let prog = Parsec_kernels.find kernel ~harts ~scale:!parsec_scale in
-  let cfg = Ooo.Config.multicore Ooo.Config.TSO in
   let snapshot = ref None in
+  let elen = ref 1 in
   let timed jobs =
     let once () =
-      let m = Machine.create ~ncores:harts ~paging:true ~jobs (ooo cfg) prog in
+      let m = Machine.create ~ncores:harts ~paging:true ~jobs ~epoch (ooo cfg) prog in
+      elen := Machine.epoch_length m;
       let t0 = Unix.gettimeofday () in
       let o = Machine.run ~max_cycles:budget m in
       let dt = Unix.gettimeofday () -. t0 in
-      if o.Machine.timed_out then failwith ("perf: " ^ kernel ^ " x4 timed out");
+      if o.Machine.timed_out then failwith (Printf.sprintf "perf: %s x%d timed out" kernel harts);
       if !snapshot = None then snapshot := Some (Machine.stats m);
       (o.Machine.cycles, Array.to_list o.Machine.exits, Machine.instrs m, dt)
     in
     let c, x, i, dt = once () in
     let best = ref dt and total = ref dt in
-    while !total < 1.0 do
+    (* parallel wall clocks carry OS-scheduler noise on top of the usual
+       measurement jitter; a longer best-of window keeps the gated
+       jobs1/jobs4 ratio reproducible *)
+    while !total < 2.5 do
       let c2, x2, i2, dt2 = once () in
       if (c2, x2, i2) <> (c, x, i) then
-        failwith (Printf.sprintf "perf: %s x4 is nondeterministic at --jobs %d" kernel jobs);
+        failwith (Printf.sprintf "perf: %s x%d is nondeterministic at --jobs %d" kernel harts jobs);
       if dt2 < !best then best := dt2;
       total := !total +. dt2
     done;
@@ -685,27 +695,29 @@ let perf_multicore ~budget kernel =
   (* serial first on a quiet process (idle worker domains tax the GC), then
      ascending jobs so the domain pool only ever grows *)
   Cmd.Sim.shutdown_pool ();
-  let runs = List.map (fun j -> (j, timed j)) [ 1; 2; 4 ] in
+  let runs = List.map (fun j -> (j, timed j)) [ 1; 4; 8 ] in
   Cmd.Sim.shutdown_pool ();
   let c1, x1, i1, _ = List.assoc 1 runs in
   List.iter
     (fun (j, (c, x, i, _)) ->
-      (* parallel execution must be bit-identical to serial *)
+      (* parallel epoch execution must be bit-identical to serial *)
       if (c, x, i) <> (c1, x1, i1) then
-        failwith (Printf.sprintf "perf: %s x4 diverges at --jobs %d" kernel j))
+        failwith (Printf.sprintf "perf: %s x%d diverges at --jobs %d" kernel harts j))
     runs;
   let row =
-    { mcname = kernel ^ "-x4"; mccycles = c1; mcinstrs = i1;
+    { mcname = Printf.sprintf "%s-x%d" kernel harts; mccycles = c1; mcinstrs = i1;
+      mcepoch = !elen;
       mcwall = List.map (fun (j, (_, _, _, w)) -> (j, w)) runs }
   in
   let w j = List.assoc j row.mcwall in
-  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s serial, x%.2f jobs2, x%.2f jobs4\n%!" row.mcname
-    c1
+  Printf.eprintf "  [perf/%s] %d cycles (epoch %d): %.0f c/s serial, x%.2f jobs4, x%.2f jobs8\n%!"
+    row.mcname c1 row.mcepoch
     (float_of_int c1 /. w 1)
-    (w 1 /. w 2) (w 1 /. w 4);
+    (w 1 /. w 4) (w 1 /. w 8);
   (row, Option.get !snapshot)
 
 let mc_cps r = float_of_int r.mccycles /. List.assoc 1 r.mcwall
+let mc_speedup r j = List.assoc 1 r.mcwall /. List.assoc j r.mcwall
 
 (* ---------------------------------------------------------------- *)
 (* Farm / snapshot measurements                                       *)
@@ -814,7 +826,7 @@ let read_file path =
 
 let perf_json rows mc_rows farm micro_on micro_off =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v4\",\n  \"workloads\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v5\",\n  \"workloads\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
@@ -833,11 +845,12 @@ let perf_json rows mc_rows farm micro_on micro_off =
       let w j = List.assoc j r.mcwall in
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"wall_s_jobs1\": %.4f, \
-            \"wall_s_jobs2\": %.4f, \"wall_s_jobs4\": %.4f, \"sim_cps\": %.1f, \
-            \"speedup_vs_serial_jobs2\": %.3f, \"speedup_vs_serial_jobs4\": %.3f}%s\n"
-           r.mcname r.mccycles r.mcinstrs (w 1) (w 2) (w 4) (mc_cps r)
-           (w 1 /. w 2) (w 1 /. w 4)
+           "    {\"name\": \"%s\", \"cycles\": %d, \"instrs\": %d, \"epoch\": %d, \
+            \"wall_s_jobs1\": %.4f, \"wall_s_jobs4\": %.4f, \"wall_s_jobs8\": %.4f, \
+            \"sim_cps\": %.1f, \"speedup_vs_serial_jobs4\": %.3f, \
+            \"speedup_vs_serial_jobs8\": %.3f}%s\n"
+           r.mcname r.mccycles r.mcinstrs r.mcepoch (w 1) (w 4) (w 8) (mc_cps r)
+           (mc_speedup r 4) (mc_speedup r 8)
            (if i = List.length mc_rows - 1 then "" else ",")))
     mc_rows;
   Buffer.add_string b "  ],\n  \"farm\": {\n";
@@ -887,7 +900,16 @@ let perf ~quick ~out ~check ~stats_json () =
   let budget = 200_000_000 in
   let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
   let rows_s = List.map (perf_workload ~budget) kernels in
-  let mc_rows_s = List.map (perf_multicore ~budget) [ "blackscholes" ] in
+  (* the quad row keeps the per-cycle engine as a reference; the 16-core row
+     is the epoch engine's home turf (4-bank L2, auto-derived window) *)
+  let mc_rows_s =
+    [
+      perf_multicore ~budget ~harts:4 ~epoch:1
+        ~cfg:(Ooo.Config.multicore Ooo.Config.TSO) "blackscholes";
+      perf_multicore ~budget ~harts:16 ~epoch:0
+        ~cfg:(Ooo.Config.multicore16 Ooo.Config.TSO) "blackscholes";
+    ]
+  in
   let rows = List.map fst rows_s and mc_rows = List.map fst mc_rows_s in
   (match stats_json with
   | None -> ()
@@ -897,10 +919,9 @@ let perf ~quick ~out ~check ~stats_json () =
       @ List.map (fun (r, st) -> (r.mcname, r.mccycles, r.mcinstrs, st)) mc_rows_s));
   List.iter
     (fun r ->
-      let w j = List.assoc j r.mcwall in
-      Printf.printf "%s: %.0f sim-cycles/s serial; domain-parallel speedup %.2fx at --jobs 2, \
-                     %.2fx at --jobs 4\n"
-        r.mcname (mc_cps r) (w 1 /. w 2) (w 1 /. w 4))
+      Printf.printf "%s: %.0f sim-cycles/s serial (epoch %d); domain-parallel speedup %.2fx at \
+                     --jobs 4, %.2fx at --jobs 8\n"
+        r.mcname (mc_cps r) r.mcepoch (mc_speedup r 4) (mc_speedup r 8))
     mc_rows;
   let farm = perf_farm ~seeds:50 in
   Printf.printf
@@ -941,26 +962,45 @@ let perf ~quick ~out ~check ~stats_json () =
             b (c /. b))
       (List.map (fun r -> (r.wname, cps r)) rows
       @ List.map (fun r -> (r.mcname, mc_cps r)) mc_rows);
+    let gate name fields =
+      List.filter_map
+        (fun (field, v) ->
+          match baseline_field base name field with
+          | None ->
+            Printf.printf "check: no baseline %s for %s, skipping\n" field name;
+            None
+          | Some b ->
+            let ok = v >= margin *. b in
+            Printf.printf "check: %s %s %.3f vs baseline %.3f (floor %.3f) %s\n" name field v b
+              (margin *. b)
+              (if ok then "ok" else "FAIL");
+            if ok then None else Some (Printf.sprintf "%s.%s" name field))
+        fields
+    in
     let failures =
       List.concat_map
         (fun r ->
-          List.filter_map
-            (fun (field, v) ->
-              match baseline_field base r.wname field with
-              | None ->
-                Printf.printf "check: no baseline %s for %s, skipping\n" field r.wname;
-                None
-              | Some b ->
-                let ok = v >= margin *. b in
-                Printf.printf "check: %s %s %.3f vs baseline %.3f (floor %.3f) %s\n" r.wname field
-                  v b (margin *. b)
-                  (if ok then "ok" else "FAIL");
-                if ok then None else Some (Printf.sprintf "%s.%s" r.wname field))
+          gate r.wname
             [ ("compile_speedup", compile_speedup r); ("fastpath_speedup", fastpath_speedup r) ])
         rows
+      (* the parallel-engine ratio: wall(jobs1)/wall(jobs4) of the same
+         process cancels host speed the same way the engine ratios do.
+         Only epoch-mode rows are gated — per-cycle-barrier rows pay a
+         domain round trip every cycle, which makes their ratio a
+         measurement of OS scheduling noise on small hosts, not of the
+         engine; they stay informational. *)
+      @ List.concat_map
+          (fun r ->
+            if r.mcepoch > 1 then gate r.mcname [ ("speedup_vs_serial_jobs4", mc_speedup r 4) ]
+            else begin
+              Printf.printf "check: %s speedup_vs_serial_jobs4 %.3f [informational, epoch 1]\n"
+                r.mcname (mc_speedup r 4);
+              []
+            end)
+          mc_rows
     in
     if failures <> [] then begin
-      Printf.eprintf "PERF REGRESSION (engine ratio >5%% below %s): %s\n" path
+      Printf.eprintf "PERF REGRESSION (ratio >5%% below %s): %s\n" path
         (String.concat ", " failures);
       exit 1
     end

@@ -29,6 +29,8 @@ let configs =
     ("denver-proxy", Ooo.Config.denver_proxy);
     ("quad-tso", Ooo.Config.multicore Ooo.Config.TSO);
     ("quad-wmm", Ooo.Config.multicore Ooo.Config.WMM);
+    ("sixteen-tso", Ooo.Config.multicore16 Ooo.Config.TSO);
+    ("sixteen-wmm", Ooo.Config.multicore16 Ooo.Config.WMM);
   ]
 
 let list_cmd =
@@ -104,7 +106,15 @@ let run_cmd =
       value & opt int 1
       & info [ "jobs" ] ~docv:"N"
           ~doc:"fire each core's rule partition on its own domain, N domains at a time; results \
-                are bit-identical to --jobs 1")
+                are bit-identical to --jobs 1 (clamped to the host's recommended domain count)")
+  in
+  let epoch =
+    Arg.(
+      value & opt int 1
+      & info [ "epoch" ] ~docv:"E"
+          ~doc:"let partitions free-run E cycles between synchronizations (lookahead epochs); 0 \
+                derives the full safe bound from the memory system's declared boundary latency. \
+                Results at a given E are bit-identical at any --jobs")
   in
   let partition_audit =
     Arg.(
@@ -158,10 +168,23 @@ let run_cmd =
                 outside the window are not recorded (in-flight ones still complete)")
   in
   let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
-      rules watchdog invariants inject inject_seed no_fastpath audit jobs partition_audit
+      rules watchdog invariants inject inject_seed no_fastpath audit jobs epoch partition_audit
       no_compile compile_audit obs_konata obs_chrome stats_json obs_window =
     let fastpath = not no_fastpath in
     let compile = not no_compile in
+    (* Asking for more domains than the host has cores just parks idle
+       workers on the pool's condition variable while oversubscription slows
+       the rest down — clamp, loudly, rather than crash or silently thrash. *)
+    let jobs =
+      let cap = Domain.recommended_domain_count () in
+      if jobs > cap then begin
+        Printf.eprintf
+          "riscyoo: --jobs %d oversubscribes this host (recommended domain count %d); clamping\n%!"
+          jobs cap;
+        cap
+      end
+      else jobs
+    in
     let prog =
       if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
       else Spec_kernels.find kernel ~scale
@@ -246,7 +269,7 @@ let run_cmd =
     in
     let m =
       try
-        Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~jobs
+        Machine.create ~ncores:cores ~paging ~megapages ~cosim ~fastpath ~audit ~jobs ~epoch
           ~partition_audit ~compile ~compile_audit ~watchdog ~invariants ?obs kind prog
       with Cmd_sim.Partition_error msg ->
         Printf.printf "PARTITION ERROR: %s\n" msg;
@@ -307,7 +330,7 @@ let run_cmd =
     Term.(
       const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
       $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
-      $ no_fastpath $ audit $ jobs $ partition_audit $ no_compile $ compile_audit $ obs_konata
+      $ no_fastpath $ audit $ jobs $ epoch $ partition_audit $ no_compile $ compile_audit $ obs_konata
       $ obs_chrome $ stats_json $ obs_window)
 
 let synth_cmd =

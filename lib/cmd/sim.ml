@@ -171,6 +171,24 @@ type part = {
   porder : Rule.t array; (* refilled in place in Shuffle mode *)
   mutable pfired : int;
   mutable pexn : exn option;
+  pfires : int array; (* epoch mode: fires per local window cycle *)
+}
+
+(* One cross-partition boundary FIFO under epoch execution. [eb_fwd] says
+   the partition owns the enq side (requests flowing into the uncore);
+   otherwise the partition owns the deq side (responses flowing out).
+   During a partition's free-run its domain records the own-side total
+   after every local cycle into [eb_traj]; the uncore replay then installs
+   the value as the other side's cycle-start snapshot, cycle by cycle, so
+   the uncore sees each message appear at exactly the cycle it was enqueued
+   (and each slot freed at exactly the cycle it was dequeued). *)
+type ebnd = {
+  eb_ops : Boundary.ops;
+  eb_fwd : bool;
+  eb_pid : int; (* the non-uncore side's partition *)
+  eb_traj : int array;
+  mutable eb_start : int; (* own-side total at window start *)
+  mutable eb_vis : int; (* visibility value currently installed *)
 }
 
 type t = {
@@ -190,6 +208,19 @@ type t = {
   order_of_pid : Rule.t array array; (* pid -> that partition's order *)
   fill : int array; (* scratch fill pointers for Shuffle refills *)
   mutable tasks : (unit -> unit) array; (* one per part, reused *)
+  (* Epoch execution (lookahead windows). [elen] > 1 activates the window
+     engine: partitions free-run [elen] cycles between barriers, then the
+     uncore replays the window cycle-by-cycle against the recorded boundary
+     trajectories. [epar] adds pool dispatch; with it off (jobs 1, or the
+     partition audit) the same engine runs inline in pid order, which is
+     what makes results bit-identical at any [--jobs]. *)
+  elen : int;
+  epar : bool;
+  ebnds : ebnd array; (* all cross-partition boundaries *)
+  ebnds_of_pid : ebnd array array; (* boundaries owned by each partition *)
+  gorders : Rule.t array array; (* per window cycle: global order *)
+  eorders : Rule.t array array array; (* per window cycle: per-pid orders *)
+  mutable efmask : int array; (* by rid: bitmask of window cycles fired *)
   mutable n_cycles : int;
   mutable fires : int;
   mutable rr : int; (* rotating start offset for One_per_cycle fairness *)
@@ -263,20 +294,59 @@ let check_partitions rules =
                       "rule %s (partition %d) watches a signal owned by partition %d; parallel rules may only watch their own partition's signals (or the uncore's, which are quiescent during the parallel phase)"
                       r.name r.part o)))
           r.watches)
-    rules
+    rules;
+  owner
 
-(* Refill each partition's order array from the (possibly just shuffled)
-   global order, one pass, preserving relative order — so the parallel
-   schedule permutes exactly like the serial one. *)
-let refill_partition_orders t =
+(* Classify the boundary FIFOs the elaboration registered against the
+   rule-ownership table: a FIFO whose sides are claimed from two different
+   partitions is a cross-partition boundary. Epoch execution requires one
+   side to be the uncore (partition-to-partition traffic would need a
+   second synchronization tier), and requires the FIFO to have been
+   constructed in the non-uncore partition's scope so its cycle-end
+   snapshot hook runs during that partition's free-run. An unclaimed side
+   (no rule declares the token) is treated as uncore: only harness code
+   outside the rule set can touch it, and that runs at the barrier. *)
+let classify_boundaries owner boundaries =
+  List.filter_map
+    (fun (o : Boundary.ops) ->
+      let part_of tk =
+        match Hashtbl.find_opt owner tk with Some (p, _, _) -> p | None -> Partition.uncore
+      in
+      let pe = part_of o.Boundary.bo_enq_tk and pd = part_of o.Boundary.bo_deq_tk in
+      if pe = pd then None
+      else if pe <> Partition.uncore && pd <> Partition.uncore then
+        raise
+          (Partition_error
+             (Printf.sprintf
+                "epoch mode: boundary FIFO %s links partitions %d and %d; every cross-partition boundary must touch the uncore"
+                o.Boundary.bo_name pe pd))
+      else begin
+        let fwd = pe <> Partition.uncore in
+        let pid = if fwd then pe else pd in
+        if o.Boundary.bo_ctor_part <> pid then
+          raise
+            (Partition_error
+               (Printf.sprintf
+                  "epoch mode: boundary FIFO %s was constructed in partition %d but its partition-side lives in partition %d; construct boundary FIFOs inside the non-uncore partition's scope so their cycle hook free-runs with it"
+                  o.Boundary.bo_name o.Boundary.bo_ctor_part pid));
+        Some (o, fwd, pid)
+      end)
+    boundaries
+
+(* Refill per-partition order arrays from a (possibly just shuffled) global
+   order, one pass, preserving relative order — so the parallel schedule
+   permutes exactly like the serial one. *)
+let refill_orders t (src : Rule.t array) (dst : Rule.t array array) =
   Array.fill t.fill 0 (Array.length t.fill) 0;
-  for i = 0 to Array.length t.order - 1 do
-    let r = Array.unsafe_get t.order i in
+  for i = 0 to Array.length src - 1 do
+    let r = Array.unsafe_get src i in
     let pid = r.Rule.part in
     let k = t.fill.(pid) in
-    t.order_of_pid.(pid).(k) <- r;
+    dst.(pid).(k) <- r;
     t.fill.(pid) <- k + 1
   done
+
+let refill_partition_orders t = refill_orders t t.order t.order_of_pid
 
 (* ---------------------------------------------------------------------- *)
 (* Schedule compilation                                                   *)
@@ -514,28 +584,71 @@ let mk_runner t (r : Rule.t) ~chk ~log =
     end
 
 let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
-    ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?stats clk rules =
+    ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(epoch = 1) ?stats clk
+    rules =
   if jobs < 1 then invalid_arg "Sim.create: jobs must be >= 1";
+  if epoch < 0 then invalid_arg "Sim.create: epoch must be >= 0 (0 = auto)";
   let rng = match mode with Shuffle seed -> Some (Random.State.make [| seed |]) | Multi | One_per_cycle -> None in
-  if jobs > 1 || partition_audit then check_partitions rules;
   let max_part = List.fold_left (fun m (r : Rule.t) -> max m r.Rule.part) 0 rules in
+  (* Epoch eligibility and the safe lookahead bound L. [epoch = 1] (the
+     default) is plain per-cycle execution; [epoch = 0] derives the window
+     length as the minimum declared lookahead over all cross-partition
+     boundary FIFOs; an explicit [epoch = n] is clamped to that bound. An
+     undeclared boundary contributes the trivial bound of 1, turning epochs
+     off — free-running past state the design never promised to delay
+     would silently distort the timing model. One_per_cycle and the
+     scheduler/compile audits are inherently per-cycle; the partition
+     audit, by contrast, is supported (serially) inside epoch mode. *)
+  let want_epoch =
+    epoch <> 1 && max_part > 0 && mode <> One_per_cycle && (not audit) && (not compile_audit)
+    && rules <> []
+  in
+  let owner =
+    if jobs > 1 || partition_audit || want_epoch then Some (check_partitions rules) else None
+  in
+  let cross =
+    match owner with
+    | Some ow when want_epoch -> classify_boundaries ow (Boundary.ambient ())
+    | _ -> []
+  in
+  let elen =
+    if (not want_epoch) || cross = [] then 1
+    else begin
+      let l =
+        List.fold_left
+          (fun m ((o : Boundary.ops), _, _) ->
+            min m (Option.value o.Boundary.bo_lookahead ~default:1))
+          max_int cross
+      in
+      (* the per-window fired bitmask keeps one bit per window cycle *)
+      let l = min l 62 in
+      max 1 (if epoch = 0 then l else min epoch l)
+    end
+  in
+  let eon = elen > 1 in
   (* Parallel execution applies when something can actually run off-main and
      the execution strategy is not inherently serial: One_per_cycle commits
      a single rule per cycle across the whole machine, and the two audit
-     modes deliberately execute serially so their diagnostics are exact. *)
+     modes deliberately execute serially so their diagnostics are exact.
+     Epoch mode replaces the per-cycle parallel engine wholesale. *)
   let par =
     jobs > 1 && max_part > 0 && mode <> One_per_cycle && (not audit)
-    && (not partition_audit) && not compile_audit
+    && (not partition_audit) && (not compile_audit) && not eon
   in
+  (* Partition structure (orders, contexts, stats shards) is shared by the
+     per-cycle parallel engine and the epoch engine — the epoch engine
+     builds it even at jobs 1, because bit-identity across [--jobs] demands
+     the identical execution structure either way. *)
+  let pstruct = par || eon in
   let counts = Array.make (max_part + 1) 0 in
   List.iter (fun (r : Rule.t) -> counts.(r.Rule.part) <- counts.(r.Rule.part) + 1) rules;
   let order_of_pid =
-    if par then Array.init (max_part + 1) (fun pid -> Array.make counts.(pid) (List.hd rules))
+    if pstruct then Array.init (max_part + 1) (fun pid -> Array.make counts.(pid) (List.hd rules))
     else [||]
   in
-  let fill = if par then Array.make (max_part + 1) 0 else [||] in
+  let fill = if pstruct then Array.make (max_part + 1) 0 else [||] in
   let parts =
-    if not par then [||]
+    if not pstruct then [||]
     else
       Array.of_list
         (List.filter_map
@@ -545,16 +658,60 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
                let pctx = Kernel.make_ctx clk in
                Kernel.set_partition pctx pid;
                Kernel.set_stats_slot pctx pid;
-               Some { pid; pctx; porder = order_of_pid.(pid); pfired = 0; pexn = None }
+               Some
+                 {
+                   pid;
+                   pctx;
+                   porder = order_of_pid.(pid);
+                   pfired = 0;
+                   pexn = None;
+                   pfires = (if eon then Array.make elen 0 else [||]);
+                 }
              end)
            (List.init max_part (fun i -> i + 1)))
   in
-  (match stats with Some s when par -> Stats.prepare s ~slots:(max_part + 1) | _ -> ());
+  (match stats with Some s when pstruct -> Stats.prepare s ~slots:(max_part + 1) | _ -> ());
+  let order = Array.of_list rules in
+  let ebnds =
+    if not eon then [||]
+    else
+      Array.of_list
+        (List.map
+           (fun (o, fwd, pid) ->
+             { eb_ops = o; eb_fwd = fwd; eb_pid = pid; eb_traj = Array.make elen 0;
+               eb_start = 0; eb_vis = 0 })
+           cross)
+  in
+  let ebnds_of_pid =
+    if not eon then [||]
+    else
+      Array.init (max_part + 1) (fun pid ->
+          Array.of_list (List.filter (fun b -> b.eb_pid = pid) (Array.to_list ebnds)))
+  in
+  (* Per-window-cycle schedules. Multi never permutes, so every window
+     cycle aliases the canonical arrays at zero cost; Shuffle gets private
+     arrays, refilled from the window's freshly drawn permutations. *)
+  let gorders =
+    if not eon then [||]
+    else
+      match mode with
+      | Shuffle _ -> Array.init elen (fun _ -> Array.copy order)
+      | Multi | One_per_cycle -> Array.make elen order
+  in
+  let eorders =
+    if not eon then [||]
+    else
+      match mode with
+      | Shuffle _ ->
+        Array.init elen (fun _ ->
+            Array.init (max_part + 1) (fun pid -> Array.make counts.(pid) (List.hd rules)))
+      | Multi | One_per_cycle -> Array.make elen order_of_pid
+  in
   let t =
     {
       clk;
       rule_list = rules;
-      order = Array.of_list rules;
+      order;
       mode;
       rng;
       ctx = Kernel.make_ctx clk;
@@ -568,6 +725,13 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
       order_of_pid;
       fill;
       tasks = [||];
+      elen;
+      epar = (eon && jobs > 1 && not partition_audit);
+      ebnds;
+      ebnds_of_pid;
+      gorders;
+      eorders;
+      efmask = [||];
       n_cycles = 0;
       fires = 0;
       rr = 0;
@@ -590,7 +754,23 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
     }
   in
   Kernel.set_partition_audit t.ctx partition_audit;
-  if par then refill_partition_orders t;
+  if partition_audit && eon then begin
+    (* Epoch-mode partition audit: every context records touches (phases
+       run inline on the per-partition contexts), masks are keyed per
+       window (set in [cycle_epoch]), and the declared boundary FIFOs —
+       whose cross-partition handoff the engine itself sequences — are
+       exempted so only *undeclared* sharing is flagged. *)
+    let exempt = Hashtbl.create 16 in
+    Array.iter (fun b -> Hashtbl.replace exempt b.eb_ops.Boundary.bo_prim ()) ebnds;
+    let is_exempt pid = Hashtbl.mem exempt pid in
+    Kernel.set_audit_exempt t.ctx is_exempt;
+    Array.iter
+      (fun p ->
+        Kernel.set_partition_audit p.pctx true;
+        Kernel.set_audit_exempt p.pctx is_exempt)
+      t.parts
+  end;
+  if pstruct then refill_partition_orders t;
   (* Stamp every rule with its index in the canonical (rule_list) order.
      [Obs.Hub] stamps the same indices from the same list, so the two
      agree; the stamps let the snapshot express the current schedule
@@ -606,7 +786,7 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
      compiled path would trust. *)
   let shuffled = match mode with Shuffle _ -> true | Multi | One_per_cycle -> false in
   let compilable =
-    compile && (not par) && fastpath && (not audit) && (not partition_audit)
+    compile && (not par) && (not eon) && fastpath && (not audit) && (not partition_audit)
     && (not compile_audit)
     && mode <> One_per_cycle
     && rules <> []
@@ -651,6 +831,7 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
   else
     t.cwhy <-
       (if not compile then "interpreted: compilation disabled"
+       else if eon then Printf.sprintf "interpreted: epoch mode (E=%d)" elen
        else if par then "interpreted: parallel partitions active (jobs > 1)"
        else if not fastpath then "interpreted: fast path disabled"
        else if audit then "interpreted: audit mode"
@@ -706,7 +887,7 @@ let create ?(mode = Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1)
         per_rule;
       t.history <- history;
       t.history_depth <- history_depth;
-      if t.par then refill_partition_orders t);
+      if t.par || t.elen > 1 then refill_partition_orders t);
   t
 
 let clock t = t.clk
@@ -715,6 +896,7 @@ let total_fires t = t.fires
 let rules t = t.rule_list
 let jobs t = t.jobs
 let parallel t = t.par
+let epoch_length t = t.elen
 let shutdown_pool () = Pool.shutdown ()
 let pool_run ~helpers tasks = Pool.run ~helpers tasks
 
@@ -728,12 +910,17 @@ let reseed t seed =
   | Shuffle _ ->
     List.iteri (fun i r -> t.order.(i) <- r) t.rule_list;
     t.rng <- Some (Random.State.make [| seed |]);
-    if t.par then refill_partition_orders t
+    if t.par || t.elen > 1 then refill_partition_orders t
   | Multi | One_per_cycle -> ()
 
 let enable_history t ~depth =
   t.history_depth <- depth;
-  t.history <- Array.make (max 1 depth) (-1, [])
+  t.history <- Array.make (max 1 depth) (-1, []);
+  (* Epoch mode reconstructs per-cycle history from a per-rule bitmask of
+     window cycles fired (a [last_fired] stamp alone cannot distinguish two
+     fires of one rule within a window). Allocated only when history is on,
+     so the common path never pays the per-fire mask update. *)
+  if t.elen > 1 && depth > 0 then t.efmask <- Array.make (Array.length t.order) 0
 
 let history t =
   if t.history_depth = 0 then []
@@ -895,9 +1082,11 @@ let cycle_serial t =
    the barrier. [fired] starts at 0 for a parallel partition — during the
    parallel phase a partition's cells are touched by that partition alone,
    so a Retry with no local fire is a genuine single-rule conflict — and at
-   the parallel total for the uncore, preserving the serial semantics. *)
-let run_rules t ctx (order : Rule.t array) (fired : int ref) =
-  let cyc = t.n_cycles in
+   the parallel total for the uncore, preserving the serial semantics.
+   [cyc] is the architectural cycle being simulated (epoch mode runs this
+   loop for cycles the shared clock has not reached yet); [kbit >= 0] also
+   sets that bit of the rule's window-fire mask for history rebuilds. *)
+let run_rules t ctx (order : Rule.t array) (fired : int ref) ~cyc ~kbit =
   for i = 0 to Array.length order - 1 do
     let r = Array.unsafe_get order i in
     if t.fastpath && should_skip r then begin
@@ -906,6 +1095,7 @@ let run_rules t ctx (order : Rule.t array) (fired : int ref) =
         r.Rule.fired <- r.Rule.fired + 1;
         r.Rule.last_fired <- cyc;
         incr fired;
+        if kbit >= 0 then t.efmask.(r.Rule.rid) <- t.efmask.(r.Rule.rid) lor (1 lsl kbit);
         if t.rtrace_on then t.rtrace r cyc
       end
       else r.Rule.guard_failed <- r.Rule.guard_failed + 1
@@ -918,6 +1108,7 @@ let run_rules t ctx (order : Rule.t array) (fired : int ref) =
         r.Rule.fired <- r.Rule.fired + 1;
         r.Rule.last_fired <- cyc;
         incr fired;
+        if kbit >= 0 then t.efmask.(r.Rule.rid) <- t.efmask.(r.Rule.rid) lor (1 lsl kbit);
         if t.rtrace_on then t.rtrace r cyc
       | exception Kernel.Guard_fail _ ->
         Kernel.rollback ctx;
@@ -934,7 +1125,7 @@ let run_rules t ctx (order : Rule.t array) (fired : int ref) =
 let run_part t (p : part) =
   match
     let fired = ref 0 in
-    run_rules t p.pctx p.porder fired;
+    run_rules t p.pctx p.porder fired ~cyc:t.n_cycles ~kbit:(-1);
     p.pfired <- !fired
   with
   | () -> ()
@@ -963,7 +1154,7 @@ let cycle_par t =
     t.parts;
   (match !first_exn with Some e -> raise e | None -> ());
   (* Uncore: serial, on the main context, after every partition is done. *)
-  run_rules t t.ctx t.order_of_pid.(0) fired;
+  run_rules t t.ctx t.order_of_pid.(0) fired ~cyc:t.n_cycles ~kbit:(-1);
   if t.history_depth > 0 then begin
     let names = ref [] in
     for i = Array.length t.order - 1 downto 0 do
@@ -982,6 +1173,174 @@ let cycle_par t =
     hooks.(h) this_cycle !fired
   done;
   !fired
+
+(* ---------------------------------------------------------------------- *)
+(* Epoch execution (conservative lookahead windows)                        *)
+(*                                                                        *)
+(* A window simulates E consecutive cycles in three deterministic steps:  *)
+(*                                                                        *)
+(*   1. every core partition free-runs its E local cycles (concurrently   *)
+(*      across the pool when jobs > 1, inline in pid order otherwise),    *)
+(*      running its own clock-hook group after each local cycle and       *)
+(*      recording, per boundary FIFO it owns, the own-side total after    *)
+(*      every local cycle (the boundary trajectory);                      *)
+(*   2. the uncore replays the window cycle-by-cycle on the main domain:  *)
+(*      before cycle k it installs each boundary's trajectory value at    *)
+(*      k-1 as the other side's cycle-start snapshot, so the uncore sees  *)
+(*      each request appear at exactly the cycle it was enqueued — and    *)
+(*      runs its own hook group after each replay cycle;                  *)
+(*   3. the window closes: the shared clock advances by E without running *)
+(*      hooks (each group already ran E times), boundary snapshots are    *)
+(*      refreshed to the true totals (waking parked rules on both sides), *)
+(*      and the per-partition stats shards merge.                         *)
+(*                                                                        *)
+(* Responses the uncore enqueues during replay become visible to the      *)
+(* partitions only at the window close — a delivery delay of at most E-1  *)
+(* extra cycles. With E bounded by the minimum declared boundary          *)
+(* lookahead (the architectural response latency), the quantization stays *)
+(* within the latency the design already guarantees. Every step is a      *)
+(* deterministic function of the window-start state, and jobs only        *)
+(* changes which domain executes a phase, so results are bit-identical    *)
+(* at any --jobs for a given E.                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let run_epoch_part t (p : part) =
+  match
+    let groups = Clock.hooks_by_partition t.clk in
+    let hooks = if p.pid < Array.length groups then groups.(p.pid) else [||] in
+    let bnds = t.ebnds_of_pid.(p.pid) in
+    let cyc0 = t.n_cycles in
+    let hist = Array.length t.efmask > 0 in
+    for k = 0 to t.elen - 1 do
+      Clock.set_skew k;
+      let fired = ref 0 in
+      run_rules t p.pctx t.eorders.(k).(p.pid) fired ~cyc:(cyc0 + k)
+        ~kbit:(if hist then k else -1);
+      p.pfires.(k) <- !fired;
+      for h = 0 to Array.length hooks - 1 do
+        hooks.(h) ()
+      done;
+      for b = 0 to Array.length bnds - 1 do
+        let bd = bnds.(b) in
+        bd.eb_traj.(k) <-
+          (if bd.eb_fwd then bd.eb_ops.Boundary.bo_enq_total ()
+           else bd.eb_ops.Boundary.bo_deq_total ())
+      done
+    done;
+    Clock.set_skew 0
+  with
+  | () -> ()
+  | exception e ->
+    Clock.set_skew 0;
+    p.pexn <- Some e
+
+let cycle_epoch t =
+  let e = t.elen in
+  let cyc0 = t.n_cycles in
+  let hist = Array.length t.efmask > 0 in
+  (* Draw the window's schedule permutations up front (main domain owns the
+     RNG); each permutation is recorded globally (for history) and split
+     per partition. *)
+  (match t.rng with
+  | Some rng ->
+    let n = Array.length t.order in
+    for k = 0 to e - 1 do
+      shuffle rng t.order;
+      Array.blit t.order 0 t.gorders.(k) 0 n;
+      refill_orders t t.order t.eorders.(k)
+    done
+  | None -> ());
+  (* Window-keyed partition audit: one key per window, so sharing across a
+     window's phases is flagged wherever the touches land. *)
+  if t.paudit then begin
+    let key = Clock.uid t.clk in
+    Kernel.set_audit_key t.ctx key;
+    Array.iter (fun p -> Kernel.set_audit_key p.pctx key) t.parts
+  end;
+  (* Capture window-start boundary state. *)
+  Array.iter
+    (fun b ->
+      let v =
+        if b.eb_fwd then b.eb_ops.Boundary.bo_enq_total ()
+        else b.eb_ops.Boundary.bo_deq_total ()
+      in
+      b.eb_start <- v;
+      b.eb_vis <- v)
+    t.ebnds;
+  (* Build the hook split before dispatch so worker domains only read the
+     cache, never construct it. *)
+  let groups = Clock.hooks_by_partition t.clk in
+  let uhooks = if Array.length groups > 0 then groups.(0) else [||] in
+  (* Phase 1: partition free-run. *)
+  if Array.length t.tasks = 0 then
+    t.tasks <- Array.map (fun p -> fun () -> run_epoch_part t p) t.parts;
+  if t.epar then Pool.run ~helpers:(min (t.jobs - 1) (Array.length t.parts - 1)) t.tasks
+  else Array.iter (fun p -> run_epoch_part t p) t.parts;
+  let first_exn = ref None in
+  Array.iter
+    (fun p ->
+      (match p.pexn with
+      | Some ex -> if !first_exn = None then first_exn := Some ex
+      | None -> ());
+      p.pexn <- None)
+    t.parts;
+  (match !first_exn with Some ex -> raise ex | None -> ());
+  (* Phase 2: uncore replay, cycle by cycle. *)
+  let wfired = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Clock.set_skew 0)
+    (fun () ->
+      for k = 0 to e - 1 do
+        Clock.set_skew k;
+        Array.iter
+          (fun b ->
+            let v = if k = 0 then b.eb_start else b.eb_traj.(k - 1) in
+            let ops = b.eb_ops in
+            if b.eb_fwd then begin
+              ops.Boundary.bo_set_enq_snap v;
+              ops.Boundary.bo_reset_dport ()
+            end
+            else begin
+              ops.Boundary.bo_set_deq_snap v;
+              ops.Boundary.bo_reset_eport ()
+            end;
+            if v <> b.eb_vis then begin
+              ops.Boundary.bo_touch ();
+              b.eb_vis <- v
+            end)
+          t.ebnds;
+        let fired = ref 0 in
+        Array.iter (fun p -> fired := !fired + p.pfires.(k)) t.parts;
+        run_rules t t.ctx t.eorders.(k).(0) fired ~cyc:(cyc0 + k) ~kbit:(if hist then k else -1);
+        wfired := !wfired + !fired;
+        for h = 0 to Array.length uhooks - 1 do
+          uhooks.(h) ()
+        done
+      done);
+  (* Phase 3: window close. *)
+  Array.iter (fun b -> b.eb_ops.Boundary.bo_refresh ()) t.ebnds;
+  Clock.advance t.clk ~cycles:e;
+  (match t.stats with Some s -> Stats.merge s | None -> ());
+  if t.history_depth > 0 then begin
+    for k = 0 to e - 1 do
+      let names = ref [] in
+      let go = t.gorders.(k) in
+      for i = Array.length go - 1 downto 0 do
+        let r = Array.unsafe_get go i in
+        if t.efmask.(r.Rule.rid) land (1 lsl k) <> 0 then names := r.Rule.name :: !names
+      done;
+      t.history.((cyc0 + k) mod t.history_depth) <- (cyc0 + k, !names)
+    done;
+    Array.fill t.efmask 0 (Array.length t.efmask) 0
+  end;
+  t.n_cycles <- t.n_cycles + e;
+  t.fires <- t.fires + !wfired;
+  let hooks = end_hooks t in
+  let this_cycle = cyc0 + e - 1 in
+  for h = 0 to Array.length hooks - 1 do
+    hooks.(h) this_cycle !wfired
+  done;
+  !wfired
 
 (* The compiled cycle: one indirect call per rule through the specialized
    runner array (indexed by rid so Shuffle permutations cost nothing), with
@@ -1014,7 +1373,8 @@ let cycle_compiled t =
   fired
 
 let cycle t =
-  if t.par then cycle_par t
+  if t.elen > 1 then cycle_epoch t
+  else if t.par then cycle_par t
   else if Array.length t.crunners > 0 then cycle_compiled t
   else cycle_serial t
 
@@ -1023,22 +1383,27 @@ let compile_status t = t.cwhy
 let compile_report t = t.creport
 let compile_stats t = t.cstats
 
+(* Both loops count simulated cycles via [n_cycles], not [cycle] calls: in
+   epoch mode one call advances a whole window. *)
 let run t n =
-  for _ = 1 to n do
+  let target = t.n_cycles + n in
+  while t.n_cycles < target do
     ignore (cycle t)
   done
 
 let run_until ?on_cycle t ~max_cycles pred =
-  let rec go n =
+  let start = t.n_cycles in
+  let rec go () =
+    let n = t.n_cycles - start in
     if pred () then `Done n
     else if n >= max_cycles then `Timeout n
     else begin
       (match on_cycle with Some f -> f n | None -> ());
       ignore (cycle t);
-      go (n + 1)
+      go ()
     end
   in
-  go 0
+  go ()
 
 let pp_stats fmt t =
   Format.fprintf fmt "@[<v>cycles=%d fires=%d (%.2f rules/cycle)@," t.n_cycles t.fires

@@ -121,7 +121,26 @@ type t
     declared (primitive, direction); a [Retry] in a rule classified
     admissible, or an abort that rolls back tracked writes in a rule
     claiming [~total], raises [Kernel.Compile_audit_fail]
-    ([--compile-audit] in the driver). *)
+    ([--compile-audit] in the driver).
+
+    {2 Epoch execution (lookahead windows)}
+
+    [~epoch] batches partition synchronization: instead of a barrier per
+    cycle, each non-zero partition free-runs [E] consecutive cycles between
+    barriers, and the uncore then replays the window cycle-by-cycle with
+    every cross-partition boundary FIFO's enqueue trajectory installed at
+    exactly the cycle it happened (see {!Boundary}). Responses flowing back
+    from the uncore become visible at window boundaries, a quantization of
+    at most [E - 1] cycles — safe because [E] is capped by the minimum
+    [~lookahead] declared on the boundary FIFOs ({!Fifo.cf}), i.e. the
+    response latency the design already guarantees. [~epoch:1] (default)
+    disables windowing; [~epoch:0] means "auto": use the full derived
+    bound; any other value is clamped to the bound. For a {e given} epoch
+    length, results are bit-identical at any [jobs], in [Multi] and
+    [Shuffle] modes — enforced by [~partition_audit], which in epoch mode
+    keys its overlap detection per window. Epoch mode implies interpreted
+    execution and is ignored under [One_per_cycle], the audit modes, or
+    when no boundary FIFO was registered. *)
 val create :
   ?mode:mode ->
   ?fastpath:bool ->
@@ -130,6 +149,7 @@ val create :
   ?partition_audit:bool ->
   ?compile:bool ->
   ?compile_audit:bool ->
+  ?epoch:int ->
   ?stats:Stats.t ->
   Clock.t ->
   Rule.t list ->
@@ -144,6 +164,12 @@ val jobs : t -> int
     [jobs > 1], at least one non-zero partition, and a mode that is not
     inherently serial). *)
 val parallel : t -> bool
+
+(** The effective epoch window length [E] (1 = per-cycle synchronization,
+    i.e. epoch mode off). May be smaller than the requested [~epoch]: it is
+    clamped to the minimum declared boundary lookahead (and to 62, the
+    per-window history bitmask width). *)
+val epoch_length : t -> int
 
 (** Join the process-global worker-domain pool. Parallel simulations share
     one lazily-spawned pool that persists between runs; on OCaml 5 even
@@ -175,16 +201,22 @@ val pool_run : helpers:int -> (unit -> unit) array -> unit
     that seed (the farm's warm-fork path). No-op in other modes. *)
 val reseed : t -> int -> unit
 
-(** Run one clock cycle; returns the number of rules that fired. *)
+(** Run one clock cycle; returns the number of rules that fired. In epoch
+    mode one call advances a whole window of {!epoch_length} cycles and
+    returns the window's total fires. *)
 val cycle : t -> int
 
-(** [run t n] runs [n] cycles. *)
+(** [run t n] runs at least [n] cycles (rounded up to a whole number of
+    windows in epoch mode). *)
 val run : t -> int -> unit
 
 (** [run_until t ~max_cycles pred] runs until [pred ()] holds at a cycle
     boundary, returning [`Done cycles] or [`Timeout cycles] (how far the run
-    got before the budget ran out). [on_cycle] is called with the loop's
-    cycle index before each cycle — the fault-injection hook. *)
+    got before the budget ran out). Counts are simulated cycles, not
+    iterations, so they stay comparable across epoch lengths; in epoch mode
+    [pred] is sampled at window boundaries. [on_cycle] is called with the
+    loop's cycle index before each cycle (each window in epoch mode) — the
+    fault-injection hook. *)
 val run_until :
   ?on_cycle:(int -> unit) ->
   t ->

@@ -1,17 +1,69 @@
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+(* Two-level radix over the page index (no hashing): a fixed root of 2^16
+   slots, each pointing at a leaf of 2^12 page slots — covering physical
+   addresses up to 2^40 (1 TiB). The flat layout replaces the original
+   hashtable for two reasons:
 
-let create () = { pages = Hashtbl.create 1024 }
+   - lookups on the hot load/store path are two array indexes instead of a
+     hash + probe;
+   - several simulator partitions (L2 banks interleaved by line address)
+     may fault pages in concurrently during a parallel phase. A hashtable
+     add can resize mid-read; here readers only ever follow immutable-once-
+     published pointers. Slot publication happens under [t.lock] (so two
+     banks racing to allocate the same page agree on one Bytes), and a
+     racy reader either sees [None] — and takes the locked slow path — or
+     sees the published pointer, whose zero-filled contents it reaches
+     through an address dependency. Byte-level writes need no
+     synchronization: the partition checker guarantees disjoint lines, and
+     cross-partition data only flows across the scheduler barrier. *)
+let leaf_bits = 12
+let leaf_size = 1 lsl leaf_bits
+let root_bits = 16
+let root_size = 1 lsl root_bits
+
+type t = {
+  root : Bytes.t option array option array;
+  lock : Mutex.t;
+}
+
+let create () = { root = Array.make root_size None; lock = Mutex.create () }
+
+let bad_addr idx =
+  invalid_arg (Printf.sprintf "Phys_mem: address out of range (page %#x)" idx)
+
+let alloc_slow t hi lo =
+  Mutex.lock t.lock;
+  let leaf =
+    match Array.unsafe_get t.root hi with
+    | Some l -> l
+    | None ->
+      let l = Array.make leaf_size None in
+      Array.unsafe_set t.root hi (Some l);
+      l
+  in
+  let p =
+    match Array.unsafe_get leaf lo with
+    | Some p -> p
+    | None ->
+      let p = Bytes.make page_size '\000' in
+      Array.unsafe_set leaf lo (Some p);
+      p
+  in
+  Mutex.unlock t.lock;
+  p
 
 let page t idx =
-  match Hashtbl.find_opt t.pages idx with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.add t.pages idx p;
-    p
+  if idx lsr (root_bits + leaf_bits) <> 0 then bad_addr idx;
+  let hi = idx lsr leaf_bits in
+  let lo = idx land (leaf_size - 1) in
+  match Array.unsafe_get t.root hi with
+  | Some leaf -> (
+    match Array.unsafe_get leaf lo with
+    | Some p -> p
+    | None -> alloc_slow t hi lo)
+  | None -> alloc_slow t hi lo
 
 let load_byte t addr =
   let addr = Int64.to_int addr in
@@ -73,24 +125,57 @@ let store_block t addr b =
     store t ~bytes:8 (Int64.add addr (Int64.of_int (i * 8))) (Bytes.get_int64_le b (i * 8))
   done
 
-let pages_touched t = Hashtbl.length t.pages
+(* Iterate allocated pages in index order (the radix is sorted by
+   construction). Only used off the hot path: diagnostics and snapshots. *)
+let iter_pages t f =
+  for hi = 0 to root_size - 1 do
+    match Array.unsafe_get t.root hi with
+    | None -> ()
+    | Some leaf ->
+      for lo = 0 to leaf_size - 1 do
+        match Array.unsafe_get leaf lo with
+        | None -> ()
+        | Some p -> f ((hi lsl leaf_bits) lor lo) p
+      done
+  done
+
+let pages_touched t =
+  let n = ref 0 in
+  iter_pages t (fun _ _ -> incr n);
+  !n
 
 (* Snapshot support for the machine state registry (this library does not
    depend on the CMD kernel, so the registry hands these plain values
-   around). Pages sort by index so two exports of equal memories are
-   structurally equal regardless of hashtable insertion history. *)
+   around). Pages come out index-sorted, so two exports of equal memories
+   are structurally equal regardless of allocation history. *)
 type image = (int * Bytes.t) array
 
 let export t : image =
-  let a = Array.of_seq (Seq.map (fun (k, v) -> (k, Bytes.copy v)) (Hashtbl.to_seq t.pages)) in
+  let l = ref [] in
+  iter_pages t (fun idx p -> l := (idx, Bytes.copy p) :: !l);
+  let a = Array.of_list !l in
   Array.sort (fun (a, _) (b, _) -> compare (a : int) b) a;
   a
 
+let set_page t idx p =
+  if idx lsr (root_bits + leaf_bits) <> 0 then bad_addr idx;
+  let hi = idx lsr leaf_bits in
+  let lo = idx land (leaf_size - 1) in
+  let leaf =
+    match Array.unsafe_get t.root hi with
+    | Some l -> l
+    | None ->
+      let l = Array.make leaf_size None in
+      Array.unsafe_set t.root hi (Some l);
+      l
+  in
+  Array.unsafe_set leaf lo (Some p)
+
 let import t (img : image) =
-  Hashtbl.reset t.pages;
-  Array.iter (fun (k, v) -> Hashtbl.replace t.pages k (Bytes.copy v)) img
+  Array.fill t.root 0 root_size None;
+  Array.iter (fun (k, v) -> set_page t k (Bytes.copy v)) img
 
 let copy t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;
-  { pages }
+  let c = create () in
+  iter_pages t (fun idx p -> set_page c idx (Bytes.copy p));
+  c

@@ -1,11 +1,14 @@
 (** The cache crossbar (paper, Fig. 11): connection rules between N L1
-    children and the shared L2.
+    children and the shared (possibly banked) L2.
 
     Child→parent channels are merged (round-robin over children, one message
-    per child per cycle); parent→child channels are demultiplexed on the
-    destination id. Response channels get their own rules scheduled before
-    request channels, preserving the "responses are never slower than
-    requests" invariant the protocol's ordering argument needs. *)
+    per child per cycle) and routed to the bank owning the message's line
+    ([bank_of] — constant for an unbanked L2); parent→child channels are
+    demultiplexed on the destination id. Response channels get their own
+    rules scheduled before request channels, preserving the "responses are
+    never slower than requests" invariant the protocol's ordering argument
+    needs. Per-(child, line) message order is preserved: a line maps to
+    exactly one bank. *)
 
 type endpoint = {
   creq : Msg.creq Cmd.Fifo.t;
@@ -14,6 +17,8 @@ type endpoint = {
   presp : Msg.presp Cmd.Fifo.t;
 }
 
-(** [rules children l2] — the child endpoints must be indexed by their
-    [child] id as used in the messages. *)
-val rules : endpoint array -> l2:L2_cache.t -> Cmd.Rule.t list
+(** [rules children ~banks ~bank_of] — the child endpoints must be indexed
+    by their [child] id as used in the messages; [bank_of] takes a line
+    address. *)
+val rules :
+  endpoint array -> banks:L2_cache.t array -> bank_of:(int64 -> int) -> Cmd.Rule.t list

@@ -9,18 +9,18 @@ type t = {
   mutable n_writes : int;
 }
 
-let create clk pmem ~latency ~max_inflight =
+let create ?(name = "dram") clk pmem ~latency ~max_inflight =
   let t =
     {
       clk;
       pmem;
       latency;
-      pending = Fifo.cf ~name:"dram.pending" clk ~capacity:max_inflight ();
+      pending = Fifo.cf ~name:(name ^ ".pending") clk ~capacity:max_inflight ();
       n_reads = 0;
       n_writes = 0;
     }
   in
-  State.field ~name:"dram"
+  State.field ~name
     (fun () -> (t.n_reads, t.n_writes))
     (fun (n_reads, n_writes) ->
       t.n_reads <- n_reads;
@@ -53,6 +53,8 @@ let resp ctx t =
 
 let fp_use t =
   [ Fifo.fp_enq t.pending; Fifo.fp_first t.pending; Fifo.fp_deq t.pending; Fifo.fp_can_deq t.pending ]
+
+let tokens t = [ Fifo.enq_token t.pending; Fifo.deq_token t.pending ]
 
 let busy t = Fifo.peek_size t.pending > 0
 let reads t = t.n_reads

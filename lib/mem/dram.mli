@@ -9,7 +9,9 @@
 
 type t
 
-val create : Cmd.Clock.t -> Isa.Phys_mem.t -> latency:int -> max_inflight:int -> t
+(** [?name] disambiguates the snapshot field and pending-queue names when a
+    machine instantiates several DRAM channels (one per L2 bank). *)
+val create : ?name:string -> Cmd.Clock.t -> Isa.Phys_mem.t -> latency:int -> max_inflight:int -> t
 
 (** Read a 64-byte line. Guarded on an in-flight slot being free. *)
 val req_read : Cmd.Kernel.ctx -> t -> int64 -> unit
@@ -27,6 +29,10 @@ val can_resp : Cmd.Kernel.ctx -> t -> bool
     [resp] all go through the pending queue; [req_write] touches no tracked
     cell. *)
 val fp_use : t -> Cmd.Conflict.atom list
+
+(** Partition tokens for both sides of the pending queue ([Rule.make
+    ~touches]): the DRAM channel is private to the L2 bank that owns it. *)
+val tokens : t -> Cmd.Partition.token list
 
 (** Untracked: some read is in flight (possibly not yet ready) — part of the
     L2 tick rule's [can_fire]. *)

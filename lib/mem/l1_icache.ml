@@ -23,7 +23,7 @@ type t = {
   c_miss : Stats.counter;
 }
 
-let create ?(name = "l1i") clk ~child_id ~geom ~fetch_width ~stats () =
+let create ?(name = "l1i") ?boundary_lookahead clk ~child_id ~geom ~fetch_width ~stats () =
   let mk () = { tag = -1L; st = Msg.I; data = Bytes.make Cache_geom.line_bytes '\000'; pending = false } in
   let t =
   {
@@ -33,10 +33,11 @@ let create ?(name = "l1i") clk ~child_id ~geom ~fetch_width ~stats () =
     lines = Array.init geom.Cache_geom.sets (fun _ -> Array.init geom.Cache_geom.ways (fun _ -> mk ()));
     req_q = Fifo.cf ~name:(name ^ ".req") clk ~capacity:2 ();
     resp_q = Fifo.cf ~name:(name ^ ".resp") clk ~capacity:2 ();
-    creq_o = Fifo.cf ~name:(name ^ ".creq") clk ~capacity:2 ();
-    cresp_o = Fifo.cf ~name:(name ^ ".cresp") clk ~capacity:4 ();
-    preq_i = Fifo.cf ~name:(name ^ ".preq") clk ~capacity:4 ();
-    presp_i = Fifo.cf ~name:(name ^ ".presp") clk ~capacity:2 ();
+    (* Crossbar-facing queues: see the dcache note on [boundary_lookahead]. *)
+    creq_o = Fifo.cf ~name:(name ^ ".creq") ?lookahead:boundary_lookahead clk ~capacity:2 ();
+    cresp_o = Fifo.cf ~name:(name ^ ".cresp") ?lookahead:boundary_lookahead clk ~capacity:4 ();
+    preq_i = Fifo.cf ~name:(name ^ ".preq") ?lookahead:boundary_lookahead clk ~capacity:4 ();
+    presp_i = Fifo.cf ~name:(name ^ ".presp") ?lookahead:boundary_lookahead clk ~capacity:2 ();
     child_id;
     part = Partition.ambient ();
     miss = None;

@@ -40,6 +40,18 @@ type t = {
   clk : Clock.t;
   latency : int;
   mesi : bool;
+  (* Address-interleaved banking: this instance serves only line addresses
+     whose [bank_bits]-wide field just above the line offset equals
+     [bank_id]; set index and tag skip that field so every set is usable.
+     [(0, 0)] — the default single bank — degenerates to the unbanked
+     address split. *)
+  bank_id : int;
+  bank_bits : int;
+  part : int; (* partition this bank was built in (uncore for the unbanked L2) *)
+  (* Response-latency floor this design declared to the epoch engine (minus
+     any slack the caller attributes to other pipeline stages); checked
+     against [latency] when the partition audit runs. 0 = no declaration. *)
+  declared_min : int;
   presp_delay : (int * int * Msg.presp) Fifo.t; (* ready, child, grant *)
   preq_delay : (int * int * Msg.preq) Fifo.t; (* ready, child, demand *)
   walk_delay : (int * int * int64) Fifo.t; (* ready, tag, data *)
@@ -50,7 +62,9 @@ type t = {
   c_mshr_occ : Stats.counter;
 }
 
-let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = false) ~dram ~stats () =
+let create ?(name = "l2") ?(bank = (0, 0)) ?(declared_min = 0) ?in_lookahead clk ~nchildren ~geom
+    ~mshrs ?(latency = 0) ?(mesi = false) ~dram ~stats () =
+  let bank_id, bank_bits = bank in
   let mk_line () =
     {
       tag = -1L;
@@ -81,17 +95,28 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
     lines = Array.init geom.Cache_geom.sets (fun _ -> Array.init geom.Cache_geom.ways (fun _ -> mk_line ()));
     mshrs = Array.init mshrs (fun _ -> mk_mshr ());
     dram;
-    creq_q = Fifo.cf ~name:(name ^ ".creq") clk ~capacity:(4 * nchildren) ();
-    cresp_q = Fifo.cf ~name:(name ^ ".cresp") clk ~capacity:(4 * nchildren) ();
-    preq_o = Fifo.cf ~name:(name ^ ".preq") clk ~capacity:(4 * nchildren) ();
-    presp_o = Fifo.cf ~name:(name ^ ".presp") clk ~capacity:(4 * nchildren) ();
-    walk_req_q = Fifo.cf ~name:(name ^ ".walkreq") clk ~capacity:4 ();
-    walk_resp_q = Fifo.cf ~name:(name ^ ".walkresp") clk ~capacity:4 ();
+    (* The six child/walker-facing queues may straddle a partition boundary
+       when the bank is its own partition; [in_lookahead] declares their
+       epoch lookahead. The delay queues and the DRAM pipe are bank-private.
+       Capacities clamp to the cf FIFO's 56-slot ceiling at high core
+       counts; the tick rule enqueues at most once per cycle, so a delay
+       queue never holds more than [latency + 1] entries anyway, and input
+       queues just backpressure through their guards. *)
+    creq_q = Fifo.cf ~name:(name ^ ".creq") ?lookahead:in_lookahead clk ~capacity:(min 56 (4 * nchildren)) ();
+    cresp_q = Fifo.cf ~name:(name ^ ".cresp") ?lookahead:in_lookahead clk ~capacity:(min 56 (4 * nchildren)) ();
+    preq_o = Fifo.cf ~name:(name ^ ".preq") ?lookahead:in_lookahead clk ~capacity:(min 56 (4 * nchildren)) ();
+    presp_o = Fifo.cf ~name:(name ^ ".presp") ?lookahead:in_lookahead clk ~capacity:(min 56 (4 * nchildren)) ();
+    walk_req_q = Fifo.cf ~name:(name ^ ".walkreq") ?lookahead:in_lookahead clk ~capacity:4 ();
+    walk_resp_q = Fifo.cf ~name:(name ^ ".walkresp") ?lookahead:in_lookahead clk ~capacity:4 ();
     clk;
     latency;
     mesi;
-    presp_delay = Fifo.cf ~name:(name ^ ".presp.delay") clk ~capacity:(4 * nchildren) ();
-    preq_delay = Fifo.cf ~name:(name ^ ".preq.delay") clk ~capacity:(4 * nchildren) ();
+    bank_id;
+    bank_bits;
+    part = Partition.ambient ();
+    declared_min;
+    presp_delay = Fifo.cf ~name:(name ^ ".presp.delay") clk ~capacity:(min 56 (4 * nchildren)) ();
+    preq_delay = Fifo.cf ~name:(name ^ ".preq.delay") clk ~capacity:(min 56 (4 * nchildren)) ();
     walk_delay = Fifo.cf ~name:(name ^ ".walk.delay") clk ~capacity:8 ();
     rotor = 0;
     c_hit = Stats.counter stats (name ^ ".hits");
@@ -106,8 +131,10 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
       Array.iteri (fun s ways -> Array.blit ways 0 t.lines.(s) 0 (Array.length ways)) lines;
       Array.blit mshrs 0 t.mshrs 0 (Array.length t.mshrs);
       t.rotor <- rotor);
-  (* MSHR occupancy sampled at the clock edge (main domain, post-barrier:
-     untracked increments are safe); divide by cycles for the average. *)
+  (* MSHR occupancy sampled at the clock edge; divide by cycles for the
+     average. The hook runs in this bank's partition group (post-barrier on
+     the main domain, or on the bank's own domain under epoch execution),
+     and only ever touches this bank's counter — single writer either way. *)
   Clock.on_cycle_end clk (fun () ->
       let n = Array.fold_left (fun a (m : mshr) -> if m.valid then a + 1 else a) 0 t.mshrs in
       if n > 0 then Stats.incr ~by:n t.c_mshr_occ);
@@ -140,14 +167,23 @@ let create ?(name = "l2") clk ~nchildren ~geom ~mshrs ?(latency = 0) ?(mesi = fa
 
 let fld (ctx : Kernel.ctx) get set v = Mut.field ctx ~get ~set v
 
+(* Address split with the bank-select field skipped: |tag|set|bank|line|. *)
+let index t laddr =
+  Int64.to_int (Int64.shift_right_logical laddr (Cache_geom.line_bits + t.bank_bits))
+  land (t.geom.Cache_geom.sets - 1)
+
+let tag_of t laddr =
+  Int64.shift_right_logical laddr (Cache_geom.line_bits + t.bank_bits + t.geom.Cache_geom.set_bits)
+
 let line_addr_of t set_idx (ln : line) =
   Int64.logor
-    (Int64.shift_left ln.tag (Cache_geom.line_bits + t.geom.Cache_geom.set_bits))
-    (Int64.of_int (set_idx lsl Cache_geom.line_bits))
+    (Int64.shift_left ln.tag (Cache_geom.line_bits + t.bank_bits + t.geom.Cache_geom.set_bits))
+    (Int64.of_int
+       ((set_idx lsl (Cache_geom.line_bits + t.bank_bits)) lor (t.bank_id lsl Cache_geom.line_bits)))
 
 let lookup t laddr =
-  let ways = t.lines.(Cache_geom.index t.geom laddr) in
-  let tg = Cache_geom.tag t.geom laddr in
+  let ways = t.lines.(index t laddr) in
+  let tg = tag_of t laddr in
   let rec go i =
     if i >= Array.length ways then None
     else if ways.(i).valid && ways.(i).tag = tg then Some (i, ways.(i))
@@ -197,6 +233,15 @@ let downgrades_needed (ln : line) kind =
   | Child { want = Msg.I; _ } -> []
 
 let do_grant ctx t laddr (ln : line) kind =
+  (* Epoch-audit backstop for the declared lookahead: a response stamped
+     ready sooner than the declared floor means the epoch engine's window
+     bound overstates the latency the hardware model actually enforces —
+     exactly the drift [--partition-audit] in epoch mode exists to catch. *)
+  if t.declared_min > 0 && Kernel.partition_audit ctx && t.latency < t.declared_min then
+    raise
+      (Sim.Audit_fail
+         (Printf.sprintf "%s: response latency %d below declared epoch lookahead floor %d" t.name
+            t.latency t.declared_min));
   let ready = Clock.now t.clk + t.latency in
   match kind with
   | Child { child; want } ->
@@ -237,9 +282,9 @@ let step_dram_resp ctx t =
   let laddr, data = Dram.resp ctx t.dram in
   match find_mshr t laddr with
   | Some m when m.way >= 0 ->
-    let ln = t.lines.(Cache_geom.index t.geom laddr).(m.way) in
+    let ln = t.lines.(index t laddr).(m.way) in
     Mut.blit ctx ~src:data ~src_pos:0 ~dst:ln.data ~dst_pos:0 ~len:Cache_geom.line_bytes;
-    fld ctx (fun () -> ln.tag) (fun v -> ln.tag <- v) (Cache_geom.tag t.geom laddr);
+    fld ctx (fun () -> ln.tag) (fun v -> ln.tag <- v) (tag_of t laddr);
     fld ctx (fun () -> ln.valid) (fun v -> ln.valid <- v) true;
     fld ctx (fun () -> ln.dirty) (fun v -> ln.dirty <- v) false;
     Array.iteri (fun i _ -> Mut.set_arr ctx ln.dir i Msg.I) ln.dir
@@ -309,7 +354,7 @@ let step_mshr ctx t (m : mshr) =
   let stop () = raise Stop in
   try
     if not m.valid then stop ();
-    let set_idx = Cache_geom.index t.geom m.mline in
+    let set_idx = index t m.mline in
     if m.way < 0 then begin
       (* acquire a way: a free one, or recall a victim *)
       let ways = t.lines.(set_idx) in
@@ -369,7 +414,7 @@ let step_mshr ctx t (m : mshr) =
       fld ctx (fun () -> m.victim) (fun v -> m.victim <- v) None
     | None -> ());
     (* fetch from DRAM if the line is absent *)
-    let present = ln.valid && ln.tag = Cache_geom.tag t.geom m.mline in
+    let present = ln.valid && ln.tag = tag_of t m.mline in
     if not present then begin
       if (not m.fetch_sent)
          && Kernel.attempt ctx (fun ctx -> Dram.req_read ctx t.dram m.mline) <> None
@@ -423,6 +468,27 @@ let tick t =
     || Fifo.peek_size t.walk_req_q > 0
   in
   let watches = [ Fifo.signal t.cresp_q; Fifo.signal t.creq_q; Fifo.signal t.walk_req_q ] in
+  (* Declared partition tokens: the bank side of every child/walker queue,
+     plus both sides of the bank-private delay queues and DRAM pipe. When
+     the bank runs as its own partition the static checker uses these to
+     prove the crossbar (uncore) and the bank never share a primitive. *)
+  let touches =
+    [
+      Fifo.deq_token t.creq_q;
+      Fifo.deq_token t.cresp_q;
+      Fifo.deq_token t.walk_req_q;
+      Fifo.enq_token t.preq_o;
+      Fifo.enq_token t.presp_o;
+      Fifo.enq_token t.walk_resp_q;
+      Fifo.enq_token t.presp_delay;
+      Fifo.deq_token t.presp_delay;
+      Fifo.enq_token t.preq_delay;
+      Fifo.deq_token t.preq_delay;
+      Fifo.enq_token t.walk_delay;
+      Fifo.deq_token t.walk_delay;
+    ]
+    @ Dram.tokens t.dram
+  in
   (* Tracked footprint: the six boundary queues, the three delay queues and
      the DRAM pending queue. Lines, MSHRs and the rotor are raw [Mut] state
      (invisible to the conflict matrix) private to this rule. *)
@@ -450,7 +516,7 @@ let tick t =
     ]
     @ Dram.fp_use t.dram
   in
-  Rule.make ~can_fire ~watches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
+  Rule.make ~can_fire ~watches ~touches ~fp ~vacuous:true (t.name ^ ".tick") (fun ctx ->
       step_delays ctx t;
       (* responses first, unconditionally, all of them *)
       let continue = ref true in
@@ -470,7 +536,7 @@ let tick t =
       let _ = Kernel.attempt ctx (fun ctx -> step_walk_req ctx t) in
       ())
 
-let rules t = [ tick t ]
+let rules t = Partition.scoped t.part (fun () -> [ tick t ])
 
 let creq_in t = t.creq_q
 let cresp_in t = t.cresp_q

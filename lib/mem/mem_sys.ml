@@ -8,9 +8,11 @@ type config = {
   l2_ways : int;
   l2_mshrs : int;
   l2_latency : int;
+  l2_banks : int;
   mesi : bool;
   mem_latency : int;
   mem_inflight : int;
+  lookahead_override : int option;
 }
 
 let default_config =
@@ -24,43 +26,85 @@ let default_config =
     l2_ways = 16;
     l2_mshrs = 16;
     l2_latency = 16;
+    l2_banks = 1;
     mesi = false;
     mem_latency = 120;
     mem_inflight = 24;
+    lookahead_override = None;
   }
 
 type t = {
   dcaches : L1_dcache.t array;
   icaches : L1_icache.t array;
-  l2c : L2_cache.t;
-  dramc : Dram.t;
+  banks : L2_cache.t array;
+  drams : Dram.t array;
+  bank_of : int64 -> int;
+  lookahead : int;
   xbar_rules : Cmd.Rule.t list;
 }
 
+(* The minimum cycles between a core-side boundary enqueue and the earliest
+   consequence flowing back: one crossbar hop each way around the L2's
+   response pipeline. This is the epoch lookahead declared on every
+   cross-partition boundary FIFO; [lookahead_override] exists for the
+   audit's negative tests (declaring more than the hardware guarantees must
+   be caught, see [L2_cache] on [declared_min]). *)
+let lookahead_of cfg = Option.value cfg.lookahead_override ~default:(cfg.l2_latency + 2)
+
 let create clk pmem cfg ~ncores ~fetch_width ~stats =
-  let dramc = Dram.create clk pmem ~latency:cfg.mem_latency ~max_inflight:cfg.mem_inflight in
+  let nbanks = cfg.l2_banks in
+  if nbanks < 1 || nbanks land (nbanks - 1) <> 0 then
+    invalid_arg "Mem_sys.create: l2_banks must be a power of two";
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  let bank_bits = log2 nbanks in
+  let la = lookahead_of cfg in
   let nchildren = 2 * ncores in
-  let l2c =
-    L2_cache.create clk ~nchildren
-      ~geom:(Cache_geom.v ~size_bytes:cfg.l2_bytes ~ways:cfg.l2_ways)
-      ~mshrs:cfg.l2_mshrs ~latency:cfg.l2_latency ~mesi:cfg.mesi ~dram:dramc ~stats ()
+  (* Each bank gets an equal slice of the L2 capacity and MSHRs and its own
+     DRAM channel (interleaving multiplies memory-level parallelism, as
+     banking is meant to). A single bank reproduces the seed machine
+     exactly: uncore partition, "l2"/"dram" names, unbanked address split. *)
+  let banks_drams =
+    Array.init nbanks (fun b ->
+        let build () =
+          let name = if nbanks = 1 then "l2" else Printf.sprintf "l2b%d" b in
+          let dram_name = if nbanks = 1 then "dram" else Printf.sprintf "dramb%d" b in
+          let dram = Dram.create ~name:dram_name clk pmem ~latency:cfg.mem_latency ~max_inflight:cfg.mem_inflight in
+          let l2 =
+            L2_cache.create ~name ~bank:(b, bank_bits) ~declared_min:(la - 2) ~in_lookahead:la clk
+              ~nchildren
+              ~geom:(Cache_geom.v ~size_bytes:(cfg.l2_bytes / nbanks) ~ways:cfg.l2_ways)
+              ~mshrs:(max 1 (cfg.l2_mshrs / nbanks))
+              ~latency:cfg.l2_latency ~mesi:cfg.mesi ~dram ~stats ()
+          in
+          (l2, dram)
+        in
+        if nbanks = 1 then build ()
+        else Cmd.Partition.scoped (ncores + 1 + b) build)
+  in
+  let banks = Array.map fst banks_drams in
+  let drams = Array.map snd banks_drams in
+  let bank_of laddr =
+    Int64.to_int (Int64.shift_right_logical laddr Cache_geom.line_bits) land (nbanks - 1)
   in
   (* L1s are private to their core, so they are built — queues, signals and
-     tick rule alike — inside that core's partition; the crossbar, L2 and
-     DRAM stay in the ambient (uncore) partition. The L1↔crossbar queues
-     are conflict-free, which is what lets their two sides straddle the
-     partition boundary. *)
+     tick rule alike — inside that core's partition; the crossbar stays in
+     the ambient (uncore) partition, and each L2 bank (with its DRAM
+     channel) lives in its own partition when banked. The L1↔crossbar and
+     crossbar↔bank queues are conflict-free, which is what lets their two
+     sides straddle a partition boundary. *)
   let dcaches =
     Array.init ncores (fun i ->
         Cmd.Partition.scoped (i + 1) (fun () ->
-            L1_dcache.create ~name:(Printf.sprintf "c%d.l1d" i) clk ~child_id:(2 * i)
+            L1_dcache.create ~name:(Printf.sprintf "c%d.l1d" i) ~boundary_lookahead:la clk
+              ~child_id:(2 * i)
               ~geom:(Cache_geom.v ~size_bytes:cfg.l1d_bytes ~ways:cfg.l1d_ways)
               ~mshrs:cfg.l1d_mshrs ~stats ()))
   in
   let icaches =
     Array.init ncores (fun i ->
         Cmd.Partition.scoped (i + 1) (fun () ->
-            L1_icache.create ~name:(Printf.sprintf "c%d.l1i" i) clk ~child_id:((2 * i) + 1)
+            L1_icache.create ~name:(Printf.sprintf "c%d.l1i" i) ~boundary_lookahead:la clk
+              ~child_id:((2 * i) + 1)
               ~geom:(Cache_geom.v ~size_bytes:cfg.l1i_bytes ~ways:cfg.l1i_ways)
               ~fetch_width ~stats ()))
   in
@@ -83,15 +127,27 @@ let create clk pmem cfg ~ncores ~fetch_width ~stats =
             presp = L1_icache.presp_in i;
           })
   in
-  { dcaches; icaches; l2c; dramc; xbar_rules = Crossbar.rules endpoints ~l2:l2c }
+  {
+    dcaches;
+    icaches;
+    banks;
+    drams;
+    bank_of;
+    lookahead = la;
+    xbar_rules = Crossbar.rules endpoints ~banks ~bank_of;
+  }
 
 let dcache t i = t.dcaches.(i)
 let icache t i = t.icaches.(i)
-let l2 t = t.l2c
-let dram t = t.dramc
+let l2 t = t.banks.(0)
+let l2_banks t = t.banks
+let dram t = t.drams.(0)
+let drams t = t.drams
+let bank_of t = t.bank_of
+let lookahead t = t.lookahead
 
 let rules t =
   t.xbar_rules
-  @ L2_cache.rules t.l2c
+  @ List.concat_map L2_cache.rules (Array.to_list t.banks)
   @ Array.to_list (Array.map L1_dcache.rules t.dcaches |> Array.map List.hd)
   @ Array.to_list (Array.map L1_icache.rules t.icaches |> Array.map List.hd)

@@ -96,6 +96,22 @@ let multicore mm =
     mem_model = mm;
   }
 
+let multicore16 mm =
+  {
+    (multicore mm) with
+    name = (match mm with TSO -> "sixteen-TSO" | WMM -> "sixteen-WMM");
+    mem =
+      {
+        Mem.Mem_sys.default_config with
+        l1d_bytes = 16 * 1024;
+        l1i_bytes = 16 * 1024;
+        l2_bytes = 2 * 1024 * 1024;
+        l2_mshrs = 32;
+        l2_banks = 4;
+        mem_inflight = 48;
+      };
+  }
+
 let pp fmt t =
   Format.fprintf fmt
     "%s: %d-wide, ROB %d, %d ALU pipes, IQ %d, LQ/SQ %d/%d, SB %d, %s, L1D %dKB, L2 %dKB, mem %d cyc"

@@ -1,5 +1,7 @@
 (** The page-walk crossbar (paper, Fig. 11): routes each core's page-walker
-    PTE reads to the shared L2 cache's coherent walker port and the
-    responses back, retagging with the core id. *)
+    PTE reads to the coherent walker port of the L2 bank owning the PTE's
+    line ([bank_of] on the line address — constant for an unbanked L2) and
+    the responses back, retagging with the core id. *)
 
-val rules : Tlb_sys.t array -> l2:Mem.L2_cache.t -> Cmd.Rule.t list
+val rules :
+  Tlb_sys.t array -> banks:Mem.L2_cache.t array -> bank_of:(int64 -> int) -> Cmd.Rule.t list

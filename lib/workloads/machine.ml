@@ -60,10 +60,13 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(epoch = 1) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
-     is not partition-private; force serial execution under cosim. *)
+     is not partition-private; force serial execution under cosim — and
+     per-cycle synchronization: the goldens share a private memory, so the
+     cross-hart commit interleaving must not depend on the window length. *)
   let jobs = if cosim then 1 else jobs in
+  let epoch = if cosim then 1 else epoch in
   (* The whole build runs inside a [State.collecting] scope: every primitive
      constructed along the way (EHRs, FIFOs, the PRF, caches, TLBs, the
      scheduler) registers its snapshot entry as a side effect, and the
@@ -95,7 +98,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
        bit-identical — so it stays out of [config_key] below and snapshots
        move freely between the two. *)
     let sim =
-      Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~compile ~compile_audit
+      Sim.create ~mode ~fastpath ~audit ~jobs ~partition_audit ~compile ~compile_audit ~epoch
         ~stats:stats_t clk rules
     in
     (match obs with Some hub -> Obs.Hub.attach hub sim | None -> ());
@@ -132,7 +135,10 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let tlbs =
       Array.init ncores (fun i ->
           Partition.scoped (i + 1) (fun () ->
-              let tl = Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk tlb ~stats:stats_t () in
+              let tl =
+                Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i)
+                  ~walk_lookahead:(Mem.Mem_sys.lookahead ms) clk tlb ~stats:stats_t ()
+              in
               Tlb.Tlb_sys.set_satp tl satp;
               tl))
     in
@@ -151,7 +157,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let rules =
       List.concat_map Inorder.Inorder_core.rules (Array.to_list cores)
       @ List.concat_map Tlb.Tlb_sys.rules (Array.to_list tlbs)
-      @ Tlb.Walk_xbar.rules tlbs ~l2:(Mem.Mem_sys.l2 ms)
+      @ Tlb.Walk_xbar.rules tlbs ~banks:(Mem.Mem_sys.l2_banks ms) ~bank_of:(Mem.Mem_sys.bank_of ms)
       @ Mem.Mem_sys.rules ms
     in
     {
@@ -201,7 +207,8 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       Array.init ncores (fun i ->
           Partition.scoped (i + 1) (fun () ->
               let tl =
-                Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i) clk cfg.Ooo.Config.tlb
+                Tlb.Tlb_sys.create ~name:(Printf.sprintf "c%d.tlb" i)
+                  ~walk_lookahead:(Mem.Mem_sys.lookahead ms) clk cfg.Ooo.Config.tlb
                   ~stats:stats_t ()
               in
               Tlb.Tlb_sys.set_satp tl satp;
@@ -222,7 +229,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     let rules =
       List.concat_map (fun c -> Ooo.Core.rules ?schedule c) (Array.to_list cores)
       @ List.concat_map Tlb.Tlb_sys.rules (Array.to_list tlbs)
-      @ Tlb.Walk_xbar.rules tlbs ~l2:(Mem.Mem_sys.l2 ms)
+      @ Tlb.Walk_xbar.rules tlbs ~banks:(Mem.Mem_sys.l2_banks ms) ~bank_of:(Mem.Mem_sys.bank_of ms)
       @ Mem.Mem_sys.rules ms
     in
     {
@@ -263,7 +270,10 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
   | None -> ());
   t
   in
-  let t, registry = State.collecting construct in
+  (* Boundary collection wraps state collection: [Sim.create] (inside
+     [construct]) reads the boundary-FIFO registry accumulated so far to
+     derive the epoch lookahead bound. *)
+  let (t, registry), _boundaries = Boundary.collecting (fun () -> State.collecting construct) in
   t.registry <- Some registry;
   (* The configuration key covers everything that shapes the machine's state
      inventory or its cycle-accurate behaviour: kind (including the full OOO
@@ -273,8 +283,12 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
      into a [--jobs 4] machine (and the round-trip tests rely on that).
      The [Shuffle] seed is normalized away: the schedule RNG travels inside
      the image ("sim.sched"), so a cycle-0 snapshot plus {!reseed_schedule}
-     forks one warm image across arbitrarily many seeds. *)
+     forks one warm image across arbitrarily many seeds. The {e effective}
+     epoch window length is included — different window lengths quantize
+     boundary traffic differently, so they are distinct timing models (while
+     [jobs] at a fixed window length is not). *)
   let mode_key = match mode with Sim.Shuffle _ -> Sim.Shuffle 0 | m -> m in
+  let elen = match t.sim with Some sim -> Sim.epoch_length sim | None -> 1 in
   t.config_key <-
     Digest.string
       (Marshal.to_string
@@ -286,6 +300,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
            cosim,
            schedule,
            mode_key,
+           elen,
            Asm.words prog.asm ~base,
            prog.regs )
          []);
@@ -346,6 +361,7 @@ let run ?(max_cycles = 50_000_000) ?on_cycle t =
 let stats t = t.stats_t
 
 let parallel t = match t.sim with Some s -> Sim.parallel s | None -> false
+let epoch_length t = match t.sim with Some s -> Sim.epoch_length s | None -> 1
 
 let console t = Mmio.console t.mmio
 

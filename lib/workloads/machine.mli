@@ -41,6 +41,15 @@ type t
     {!Cmd.Kernel.Partition_overlap} on an undeclared cross-partition
     touch.
 
+    [epoch] (default 1) sets the lookahead-window length for epoch
+    execution (see {!Cmd.Sim.create}): partitions free-run that many cycles
+    between synchronizations. [epoch:0] asks for the full bound derived
+    from the boundary FIFOs' declared lookahead (the L2 response latency
+    plus the crossbar round trip). Results at a given window length are
+    bit-identical at any [jobs]. Forced back to 1 under [cosim] — the
+    golden models share private memory, so commit interleaving across harts
+    must not depend on the window length.
+
     [obs] plugs an observability hub in: every core is built against the
     hub's per-hart instruction tracer and the hub is attached to the
     simulator (rule numbering, rule-fire sink, capture window) — see
@@ -60,6 +69,7 @@ val create :
   ?partition_audit:bool ->
   ?compile:bool ->
   ?compile_audit:bool ->
+  ?epoch:int ->
   ?watchdog:int ->
   ?invariants:bool ->
   ?obs:Obs.Hub.t ->
@@ -88,6 +98,11 @@ val quiesced : t -> bool
     [jobs > 1], partitions exist, and no serializing option forced the
     fall-back). *)
 val parallel : t -> bool
+
+(** The effective epoch window length the simulator settled on (1 when
+    epochs are off or the machine has no simulator). *)
+val epoch_length : t -> int
+
 val console : t -> string
 
 (** Committed instructions, summed over harts. *)

@@ -37,6 +37,8 @@ let build ?(paging = false) ?(mem_latency = 20) ?(tlb_cfg = Tlb.Tlb_sys.blocking
       mesi = false;
       mem_latency;
       mem_inflight = 8;
+      l2_banks = 1;
+      lookahead_override = None;
     }
   in
   let ms = Mem.Mem_sys.create clk pmem mem_cfg ~ncores:1 ~fetch_width:2 ~stats in
@@ -53,7 +55,7 @@ let build ?(paging = false) ?(mem_latency = 20) ?(tlb_cfg = Tlb.Tlb_sys.blocking
   let rules =
     Inorder.Inorder_core.rules core
     @ Tlb.Tlb_sys.rules tlb
-    @ Tlb.Walk_xbar.rules [| tlb |] ~l2:(Mem.Mem_sys.l2 ms)
+    @ Tlb.Walk_xbar.rules [| tlb |] ~banks:(Mem.Mem_sys.l2_banks ms) ~bank_of:(Mem.Mem_sys.bank_of ms)
     @ Mem.Mem_sys.rules ms
   in
   let sim = Sim.create clk rules in

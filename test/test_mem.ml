@@ -21,6 +21,8 @@ let small_config =
     mesi = false;
     mem_latency = 20;
     mem_inflight = 4;
+    l2_banks = 1;
+    lookahead_override = None;
   }
 
 type harness = { sim : Sim.t; ms : Mem_sys.t; pmem : Isa.Phys_mem.t; hstats : Stats.t }

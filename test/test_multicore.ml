@@ -109,6 +109,8 @@ let small_mem =
     mesi = false;
     mem_latency = 20;
     mem_inflight = 8;
+    l2_banks = 1;
+    lookahead_override = None;
   }
 
 let run_mc mm ~ncores prog expect =

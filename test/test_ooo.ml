@@ -30,6 +30,8 @@ let test_cfg =
         mesi = false;
         mem_latency = 30;
         mem_inflight = 8;
+        l2_banks = 1;
+        lookahead_override = None;
       };
   }
 

@@ -119,6 +119,8 @@ let tiny_cfg =
         mesi = false;
         mem_latency = 15;
         mem_inflight = 4;
+        l2_banks = 1;
+        lookahead_override = None;
       };
   }
 

@@ -28,6 +28,8 @@ let small_cfg =
         mesi = false;
         mem_latency = 24;
         mem_inflight = 8;
+        l2_banks = 1;
+        lookahead_override = None;
       };
     tlb = Tlb.Tlb_sys.nonblocking_config;
   }
