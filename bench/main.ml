@@ -763,7 +763,7 @@ let perf_farm ~seeds =
     let outs =
       List.map
         (fun fj ->
-          let o, _, _ = Litmus.Run.farm_run ~warm fj in
+          let o, _, _, _ = Litmus.Run.farm_run ~warm fj in
           o)
         jobs
     in

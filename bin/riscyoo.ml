@@ -407,7 +407,33 @@ let litmus_cmd =
                 outside the TSO set — guards the harness against sweeps too tame to distinguish \
                 the models")
   in
-  let run model seeds quick test_name hist trace_dir jobs_only no_stagger require_relaxed =
+  let dut =
+    Arg.(
+      value & opt string "ooo"
+      & info [ "dut" ] ~docv:"DUT"
+          ~doc:"implementation to sweep: ooo (default) or inorder — the in-order baseline is \
+                bounded by the SC outcome set")
+  in
+  let mesi =
+    Arg.(value & flag & info [ "mesi" ] ~doc:"run the cache hierarchy with the MESI protocol")
+  in
+  let obligations =
+    Arg.(
+      value & flag
+      & info [ "obligations" ]
+          ~doc:"arm the per-interface contract monitors (LSQ, store buffer, L2 directory) on \
+                every run; a violating cycle fails the sweep naming the module and interface, \
+                and per-monitor event counts are reported")
+  in
+  let inject =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:"enable a seeded implementation bug (ld-bypass-sq: load issue skips the \
+                store-queue overlap scan) — for demonstrating --obligations catches it")
+  in
+  let run model seeds quick test_name hist trace_dir jobs_only no_stagger require_relaxed dut
+      mesi obligations inject =
     let models =
       match String.lowercase_ascii model with
       | "tso" -> [ Ooo.Config.TSO ]
@@ -430,6 +456,22 @@ let litmus_cmd =
           die 2)
     in
     let jobs_list = match jobs_only with Some j -> [ j ] | None -> [ 1; 4 ] in
+    let dut =
+      match String.lowercase_ascii dut with
+      | "ooo" -> Litmus.Run.Dut_ooo
+      | "inorder" | "in-order" -> Litmus.Run.Dut_inorder
+      | d ->
+        Printf.eprintf "unknown dut %s (want ooo or inorder)\n" d;
+        die 2
+    in
+    let inject_lsq_bug =
+      match inject with
+      | None -> false
+      | Some "ld-bypass-sq" -> true
+      | Some b ->
+        Printf.eprintf "unknown injected bug %s (want ld-bypass-sq)\n" b;
+        die 2
+    in
     Option.iter (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755) trace_dir;
     let t0 = Unix.gettimeofday () in
     let reports =
@@ -438,7 +480,8 @@ let litmus_cmd =
           List.map
             (fun t ->
               let r =
-                Litmus.Run.sweep ~seeds ~jobs_list ~stagger:(not no_stagger) ?trace_dir ~model:m t
+                Litmus.Run.sweep ~seeds ~jobs_list ~stagger:(not no_stagger) ?trace_dir ~dut
+                  ~mesi ~obligations ~inject_lsq_bug ~model:m t
               in
               Format.printf "%a" Litmus.Run.pp_report r;
               r)
@@ -476,7 +519,7 @@ let litmus_cmd =
     (Cmdliner.Cmd.info "litmus" ~doc ~man)
     Term.(
       const run $ model $ seeds $ quick $ test_name $ hist $ trace_dir $ jobs_only $ no_stagger
-      $ require_relaxed)
+      $ require_relaxed $ dut $ mesi $ obligations $ inject)
 
 let farm_cmd =
   let doc = "Run a crash-safe farm of independent simulation jobs" in

@@ -23,6 +23,7 @@ type litmus_sweep = {
   ls_seeds : int;
   ls_stagger : bool;
   ls_warm : bool;
+  ls_obligations : bool;  (* arm the interface-obligation monitors per run *)
 }
 
 type fault_sweep = {
@@ -77,7 +78,9 @@ let test_of_string n =
 let parse_sweep j =
   match Json.get_str "type" j with
   | None -> bad "sweep entry lacks a \"type\""
-  | Some "litmus" ->
+  | Some (("litmus" | "mcheck") as ty) ->
+    (* "mcheck" is the litmus product with the interface-obligation
+       monitors armed by default — one job id namespace per run mode *)
     let ls_tests =
       match Json.mem "tests" j with
       | None | Some (Json.Str "all") -> Litmus.Test.all
@@ -97,6 +100,7 @@ let parse_sweep j =
         ls_seeds = opt_int j "seeds" 20;
         ls_stagger = opt_bool j "stagger" true;
         ls_warm = opt_bool j "warm" false;
+        ls_obligations = opt_bool j "obligations" (ty = "mcheck");
       }
   | Some "fault" ->
     Fault
@@ -117,7 +121,7 @@ let parse_sweep j =
         ps_hang = opt_int_list j "hang";
         ps_flaky = opt_int_list j "flaky";
       }
-  | Some ty -> bad "unknown sweep type %S (want litmus, fault or poison)" ty
+  | Some ty -> bad "unknown sweep type %S (want litmus, mcheck, fault or poison)" ty
 
 let of_json j =
   (match Json.mem "schema" j with
@@ -154,19 +158,23 @@ let litmus_job ~replay_of ~warm (fj : Litmus.Run.farm_job) =
         ("model", Json.Str (model_tag fj.fj_model));
         ("seed", Json.Int fj.fj_seed);
         ("stagger", Json.Bool fj.fj_stagger);
+        ("obligations", Json.Bool fj.fj_obligations);
       ];
     replay = replay_of id;
     run =
       (fun ~should_stop ->
         let on_cycle = Sweep.cancel_hook ~should_stop in
-        let o, cls, allowed = Litmus.Run.farm_run ~on_cycle ~warm fj in
+        let o, cls, allowed, obs = Litmus.Run.farm_run ~on_cycle ~warm fj in
         Json.Obj
-          [
-            ("outcome", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) o)));
-            ("outcome_str", Json.Str (Litmus.Test.outcome_to_string fj.fj_test o));
-            ("class", Json.Str (cls_tag cls));
-            ("allowed", Json.Bool allowed);
-          ]);
+          ([
+             ("outcome", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) o)));
+             ("outcome_str", Json.Str (Litmus.Test.outcome_to_string fj.fj_test o));
+             ("class", Json.Str (cls_tag cls));
+             ("allowed", Json.Bool allowed);
+           ]
+          @
+          if obs = [] then []
+          else [ ("obligations", Json.Obj (List.map (fun (n, c) -> (n, Json.Int c)) obs)) ]));
   }
 
 (* ----------------------------- fault jobs ------------------------------ *)
@@ -334,8 +342,8 @@ let jobs ?(manifest_path = "manifest.json") m =
     (fun sweep ->
       match sweep with
       | Litmus ls ->
-        Litmus.Run.farm_jobs ~stagger:ls.ls_stagger ~seeds:ls.ls_seeds ~models:ls.ls_models
-          ls.ls_tests
+        Litmus.Run.farm_jobs ~stagger:ls.ls_stagger ~obligations:ls.ls_obligations
+          ~seeds:ls.ls_seeds ~models:ls.ls_models ls.ls_tests
         |> List.map (litmus_job ~replay_of ~warm:ls.ls_warm)
       | Fault fs -> List.init fs.fs_trials (fault_job ~replay_of fs)
       | Poison ps -> List.init ps.ps_jobs (poison_job ~replay_of ps))
@@ -373,6 +381,7 @@ let litmus_reports (o : Sweep.outcome) =
       let forbidden = ref [] in
       let errors = ref [] in
       let relaxed = ref false and wmm_only = ref false in
+      let ob_events : (string, int) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun (r : Sweep.record) ->
           match r.status with
@@ -390,6 +399,15 @@ let litmus_reports (o : Sweep.outcome) =
             (match List.find_opt (fun (o', _, _) -> o' = o) !hist with
             | Some (_, _, n) -> incr n
             | None -> hist := (o, cls, ref 1) :: !hist);
+            (match Json.mem "obligations" v with
+            | Some (Json.Obj fields) ->
+              List.iter
+                (fun (n, c) ->
+                  let c = int_of c in
+                  Hashtbl.replace ob_events n
+                    (c + Option.value ~default:0 (Hashtbl.find_opt ob_events n)))
+                fields
+            | _ -> ());
             if cls = Litmus.Run.Forbidden then begin
               let seed = opt_int (Json.Obj r.spec) "seed" 0 in
               forbidden := (o, seed, 1, None) :: !forbidden
@@ -401,6 +419,7 @@ let litmus_reports (o : Sweep.outcome) =
       in
       {
         Litmus.Run.test;
+        dut = Litmus.Run.Dut_ooo;
         model;
         total_runs = List.length records;
         hist;
@@ -409,6 +428,15 @@ let litmus_reports (o : Sweep.outcome) =
         errors = List.rev !errors;
         relaxed_seen = !relaxed;
         wmm_only_seen = !wmm_only;
+        (* the per-seed records don't carry search statistics, but the
+           enumeration is a pure function of (test, model) — recompute *)
+        enum =
+          List.map
+            (fun m -> (m, snd (Litmus.Ref_model.allowed_stats test ~model:m)))
+            [ Litmus.Ref_model.SC; Litmus.Ref_model.TSO; Litmus.Ref_model.WMM ];
+        obligation_events =
+          Hashtbl.fold (fun n c acc -> (n, c) :: acc) ob_events []
+          |> List.sort compare;
       })
     !order
 

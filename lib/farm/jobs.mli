@@ -18,6 +18,9 @@
     [litmus] runs the (tests x models x seeds) product at jobs:1
     ([tests] defaults to all, [models] to both, [warm] enables the
     per-domain warm-fork snapshot cache — stagger-free sweeps only).
+    [mcheck] is the same product with the interface-obligation monitors
+    armed (an [obligations] boolean overrides the default of either
+    type); its job ids live under [mcheck/] instead of [litmus/].
     [fault] runs the trials of a seeded bit-flip campaign, each trial's
     RNG independent of the others. [poison] makes synthetic jobs for
     exercising the farm's fault tolerance: [fail] indices raise after
@@ -31,6 +34,7 @@ type litmus_sweep = {
   ls_seeds : int;
   ls_stagger : bool;
   ls_warm : bool;
+  ls_obligations : bool;
 }
 
 type fault_sweep = {

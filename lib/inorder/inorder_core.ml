@@ -100,6 +100,13 @@ let create ?(name = "inorder") ?(pipe = Obs.Pipe.null) clk ~hart_id ~icache ~dca
       t.reservation <- reservation;
       t.halted_f <- halted_f;
       t.n_instret <- n_instret);
+  (* a remote store invalidating (or the cache evicting) the reserved line
+     must fail a later SC — same discipline as the out-of-order core *)
+  Mem.L1_dcache.set_evict_hook t.dc (fun ctx line ->
+      match t.reservation with
+      | Some l when l = line ->
+        Mut.field ctx ~get:(fun () -> t.reservation) ~set:(fun v -> t.reservation <- v) None
+      | _ -> ());
   t
 
 let set_pc t pc = t.pc <- pc
@@ -264,6 +271,14 @@ let step_execute ctx t =
         if Int64.add pc 4L <> pred_next then redirect ctx t (Int64.add pc 4L))
     end
     else begin
+      (* ecall is serializing: it samples a0/a7 straight from the register
+         file (no rs1/rs2 fields, so [load_hazard] can't see them) and may
+         halt the hart, after which an in-flight load's writeback would be
+         lost — drain both memory slots first *)
+      (match i.op with
+      | Instr.Ecall ->
+        Kernel.guard ctx (t.pending_load = None && t.pending_store = None) "ecall drain"
+      | _ -> ());
       ignore (Fifo.deq ctx t.f2x);
       exec_nonmem ctx t i pc pred_next ~tid
     end
@@ -314,10 +329,13 @@ let step_execute ctx t =
       fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt (i, tid))
     | Instr.Sc width ->
       let bytes = Instr.bytes_of_width width in
-      let reserved = t.reservation = Some (Mem.Cache_geom.line_addr pa) in
-      let f _old = if reserved then (Some rs2, 0L) else (None, 1L) in
+      let line = Mem.Cache_geom.line_addr pa in
+      (* the reservation is checked when the store-conditional performs at
+         the cache (line exclusive), not at issue: a remote write between
+         issue and drain clears it through the eviction hook and must fail
+         this SC. Consumed at completion (XAt), success or not. *)
+      let f _old = if t.reservation = Some line then (Some rs2, 0L) else (None, 1L) in
       Mem.L1_dcache.req ctx t.dc (Mem.L1_dcache.At { tag = 0; addr = pa; bytes; f });
-      fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None;
       fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) (XAt (i, tid))
     | Instr.Amo { op; width } ->
       let bytes = Instr.bytes_of_width width in
@@ -332,6 +350,9 @@ let step_execute ctx t =
       | Instr.Lr Instr.W | Instr.Amo { width = Instr.W; _ } -> Xlen.sext ~bits:32 result
       | _ -> result
     in
+    (match i.op with
+    | Instr.Sc _ -> fld ctx (fun () -> t.reservation) (fun v -> t.reservation <- v) None
+    | _ -> ());
     if i.rd <> 0 then Mut.set_arr ctx t.regs i.rd result;
     retire ~tid ctx t;
     fld ctx (fun () -> t.xst) (fun v -> t.xst <- v) XIdle

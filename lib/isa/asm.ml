@@ -82,6 +82,7 @@ let sc_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Sc W))
 let amoadd_d t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoadd; width = D }))
 let amoadd_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoadd; width = W }))
 let amoswap_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoswap; width = W }))
+let amoxor_w t rd rs2 rs1 = insn t (make ~rd ~rs1 ~rs2 (Amo { op = Amoxor; width = W }))
 
 (* control flow *)
 let branch c t rs1 rs2 lbl = emit t (Branch (c, rs1, rs2, lbl))

@@ -67,6 +67,7 @@ val sc_w : t -> int -> int -> int -> unit
 val amoadd_d : t -> int -> int -> int -> unit
 val amoadd_w : t -> int -> int -> int -> unit
 val amoswap_w : t -> int -> int -> int -> unit
+val amoxor_w : t -> int -> int -> int -> unit
 
 (** {2 Control flow (label targets)} *)
 

@@ -49,6 +49,30 @@ let emit_op p locs ~warm = function
     Asm.sw p t2 0L (addr_reg locs l)
   | Test.Ld (r, l) -> Asm.lw p (if warm then t4 else arch_of_reg r) 0L (addr_reg locs l)
   | Test.Fence -> Asm.fence p
+  | Test.Amo (k, r, l, v) ->
+    Asm.li p t2 (Int64.of_int v);
+    (match k with
+    | Test.Add -> Asm.amoadd_w
+    | Test.Swap -> Asm.amoswap_w
+    | Test.Xor -> Asm.amoxor_w)
+      p (arch_of_reg r) t2 (addr_reg locs l)
+  | Test.Lr (r, l) -> Asm.lr_w p (arch_of_reg r) (addr_reg locs l)
+  | Test.Sc (r, l, v) ->
+    Asm.li p t2 (Int64.of_int v);
+    Asm.sc_w p (arch_of_reg r) t2 (addr_reg locs l)
+  | Test.Ld_dep (r, l, dep) ->
+    (* address dependency: fold [dep] to zero with xor, add it into the
+       location address — the load cannot issue before [dep] resolves *)
+    Asm.xor p t2 (arch_of_reg dep) (arch_of_reg dep);
+    Asm.add p t2 (addr_reg locs l) t2;
+    Asm.lw p (arch_of_reg r) 0L t2
+  | Test.St_ctrl (l, v, dep) ->
+    (* control dependency: an always-taken branch on [dep] guards the store *)
+    let taken = Asm.fresh p "ctrl" in
+    Asm.beq p (arch_of_reg dep) (arch_of_reg dep) taken;
+    Asm.label p taken;
+    Asm.li p t2 (Int64.of_int v);
+    Asm.sw p t2 0L (addr_reg locs l)
 
 let emit_thread p (t : Test.t) locs ~seed ~stagger h =
   let th = t.Test.threads.(h) in

@@ -3,8 +3,17 @@ type model = SC | TSO | WMM
 let model_to_string = function SC -> "SC" | TSO -> "TSO" | WMM -> "WMM"
 let of_mem_model = function Ooo.Config.TSO -> TSO | Ooo.Config.WMM -> WMM
 
-(* Threads are compiled to arrays of ops over integer location ids. *)
-type op = St of int * int | Ld of int * int | Fence
+(* Threads are compiled to arrays of ops over integer location ids.
+   Dependency shapes lower to their plain op: WMM (like the DUT's coherence
+   transients) does not order dependent accesses, so [Ld_dep]/[St_ctrl]
+   only constrain the hardware side. *)
+type op =
+  | St of int * int
+  | Ld of int * int
+  | Fence
+  | Amo of Test.amo * int * int * int
+  | Lr of int * int
+  | Sc of int * int * int
 
 type state = {
   pc : int array;
@@ -12,6 +21,7 @@ type state = {
   mem : int array; (* loc id -> value *)
   sb : (int * int) list array; (* thread -> (loc, v), oldest first *)
   ib : int list array array; (* thread -> loc -> stale values, oldest first *)
+  resv : int option array; (* thread -> reserved location, for LR/SC *)
 }
 
 let clone s =
@@ -21,6 +31,7 @@ let clone s =
     mem = Array.copy s.mem;
     sb = Array.copy s.sb;
     ib = Array.map Array.copy s.ib;
+    resv = Array.copy s.resv;
   }
 
 (* Youngest store-buffer entry for [l], if any. *)
@@ -40,99 +51,254 @@ let sb_take_oldest sb l =
   in
   go sb
 
-let successors model prog nthreads nlocs s =
-  let out = ref [] in
-  let push s' = out := s' :: !out in
-  for i = 0 to nthreads - 1 do
-    (* execute thread i's next instruction *)
-    (if s.pc.(i) < Array.length prog.(i) then
-       match prog.(i).(s.pc.(i)) with
-       | St (l, v) ->
-         let s' = clone s in
-         s'.pc.(i) <- s.pc.(i) + 1;
-         (match model with
-         | SC -> s'.mem.(l) <- v
-         | TSO -> s'.sb.(i) <- s.sb.(i) @ [ (l, v) ]
-         | WMM ->
-           s'.sb.(i) <- s.sb.(i) @ [ (l, v) ];
-           (* own stale values for l die: nothing older than the new store
-              may be read by this thread again *)
-           s'.ib.(i).(l) <- []);
-         push s'
-       | Ld (r, l) -> (
-         match if model = SC then None else sb_find s.sb.(i) l with
-         | Some v ->
-           (* forced: read the youngest own buffered store *)
-           let s' = clone s in
-           s'.pc.(i) <- s.pc.(i) + 1;
-           s'.regs.(i).(r) <- v;
-           push s'
-         | None ->
-           (* read the monolithic memory *)
-           let s' = clone s in
-           s'.pc.(i) <- s.pc.(i) + 1;
-           s'.regs.(i).(r) <- s.mem.(l);
-           if model = WMM then s'.ib.(i).(l) <- [];
-           push s';
-           (* WMM: or any still-live stale value; reading the k-th discards
-              everything older (per-location coherence) *)
-           if model = WMM then
-             List.iteri
-               (fun k v ->
-                 let s' = clone s in
-                 s'.pc.(i) <- s.pc.(i) + 1;
-                 s'.regs.(i).(r) <- v;
-                 let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
-                 s'.ib.(i).(l) <- drop k s.ib.(i).(l);
-                 push s')
-               s.ib.(i).(l))
-       | Fence ->
-         if model = SC || s.sb.(i) = [] then begin
-           let s' = clone s in
-           s'.pc.(i) <- s.pc.(i) + 1;
-           if model = WMM then for l = 0 to nlocs - 1 do s'.ib.(i).(l) <- [] done;
-           push s'
-         end);
-    (* drain one entry of thread i's store buffer *)
+(* The model as a process system for {!Mcheck.Dpor}: per thread one
+   program-order "exec" process plus, under TSO, one store-buffer drain
+   process and, under WMM, one drain process per (thread, location) — the
+   drains being separate processes is exactly the buffer nondeterminism.
+   Footprints name the shared resources below; everything else (pc, regs)
+   is process-local. *)
+type proc = Exec of int | DrainT of int (* TSO: FIFO head *) | DrainW of int * int
+
+let make_system model prog nthreads nlocs =
+  (* resource ids: memory cell | store buffer (whole FIFO under TSO,
+     per-location channel under WMM) | invalidation-buffer cell |
+     reservation *)
+  let r_mem l = l in
+  let r_sb i l = nlocs + (i * nlocs) + (match model with TSO -> 0 | _ -> l) in
+  let r_ib i l = nlocs + (nthreads * nlocs) + (i * nlocs) + l in
+  let r_resv i = nlocs + (2 * nthreads * nlocs) + i in
+  let nprocs =
     match model with
-    | SC -> ()
-    | TSO -> (
+    | SC -> nthreads
+    | TSO -> 2 * nthreads
+    | WMM -> nthreads + (nthreads * nlocs)
+  in
+  let decode p =
+    if p < nthreads then Exec p
+    else
+      match model with
+      | SC -> assert false
+      | TSO -> DrainT (p - nthreads)
+      | WMM ->
+        let k = p - nthreads in
+        DrainW (k / nlocs, k mod nlocs)
+  in
+  (* A coherent write to [l] kills every other thread's reservation on it
+     (the invalidation evicts the reserved line). *)
+  let write_mem s' s i l v =
+    s'.mem.(l) <- v;
+    for q = 0 to nthreads - 1 do
+      if q <> i && s.resv.(q) = Some l then s'.resv.(q) <- None
+    done
+  in
+  (* WMM: the overwritten value becomes readable by other threads — unless
+     they have their own buffered store to l, which any later load of
+     theirs must read instead. *)
+  let stale_push s' s i l stale =
+    for q = 0 to nthreads - 1 do
+      if q <> i && not (sb_has s.sb.(q) l) then s'.ib.(q).(l) <- s.ib.(q).(l) @ [ stale ]
+    done
+  in
+  (* footprint fragments mirroring the two helpers above *)
+  let fp_resv i l s acc =
+    let acc = ref acc in
+    for q = 0 to nthreads - 1 do
+      if q <> i then acc := (r_resv q, s.resv.(q) = Some l) :: !acc
+    done;
+    !acc
+  in
+  let fp_stale i l s acc =
+    let acc = ref acc in
+    for q = 0 to nthreads - 1 do
+      if q <> i then begin
+        acc := (r_sb q l, false) :: !acc;
+        if not (sb_has s.sb.(q) l) then acc := (r_ib q l, true) :: !acc
+      end
+    done;
+    !acc
+  in
+  (* sb-emptiness guard of fences and atomics, as reads *)
+  let fp_sb_empty i acc =
+    match model with
+    | SC -> acc
+    | TSO -> (r_sb i 0, false) :: acc
+    | WMM -> List.init nlocs (fun l -> (r_sb i l, false)) @ acc
+  in
+  let fetch s i = prog.(i).(s.pc.(i)) in
+  let enabled s p =
+    match decode p with
+    | Exec i ->
+      s.pc.(i) < Array.length prog.(i)
+      && (match fetch s i with
+         | St _ | Ld _ -> true
+         | Fence | Amo _ | Lr _ | Sc _ -> model = SC || s.sb.(i) = [])
+    | DrainT i -> s.sb.(i) <> []
+    | DrainW (i, l) -> sb_has s.sb.(i) l
+  in
+  let footprint s p =
+    match decode p with
+    | DrainT i -> (
+      match s.sb.(i) with
+      | (l, _) :: _ -> fp_resv i l s [ (r_sb i 0, true); (r_mem l, true) ]
+      | [] -> [])
+    | DrainW (i, l) ->
+      fp_stale i l s (fp_resv i l s [ (r_sb i l, true); (r_mem l, true) ])
+    | Exec i -> (
+      match (fetch s i, model) with
+      | St (l, _), SC -> fp_resv i l s [ (r_mem l, true) ]
+      | St (_, _), TSO -> [ (r_sb i 0, true) ]
+      | St (l, _), WMM -> [ (r_sb i l, true); (r_ib i l, true) ]
+      | Ld (_, l), SC -> [ (r_mem l, false) ]
+      | Ld (_, l), TSO ->
+        if sb_find s.sb.(i) l <> None then [ (r_sb i 0, false) ]
+        else [ (r_sb i 0, false); (r_mem l, false) ]
+      | Ld (_, l), WMM ->
+        if sb_has s.sb.(i) l then [ (r_sb i l, false) ]
+        else [ (r_sb i l, false); (r_mem l, false); (r_ib i l, true) ]
+      | Fence, SC -> []
+      | Fence, TSO -> [ (r_sb i 0, false) ]
+      | Fence, WMM ->
+        List.concat (List.init nlocs (fun l -> [ (r_sb i l, false); (r_ib i l, true) ]))
+      | Amo (_, _, l, _), (SC | TSO) -> fp_sb_empty i (fp_resv i l s [ (r_mem l, true) ])
+      | Amo (_, _, l, _), WMM ->
+        fp_sb_empty i
+          (fp_stale i l s (fp_resv i l s [ (r_mem l, true); (r_ib i l, true) ]))
+      | Lr (_, l), (SC | TSO) -> fp_sb_empty i [ (r_mem l, false); (r_resv i, true) ]
+      | Lr (_, l), WMM ->
+        fp_sb_empty i [ (r_mem l, false); (r_resv i, true); (r_ib i l, true) ]
+      | Sc (_, l, _), _ ->
+        if s.resv.(i) = Some l then
+          let base = [ (r_resv i, true); (r_mem l, true) ] in
+          let base =
+            if model = WMM then fp_stale i l s ((r_ib i l, true) :: base) else base
+          in
+          fp_sb_empty i (fp_resv i l s base)
+        else fp_sb_empty i [ (r_resv i, s.resv.(i) <> None) ])
+  in
+  let step s p =
+    match decode p with
+    | DrainT i -> (
       match s.sb.(i) with
       | (l, v) :: rest ->
         let s' = clone s in
         s'.sb.(i) <- rest;
-        s'.mem.(l) <- v;
-        push s'
-      | [] -> ())
-    | WMM ->
-      (* any location's oldest entry may go next *)
-      let seen = Array.make nlocs false in
-      List.iter
-        (fun (l, _) ->
-          if not seen.(l) then begin
-            seen.(l) <- true;
-            let v, rest = sb_take_oldest s.sb.(i) l in
-            let s' = clone s in
-            s'.sb.(i) <- rest;
-            let stale = s.mem.(l) in
-            s'.mem.(l) <- v;
-            for q = 0 to nthreads - 1 do
-              (* the overwritten value becomes readable by other threads —
-                 unless they have their own buffered store to l, which any
-                 later load of theirs must read instead *)
-              if q <> i && not (sb_has s.sb.(q) l) then
-                s'.ib.(q).(l) <- s.ib.(q).(l) @ [ stale ]
-            done;
-            push s'
-          end)
-        s.sb.(i)
-  done;
-  !out
+        write_mem s' s i l v;
+        [ s' ]
+      | [] -> [])
+    | DrainW (i, l) ->
+      let v, rest = sb_take_oldest s.sb.(i) l in
+      let s' = clone s in
+      s'.sb.(i) <- rest;
+      let stale = s.mem.(l) in
+      write_mem s' s i l v;
+      stale_push s' s i l stale;
+      [ s' ]
+    | Exec i -> (
+      let adv s' = s'.pc.(i) <- s.pc.(i) + 1 in
+      match fetch s i with
+      | St (l, v) ->
+        let s' = clone s in
+        adv s';
+        (match model with
+        | SC -> write_mem s' s i l v
+        | TSO -> s'.sb.(i) <- s.sb.(i) @ [ (l, v) ]
+        | WMM ->
+          s'.sb.(i) <- s.sb.(i) @ [ (l, v) ];
+          (* own stale values for l die: nothing older than the new store
+             may be read by this thread again *)
+          s'.ib.(i).(l) <- []);
+        [ s' ]
+      | Ld (r, l) -> (
+        match if model = SC then None else sb_find s.sb.(i) l with
+        | Some v ->
+          (* forced: read the youngest own buffered store *)
+          let s' = clone s in
+          adv s';
+          s'.regs.(i).(r) <- v;
+          [ s' ]
+        | None ->
+          (* read the monolithic memory *)
+          let s' = clone s in
+          adv s';
+          s'.regs.(i).(r) <- s.mem.(l);
+          if model = WMM then s'.ib.(i).(l) <- [];
+          (* WMM: or any still-live stale value; reading the k-th discards
+             everything older (per-location coherence) *)
+          let stale_reads =
+            if model <> WMM then []
+            else
+              List.mapi
+                (fun k v ->
+                  let s' = clone s in
+                  adv s';
+                  s'.regs.(i).(r) <- v;
+                  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+                  s'.ib.(i).(l) <- drop k s.ib.(i).(l);
+                  s')
+                s.ib.(i).(l)
+          in
+          s' :: stale_reads)
+      | Fence ->
+        let s' = clone s in
+        adv s';
+        if model = WMM then
+          for l = 0 to nlocs - 1 do
+            s'.ib.(i).(l) <- []
+          done;
+        [ s' ]
+      | Amo (k, r, l, v) ->
+        (* reads and writes the coherent memory: the DUT performs atomics
+           at the cache with the line exclusive *)
+        let s' = clone s in
+        adv s';
+        let old = s.mem.(l) in
+        s'.regs.(i).(r) <- old;
+        write_mem s' s i l (Test.amo_apply k ~old ~src:v);
+        if model = WMM then begin
+          stale_push s' s i l old;
+          s'.ib.(i).(l) <- []
+        end;
+        [ s' ]
+      | Lr (r, l) ->
+        let s' = clone s in
+        adv s';
+        s'.regs.(i).(r) <- s.mem.(l);
+        s'.resv.(i) <- Some l;
+        if model = WMM then s'.ib.(i).(l) <- [];
+        [ s' ]
+      | Sc (r, l, v) ->
+        (* spurious failure is always allowed: any eviction of the reserved
+           line between LR and SC fails the SC on the DUT *)
+        let fail_s = clone s in
+        adv fail_s;
+        fail_s.regs.(i).(r) <- 1;
+        fail_s.resv.(i) <- None;
+        if s.resv.(i) = Some l then begin
+          let s' = clone s in
+          adv s';
+          s'.regs.(i).(r) <- 0;
+          write_mem s' s i l v;
+          if model = WMM then begin
+            stale_push s' s i l s.mem.(l);
+            s'.ib.(i).(l) <- []
+          end;
+          s'.resv.(i) <- None;
+          [ s'; fail_s ]
+        end
+        else [ fail_s ])
+  in
+  { Mcheck.Dpor.nprocs; enabled; step; footprint }
 
-let allowed (t : Test.t) ~model =
-  Test.check t;
+type enum_stats = {
+  backend : string;
+  states : int;
+  transitions : int;
+  sleep_prunes : int;
+  races : int;
+}
+
+let lower (t : Test.t) =
   let locs = Test.locs t in
-  let nlocs = List.length locs in
   let loc_id l =
     let rec go i = function
       | [] -> invalid_arg "loc_id"
@@ -141,7 +307,6 @@ let allowed (t : Test.t) ~model =
     in
     go 0 locs
   in
-  let nthreads = Test.nharts t in
   let prog =
     Array.map
       (fun (th : Test.thread) ->
@@ -150,17 +315,29 @@ let allowed (t : Test.t) ~model =
              (function
                | Test.St (l, v) -> St (loc_id l, v)
                | Test.Ld (r, l) -> Ld (r, loc_id l)
-               | Test.Fence -> Fence)
+               | Test.Fence -> Fence
+               | Test.Amo (k, r, l, v) -> Amo (k, r, loc_id l, v)
+               | Test.Lr (r, l) -> Lr (r, loc_id l)
+               | Test.Sc (r, l, v) -> Sc (r, loc_id l, v)
+               | Test.Ld_dep (r, l, _) -> Ld (r, loc_id l)
+               | Test.St_ctrl (l, v, _) -> St (loc_id l, v))
              th.Test.body))
       t.threads
   in
+  (prog, List.length locs, List.map (Test.init_value t) locs)
+
+let setup (t : Test.t) ~model =
+  Test.check t;
+  let prog, nlocs, init_mem = lower t in
+  let nthreads = Test.nharts t in
   let init =
     {
       pc = Array.make nthreads 0;
       regs = Array.make_matrix nthreads 4 0;
-      mem = Array.of_list (List.map (Test.init_value t) locs);
+      mem = Array.of_list init_mem;
       sb = Array.make nthreads [];
       ib = Array.init nthreads (fun _ -> Array.make nlocs []);
+      resv = Array.make nthreads None;
     }
   in
   let observed = Array.init nthreads (Test.observed t) in
@@ -170,18 +347,38 @@ let allowed (t : Test.t) ~model =
          (List.init nthreads (fun i -> List.map (fun r -> s.regs.(i).(r)) observed.(i)))
       @ Array.to_list s.mem)
   in
-  let seen = Hashtbl.create 4096 in
+  (make_system model prog nthreads nlocs, init, outcome)
+
+let mk_stats backend (d : Mcheck.Dpor.stats) =
+  {
+    backend;
+    states = d.Mcheck.Dpor.states;
+    transitions = d.Mcheck.Dpor.transitions;
+    sleep_prunes = d.Mcheck.Dpor.sleep_prunes;
+    races = d.Mcheck.Dpor.races;
+  }
+
+let collect_sorted outcomes = List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) outcomes [])
+
+let allowed_stats (t : Test.t) ~model =
+  let sys, init, outcome = setup t ~model in
   let outcomes = Hashtbl.create 64 in
-  let rec dfs s =
-    let key = Marshal.to_string (s.pc, s.regs, s.mem, s.sb, s.ib) [] in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.replace seen key ();
-      let next = successors model prog nthreads nlocs s in
-      if next = [] then Hashtbl.replace outcomes (outcome s) ()
-      else List.iter dfs next
-    end
+  let d =
+    Mcheck.Dpor.explore sys ~init ~on_terminal:(fun s -> Hashtbl.replace outcomes (outcome s) ())
   in
-  dfs init;
-  List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) outcomes [])
+  (collect_sorted outcomes, mk_stats "dpor" d)
+
+let allowed t ~model = fst (allowed_stats t ~model)
+
+let allowed_dfs ?budget (t : Test.t) ~model =
+  let sys, init, outcome = setup t ~model in
+  let outcomes = Hashtbl.create 64 in
+  let key s = Marshal.to_string (s.pc, s.regs, s.mem, s.sb, s.ib, s.resv) [] in
+  match
+    Mcheck.Dpor.explore_dfs ?budget ~key sys ~init ~on_terminal:(fun s ->
+        Hashtbl.replace outcomes (outcome s) ())
+  with
+  | d -> Some (collect_sorted outcomes, mk_stats "dfs" d)
+  | exception Mcheck.Dpor.Budget_exceeded -> None
 
 let is_allowed set o = List.exists (fun a -> a = o) set

@@ -16,6 +16,14 @@
       acts as Commit + Reconcile: drains the store buffer and discards the
       thread's stale values.
 
+    Atomics execute only when the thread's store buffer is empty and read
+    and write the coherent memory directly — matching the DUT, which holds
+    AMO/LR/SC at the commit point until older stores drain and performs them
+    at the cache with the line exclusive. A coherent write kills every other
+    thread's reservation on its location; SC (store-conditional) may always
+    fail spuriously, as any eviction of the reserved line fails it on the
+    DUT.
+
     Every reachable final state (all threads done, all buffers drained) is
     collected, so [allowed] is the exact outcome set of the model — the DUT,
     whose relaxations are a subset of the buffer semantics above, must stay
@@ -27,10 +35,31 @@ val model_to_string : model -> string
 
 val of_mem_model : Ooo.Config.mem_model -> model
 
+(** Enumeration statistics from one [allowed] computation. [backend] is
+    ["dpor"] or ["dfs"]; [sleep_prunes] and [races] are zero for the DFS
+    baseline. *)
+type enum_stats = {
+  backend : string;
+  states : int;
+  transitions : int;
+  sleep_prunes : int;
+  races : int;
+}
+
 (** All outcomes (see {!Test} for the encoding) the model admits for the
     test, sorted lexicographically. Warm-up ops are ignored: they are
-    architecturally neutral by construction. *)
+    architecturally neutral by construction. Enumeration runs the
+    {!Mcheck.Dpor} partial-order-reduced search; {!allowed_dfs} is the
+    exhaustive baseline it is tested against. *)
 val allowed : Test.t -> model:model -> int array list
+
+(** [allowed] plus the search statistics. *)
+val allowed_stats : Test.t -> model:model -> int array list * enum_stats
+
+(** Exhaustive memoized DFS over the same operational semantics — the
+    pre-reduction enumerator, kept as the equivalence oracle. [None] if the
+    search visits more than [budget] states. *)
+val allowed_dfs : ?budget:int -> Test.t -> model:model -> (int array list * enum_stats) option
 
 (** Membership in {!allowed} (the list is small; linear scan). *)
 val is_allowed : int array list -> int array -> bool

@@ -8,7 +8,11 @@ let cls_to_string = function
   | Wmm_relaxed -> "WMM-relaxed"
   | Forbidden -> "FORBIDDEN"
 
-type run_error = Timed_out of int | Bad_exit of string | Not_quiesced
+type run_error =
+  | Timed_out of int
+  | Bad_exit of string
+  | Not_quiesced
+  | Obligation_violated of string * string * string
 
 exception Harness_error of run_error
 
@@ -16,6 +20,15 @@ let error_to_string = function
   | Timed_out c -> Printf.sprintf "timed out after %d cycles" c
   | Bad_exit s -> "bad exit codes: " ^ s
   | Not_quiesced -> "stores still buffered after every hart exited"
+  | Obligation_violated (m, i, msg) -> Printf.sprintf "obligation %s/%s violated: %s" m i msg
+
+(** Which implementation to sweep: the OOO core under its configured memory
+    model, or the in-order baseline (checked against the SC set — it has no
+    store buffer, so every outcome it produces must be sequentially
+    consistent). *)
+type dut = Dut_ooo | Dut_inorder
+
+let dut_to_string = function Dut_ooo -> "ooo" | Dut_inorder -> "inorder"
 
 (* Small caches and short memory latency: misses stay cheap (a litmus run is
    a few thousand cycles) while the drain window — the source of the
@@ -45,7 +58,11 @@ let max_cycles = 300_000
    present, is finished before the checks: a trace of a failing run is the
    most useful trace of all. *)
 let exec_machine ?on_cycle ?obs m meta =
-  let o = Machine.run ~max_cycles ?on_cycle m in
+  let o =
+    try Machine.run ~max_cycles ?on_cycle m
+    with Mcheck.Obligation.Violation (md, itf, msg) ->
+      raise (Harness_error (Obligation_violated (md, itf, msg)))
+  in
   Option.iter
     (fun hub ->
       Obs.Hub.finish hub ~cycles:o.Machine.cycles ~instrs:(Machine.instrs m)
@@ -70,16 +87,31 @@ let exec_machine ?on_cycle ?obs m meta =
 let warm_cache : (string, Machine.t * string) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
-let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm = false) ~model
-    test =
+let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm = false)
+    ?(dut = Dut_ooo) ?(mesi = false) ?(obligations = false) ?(inject_lsq_bug = false) ?on_machine
+    ~model test =
   let prog, meta = Compile.program ~seed ~stagger test in
   let ncores = Test.nharts test in
-  let cfg = { (Ooo.Config.multicore model) with Ooo.Config.mem = litmus_mem } in
+  let mem = { litmus_mem with Mem.Mem_sys.mesi } in
+  let kind =
+    match dut with
+    | Dut_ooo ->
+      Machine.Out_of_order
+        {
+          (Ooo.Config.multicore model) with
+          Ooo.Config.mem;
+          bug_ld_bypass_sq = inject_lsq_bug;
+        }
+    | Dut_inorder -> Machine.In_order { mem; tlb = Tlb.Tlb_sys.blocking_config }
+  in
   if warm && (not stagger) && konata = None then begin
     let key =
-      Printf.sprintf "%s/%s/j%d" test.Test.name
+      Printf.sprintf "%s/%s/%s/j%d%s%s%s" test.Test.name (dut_to_string dut)
         (match model with Ooo.Config.TSO -> "tso" | Ooo.Config.WMM -> "wmm")
         jobs
+        (if mesi then "/mesi" else "")
+        (if obligations then "/ob" else "")
+        (if inject_lsq_bug then "/bug" else "")
     in
     let cache = Domain.DLS.get warm_cache in
     let m, img =
@@ -88,16 +120,16 @@ let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm =
       | None ->
         (* seed 1 is arbitrary: the image is taken at cycle 0 and the
            schedule RNG is re-keyed per run below *)
-        let m =
-          Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle 1) (Machine.Out_of_order cfg) prog
-        in
+        let m = Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle 1) ~obligations kind prog in
         let img = Machine.snapshot m in
         Hashtbl.add cache key (m, img);
         (m, img)
     in
     Machine.restore m img;
     Machine.reseed_schedule m seed;
-    exec_machine ?on_cycle m meta
+    let out = exec_machine ?on_cycle m meta in
+    Option.iter (fun f -> f m) on_machine;
+    out
   end
   else begin
     let obs =
@@ -107,6 +139,7 @@ let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm =
             ~meta:
               [
                 ("litmus", test.Test.name);
+                ("dut", dut_to_string dut);
                 ("model", Ref_model.model_to_string (Ref_model.of_mem_model model));
                 ("seed", string_of_int seed);
                 ("jobs", string_of_int jobs);
@@ -114,15 +147,15 @@ let run_one ?(jobs = 1) ?(seed = 1) ?(stagger = true) ?konata ?on_cycle ?(warm =
             ~nharts:ncores ())
         konata
     in
-    let m =
-      Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle seed) ?obs
-        (Machine.Out_of_order cfg) prog
-    in
-    exec_machine ?on_cycle ?obs m meta
+    let m = Machine.create ~ncores ~jobs ~mode:(Cmd.Sim.Shuffle seed) ~obligations ?obs kind prog in
+    let out = exec_machine ?on_cycle ?obs m meta in
+    Option.iter (fun f -> f m) on_machine;
+    out
   end
 
 type report = {
   test : Test.t;
+  dut : dut;
   model : Ooo.Config.mem_model;
   total_runs : int;
   hist : (int array * cls * int) list;
@@ -131,19 +164,27 @@ type report = {
   errors : string list;
   relaxed_seen : bool;
   wmm_only_seen : bool;
+  enum : (Ref_model.model * Ref_model.enum_stats) list;
+  obligation_events : (string * int) list;
 }
 
 let ok r = r.forbidden = [] && r.mismatches = [] && r.errors = []
 
-let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~model test =
-  let sc = Ref_model.allowed test ~model:Ref_model.SC in
-  let tso = Ref_model.allowed test ~model:Ref_model.TSO in
-  let wmm = Ref_model.allowed test ~model:Ref_model.WMM in
+let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ?(dut = Dut_ooo)
+    ?(mesi = false) ?(obligations = false) ?(inject_lsq_bug = false) ~model test =
+  let sc, sc_st = Ref_model.allowed_stats test ~model:Ref_model.SC in
+  let tso, tso_st = Ref_model.allowed_stats test ~model:Ref_model.TSO in
+  let wmm, wmm_st = Ref_model.allowed_stats test ~model:Ref_model.WMM in
   let model_set =
-    match Ref_model.of_mem_model model with
-    | Ref_model.SC -> sc
-    | Ref_model.TSO -> tso
-    | Ref_model.WMM -> wmm
+    (* the in-order core has no store buffer: everything it produces must be
+       SC, whatever memory model its caches were configured for *)
+    match dut with
+    | Dut_inorder -> sc
+    | Dut_ooo -> (
+      match Ref_model.of_mem_model model with
+      | Ref_model.SC -> sc
+      | Ref_model.TSO -> tso
+      | Ref_model.WMM -> wmm)
   in
   let classify o =
     if Ref_model.is_allowed sc o then In_sc
@@ -155,11 +196,22 @@ let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~mo
   let forbidden = ref [] in
   let mismatches = ref [] in
   let errors = ref [] in
+  let ob_events = Hashtbl.create 8 in
+  let on_machine m =
+    if obligations then
+      List.iter
+        (fun (n, e) ->
+          Hashtbl.replace ob_events n (e + Option.value ~default:0 (Hashtbl.find_opt ob_events n)))
+        (Machine.obligation_stats m)
+  in
   for seed = 1 to seeds do
     let first = ref None in
     List.iter
       (fun jobs ->
-        match run_one ~jobs ~seed ~stagger ~model test with
+        match
+          run_one ~jobs ~seed ~stagger ~dut ~mesi ~obligations ~inject_lsq_bug ~on_machine ~model
+            test
+        with
         | o ->
           Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o));
           (match !first with
@@ -178,7 +230,10 @@ let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~mo
                            seed jobs)
                     in
                     (* replay the identical run with the pipeline tracer on *)
-                    (try ignore (run_one ~jobs ~seed ~stagger ~konata:f ~model test)
+                    (try
+                       ignore
+                         (run_one ~jobs ~seed ~stagger ~konata:f ~dut ~mesi ~obligations
+                            ~inject_lsq_bug ~model test)
                      with Harness_error _ -> ());
                     f)
                   trace_dir
@@ -199,6 +254,7 @@ let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~mo
   let seen p = List.exists (fun (_, c, _) -> p c) hist in
   {
     test;
+    dut;
     model;
     total_runs = seeds * List.length jobs_list;
     hist;
@@ -207,12 +263,25 @@ let sweep ?(seeds = 20) ?(jobs_list = [ 1; 4 ]) ?(stagger = true) ?trace_dir ~mo
     errors = List.rev !errors;
     relaxed_seen = seen (fun c -> c <> In_sc);
     wmm_only_seen = seen (fun c -> c = Wmm_relaxed || c = Forbidden);
+    enum = [ (Ref_model.SC, sc_st); (Ref_model.TSO, tso_st); (Ref_model.WMM, wmm_st) ];
+    obligation_events =
+      Hashtbl.fold (fun n e acc -> (n, e) :: acc) ob_events [] |> List.sort compare;
   }
 
 let pp_report fmt r =
   let model = Ref_model.model_to_string (Ref_model.of_mem_model r.model) in
-  Format.fprintf fmt "%-10s %-4s %4d runs  %s@." r.test.Test.name model r.total_runs
+  Format.fprintf fmt "%-10s %-8s %-4s %4d runs  %s@." r.test.Test.name (dut_to_string r.dut)
+    model r.total_runs
     (if ok r then "ok" else "FAIL");
+  List.iter
+    (fun (m, (st : Ref_model.enum_stats)) ->
+      Format.fprintf fmt "    enum %-3s %s: %d states, %d transitions, %d prunes, %d races@."
+        (Ref_model.model_to_string m) st.Ref_model.backend st.states st.transitions
+        st.sleep_prunes st.races)
+    r.enum;
+  List.iter
+    (fun (n, e) -> Format.fprintf fmt "    obligation %-24s %d events@." n e)
+    r.obligation_events;
   List.iter
     (fun (o, c, n) ->
       Format.fprintf fmt "    %6d  [%-11s] %s@." n (cls_to_string c)
@@ -243,23 +312,32 @@ type farm_job = {
   fj_model : Ooo.Config.mem_model;
   fj_seed : int;
   fj_stagger : bool;
+  fj_obligations : bool;
 }
 
 let model_tag m = Ref_model.model_to_string (Ref_model.of_mem_model m)
 
 let farm_job_id fj =
-  Printf.sprintf "litmus/%s/%s/%sseed%05d" fj.fj_test.Test.name
+  Printf.sprintf "%s/%s/%s/%sseed%05d"
+    (if fj.fj_obligations then "mcheck" else "litmus")
+    fj.fj_test.Test.name
     (String.lowercase_ascii (model_tag fj.fj_model))
     (if fj.fj_stagger then "" else "nostagger/")
     fj.fj_seed
 
-let farm_jobs ?(stagger = true) ~seeds ~models tests =
+let farm_jobs ?(stagger = true) ?(obligations = false) ~seeds ~models tests =
   List.concat_map
     (fun fj_model ->
       List.concat_map
         (fun fj_test ->
           List.init seeds (fun i ->
-              { fj_test; fj_model; fj_seed = i + 1; fj_stagger = stagger }))
+              {
+                fj_test;
+                fj_model;
+                fj_seed = i + 1;
+                fj_stagger = stagger;
+                fj_obligations = obligations;
+              }))
         tests)
     models
 
@@ -294,8 +372,11 @@ let classify_outcome test o =
    exception through) — the farm retries, then quarantines. [warm] uses the
    per-domain warm-fork cache (stagger-free jobs only). *)
 let farm_run ?on_cycle ?(warm = false) fj =
+  let obs = ref [] in
+  let on_machine m = obs := Workloads.Machine.obligation_stats m in
   let o =
-    run_one ~seed:fj.fj_seed ~stagger:fj.fj_stagger ?on_cycle ~warm ~model:fj.fj_model fj.fj_test
+    run_one ~seed:fj.fj_seed ~stagger:fj.fj_stagger ?on_cycle ~warm
+      ~obligations:fj.fj_obligations ~model:fj.fj_model ~on_machine fj.fj_test
   in
   let cls = classify_outcome fj.fj_test o in
   let model_set =
@@ -305,7 +386,7 @@ let farm_run ?on_cycle ?(warm = false) fj =
     | Ref_model.TSO -> tso
     | Ref_model.WMM -> wmm
   in
-  (o, cls, Ref_model.is_allowed model_set o)
+  (o, cls, Ref_model.is_allowed model_set o, !obs)
 
 (* Hand-rolled JSON: values are ints, booleans and printable ASCII names. *)
 let json_escape s =
@@ -328,11 +409,29 @@ let reports_to_json ~seeds reports =
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n";
-      add "    {\"test\": \"%s\", \"model\": \"%s\", \"runs\": %d, \"ok\": %b,\n"
+      add "    {\"test\": \"%s\", \"dut\": \"%s\", \"model\": \"%s\", \"runs\": %d, \"ok\": %b,\n"
         (json_escape r.test.Test.name)
+        (dut_to_string r.dut)
         (Ref_model.model_to_string (Ref_model.of_mem_model r.model))
         r.total_runs (ok r);
       add "     \"relaxed_seen\": %b, \"wmm_only_seen\": %b,\n" r.relaxed_seen r.wmm_only_seen;
+      add "     \"enum\": [";
+      List.iteri
+        (fun j (m, (st : Ref_model.enum_stats)) ->
+          if j > 0 then add ", ";
+          add
+            "{\"model\": \"%s\", \"backend\": \"%s\", \"states\": %d, \"transitions\": %d, \
+             \"sleep_prunes\": %d, \"races\": %d}"
+            (Ref_model.model_to_string m) st.Ref_model.backend st.states st.transitions
+            st.sleep_prunes st.races)
+        r.enum;
+      add "],\n     \"obligations\": [";
+      List.iteri
+        (fun j (n, e) ->
+          if j > 0 then add ", ";
+          add "{\"monitor\": \"%s\", \"events\": %d}" (json_escape n) e)
+        r.obligation_events;
+      add "],\n";
       add "     \"outcomes\": [";
       List.iteri
         (fun j (o, c, n) ->

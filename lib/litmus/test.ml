@@ -1,4 +1,14 @@
-type op = St of string * int | Ld of int * string | Fence
+type amo = Add | Swap | Xor
+
+type op =
+  | St of string * int
+  | Ld of int * string
+  | Fence
+  | Amo of amo * int * string * int
+  | Lr of int * string
+  | Sc of int * string * int
+  | Ld_dep of int * string * int
+  | St_ctrl of string * int * int
 
 type thread = { warm : op list; body : op list }
 
@@ -9,7 +19,24 @@ type t = {
   threads : thread array;
 }
 
+let amo_to_string = function Add -> "add" | Swap -> "swap" | Xor -> "xor"
+
+let amo_apply k ~old ~src =
+  match k with Add -> old + src | Swap -> src | Xor -> old lxor src
+
 let nharts t = Array.length t.threads
+
+let op_loc = function
+  | St (l, _) | Ld (_, l) | Amo (_, _, l, _) | Lr (_, l) | Sc (_, l, _) | Ld_dep (_, l, _)
+  | St_ctrl (l, _, _) ->
+    Some l
+  | Fence -> None
+
+(* Destination register, if the op writes one. [Sc] writes its success flag
+   (0 ok / 1 fail); [Amo] and [Lr] write the old memory value. *)
+let op_dst = function
+  | Ld (r, _) | Amo (_, r, _, _) | Lr (r, _) | Sc (r, _, _) | Ld_dep (r, _, _) -> Some r
+  | St _ | Fence | St_ctrl _ -> None
 
 let locs t =
   let s = Hashtbl.create 8 in
@@ -17,9 +44,7 @@ let locs t =
   List.iter (fun (l, _) -> note l) t.init;
   Array.iter
     (fun th ->
-      List.iter
-        (function St (l, _) -> note l | Ld (_, l) -> note l | Fence -> ())
-        (th.warm @ th.body))
+      List.iter (fun o -> match op_loc o with Some l -> note l | None -> ()) (th.warm @ th.body))
     t.threads;
   List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) s [])
 
@@ -28,7 +53,7 @@ let init_value t l = match List.assoc_opt l t.init with Some v -> v | None -> 0
 let observed t i =
   let s = Hashtbl.create 4 in
   List.iter
-    (function Ld (r, _) -> Hashtbl.replace s r () | St _ | Fence -> ())
+    (fun o -> match op_dst o with Some r -> Hashtbl.replace s r () | None -> ())
     t.threads.(i).body;
   List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) s [])
 
@@ -37,25 +62,47 @@ let check t =
   let n = nharts t in
   if n < 1 || n > 4 then fail "litmus %s: %d threads (must be 1-4)" t.name n;
   if List.length (locs t) > 4 then fail "litmus %s: more than 4 locations" t.name;
+  let reg r = if r < 0 || r > 3 then fail "litmus %s: register r%d out of range" t.name r in
+  let value v = if v < 0 || v > 255 then fail "litmus %s: value %d out of range" t.name v in
   Array.iteri
     (fun i th ->
       if th.body = [] then fail "litmus %s: thread %d has an empty body" t.name i;
+      (* a dependency source must be a register some earlier op in the same
+         body wrote, else the "dependency" orders nothing *)
+      let defined = Hashtbl.create 4 in
+      List.iter
+        (fun o ->
+          (match o with
+          | St (_, v) -> value v
+          | Ld (r, _) -> reg r
+          | Fence -> ()
+          | Amo (_, r, _, v) | Sc (r, _, v) ->
+            reg r;
+            value v
+          | Lr (r, _) -> reg r
+          | Ld_dep (r, _, dep) ->
+            reg r;
+            reg dep;
+            if not (Hashtbl.mem defined dep) then
+              fail "litmus %s: thread %d addr-dep on r%d before any load into it" t.name i dep
+          | St_ctrl (_, v, dep) ->
+            value v;
+            reg dep;
+            if not (Hashtbl.mem defined dep) then
+              fail "litmus %s: thread %d ctrl-dep on r%d before any load into it" t.name i dep);
+          match op_dst o with Some r -> Hashtbl.replace defined r () | None -> ())
+        th.body;
       List.iter
         (function
           | St (l, v) ->
-            if v < 0 || v > 255 then fail "litmus %s: store value %d out of range" t.name v;
-            ignore l
-          | Ld (r, _) ->
-            if r < 0 || r > 3 then fail "litmus %s: register r%d out of range" t.name r
-          | Fence -> ())
-        (th.warm @ th.body);
-      List.iter
-        (function
-          | St (l, v) ->
+            value v;
             if v <> init_value t l then
               fail "litmus %s: warm store to %s writes %d, not the initial value %d" t.name l v
                 (init_value t l)
-          | Ld _ | Fence -> ())
+          | Ld (r, _) -> reg r
+          | Fence -> ()
+          | Amo _ | Lr _ | Sc _ | Ld_dep _ | St_ctrl _ ->
+            fail "litmus %s: warm-up must stay architecturally neutral (St/Ld/Fence only)" t.name)
         th.warm)
     t.threads
 
@@ -224,8 +271,108 @@ let iriw_fence =
       |];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Atomics and dependency shapes. AMO/LR/SC execute at the cache with the
+   line exclusive and only at the head of an empty store queue, so an
+   atomic is ordered like a fenced access on its own thread — the
+   relaxations left are on the plain accesses around it. *)
+(* ------------------------------------------------------------------ *)
+
+let sb_amo =
+  {
+    name = "SB+amo";
+    doc = "SB read via fetch-and-add-0: r0=0/r0=0 forbidden — atomics drain the store buffer";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1); Amo (Add, 0, "y", 0) ];
+        thr [ St ("y", 1); Amo (Add, 0, "x", 0) ];
+      |];
+  }
+
+let mp_amo =
+  {
+    name = "MP+amo";
+    doc = "MP with the flag read via amoadd-0: stale payload r1=0 forbidden TSO, allowed WMM";
+    init = [];
+    threads =
+      [|
+        thr [ St ("x", 1); St ("y", 1) ];
+        thr ~warm:[ Ld (3, "x") ] [ Amo (Add, 0, "y", 0); Ld (1, "x") ];
+      |];
+  }
+
+let mp_addr =
+  {
+    name = "MP+addr";
+    doc = "MP with an address-dependent payload load: WMM still allows r0=1,r1=0";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 1); St ("y", 1) ];
+        thr ~warm:[ Ld (3, "x") ] [ Ld (0, "y"); Ld_dep (1, "x", 0) ];
+      |];
+  }
+
+let lr_sc =
+  {
+    name = "LR-SC";
+    doc = "competing LR/SC pairs: both reading 0 and both succeeding is forbidden";
+    init = [];
+    threads =
+      [|
+        thr [ Lr (0, "x"); Sc (1, "x", 1) ];
+        thr [ Lr (0, "x"); Sc (1, "x", 2) ];
+      |];
+  }
+
+let amo_inc =
+  {
+    name = "AMO-inc";
+    doc = "two fetch-and-adds: atomicity forbids a lost update, final x=2 always";
+    init = [];
+    threads = [| thr [ Amo (Add, 0, "x", 1) ]; thr [ Amo (Add, 1, "x", 1) ] |];
+  }
+
+(* 6 ops/thread over per-thread private locations — the DPOR scaling test.
+   The threads share nothing and never write, so the whole test is a single
+   Mazurkiewicz trace that DPOR walks once (~25 states); the exhaustive DFS
+   still visits the full cross-product of thread-local pcs (7^4 = 2401),
+   because memoization only collapses interleavings after they are
+   generated. Loads only: a store's buffer drain is a separate process
+   whose first event has an empty history, so the happens-before check
+   cannot order it after the accesses that enabled it and DPOR would pay
+   for drain placements that commute. *)
+let stress6 =
+  let t l = thr [ Ld (0, l); Ld (1, l); Ld (2, l); Ld (0, l); Ld (1, l); Ld (2, l) ] in
+  {
+    name = "Stress6";
+    doc = "6 loads/thread, disjoint locations: deterministic outcome, DPOR scaling test";
+    init = [];
+    threads = [| t "a"; t "b"; t "c"; t "d" |];
+  }
+
 let all =
-  [ sb; sb_fence; mp; mp_fence; lb; s; r; w2plus2; corr; coww; iriw; iriw_fence ]
+  [
+    sb;
+    sb_fence;
+    mp;
+    mp_fence;
+    lb;
+    s;
+    r;
+    w2plus2;
+    corr;
+    coww;
+    iriw;
+    iriw_fence;
+    sb_amo;
+    mp_amo;
+    mp_addr;
+    lr_sc;
+    amo_inc;
+    stress6;
+  ]
 
 let () = List.iter check all
 

@@ -8,10 +8,30 @@
     {!Workloads.Machine}. An {e outcome} is the canonical vector of every
     observed register followed by the final value of every location. *)
 
+type amo = Add | Swap | Xor
+
 type op =
   | St of string * int  (** [[loc] := const] *)
   | Ld of int * string  (** [r := [loc]] — [r] is a thread-local register 0–3 *)
   | Fence  (** full fence ([FENCE]: drains stores, orders later loads) *)
+  | Amo of amo * int * string * int
+      (** [r := [loc]; [loc] := f([loc], const)] atomically — executes at the
+          cache with the line exclusive, store queue drained *)
+  | Lr of int * string  (** [r := [loc]], acquiring a reservation on the line *)
+  | Sc of int * string * int
+      (** conditional [[loc] := const] if the reservation still holds;
+          [r := 0] on success, [1] on failure (spurious failure allowed) *)
+  | Ld_dep of int * string * int
+      (** [Ld_dep (r, loc, dep)]: load whose address depends on register
+          [dep] (xor-zero idiom) — an earlier op in the body must write [dep] *)
+  | St_ctrl of string * int * int
+      (** [St_ctrl (loc, const, dep)]: store behind an always-taken branch on
+          register [dep] — a control dependency *)
+
+val amo_to_string : amo -> string
+
+(** The atomic's read-modify-write function, shared with {!Ref_model}. *)
+val amo_apply : amo -> old:int -> src:int -> int
 
 type thread = {
   warm : op list;
@@ -31,7 +51,9 @@ type t = {
 
 (** Raises [Invalid_argument] unless: 1–4 threads, registers in 0–3, values
     in 0–255, at most 4 locations, every warm store writes the location's
-    initial value, and every thread body is non-empty. *)
+    initial value, every thread body is non-empty, warm-ups use only
+    St/Ld/Fence, and every dependency source register was written earlier in
+    the same body. *)
 val check : t -> unit
 
 val nharts : t -> int
@@ -42,7 +64,8 @@ val locs : t -> string list
 
 val init_value : t -> string -> int
 
-(** Registers thread [i] loads into, sorted — its observed registers. *)
+(** Registers thread [i]'s body writes (loads, atomics, SC flags), sorted —
+    its observed registers. *)
 val observed : t -> int -> int list
 
 (** {2 Outcomes}
@@ -76,6 +99,20 @@ val coww : t  (** coherence: same-address stores drain in order *)
 val iriw : t  (** independent reads of independent writes *)
 
 val iriw_fence : t
+
+(** {2 Atomics and dependency shapes} *)
+
+val sb_amo : t  (** SB read via fetch-and-add-0: forbidden everywhere *)
+
+val mp_amo : t  (** MP publishing the flag with an AMO: still WMM-relaxed *)
+
+val mp_addr : t  (** MP with an address-dependent payload load *)
+
+val lr_sc : t  (** competing LR/SC pairs: mutual exclusion *)
+
+val amo_inc : t  (** two fetch-and-adds: no lost update *)
+
+val stress6 : t  (** 6 ops/thread, disjoint locations — DPOR scaling test *)
 
 (** All of the above, in presentation order. *)
 val all : t list

@@ -1,0 +1,185 @@
+type 's system = {
+  nprocs : int;
+  enabled : 's -> int -> bool;
+  step : 's -> int -> 's list;
+  footprint : 's -> int -> (int * bool) list;
+}
+
+type stats = {
+  mutable states : int;
+  mutable transitions : int;
+  mutable sleep_prunes : int;
+  mutable races : int;
+}
+
+let stats_zero () = { states = 0; transitions = 0; sleep_prunes = 0; races = 0 }
+
+exception Budget_exceeded
+
+(* -- vector clocks ------------------------------------------------------- *)
+
+let vc_leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let vc_join a b = Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let conflict fp1 fp2 =
+  List.exists (fun (r1, w1) -> List.exists (fun (r2, w2) -> r1 = r2 && (w1 || w2)) fp2) fp1
+
+(* -- DPOR ---------------------------------------------------------------- *)
+
+(* A frame is a node on the current DFS path. Its backtrack set is mutable
+   on purpose: descendants reach back through the trace to schedule more
+   processes here when they detect a race. *)
+type frame = { backtrack : bool array; f_enabled : int list }
+
+type event = { e_proc : int; e_fp : (int * bool) list; e_clock : int array; e_frame : frame }
+
+let explore ?budget sys ~init ~on_terminal =
+  let st = stats_zero () in
+  let n = sys.nprocs in
+  let procs = List.init n Fun.id in
+  let check_budget () =
+    match budget with Some b when st.states > b -> raise Budget_exceeded | _ -> ()
+  in
+  (* [clocks.(p)] is the vector clock of [p]'s latest executed event;
+     [rw]/[rall] map a resource to the clock of its last write / the join of
+     all its accesses. All three are copied on push so siblings never see a
+     branch's updates. [trace] lists executed events, newest first. *)
+  let rec visit s sleep clocks rw rall trace =
+    st.states <- st.states + 1;
+    check_budget ();
+    let en = List.filter (fun p -> sys.enabled s p) procs in
+    match en with
+    | [] -> on_terminal s
+    | _ -> (
+        match List.filter (fun p -> not sleep.(p)) en with
+        | [] -> st.sleep_prunes <- st.sleep_prunes + 1
+        | p0 :: _ ->
+            let backtrack = Array.make n false in
+            backtrack.(p0) <- true;
+            let frame = { backtrack; f_enabled = en } in
+            (* Race detection: for each enabled process, every earlier event
+               that conflicts with its next step and is not already
+               happens-before it is a race — schedule this process (or, when
+               it was not yet enabled there, everything that was) at the
+               racing event's pre-state. Adding a point at every racing
+               event, not only the newest, keeps the search complete when a
+               nearer conflict masks a farther one (e.g. a buffered store
+               masking the memory write its drain races with). Every process
+               executed from this frame is enabled here, so each executed
+               event gets checked against the whole prefix. *)
+            List.iter
+              (fun p ->
+                let fp = sys.footprint s p in
+                List.iter
+                  (fun e ->
+                    if e.e_proc <> p && conflict e.e_fp fp && not (vc_leq e.e_clock clocks.(p))
+                    then begin
+                      st.races <- st.races + 1;
+                      if List.mem p e.e_frame.f_enabled then e.e_frame.backtrack.(p) <- true
+                      else List.iter (fun q -> e.e_frame.backtrack.(q) <- true) e.e_frame.f_enabled
+                    end)
+                  trace)
+              en;
+            let done_ = Array.make n false in
+            let sleep_here = Array.copy sleep in
+            (* The pick deliberately ignores [sleep_here]: every backtracked
+               process other than [p0] got there through a race, and a race is
+               evidence that the commuted-sibling coverage argument behind its
+               sleep mark does not extend to the reordering the race demands.
+               Waking it (exploring anyway) is conservative — naive
+               sleep-blocking of race-added processes loses outcomes even
+               under static independence (4-reader IRIW is a witness: the
+               unique interleaving of one outcome is only demanded by races
+               inside subtrees that the block prunes). Sleep still prunes via
+               inheritance and the all-asleep cutoff above. *)
+            let rec loop () =
+              match
+                List.find_opt (fun q -> frame.backtrack.(q) && not done_.(q)) procs
+              with
+              | None -> ()
+              | Some q ->
+                  done_.(q) <- true;
+                  let fp = sys.footprint s q in
+                  (* event clock: join of q's history with the ordering the
+                     footprint imposes (reads after prior writes, writes
+                     after all prior accesses), then tick q's component *)
+                  let v = ref (Array.copy clocks.(q)) in
+                  List.iter
+                    (fun (r, w) ->
+                      match Hashtbl.find_opt (if w then rall else rw) r with
+                      | Some c -> v := vc_join !v c
+                      | None -> ())
+                    fp;
+                  let v = !v in
+                  v.(q) <- v.(q) + 1;
+                  let clocks' = Array.copy clocks in
+                  clocks'.(q) <- v;
+                  let rw' = Hashtbl.copy rw and rall' = Hashtbl.copy rall in
+                  List.iter
+                    (fun (r, w) ->
+                      if w then Hashtbl.replace rw' r v;
+                      let j =
+                        match Hashtbl.find_opt rall' r with Some c -> vc_join c v | None -> v
+                      in
+                      Hashtbl.replace rall' r j)
+                    fp;
+                  (* sleeping processes stay asleep below q only if they are
+                     still runnable and commute with q *)
+                  let child_sleep = Array.make n false in
+                  Array.iteri
+                    (fun r asleep ->
+                      if
+                        asleep && r <> q
+                        && sys.enabled s r
+                        && not (conflict (sys.footprint s r) fp)
+                      then child_sleep.(r) <- true)
+                    sleep_here;
+                  let ev = { e_proc = q; e_fp = fp; e_clock = v; e_frame = frame } in
+                  let trace' = ev :: trace in
+                  List.iter
+                    (fun s' ->
+                      st.transitions <- st.transitions + 1;
+                      visit s' child_sleep clocks' rw' rall' trace')
+                    (sys.step s q);
+                  sleep_here.(q) <- true;
+                  loop ()
+            in
+            loop ())
+  in
+  let clocks0 = Array.init n (fun _ -> Array.make n 0) in
+  visit init (Array.make n false) clocks0 (Hashtbl.create 64) (Hashtbl.create 64) [];
+  st
+
+(* -- exhaustive baseline ------------------------------------------------- *)
+
+let explore_dfs ?budget ~key sys ~init ~on_terminal =
+  let st = stats_zero () in
+  let seen = Hashtbl.create 4096 in
+  let procs = List.init sys.nprocs Fun.id in
+  let rec go s =
+    let k = key s in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      st.states <- st.states + 1;
+      (match budget with Some b when st.states > b -> raise Budget_exceeded | _ -> ());
+      let any = ref false in
+      List.iter
+        (fun p ->
+          if sys.enabled s p then begin
+            any := true;
+            List.iter
+              (fun s' ->
+                st.transitions <- st.transitions + 1;
+                go s')
+              (sys.step s p)
+          end)
+        procs;
+      if not !any then on_terminal s
+    end
+  in
+  go init;
+  st

@@ -1,0 +1,59 @@
+(** Stateless-model-checking exploration engines over process systems.
+
+    A {!system} is a transition system factored into [nprocs] processes: at
+    every state each process is enabled or not, an enabled process steps to
+    one or more successor states (value nondeterminism inside one process
+    step — e.g. a weak-memory load choosing among stale values — is a list
+    of variants), and each process's next step at a state declares a
+    {e footprint}: the resources it reads and writes. Two steps of different
+    processes {e conflict} when their footprints share a resource and at
+    least one writes it; conflict-free steps commute, which is what both the
+    happens-before relation and the reduction below rely on. All variants of
+    one [step] call must be decided by the declared footprint alone.
+
+    {!explore} is dynamic partial-order reduction in the Flanagan–Godefroid
+    style: depth-first search with per-state backtrack sets grown lazily by
+    vector-clock race detection, plus sleep sets to kill redundant
+    commutations. It visits at least one interleaving per Mazurkiewicz trace,
+    so every reachable {e terminal} state (no process enabled) is reported —
+    the property litmus enumeration needs — while the visited-state count
+    stays near-linear for mostly-independent threads where plain DFS is
+    exponential.
+
+    {!explore_dfs} is the exhaustive memoized baseline the reduction is
+    checked against: same system, same [on_terminal] contract, no reduction.
+
+    Both raise {!Budget_exceeded} once more than [budget] states have been
+    visited, leaving [stats] at the point of abandonment. *)
+
+type 's system = {
+  nprocs : int;
+  enabled : 's -> int -> bool;
+  step : 's -> int -> 's list;
+      (** successor variants for an enabled process; never called (and must
+          not be empty) unless [enabled] holds *)
+  footprint : 's -> int -> (int * bool) list;
+      (** resources the process's next step touches, [(resource, is_write)];
+          must cover everything [step] reads to decide its variants *)
+}
+
+type stats = {
+  mutable states : int;  (** states visited (DPOR counts re-visits) *)
+  mutable transitions : int;  (** successor variants executed *)
+  mutable sleep_prunes : int;  (** nodes cut because every runnable process slept *)
+  mutable races : int;  (** backtrack points added by race detection *)
+}
+
+val stats_zero : unit -> stats
+
+exception Budget_exceeded
+
+(** [explore sys ~init ~on_terminal] runs DPOR from [init] and calls
+    [on_terminal] on every terminal state reached (possibly more than once
+    for the same state — callers dedupe). *)
+val explore : ?budget:int -> 's system -> init:'s -> on_terminal:('s -> unit) -> stats
+
+(** Exhaustive DFS memoized on [key] (which must injectively encode the
+    state). [on_terminal] fires exactly once per distinct terminal state. *)
+val explore_dfs :
+  ?budget:int -> key:('s -> string) -> 's system -> init:'s -> on_terminal:('s -> unit) -> stats

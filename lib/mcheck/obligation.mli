@@ -1,0 +1,59 @@
+(** Modular interface-obligation checking (RealityCheck-style, PAPERS.md).
+
+    Where {!Verif.Invariant} checks a module's {e internal} structure, an
+    obligation is a contract on the {e messages} a module exchanges at a CMD
+    boundary — "a load may not be sent to the cache past an older overlapping
+    store", "an exclusive grant requires every other child invalidated". Each
+    module declares its obligations at construction time and calls {!check}
+    at the boundary, passing the rule context; the closure re-derives what
+    the contract demands from the module's visible state and compares it with
+    the message actually being sent. Because modules verify their own
+    interfaces independently, checking cost grows with module count, not with
+    the interleaving count of the whole system — the RealityCheck argument
+    for why modular memory-model verification scales.
+
+    Bookkeeping uses undo-logged mutation ({!Cmd.Mut.field}), so events
+    recorded by a rule attempt that later aborts are rolled back with it —
+    only architecturally committed message traffic is judged. Violations are
+    raised at end of cycle by the {!attach} hook.
+
+    Like invariants, declaration is a no-op (a disarmed monitor) outside a
+    {!collecting} scope, so ordinary machines pay one branch per boundary
+    event and retain nothing. *)
+
+(** [Violation (module_, interface, message)] *)
+exception Violation of string * string * string
+
+type monitor
+
+(** Declare an obligation on [module_]'s [interface]. Armed only inside
+    {!collecting}. *)
+val declare : module_:string -> interface:string -> doc:string -> unit -> monitor
+
+val armed : monitor -> bool
+
+(** [check ctx m f] records one boundary event against [m]. [f ()] returns
+    [Some msg] to flag a contract violation, [None] if the event conforms.
+    [f] is not even called when [m] is disarmed. The event count and any
+    pending violation are undo-logged through [ctx]. *)
+val check : Cmd.Kernel.ctx -> monitor -> (unit -> string option) -> unit
+
+(** [collecting f] runs [f] with a fresh collector and returns [f]'s result
+    plus every monitor declared during it. Nestable; restores the previous
+    collector on exit. *)
+val collecting : (unit -> 'a) -> 'a * monitor list
+
+(** Raise {!Violation} at the end of any cycle that committed a violating
+    event. *)
+val attach : Cmd.Sim.t -> monitor list -> unit
+
+(** ["module/interface"] *)
+val name : monitor -> string
+
+val doc : monitor -> string
+
+(** Committed boundary events checked so far — lets reports prove the
+    monitors actually observed traffic. *)
+val events : monitor -> int
+
+val stats : monitor list -> (string * int) list

@@ -60,6 +60,7 @@ type t = {
   c_miss : Stats.counter;
   c_recalls : Stats.counter;
   c_mshr_occ : Stats.counter;
+  ob_grant : Mcheck.Obligation.monitor;
 }
 
 let create ?(name = "l2") ?(bank = (0, 0)) ?(declared_min = 0) ?in_lookahead clk ~nchildren ~geom
@@ -123,6 +124,13 @@ let create ?(name = "l2") ?(bank = (0, 0)) ?(declared_min = 0) ?in_lookahead clk
     c_miss = Stats.counter stats (name ^ ".misses");
     c_recalls = Stats.counter stats (name ^ ".recalls");
     c_mshr_occ = Stats.counter stats (name ^ ".mshrOccSum");
+    ob_grant =
+      Mcheck.Obligation.declare ~module_:"mem.l2" ~interface:"grant"
+        ~doc:
+          "a grant message may only leave the parent when the directory is \
+           compatible with the granted state (exclusive implies every other \
+           child invalid, shared implies no other owner)"
+        ();
   }
   in
   State.field ~name:(name ^ ".arrays")
@@ -243,6 +251,12 @@ let do_grant ctx t laddr (ln : line) kind =
          (Printf.sprintf "%s: response latency %d below declared epoch lookahead floor %d" t.name
             t.latency t.declared_min));
   let ready = Clock.now t.clk + t.latency in
+  Mcheck.Obligation.check ctx t.ob_grant (fun () ->
+      if dir_ok ln kind then None
+      else
+        Some
+          (Printf.sprintf "%s: grant for line 0x%Lx with incompatible directory [%s]" t.name laddr
+             (String.concat ";" (Array.to_list (Array.map Msg.state_to_string ln.dir)))));
   match kind with
   | Child { child; want } ->
     (* MESI: a shared request with no other sharers is granted

@@ -19,6 +19,9 @@ type t = {
   bypass : bool;  (* ablation: disable the ALU result bypass network *)
   predictor : Branch.Dir_pred.kind;
   st_prefetch : bool; (* TSO store prefetching (paper Sec. V-B, unimplemented there) *)
+  bug_ld_bypass_sq : bool;
+      (* fault injection for the obligation checker: load issue skips the
+         store-queue age/overlap scan, so loads sail past older stores *)
 }
 
 let riscyoo_b =
@@ -41,6 +44,7 @@ let riscyoo_b =
     bypass = true;
     predictor = Branch.Dir_pred.Tournament;
     st_prefetch = false;
+    bug_ld_bypass_sq = false;
   }
 
 let riscyoo_cminus =

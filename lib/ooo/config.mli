@@ -27,6 +27,11 @@ type t = {
   st_prefetch : bool;
       (** issue store-prefetch (acquire-M) requests for queued stores — the
           feature the paper describes but had not implemented *)
+  bug_ld_bypass_sq : bool;
+      (** fault injection for {!Mcheck.Obligation} testing: load issue skips
+          the store-queue age/overlap scan, letting loads bypass older
+          overlapping stores. The [ooo.lsq/ld-issue] obligation catches the
+          first load that reaches the cache past such a store. *)
 }
 
 (** RiscyOO-B: the paper's baseline (Fig. 12): 2-wide, 64-entry ROB, 2 ALU +

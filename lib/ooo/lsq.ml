@@ -31,6 +31,8 @@ type t = {
   tso : bool;
   mutable tag_ctr : int; (* unique tags for in-flight load requests *)
   outstanding : (int, int) Hashtbl.t; (* tag -> absolute LQ index *)
+  ob_ld : Mcheck.Obligation.monitor;
+  bug_bypass_sq : bool;
 }
 
 type issue_result = Forward of int64 * int | ToCache of int | Stalled
@@ -95,6 +97,13 @@ let create (cfg : Config.t) =
     tso = cfg.Config.mem_model = Config.TSO;
     tag_ctr = 0;
     outstanding = Hashtbl.create 64;
+    ob_ld =
+      Mcheck.Obligation.declare ~module_:"ooo.lsq" ~interface:"ld-issue"
+        ~doc:
+          "a load request leaving the LSQ must not bypass an older overlapping \
+           store whose address is already known"
+        ();
+    bug_bypass_sq = cfg.Config.bug_ld_bypass_sq;
   }
   in
   Verif.Invariant.register ~name:"lsq.age-order" (check_age_order t);
@@ -265,18 +274,31 @@ let issue_ld ctx t idx (u : Uop.t) ~sb_search =
   let e = lslot t idx in
   let lb = bytes_of u in
   (* youngest overlapping older store with a known address *)
-  let best = ref None in
+  let honest = ref None in
   for i = t.s_head to t.s_tail - 1 do
     let s = sslot t i in
     match s.su with
     | Some su
       when su.Uop.seq < u.seq && s.saddr_ok && (not su.killed)
            && overlap su.paddr (bytes_of su) u.paddr lb ->
-      (match !best with
+      (match !honest with
       | Some (bu : Uop.t) when bu.seq > su.Uop.seq -> ()
-      | _ -> best := Some su)
+      | _ -> honest := Some su)
     | _ -> ()
   done;
+  (* the injected bug drops the scan result on the floor; the obligation
+     below still judges the issued request against the honest scan *)
+  let best = if t.bug_bypass_sq then ref None else honest in
+  let check_no_bypass () =
+    Mcheck.Obligation.check ctx t.ob_ld (fun () ->
+        match !honest with
+        | Some su ->
+          Some
+            (Printf.sprintf
+               "load seq %d (paddr 0x%Lx) issued past older overlapping store seq %d (paddr 0x%Lx)"
+               u.seq u.paddr su.Uop.seq su.paddr)
+        | None -> None)
+  in
   let set_state st = fld ctx (fun () -> e.lstate) (fun v -> e.lstate <- v) st in
   let set_stall s = fld ctx (fun () -> e.lstall) (fun v -> e.lstall <- v) s in
   let new_tag () =
@@ -300,12 +322,14 @@ let issue_ld ctx t idx (u : Uop.t) ~sb_search =
   | None -> (
     match sb_search with
     | Store_buffer.Full raw ->
+      check_no_bypass ();
       set_state LdIssued;
       Forward (load_extend u raw lb, new_tag ())
     | Store_buffer.Partial sbidx ->
       set_stall (SSb sbidx);
       Stalled
     | Store_buffer.NoMatch ->
+      check_no_bypass ();
       set_state LdIssued;
       ToCache (new_tag ()))
 

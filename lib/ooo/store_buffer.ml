@@ -8,7 +8,11 @@ type entry = {
   mutable issued : bool;
 }
 
-type t = { entries : entry array }
+type t = {
+  entries : entry array;
+  ob_issue : Mcheck.Obligation.monitor;
+  ob_resp : Mcheck.Obligation.monitor;
+}
 
 type search = Full of int64 | Partial of int | NoMatch
 
@@ -38,6 +42,18 @@ let create ~size =
       entries =
         Array.init size (fun _ ->
             { used = false; line = 0L; data = Bytes.make Mem.Cache_geom.line_bytes '\000'; mask = 0L; issued = false });
+      ob_issue =
+        Mcheck.Obligation.declare ~module_:"ooo.storebuf" ~interface:"issue"
+          ~doc:
+            "an exclusive-ownership request sent for a buffered line must name the \
+             unique unissued entry holding valid bytes for that line"
+          ();
+      ob_resp =
+        Mcheck.Obligation.declare ~module_:"ooo.storebuf" ~interface:"resp"
+          ~doc:
+            "a store-buffer dequeue triggered by a cache response must hit an \
+             entry that is live and was actually issued"
+          ();
     }
   in
   Verif.Invariant.register ~name:"storebuf.coalesce" (check_coalescing t);
@@ -94,11 +110,31 @@ let issue ctx t =
   match !r with
   | None -> raise (Kernel.Guard_fail "store buffer: nothing to issue")
   | Some (i, e) ->
+    Mcheck.Obligation.check ctx t.ob_issue (fun () ->
+        if e.mask = 0L then
+          Some (Printf.sprintf "issue of entry %d for line 0x%Lx with no valid bytes" i e.line)
+        else
+          let dup = ref None in
+          Array.iteri
+            (fun j f ->
+              if j <> i && f.used && (not f.issued) && f.line = e.line then dup := Some j)
+            t.entries;
+          match !dup with
+          | Some j ->
+            Some
+              (Printf.sprintf "issue of entry %d for line 0x%Lx shadowed by unissued entry %d" i
+                 e.line j)
+          | None -> None);
     fld ctx (fun () -> e.issued) (fun v -> e.issued <- v) true;
     (i, e.line)
 
 let deq ctx t idx =
   let e = t.entries.(idx) in
+  Mcheck.Obligation.check ctx t.ob_resp (fun () ->
+      if not e.used then Some (Printf.sprintf "dequeue of free entry %d" idx)
+      else if not e.issued then
+        Some (Printf.sprintf "dequeue of entry %d (line 0x%Lx) never issued" idx e.line)
+      else None);
   if not e.used then failwith "store buffer: deq of free entry";
   fld ctx (fun () -> e.used) (fun v -> e.used <- v) false;
   fld ctx (fun () -> e.issued) (fun v -> e.issued <- v) false;

@@ -31,6 +31,7 @@ type t = {
   mutable spent_cycles : int;
   mutable wd : Verif.Watchdog.t option;
   mutable checks : Verif.Invariant.check list;
+  mutable monitors : Mcheck.Obligation.monitor list;
   mutable tlog : (Obs.Commit_log.t * Format.formatter) option;
   mutable registry : State.registry option;
   mutable config_key : string;
@@ -60,7 +61,7 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(epoch = 1) ?(watchdog = 0) ?(invariants = false) ?obs kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(epoch = 1) ?(watchdog = 0) ?(invariants = false) ?(obligations = false) ?obs kind prog =
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
      is not partition-private; force serial execution under cosim — and
      per-cycle synchronization: the goldens share a private memory, so the
@@ -125,6 +126,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       spent_cycles = 0;
       wd = None;
       checks = [];
+      monitors = [];
       tlog = None;
       registry = None;
       config_key = "";
@@ -172,6 +174,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       spent_cycles = 0;
       wd = None;
       checks = [];
+      monitors = [];
       tlog = None;
       registry = None;
       config_key = "";
@@ -244,6 +247,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
       spent_cycles = 0;
       wd = None;
       checks = [];
+      monitors = [];
       tlog = None;
       registry = None;
       config_key = "";
@@ -251,9 +255,16 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
   in
   (* With [invariants], construction runs inside a collector scope: every
      ROB/free-list/LSQ/store-buffer/L2 built above registers its structural
-     check, and the whole set is then evaluated once per cycle. *)
-  let t, checks = if invariants then Verif.Invariant.collecting build else (build (), []) in
+     check, and the whole set is then evaluated once per cycle. [obligations]
+     nests the same way for interface monitors: each LSQ/store-buffer/L2
+     declares its message contracts during construction and checks them at
+     the boundary as the machine runs. *)
+  let with_invariants () = if invariants then Verif.Invariant.collecting build else (build (), []) in
+  let (t, checks), monitors =
+    if obligations then Mcheck.Obligation.collecting with_invariants else (with_invariants (), [])
+  in
   t.checks <- checks;
+  t.monitors <- monitors;
   State.field ~name:"machine.pmem" (fun () -> Phys_mem.export pmem) (Phys_mem.import pmem);
   State.field ~name:"machine.mmio" (fun () -> Mmio.export mmio) (Mmio.import mmio);
   State.field ~name:"machine.cycles"
@@ -265,6 +276,7 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
   (match t.sim with
   | Some sim ->
     Verif.Invariant.attach sim checks;
+    Mcheck.Obligation.attach sim monitors;
     if watchdog > 0 then
       t.wd <- Some (Verif.Watchdog.attach ~progress:(fun () -> instrs t) ~limit:watchdog sim)
   | None -> ());
@@ -369,6 +381,8 @@ let find_stat t name = Stats.find t.stats_t name
 
 let watchdog_trips t = match t.wd with Some w -> Verif.Watchdog.trips w | None -> 0
 let invariant_names t = Verif.Invariant.names t.checks
+let obligation_monitors t = t.monitors
+let obligation_stats t = Mcheck.Obligation.stats t.monitors
 
 let pp_rule_stats fmt t =
   match t.sim with Some sim -> Sim.pp_stats fmt sim | None -> ()

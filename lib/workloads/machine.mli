@@ -72,6 +72,7 @@ val create :
   ?epoch:int ->
   ?watchdog:int ->
   ?invariants:bool ->
+  ?obligations:bool ->
   ?obs:Obs.Hub.t ->
   kind ->
   program ->
@@ -115,6 +116,15 @@ val watchdog_trips : t -> int
 
 (** Names of the invariant checks collected at construction. *)
 val invariant_names : t -> string list
+
+(** Interface-obligation monitors collected at construction (empty unless
+    [~obligations:true]). A violating cycle raises
+    {!Mcheck.Obligation.Violation} out of {!run}. *)
+val obligation_monitors : t -> Mcheck.Obligation.monitor list
+
+(** [(name, committed boundary events)] per monitor — evidence the contracts
+    actually observed traffic. *)
+val obligation_stats : t -> (string * int) list
 
 (** Record every committed instruction of the OOO cores; {!flush_trace}
     prints them to the formatter after the run, hart-ordered (all of hart

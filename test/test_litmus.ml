@@ -70,6 +70,59 @@ let test_facts () =
   chk "IRIW relaxed in WMM" (wmm Test.iriw) iriw_relaxed true;
   chk "IRIW+fence kills it" (wmm Test.iriw_fence) iriw_relaxed false
 
+(* DPOR must be an exact reduction: same outcome set as the exhaustive
+   memoized DFS on every test and model. The budget is set above the
+   largest real test (IRIW+fence under WMM, 488 DFS states) but below
+   Stress6 (2401): the scaling test is exactly the one the baseline
+   cannot finish, while DPOR walks its single Mazurkiewicz trace. *)
+let test_dpor_matches_dfs () =
+  let budget = 2000 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun model ->
+          let name =
+            Printf.sprintf "%s/%s" t.Test.name (Ref_model.model_to_string model)
+          in
+          let dpor, dst = Ref_model.allowed_stats t ~model in
+          match Ref_model.allowed_dfs ~budget t ~model with
+          | Some (dfs, _) ->
+            Alcotest.(check bool) (name ^ ": dpor = dfs") true (dpor = dfs)
+          | None ->
+            (* only the scaling test may blow the budget, and DPOR must
+               still have finished it *)
+            Alcotest.(check string) (name ^ ": only Stress6 exceeds") "Stress6"
+              t.Test.name;
+            Alcotest.(check bool) (name ^ ": dpor completed") true (dpor <> []);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: dpor %d states, >=10x under DFS budget %d" name
+                 dst.Ref_model.states budget)
+              true
+              (dst.Ref_model.states * 10 <= budget))
+        [ Ref_model.SC; Ref_model.TSO; Ref_model.WMM ])
+    Test.all
+
+(* Atomics facts, hand-checked. *)
+let test_atomics_facts () =
+  let chk name set o want = Alcotest.(check bool) name want (mem set o) in
+  let sc t = allowed Ref_model.SC t
+  and tso t = allowed Ref_model.TSO t
+  and wmm t = allowed Ref_model.WMM t in
+  (* MP+amo: flag read via amoadd-0 sees 1, payload stale - WMM only *)
+  let mp_amo_relaxed = [| 1; 0; 1; 1 |] in
+  chk "MP+amo relaxed not TSO" (tso Test.mp_amo) mp_amo_relaxed false;
+  chk "MP+amo relaxed in WMM" (wmm Test.mp_amo) mp_amo_relaxed true;
+  (* SB+amo: the amoadd drains the store buffer, so 0/0 dies even in WMM *)
+  chk "SB+amo 0/0 not WMM" (wmm Test.sb_amo) [| 0; 0; 1; 1 |] false;
+  (* LR-SC: both pairs reading 0 and both SCs succeeding is forbidden *)
+  chk "LR-SC double success (x=1) not WMM" (wmm Test.lr_sc) [| 0; 0; 0; 0; 1 |] false;
+  chk "LR-SC double success (x=2) not WMM" (wmm Test.lr_sc) [| 0; 0; 0; 0; 2 |] false;
+  (* AMO-inc: no lost update under any model *)
+  chk "AMO-inc serialized in SC" (sc Test.amo_inc) [| 0; 1; 2 |] true;
+  List.iter
+    (fun o -> Alcotest.(check int) "AMO-inc final x=2 always" 2 o.(2))
+    (wmm Test.amo_inc)
+
 let test_labels () =
   Alcotest.(check (list string))
     "SB outcome labels" [ "0:r0"; "1:r0"; "x"; "y" ]
@@ -128,6 +181,25 @@ let sweep_suite model =
 let test_dut_tso () = sweep_suite Ooo.Config.TSO
 let test_dut_wmm () = sweep_suite Ooo.Config.WMM
 
+(* The in-order core never reorders, so every outcome must sit in the SC
+   set (the sweep checks against SC when dut is in-order); MESI is a pure
+   coherence-protocol swap and must change nothing architecturally. *)
+let test_dut_inorder () =
+  List.iter
+    (fun t ->
+      let r = Run.sweep ~seeds:4 ~jobs_list ~dut:Run.Dut_inorder ~model:Ooo.Config.TSO t in
+      if not (Run.ok r) then
+        Alcotest.failf "%s (inorder): %s" t.Test.name (Format.asprintf "%a" Run.pp_report r))
+    Test.all
+
+let test_dut_mesi () =
+  List.iter
+    (fun t ->
+      let r = Run.sweep ~seeds:4 ~jobs_list ~mesi:true ~model:Ooo.Config.WMM t in
+      if not (Run.ok r) then
+        Alcotest.failf "%s (mesi): %s" t.Test.name (Format.asprintf "%a" Run.pp_report r))
+    Test.all
+
 (* The harness must be able to distinguish the models: the SB sweep has to
    reach its non-SC outcome (store buffering is always visible), and MP has
    to reach its WMM-only outcome under WMM but never under TSO. *)
@@ -138,17 +210,25 @@ let test_relaxation_observed () =
   Alcotest.(check bool) "MP WMM-only outcome reached" true mp.Run.wmm_only_seen;
   let mp_tso = Run.sweep ~seeds:25 ~jobs_list ~model:Ooo.Config.TSO Test.mp in
   Alcotest.(check bool) "MP stays in TSO set under TSO" true
-    (Run.ok mp_tso && not mp_tso.Run.wmm_only_seen)
+    (Run.ok mp_tso && not mp_tso.Run.wmm_only_seen);
+  (* the atomics suite must relax too: the consumer's plain payload load
+     performs under the slow amoadd-0 flag read *)
+  let mp_amo = Run.sweep ~seeds:60 ~jobs_list ~model:Ooo.Config.WMM Test.mp_amo in
+  Alcotest.(check bool) "MP+amo WMM-only outcome reached" true mp_amo.Run.wmm_only_seen
 
 let suite =
   [
     Alcotest.test_case "ref: sets nest" `Quick test_sets_nest;
     Alcotest.test_case "ref: classic facts" `Quick test_facts;
+    Alcotest.test_case "ref: atomics facts" `Quick test_atomics_facts;
+    Alcotest.test_case "ref: dpor = dfs" `Quick test_dpor_matches_dfs;
     Alcotest.test_case "outcome labels" `Quick test_labels;
     Alcotest.test_case "dsl validation" `Quick test_check_rejects;
     Alcotest.test_case "compile determinism" `Quick test_compile_deterministic;
     Alcotest.test_case "run_one determinism" `Quick test_run_one_deterministic;
     Alcotest.test_case "dut: suite under TSO" `Slow test_dut_tso;
     Alcotest.test_case "dut: suite under WMM" `Slow test_dut_wmm;
+    Alcotest.test_case "dut: suite on the in-order core" `Slow test_dut_inorder;
+    Alcotest.test_case "dut: suite under MESI" `Slow test_dut_mesi;
     Alcotest.test_case "dut: relaxations observed" `Slow test_relaxation_observed;
   ]

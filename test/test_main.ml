@@ -21,6 +21,7 @@ let () =
       ("random", Test_random.suite);
       ("synth", Test_synth.suite);
       ("litmus", Test_litmus.suite);
+      ("mcheck", Test_mcheck.suite);
       ("snapshot", Test_snapshot.suite);
       ("farm", Test_farm.suite);
     ]
