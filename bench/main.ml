@@ -209,7 +209,8 @@ let paper_fig18 =
 
 let fig18 () =
   header "Fig 18: wider-core proxies normalized to RiscyOO-T+ (higher = wider core wins)";
-  Printf.printf "(paper: A57 +34%%, Denver +45%% geo-mean, but T+ wins on TLB-bound mcf/astar/omnetpp)\n";
+  Printf.printf
+    "(paper: A57 +34%%, Denver +45%% geo-mean, but T+ wins on TLB-bound mcf/astar/omnetpp)\n";
   Printf.printf "%-14s %12s %12s %14s %14s\n" "kernel" "a57-proxy" "denver-proxy" "paper-A57"
     "paper-Denver";
   let accs = ref [] in
@@ -414,7 +415,9 @@ let ablation_mesi () =
 
 let ablation_prefetch () =
   header "Ablation: TSO store prefetching (paper Sec. V-B, unimplemented there)";
-  let tso = { Ooo.Config.riscyoo_tplus with Ooo.Config.mem_model = Ooo.Config.TSO; name = "T+tso" } in
+  let tso =
+    { Ooo.Config.riscyoo_tplus with Ooo.Config.mem_model = Ooo.Config.TSO; name = "T+tso" }
+  in
   let pf = { tso with Ooo.Config.st_prefetch = true; name = "T+tso+pf" } in
   List.iter
     (fun k ->
@@ -635,7 +638,8 @@ let perf_workload ~budget kernel =
     failwith
       (Printf.sprintf "perf: %s diverges with fastpath off (%d/%Ld/%d vs %d/%Ld/%d)" kernel c_c
          x_c i_c c_s x_s i_s);
-  Printf.eprintf "  [perf/%s] %d cycles: %.0f c/s compiled, %.0f c/s interpreted, %.0f c/s stripped\n%!"
+  Printf.eprintf
+    "  [perf/%s] %d cycles: %.0f c/s compiled, %.0f c/s interpreted, %.0f c/s stripped\n%!"
     kernel c_c
     (float_of_int c_c /. wall_compiled)
     (float_of_int c_c /. wall_interp)
@@ -788,12 +792,40 @@ let perf_farm ~seeds =
     (cold_s /. warm_s);
   { snap_bytes = String.length !img; save_s; restore_s; fseeds = seeds; cold_s; warm_s }
 
+(* ---------------------------------------------------------------- *)
+(* Host-speed calibration                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* A fixed-work pure-OCaml microbench: 50M iterations of an integer mix with
+   no allocation, no I/O and no simulator state. The work is identical on
+   every host, so its best-of wall time is a pure measure of host speed —
+   dividing the baseline host's calibration wall by the current one scales
+   the baseline's absolute sim-cycles/s to what this host should achieve,
+   which is what lets the absolute gate run at a 10% margin on hosted
+   runners instead of the flat 20% host-speed fudge. *)
+let calib_name = "calib-fixed-work"
+
+let calibrate () =
+  let work () =
+    let x = ref 0x243F6A8885A308D3 in
+    for i = 1 to 50_000_000 do
+      let v = !x + (i * 0x9E3779B97F4A7) in
+      x := v lxor (v lsr 29) lxor (v lsl 7)
+    done;
+    ignore (Sys.opaque_identity !x)
+  in
+  let w = best_of ~budget:1.0 work in
+  Printf.eprintf "  [perf/%s] %.4f s\n%!" calib_name w;
+  w
+
 (* minimal JSON scanning for the regression gate: find the object containing
    ["name": "<w>"] and read a numeric field out of it. Enough for
    baseline.json, which we also emit. *)
 let substr_index s needle from =
   let n = String.length needle and m = String.length s in
-  let rec go i = if i + n > m then None else if String.sub s i n = needle then Some i else go (i + 1) in
+  let rec go i =
+    if i + n > m then None else if String.sub s i n = needle then Some i else go (i + 1)
+  in
   go from
 
 let scan_number content start =
@@ -824,9 +856,13 @@ let read_file path =
   close_in ic;
   s
 
-let perf_json rows mc_rows farm micro_on micro_off =
+let perf_json ~calib_s rows mc_rows farm micro_on micro_off =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v5\",\n  \"workloads\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"riscyoo-perf-v6\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"calibration\": {\"name\": \"%s\", \"wall_s\": %.4f},\n" calib_name
+       calib_s);
+  Buffer.add_string b "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
@@ -872,7 +908,8 @@ let perf_json rows mc_rows farm micro_on micro_off =
   Buffer.add_string b
     (Printf.sprintf "    \"idle_sched_fastpath_ns\": %.1f,\n    \"idle_sched_stripped_ns\": %.1f,\n"
        micro_on micro_off);
-  Buffer.add_string b (Printf.sprintf "    \"idle_sched_speedup\": %.2f\n  }\n}\n" (micro_off /. micro_on));
+  Buffer.add_string b
+    (Printf.sprintf "    \"idle_sched_speedup\": %.2f\n  }\n}\n" (micro_off /. micro_on));
   Buffer.contents b
 
 (* One machine-readable counter snapshot per perf workload (first timed run;
@@ -897,6 +934,8 @@ let write_stats_json path entries =
 
 let perf ~quick ~out ~check ~stats_json () =
   header "perf: simulation speed (compiled vs interpreted vs stripped)";
+  (* calibrate first, on a quiet process — no worker domains alive yet *)
+  let calib_s = calibrate () in
   let budget = 200_000_000 in
   let kernels = if quick then [ "smoke" ] else [ "smoke"; "gcc"; "gobmk" ] in
   let rows_s = List.map (perf_workload ~budget) kernels in
@@ -933,7 +972,8 @@ let perf ~quick ~out ~check ~stats_json () =
   let micro_off = measure_ns "idle-sched stripped" (idle_sched_thunk ~fastpath:false) in
   Printf.printf "idle 64-rule scheduler cycle: %.1f ns fastpath, %.1f ns stripped (%.2fx)\n"
     micro_on micro_off (micro_off /. micro_on);
-  let json = perf_json rows mc_rows farm micro_on micro_off in
+  Printf.printf "host calibration (%s): %.4f s\n" calib_name calib_s;
+  let json = perf_json ~calib_s rows mc_rows farm micro_on micro_off in
   (match out with
   | None -> print_string json
   | Some path ->
@@ -944,24 +984,64 @@ let perf ~quick ~out ~check ~stats_json () =
   match check with
   | None -> ()
   | Some path ->
-    (* CI gate. Absolute cycles/s depend on the (shared, noisy) CI host, so
-       they are reported but never gated. What IS gated are the engine-ratio
-       columns: compiled-vs-interpreted and compiled-vs-stripped wall-time
-       ratios of the same binary in the same process, which cancel host
-       speed. A ratio more than 5% below the checked-in baseline means the
-       schedule compiler (or the fast path) lost its advantage — a real
-       regression, not a slow runner. *)
+    (* CI gate, two kinds of check. (1) Engine-ratio columns:
+       compiled-vs-interpreted and compiled-vs-stripped wall-time ratios of
+       the same binary in the same process cancel host speed outright; a
+       ratio more than 5% below the checked-in baseline means the schedule
+       compiler (or the fast path) lost its advantage. (2) Absolute
+       sim-cycles/s, calibrated: raw cycles/s depend on the (shared, noisy)
+       CI host, so the fixed-work calibration microbench rescales the
+       baseline to this host first — expected = baseline_cps x
+       (baseline_calib_wall / current_calib_wall) — and the gate fires only
+       10% below that, replacing the old flat host-speed fudge. Only the
+       single-core rows gate absolutely: the multicore rows' serial wall
+       swings with the OS scheduler and the worker-domain pool, which
+       calibration cannot cancel, so their cycles/s stay informational. A
+       baseline without a calibration entry keeps absolutes informational
+       everywhere. *)
     let base = read_file path in
     let margin = 0.95 in
+    let abs_margin = 0.90 in
+    let calib_scale =
+      match baseline_field base calib_name "wall_s" with
+      | None ->
+        Printf.printf "check: baseline has no %s entry; absolute sim_cps is informational\n"
+          calib_name;
+        None
+      | Some bw ->
+        Printf.printf "check: calibration %.4f s vs baseline %.4f s (host speed %.2fx)\n" calib_s
+          bw (bw /. calib_s);
+        Some (bw /. calib_s)
+    in
+    let abs_failures =
+      List.filter_map
+        (fun (name, c) ->
+          match (baseline_cps base name, calib_scale) with
+          | None, _ ->
+            Printf.printf "check: no baseline sim_cps for %s\n" name;
+            None
+          | Some b, None ->
+            Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx) [informational]\n"
+              name c b (c /. b);
+            None
+          | Some b, Some scale ->
+            let expected = b *. scale in
+            let ok = c >= abs_margin *. expected in
+            Printf.printf
+              "check: %s %.0f c/s vs calibrated baseline %.0f c/s (floor %.0f) %s\n" name c
+              expected (abs_margin *. expected)
+              (if ok then "ok" else "FAIL");
+            if ok then None else Some (name ^ ".sim_cps"))
+        (List.map (fun r -> (r.wname, cps r)) rows)
+    in
     List.iter
-      (fun (name, c) ->
-        match baseline_cps base name with
-        | None -> Printf.printf "check: no baseline sim_cps for %s\n" name
+      (fun r ->
+        match baseline_cps base r.mcname with
+        | None -> ()
         | Some b ->
-          Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx) [informational]\n" name c
-            b (c /. b))
-      (List.map (fun r -> (r.wname, cps r)) rows
-      @ List.map (fun r -> (r.mcname, mc_cps r)) mc_rows);
+          Printf.printf "check: %s %.0f c/s vs baseline %.0f c/s (%.2fx) [informational]\n"
+            r.mcname (mc_cps r) b (mc_cps r /. b))
+      mc_rows;
     let gate name fields =
       List.filter_map
         (fun (field, v) ->
@@ -999,8 +1079,10 @@ let perf ~quick ~out ~check ~stats_json () =
             end)
           mc_rows
     in
+    let failures = failures @ abs_failures in
     if failures <> [] then begin
-      Printf.eprintf "PERF REGRESSION (ratio >5%% below %s): %s\n" path
+      Printf.eprintf "PERF REGRESSION (vs %s: ratio >5%%, calibrated sim_cps >10%% below): %s\n"
+        path
         (String.concat ", " failures);
       exit 1
     end

@@ -40,6 +40,8 @@ let list_cmd =
     List.iter (fun n -> Printf.printf "  %s\n" n) Spec_kernels.names;
     print_endline "PARSEC-shaped kernels (use --parsec, multi-core):";
     List.iter (fun n -> Printf.printf "  %s\n" n) Parsec_kernels.names;
+    print_endline "Server-shaped kernels (use --server, multi-core):";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Server_kernels.names;
     print_endline "Configurations (--config):";
     List.iter (fun (n, c) -> Format.printf "  %-14s %a@." n Ooo.Config.pp c) configs;
     print_endline "  inorder-10 / inorder-120   (the Rocket-like in-order baseline)"
@@ -55,6 +57,12 @@ let run_cmd =
   let cores = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"number of cores") in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"workload scale factor") in
   let parsec = Arg.(value & flag & info [ "parsec" ] ~doc:"kernel is a PARSEC-shaped parallel kernel") in
+  let server =
+    Arg.(
+      value & flag
+      & info [ "server" ]
+          ~doc:"kernel is a server-shaped communication kernel (request/response, rings, locks)")
+  in
   let cosim = Arg.(value & flag & info [ "cosim" ] ~doc:"lockstep golden-model checking") in
   let paging = Arg.(value & opt bool true & info [ "paging" ] ~doc:"enable Sv39 translation") in
   let megapages = Arg.(value & flag & info [ "megapages" ] ~doc:"map memory with 2MB superpages") in
@@ -167,9 +175,9 @@ let run_cmd =
           ~doc:"restrict trace capture to cycles [A, B): instructions decoded and rules fired \
                 outside the window are not recorded (in-flight ones still complete)")
   in
-  let run kernel config cores scale parsec cosim paging megapages mesi prefetch predictor trace
-      rules watchdog invariants inject inject_seed no_fastpath audit jobs epoch partition_audit
-      no_compile compile_audit obs_konata obs_chrome stats_json obs_window =
+  let run kernel config cores scale parsec server cosim paging megapages mesi prefetch predictor
+      trace rules watchdog invariants inject inject_seed no_fastpath audit jobs epoch
+      partition_audit no_compile compile_audit obs_konata obs_chrome stats_json obs_window =
     let fastpath = not no_fastpath in
     let compile = not no_compile in
     (* Asking for more domains than the host has cores just parks idle
@@ -186,7 +194,8 @@ let run_cmd =
       else jobs
     in
     let prog =
-      if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
+      if server then Server_kernels.find kernel ~harts:cores ~scale
+      else if parsec then Parsec_kernels.find kernel ~harts:cores ~scale
       else Spec_kernels.find kernel ~scale
     in
     let kind =
@@ -328,8 +337,8 @@ let run_cmd =
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
     Term.(
-      const run $ kernel $ config $ cores $ scale $ parsec $ cosim $ paging $ megapages $ mesi
-      $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
+      const run $ kernel $ config $ cores $ scale $ parsec $ server $ cosim $ paging $ megapages
+      $ mesi $ prefetch $ predictor $ trace $ rules $ watchdog $ invariants $ inject $ inject_seed
       $ no_fastpath $ audit $ jobs $ epoch $ partition_audit $ no_compile $ compile_audit $ obs_konata
       $ obs_chrome $ stats_json $ obs_window)
 
@@ -687,6 +696,186 @@ let farm_cmd =
       const run $ manifest_arg $ resume $ journal_arg $ timeout_s $ max_retries $ backoff_s
       $ workers $ out $ only $ hist $ abort_after)
 
+let explore_cmd =
+  let doc = "Sweep a config space through the farm and compute IPC-vs-area Pareto fronts" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Expands a riscyoo-explore-manifest-v1 JSON file — a base configuration, a grid/list of \
+         microarchitectural config points (ROB/IQ/LSQ sizes, physical registers, branch \
+         predictor, MSI vs MESI, TLB, core count, L2 banks) and a workload list — into one farm \
+         job per workload x point. Each job runs the workload on a machine built from that \
+         point, recording IPC/MPKI/occupancy from the stats schema plus the synth model's \
+         area/frequency estimate, with the farm's journal/resume/quarantine machinery \
+         underneath. The non-dominated IPC-vs-area subset per workload is the Pareto front \
+         (riscyoo-pareto-v1, deterministic across --workers).";
+      `P
+        "Exits 0 when every point ran clean and the designated reference config (if any) sits \
+         on every workload's front; 1 when points were quarantined or the reference fell off a \
+         front; 2 on manifest errors; 3 when interrupted (resume with --resume).";
+    ]
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST" ~doc:"riscyoo-explore-manifest-v1 JSON file")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"clamp every grid axis to its first 2 values (CI smoke sweeps)")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write canonical riscyoo-farm-results-v1 JSON here")
+  in
+  let front =
+    Arg.(
+      value & opt (some string) None
+      & info [ "front" ] ~docv:"FILE" ~doc:"write the riscyoo-pareto-v1 Pareto fronts here")
+  in
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"helper domains (total parallelism N+1)")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ] ~doc:"recover the journal and re-run only unfinished points")
+  in
+  let journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"journal path (default: MANIFEST with a .journal.jsonl extension; with --only the \
+                journal is disabled unless given explicitly)")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 300.
+      & info [ "timeout-s" ] ~docv:"S" ~doc:"per-point wall-clock limit; 0 disables")
+  in
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"ID[,ID..]"
+          ~doc:"run only jobs whose id starts with one of the given prefixes (deterministic \
+                replay of quarantined points)")
+  in
+  let run manifest_path quick out front workers resume journal_arg timeout_s only =
+    let space, m =
+      try
+        let ic = open_in_bin manifest_path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let j = Rjson.of_string s in
+        (match Rjson.mem "schema" j with
+        | Some (Rjson.Str "riscyoo-explore-manifest-v1") -> ()
+        | _ -> raise (Explore.Space.Bad_manifest "missing \"schema\": \"riscyoo-explore-manifest-v1\""));
+        let j = if quick then Explore.Space.quick_json j else j in
+        let space = Explore.Space.of_json j in
+        (space, { Farm.Jobs.sweeps = [ Farm.Jobs.Explore space ] })
+      with
+      | Explore.Space.Bad_manifest e | Rjson.Parse_error e ->
+        Printf.eprintf "manifest error: %s\n" e;
+        die 2
+      | Sys_error e ->
+        Printf.eprintf "manifest error: %s\n" e;
+        die 2
+    in
+    let jobs = Farm.Jobs.jobs ~replay_cmd:"explore" ~manifest_path m in
+    let jobs =
+      match only with
+      | None -> jobs
+      | Some pats ->
+        let pats = String.split_on_char ',' pats in
+        List.filter
+          (fun (j : Farm.Sweep.job) -> List.exists (fun p -> String.starts_with ~prefix:p j.id) pats)
+          jobs
+    in
+    if jobs = [] then begin
+      Printf.eprintf "explore: no points selected\n";
+      die 2
+    end;
+    Printf.printf "explore: %d points x %d workloads = %d jobs (base %s)\n"
+      (Explore.Space.n_points space)
+      (List.length space.Explore.Space.workloads)
+      (List.length jobs) space.Explore.Space.base_name;
+    let journal =
+      match (journal_arg, only) with
+      | Some f, _ -> Some f
+      | None, Some _ -> None
+      | None, None -> Some (Filename.remove_extension manifest_path ^ ".journal.jsonl")
+    in
+    let stop = Atomic.make false in
+    let on_signal _ =
+      if Atomic.get stop then exit 130;
+      Atomic.set stop true;
+      prerr_endline
+        "explore: interrupted — cancelling in-flight points (journal is consistent; resume with --resume)"
+    in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let config = { Farm.Sweep.default_config with workers; timeout_s } in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      try
+        Farm.Sweep.run ?journal ~resume ~should_stop:(fun () -> Atomic.get stop)
+          ~log:print_endline config jobs
+      with Farm.Journal.Corrupt e ->
+        Printf.eprintf "journal error: %s\n" e;
+        die 2
+    in
+    Printf.printf "explore: %d jobs  %d ok  %d quarantined  %d resumed  %d unfinished  (%.1fs host)\n"
+      (List.length o.Farm.Sweep.records) o.Farm.Sweep.n_ok o.Farm.Sweep.n_quarantined
+      o.Farm.Sweep.n_resumed o.Farm.Sweep.n_unfinished
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun (id, err, replay) ->
+        Printf.printf "QUARANTINED %s\n  error : %s\n  replay: %s\n" id err replay)
+      (Farm.Sweep.quarantined o);
+    Option.iter
+      (fun f ->
+        let oc = open_out f in
+        output_string oc (Farm.Sweep.results_json o);
+        close_out oc)
+      out;
+    let samples = Farm.Jobs.explore_samples o in
+    let reference = space.Explore.Space.reference in
+    (* human summary: the per-workload fronts *)
+    List.iter
+      (fun (w, ss) ->
+        Printf.printf "%s: pareto front (of %d points)\n" w (List.length ss);
+        List.iter
+          (fun (s : Explore.Measure.sample) ->
+            Printf.printf "  %-40s IPC %.3f  %6.2f M NAND2  %4.2f GHz  L2 %.2f mpki\n"
+              s.Explore.Measure.point s.Explore.Measure.ipc
+              (s.Explore.Measure.area_gates /. 1e6)
+              s.Explore.Measure.freq_ghz s.Explore.Measure.l2_mpki)
+          (Explore.Pareto.front ss))
+      (Explore.Pareto.by_workload samples);
+    Option.iter
+      (fun f ->
+        let oc = open_out f in
+        output_string oc (Explore.Pareto.to_string ?reference samples);
+        output_char oc '\n';
+        close_out oc)
+      front;
+    let ref_ok = Explore.Pareto.reference_on_front ~reference samples in
+    (match (reference, ref_ok) with
+    | Some r, Some true -> Printf.printf "reference %s: on every front\n" r
+    | Some r, Some false -> Printf.printf "REFERENCE %s: OFF the front\n" r
+    | _ -> ());
+    if o.Farm.Sweep.interrupted then die 3;
+    if o.Farm.Sweep.n_quarantined > 0 || ref_ok = Some false then die 1;
+    die 0
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "explore" ~doc ~man)
+    Term.(
+      const run $ manifest_arg $ quick $ out $ front $ workers $ resume $ journal_arg $ timeout_s
+      $ only)
+
 let drift_cmd =
   let doc = "Compare two riscyoo-litmus-v1 histograms for relaxation-rate drift" in
   let man =
@@ -784,4 +973,4 @@ let () =
   let info = Cmdliner.Cmd.info "riscyoo" ~doc:"RiscyOO processor models and workloads" in
   die
     (Cmdliner.Cmd.eval
-       (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd; litmus_cmd; farm_cmd; drift_cmd ]))
+       (Cmdliner.Cmd.group info [ run_cmd; list_cmd; synth_cmd; litmus_cmd; farm_cmd; explore_cmd; drift_cmd ]))

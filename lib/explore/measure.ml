@@ -1,0 +1,154 @@
+(* One config point × one workload → one measured sample: performance from
+   a full machine run (through [Obs.Stats_json], so the numbers match what
+   every other consumer sees) and area/frequency from the synth model. *)
+
+type sample = {
+  workload : string;
+  point : string;
+  ncores : int;
+  ipc : float;
+  l2_mpki : float;
+  rob_occ_avg : float;  (* mean of the per-core cycle-sampled ROB occupancy *)
+  area_gates : float;  (* whole-machine NAND2 estimate: cores + shared L2 *)
+  freq_ghz : float;
+  cycles : int;
+  instrs : int;
+}
+
+exception Run_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Run_failed s)) fmt
+
+let find_kernel name ~harts ~scale =
+  match List.assoc_opt name Workloads.Server_kernels.all with
+  | Some f -> f ~harts ~scale
+  | None -> (
+    match List.assoc_opt name Workloads.Parsec_kernels.all with
+    | Some f -> f ~harts ~scale
+    | None -> Workloads.Spec_kernels.find name ~scale (* single-core shapes + "smoke" *))
+
+(* The synth model costs one core; the shared-L2 control is a chip-level
+   term. Whole-machine area = cores × (core - L2 share) + one L2. *)
+let area_gates cfg ~ncores =
+  let bd = Synth.Gates.breakdown cfg in
+  let l2 = try List.assoc "l2 control" bd with Not_found -> 0.0 in
+  let per_core = List.fold_left (fun a (n, g) -> if n = "l2 control" then a else a +. g) 0.0 bd in
+  (float_of_int ncores *. per_core) +. l2
+
+let float_field obj key =
+  match Rjson.mem key obj with
+  | Some v -> Rjson.float_of v
+  | None -> None
+
+(* Sum the L2 miss counters — "l2.misses" unbanked, "l2b<k>.misses" banked —
+   and normalise per kilo-instruction ourselves, so the metric is bank-count
+   independent. *)
+let l2_mpki_of counters ~instrs =
+  match counters with
+  | Rjson.Obj fields ->
+    let misses =
+      List.fold_left
+        (fun acc (k, v) ->
+          let is_l2 =
+            k = "l2.misses"
+            || String.length k > 4
+               && String.sub k 0 3 = "l2b"
+               && Filename.check_suffix k ".misses"
+          in
+          if is_l2 then acc + Option.value (Rjson.int v) ~default:0 else acc)
+        0 fields
+    in
+    if instrs = 0 then 0.0 else float_of_int misses *. 1000.0 /. float_of_int instrs
+  | _ -> 0.0
+
+let rob_occ_of derived ~ncores =
+  let sum = ref 0.0 and n = ref 0 in
+  for c = 0 to ncores - 1 do
+    match float_field derived (Printf.sprintf "c%d.robOccAvg" c) with
+    | Some v ->
+      sum := !sum +. v;
+      incr n
+    | None -> ()
+  done;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+(* [on_cycle] threads the farm's cancel hook into the run. *)
+let run ?(max_cycles = 40_000_000) ?on_cycle (space : Space.t) (point : Space.point)
+    (w : Space.workload) =
+  let pname = Space.name_of point in
+  let ncores = Space.ncores_of space point in
+  let cfg = Space.to_config ~base:space.Space.base point in
+  let prog = find_kernel w.Space.wname ~harts:ncores ~scale:w.Space.scale in
+  let m = Workloads.Machine.create ~ncores (Workloads.Machine.Out_of_order cfg) prog in
+  let outcome = Workloads.Machine.run ~max_cycles ?on_cycle m in
+  if outcome.Workloads.Machine.timed_out then
+    fail "%s on %s: timed out after %d cycles" w.Space.wname pname max_cycles;
+  let instrs = Workloads.Machine.instrs m in
+  let stats_json =
+    Obs.Stats_json.to_string
+      ~meta:[ ("workload", w.Space.wname); ("point", pname) ]
+      ~cycles:outcome.Workloads.Machine.cycles ~instrs ~stats:(Workloads.Machine.stats m) ()
+    |> Rjson.of_string
+  in
+  let derived = Option.value (Rjson.mem "derived" stats_json) ~default:(Rjson.Obj []) in
+  let counters = Option.value (Rjson.mem "counters" stats_json) ~default:(Rjson.Obj []) in
+  let ipc =
+    match float_field derived "ipc" with
+    | Some v -> v
+    | None ->
+      if outcome.Workloads.Machine.cycles = 0 then 0.0
+      else float_of_int instrs /. float_of_int outcome.Workloads.Machine.cycles
+  in
+  {
+    workload = w.Space.wname;
+    point = pname;
+    ncores;
+    ipc;
+    l2_mpki = l2_mpki_of counters ~instrs;
+    rob_occ_avg = rob_occ_of derived ~ncores;
+    area_gates = area_gates cfg ~ncores;
+    freq_ghz = Synth.Timing.max_freq_ghz cfg;
+    cycles = outcome.Workloads.Machine.cycles;
+    instrs;
+  }
+
+(* The farm job payload — and the shape [of_json] reads back when the
+   pareto stage reassembles samples from sweep records. *)
+let to_json s =
+  Rjson.Obj
+    [
+      ("workload", Rjson.Str s.workload);
+      ("point", Rjson.Str s.point);
+      ("ncores", Rjson.Int s.ncores);
+      ("ipc", Rjson.Float s.ipc);
+      ("l2_mpki", Rjson.Float s.l2_mpki);
+      ("rob_occ_avg", Rjson.Float s.rob_occ_avg);
+      ("area_gates", Rjson.Float s.area_gates);
+      ("freq_ghz", Rjson.Float s.freq_ghz);
+      ("cycles", Rjson.Int s.cycles);
+      ("instrs", Rjson.Int s.instrs);
+    ]
+
+let of_json j =
+  let req_str k = match Rjson.get_str k j with Some s -> s | None -> fail "sample missing %s" k in
+  let req_float k =
+    match Rjson.mem k j with
+    | Some v -> (
+      match Rjson.float_of v with
+      | Some f -> f
+      | None -> fail "sample field %s not a number" k)
+    | None -> fail "sample missing %s" k
+  in
+  let req_int k = match Rjson.get_int k j with Some n -> n | None -> fail "sample missing %s" k in
+  {
+    workload = req_str "workload";
+    point = req_str "point";
+    ncores = req_int "ncores";
+    ipc = req_float "ipc";
+    l2_mpki = req_float "l2_mpki";
+    rob_occ_avg = req_float "rob_occ_avg";
+    area_gates = req_float "area_gates";
+    freq_ghz = req_float "freq_ghz";
+    cycles = req_int "cycles";
+    instrs = req_int "instrs";
+  }

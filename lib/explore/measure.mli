@@ -1,0 +1,39 @@
+(** One config point × one workload → one measured sample.
+
+    Performance comes from a full [Machine] run read back through
+    {!Obs.Stats_json} (so IPC/MPKI/occupancy match every other consumer of
+    the stats schema); area and frequency come from the {!Synth} model,
+    with the shared-L2 control costed once per chip and the core costed
+    per core. *)
+
+type sample = {
+  workload : string;
+  point : string;
+  ncores : int;
+  ipc : float;
+  l2_mpki : float;  (** L2 misses per kilo-instruction, summed over banks *)
+  rob_occ_avg : float;  (** mean per-core cycle-sampled ROB occupancy *)
+  area_gates : float;  (** whole-machine NAND2: cores × core + shared L2 *)
+  freq_ghz : float;
+  cycles : int;
+  instrs : int;
+}
+
+exception Run_failed of string
+
+(** Raises {!Run_failed} on timeout ([max_cycles], default 40 M) and
+    {!Space.Bad_manifest} on an uninstantiable point. [on_cycle] threads
+    the farm's cancel hook into the run. *)
+val run :
+  ?max_cycles:int ->
+  ?on_cycle:(int -> unit) ->
+  Space.t ->
+  Space.point ->
+  Space.workload ->
+  sample
+
+(** The farm job payload; [of_json] reads it back (raising {!Run_failed}
+    on a malformed record). *)
+val to_json : sample -> Rjson.t
+
+val of_json : Rjson.t -> sample

@@ -1,0 +1,91 @@
+(* The IPC-vs-area Pareto front per workload, and the riscyoo-pareto-v1
+   emission. Everything here is order-normalised (workloads and points
+   sorted by name) so the bytes are a pure function of the sample set —
+   deterministic across farm worker counts. *)
+
+(* [a] dominates [b]: no worse on both objectives, strictly better on one. *)
+let dominates a b =
+  a.Measure.ipc >= b.Measure.ipc
+  && a.Measure.area_gates <= b.Measure.area_gates
+  && (a.Measure.ipc > b.Measure.ipc || a.Measure.area_gates < b.Measure.area_gates)
+
+(* Non-dominated subset, sorted by ascending area (ties by name). *)
+let front samples =
+  samples
+  |> List.filter (fun s -> not (List.exists (fun o -> dominates o s) samples))
+  |> List.sort (fun a b ->
+         match compare a.Measure.area_gates b.Measure.area_gates with
+         | 0 -> compare a.Measure.point b.Measure.point
+         | c -> c)
+
+let on_front samples name =
+  List.exists (fun s -> s.Measure.point = name) (front samples)
+
+let by_workload samples =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let k = s.Measure.workload in
+      Hashtbl.replace tbl k (s :: (try Hashtbl.find tbl k with Not_found -> [])))
+    samples;
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Reference check: [Some false] = designated reference fell off at least
+   one workload's front (the CI-failing condition); [None] = no reference. *)
+let reference_on_front ~reference samples =
+  match reference with
+  | None -> None
+  | Some r ->
+    Some (List.for_all (fun (_, ss) -> on_front ss r) (by_workload samples))
+
+let sample_json ~front_names (s : Measure.sample) =
+  Rjson.Obj
+    [
+      ("point", Rjson.Str s.Measure.point);
+      ("ncores", Rjson.Int s.Measure.ncores);
+      ("ipc", Rjson.Float s.Measure.ipc);
+      ("area_gates", Rjson.Float s.Measure.area_gates);
+      ("freq_ghz", Rjson.Float s.Measure.freq_ghz);
+      ("l2_mpki", Rjson.Float s.Measure.l2_mpki);
+      ("rob_occ_avg", Rjson.Float s.Measure.rob_occ_avg);
+      ("cycles", Rjson.Int s.Measure.cycles);
+      ("instrs", Rjson.Int s.Measure.instrs);
+      ("on_front", Rjson.Bool (List.mem s.Measure.point front_names));
+    ]
+
+let to_json ?reference samples =
+  let groups = by_workload samples in
+  let workloads =
+    List.map
+      (fun (w, ss) ->
+        let f = front ss in
+        let front_names = List.map (fun s -> s.Measure.point) f in
+        let ss = List.sort (fun a b -> compare a.Measure.point b.Measure.point) ss in
+        let fields =
+          [
+            ("name", Rjson.Str w);
+            ("points", Rjson.List (List.map (sample_json ~front_names) ss));
+            ("front", Rjson.List (List.map (fun n -> Rjson.Str n) front_names));
+          ]
+        in
+        let fields =
+          match reference with
+          | None -> fields
+          | Some r ->
+            fields
+            @ [
+                ( "reference",
+                  Rjson.Obj
+                    [ ("point", Rjson.Str r); ("on_front", Rjson.Bool (List.mem r front_names)) ] );
+              ]
+        in
+        Rjson.Obj fields)
+      groups
+  in
+  Rjson.Obj
+    ([ ("schema", Rjson.Str "riscyoo-pareto-v1") ]
+    @ (match reference with None -> [] | Some r -> [ ("reference", Rjson.Str r) ])
+    @ [ ("workloads", Rjson.List workloads) ])
+
+let to_string ?reference samples = Rjson.to_string (to_json ?reference samples)

@@ -1,0 +1,26 @@
+(** IPC-vs-area Pareto fronts (schema ["riscyoo-pareto-v1"]).
+
+    Per workload: the non-dominated subset of samples under (maximise IPC,
+    minimise area), the full sample table flagged with front membership,
+    and — when the manifest designates a reference point — whether that
+    reference sits on the front. Output is order-normalised (workloads and
+    points sorted by name, canonical {!Rjson} printing), so the bytes are a
+    pure function of the sample set: deterministic across [--workers]. *)
+
+(** Strict Pareto dominance: no worse on both objectives, better on one. *)
+val dominates : Measure.sample -> Measure.sample -> bool
+
+(** Non-dominated subset, ascending area (ties broken by point name). *)
+val front : Measure.sample list -> Measure.sample list
+
+val on_front : Measure.sample list -> string -> bool
+
+(** Samples grouped by workload, both levels name-sorted. *)
+val by_workload : Measure.sample list -> (string * Measure.sample list) list
+
+(** [Some false] = the reference fell off at least one workload's front
+    (the exit-nonzero condition); [None] = no reference designated. *)
+val reference_on_front : reference:string option -> Measure.sample list -> bool option
+
+val to_json : ?reference:string -> Measure.sample list -> Rjson.t
+val to_string : ?reference:string -> Measure.sample list -> string

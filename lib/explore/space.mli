@@ -1,0 +1,74 @@
+(** The declarative microarchitectural config space
+    (schema ["riscyoo-explore-manifest-v1"]).
+
+    A manifest names a base configuration, a list of workloads, and a
+    space of points: the cartesian product of a ["grid"] of axis-value
+    lists plus explicit ["points"]. Each point is a sparse override set
+    (ROB/IQ/LSQ sizes, physical-register count, branch predictor, MSI vs
+    MESI, TLB personality and size, core count, L2 banks) applied to the
+    base {!Ooo.Config.t}, so any point is instantiable through
+    [Machine.create] without code edits. Grid points get stable dotted
+    names derived from their axis settings in canonical axis order
+    (["rob48.mesi.banks4"]) — the identity the farm journal, the Pareto
+    front and the reference check key on. *)
+
+exception Bad_manifest of string
+
+type tlb_kind = Blocking | Nonblocking
+
+type point = {
+  pname : string option;
+  rob_size : int option;
+  iq_size : int option;
+  lq_size : int option;
+  sq_size : int option;
+  n_phys_regs : int option;  (** [None] = classic [32 + rob + 8] sizing *)
+  predictor : Branch.Dir_pred.kind option;
+  mesi : bool option;
+  tlb : tlb_kind option;
+  dtlb_entries : int option;
+  ncores : int option;
+  l2_banks : int option;
+}
+
+val empty_point : point
+
+(** Axis names in canonical (expansion and naming) order. *)
+val axes : string list
+
+(** Raises {!Bad_manifest} on an unnamed point. *)
+val name_of : point -> string
+
+(** Apply the point's overrides to [base]; the result's [name] is the point
+    name. Raises {!Bad_manifest} on out-of-range values (PRF < 40,
+    non-power-of-two banks). *)
+val to_config : base:Ooo.Config.t -> point -> Ooo.Config.t
+
+type workload = { wname : string; scale : int }
+
+type t = {
+  base_name : string;
+  base : Ooo.Config.t;
+  base_ncores : int;
+  workloads : workload list;
+  points : point list;
+  reference : string option;
+}
+
+(** Core count for a point: its [ncores] override, else the base's. *)
+val ncores_of : t -> point -> int
+
+(** [of_json ?check_schema j] expands a manifest. [check_schema:false] skips
+    the schema-string check — for the same object embedded as a farm-manifest
+    sweep. Raises {!Bad_manifest}. *)
+val of_json : ?check_schema:bool -> Rjson.t -> t
+
+val of_string : string -> t
+val find_point : t -> string -> point option
+
+(** Clamp every grid axis to its first [per_axis] values at the JSON level
+    (so names stay stable) — the [--quick] switch. A reference naming a
+    clamped-away point is dropped. *)
+val quick_json : ?per_axis:int -> Rjson.t -> Rjson.t
+
+val n_points : t -> int

@@ -43,7 +43,11 @@ type poison_sweep = {
   ps_flaky : int list;  (* indices that fail once, then succeed -> retry *)
 }
 
-type sweep = Litmus of litmus_sweep | Fault of fault_sweep | Poison of poison_sweep
+type sweep =
+  | Litmus of litmus_sweep
+  | Fault of fault_sweep
+  | Poison of poison_sweep
+  | Explore of Explore.Space.t
 
 type manifest = { sweeps : sweep list }
 
@@ -121,7 +125,12 @@ let parse_sweep j =
         ps_hang = opt_int_list j "hang";
         ps_flaky = opt_int_list j "flaky";
       }
-  | Some ty -> bad "unknown sweep type %S (want litmus, mcheck, fault or poison)" ty
+  | Some "explore" -> (
+    (* the sweep object doubles as an explore manifest body: base, grid,
+       points, workloads, reference — see {!Explore.Space} *)
+    try Explore (Explore.Space.of_json ~check_schema:false j)
+    with Explore.Space.Bad_manifest e -> bad "explore sweep: %s" e)
+  | Some ty -> bad "unknown sweep type %S (want litmus, mcheck, fault, poison or explore)" ty
 
 let of_json j =
   (match Json.mem "schema" j with
@@ -334,10 +343,33 @@ let poison_job ~replay_of ps idx =
           end);
   }
 
+(* ---------------------------- explore jobs ----------------------------- *)
+
+let explore_job ~replay_of (space : Explore.Space.t) (w : Explore.Space.workload)
+    (p : Explore.Space.point) =
+  let pname = Explore.Space.name_of p in
+  let id = spf "explore/%s/x%d/%s" w.Explore.Space.wname w.Explore.Space.scale pname in
+  {
+    Sweep.id;
+    kind = "explore";
+    spec =
+      [
+        ("workload", Json.Str w.Explore.Space.wname);
+        ("scale", Json.Int w.Explore.Space.scale);
+        ("base", Json.Str space.Explore.Space.base_name);
+        ("point", Json.Str pname);
+      ];
+    replay = replay_of id;
+    run =
+      (fun ~should_stop ->
+        let on_cycle = Sweep.cancel_hook ~should_stop in
+        Explore.Measure.to_json (Explore.Measure.run ~on_cycle space p w));
+  }
+
 (* ------------------------------ expansion ------------------------------ *)
 
-let jobs ?(manifest_path = "manifest.json") m =
-  let replay_of id = spf "riscyoo farm %s --only %s" manifest_path id in
+let jobs ?(replay_cmd = "farm") ?(manifest_path = "manifest.json") m =
+  let replay_of id = spf "riscyoo %s %s --only %s" replay_cmd manifest_path id in
   List.concat_map
     (fun sweep ->
       match sweep with
@@ -346,7 +378,11 @@ let jobs ?(manifest_path = "manifest.json") m =
           ~seeds:ls.ls_seeds ~models:ls.ls_models ls.ls_tests
         |> List.map (litmus_job ~replay_of ~warm:ls.ls_warm)
       | Fault fs -> List.init fs.fs_trials (fault_job ~replay_of fs)
-      | Poison ps -> List.init ps.ps_jobs (poison_job ~replay_of ps))
+      | Poison ps -> List.init ps.ps_jobs (poison_job ~replay_of ps)
+      | Explore space ->
+        List.concat_map
+          (fun w -> List.map (explore_job ~replay_of space w) space.Explore.Space.points)
+          space.Explore.Space.workloads)
     m.sweeps
 
 (* -------------------- litmus histogram reconstruction ------------------ *)
@@ -444,3 +480,23 @@ let litmus_json ~seeds o =
   match litmus_reports o with
   | [] -> None
   | reports -> Some (Litmus.Run.reports_to_json ~seeds reports)
+
+(* ---------------------- pareto-front reconstruction -------------------- *)
+
+let explore_samples (o : Sweep.outcome) =
+  List.filter_map
+    (fun (r : Sweep.record) ->
+      match (r.kind, r.status) with
+      | "explore", Sweep.Finished v -> Some (Explore.Measure.of_json v)
+      | _ -> None)
+    o.records
+
+let explore_reference m =
+  List.find_map
+    (function Explore s -> s.Explore.Space.reference | _ -> None)
+    m.sweeps
+
+let explore_json ?reference o =
+  match explore_samples o with
+  | [] -> None
+  | samples -> Some (Explore.Pareto.to_json ?reference samples)

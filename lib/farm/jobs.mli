@@ -54,7 +54,14 @@ type poison_sweep = {
   ps_flaky : int list;
 }
 
-type sweep = Litmus of litmus_sweep | Fault of fault_sweep | Poison of poison_sweep
+type sweep =
+  | Litmus of litmus_sweep
+  | Fault of fault_sweep
+  | Poison of poison_sweep
+  | Explore of Explore.Space.t
+      (** an [{"type": "explore", ...}] sweep whose body is an explore
+          manifest (base, grid, points, workloads, reference) — one job per
+          workload x point, each returning a {!Explore.Measure} sample *)
 
 type manifest = { sweeps : sweep list }
 
@@ -67,8 +74,10 @@ val of_string : string -> manifest
 val load : string -> manifest
 
 (** Expand a manifest into jobs. [manifest_path] is echoed into each
-    job's replay command ([riscyoo farm <path> --only <id>]). *)
-val jobs : ?manifest_path:string -> manifest -> Sweep.job list
+    job's replay command ([riscyoo <replay_cmd> <path> --only <id>]);
+    [replay_cmd] defaults to ["farm"] — [riscyoo explore] passes its own
+    name so replay commands for standalone explore manifests parse. *)
+val jobs : ?replay_cmd:string -> ?manifest_path:string -> manifest -> Sweep.job list
 
 (** Rebuild [riscyoo-litmus-v1] sweep reports from the farm's litmus
     records (quarantined jobs surface as harness errors) so nightly
@@ -79,3 +88,14 @@ val litmus_reports : Sweep.outcome -> Litmus.Run.report list
 (** [litmus_reports] serialized via {!Litmus.Run.reports_to_json};
     [None] when the outcome holds no litmus records. *)
 val litmus_json : seeds:int -> Sweep.outcome -> string option
+
+(** The {!Explore.Measure} samples of every finished explore record
+    (quarantined points are simply absent from the front). *)
+val explore_samples : Sweep.outcome -> Explore.Measure.sample list
+
+(** The first explore sweep's designated reference point, if any. *)
+val explore_reference : manifest -> string option
+
+(** [riscyoo-pareto-v1] front of the outcome's explore samples; [None]
+    when the outcome holds none. *)
+val explore_json : ?reference:string -> Sweep.outcome -> Json.t option

@@ -1,247 +1,6 @@
-(* Minimal JSON, hand-rolled: the container carries no JSON library and the
-   farm needs both directions — manifests and journals are parsed back, and
-   canonical results must serialize byte-identically across runs (resume
-   equivalence is checked with [diff]). The printer is therefore strictly
-   deterministic: object fields print in construction order, floats via
-   %.17g only when not representable as an int, no whitespace options. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-exception Parse_error of string
-
-(* ---------------------------------- printing --------------------------- *)
-
-let escape b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-let rec emit b = function
-  | Null -> Buffer.add_string b "null"
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Buffer.add_string b (Printf.sprintf "%.1f" f)
-    else Buffer.add_string b (Printf.sprintf "%.17g" f)
-  | Str s -> escape b s
-  | List l ->
-    Buffer.add_char b '[';
-    List.iteri
-      (fun i v ->
-        if i > 0 then Buffer.add_string b ", ";
-        emit b v)
-      l;
-    Buffer.add_char b ']'
-  | Obj fields ->
-    Buffer.add_char b '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_string b ", ";
-        escape b k;
-        Buffer.add_string b ": ";
-        emit b v)
-      fields;
-    Buffer.add_char b '}'
-
-let to_string v =
-  let b = Buffer.create 256 in
-  emit b v;
-  Buffer.contents b
-
-(* ---------------------------------- parsing ---------------------------- *)
-
-type state = { src : string; mutable pos : int }
-
-let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let rec skip_ws st =
-  match peek st with
-  | Some (' ' | '\t' | '\n' | '\r') ->
-    st.pos <- st.pos + 1;
-    skip_ws st
-  | _ -> ()
-
-let expect st c =
-  match peek st with
-  | Some c' when c' = c -> st.pos <- st.pos + 1
-  | _ -> fail st (Printf.sprintf "expected '%c'" c)
-
-let literal st word v =
-  let n = String.length word in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-    st.pos <- st.pos + n;
-    v
-  end
-  else fail st ("expected " ^ word)
-
-let parse_string st =
-  expect st '"';
-  let b = Buffer.create 16 in
-  let rec go () =
-    if st.pos >= String.length st.src then fail st "unterminated string";
-    let c = st.src.[st.pos] in
-    st.pos <- st.pos + 1;
-    match c with
-    | '"' -> Buffer.contents b
-    | '\\' -> (
-      if st.pos >= String.length st.src then fail st "unterminated escape";
-      let e = st.src.[st.pos] in
-      st.pos <- st.pos + 1;
-      match e with
-      | '"' | '\\' | '/' ->
-        Buffer.add_char b e;
-        go ()
-      | 'n' ->
-        Buffer.add_char b '\n';
-        go ()
-      | 't' ->
-        Buffer.add_char b '\t';
-        go ()
-      | 'r' ->
-        Buffer.add_char b '\r';
-        go ()
-      | 'b' ->
-        Buffer.add_char b '\b';
-        go ()
-      | 'f' ->
-        Buffer.add_char b '\012';
-        go ()
-      | 'u' ->
-        if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
-        let hex = String.sub st.src st.pos 4 in
-        st.pos <- st.pos + 4;
-        let code = try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape" in
-        (* non-ASCII escapes round-trip as UTF-8 *)
-        if code < 0x80 then Buffer.add_char b (Char.chr code)
-        else if code < 0x800 then begin
-          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end
-        else begin
-          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end;
-        go ()
-      | _ -> fail st "bad escape")
-    | c ->
-      Buffer.add_char b c;
-      go ()
-  in
-  go ()
-
-let parse_number st =
-  let start = st.pos in
-  let is_num c =
-    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-  in
-  while (match peek st with Some c when is_num c -> true | _ -> false) do
-    st.pos <- st.pos + 1
-  done;
-  let s = String.sub st.src start (st.pos - start) in
-  match int_of_string_opt s with
-  | Some i -> Int i
-  | None -> (
-    match float_of_string_opt s with Some f -> Float f | None -> fail st ("bad number " ^ s))
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | Some '{' ->
-    st.pos <- st.pos + 1;
-    skip_ws st;
-    if peek st = Some '}' then begin
-      st.pos <- st.pos + 1;
-      Obj []
-    end
-    else begin
-      let fields = ref [] in
-      let rec members () =
-        skip_ws st;
-        let k = parse_string st in
-        skip_ws st;
-        expect st ':';
-        let v = parse_value st in
-        fields := (k, v) :: !fields;
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          st.pos <- st.pos + 1;
-          members ()
-        | Some '}' -> st.pos <- st.pos + 1
-        | _ -> fail st "expected ',' or '}'"
-      in
-      members ();
-      Obj (List.rev !fields)
-    end
-  | Some '[' ->
-    st.pos <- st.pos + 1;
-    skip_ws st;
-    if peek st = Some ']' then begin
-      st.pos <- st.pos + 1;
-      List []
-    end
-    else begin
-      let items = ref [] in
-      let rec elements () =
-        let v = parse_value st in
-        items := v :: !items;
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          st.pos <- st.pos + 1;
-          elements ()
-        | Some ']' -> st.pos <- st.pos + 1
-        | _ -> fail st "expected ',' or ']'"
-      in
-      elements ();
-      List (List.rev !items)
-    end
-  | Some '"' -> Str (parse_string st)
-  | Some 't' -> literal st "true" (Bool true)
-  | Some 'f' -> literal st "false" (Bool false)
-  | Some 'n' -> literal st "null" Null
-  | Some _ -> parse_number st
-  | None -> fail st "unexpected end of input"
-
-let of_string s =
-  let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then fail st "trailing junk";
-  v
-
-(* ---------------------------------- accessors -------------------------- *)
-
-let mem k = function Obj fields -> List.assoc_opt k fields | _ -> None
-
-let str = function Str s -> Some s | _ -> None
-let int = function Int i -> Some i | _ -> None
-let bool = function Bool b -> Some b | _ -> None
-let list = function List l -> Some l | _ -> None
-
-let get_str k j = Option.bind (mem k j) str
-let get_int k j = Option.bind (mem k j) int
-let get_bool k j = Option.bind (mem k j) bool
-let get_list k j = Option.bind (mem k j) list
-
-let float_of = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None
+(* The farm's JSON used to live here; it is now the standalone [Rjson]
+   library (lib/rjson) so manifest-consuming layers that the farm itself
+   depends on — the config-space explorer in lib/explore — can parse and
+   emit JSON without a dependency cycle. This alias keeps the historical
+   [Farm.Json] path (and its exception identity) intact. *)
+include Rjson

@@ -314,6 +314,25 @@ let mp_addr =
       |];
   }
 
+(* The control-dependency shape: thread 1 relays the flag through a store
+   guarded by an always-taken branch on the loaded value. The ctrl dep
+   (plus in-order commit) holds the relay store until the flag load
+   resolves, so z=1 genuinely means thread 1 saw y=1 — yet the final
+   reader's plain payload load can still bind a stale x from its warmed
+   copy, so the chained outcome survives under WMM like plain MP. *)
+let mp_ctrl =
+  {
+    name = "MP+ctrl";
+    doc = "MP relayed via a ctrl-dependent store: 1:r0=1,2:r0=1,2:r1=0 forbidden TSO, allowed WMM";
+    init = [];
+    threads =
+      [|
+        thr ~warm:[ St ("y", 0) ] [ St ("x", 1); St ("y", 1) ];
+        thr ~warm:[ St ("z", 0) ] [ Ld (0, "y"); St_ctrl ("z", 1, 0) ];
+        thr ~warm:[ Ld (3, "x") ] [ Ld (0, "z"); Ld (1, "x") ];
+      |];
+  }
+
 let lr_sc =
   {
     name = "LR-SC";
@@ -369,6 +388,7 @@ let all =
     sb_amo;
     mp_amo;
     mp_addr;
+    mp_ctrl;
     lr_sc;
     amo_inc;
     stress6;

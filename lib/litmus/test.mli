@@ -108,6 +108,8 @@ val mp_amo : t  (** MP publishing the flag with an AMO: still WMM-relaxed *)
 
 val mp_addr : t  (** MP with an address-dependent payload load *)
 
+val mp_ctrl : t  (** MP relayed through a control-dependent store *)
+
 val lr_sc : t  (** competing LR/SC pairs: mutual exclusion *)
 
 val amo_inc : t  (** two fetch-and-adds: no lost update *)

@@ -9,6 +9,12 @@ type t = {
   lq_size : int;
   sq_size : int;
   sb_size : int;
+  n_phys_regs : int;
+      (* physical-register-file entries (>= 33; 32 architectural + the
+         free window rename draws on). The classic sizing is
+         32 + rob_size + 8, which [phys_regs_for] computes; the
+         config-space explorer varies it independently to find the point
+         where the PRF, not the ROB, bounds the in-flight window. *)
   n_spec_tags : int;
   muldiv_latency : int;
   mem_model : mem_model;
@@ -24,6 +30,8 @@ type t = {
          store-queue age/overlap scan, so loads sail past older stores *)
 }
 
+let phys_regs_for ~rob_size = 32 + rob_size + 8
+
 let riscyoo_b =
   {
     name = "RiscyOO-B";
@@ -34,6 +42,7 @@ let riscyoo_b =
     lq_size = 24;
     sq_size = 14;
     sb_size = 4;
+    n_phys_regs = phys_regs_for ~rob_size:64;
     n_spec_tags = 8;
     muldiv_latency = 4;
     mem_model = WMM;
@@ -55,7 +64,8 @@ let riscyoo_cminus =
   }
 
 let riscyoo_tplus = { riscyoo_b with name = "RiscyOO-T+"; tlb = Tlb.Tlb_sys.nonblocking_config }
-let riscyoo_tplus_rplus = { riscyoo_tplus with name = "RiscyOO-T+R+"; rob_size = 80 }
+let riscyoo_tplus_rplus =
+  { riscyoo_tplus with name = "RiscyOO-T+R+"; rob_size = 80; n_phys_regs = phys_regs_for ~rob_size:80 }
 
 let a57_proxy =
   {
@@ -64,6 +74,7 @@ let a57_proxy =
     width = 3;
     n_alu = 3;
     rob_size = 128;
+    n_phys_regs = phys_regs_for ~rob_size:128;
     lq_size = 32;
     sq_size = 20;
     mem =
@@ -83,6 +94,7 @@ let denver_proxy =
     width = 7;
     n_alu = 4;
     rob_size = 192;
+    n_phys_regs = phys_regs_for ~rob_size:192;
     iq_size = 24;
     lq_size = 48;
     sq_size = 32;
@@ -95,6 +107,7 @@ let multicore mm =
     riscyoo_tplus with
     name = (match mm with TSO -> "quad-TSO" | WMM -> "quad-WMM");
     rob_size = 48;
+    n_phys_regs = phys_regs_for ~rob_size:48;
     lq_size = 16;
     sq_size = 10;
     mem_model = mm;

@@ -15,6 +15,11 @@ type t = {
   lq_size : int;
   sq_size : int;
   sb_size : int;  (** store buffer entries (WMM only) *)
+  n_phys_regs : int;
+      (** physical-register-file entries (>= 33: the 32 architectural
+          registers plus the free window rename draws on). Classically sized
+          as [phys_regs_for ~rob_size]; the config-space explorer varies it
+          independently. *)
   n_spec_tags : int;  (** branch speculation tags / bit-mask width *)
   muldiv_latency : int;
   mem_model : mem_model;
@@ -33,6 +38,9 @@ type t = {
           overlapping stores. The [ooo.lsq/ld-issue] obligation catches the
           first load that reaches the cache past such a store. *)
 }
+
+(** The classic PRF sizing: 32 architectural + ROB window + 8 slack. *)
+val phys_regs_for : rob_size:int -> int
 
 (** RiscyOO-B: the paper's baseline (Fig. 12): 2-wide, 64-entry ROB, 2 ALU +
     1 MEM pipelines, 16-entry IQs, 24/14-entry LQ/SQ, blocking TLBs, 32 KB

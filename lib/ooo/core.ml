@@ -106,7 +106,7 @@ let create ?(name = "ooo") ?cosim ?(pipe = Obs.Pipe.null) clk (cfg : Config.t) ~
      private to it, so the whole construction runs in the core's partition
      (hart 0 -> partition 1; partition 0 is the uncore). *)
   Partition.scoped (hart_id + 1) @@ fun () ->
-  let nregs = 32 + cfg.rob_size + 8 in
+  let nregs = cfg.n_phys_regs in
   let dead_u (u : Uop.t) = u.killed in
   let dead_2 ((u : Uop.t), _) = u.killed in
   let dead_3 ((u : Uop.t), _, _) = u.killed in

@@ -6,7 +6,7 @@ let adder_bit = 9.0
 
 let log2 n = log (float_of_int n) /. log 2.0
 
-let phys_tag_bits (cfg : Ooo.Config.t) = int_of_float (ceil (log2 (32 + cfg.rob_size + 8)))
+let phys_tag_bits (cfg : Ooo.Config.t) = int_of_float (ceil (log2 cfg.n_phys_regs))
 
 (* An N-entry structure with [bits] of state per entry, [rp] read and [wp]
    write ports: FFs plus per-port mux/decode trees. *)
@@ -35,13 +35,13 @@ let breakdown (cfg : Ooo.Config.t) =
   in
   let n_iqs = cfg.n_alu + 2 in
   let prf =
-    regfile ~entries:(32 + cfg.rob_size + 8) ~bits:64 ~rp:(2 * (cfg.n_alu + 2)) ~wp:(cfg.n_alu + 2)
+    regfile ~entries:cfg.n_phys_regs ~bits:64 ~rp:(2 * (cfg.n_alu + 2)) ~wp:(cfg.n_alu + 2)
   in
   let rename =
     (* RAT + RRAT + per-tag snapshots + free list ring *)
     regfile ~entries:32 ~bits:(2 * phys_tag_bits cfg) ~rp:(3 * cfg.width) ~wp:(2 * cfg.width)
     +. (float_of_int cfg.n_spec_tags *. 32.0 *. tag *. ff)
-    +. regfile ~entries:(32 + cfg.rob_size + 8) ~bits:(phys_tag_bits cfg) ~rp:cfg.width ~wp:cfg.width
+    +. regfile ~entries:cfg.n_phys_regs ~bits:(phys_tag_bits cfg) ~rp:cfg.width ~wp:cfg.width
   in
   let lsq =
     (* address CAMs against every entry, per mem-pipe port *)
@@ -58,10 +58,19 @@ let breakdown (cfg : Ooo.Config.t) =
   let bypass = w *. float_of_int cfg.n_alu *. 64.0 *. mux2 *. 2.0 in
   let frontend_ctl = w *. 9000.0 (* fetch buffers, decoders, epoch logic *) in
   let predictor =
-    (* tournament counters + histories + BTB + RAS kept in cells, as the
-       paper notes ("significantly affected by the size of the branch
-       predictors... could use SRAM") *)
-    ((1024.0 *. 10.0) +. (1024.0 *. 3.0) +. (4096.0 *. 2.0) +. (4096.0 *. 2.0)) *. ff
+    (* direction-predictor tables + BTB + RAS kept in cells, as the paper
+       notes ("significantly affected by the size of the branch
+       predictors... could use SRAM"). The table bill depends on which
+       predictor the config instantiates. *)
+    let dir_tables =
+      match cfg.predictor with
+      | Branch.Dir_pred.Tournament ->
+        (* local counters + local histories + global counters + chooser *)
+        (1024.0 *. 10.0) +. (1024.0 *. 3.0) +. (4096.0 *. 2.0) +. (4096.0 *. 2.0)
+      | Branch.Dir_pred.Gshare -> (4096.0 *. 2.0) +. 12.0 (* global table + history register *)
+      | Branch.Dir_pred.Bimodal -> 1024.0 *. 2.0
+    in
+    (dir_tables *. ff)
     +. (float_of_int cfg.btb_entries *. (30.0 +. 48.0) *. ff)
     +. (float_of_int cfg.ras_entries *. 48.0 *. ff)
   in
@@ -76,6 +85,18 @@ let breakdown (cfg : Ooo.Config.t) =
        | None -> 0.0)
     +. float_of_int cfg.tlb.Tlb.Tlb_sys.l2_misses *. 3500.0
   in
+  let l2_ctl =
+    (* shared-L2 control: per-bank scheduler/tag pipeline + MSHR file,
+       plus the directory state machine. MESI carries an extra stable
+       state and the exclusive-grant decision per bank. *)
+    let banks = float_of_int cfg.mem.Mem.Mem_sys.l2_banks in
+    let per_bank =
+      7000.0
+      +. (float_of_int cfg.mem.Mem.Mem_sys.l2_mshrs /. banks *. 2600.0)
+      +. (if cfg.mem.Mem.Mem_sys.mesi then 1400.0 else 0.0)
+    in
+    banks *. per_bank
+  in
   [
     ("rob", rob);
     ("issue-queues", float_of_int n_iqs *. iq_one);
@@ -89,6 +110,7 @@ let breakdown (cfg : Ooo.Config.t) =
     ("front-end", frontend_ctl);
     ("predictors", predictor);
     ("cache/tlb control", cache_ctl);
+    ("l2 control", l2_ctl);
   ]
 
 (* Global calibration: anchors RiscyOO-T+ at the paper's 1.78 M NAND2. *)

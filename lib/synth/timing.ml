@@ -14,6 +14,8 @@ let paths (cfg : Ooo.Config.t) =
     ("bypass", 320.0 +. (26.0 *. float_of_int cfg.n_alu *. w));
     (* LSQ address CAM *)
     ("lsq-cam", 330.0 +. (40.0 *. log2 (cfg.lq_size + cfg.sq_size)));
+    (* PRF read: address decode + bitline mux grows with the file depth *)
+    ("prf-read", 250.0 +. (30.0 *. log2 cfg.n_phys_regs));
   ]
 
 let critical_path_ps cfg = List.fold_left (fun a (_, d) -> max a d) 0.0 (paths cfg)

@@ -88,7 +88,9 @@ let init_pointer_chase pmem ~base ~n ~stride ~seed =
 let init_random_bytes pmem ~base ~n ~seed =
   let rng = ref seed in
   for i = 0 to n - 1 do
-    Phys_mem.store pmem ~bytes:1 (Int64.add base (Int64.of_int i)) (Int64.of_int (lcg rng land 0xFF))
+    Phys_mem.store pmem ~bytes:1
+      (Int64.add base (Int64.of_int i))
+      (Int64.of_int (lcg rng land 0xFF))
   done
 
 let init_random_words pmem ~base ~n ~bound ~seed =

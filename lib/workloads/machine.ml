@@ -43,7 +43,8 @@ let base = Addr_map.dram_base
 
 let load_program pmem (p : program) =
   Array.iteri
-    (fun i w -> Phys_mem.store pmem ~bytes:4 (Int64.add base (Int64.of_int (i * 4))) (Int64.of_int w))
+    (fun i w ->
+      Phys_mem.store pmem ~bytes:4 (Int64.add base (Int64.of_int (i * 4))) (Int64.of_int w))
     (Asm.words p.asm ~base);
   match p.init_mem with Some f -> f pmem | None -> ()
 
@@ -61,7 +62,10 @@ let instrs t =
     t.cores;
   !total
 
-let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64) ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false) ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false) ?(epoch = 1) ?(watchdog = 0) ?(invariants = false) ?(obligations = false) ?obs kind prog =
+let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64)
+    ?(cosim = false) ?schedule ?(mode = Sim.Multi) ?(fastpath = true) ?(audit = false)
+    ?(jobs = 1) ?(partition_audit = false) ?(compile = true) ?(compile_audit = false)
+    ?(epoch = 1) ?(watchdog = 0) ?(invariants = false) ?(obligations = false) ?obs kind prog =
   (* Cosim shares one Golden.t across every hart's commit hook, so its state
      is not partition-private; force serial execution under cosim — and
      per-cycle synchronization: the goldens share a private memory, so the
@@ -181,7 +185,10 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
     }
   | Out_of_order cfg ->
     let clk = Clock.create () in
-    let ms = Mem.Mem_sys.create clk pmem cfg.Ooo.Config.mem ~ncores ~fetch_width:cfg.width ~stats:stats_t in
+    let ms =
+      Mem.Mem_sys.create clk pmem cfg.Ooo.Config.mem ~ncores ~fetch_width:cfg.width
+        ~stats:stats_t
+    in
     let golden =
       if cosim then begin
         let g = Golden.create ~nharts:ncores (Phys_mem.copy pmem) (Mmio.create ()) in
@@ -259,7 +266,9 @@ let create ?(ncores = 1) ?(paging = false) ?(megapages = false) ?(mapped_mb = 64
      nests the same way for interface monitors: each LSQ/store-buffer/L2
      declares its message contracts during construction and checks them at
      the boundary as the machine runs. *)
-  let with_invariants () = if invariants then Verif.Invariant.collecting build else (build (), []) in
+  let with_invariants () =
+    if invariants then Verif.Invariant.collecting build else (build (), [])
+  in
   let (t, checks), monitors =
     if obligations then Mcheck.Obligation.collecting with_invariants else (with_invariants (), [])
   in

@@ -313,7 +313,8 @@ let streamcluster ~harts ~scale =
   accumulate p ~value_reg:a1 ~tmp:t5;
   join p ~harts;
   Machine.program
-    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:points ~bound:8000L ~seed:0x5C)
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_words m ~base:data0 ~n:points ~bound:8000L ~seed:0x5C)
     p
 
 let all =

@@ -1,0 +1,305 @@
+open Isa
+open Reg_name
+
+(* Server-shaped kernels: request/response traffic, bounded rings and lock
+   ladders over the coherent hierarchy. Where the PARSEC-shaped kernels are
+   compute loops with occasional sharing, these are communication loops —
+   nearly every iteration crosses a cache line some other hart wrote, which
+   is the traffic pattern that separates MSI from MESI, few from many L2
+   banks, and TSO from WMM.
+
+   Same conventions as {!Parsec_kernels}: all harts run the same code and
+   branch on [mhartid]; hart 0 reduces the per-hart partial sums (amoadd'd
+   into [result_addr]) and exits with a checksum that is
+   schedule-independent for a fixed hart count. *)
+
+let done_addr = 0x8018_0040L
+let result_addr = 0x8018_0080L
+let barrier1 = 0x8018_0240L (* distinct from Parsec_kernels.barrier0 *)
+let req_base = 0x8034_0000L (* per-client request slot, 64 B apart *)
+let rsp_base = 0x8035_0000L (* per-client response slot, 64 B apart *)
+let seen_base = 0x8036_0000L (* server-private last-served sequence numbers *)
+let ring_base = 0x8037_0000L (* per-pair SPSC ring, 4 KB apart *)
+let locks_base = 0x8038_0000L (* lock ladder: 4 locks, 64 B apart *)
+let ctrs_base = 0x8038_0400L (* lock ladder: 4 counters, 64 B apart *)
+
+let accumulate p ~value_reg ~tmp =
+  Asm.li p tmp result_addr;
+  Asm.amoadd_d p zero value_reg tmp
+
+let join p ~harts = Kernel_lib.worker_join p ~harts ~done_addr ~result_addr
+
+(* response payload for request (sequence number) in [req]: a cheap hash,
+   masked so (payload << 8 | tag) stays well inside 63 bits *)
+let payload p ~req ~out ~tmp =
+  Asm.li p tmp 0x9E37L;
+  Asm.mul p out req tmp;
+  Asm.srli p out out 5;
+  Asm.li p tmp 0xFFFFL;
+  Asm.and_ p out out tmp
+
+(* --- reqresp: request/response slots between clients and a server hart ----
+
+   Hart 0 is the server; every other hart is a client with a private
+   request and response slot (64 B apart, so each handshake is its own
+   line). A client publishes monotonically increasing sequence numbers into
+   its request slot; the server scans the slots, and for each fresh
+   sequence number writes back (payload(seq) << 8) | (seq & 0xff). The
+   single-word message carries both data and flag, so no fence is needed on
+   the fast path even under WMM — the tag check is what the client spins
+   on. Sequence numbers are never reset, so there is no clear-to-zero race.
+
+   Clients checksum the payloads (a deterministic function of the sequence
+   number); the server contributes the count of requests it served, which
+   is exactly (harts-1) * reqs_per_client. *)
+let reqresp ~harts ~scale =
+  let reqs = 24 * scale in
+  let p = Asm.create () in
+  Asm.csrr p s0 Csr.mhartid;
+  if harts = 1 then begin
+    (* no clients: serve the ladder of requests locally *)
+    Asm.li p a1 0L;
+    Asm.li p t0 1L;
+    Asm.li p t1 (Int64.of_int reqs);
+    Asm.label p "self";
+    payload p ~req:t0 ~out:t2 ~tmp:t3;
+    Asm.add p a1 a1 t2;
+    Asm.addi p t0 t0 1L;
+    Asm.bge p t1 t0 "self"
+  end
+  else begin
+    Asm.bne p s0 zero "client";
+    (* --- server: scan client slots until every request is served --- *)
+    Asm.li p s1 req_base;
+    Asm.li p s2 rsp_base;
+    Asm.li p s3 seen_base;
+    Asm.li p s4 (Int64.of_int ((harts - 1) * reqs)) (* total to serve *);
+    Asm.li p s5 0L (* served so far *);
+    Asm.label p "serve";
+    Asm.bge p s5 s4 "server_done";
+    Asm.li p t0 1L (* client index *);
+    Asm.label p "scan";
+    Asm.slli p t1 t0 6;
+    Asm.add p t2 t1 s1;
+    Asm.ld p t3 0L t2 (* current request seq *);
+    Asm.add p t4 t1 s3;
+    Asm.ld p t5 0L t4 (* last seq served for this client *);
+    Asm.beq p t3 t5 "next_client";
+    (* fresh request: remember it, compute, respond *)
+    Asm.sd p t3 0L t4;
+    payload p ~req:t3 ~out:a2 ~tmp:a3;
+    Asm.slli p a2 a2 8;
+    Asm.andi p t3 t3 0xFFL;
+    Asm.or_ p a2 a2 t3;
+    Asm.add p t2 t1 s2;
+    Asm.sd p a2 0L t2;
+    Asm.addi p s5 s5 1L;
+    Asm.label p "next_client";
+    Asm.addi p t0 t0 1L;
+    Asm.li p t6 (Int64.of_int harts);
+    Asm.blt p t0 t6 "scan";
+    Asm.j p "serve";
+    Asm.label p "server_done";
+    Asm.mv p a1 s5;
+    Asm.j p "reduce";
+    (* --- client: issue sequence numbers, spin on the tagged response --- *)
+    Asm.label p "client";
+    Asm.slli p t1 s0 6;
+    Asm.li p s1 req_base;
+    Asm.add p s1 s1 t1 (* my request slot *);
+    Asm.li p s2 rsp_base;
+    Asm.add p s2 s2 t1 (* my response slot *);
+    Asm.li p a1 0L;
+    Asm.li p t0 1L (* seq *);
+    Asm.li p s3 (Int64.of_int reqs);
+    Asm.label p "issue";
+    Asm.sd p t0 0L s1;
+    Asm.andi p t4 t0 0xFFL (* expected tag *);
+    Asm.label p "await";
+    Asm.ld p t2 0L s2;
+    Asm.andi p t3 t2 0xFFL;
+    Asm.bne p t3 t4 "await";
+    Asm.srli p t2 t2 8;
+    Asm.add p a1 a1 t2;
+    Asm.addi p t0 t0 1L;
+    Asm.bge p s3 t0 "issue";
+    Asm.label p "reduce"
+  end;
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program p
+
+(* --- prodcons: bounded SPSC rings between hart pairs ----------------------
+
+   Hart 2p produces into a 16-slot ring; hart 2p+1 consumes. The producer
+   publishes a head counter after a fence (so slot data is globally visible
+   first); the consumer fences between observing head and reading the slot
+   — the load-load ordering WMM does not give for free (this is exactly the
+   MP litmus shape). Values are a deterministic function of (pair, index),
+   so the consumer's sum is schedule-independent; the producer contributes
+   the item count. An odd trailing hart (or a single-hart run) feeds its
+   own ring, which exercises the same code with no sharing. *)
+let prodcons ~harts ~scale =
+  let items = 48 * scale in
+  let slots = 16 in
+  let p = Asm.create () in
+  Asm.csrr p s0 Csr.mhartid;
+  (* pair = hart / 2; my ring at ring_base + pair * 4096; head at +1024,
+     tail at +1088 (all separate lines) *)
+  Asm.srli p t0 s0 1;
+  Asm.slli p t0 t0 12;
+  Asm.li p s1 ring_base;
+  Asm.add p s1 s1 t0 (* ring slots *);
+  Asm.addi p s2 s1 1024L (* head (producer-published count) *);
+  Asm.addi p s3 s2 64L (* tail (consumer-published count) *);
+  Asm.li p s4 (Int64.of_int items);
+  Asm.li p a1 0L;
+  (* last hart of an odd machine pairs with nobody: run both roles locally *)
+  let solo = harts land 1 = 1 in
+  if solo then begin
+    Asm.li p t0 (Int64.of_int (harts - 1));
+    Asm.bne p s0 t0 "paired";
+    Asm.li p t0 0L (* index *);
+    Asm.label p "solo_loop";
+    Asm.bge p t0 s4 "reduce";
+    (* produce value f(pair, i) then immediately consume it *)
+    Asm.li p t2 37L;
+    Asm.mul p t2 t0 t2;
+    Asm.srli p t3 s0 1;
+    Asm.li p t4 11L;
+    Asm.mul p t3 t3 t4;
+    Asm.add p t2 t2 t3;
+    Asm.li p t3 0x3FFL;
+    Asm.and_ p t2 t2 t3;
+    Asm.add p a1 a1 t2;
+    Asm.addi p t0 t0 1L;
+    Asm.j p "solo_loop";
+    Asm.label p "paired"
+  end;
+  Asm.andi p t0 s0 1L;
+  Asm.bne p t0 zero "consumer";
+  (* --- producer (even hart) --- *)
+  Asm.li p t0 0L (* produced count *);
+  Asm.label p "produce";
+  Asm.bge p t0 s4 "producer_done";
+  Asm.label p "full";
+  Asm.ld p t1 0L s3 (* tail *);
+  Asm.sub p t2 t0 t1;
+  Asm.li p t3 (Int64.of_int slots);
+  Asm.bge p t2 t3 "full";
+  (* value f(pair, i) = (37*i + 11*pair) & 0x3ff *)
+  Asm.li p t2 37L;
+  Asm.mul p t2 t0 t2;
+  Asm.srli p t3 s0 1;
+  Asm.li p t4 11L;
+  Asm.mul p t3 t3 t4;
+  Asm.add p t2 t2 t3;
+  Asm.li p t3 0x3FFL;
+  Asm.and_ p t2 t2 t3;
+  Asm.andi p t3 t0 (Int64.of_int (slots - 1));
+  Asm.slli p t3 t3 3;
+  Asm.add p t3 t3 s1;
+  Asm.sd p t2 0L t3;
+  (* publish: slot data must be visible before the head that covers it *)
+  Asm.fence p;
+  Asm.addi p t0 t0 1L;
+  Asm.sd p t0 0L s2;
+  Asm.j p "produce";
+  Asm.label p "producer_done";
+  Asm.mv p a1 s4 (* producer contributes the item count *);
+  Asm.j p "reduce";
+  (* --- consumer (odd hart) --- *)
+  Asm.label p "consumer";
+  Asm.li p t0 0L (* consumed count *);
+  Asm.label p "consume";
+  Asm.bge p t0 s4 "reduce";
+  Asm.label p "empty";
+  Asm.ld p t1 0L s2 (* head *);
+  Asm.bge p t0 t1 "empty";
+  (* order the slot read after the head read (MP shape under WMM) *)
+  Asm.fence p;
+  Asm.andi p t3 t0 (Int64.of_int (slots - 1));
+  Asm.slli p t3 t3 3;
+  Asm.add p t3 t3 s1;
+  Asm.ld p t2 0L t3;
+  Asm.add p a1 a1 t2;
+  Asm.addi p t0 t0 1L;
+  Asm.sd p t0 0L s3 (* free the slot *);
+  Asm.j p "consume";
+  Asm.label p "reduce";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program p
+
+(* --- lockladder: rotating contention over a ladder of four locks ----------
+
+   Every hart climbs the same ladder of four line-separated locks, starting
+   at a different rung ((hart + step) mod 4), and increments the counter
+   each lock protects. Consecutive steps hand each line to a different
+   hart, so the locks and counters ping-pong through the coherence protocol
+   — peak line migration traffic. After a barrier, hart 0 folds the four
+   counters into the checksum; mutual exclusion makes that sum exactly
+   harts * steps, so any lost update breaks the checksum. *)
+let lockladder ~harts ~scale =
+  let steps = 20 * scale in
+  let p = Asm.create () in
+  Asm.li p s1 locks_base;
+  Asm.li p s2 ctrs_base;
+  Asm.csrr p s0 Csr.mhartid;
+  Asm.li p a1 0L;
+  Asm.li p t0 0L (* step *);
+  Asm.li p s3 (Int64.of_int steps);
+  Asm.label p "step";
+  Asm.bge p t0 s3 "climbed";
+  (* rung = (hart + step) & 3, each rung 64 B apart *)
+  Asm.add p t1 s0 t0;
+  Asm.andi p t1 t1 3L;
+  Asm.slli p t1 t1 6;
+  Asm.add p t2 t1 s1 (* lock *);
+  Asm.add p t3 t1 s2 (* counter *);
+  Kernel_lib.spin_lock p ~addr_reg:t2 ~tmp1:t4 ~tmp2:t5;
+  Asm.ld p t4 0L t3;
+  Asm.addi p t4 t4 1L;
+  Asm.sd p t4 0L t3;
+  Kernel_lib.spin_unlock p ~addr_reg:t2;
+  Asm.addi p a1 a1 1L (* local contribution: one per step *);
+  Asm.addi p t0 t0 1L;
+  Asm.j p "step";
+  Asm.label p "climbed";
+  Asm.li p t1 barrier1;
+  Kernel_lib.barrier p ~addr_reg:t1 ~harts ~tmp1:t2 ~tmp2:t3;
+  (* hart 0 audits the ladder: the counters must sum to harts * steps *)
+  Asm.bne p s0 zero "reduce";
+  Asm.li p t0 0L;
+  Asm.label p "audit";
+  Asm.slli p t1 t0 6;
+  Asm.add p t1 t1 s2;
+  Asm.ld p t2 0L t1;
+  Asm.add p a1 a1 t2;
+  Asm.addi p t0 t0 1L;
+  Asm.li p t3 4L;
+  Asm.blt p t0 t3 "audit";
+  Asm.label p "reduce";
+  Asm.li p t6 0xFFFFFFL;
+  Asm.and_ p a1 a1 t6;
+  accumulate p ~value_reg:a1 ~tmp:t5;
+  join p ~harts;
+  Machine.program p
+
+let all =
+  [
+    ("reqresp", fun ~harts ~scale -> reqresp ~harts ~scale);
+    ("prodcons", fun ~harts ~scale -> prodcons ~harts ~scale);
+    ("lockladder", fun ~harts ~scale -> lockladder ~harts ~scale);
+  ]
+
+let names = List.map fst all
+
+let find name ~harts ~scale =
+  match List.assoc_opt name all with
+  | Some f -> f ~harts ~scale
+  | None -> invalid_arg ("Server_kernels.find: unknown kernel " ^ name)

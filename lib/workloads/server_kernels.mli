@@ -1,0 +1,18 @@
+(** Server-shaped multi-threaded kernels: communication-dominated loops that
+    stress the coherent memory system rather than the ALUs.
+
+    [reqresp] bounces single-word request/response handshakes between client
+    harts and a server hart; [prodcons] streams values through bounded
+    SPSC rings between hart pairs (fenced in the MP-litmus places, so it is
+    correct under WMM); [lockladder] rotates every hart over a ladder of
+    four contended spin locks and audits the protected counters.
+
+    Conventions match {!Parsec_kernels}: all harts run the same code and
+    branch on [mhartid]; hart 0 reduces per-hart partial sums and exits
+    with a checksum that is schedule-independent for a fixed hart count —
+    [lockladder]'s checksum additionally proves mutual exclusion held. *)
+
+val all : (string * (harts:int -> scale:int -> Machine.program)) list
+
+val find : string -> harts:int -> scale:int -> Machine.program
+val names : string list

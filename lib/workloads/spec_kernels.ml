@@ -182,7 +182,8 @@ let gobmk ~scale =
   Asm.blt p t0 s1 "loop";
   finish p;
   Machine.program
-    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:128 ~bound:Int64.max_int ~seed:0x60)
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_words m ~base:data0 ~n:128 ~bound:Int64.max_int ~seed:0x60)
     p
 
 (* --- hmmer: dense Viterbi-like adds and maxes, sequential ---------------- *)
@@ -258,7 +259,8 @@ let sjeng ~scale =
   Asm.blt p t0 s1 "loop";
   finish p;
   Machine.program
-    ~init_mem:(fun m -> Kernel_lib.init_random_words m ~base:data0 ~n:8192 ~bound:Int64.max_int ~seed:0x99)
+    ~init_mem:(fun m ->
+      Kernel_lib.init_random_words m ~base:data0 ~n:8192 ~bound:Int64.max_int ~seed:0x99)
     p
 
 (* --- libquantum: streaming toggle over an L2-sized array ----------------- *)

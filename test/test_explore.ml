@@ -1,0 +1,229 @@
+(* Config-space explorer: manifest expansion, Pareto dominance on a
+   hand-checked synthetic front, config threading into real machines, the
+   reference gate, and worker-count determinism through the farm. *)
+
+module Space = Explore.Space
+module Measure = Explore.Measure
+module Pareto = Explore.Pareto
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let manifest =
+  {|{ "schema": "riscyoo-explore-manifest-v1",
+      "base": "b",
+      "workloads": [ {"name": "reqresp", "scale": 1} ],
+      "grid": { "rob_size": [16, 32, 48], "l2_banks": [1, 2] },
+      "points": [ {"name": "big", "rob_size": 96, "n_phys_regs": 160} ],
+      "reference": "big" }|}
+
+(* --- expansion ------------------------------------------------------------ *)
+
+let test_expansion () =
+  let s = Space.of_string manifest in
+  (* cartesian grid (3 x 2) plus one explicit point *)
+  check_int "point count" 7 (Space.n_points s);
+  let names = List.map Space.name_of s.Space.points in
+  check_int "names unique" 7 (List.length (List.sort_uniq compare names));
+  (* grid names are dotted axis settings in canonical order *)
+  List.iter
+    (fun n -> check_bool (n ^ " expanded") true (List.mem n names))
+    [ "rob16.banks1"; "rob16.banks2"; "rob32.banks1"; "rob48.banks2"; "big" ];
+  check_bool "find_point hits" true (Space.find_point s "rob32.banks2" <> None);
+  check_bool "find_point misses" true (Space.find_point s "rob96.banks1" = None);
+  Alcotest.(check (option string)) "reference kept" (Some "big") s.Space.reference;
+  (* same text, same expansion: names are a pure function of the manifest *)
+  let names' = List.map Space.name_of (Space.of_string manifest).Space.points in
+  Alcotest.(check (list string)) "expansion deterministic" names names'
+
+let test_quick_clamp () =
+  let j = Rjson.of_string manifest in
+  let s = Space.of_json (Space.quick_json ~per_axis:2 j) in
+  (* rob axis clamped to [16; 32], banks already binary; explicit point stays *)
+  check_int "clamped count" 5 (Space.n_points s);
+  Alcotest.(check (option string)) "explicit reference survives" (Some "big") s.Space.reference
+
+let test_rejects () =
+  let raises name text =
+    match Space.of_string text with
+    | (_ : Space.t) -> Alcotest.failf "%s: accepted a bad manifest" name
+    | exception Space.Bad_manifest _ -> ()
+  in
+  raises "wrong schema"
+    {|{ "schema": "riscyoo-farm-manifest-v1", "base": "b",
+        "workloads": [{"name": "reqresp", "scale": 1}], "grid": {"rob_size": [16]} }|};
+  raises "unknown base"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "z80",
+        "workloads": [{"name": "reqresp", "scale": 1}], "grid": {"rob_size": [16]} }|};
+  raises "unknown axis"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "b",
+        "workloads": [{"name": "reqresp", "scale": 1}], "grid": {"alu_count": [2]} }|};
+  raises "unnamed explicit point"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "b",
+        "workloads": [{"name": "reqresp", "scale": 1}], "points": [{"rob_size": 16}] }|};
+  raises "duplicate names"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "b",
+        "workloads": [{"name": "reqresp", "scale": 1}],
+        "grid": {"rob_size": [16]}, "points": [{"name": "rob16"}] }|};
+  raises "reference off the space"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "b",
+        "workloads": [{"name": "reqresp", "scale": 1}],
+        "grid": {"rob_size": [16]}, "reference": "rob64" }|};
+  raises "no workloads"
+    {|{ "schema": "riscyoo-explore-manifest-v1", "base": "b",
+        "workloads": [], "grid": {"rob_size": [16]} }|}
+
+let test_to_config () =
+  let s = Space.of_string manifest in
+  let cfg name =
+    match Space.find_point s name with
+    | Some p -> Space.to_config ~base:s.Space.base p
+    | None -> Alcotest.failf "point %s missing" name
+  in
+  let small = cfg "rob16.banks2" in
+  check_int "rob threaded" 16 small.Ooo.Config.rob_size;
+  (* default PRF follows the classic sizing rule *)
+  check_int "default prf" (Ooo.Config.phys_regs_for ~rob_size:16) small.Ooo.Config.n_phys_regs;
+  check_int "banks threaded" 2 small.Ooo.Config.mem.Mem.Mem_sys.l2_banks;
+  check_str "config named after the point" "rob16.banks2" small.Ooo.Config.name;
+  let big = cfg "big" in
+  check_int "explicit prf wins" 160 big.Ooo.Config.n_phys_regs;
+  check_int "explicit rob" 96 big.Ooo.Config.rob_size;
+  (* out-of-range overrides are manifest errors, not silent clamps *)
+  let bad p =
+    match Space.to_config ~base:s.Space.base p with
+    | (_ : Ooo.Config.t) -> Alcotest.fail "accepted an uninstantiable point"
+    | exception Space.Bad_manifest _ -> ()
+  in
+  bad { Space.empty_point with pname = Some "tiny-prf"; n_phys_regs = Some 39 };
+  bad { Space.empty_point with pname = Some "odd-banks"; l2_banks = Some 3 }
+
+(* --- dominance ------------------------------------------------------------ *)
+
+let sample ?(workload = "w") point ipc area =
+  {
+    Measure.workload;
+    point;
+    ncores = 1;
+    ipc;
+    l2_mpki = 0.0;
+    rob_occ_avg = 0.0;
+    area_gates = area;
+    freq_ghz = 1.0;
+    cycles = 1000;
+    instrs = 1000;
+  }
+
+(* Hand-checked synthetic front: [a] dominates [c] (more IPC, less area);
+   [b] trades area for IPC against everything; [d] ties [a] exactly, and a
+   tie dominates nothing. Front = {a, b, d}. *)
+let a = sample "a" 2.0 100.0
+let b = sample "b" 1.0 50.0
+let c = sample "c" 1.5 150.0
+let d = sample "d" 2.0 100.0
+let synth = [ c; a; d; b ]
+
+let test_dominance () =
+  check_bool "a dominates c" true (Pareto.dominates a c);
+  check_bool "c does not dominate a" false (Pareto.dominates c a);
+  check_bool "no dominance between trade-offs" false
+    (Pareto.dominates a b || Pareto.dominates b a);
+  check_bool "exact tie dominates nothing" false
+    (Pareto.dominates a d || Pareto.dominates d a);
+  Alcotest.(check (list string))
+    "front, ascending area" [ "b"; "a"; "d" ]
+    (List.map (fun s -> s.Measure.point) (Pareto.front synth));
+  check_bool "on_front c" false (Pareto.on_front synth "c");
+  check_bool "on_front b" true (Pareto.on_front synth "b")
+
+let test_reference_gate () =
+  Alcotest.(check (option bool)) "no reference, no verdict" None
+    (Pareto.reference_on_front ~reference:None synth);
+  Alcotest.(check (option bool)) "reference on front" (Some true)
+    (Pareto.reference_on_front ~reference:(Some "a") synth);
+  (* the exit-nonzero case: the designated config is dominated *)
+  Alcotest.(check (option bool)) "dominated reference fails" (Some false)
+    (Pareto.reference_on_front ~reference:(Some "c") synth);
+  (* one bad workload is enough to fail a multi-workload front *)
+  let two = synth @ [ sample ~workload:"v" "c" 9.0 1.0 ] in
+  Alcotest.(check (option bool)) "fails on any workload" (Some false)
+    (Pareto.reference_on_front ~reference:(Some "c") two)
+
+let test_pareto_json () =
+  let j = Pareto.to_json ~reference:"c" synth in
+  Alcotest.(check (option string)) "schema" (Some "riscyoo-pareto-v1") (Rjson.get_str "schema" j);
+  (* byte-determinism: the serialization is a pure function of the set *)
+  check_str "order-normalised" (Pareto.to_string synth) (Pareto.to_string (List.rev synth));
+  (* round-trip a sample through the farm payload encoding *)
+  let s = sample "rt" 1.25 4096.5 in
+  check_bool "measure round trip" true (Measure.of_json (Measure.to_json s) = s)
+
+(* --- the real machine ----------------------------------------------------- *)
+
+(* Config threading end to end: the same kernel on a 16-entry and a 64-entry
+   ROB must agree architecturally and disagree on window pressure. *)
+let test_config_threading () =
+  let prog = Workloads.Server_kernels.find "reqresp" ~harts:1 ~scale:2 in
+  let build rob =
+    let p = { Space.empty_point with pname = Some (Printf.sprintf "rob%d" rob);
+              rob_size = Some rob } in
+    let cfg = Space.to_config ~base:Ooo.Config.riscyoo_b p in
+    let m = Workloads.Machine.create ~ncores:1 (Workloads.Machine.Out_of_order cfg) prog in
+    let o = Workloads.Machine.run m in
+    check_bool "finished" false o.Workloads.Machine.timed_out;
+    (o.Workloads.Machine.exits, Workloads.Machine.find_stat m "c0.robFullCycles")
+  in
+  let exits16, full16 = build 16 and exits64, full64 = build 64 in
+  Alcotest.(check (array int64)) "same architectural result" exits64 exits16;
+  check_bool
+    (Printf.sprintf "small ROB stalls more (16: %d, 64: %d)" full16 full64)
+    true (full16 > full64)
+
+(* Worker-count determinism through the farm: the same explore sweep at
+   --workers 1 and 3 must serialize to identical bytes, both as raw farm
+   records and as the Pareto front. *)
+let test_farm_determinism () =
+  let m =
+    Farm.Jobs.of_string
+      {|{ "schema": "riscyoo-farm-manifest-v1",
+          "sweeps": [ { "type": "explore",
+            "base": "b",
+            "workloads": [ {"name": "reqresp", "scale": 1} ],
+            "grid": { "rob_size": [24, 48], "l2_banks": [1, 2] } } ] }|}
+  in
+  let jobs = Farm.Jobs.jobs ~replay_cmd:"explore" ~manifest_path:"m.json" m in
+  check_int "2x2 grid expands" 4 (List.length jobs);
+  let run workers =
+    let cfg = { Farm.Sweep.workers; timeout_s = 120.; max_retries = 1; backoff_s = 0.01 } in
+    Farm.Sweep.run ~log:(fun (_ : string) -> ()) cfg jobs
+  in
+  let o1 = run 1 and o3 = run 3 in
+  check_int "all finished" 4 o1.Farm.Sweep.n_ok;
+  check_str "records byte-identical across workers" (Farm.Sweep.results_json o1)
+    (Farm.Sweep.results_json o3);
+  let front o =
+    match Farm.Jobs.explore_json o with
+    | Some j -> Rjson.to_string j
+    | None -> Alcotest.fail "no explore records in outcome"
+  in
+  check_str "pareto byte-identical across workers" (front o1) (front o3);
+  (* every sample got real measurements out of the machine *)
+  List.iter
+    (fun s ->
+      check_bool (s.Measure.point ^ " has ipc") true (s.Measure.ipc > 0.0);
+      check_bool (s.Measure.point ^ " has area") true (s.Measure.area_gates > 0.0))
+    (Farm.Jobs.explore_samples o1)
+
+let suite =
+  [
+    Alcotest.test_case "manifest expansion" `Quick test_expansion;
+    Alcotest.test_case "quick clamp" `Quick test_quick_clamp;
+    Alcotest.test_case "manifest rejects" `Quick test_rejects;
+    Alcotest.test_case "point to config" `Quick test_to_config;
+    Alcotest.test_case "dominance and front" `Quick test_dominance;
+    Alcotest.test_case "reference gate" `Quick test_reference_gate;
+    Alcotest.test_case "pareto json" `Quick test_pareto_json;
+    Alcotest.test_case "config threading" `Slow test_config_threading;
+    Alcotest.test_case "farm determinism" `Slow test_farm_determinism;
+  ]

@@ -123,6 +123,25 @@ let test_atomics_facts () =
     (fun o -> Alcotest.(check int) "AMO-inc final x=2 always" 2 o.(2))
     (wmm Test.amo_inc)
 
+(* Control-dependency facts, hand-checked. Outcome layout for MP+ctrl:
+   [1:r0; 2:r0; 2:r1; x; y; z]. *)
+let test_ctrl_facts () =
+  let chk name set o want = Alcotest.(check bool) name want (mem set o) in
+  let sc t = allowed Ref_model.SC t
+  and tso t = allowed Ref_model.TSO t
+  and wmm t = allowed Ref_model.WMM t in
+  (* the chained relaxation: relay saw the flag, relay's store seen, yet the
+     payload is stale at the final reader - WMM only (same mechanism as MP) *)
+  let relaxed = [| 1; 1; 0; 1; 1; 1 |] in
+  chk "MP+ctrl relaxed not SC" (sc Test.mp_ctrl) relaxed false;
+  chk "MP+ctrl relaxed not TSO" (tso Test.mp_ctrl) relaxed false;
+  chk "MP+ctrl relaxed in WMM" (wmm Test.mp_ctrl) relaxed true;
+  (* the branch is always taken, so the relay store happens even when the
+     relay thread read y=0 - a plain SC interleaving, no relaxation needed *)
+  chk "MP+ctrl relay-before-flag in SC" (sc Test.mp_ctrl) [| 0; 1; 0; 1; 1; 1 |] true;
+  (* the all-ones outcome (everything propagated in order) is SC too *)
+  chk "MP+ctrl in-order outcome in SC" (sc Test.mp_ctrl) [| 1; 1; 1; 1; 1; 1 |] true
+
 let test_labels () =
   Alcotest.(check (list string))
     "SB outcome labels" [ "0:r0"; "1:r0"; "x"; "y" ]
@@ -216,11 +235,28 @@ let test_relaxation_observed () =
   let mp_amo = Run.sweep ~seeds:60 ~jobs_list ~model:Ooo.Config.WMM Test.mp_amo in
   Alcotest.(check bool) "MP+amo WMM-only outcome reached" true mp_amo.Run.wmm_only_seen
 
+(* Dedicated control-dependency sweep, deeper than the whole-suite pass.
+   The compiled shape (always-taken branch guarding the relay store) must
+   never leak a forbidden outcome, and under TSO in particular the chained
+   relaxation must never appear. The WMM-only outcome itself is too rare to
+   demand here - reaching it needs the stale payload copy to outlive the
+   whole flag->relay->reader chain - so we check containment, not reach. *)
+let test_dut_ctrl () =
+  let tso = Run.sweep ~seeds:30 ~jobs_list ~model:Ooo.Config.TSO Test.mp_ctrl in
+  if not (Run.ok tso) then
+    Alcotest.failf "MP+ctrl (TSO): %s" (Format.asprintf "%a" Run.pp_report tso);
+  Alcotest.(check bool) "MP+ctrl never outside TSO set under TSO" true
+    (not tso.Run.wmm_only_seen);
+  let wmm = Run.sweep ~seeds:30 ~jobs_list ~model:Ooo.Config.WMM Test.mp_ctrl in
+  if not (Run.ok wmm) then
+    Alcotest.failf "MP+ctrl (WMM): %s" (Format.asprintf "%a" Run.pp_report wmm)
+
 let suite =
   [
     Alcotest.test_case "ref: sets nest" `Quick test_sets_nest;
     Alcotest.test_case "ref: classic facts" `Quick test_facts;
     Alcotest.test_case "ref: atomics facts" `Quick test_atomics_facts;
+    Alcotest.test_case "ref: ctrl-dep facts" `Quick test_ctrl_facts;
     Alcotest.test_case "ref: dpor = dfs" `Quick test_dpor_matches_dfs;
     Alcotest.test_case "outcome labels" `Quick test_labels;
     Alcotest.test_case "dsl validation" `Quick test_check_rejects;
@@ -230,5 +266,6 @@ let suite =
     Alcotest.test_case "dut: suite under WMM" `Slow test_dut_wmm;
     Alcotest.test_case "dut: suite on the in-order core" `Slow test_dut_inorder;
     Alcotest.test_case "dut: suite under MESI" `Slow test_dut_mesi;
+    Alcotest.test_case "dut: MP+ctrl dedicated sweep" `Slow test_dut_ctrl;
     Alcotest.test_case "dut: relaxations observed" `Slow test_relaxation_observed;
   ]

@@ -24,4 +24,5 @@ let () =
       ("mcheck", Test_mcheck.suite);
       ("snapshot", Test_snapshot.suite);
       ("farm", Test_farm.suite);
+      ("explore", Test_explore.suite);
     ]

@@ -88,6 +88,40 @@ let test_parsec_on_quad () =
       Alcotest.check i64 (cfg.Ooo.Config.name ^ " checksum") expect o.Machine.exits.(0))
     [ Ooo.Config.TSO; Ooo.Config.WMM ]
 
+let test_server_kernels_golden () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun harts ->
+          let code, n = golden_run ~ncores:harts (f ~harts ~scale:1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s x%d: completes (%Ld, %d instrs)" name harts code n)
+            true
+            (Int64.compare code 0L >= 0);
+          let code2, _ = golden_run ~ncores:harts (f ~harts ~scale:1) in
+          Alcotest.check i64 (Printf.sprintf "%s x%d: deterministic" name harts) code code2)
+        [ 1; 2; 4 ])
+    Server_kernels.all
+
+(* The server kernels are self-checking under relaxation: reqresp's tagged
+   handshakes need no fences, prodcons relies on its MP fences, and
+   lockladder's checksum proves mutual exclusion — so running all three on
+   the WMM quad against the golden checksum is a memory-model audit, not
+   just a smoke test. *)
+let test_server_on_quad_wmm () =
+  List.iter
+    (fun (name, f) ->
+      let prog = f ~harts:4 ~scale:1 in
+      let expect, _ = golden_run ~ncores:4 prog in
+      let cfg =
+        { (Ooo.Config.multicore Ooo.Config.WMM) with Ooo.Config.mem = small_cfg.Ooo.Config.mem }
+      in
+      let m = Machine.create ~ncores:4 (Machine.Out_of_order cfg) prog in
+      let o = Machine.run ~max_cycles:10_000_000 m in
+      Alcotest.(check bool) (name ^ " on quad-wmm completes") false o.Machine.timed_out;
+      Alcotest.check i64 (name ^ " checksum") expect o.Machine.exits.(0))
+    Server_kernels.all
+
 let test_streamcluster_contention () =
   let prog = Parsec_kernels.find "streamcluster" ~harts:4 ~scale:1 in
   let expect, _ = golden_run ~ncores:4 prog in
@@ -148,6 +182,8 @@ let suite =
     t "spec kernels on golden (deterministic)" `Quick test_spec_kernels_golden;
     t "parsec kernels on golden (1/2/4 harts)" `Quick test_parsec_kernels_golden;
     t "spec kernels on ooo (cosim + paging)" `Slow test_spec_on_ooo_cosim;
+    t "server kernels on golden (1/2/4 harts)" `Quick test_server_kernels_golden;
+    t "server kernels on quad-wmm (fence audit)" `Slow test_server_on_quad_wmm;
     t "parsec on quad core (TSO + WMM)" `Slow test_parsec_on_quad;
     t "streamcluster contention on TSO" `Slow test_streamcluster_contention;
   ]
